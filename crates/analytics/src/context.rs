@@ -1,0 +1,112 @@
+//! Shared experiment pipeline state.
+
+use crowdweb_dataset::Dataset;
+use crowdweb_prep::{Prepared, Preprocessor};
+use crowdweb_synth::SynthConfig;
+use std::error::Error;
+
+/// Everything the per-figure harness functions need, built once:
+/// the (synthetic) dataset and its preprocessed form.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The dataset experiments run over.
+    pub dataset: Dataset,
+    /// The preprocessed study window / users / sequence database.
+    pub prepared: Prepared,
+    /// The activity-filter threshold the context was prepared with
+    /// (needed by experiments that re-run preprocessing at other label
+    /// schemes).
+    pub min_active_days: usize,
+}
+
+impl ExperimentContext {
+    /// Builds a context from an explicit generator and preprocessor
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and preprocessing failures.
+    pub fn build(
+        synth: &SynthConfig,
+        prep: &Preprocessor,
+    ) -> Result<ExperimentContext, Box<dyn Error>> {
+        let dataset = synth.generate()?;
+        let prepared = prep.prepare(&dataset)?;
+        Ok(ExperimentContext {
+            dataset,
+            prepared,
+            min_active_days: prep.configured_min_active_days(),
+        })
+    }
+
+    /// Builds a context around an existing dataset (e.g. a loaded TSV).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing failures.
+    pub fn from_dataset(
+        dataset: Dataset,
+        prep: &Preprocessor,
+    ) -> Result<ExperimentContext, Box<dyn Error>> {
+        let prepared = prep.prepare(&dataset)?;
+        Ok(ExperimentContext {
+            dataset,
+            prepared,
+            min_active_days: prep.configured_min_active_days(),
+        })
+    }
+
+    /// A laptop-fast context (the `SynthConfig::small` miniature with a
+    /// filter threshold scaled to its 3-month span).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and preprocessing failures.
+    pub fn small(seed: u64) -> Result<ExperimentContext, Box<dyn Error>> {
+        ExperimentContext::build(
+            &SynthConfig::small(seed),
+            &Preprocessor::new().min_active_days(20),
+        )
+    }
+
+    /// The full paper-scale context: 1,083 users over 11 months with the
+    /// paper's >50-active-day filter. Takes a few seconds to build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and preprocessing failures.
+    pub fn paper_scale(seed: u64) -> Result<ExperimentContext, Box<dyn Error>> {
+        ExperimentContext::build(
+            &SynthConfig::paper_nyc().seed(seed),
+            &Preprocessor::new(), // >50 active days, 2h slots, Kind labels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_context_builds() {
+        let ctx = ExperimentContext::small(1).unwrap();
+        assert!(!ctx.dataset.is_empty());
+        assert!(ctx.prepared.user_count() > 0);
+        assert_eq!(
+            ctx.prepared.seqdb().user_count(),
+            ctx.prepared.user_count()
+        );
+    }
+
+    #[test]
+    fn contexts_are_deterministic() {
+        let a = ExperimentContext::small(9).unwrap();
+        let b = ExperimentContext::small(9).unwrap();
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        assert_eq!(a.prepared.users(), b.prepared.users());
+    }
+}

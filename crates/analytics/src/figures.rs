@@ -1,0 +1,519 @@
+//! One function per paper table/figure.
+
+use crate::ExperimentContext;
+use crowdweb_crowd::{validate_against_checkins, CrowdBuilder, CrowdModel, ModelFit, TimeWindows};
+use crowdweb_dataset::DatasetStats;
+use crowdweb_geo::{BoundingBox, MicrocellGrid};
+use crowdweb_mobility::{
+    evaluate_pattern_predictor, evaluate_predictor, predictability_profile, PatternMiner,
+    PredictorKind, UserPatterns,
+};
+use crowdweb_prep::{LabelScheme, Preprocessor};
+use crowdweb_seqmine::{Gsp, ModifiedPrefixSpan, PrefixSpan};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::time::Instant;
+
+/// The support sweep of the paper's Section III experiments
+/// (Figures 5 and 7 show 0.25 → 0.75; we add the surrounding points the
+/// curves imply).
+pub const PAPER_SUPPORT_SWEEP: [f64; 7] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875];
+
+fn detect_all(
+    ctx: &ExperimentContext,
+    min_support: f64,
+) -> Result<Vec<UserPatterns>, Box<dyn Error>> {
+    Ok(PatternMiner::new(min_support)?.detect_all(&ctx.prepared)?)
+}
+
+/// **Figure 5** — average number of sequences (mined patterns) per user
+/// at each minimum support threshold. Returns `(min_support, avg)`
+/// pairs in sweep order.
+///
+/// # Errors
+///
+/// Propagates invalid-support errors.
+pub fn fig5_sequences_vs_support(
+    ctx: &ExperimentContext,
+    supports: &[f64],
+) -> Result<Vec<(f64, f64)>, Box<dyn Error>> {
+    let mut out = Vec::with_capacity(supports.len());
+    for &s in supports {
+        let all = detect_all(ctx, s)?;
+        let avg = if all.is_empty() {
+            0.0
+        } else {
+            all.iter().map(UserPatterns::pattern_count).sum::<usize>() as f64 / all.len() as f64
+        };
+        out.push((s, avg));
+    }
+    Ok(out)
+}
+
+/// **Figure 6** — the per-user distribution of the number of sequences
+/// at one support threshold (the paper uses 0.5). Returns one value per
+/// user.
+///
+/// # Errors
+///
+/// Propagates invalid-support errors.
+pub fn fig6_sequence_count_distribution(
+    ctx: &ExperimentContext,
+    min_support: f64,
+) -> Result<Vec<f64>, Box<dyn Error>> {
+    Ok(detect_all(ctx, min_support)?
+        .iter()
+        .map(|u| u.pattern_count() as f64)
+        .collect())
+}
+
+/// **Figure 7** — average pattern length per user at each support
+/// threshold. Returns `(min_support, avg_length)` pairs. Users with no
+/// patterns at a threshold are excluded from that threshold's average
+/// (an empty mine contributes no length observations).
+///
+/// # Errors
+///
+/// Propagates invalid-support errors.
+pub fn fig7_length_vs_support(
+    ctx: &ExperimentContext,
+    supports: &[f64],
+) -> Result<Vec<(f64, f64)>, Box<dyn Error>> {
+    let mut out = Vec::with_capacity(supports.len());
+    for &s in supports {
+        let all = detect_all(ctx, s)?;
+        let lengths: Vec<f64> = all
+            .iter()
+            .filter(|u| u.pattern_count() > 0)
+            .map(UserPatterns::mean_pattern_length)
+            .collect();
+        let avg = if lengths.is_empty() {
+            0.0
+        } else {
+            lengths.iter().sum::<f64>() / lengths.len() as f64
+        };
+        out.push((s, avg));
+    }
+    Ok(out)
+}
+
+/// **Figure 8** — the per-user distribution of average pattern length
+/// at one support threshold (paper: 0.5). One value per user with at
+/// least one pattern.
+///
+/// # Errors
+///
+/// Propagates invalid-support errors.
+pub fn fig8_length_distribution(
+    ctx: &ExperimentContext,
+    min_support: f64,
+) -> Result<Vec<f64>, Box<dyn Error>> {
+    Ok(detect_all(ctx, min_support)?
+        .iter()
+        .filter(|u| u.pattern_count() > 0)
+        .map(UserPatterns::mean_pattern_length)
+        .collect())
+}
+
+/// Dataset statistics report (the numbers of Section I.1) with the
+/// paper's values for comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Measured statistics over the (synthetic) dataset.
+    pub measured: DatasetStats,
+    /// Users passing the >50-active-day filter in the study window.
+    pub filtered_users: usize,
+    /// First month of the richest 3-month window, as `"Apr 2012"`.
+    pub richest_window: String,
+}
+
+/// **Section I.1 table** — computes the dataset statistics the paper
+/// reports (227,428 check-ins, 1,083 users, mean ≈ 210, median ≈ 153,
+/// sparsity, April–June richest).
+pub fn dataset_stats_table(ctx: &ExperimentContext) -> StatsReport {
+    let measured = DatasetStats::compute(&ctx.dataset);
+    let richest = measured
+        .richest_window(3)
+        .map(|(m, _)| m.to_string())
+        .unwrap_or_else(|| "n/a".to_owned());
+    StatsReport {
+        measured,
+        filtered_users: ctx.prepared.user_count(),
+        richest_window: richest,
+    }
+}
+
+/// One row of the crowd-snapshot table (Figures 3–4): a busy microcell
+/// in a time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdRow {
+    /// Window label, e.g. `"9-10 am"`.
+    pub window: String,
+    /// Cell id.
+    pub cell: u32,
+    /// Users in the cell.
+    pub users: usize,
+}
+
+/// Builds the crowd model used by the Figure 3/4 experiment.
+///
+/// # Errors
+///
+/// Propagates mining and synchronization errors.
+pub fn build_crowd_model(
+    ctx: &ExperimentContext,
+    min_support: f64,
+    grid_side: u32,
+) -> Result<CrowdModel, Box<dyn Error>> {
+    let patterns = detect_all(ctx, min_support)?;
+    let grid = MicrocellGrid::new(BoundingBox::NYC, grid_side, grid_side)?;
+    Ok(CrowdBuilder::new(&ctx.dataset, &ctx.prepared)
+        .windows(TimeWindows::hourly())
+        .build(&patterns, grid)?)
+}
+
+/// **Figures 3–4** — the busiest microcells at two contrasting hours
+/// (the paper shows 9–10 am and a second window). Returns up to `top_k`
+/// rows per window.
+///
+/// # Errors
+///
+/// Propagates mining and synchronization errors.
+pub fn crowd_snapshot_table(
+    ctx: &ExperimentContext,
+    hours: &[u8],
+    top_k: usize,
+) -> Result<Vec<CrowdRow>, Box<dyn Error>> {
+    let model = build_crowd_model(ctx, 0.15, 20)?;
+    let mut rows = Vec::new();
+    for &h in hours {
+        if let Some(snapshot) = model.snapshot_at_hour(h) {
+            for (cell, users) in snapshot.busiest_cells().into_iter().take(top_k) {
+                rows.push(CrowdRow {
+                    window: snapshot.window.label(),
+                    cell: cell.0,
+                    users,
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// One row of the miner-ablation comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Support threshold of this row.
+    pub min_support: f64,
+    /// Total patterns found by the modified PrefixSpan (gap 2 slots).
+    pub modified_patterns: usize,
+    /// Total patterns found by classic PrefixSpan.
+    pub classic_patterns: usize,
+    /// Total patterns found by GSP (identical to classic by
+    /// construction).
+    pub gsp_patterns: usize,
+    /// Wall-clock microseconds for the modified miner.
+    pub modified_us: u128,
+    /// Wall-clock microseconds for classic PrefixSpan.
+    pub classic_us: u128,
+    /// Wall-clock microseconds for GSP.
+    pub gsp_us: u128,
+}
+
+/// **Ablation A1** — modified PrefixSpan (gap-constrained) vs classic
+/// PrefixSpan vs GSP over the same sequence database, per support
+/// threshold: pattern counts and runtimes.
+///
+/// # Errors
+///
+/// Propagates invalid-support errors.
+pub fn ablation_miners(
+    ctx: &ExperimentContext,
+    supports: &[f64],
+) -> Result<Vec<AblationRow>, Box<dyn Error>> {
+    let db: Vec<Vec<crowdweb_prep::SeqItem>> = ctx
+        .prepared
+        .seqdb()
+        .users()
+        .iter()
+        .flat_map(|u| u.sequences.iter().cloned())
+        .collect();
+    let mut rows = Vec::new();
+    for &s in supports {
+        let t0 = Instant::now();
+        let modified = ModifiedPrefixSpan::new(s)?
+            .max_gap(Some(2))
+            .mine(&db, |it| u32::from(it.slot.0));
+        let modified_us = t0.elapsed().as_micros();
+
+        let t1 = Instant::now();
+        let classic = PrefixSpan::new(s)?.mine(&db);
+        let classic_us = t1.elapsed().as_micros();
+
+        let t2 = Instant::now();
+        let gsp = Gsp::new(s)?.mine(&db);
+        let gsp_us = t2.elapsed().as_micros();
+
+        rows.push(AblationRow {
+            min_support: s,
+            modified_patterns: modified.len(),
+            classic_patterns: classic.len(),
+            gsp_patterns: gsp.len(),
+            modified_us,
+            classic_us,
+            gsp_us,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the prediction-accuracy experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRow {
+    /// Label abstraction the predictor ran over.
+    pub scheme: String,
+    /// Predictor family.
+    pub predictor: String,
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Number of evaluated predictions.
+    pub total: usize,
+}
+
+/// **Motivation A2** — next-place prediction accuracy per label scheme
+/// and predictor. Over raw venues accuracy is poor (the paper cites
+/// 8–25 %); over abstracted kinds it rises — the motivation for
+/// CrowdWeb's place abstraction.
+///
+/// # Errors
+///
+/// Propagates preprocessing and evaluation errors.
+pub fn prediction_accuracy(ctx: &ExperimentContext) -> Result<Vec<PredictionRow>, Box<dyn Error>> {
+    let mut rows = Vec::new();
+    for scheme in [LabelScheme::Venue, LabelScheme::Category, LabelScheme::Kind] {
+        // Re-run preprocessing at this label scheme (window/filter
+        // identical: both depend only on check-in times).
+        let prepared = Preprocessor::new()
+            .label_scheme(scheme)
+            .min_active_days(ctx.min_active_days)
+            .prepare(&ctx.dataset)?;
+        for kind in [
+            PredictorKind::TopFrequency,
+            PredictorKind::Markov1,
+            PredictorKind::Markov2,
+        ] {
+            let report = evaluate_predictor(prepared.seqdb(), kind, 0.7)?;
+            rows.push(PredictionRow {
+                scheme: scheme.to_string(),
+                predictor: format!("{kind:?}"),
+                accuracy: report.accuracy(),
+                total: report.total,
+            });
+        }
+        // CrowdWeb's own patterns as a predictor.
+        let report = evaluate_pattern_predictor(prepared.seqdb(), 0.15, 0.7)?;
+        rows.push(PredictionRow {
+            scheme: scheme.to_string(),
+            predictor: "Patterns".to_owned(),
+            accuracy: report.accuracy(),
+            total: report.total,
+        });
+    }
+    Ok(rows)
+}
+
+/// **Validation V1** — how well the synchronized crowd model matches the
+/// observed check-in distribution, per window (cosine similarity).
+///
+/// # Errors
+///
+/// Propagates mining and synchronization errors.
+pub fn model_fit(ctx: &ExperimentContext) -> Result<ModelFit, Box<dyn Error>> {
+    let model = build_crowd_model(ctx, 0.15, 20)?;
+    Ok(validate_against_checkins(
+        &model,
+        &ctx.dataset,
+        ctx.prepared.users(),
+        ctx.prepared.window(),
+    )?)
+}
+
+/// One row of the predictability summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropySummary {
+    /// Number of users profiled.
+    pub users: usize,
+    /// Mean Lempel–Ziv entropy rate (bits/visit).
+    pub mean_actual_entropy: f64,
+    /// Mean Fano-bound maximum predictability.
+    pub mean_max_predictability: f64,
+    /// Median Fano-bound maximum predictability.
+    pub median_max_predictability: f64,
+}
+
+/// **Premise E1** — the "human mobility is highly predictable" premise,
+/// quantified: entropy/predictability profiles over every filtered user.
+pub fn entropy_summary(ctx: &ExperimentContext) -> EntropySummary {
+    let mut entropies = Vec::new();
+    let mut pis = Vec::new();
+    for u in ctx.prepared.seqdb().users() {
+        let p = predictability_profile(&u.sequences);
+        if p.visits > 0 {
+            entropies.push(p.actual_entropy);
+            pis.push(p.max_predictability);
+        }
+    }
+    pis.sort_by(f64::total_cmp);
+    let n = pis.len();
+    EntropySummary {
+        users: n,
+        mean_actual_entropy: if n == 0 {
+            0.0
+        } else {
+            entropies.iter().sum::<f64>() / n as f64
+        },
+        mean_max_predictability: if n == 0 {
+            0.0
+        } else {
+            pis.iter().sum::<f64>() / n as f64
+        },
+        median_max_predictability: if n == 0 { 0.0 } else { pis[n / 2] },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::small(77).unwrap()
+    }
+
+    #[test]
+    fn fig5_is_monotone_nonincreasing() {
+        let series = fig5_sequences_vs_support(&ctx(), &PAPER_SUPPORT_SWEEP).unwrap();
+        assert_eq!(series.len(), 7);
+        for w in series.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "fig5 must fall with support: {series:?}"
+            );
+        }
+        // And it is not all-zero.
+        assert!(series[0].1 > 0.0);
+    }
+
+    #[test]
+    fn fig5_shows_steep_then_flat_knee() {
+        // The paper: big drop 0.25 -> 0.5, smaller drop 0.5 -> 0.75.
+        let series =
+            fig5_sequences_vs_support(&ctx(), &[0.25, 0.5, 0.75]).unwrap();
+        let drop1 = series[0].1 - series[1].1;
+        let drop2 = series[1].1 - series[2].1;
+        assert!(drop1 >= drop2, "knee inverted: {series:?}");
+    }
+
+    #[test]
+    fn fig6_has_one_value_per_user() {
+        let c = ctx();
+        let values = fig6_sequence_count_distribution(&c, 0.25).unwrap();
+        assert_eq!(values.len(), c.prepared.user_count());
+        assert!(values.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn fig7_is_monotone_nonincreasing_over_paper_range() {
+        let series = fig7_length_vs_support(&ctx(), &[0.125, 0.25, 0.375, 0.5]).unwrap();
+        for w in series.windows(2) {
+            assert!(
+                w[0].1 + 1e-9 >= w[1].1,
+                "fig7 must fall with support: {series:?}"
+            );
+        }
+        assert!(series[0].1 >= 1.0, "lengths are at least 1: {series:?}");
+    }
+
+    #[test]
+    fn fig8_values_are_valid_lengths() {
+        let values = fig8_length_distribution(&ctx(), 0.25).unwrap();
+        assert!(!values.is_empty());
+        assert!(values.iter().all(|v| *v >= 1.0));
+    }
+
+    #[test]
+    fn stats_report_matches_generator_shape() {
+        let c = ctx();
+        let report = dataset_stats_table(&c);
+        assert_eq!(report.measured.user_count, 40);
+        assert!(report.measured.is_sparse());
+        assert_eq!(report.richest_window, "Apr 2012");
+        assert!(report.filtered_users > 0);
+    }
+
+    #[test]
+    fn crowd_table_has_rows_for_busy_hours() {
+        let rows = crowd_snapshot_table(&ctx(), &[9, 19], 5).unwrap();
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.users > 0);
+        }
+        // Crowd distribution differs between the two windows (Fig 3 vs 4).
+        let morning: Vec<_> = rows.iter().filter(|r| r.window == "9-10 am").collect();
+        let evening: Vec<_> = rows.iter().filter(|r| r.window == "7-8 pm").collect();
+        assert!(!morning.is_empty() && !evening.is_empty());
+    }
+
+    #[test]
+    fn ablation_miners_agree_on_counts() {
+        let rows = ablation_miners(&ctx(), &[0.5, 0.75]).unwrap();
+        for r in &rows {
+            // Classic and GSP find the same patterns.
+            assert_eq!(r.classic_patterns, r.gsp_patterns, "{r:?}");
+            // The gap constraint can only prune.
+            assert!(r.modified_patterns <= r.classic_patterns, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn model_fit_is_strong() {
+        let fit = model_fit(&ctx()).unwrap();
+        assert!(fit.populated_windows() > 0);
+        assert!(fit.mean_cosine() > 0.4, "cosine {}", fit.mean_cosine());
+    }
+
+    #[test]
+    fn entropy_summary_is_plausible() {
+        let s = entropy_summary(&ctx());
+        assert!(s.users > 0);
+        assert!(s.mean_actual_entropy >= 0.0);
+        assert!((0.0..=1.0).contains(&s.mean_max_predictability));
+        assert!(
+            s.median_max_predictability > 0.4,
+            "routine agents should be predictable: {s:?}"
+        );
+    }
+
+    #[test]
+    fn prediction_abstraction_helps() {
+        let rows = prediction_accuracy(&ctx()).unwrap();
+        assert_eq!(rows.len(), 12);
+        let best = |scheme: &str| {
+            rows.iter()
+                .filter(|r| r.scheme == scheme)
+                .map(|r| r.accuracy)
+                .fold(0.0f64, f64::max)
+        };
+        let venue = best("venue");
+        let kind = best("kind");
+        assert!(
+            kind > venue,
+            "abstraction must improve predictability: venue {venue} kind {kind}"
+        );
+        // The paper's motivating claim: raw-venue accuracy is poor
+        // (8-25% in its citations). The miniature universe has only 400
+        // venues, so allow a slightly looser bound here; the strict
+        // <25% check runs at paper scale (12,000 venues) in the
+        // prediction_accuracy bench and EXPERIMENTS.md.
+        assert!(venue < 0.35, "venue accuracy {venue} should be poor");
+    }
+}

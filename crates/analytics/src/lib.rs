@@ -1,0 +1,49 @@
+//! Experiment harness: one function per table and figure of the
+//! CrowdWeb paper, shared by the Criterion benches, the examples, and
+//! the report generator.
+//!
+//! | Paper artifact | Harness entry point |
+//! |---|---|
+//! | Dataset statistics (Sec. I.1) | [`dataset_stats_table`] |
+//! | Fig. 3/4 — crowd per window | [`crowd_snapshot_table`] |
+//! | Fig. 5 — sequences/user vs `min_support` | [`fig5_sequences_vs_support`] |
+//! | Fig. 6 — distribution of sequence counts | [`fig6_sequence_count_distribution`] |
+//! | Fig. 7 — avg sequence length vs `min_support` | [`fig7_length_vs_support`] |
+//! | Fig. 8 — distribution of avg lengths | [`fig8_length_distribution`] |
+//! | Ablation — modified vs classic vs GSP | [`ablation_miners`] |
+//! | Motivation — prediction accuracy | [`prediction_accuracy`] |
+//!
+//! [`ExperimentContext`] builds the shared pipeline (synthesize →
+//! preprocess → mine) once.
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_analytics::{fig5_sequences_vs_support, ExperimentContext};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = ExperimentContext::small(42)?;
+//! let series = fig5_sequences_vs_support(&ctx, &[0.25, 0.5, 0.75])?;
+//! // The paper's Figure 5 trend: monotonically non-increasing.
+//! assert!(series.windows(2).all(|w| w[0].1 >= w[1].1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod figures;
+pub mod report;
+pub mod table;
+
+pub use context::ExperimentContext;
+pub use figures::{
+    ablation_miners, build_crowd_model, crowd_snapshot_table, dataset_stats_table,
+    entropy_summary, fig5_sequences_vs_support, fig6_sequence_count_distribution,
+    fig7_length_vs_support, fig8_length_distribution, model_fit, prediction_accuracy,
+    AblationRow, CrowdRow, EntropySummary, PredictionRow, StatsReport, PAPER_SUPPORT_SWEEP,
+};
+pub use report::generate_report;
+pub use table::TextTable;

@@ -1,0 +1,71 @@
+//! **Ablation A1** — the paper's modified PrefixSpan (slot-aware,
+//! gap-constrained) vs classic PrefixSpan vs the GSP baseline on the
+//! same sequence database: pattern counts and runtimes per support.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdweb_analytics::ablation_miners;
+use crowdweb_bench::{banner, mid_context};
+use crowdweb_prep::SeqItem;
+use crowdweb_seqmine::{Gsp, ModifiedPrefixSpan, PrefixSpan};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = mid_context();
+    banner(
+        "Ablation: modified PrefixSpan vs classic PrefixSpan vs GSP",
+        "identical counts for classic/GSP; gap constraint prunes; pattern-growth beats generate-and-test",
+    );
+    let rows = ablation_miners(ctx, &[0.25, 0.5, 0.75]).unwrap();
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "support", "modified", "classic", "gsp", "modified_us", "classic_us", "gsp_us"
+    );
+    for r in &rows {
+        println!(
+            "{:>8.2} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            r.min_support,
+            r.modified_patterns,
+            r.classic_patterns,
+            r.gsp_patterns,
+            r.modified_us,
+            r.classic_us,
+            r.gsp_us
+        );
+    }
+
+    let db: Vec<Vec<SeqItem>> = ctx
+        .prepared
+        .seqdb()
+        .users()
+        .iter()
+        .flat_map(|u| u.sequences.iter().cloned())
+        .collect();
+    let mut group = c.benchmark_group("miners");
+    group.sample_size(10);
+    for support in [0.25, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("modified_gap2", support),
+            &support,
+            |b, &s| {
+                let miner = ModifiedPrefixSpan::new(s).unwrap().max_gap(Some(2));
+                b.iter(|| miner.mine(black_box(&db), |it| u32::from(it.slot.0)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("classic_prefixspan", support),
+            &support,
+            |b, &s| {
+                let miner = PrefixSpan::new(s).unwrap();
+                b.iter(|| miner.mine(black_box(&db)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("gsp", support), &support, |b, &s| {
+            let miner = Gsp::new(s).unwrap();
+            b.iter(|| miner.mine(black_box(&db)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

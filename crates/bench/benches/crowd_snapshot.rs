@@ -1,0 +1,44 @@
+//! **Figures 3–4** — the crowd in the smart city at contrasting time
+//! windows. Prints the busiest microcells at 9–10 am and 7–8 pm, then
+//! times crowd-model construction and snapshot queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdweb_analytics::{build_crowd_model, crowd_snapshot_table};
+use crowdweb_bench::{banner, mid_context};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = mid_context();
+    banner(
+        "Figures 3-4: crowd distribution per time window",
+        "crowd mass relocates between 9-10 am and the evening window",
+    );
+    let rows = crowd_snapshot_table(ctx, &[9, 19], 8).unwrap();
+    println!("{:>10}  {:>8}  {:>6}", "window", "cell", "users");
+    for r in &rows {
+        println!("{:>10}  {:>8}  {:>6}", r.window, r.cell, r.users);
+    }
+    let morning: Vec<u32> = rows.iter().filter(|r| r.window == "9-10 am").map(|r| r.cell).collect();
+    let evening: Vec<u32> = rows.iter().filter(|r| r.window == "7-8 pm").map(|r| r.cell).collect();
+    println!(
+        "distinct busiest-cell sets: {}   (paper: the crowd moves)",
+        morning != evening
+    );
+
+    let mut group = c.benchmark_group("crowd");
+    group.sample_size(10);
+    group.bench_function("build_model", |b| {
+        b.iter(|| build_crowd_model(black_box(ctx), 0.15, 20).unwrap())
+    });
+    let model = build_crowd_model(ctx, 0.15, 20).unwrap();
+    group.bench_function("snapshot_query", |b| {
+        b.iter(|| black_box(&model).snapshot_at_hour(9).unwrap())
+    });
+    group.bench_function("animation_24_frames", |b| {
+        b.iter(|| black_box(&model).animation_frames())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **Section I.1 table** — the dataset statistics, at the paper's full
+//! scale: 1,083 users over 11 months, calibrated to 227,428 check-ins
+//! with mean ~210 / median ~153 records per user and April–June as the
+//! richest window. Prints measured-vs-paper, then times generation and
+//! statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdweb_analytics::dataset_stats_table;
+use crowdweb_bench::{banner, paper_context};
+use crowdweb_dataset::DatasetStats;
+use crowdweb_synth::SynthConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = paper_context();
+    banner(
+        "Section I.1: dataset statistics (paper scale)",
+        "227,428 check-ins, 1,083 users, mean ~210 / median ~153, sparse, Apr-Jun richest",
+    );
+    let report = dataset_stats_table(ctx);
+    let m = &report.measured;
+    println!("{:<28} {:>12} {:>12}", "metric", "paper", "measured");
+    println!("{:<28} {:>12} {:>12}", "check-ins", 227_428, m.total_checkins);
+    println!("{:<28} {:>12} {:>12}", "users", 1_083, m.user_count);
+    println!(
+        "{:<28} {:>12} {:>12.1}",
+        "mean records/user", 210, m.mean_records_per_user
+    );
+    println!(
+        "{:<28} {:>12} {:>12.1}",
+        "median records/user", 153, m.median_records_per_user
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "sparse (<1/day)", "yes", if m.is_sparse() { "yes" } else { "no" }
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "richest 3-month window", "Apr 2012", report.richest_window
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "filtered users (>50 days)", "subset", report.filtered_users
+    );
+
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.bench_function("stats_paper_scale", |b| {
+        b.iter(|| DatasetStats::compute(black_box(&ctx.dataset)))
+    });
+    let small = SynthConfig::small(1);
+    group.bench_function("generate_small", |b| b.iter(|| small.generate().unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

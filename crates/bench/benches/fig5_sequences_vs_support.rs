@@ -1,0 +1,34 @@
+//! **Figure 5** — average number of sequences per user vs minimum
+//! support threshold. Prints the regenerated series, then times one
+//! full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdweb_analytics::{fig5_sequences_vs_support, PAPER_SUPPORT_SWEEP};
+use crowdweb_bench::{banner, mid_context};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = mid_context();
+    banner(
+        "Figure 5: avg sequences per user vs min_support",
+        "monotone decreasing; steep drop 0.25->0.5, flatter 0.5->0.75",
+    );
+    let series = fig5_sequences_vs_support(ctx, &PAPER_SUPPORT_SWEEP).unwrap();
+    println!("{:>12}  {:>20}", "min_support", "avg sequences/user");
+    for (s, v) in &series {
+        println!("{s:>12.3}  {v:>20.2}");
+    }
+    let d1 = series[1].1 - series[3].1; // 0.25 -> 0.5
+    let d2 = series[3].1 - series[5].1; // 0.5 -> 0.75
+    println!("drop 0.25->0.5: {d1:.2}   drop 0.5->0.75: {d2:.2}   (paper: first >> second)");
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("support_sweep", |b| {
+        b.iter(|| fig5_sequences_vs_support(black_box(ctx), &PAPER_SUPPORT_SWEEP).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! **Figure 6** — distribution of the number of sequences per user at
+//! `min_support = 0.5`. Prints the histogram, then times the mine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdweb_analytics::fig6_sequence_count_distribution;
+use crowdweb_bench::{banner, mid_context};
+use crowdweb_viz::chart::bin_values;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = mid_context();
+    banner(
+        "Figure 6: distribution of sequence counts (min_support = 0.5)",
+        "unimodal, right-skewed histogram over users",
+    );
+    let values = fig6_sequence_count_distribution(ctx, 0.5).unwrap();
+    for (lo, hi, count) in bin_values(&values, 10) {
+        println!(
+            "[{lo:>7.1}, {hi:>7.1})  {:<40} {count}",
+            "#".repeat(count.min(40))
+        );
+    }
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    println!("users: {}   mean sequences: {mean:.2}", values.len());
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("distribution_at_0.5", |b| {
+        b.iter(|| fig6_sequence_count_distribution(black_box(ctx), 0.5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! **Figure 7** — average length of sequences per user vs minimum
+//! support threshold. Prints the regenerated series, then times one
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdweb_analytics::{fig7_length_vs_support, PAPER_SUPPORT_SWEEP};
+use crowdweb_bench::{banner, mid_context};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = mid_context();
+    banner(
+        "Figure 7: avg sequence length per user vs min_support",
+        "monotone decreasing (long patterns certify less easily)",
+    );
+    let series = fig7_length_vs_support(ctx, &PAPER_SUPPORT_SWEEP).unwrap();
+    println!("{:>12}  {:>18}", "min_support", "avg length/user");
+    for (s, v) in &series {
+        println!("{s:>12.3}  {v:>18.3}");
+    }
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("support_sweep", |b| {
+        b.iter(|| fig7_length_vs_support(black_box(ctx), &PAPER_SUPPORT_SWEEP).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! **Figure 8** — distribution of the average sequence length per user
+//! at `min_support = 0.5`. Prints the histogram, then times the mine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdweb_analytics::fig8_length_distribution;
+use crowdweb_bench::{banner, mid_context};
+use crowdweb_viz::chart::bin_values;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = mid_context();
+    banner(
+        "Figure 8: distribution of avg lengths (min_support = 0.5)",
+        "unimodal histogram with mass just above length 1",
+    );
+    let values = fig8_length_distribution(ctx, 0.5).unwrap();
+    for (lo, hi, count) in bin_values(&values, 10) {
+        println!(
+            "[{lo:>6.2}, {hi:>6.2})  {:<40} {count}",
+            "#".repeat(count.min(40))
+        );
+    }
+    println!("users with patterns: {}", values.len());
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("distribution_at_0.5", |b| {
+        b.iter(|| fig8_length_distribution(black_box(ctx), 0.5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

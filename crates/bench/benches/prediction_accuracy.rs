@@ -1,0 +1,44 @@
+//! **Motivation A2** — next-place prediction accuracy per label scheme.
+//! The paper motivates place abstraction with the poor accuracy of raw
+//! next-location prediction (8–25% in its citations); abstraction makes
+//! behaviour predictable. Prints the accuracy table, then times one
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdweb_analytics::prediction_accuracy;
+use crowdweb_bench::{banner, mid_context};
+use crowdweb_mobility::{evaluate_predictor, PredictorKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = mid_context();
+    banner(
+        "Motivation: next-place prediction accuracy by abstraction level",
+        "raw venues weak (<~25%), coarse kinds far stronger",
+    );
+    let rows = prediction_accuracy(ctx).unwrap();
+    println!("{:<10} {:<14} {:>9} {:>12}", "scheme", "predictor", "accuracy", "predictions");
+    for r in &rows {
+        println!(
+            "{:<10} {:<14} {:>8.1}% {:>12}",
+            r.scheme,
+            r.predictor,
+            r.accuracy * 100.0,
+            r.total
+        );
+    }
+
+    let mut group = c.benchmark_group("prediction");
+    group.sample_size(10);
+    let seqdb = ctx.prepared.seqdb();
+    group.bench_function("markov1_eval", |b| {
+        b.iter(|| evaluate_predictor(black_box(seqdb), PredictorKind::Markov1, 0.7).unwrap())
+    });
+    group.bench_function("full_table", |b| {
+        b.iter(|| prediction_accuracy(black_box(ctx)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared fixtures for the CrowdWeb benchmark suite.
+//!
+//! Every bench target regenerates one table or figure of the paper:
+//! it prints the measured rows/series (so `cargo bench` output *is* the
+//! reproduction), then times the computation with Criterion.
+//!
+//! Scales:
+//! - `mid_context()` — 120 users, 3 months: the default bench fixture.
+//! - `paper_context()` — 1,083 users, 11 months: the paper's scale,
+//!   used by the dataset-stats bench (set `CROWDWEB_BENCH_PAPER=1` to
+//!   use it everywhere).
+
+use crowdweb_analytics::ExperimentContext;
+use crowdweb_prep::Preprocessor;
+use crowdweb_synth::SynthConfig;
+use std::sync::OnceLock;
+
+/// The mid-sized benchmark context (built once per process).
+pub fn mid_context() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        if paper_scale_requested() {
+            ExperimentContext::paper_scale(2030).expect("paper context builds")
+        } else {
+            ExperimentContext::build(
+                &SynthConfig::small(2030).users(120).venues(1500),
+                &Preprocessor::new().min_active_days(20),
+            )
+            .expect("mid context builds")
+        }
+    })
+}
+
+/// The full paper-scale context (1,083 users, 11 months; built once).
+pub fn paper_context() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::paper_scale(2030).expect("paper context builds"))
+}
+
+/// Whether `CROWDWEB_BENCH_PAPER=1` asked for full-scale benches.
+pub fn paper_scale_requested() -> bool {
+    std::env::var("CROWDWEB_BENCH_PAPER").is_ok_and(|v| v == "1")
+}
+
+/// Prints a labelled header so bench logs read as experiment reports.
+pub fn banner(experiment: &str, paper_expectation: &str) {
+    println!("\n================================================================");
+    println!("{experiment}");
+    println!("paper expectation: {paper_expectation}");
+    println!("================================================================");
+}

@@ -1,0 +1,193 @@
+//! Window comparison: the Figure 3 vs Figure 4 contrast as data.
+//!
+//! Given two crowd snapshots, [`compare_windows`] reports per-cell
+//! gains and losses and summary statistics, so "the crowd moved" is a
+//! queryable fact rather than a visual impression.
+
+use crate::{CrowdError, CrowdModel, CrowdSnapshot};
+use crowdweb_geo::CellId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Per-cell difference between two windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellDelta {
+    /// The cell.
+    pub cell: CellId,
+    /// Users in the earlier window.
+    pub before: usize,
+    /// Users in the later window.
+    pub after: usize,
+}
+
+impl CellDelta {
+    /// Signed change (`after - before`).
+    pub fn change(&self) -> i64 {
+        self.after as i64 - self.before as i64
+    }
+}
+
+/// The comparison of two crowd windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowComparison {
+    /// Label of the earlier window.
+    pub before_window: String,
+    /// Label of the later window.
+    pub after_window: String,
+    /// Every cell occupied in either window, with both counts, sorted
+    /// by the magnitude of the change (descending).
+    pub deltas: Vec<CellDelta>,
+    /// Total users in the earlier window.
+    pub before_total: usize,
+    /// Total users in the later window.
+    pub after_total: usize,
+}
+
+impl WindowComparison {
+    /// Cells that gained users, largest gain first.
+    pub fn gains(&self) -> Vec<CellDelta> {
+        self.deltas.iter().filter(|d| d.change() > 0).copied().collect()
+    }
+
+    /// Cells that lost users, largest loss first.
+    pub fn losses(&self) -> Vec<CellDelta> {
+        self.deltas.iter().filter(|d| d.change() < 0).copied().collect()
+    }
+
+    /// Total absolute per-cell movement (a crowd-churn measure):
+    /// `sum(|after - before|)`.
+    pub fn churn(&self) -> u64 {
+        self.deltas.iter().map(|d| d.change().unsigned_abs()).sum()
+    }
+}
+
+/// Compares two snapshots cell by cell.
+pub fn compare_snapshots(before: &CrowdSnapshot, after: &CrowdSnapshot) -> WindowComparison {
+    let cells: BTreeSet<CellId> = before
+        .cells
+        .keys()
+        .chain(after.cells.keys())
+        .copied()
+        .collect();
+    let mut deltas: Vec<CellDelta> = cells
+        .into_iter()
+        .map(|cell| CellDelta {
+            cell,
+            before: before.cells.get(&cell).copied().unwrap_or(0),
+            after: after.cells.get(&cell).copied().unwrap_or(0),
+        })
+        .collect();
+    deltas.sort_by(|a, b| {
+        b.change()
+            .abs()
+            .cmp(&a.change().abs())
+            .then(a.cell.cmp(&b.cell))
+    });
+    WindowComparison {
+        before_window: before.window.label(),
+        after_window: after.window.label(),
+        before_total: before.total_users(),
+        after_total: after.total_users(),
+        deltas,
+    }
+}
+
+/// Compares the windows containing two hours of a crowd model.
+///
+/// # Errors
+///
+/// Returns [`CrowdError::WindowOutOfRange`] if no window covers either
+/// hour.
+///
+/// # Examples
+///
+/// ```
+/// # use crowdweb_crowd::{compare_windows, CrowdBuilder};
+/// # use crowdweb_mobility::PatternMiner;
+/// # use crowdweb_prep::Preprocessor;
+/// # use crowdweb_synth::SynthConfig;
+/// # use crowdweb_geo::{BoundingBox, MicrocellGrid};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let dataset = SynthConfig::small(31).generate()?;
+/// # let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+/// # let patterns = PatternMiner::new(0.15)?.detect_all(&prepared)?;
+/// # let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
+/// # let model = CrowdBuilder::new(&dataset, &prepared).build(&patterns, grid)?;
+/// let cmp = compare_windows(&model, 9, 19)?;
+/// println!("churn between {} and {}: {}", cmp.before_window, cmp.after_window, cmp.churn());
+/// # Ok(())
+/// # }
+/// ```
+pub fn compare_windows(
+    model: &CrowdModel,
+    before_hour: u8,
+    after_hour: u8,
+) -> Result<WindowComparison, CrowdError> {
+    let before = model
+        .snapshot_at_hour(before_hour)
+        .ok_or(CrowdError::WindowOutOfRange(usize::from(before_hour)))?;
+    let after = model
+        .snapshot_at_hour(after_hour)
+        .ok_or(CrowdError::WindowOutOfRange(usize::from(after_hour)))?;
+    Ok(compare_snapshots(&before, &after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeWindow;
+    use crowdweb_prep::PlaceLabel;
+    use std::collections::BTreeMap;
+
+    fn snapshot(hour: u8, cells: &[(u32, usize)]) -> CrowdSnapshot {
+        CrowdSnapshot {
+            window: TimeWindow::new(hour, hour + 1).unwrap(),
+            cells: cells.iter().map(|&(c, n)| (CellId(c), n)).collect(),
+            labels: BTreeMap::<PlaceLabel, usize>::new(),
+        }
+    }
+
+    #[test]
+    fn deltas_cover_union_of_cells() {
+        let before = snapshot(9, &[(1, 5), (2, 3)]);
+        let after = snapshot(10, &[(2, 1), (3, 4)]);
+        let cmp = compare_snapshots(&before, &after);
+        assert_eq!(cmp.deltas.len(), 3);
+        assert_eq!(cmp.before_total, 8);
+        assert_eq!(cmp.after_total, 5);
+        // Sorted by |change| desc: cell1 (-5), cell3 (+4), cell2 (-2).
+        assert_eq!(cmp.deltas[0].cell, CellId(1));
+        assert_eq!(cmp.deltas[0].change(), -5);
+        assert_eq!(cmp.deltas[1].cell, CellId(3));
+        assert_eq!(cmp.deltas[1].change(), 4);
+    }
+
+    #[test]
+    fn gains_losses_and_churn() {
+        let before = snapshot(9, &[(1, 5), (2, 3)]);
+        let after = snapshot(10, &[(2, 1), (3, 4)]);
+        let cmp = compare_snapshots(&before, &after);
+        assert_eq!(cmp.gains().len(), 1);
+        assert_eq!(cmp.gains()[0].cell, CellId(3));
+        assert_eq!(cmp.losses().len(), 2);
+        assert_eq!(cmp.churn(), 5 + 4 + 2);
+    }
+
+    #[test]
+    fn identical_windows_have_zero_churn() {
+        let s = snapshot(9, &[(1, 5)]);
+        let cmp = compare_snapshots(&s, &s);
+        assert_eq!(cmp.churn(), 0);
+        assert!(cmp.gains().is_empty());
+        assert!(cmp.losses().is_empty());
+    }
+
+    #[test]
+    fn labels_come_from_windows() {
+        let before = snapshot(9, &[]);
+        let after = snapshot(19, &[]);
+        let cmp = compare_snapshots(&before, &after);
+        assert_eq!(cmp.before_window, "9-10 am");
+        assert_eq!(cmp.after_window, "7-8 pm");
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the crowd engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by crowd synchronization and aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrowdError {
+    /// Window configuration was invalid.
+    InvalidWindow(&'static str),
+    /// A labeling/preprocessing step failed.
+    Prep(crowdweb_prep::PrepError),
+    /// Requested window index out of range.
+    WindowOutOfRange(usize),
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrowdError::InvalidWindow(what) => write!(f, "invalid time window: {what}"),
+            CrowdError::Prep(e) => write!(f, "preprocessing failed: {e}"),
+            CrowdError::WindowOutOfRange(i) => write!(f, "window index {i} out of range"),
+        }
+    }
+}
+
+impl Error for CrowdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CrowdError::Prep(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crowdweb_prep::PrepError> for CrowdError {
+    fn from(e: crowdweb_prep::PrepError) -> Self {
+        CrowdError::Prep(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CrowdError>();
+        assert!(!CrowdError::WindowOutOfRange(3).to_string().is_empty());
+        assert!(CrowdError::from(crowdweb_prep::PrepError::EmptyDataset)
+            .source()
+            .is_some());
+    }
+}

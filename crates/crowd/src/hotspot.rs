@@ -1,0 +1,260 @@
+//! Crowd hotspot detection — the crowd-management application the
+//! paper's introduction motivates.
+//!
+//! A *hotspot* is a microcell whose crowd count in some window is
+//! anomalously high relative to that window's distribution
+//! (`count >= mean + k * std`, with a minimum absolute size).
+//! Hotspots are classified by their temporal behaviour across
+//! consecutive windows: emerging, dissipating, or persistent.
+
+use crate::{CrowdError, CrowdModel};
+use crowdweb_geo::CellId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a hotspot relates to the previous window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HotspotPhase {
+    /// Not hot in the previous window, hot now.
+    Emerging,
+    /// Hot in both the previous and the current window.
+    Persistent,
+}
+
+/// One detected hotspot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Window index the hotspot occurs in.
+    pub window: usize,
+    /// The hot microcell.
+    pub cell: CellId,
+    /// Crowd count in the cell.
+    pub count: usize,
+    /// How many standard deviations above the window mean.
+    pub z_score: f64,
+    /// Temporal classification against the previous window.
+    pub phase: HotspotPhase,
+}
+
+/// Hotspot detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotspotConfig {
+    /// Standard-deviation threshold (`count >= mean + k * std`).
+    pub z_threshold: f64,
+    /// Minimum absolute crowd size to qualify.
+    pub min_count: usize,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        HotspotConfig {
+            z_threshold: 1.5,
+            min_count: 3,
+        }
+    }
+}
+
+/// Detects hotspots in every window of a crowd model, in window order
+/// then by cell id.
+///
+/// # Errors
+///
+/// Propagates [`CrowdError::WindowOutOfRange`] (cannot occur for a
+/// well-formed model).
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_crowd::hotspot::{detect_hotspots, HotspotConfig};
+/// # use crowdweb_crowd::{CrowdBuilder, TimeWindows};
+/// # use crowdweb_mobility::PatternMiner;
+/// # use crowdweb_prep::Preprocessor;
+/// # use crowdweb_synth::SynthConfig;
+/// # use crowdweb_geo::{BoundingBox, MicrocellGrid};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let dataset = SynthConfig::small(31).generate()?;
+/// # let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+/// # let patterns = PatternMiner::new(0.15)?.detect_all(&prepared)?;
+/// # let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
+/// # let model = CrowdBuilder::new(&dataset, &prepared).build(&patterns, grid)?;
+/// let hotspots = detect_hotspots(&model, &HotspotConfig::default())?;
+/// for h in &hotspots {
+///     assert!(h.z_score >= 1.5);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn detect_hotspots(
+    model: &CrowdModel,
+    config: &HotspotConfig,
+) -> Result<Vec<Hotspot>, CrowdError> {
+    let mut out = Vec::new();
+    let mut previous_hot: Vec<CellId> = Vec::new();
+    for w in 0..model.windows().len() {
+        let snapshot = model.snapshot(w)?;
+        let counts: Vec<usize> = snapshot.cells.values().copied().collect();
+        let mut hot_now: Vec<CellId> = Vec::new();
+        if !counts.is_empty() {
+            let n = counts.len() as f64;
+            let mean = counts.iter().sum::<usize>() as f64 / n;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n;
+            let std = var.sqrt();
+            for (&cell, &count) in &snapshot.cells {
+                if count < config.min_count {
+                    continue;
+                }
+                let z = if std > 0.0 {
+                    (count as f64 - mean) / std
+                } else if count as f64 > mean {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                if z >= config.z_threshold {
+                    let phase = if previous_hot.contains(&cell) {
+                        HotspotPhase::Persistent
+                    } else {
+                        HotspotPhase::Emerging
+                    };
+                    out.push(Hotspot {
+                        window: w,
+                        cell,
+                        count,
+                        z_score: z,
+                        phase,
+                    });
+                    hot_now.push(cell);
+                }
+            }
+        }
+        previous_hot = hot_now;
+    }
+    Ok(out)
+}
+
+/// The cells that are hotspots in at least `min_windows` windows —
+/// the structurally busy places of the city, with their hot-window
+/// counts (descending).
+pub fn recurrent_hotspots(hotspots: &[Hotspot], min_windows: usize) -> Vec<(CellId, usize)> {
+    let mut counts: BTreeMap<CellId, usize> = BTreeMap::new();
+    for h in hotspots {
+        *counts.entry(h.cell).or_insert(0) += 1;
+    }
+    let mut out: Vec<(CellId, usize)> = counts
+        .into_iter()
+        .filter(|&(_, n)| n >= min_windows)
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Placement, TimeWindows};
+    use crowdweb_dataset::{UserId, VenueId};
+    use crowdweb_geo::{BoundingBox, MicrocellGrid};
+    use crowdweb_prep::PlaceLabel;
+
+    fn placement(user: u32, window: usize, cell: u32) -> Placement {
+        Placement {
+            user: UserId::new(user),
+            window,
+            label: PlaceLabel(0),
+            support: 1,
+            venue: VenueId::new(0),
+            cell: CellId(cell),
+        }
+    }
+
+    /// Window 9: cell 5 holds 6 users, cells 1-4 hold 1 each.
+    /// Window 10: cell 5 still holds 5 users, cells 1-3 hold 1 each.
+    fn model() -> CrowdModel {
+        let mut placements = Vec::new();
+        for u in 0..6 {
+            placements.push(placement(u, 9, 5));
+        }
+        for u in 6..10 {
+            placements.push(placement(u, 9, u - 5));
+        }
+        for u in 0..5 {
+            placements.push(placement(u, 10, 5));
+        }
+        for u in 6..9 {
+            placements.push(placement(u, 10, u - 5));
+        }
+        CrowdModel::new(
+            MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap(),
+            TimeWindows::hourly(),
+            placements,
+        )
+    }
+
+    #[test]
+    fn detects_the_obvious_hotspot() {
+        let hotspots = detect_hotspots(&model(), &HotspotConfig::default()).unwrap();
+        assert!(!hotspots.is_empty());
+        assert!(hotspots.iter().all(|h| h.cell == CellId(5)));
+        let windows: Vec<usize> = hotspots.iter().map(|h| h.window).collect();
+        assert_eq!(windows, vec![9, 10]);
+    }
+
+    #[test]
+    fn phases_emerging_then_persistent() {
+        let hotspots = detect_hotspots(&model(), &HotspotConfig::default()).unwrap();
+        assert_eq!(hotspots[0].phase, HotspotPhase::Emerging);
+        assert_eq!(hotspots[1].phase, HotspotPhase::Persistent);
+    }
+
+    #[test]
+    fn min_count_suppresses_small_cells() {
+        let strict = HotspotConfig {
+            z_threshold: 0.0,
+            min_count: 100,
+        };
+        assert!(detect_hotspots(&model(), &strict).unwrap().is_empty());
+    }
+
+    #[test]
+    fn uniform_crowd_has_no_hotspots() {
+        // Every occupied cell holds exactly one user: std = 0, no cell
+        // exceeds the mean.
+        let placements: Vec<Placement> =
+            (0..5).map(|u| placement(u, 9, u)).collect();
+        let m = CrowdModel::new(
+            MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap(),
+            TimeWindows::hourly(),
+            placements,
+        );
+        let hotspots = detect_hotspots(
+            &m,
+            &HotspotConfig {
+                z_threshold: 1.0,
+                min_count: 1,
+            },
+        )
+        .unwrap();
+        assert!(hotspots.is_empty());
+    }
+
+    #[test]
+    fn recurrent_hotspots_count_windows() {
+        let hotspots = detect_hotspots(&model(), &HotspotConfig::default()).unwrap();
+        let recurrent = recurrent_hotspots(&hotspots, 2);
+        assert_eq!(recurrent, vec![(CellId(5), 2)]);
+        assert!(recurrent_hotspots(&hotspots, 3).is_empty());
+    }
+
+    #[test]
+    fn z_scores_are_positive_and_ordered() {
+        let hotspots = detect_hotspots(&model(), &HotspotConfig::default()).unwrap();
+        for h in &hotspots {
+            assert!(h.z_score >= 1.5);
+            assert!(h.count >= 3);
+        }
+    }
+}

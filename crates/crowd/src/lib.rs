@@ -1,0 +1,58 @@
+//! Crowd mobility synchronization and aggregation — the CrowdWeb
+//! extension over the per-user iMAP platform.
+//!
+//! Given every user's mined mobility patterns, the crowd engine answers
+//! "where is the crowd between 9 and 10 am?" (the paper's Figures 3–4):
+//!
+//! 1. **Synchronization** ([`sync`]) — for each user and each time
+//!    window, pick the pattern item covering that window (highest
+//!    support wins) and ground it at the user's modal venue for that
+//!    `(slot, label)` habit. Users whose patterns say nothing about a
+//!    window are absent from it, exactly as in the platform's city view.
+//! 2. **Aggregation** ([`model`]) — bucket the grounded placements into
+//!    microcells per window, yielding crowd distributions, flows between
+//!    consecutive windows, and animation frames (the paper's stated
+//!    future work, implemented here).
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_crowd::{CrowdBuilder, TimeWindows};
+//! use crowdweb_mobility::PatternMiner;
+//! use crowdweb_prep::Preprocessor;
+//! use crowdweb_synth::SynthConfig;
+//! use crowdweb_geo::{BoundingBox, MicrocellGrid};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = SynthConfig::small(31).generate()?;
+//! let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+//! let patterns = PatternMiner::new(0.4)?.detect_all(&prepared)?;
+//! let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
+//! let model = CrowdBuilder::new(&dataset, &prepared)
+//!     .windows(TimeWindows::hourly())
+//!     .build(&patterns, grid)?;
+//! // The 9-10 am crowd of Fig. 3:
+//! let snapshot = model.snapshot_at_hour(9).expect("hourly windows cover 9 am");
+//! assert!(snapshot.total_users() <= prepared.user_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod error;
+pub mod hotspot;
+pub mod model;
+pub mod sync;
+pub mod validate;
+pub mod window;
+
+pub use compare::{compare_snapshots, compare_windows, CellDelta, WindowComparison};
+pub use error::CrowdError;
+pub use hotspot::{detect_hotspots, recurrent_hotspots, Hotspot, HotspotConfig, HotspotPhase};
+pub use model::{CrowdFlow, CrowdModel, CrowdSnapshot};
+pub use sync::{CrowdBuilder, Placement};
+pub use validate::{validate_against_checkins, ModelFit, WindowFit};
+pub use window::{TimeWindow, TimeWindows};

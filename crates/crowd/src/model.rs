@@ -1,0 +1,343 @@
+//! The aggregated crowd model: distributions, flows, animation.
+
+use crate::{CrowdError, Placement, TimeWindow, TimeWindows};
+use crowdweb_geo::{CellId, MicrocellGrid};
+use crowdweb_prep::PlaceLabel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The crowd's distribution in one time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdSnapshot {
+    /// The window this snapshot describes.
+    pub window: TimeWindow,
+    /// Users per occupied microcell.
+    pub cells: BTreeMap<CellId, usize>,
+    /// Users per place label (what *kind* of place the crowd is at).
+    pub labels: BTreeMap<PlaceLabel, usize>,
+}
+
+impl CrowdSnapshot {
+    /// Total users placed in this window.
+    pub fn total_users(&self) -> usize {
+        self.cells.values().sum()
+    }
+
+    /// Occupied cells, busiest first (ties by cell id).
+    pub fn busiest_cells(&self) -> Vec<(CellId, usize)> {
+        let mut v: Vec<(CellId, usize)> = self.cells.iter().map(|(&c, &n)| (c, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of distinct occupied cells.
+    pub fn occupied_cell_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// A movement of crowd mass between two cells across consecutive
+/// windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrowdFlow {
+    /// Cell users were in during the earlier window.
+    pub from: CellId,
+    /// Cell they are in during the later window.
+    pub to: CellId,
+    /// Number of users making this move.
+    pub count: usize,
+}
+
+/// The full synchronized, aggregated crowd: placements for every user
+/// and window, with query methods for snapshots, flows, and animation
+/// frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdModel {
+    grid: MicrocellGrid,
+    windows: TimeWindows,
+    placements: Vec<Placement>,
+}
+
+impl CrowdModel {
+    /// Assembles a model from placements (used by
+    /// [`crate::CrowdBuilder`]).
+    pub fn new(grid: MicrocellGrid, windows: TimeWindows, placements: Vec<Placement>) -> Self {
+        CrowdModel {
+            grid,
+            windows,
+            placements,
+        }
+    }
+
+    /// The microcell grid placements refer to.
+    pub fn grid(&self) -> &MicrocellGrid {
+        &self.grid
+    }
+
+    /// The time windows of the model.
+    pub fn windows(&self) -> &TimeWindows {
+        &self.windows
+    }
+
+    /// All placements.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Total number of placements across all windows.
+    pub fn placement_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// The crowd snapshot for the window at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowdError::WindowOutOfRange`] for a bad index.
+    pub fn snapshot(&self, index: usize) -> Result<CrowdSnapshot, CrowdError> {
+        let window = self
+            .windows
+            .get(index)
+            .ok_or(CrowdError::WindowOutOfRange(index))?;
+        let mut cells: BTreeMap<CellId, usize> = BTreeMap::new();
+        let mut labels: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
+        for p in self.placements.iter().filter(|p| p.window == index) {
+            *cells.entry(p.cell).or_insert(0) += 1;
+            *labels.entry(p.label).or_insert(0) += 1;
+        }
+        Ok(CrowdSnapshot {
+            window,
+            cells,
+            labels,
+        })
+    }
+
+    /// The snapshot of the window containing `hour`, or `None` if no
+    /// window covers it.
+    pub fn snapshot_at_hour(&self, hour: u8) -> Option<CrowdSnapshot> {
+        let idx = self.windows.index_of_hour(hour)?;
+        self.snapshot(idx).ok()
+    }
+
+    /// Like [`Self::snapshot`], restricted to users placed at one place
+    /// label — "show me only the shoppers" (the paper's microcell
+    /// example names exactly this view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowdError::WindowOutOfRange`] for a bad index.
+    pub fn snapshot_by_label(
+        &self,
+        index: usize,
+        label: PlaceLabel,
+    ) -> Result<CrowdSnapshot, CrowdError> {
+        let window = self
+            .windows
+            .get(index)
+            .ok_or(CrowdError::WindowOutOfRange(index))?;
+        let mut cells: BTreeMap<CellId, usize> = BTreeMap::new();
+        let mut labels: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
+        for p in self
+            .placements
+            .iter()
+            .filter(|p| p.window == index && p.label == label)
+        {
+            *cells.entry(p.cell).or_insert(0) += 1;
+            *labels.entry(p.label).or_insert(0) += 1;
+        }
+        Ok(CrowdSnapshot {
+            window,
+            cells,
+            labels,
+        })
+    }
+
+    /// Crowd flows between two windows: for users placed in both, how
+    /// many moved from each cell to each cell. Flows where `from == to`
+    /// (users staying put) are included; interpret as "remained".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowdError::WindowOutOfRange`] for bad indices.
+    pub fn flows(&self, from_window: usize, to_window: usize) -> Result<Vec<CrowdFlow>, CrowdError> {
+        if self.windows.get(from_window).is_none() {
+            return Err(CrowdError::WindowOutOfRange(from_window));
+        }
+        if self.windows.get(to_window).is_none() {
+            return Err(CrowdError::WindowOutOfRange(to_window));
+        }
+        let mut at_from: BTreeMap<crowdweb_dataset::UserId, CellId> = BTreeMap::new();
+        for p in self.placements.iter().filter(|p| p.window == from_window) {
+            at_from.insert(p.user, p.cell);
+        }
+        let mut flows: BTreeMap<(CellId, CellId), usize> = BTreeMap::new();
+        for p in self.placements.iter().filter(|p| p.window == to_window) {
+            if let Some(&from_cell) = at_from.get(&p.user) {
+                *flows.entry((from_cell, p.cell)).or_insert(0) += 1;
+            }
+        }
+        Ok(flows
+            .into_iter()
+            .map(|((from, to), count)| CrowdFlow { from, to, count })
+            .collect())
+    }
+
+    /// All snapshots in window order — the animation frame sequence (the
+    /// paper's future-work feature).
+    pub fn animation_frames(&self) -> Vec<CrowdSnapshot> {
+        (0..self.windows.len())
+            .map(|i| self.snapshot(i).expect("index in range"))
+            .collect()
+    }
+
+    /// Sum of users over all windows (a user appearing in `k` windows
+    /// counts `k` times).
+    pub fn total_appearances(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_dataset::UserId;
+    use crowdweb_geo::BoundingBox;
+    use crowdweb_dataset::VenueId;
+
+    fn grid() -> MicrocellGrid {
+        MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap()
+    }
+
+    fn placement(user: u32, window: usize, cell: u32) -> Placement {
+        Placement {
+            user: UserId::new(user),
+            window,
+            label: PlaceLabel(0),
+            support: 1,
+            venue: VenueId::new(0),
+            cell: CellId(cell),
+        }
+    }
+
+    fn model() -> CrowdModel {
+        // Window 9: users 1,2 in cell 5, user 3 in cell 6.
+        // Window 10: user 1 stays in 5, user 2 moves to 6, user 3 absent.
+        CrowdModel::new(
+            grid(),
+            TimeWindows::hourly(),
+            vec![
+                placement(1, 9, 5),
+                placement(2, 9, 5),
+                placement(3, 9, 6),
+                placement(1, 10, 5),
+                placement(2, 10, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn snapshot_counts_cells() {
+        let m = model();
+        let s = m.snapshot(9).unwrap();
+        assert_eq!(s.total_users(), 3);
+        assert_eq!(s.cells[&CellId(5)], 2);
+        assert_eq!(s.cells[&CellId(6)], 1);
+        assert_eq!(s.occupied_cell_count(), 2);
+        assert_eq!(s.busiest_cells()[0], (CellId(5), 2));
+        assert_eq!(s.window.label(), "9-10 am");
+    }
+
+    #[test]
+    fn snapshot_by_label_filters() {
+        // Add a second label to the model.
+        let mut placements = vec![
+            placement(1, 9, 5),
+            placement(2, 9, 5),
+        ];
+        placements.push(Placement {
+            user: UserId::new(3),
+            window: 9,
+            label: PlaceLabel(7),
+            support: 1,
+            venue: VenueId::new(0),
+            cell: CellId(6),
+        });
+        let m = CrowdModel::new(grid(), TimeWindows::hourly(), placements);
+        let shoppers = m.snapshot_by_label(9, PlaceLabel(7)).unwrap();
+        assert_eq!(shoppers.total_users(), 1);
+        assert_eq!(shoppers.cells[&CellId(6)], 1);
+        let others = m.snapshot_by_label(9, PlaceLabel(0)).unwrap();
+        assert_eq!(others.total_users(), 2);
+        assert!(m.snapshot_by_label(99, PlaceLabel(0)).is_err());
+    }
+
+    #[test]
+    fn snapshot_labels_aggregate() {
+        let m = model();
+        let s = m.snapshot(9).unwrap();
+        assert_eq!(s.labels[&PlaceLabel(0)], 3);
+    }
+
+    #[test]
+    fn empty_window_snapshot() {
+        let m = model();
+        let s = m.snapshot(0).unwrap();
+        assert_eq!(s.total_users(), 0);
+        assert!(s.cells.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let m = model();
+        assert!(matches!(
+            m.snapshot(99),
+            Err(CrowdError::WindowOutOfRange(99))
+        ));
+        assert!(m.flows(0, 99).is_err());
+        assert!(m.flows(99, 0).is_err());
+    }
+
+    #[test]
+    fn flows_track_movement() {
+        let m = model();
+        let flows = m.flows(9, 10).unwrap();
+        // user1: 5->5, user2: 5->6; user3 absent from window 10.
+        assert_eq!(flows.len(), 2);
+        assert!(flows.contains(&CrowdFlow {
+            from: CellId(5),
+            to: CellId(5),
+            count: 1
+        }));
+        assert!(flows.contains(&CrowdFlow {
+            from: CellId(5),
+            to: CellId(6),
+            count: 1
+        }));
+    }
+
+    #[test]
+    fn snapshot_at_hour_resolves_window() {
+        let m = model();
+        assert_eq!(m.snapshot_at_hour(9).unwrap().total_users(), 3);
+        assert_eq!(m.snapshot_at_hour(10).unwrap().total_users(), 2);
+    }
+
+    #[test]
+    fn animation_frames_cover_all_windows() {
+        let m = model();
+        let frames = m.animation_frames();
+        assert_eq!(frames.len(), 24);
+        let total: usize = frames.iter().map(CrowdSnapshot::total_users).sum();
+        assert_eq!(total, m.total_appearances());
+    }
+
+    #[test]
+    fn crowd_moves_between_windows() {
+        // The paper's Fig 3 vs Fig 4 claim: distributions differ across
+        // windows.
+        let m = model();
+        let s9 = m.snapshot(9).unwrap();
+        let s10 = m.snapshot(10).unwrap();
+        assert_ne!(s9.cells, s10.cells);
+    }
+}

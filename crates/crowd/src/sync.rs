@@ -1,0 +1,275 @@
+//! Crowd synchronization: grounding every user's patterns in space and
+//! time.
+//!
+//! "Users who frequently visit a specific location at a particular time
+//! are categorized together as a group." For each user and each time
+//! window, the synchronizer:
+//!
+//! 1. Scans the user's mined patterns for items whose mining slot
+//!    overlaps the window, picking the highest-support item.
+//! 2. Grounds the abstract item at the user's *modal venue* for that
+//!    `(slot, label)` habit — the concrete place they most often
+//!    check in at during that slot with that label.
+//! 3. Emits a [`Placement`] in the microcell of that venue.
+
+use crate::{CrowdError, CrowdModel, TimeWindows};
+use crowdweb_dataset::{Dataset, UserId, VenueId};
+use crowdweb_geo::{CellId, MicrocellGrid};
+use crowdweb_mobility::UserPatterns;
+use crowdweb_prep::{Labeler, PlaceLabel, Prepared, TimeSlot};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One user grounded in one time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The user.
+    pub user: UserId,
+    /// Index into the model's windows.
+    pub window: usize,
+    /// The abstract place label the pattern predicts.
+    pub label: PlaceLabel,
+    /// Support (days) of the pattern item that placed the user.
+    pub support: usize,
+    /// The concrete venue the habit is grounded at.
+    pub venue: VenueId,
+    /// The microcell of that venue.
+    pub cell: CellId,
+}
+
+/// Builds a [`CrowdModel`] from mined patterns (C-BUILDER).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct CrowdBuilder<'a> {
+    dataset: &'a Dataset,
+    prepared: &'a Prepared,
+    windows: TimeWindows,
+}
+
+impl<'a> CrowdBuilder<'a> {
+    /// Creates a builder over a dataset and its preprocessed form.
+    pub fn new(dataset: &'a Dataset, prepared: &'a Prepared) -> CrowdBuilder<'a> {
+        CrowdBuilder {
+            dataset,
+            prepared,
+            windows: TimeWindows::hourly(),
+        }
+    }
+
+    /// Sets the display windows (default hourly).
+    pub fn windows(mut self, windows: TimeWindows) -> CrowdBuilder<'a> {
+        self.windows = windows;
+        self
+    }
+
+    /// Synchronizes and aggregates every user's patterns into the crowd
+    /// model (terminal method).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowdError::Prep`] if labeling fails (impossible for
+    /// datasets built through the standard builder).
+    pub fn build(
+        &self,
+        patterns: &[UserPatterns],
+        grid: MicrocellGrid,
+    ) -> Result<CrowdModel, CrowdError> {
+        let labeler = Labeler::new(self.dataset, self.prepared.scheme());
+        let slotting = self.prepared.slotting();
+        let window_ref = self.prepared.window();
+
+        let mut placements: Vec<Placement> = Vec::new();
+        for up in patterns {
+            // The user's modal venue per (slot, label), from their
+            // actual check-ins inside the study window.
+            let mut venue_freq: HashMap<(TimeSlot, PlaceLabel), HashMap<VenueId, usize>> =
+                HashMap::new();
+            for c in self.dataset.checkins_of(up.user) {
+                if !window_ref.contains_checkin(c) {
+                    continue;
+                }
+                let local = c.local_time();
+                let slot = slotting.slot_of(local);
+                let label = labeler.label_of(c)?;
+                *venue_freq
+                    .entry((slot, label))
+                    .or_default()
+                    .entry(c.venue())
+                    .or_insert(0) += 1;
+            }
+
+            // Best (support-wise) pattern item per slot.
+            let mut best_per_slot: HashMap<TimeSlot, (usize, PlaceLabel)> = HashMap::new();
+            for p in up.patterns.iter() {
+                for item in &p.items {
+                    let entry = best_per_slot
+                        .entry(item.slot)
+                        .or_insert((p.support, item.label));
+                    // Higher support wins; ties prefer the smaller label
+                    // for determinism.
+                    if p.support > entry.0 || (p.support == entry.0 && item.label < entry.1) {
+                        *entry = (p.support, item.label);
+                    }
+                }
+            }
+
+            for (w_idx, window) in self.windows.iter().enumerate() {
+                // Among slots overlapping this window, take the
+                // highest-support item.
+                let mut best: Option<(usize, TimeSlot, PlaceLabel)> = None;
+                for (&slot, &(support, label)) in &best_per_slot {
+                    let s_start = slotting.start_hour(slot);
+                    let s_end = s_start + slotting.slot_hours();
+                    if window.overlaps_hours(s_start, s_end) {
+                        let cand = (support, slot, label);
+                        best = Some(match best {
+                            None => cand,
+                            Some(cur) => {
+                                if (cand.0, cur.2) > (cur.0, cand.2) {
+                                    cand
+                                } else {
+                                    cur
+                                }
+                            }
+                        });
+                    }
+                }
+                let Some((support, slot, label)) = best else {
+                    continue; // no pattern covers this window
+                };
+                let Some(freqs) = venue_freq.get(&(slot, label)) else {
+                    continue; // pattern without grounding check-ins
+                };
+                let (&venue, _) = freqs
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                    .expect("freq map entries are non-empty");
+                let location = self
+                    .dataset
+                    .venue(venue)
+                    .expect("dataset invariants")
+                    .location();
+                let Some(cell) = grid.cell_of(location) else {
+                    continue; // venue outside the display grid
+                };
+                placements.push(Placement {
+                    user: up.user,
+                    window: w_idx,
+                    label,
+                    support,
+                    venue,
+                    cell,
+                });
+            }
+        }
+
+        Ok(CrowdModel::new(grid, self.windows.clone(), placements))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_geo::BoundingBox;
+    use crowdweb_mobility::PatternMiner;
+    use crowdweb_prep::Preprocessor;
+    use crowdweb_synth::SynthConfig;
+
+    fn setup() -> (Dataset, Prepared, Vec<UserPatterns>) {
+        let dataset = SynthConfig::small(33).generate().unwrap();
+        let prepared = Preprocessor::new()
+            .min_active_days(20)
+            .prepare(&dataset)
+            .unwrap();
+        // Voluntary check-ins are sparse, so any single routine item
+        // appears on a minority of active days; a low threshold recovers
+        // the full daily routine (the paper's Fig. 5 shows the same steep
+        // sensitivity to min_support).
+        let patterns = PatternMiner::new(0.15)
+            .unwrap()
+            .detect_all(&prepared)
+            .unwrap();
+        (dataset, prepared, patterns)
+    }
+
+    #[test]
+    fn placements_reference_valid_everything() {
+        let (dataset, prepared, patterns) = setup();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 15, 15).unwrap();
+        let model = CrowdBuilder::new(&dataset, &prepared)
+            .build(&patterns, grid.clone())
+            .unwrap();
+        assert!(model.placement_count() > 0, "no placements at all");
+        for p in model.placements() {
+            assert!(p.window < model.windows().len());
+            assert!(dataset.venue(p.venue).is_some());
+            assert!(grid.position(p.cell).is_some());
+            assert!(p.support > 0);
+        }
+    }
+
+    #[test]
+    fn at_most_one_placement_per_user_per_window() {
+        let (dataset, prepared, patterns) = setup();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 15, 15).unwrap();
+        let model = CrowdBuilder::new(&dataset, &prepared)
+            .build(&patterns, grid)
+            .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for p in model.placements() {
+            assert!(
+                seen.insert((p.user, p.window)),
+                "duplicate placement for {:?} window {}",
+                p.user,
+                p.window
+            );
+        }
+    }
+
+    #[test]
+    fn placement_cell_matches_venue_location() {
+        let (dataset, prepared, patterns) = setup();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 15, 15).unwrap();
+        let model = CrowdBuilder::new(&dataset, &prepared)
+            .build(&patterns, grid.clone())
+            .unwrap();
+        for p in model.placements() {
+            let loc = dataset.venue(p.venue).unwrap().location();
+            assert_eq!(grid.cell_of(loc), Some(p.cell));
+        }
+    }
+
+    #[test]
+    fn morning_crowd_present_for_routine_agents() {
+        // Synthetic agents check in at work at 9 am with high regularity,
+        // so the 9-10 am window should hold a crowd.
+        let (dataset, prepared, patterns) = setup();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 15, 15).unwrap();
+        let model = CrowdBuilder::new(&dataset, &prepared)
+            .build(&patterns, grid)
+            .unwrap();
+        let snapshot = model.snapshot_at_hour(9).unwrap();
+        assert!(snapshot.total_users() > 0, "9-10 am crowd is empty");
+    }
+
+    #[test]
+    fn wider_windows_have_no_fewer_users() {
+        let (dataset, prepared, patterns) = setup();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 15, 15).unwrap();
+        let hourly = CrowdBuilder::new(&dataset, &prepared)
+            .build(&patterns, grid.clone())
+            .unwrap();
+        let six_hour = CrowdBuilder::new(&dataset, &prepared)
+            .windows(TimeWindows::with_width(6).unwrap())
+            .build(&patterns, grid)
+            .unwrap();
+        // A 6-hour window overlapping hour 9 covers at least the users
+        // of the 9-10 hourly window.
+        let hourly_users = hourly.snapshot_at_hour(9).unwrap().total_users();
+        let wide_users = six_hour.snapshot_at_hour(9).unwrap().total_users();
+        assert!(wide_users >= hourly_users, "{wide_users} < {hourly_users}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Crowd-model validation: does the synchronized crowd match reality?
+//!
+//! The crowd view is *derived* — it places users where their mined
+//! patterns say they should be. This module closes the loop by
+//! comparing, per time window, the model's predicted cell distribution
+//! against the *observed* distribution of actual check-ins, giving a
+//! quantitative answer to "is the crowd map believable?".
+
+use crate::{CrowdError, CrowdModel, TimeWindow};
+use crowdweb_dataset::{Dataset, UserId};
+use crowdweb_geo::CellId;
+use crowdweb_prep::StudyWindow;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// Fit of one time window: predicted vs observed cell distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowFit {
+    /// The window.
+    pub window: TimeWindow,
+    /// Cosine similarity between the predicted and observed cell count
+    /// vectors (`0.0` when either side is empty).
+    pub cosine: f64,
+    /// Users the model places in this window.
+    pub predicted_users: usize,
+    /// Check-ins observed in this window (filtered users, study window).
+    pub observed_checkins: usize,
+}
+
+/// Aggregate model fit across all windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelFit {
+    /// Per-window fits, in window order.
+    pub windows: Vec<WindowFit>,
+}
+
+impl ModelFit {
+    /// Mean cosine over windows where both sides are non-empty
+    /// (`0.0` if none qualify).
+    pub fn mean_cosine(&self) -> f64 {
+        let populated: Vec<f64> = self
+            .windows
+            .iter()
+            .filter(|w| w.predicted_users > 0 && w.observed_checkins > 0)
+            .map(|w| w.cosine)
+            .collect();
+        if populated.is_empty() {
+            0.0
+        } else {
+            populated.iter().sum::<f64>() / populated.len() as f64
+        }
+    }
+
+    /// Number of windows with both predictions and observations.
+    pub fn populated_windows(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.predicted_users > 0 && w.observed_checkins > 0)
+            .count()
+    }
+}
+
+fn cosine(a: &BTreeMap<CellId, usize>, b: &BTreeMap<CellId, usize>) -> f64 {
+    let dot: f64 = a
+        .iter()
+        .filter_map(|(k, &x)| b.get(k).map(|&y| x as f64 * y as f64))
+        .sum();
+    let norm = |m: &BTreeMap<CellId, usize>| {
+        m.values().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt()
+    };
+    let denom = norm(a) * norm(b);
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// Validates a crowd model against the observed check-ins of `users`
+/// within `study_window`: for every model window, the cosine between
+/// the predicted per-cell user counts and the observed per-cell
+/// check-in counts.
+///
+/// # Errors
+///
+/// Propagates [`CrowdError::WindowOutOfRange`] (cannot occur for a
+/// well-formed model).
+///
+/// # Examples
+///
+/// ```
+/// # use crowdweb_crowd::{validate_against_checkins, CrowdBuilder};
+/// # use crowdweb_mobility::PatternMiner;
+/// # use crowdweb_prep::Preprocessor;
+/// # use crowdweb_synth::SynthConfig;
+/// # use crowdweb_geo::{BoundingBox, MicrocellGrid};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let dataset = SynthConfig::small(31).generate()?;
+/// # let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+/// # let patterns = PatternMiner::new(0.15)?.detect_all(&prepared)?;
+/// # let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
+/// # let model = CrowdBuilder::new(&dataset, &prepared).build(&patterns, grid)?;
+/// let fit = validate_against_checkins(
+///     &model, &dataset, prepared.users(), prepared.window())?;
+/// assert!(fit.mean_cosine() > 0.0, "the crowd map must resemble reality");
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate_against_checkins(
+    model: &CrowdModel,
+    dataset: &Dataset,
+    users: &[UserId],
+    study_window: &StudyWindow,
+) -> Result<ModelFit, CrowdError> {
+    let user_set: HashSet<UserId> = users.iter().copied().collect();
+
+    // Observed: check-ins per (window index, cell).
+    let mut observed: Vec<BTreeMap<CellId, usize>> =
+        vec![BTreeMap::new(); model.windows().len()];
+    for c in dataset.checkins() {
+        if !user_set.contains(&c.user()) || !study_window.contains_checkin(c) {
+            continue;
+        }
+        let local = c.local_time();
+        let Some(w) = model.windows().index_of_hour(local.hour) else {
+            continue;
+        };
+        let Some(venue) = dataset.venue(c.venue()) else {
+            continue;
+        };
+        let Some(cell) = model.grid().cell_of(venue.location()) else {
+            continue;
+        };
+        *observed[w].entry(cell).or_insert(0) += 1;
+    }
+
+    let mut windows = Vec::with_capacity(model.windows().len());
+    for (w, obs) in observed.iter().enumerate() {
+        let snapshot = model.snapshot(w)?;
+        windows.push(WindowFit {
+            window: snapshot.window,
+            cosine: cosine(&snapshot.cells, obs),
+            predicted_users: snapshot.total_users(),
+            observed_checkins: obs.values().sum(),
+        });
+    }
+    Ok(ModelFit { windows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CrowdBuilder;
+    use crowdweb_mobility::PatternMiner;
+    use crowdweb_prep::Preprocessor;
+    use crowdweb_geo::{BoundingBox, MicrocellGrid};
+    use crowdweb_synth::SynthConfig;
+
+    fn fit() -> ModelFit {
+        let dataset = SynthConfig::small(31).generate().unwrap();
+        let prepared = Preprocessor::new()
+            .min_active_days(20)
+            .prepare(&dataset)
+            .unwrap();
+        let patterns = PatternMiner::new(0.15)
+            .unwrap()
+            .detect_all(&prepared)
+            .unwrap();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20).unwrap();
+        let model = CrowdBuilder::new(&dataset, &prepared)
+            .build(&patterns, grid)
+            .unwrap();
+        validate_against_checkins(&model, &dataset, prepared.users(), prepared.window())
+            .unwrap()
+    }
+
+    #[test]
+    fn model_resembles_observed_reality() {
+        let fit = fit();
+        assert!(fit.populated_windows() > 0, "nothing to validate");
+        // The model is *built from* patterns mined on this data, so the
+        // fit must be strong where both sides exist.
+        assert!(
+            fit.mean_cosine() > 0.4,
+            "mean cosine {} too low",
+            fit.mean_cosine()
+        );
+    }
+
+    #[test]
+    fn per_window_fits_are_bounded() {
+        let fit = fit();
+        assert_eq!(fit.windows.len(), 24);
+        for w in &fit.windows {
+            assert!((0.0..=1.0 + 1e-9).contains(&w.cosine), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn cosine_helper_properties() {
+        let mut a = BTreeMap::new();
+        a.insert(CellId(1), 2usize);
+        a.insert(CellId(2), 1usize);
+        // Identical vectors -> 1.
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+        // Orthogonal -> 0.
+        let mut b = BTreeMap::new();
+        b.insert(CellId(9), 5usize);
+        assert_eq!(cosine(&a, &b), 0.0);
+        // Empty -> 0.
+        assert_eq!(cosine(&a, &BTreeMap::new()), 0.0);
+    }
+
+    #[test]
+    fn mean_cosine_ignores_empty_windows() {
+        let fit = ModelFit {
+            windows: vec![
+                WindowFit {
+                    window: TimeWindow::new(0, 1).unwrap(),
+                    cosine: 0.0,
+                    predicted_users: 0,
+                    observed_checkins: 0,
+                },
+                WindowFit {
+                    window: TimeWindow::new(9, 10).unwrap(),
+                    cosine: 0.8,
+                    predicted_users: 5,
+                    observed_checkins: 9,
+                },
+            ],
+        };
+        assert_eq!(fit.mean_cosine(), 0.8);
+        assert_eq!(fit.populated_windows(), 1);
+    }
+}

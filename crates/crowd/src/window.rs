@@ -1,0 +1,212 @@
+//! Crowd time windows.
+//!
+//! The crowd view slices the day into windows ("the crowd from 9–10
+//! am"). Windows are independent of the mining slots: the paper mines at
+//! 2-hour granularity but displays hourly, and promises user-scalable
+//! time frames as future work — [`TimeWindows`] supports both.
+
+use crate::CrowdError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open hour range `[start, end)` within the day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    start: u8,
+    end: u8,
+}
+
+impl TimeWindow {
+    /// Creates a window covering hours `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowdError::InvalidWindow`] unless
+    /// `start < end <= 24`.
+    pub fn new(start: u8, end: u8) -> Result<TimeWindow, CrowdError> {
+        if start >= end {
+            return Err(CrowdError::InvalidWindow("start must precede end"));
+        }
+        if end > 24 {
+            return Err(CrowdError::InvalidWindow("end must be at most 24"));
+        }
+        Ok(TimeWindow { start, end })
+    }
+
+    /// Start hour (inclusive).
+    pub fn start(&self) -> u8 {
+        self.start
+    }
+
+    /// End hour (exclusive).
+    pub fn end(&self) -> u8 {
+        self.end
+    }
+
+    /// Whether the window contains the given hour.
+    pub fn contains_hour(&self, hour: u8) -> bool {
+        (self.start..self.end).contains(&hour)
+    }
+
+    /// Whether this window overlaps a mining slot spanning
+    /// `[slot_start, slot_end)` hours.
+    pub fn overlaps_hours(&self, slot_start: u8, slot_end: u8) -> bool {
+        self.start < slot_end && slot_start < self.end
+    }
+
+    /// 12-hour-clock label in the paper's style, e.g. `"9-10 am"`.
+    pub fn label(&self) -> String {
+        fn ampm(h: u8) -> (u8, &'static str) {
+            match h {
+                0 => (12, "am"),
+                1..=11 => (h, "am"),
+                12 => (12, "pm"),
+                13..=23 => (h - 12, "pm"),
+                _ => (12, "am"), // 24 == midnight
+            }
+        }
+        let (sh, sm) = ampm(self.start);
+        let (eh, em) = ampm(self.end);
+        if sm == em {
+            format!("{sh}-{eh} {sm}")
+        } else {
+            format!("{sh} {sm}-{eh} {em}")
+        }
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// An ordered, non-overlapping division of the day into equal windows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeWindows {
+    windows: Vec<TimeWindow>,
+}
+
+impl Default for TimeWindows {
+    fn default() -> Self {
+        TimeWindows::hourly()
+    }
+}
+
+impl TimeWindows {
+    /// 24 one-hour windows — the granularity of the paper's Figures 3–4.
+    pub fn hourly() -> TimeWindows {
+        TimeWindows::with_width(1).expect("1 divides 24")
+    }
+
+    /// Windows of `width_hours` each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowdError::InvalidWindow`] unless `width_hours`
+    /// divides 24.
+    pub fn with_width(width_hours: u8) -> Result<TimeWindows, CrowdError> {
+        if width_hours == 0 || 24 % width_hours != 0 {
+            return Err(CrowdError::InvalidWindow("width must divide 24"));
+        }
+        let windows = (0..24 / width_hours)
+            .map(|i| TimeWindow {
+                start: i * width_hours,
+                end: (i + 1) * width_hours,
+            })
+            .collect();
+        Ok(TimeWindows { windows })
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether there are no windows (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The windows in day order.
+    pub fn as_slice(&self) -> &[TimeWindow] {
+        &self.windows
+    }
+
+    /// The window at an index.
+    pub fn get(&self, index: usize) -> Option<TimeWindow> {
+        self.windows.get(index).copied()
+    }
+
+    /// The index of the window containing `hour`, if any.
+    pub fn index_of_hour(&self, hour: u8) -> Option<usize> {
+        self.windows.iter().position(|w| w.contains_hour(hour))
+    }
+
+    /// Iterator over the windows.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimeWindow> {
+        self.windows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates() {
+        assert!(TimeWindow::new(9, 10).is_ok());
+        assert!(TimeWindow::new(10, 9).is_err());
+        assert!(TimeWindow::new(9, 9).is_err());
+        assert!(TimeWindow::new(23, 25).is_err());
+        assert!(TimeWindow::new(23, 24).is_ok());
+    }
+
+    #[test]
+    fn paper_label_nine_to_ten_am() {
+        assert_eq!(TimeWindow::new(9, 10).unwrap().label(), "9-10 am");
+        assert_eq!(TimeWindow::new(13, 14).unwrap().label(), "1-2 pm");
+        assert_eq!(TimeWindow::new(11, 13).unwrap().label(), "11 am-1 pm");
+        assert_eq!(TimeWindow::new(0, 1).unwrap().label(), "12-1 am");
+        assert_eq!(TimeWindow::new(23, 24).unwrap().label(), "11 pm-12 am");
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let w = TimeWindow::new(9, 11).unwrap();
+        assert!(w.contains_hour(9) && w.contains_hour(10));
+        assert!(!w.contains_hour(11) && !w.contains_hour(8));
+        // 2-hour mining slot 8-10 overlaps.
+        assert!(w.overlaps_hours(8, 10));
+        assert!(w.overlaps_hours(10, 12));
+        assert!(!w.overlaps_hours(11, 13));
+        assert!(!w.overlaps_hours(7, 9));
+    }
+
+    #[test]
+    fn hourly_covers_day() {
+        let ws = TimeWindows::hourly();
+        assert_eq!(ws.len(), 24);
+        for h in 0u8..24 {
+            assert_eq!(ws.index_of_hour(h), Some(usize::from(h)));
+        }
+    }
+
+    #[test]
+    fn with_width_validates() {
+        assert_eq!(TimeWindows::with_width(2).unwrap().len(), 12);
+        assert_eq!(TimeWindows::with_width(6).unwrap().len(), 4);
+        assert!(TimeWindows::with_width(0).is_err());
+        assert!(TimeWindows::with_width(5).is_err());
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let ws = TimeWindows::with_width(6).unwrap();
+        assert_eq!(ws.get(0).unwrap().start(), 0);
+        assert_eq!(ws.get(3).unwrap().end(), 24);
+        assert!(ws.get(4).is_none());
+        assert_eq!(ws.iter().count(), 4);
+        assert!(!ws.is_empty());
+    }
+}

@@ -1,0 +1,438 @@
+//! Venue category taxonomy.
+//!
+//! CrowdWeb's key idea is to abstract raw venues into *place labels* so
+//! that flexible behaviour ("a different Thai place every lunch") still
+//! forms a detectable pattern. The taxonomy is two-level, mirroring
+//! Foursquare's: fine-grained named categories ("Thai Restaurant") roll
+//! up into nine coarse [`CategoryKind`]s ("Eatery") that the paper uses
+//! as pattern items.
+
+use crate::{CategoryId, DatasetError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Coarse place label — the item alphabet of CrowdWeb's mobility
+/// patterns. Mirrors Foursquare's nine root categories, with the naming
+/// the paper uses ("Eatery", "Shops").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CategoryKind {
+    /// Museums, theatres, stadiums, music venues.
+    ArtsEntertainment,
+    /// Campuses, lecture halls, libraries.
+    CollegeUniversity,
+    /// Restaurants, cafés, food in general ("Eatery" in the paper).
+    Eatery,
+    /// Bars, clubs, lounges.
+    NightlifeSpot,
+    /// Parks, playgrounds, gyms, trails.
+    OutdoorsRecreation,
+    /// Offices and other workplaces.
+    Professional,
+    /// Homes and residential buildings.
+    Residence,
+    /// Shops and services ("Shops" in the paper).
+    Shops,
+    /// Stations, airports, transport infrastructure.
+    TravelTransport,
+}
+
+impl CategoryKind {
+    /// All nine kinds, in a stable order.
+    pub const ALL: [CategoryKind; 9] = [
+        CategoryKind::ArtsEntertainment,
+        CategoryKind::CollegeUniversity,
+        CategoryKind::Eatery,
+        CategoryKind::NightlifeSpot,
+        CategoryKind::OutdoorsRecreation,
+        CategoryKind::Professional,
+        CategoryKind::Residence,
+        CategoryKind::Shops,
+        CategoryKind::TravelTransport,
+    ];
+
+    /// Human-readable label, matching the paper's figures where they name
+    /// one ("Eatery", "Shops").
+    pub fn label(self) -> &'static str {
+        match self {
+            CategoryKind::ArtsEntertainment => "Arts & Entertainment",
+            CategoryKind::CollegeUniversity => "College & University",
+            CategoryKind::Eatery => "Eatery",
+            CategoryKind::NightlifeSpot => "Nightlife Spot",
+            CategoryKind::OutdoorsRecreation => "Outdoors & Recreation",
+            CategoryKind::Professional => "Professional & Other Places",
+            CategoryKind::Residence => "Residence",
+            CategoryKind::Shops => "Shops",
+            CategoryKind::TravelTransport => "Travel & Transport",
+        }
+    }
+
+    /// Best-effort mapping from an arbitrary category name (as found in
+    /// the real Foursquare TSV, which has hundreds of fine names) to a
+    /// coarse kind, via keyword matching. Unrecognized names map to
+    /// [`CategoryKind::Professional`], Foursquare's own catch-all root.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crowdweb_dataset::CategoryKind;
+    ///
+    /// assert_eq!(CategoryKind::guess("Ramen / Noodle House"), CategoryKind::Eatery);
+    /// assert_eq!(CategoryKind::guess("Dive Bar"), CategoryKind::NightlifeSpot);
+    /// ```
+    pub fn guess(name: &str) -> CategoryKind {
+        let n = name.to_ascii_lowercase();
+        let any = |words: &[&str]| words.iter().any(|w| n.contains(w));
+        if any(&[
+            "restaurant", "food", "café", "cafe", "coffee", "bakery", "diner", "pizza", "burger",
+            "sandwich", "deli", "bodega", "noodle", "ramen", "bbq", "steak", "sushi", "taco",
+            "breakfast", "dessert", "ice cream", "tea ", "juice", "bagel", "donut", "snack",
+        ]) {
+            CategoryKind::Eatery
+        } else if any(&["bar", "pub", "club", "brewery", "lounge", "speakeasy", "nightlife"]) {
+            CategoryKind::NightlifeSpot
+        } else if any(&[
+            "store", "shop", "market", "mall", "pharmacy", "drugstore", "boutique", "salon",
+            "barber", "laundry", "bank", "atm",
+        ]) {
+            CategoryKind::Shops
+        } else if any(&[
+            "park", "gym", "fitness", "playground", "beach", "trail", "pool", "field", "garden",
+            "plaza", "outdoor", "river", "harbor", "scenic",
+        ]) {
+            CategoryKind::OutdoorsRecreation
+        } else if any(&[
+            "station", "airport", "train", "subway", "bus", "ferry", "travel", "hotel", "road",
+            "bridge", "terminal", "taxi", "pier",
+        ]) {
+            CategoryKind::TravelTransport
+        } else if any(&["college", "university", "school", "academic", "dorm", "campus"]) {
+            CategoryKind::CollegeUniversity
+        } else if any(&["home", "residential", "apartment", "housing", "residence", "building ("]) {
+            CategoryKind::Residence
+        } else if any(&[
+            "museum", "theater", "theatre", "cinema", "movie", "gallery", "stadium", "arena",
+            "music", "concert", "zoo", "aquarium", "comedy", "arcade", "casino", "art",
+        ]) {
+            CategoryKind::ArtsEntertainment
+        } else {
+            CategoryKind::Professional
+        }
+    }
+
+    /// Stable dense index in `[0, 9)`, usable for array-backed counters.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is in ALL")
+    }
+}
+
+impl fmt::Display for CategoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A named fine-grained venue category belonging to one coarse kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Category {
+    id: CategoryId,
+    name: String,
+    kind: CategoryKind,
+}
+
+impl Category {
+    /// Identifier within the owning taxonomy.
+    pub fn id(&self) -> CategoryId {
+        self.id
+    }
+
+    /// Fine-grained name, e.g. `"Thai Restaurant"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Coarse kind, e.g. [`CategoryKind::Eatery`].
+    pub fn kind(&self) -> CategoryKind {
+        self.kind
+    }
+}
+
+/// The category taxonomy: fine categories, their kinds, and name lookup.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_dataset::{CategoryKind, Taxonomy};
+///
+/// # fn main() -> Result<(), crowdweb_dataset::DatasetError> {
+/// let tax = Taxonomy::foursquare();
+/// let id = tax.require("Thai Restaurant")?;
+/// assert_eq!(tax.kind_of(id), Some(CategoryKind::Eatery));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Taxonomy {
+    categories: Vec<Category>,
+    #[serde(skip)]
+    by_name: HashMap<String, CategoryId>,
+}
+
+/// The built-in Foursquare-like category list: `(name, kind)`.
+const FOURSQUARE_CATEGORIES: &[(&str, CategoryKind)] = &[
+    // Arts & Entertainment
+    ("Art Gallery", CategoryKind::ArtsEntertainment),
+    ("Movie Theater", CategoryKind::ArtsEntertainment),
+    ("Museum", CategoryKind::ArtsEntertainment),
+    ("Music Venue", CategoryKind::ArtsEntertainment),
+    ("Stadium", CategoryKind::ArtsEntertainment),
+    ("Theater", CategoryKind::ArtsEntertainment),
+    ("Zoo", CategoryKind::ArtsEntertainment),
+    // College & University
+    ("College Academic Building", CategoryKind::CollegeUniversity),
+    ("College Library", CategoryKind::CollegeUniversity),
+    ("University", CategoryKind::CollegeUniversity),
+    ("Student Center", CategoryKind::CollegeUniversity),
+    // Eatery
+    ("American Restaurant", CategoryKind::Eatery),
+    ("Bakery", CategoryKind::Eatery),
+    ("Burger Joint", CategoryKind::Eatery),
+    ("Chinese Restaurant", CategoryKind::Eatery),
+    ("Coffee Shop", CategoryKind::Eatery),
+    ("Deli / Bodega", CategoryKind::Eatery),
+    ("Diner", CategoryKind::Eatery),
+    ("Fast Food Restaurant", CategoryKind::Eatery),
+    ("Food Truck", CategoryKind::Eatery),
+    ("Italian Restaurant", CategoryKind::Eatery),
+    ("Japanese Restaurant", CategoryKind::Eatery),
+    ("Mexican Restaurant", CategoryKind::Eatery),
+    ("Pizza Place", CategoryKind::Eatery),
+    ("Sandwich Place", CategoryKind::Eatery),
+    ("Thai Restaurant", CategoryKind::Eatery),
+    // Nightlife
+    ("Bar", CategoryKind::NightlifeSpot),
+    ("Cocktail Bar", CategoryKind::NightlifeSpot),
+    ("Nightclub", CategoryKind::NightlifeSpot),
+    ("Pub", CategoryKind::NightlifeSpot),
+    ("Speakeasy", CategoryKind::NightlifeSpot),
+    // Outdoors & Recreation
+    ("Beach", CategoryKind::OutdoorsRecreation),
+    ("Gym / Fitness Center", CategoryKind::OutdoorsRecreation),
+    ("Park", CategoryKind::OutdoorsRecreation),
+    ("Playground", CategoryKind::OutdoorsRecreation),
+    ("Trail", CategoryKind::OutdoorsRecreation),
+    // Professional & Other Places
+    ("Conference Room", CategoryKind::Professional),
+    ("Coworking Space", CategoryKind::Professional),
+    ("Government Building", CategoryKind::Professional),
+    ("Medical Center", CategoryKind::Professional),
+    ("Office", CategoryKind::Professional),
+    ("Tech Startup", CategoryKind::Professional),
+    // Residence
+    ("Apartment Building", CategoryKind::Residence),
+    ("Home (private)", CategoryKind::Residence),
+    ("Housing Development", CategoryKind::Residence),
+    ("Residential Building", CategoryKind::Residence),
+    // Shops
+    ("Bookstore", CategoryKind::Shops),
+    ("Clothing Store", CategoryKind::Shops),
+    ("Convenience Store", CategoryKind::Shops),
+    ("Department Store", CategoryKind::Shops),
+    ("Drugstore / Pharmacy", CategoryKind::Shops),
+    ("Electronics Store", CategoryKind::Shops),
+    ("Grocery Store", CategoryKind::Shops),
+    ("Mall", CategoryKind::Shops),
+    ("Salon / Barbershop", CategoryKind::Shops),
+    // Travel & Transport
+    ("Airport", CategoryKind::TravelTransport),
+    ("Bus Station", CategoryKind::TravelTransport),
+    ("Ferry", CategoryKind::TravelTransport),
+    ("Subway", CategoryKind::TravelTransport),
+    ("Train Station", CategoryKind::TravelTransport),
+];
+
+impl Taxonomy {
+    /// Creates an empty taxonomy.
+    pub fn new() -> Taxonomy {
+        Taxonomy::default()
+    }
+
+    /// The built-in Foursquare-like taxonomy (58 fine categories across
+    /// the nine kinds).
+    pub fn foursquare() -> Taxonomy {
+        let mut tax = Taxonomy::new();
+        for (name, kind) in FOURSQUARE_CATEGORIES {
+            tax.register(name, *kind);
+        }
+        tax
+    }
+
+    /// Registers a category name under a kind, returning its id. If the
+    /// name is already registered, the existing id is returned (the kind
+    /// is not changed).
+    pub fn register(&mut self, name: &str, kind: CategoryKind) -> CategoryId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = CategoryId::new(self.categories.len() as u32);
+        self.categories.push(Category {
+            id,
+            name: name.to_owned(),
+            kind,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a category id by exact name.
+    pub fn id_of(&self, name: &str) -> Option<CategoryId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a category id by exact name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::UnknownCategory`] if the name is not
+    /// registered.
+    pub fn require(&self, name: &str) -> Result<CategoryId, DatasetError> {
+        self.id_of(name)
+            .ok_or_else(|| DatasetError::UnknownCategory(name.to_owned()))
+    }
+
+    /// The category with the given id, if any.
+    pub fn get(&self, id: CategoryId) -> Option<&Category> {
+        self.categories.get(id.index())
+    }
+
+    /// The coarse kind of a category id, if the id is known.
+    pub fn kind_of(&self, id: CategoryId) -> Option<CategoryKind> {
+        self.get(id).map(Category::kind)
+    }
+
+    /// The name of a category id, if the id is known.
+    pub fn name_of(&self, id: CategoryId) -> Option<&str> {
+        self.get(id).map(Category::name)
+    }
+
+    /// Number of registered categories.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Whether the taxonomy has no categories.
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Iterator over all categories in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Category> {
+        self.categories.iter()
+    }
+
+    /// All category ids of a given kind, in id order.
+    pub fn ids_of_kind(&self, kind: CategoryKind) -> Vec<CategoryId> {
+        self.categories
+            .iter()
+            .filter(|c| c.kind == kind)
+            .map(Category::id)
+            .collect()
+    }
+
+    /// Rebuilds the name index after deserialization (the index is not
+    /// serialized). Call this after `serde` deserialization if you need
+    /// name lookups.
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .categories
+            .iter()
+            .map(|c| (c.name.clone(), c.id))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn foursquare_has_all_kinds() {
+        let tax = Taxonomy::foursquare();
+        for kind in CategoryKind::ALL {
+            assert!(
+                !tax.ids_of_kind(kind).is_empty(),
+                "kind {kind} has no categories"
+            );
+        }
+        assert!(tax.len() >= 50);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut tax = Taxonomy::new();
+        let a = tax.register("Thai Restaurant", CategoryKind::Eatery);
+        let b = tax.register("Thai Restaurant", CategoryKind::Eatery);
+        assert_eq!(a, b);
+        assert_eq!(tax.len(), 1);
+    }
+
+    #[test]
+    fn lookup_round_trip() {
+        let tax = Taxonomy::foursquare();
+        let id = tax.require("Coffee Shop").unwrap();
+        assert_eq!(tax.name_of(id), Some("Coffee Shop"));
+        assert_eq!(tax.kind_of(id), Some(CategoryKind::Eatery));
+    }
+
+    #[test]
+    fn require_unknown_errors() {
+        let tax = Taxonomy::foursquare();
+        assert!(matches!(
+            tax.require("Moon Base"),
+            Err(DatasetError::UnknownCategory(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let tax = Taxonomy::foursquare();
+        assert!(tax.get(CategoryId::new(9999)).is_none());
+        assert!(tax.kind_of(CategoryId::new(9999)).is_none());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let tax = Taxonomy::foursquare();
+        for (i, cat) in tax.iter().enumerate() {
+            assert_eq!(cat.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn kind_index_is_dense() {
+        for (i, kind) in CategoryKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn paper_labels_present() {
+        assert_eq!(CategoryKind::Eatery.label(), "Eatery");
+        assert_eq!(CategoryKind::Shops.label(), "Shops");
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let tax = Taxonomy::foursquare();
+        let mut clone = Taxonomy {
+            categories: tax.categories.clone(),
+            by_name: HashMap::new(),
+        };
+        assert!(clone.id_of("Coffee Shop").is_none());
+        clone.rebuild_index();
+        assert_eq!(clone.id_of("Coffee Shop"), tax.id_of("Coffee Shop"));
+    }
+}

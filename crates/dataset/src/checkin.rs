@@ -1,0 +1,118 @@
+//! Check-in records.
+
+use crate::{Timestamp, UserId, VenueId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One GTSM check-in: a user reporting presence at a venue at a UTC
+/// instant, with the submitter's local timezone offset in minutes (the
+/// Foursquare TSV convention; New York EDT is `-240`).
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_dataset::{CheckIn, Timestamp, UserId, VenueId};
+///
+/// # fn main() -> Result<(), crowdweb_dataset::DatasetError> {
+/// let c = CheckIn::new(
+///     UserId::new(7),
+///     VenueId::new(1),
+///     Timestamp::from_civil(2012, 4, 3, 18, 0, 9)?,
+///     -240,
+/// );
+/// // Local civil time is what pattern mining uses.
+/// assert_eq!(c.local_time().hour, 14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CheckIn {
+    user: UserId,
+    venue: VenueId,
+    time: Timestamp,
+    tz_offset_minutes: i32,
+}
+
+impl CheckIn {
+    /// Creates a check-in record.
+    pub fn new(user: UserId, venue: VenueId, time: Timestamp, tz_offset_minutes: i32) -> CheckIn {
+        CheckIn {
+            user,
+            venue,
+            time,
+            tz_offset_minutes,
+        }
+    }
+
+    /// The user who checked in.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The venue checked in at.
+    pub fn venue(&self) -> VenueId {
+        self.venue
+    }
+
+    /// The UTC instant of the check-in.
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// The submitter's timezone offset from UTC, in minutes.
+    pub fn tz_offset_minutes(&self) -> i32 {
+        self.tz_offset_minutes
+    }
+
+    /// The check-in's civil date and time in the submitter's local
+    /// timezone — the time base for all pattern mining.
+    pub fn local_time(&self) -> crate::CivilDateTime {
+        self.time.to_civil_local(self.tz_offset_minutes)
+    }
+
+    /// The check-in's local calendar date.
+    pub fn local_date(&self) -> crate::CivilDate {
+        self.local_time().date
+    }
+}
+
+impl fmt::Display for CheckIn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} at {}", self.user, self.venue, self.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkin() -> CheckIn {
+        CheckIn::new(
+            UserId::new(7),
+            VenueId::new(1),
+            Timestamp::from_civil(2012, 4, 4, 1, 30, 0).unwrap(),
+            -240,
+        )
+    }
+
+    #[test]
+    fn local_date_can_differ_from_utc_date() {
+        let c = checkin();
+        assert_eq!(c.time().to_civil_utc().date.day(), 4);
+        assert_eq!(c.local_date().day(), 3);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = checkin();
+        assert_eq!(c.user(), UserId::new(7));
+        assert_eq!(c.venue(), VenueId::new(1));
+        assert_eq!(c.tz_offset_minutes(), -240);
+    }
+
+    #[test]
+    fn display_mentions_ids() {
+        let s = checkin().to_string();
+        assert!(s.contains("u7") && s.contains("v1"));
+    }
+}

@@ -1,0 +1,330 @@
+//! The indexed dataset container.
+
+use crate::{CheckIn, DatasetError, Taxonomy, Timestamp, UserId, Venue, VenueId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Incremental constructor for a [`Dataset`] (C-BUILDER).
+///
+/// Venues and check-ins can be added in any order; [`DatasetBuilder::build`]
+/// validates referential integrity, sorts, and indexes.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    taxonomy: Taxonomy,
+    venues: Vec<Venue>,
+    checkins: Vec<CheckIn>,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder with the built-in Foursquare taxonomy.
+    pub fn new() -> DatasetBuilder {
+        DatasetBuilder {
+            taxonomy: Taxonomy::foursquare(),
+            venues: Vec::new(),
+            checkins: Vec::new(),
+        }
+    }
+
+    /// Replaces the taxonomy (builder-style).
+    pub fn taxonomy(&mut self, taxonomy: Taxonomy) -> &mut DatasetBuilder {
+        self.taxonomy = taxonomy;
+        self
+    }
+
+    /// Mutable access to the taxonomy, e.g. to register categories while
+    /// loading.
+    pub fn taxonomy_mut(&mut self) -> &mut Taxonomy {
+        &mut self.taxonomy
+    }
+
+    /// Adds a venue.
+    pub fn add_venue(&mut self, venue: Venue) -> &mut DatasetBuilder {
+        self.venues.push(venue);
+        self
+    }
+
+    /// Adds a check-in record.
+    pub fn add_checkin(&mut self, checkin: CheckIn) -> &mut DatasetBuilder {
+        self.checkins.push(checkin);
+        self
+    }
+
+    /// Number of check-ins added so far.
+    pub fn checkin_count(&self) -> usize {
+        self.checkins.len()
+    }
+
+    /// Validates, sorts, indexes, and produces the immutable [`Dataset`].
+    ///
+    /// # Errors
+    ///
+    /// - [`DatasetError::DuplicateVenue`] if two venues share an id.
+    /// - [`DatasetError::UnknownVenue`] if a check-in references a venue
+    ///   that was never added.
+    pub fn build(self) -> Result<Dataset, DatasetError> {
+        let mut venue_index: HashMap<VenueId, usize> = HashMap::with_capacity(self.venues.len());
+        for (i, v) in self.venues.iter().enumerate() {
+            if venue_index.insert(v.id(), i).is_some() {
+                return Err(DatasetError::DuplicateVenue(v.id()));
+            }
+        }
+        for c in &self.checkins {
+            if !venue_index.contains_key(&c.venue()) {
+                return Err(DatasetError::UnknownVenue {
+                    venue: c.venue(),
+                    user: c.user(),
+                });
+            }
+        }
+        let mut checkins = self.checkins;
+        checkins.sort_by_key(|c| (c.user(), c.time()));
+
+        // Contiguous per-user ranges over the sorted check-in vector.
+        let mut user_ranges: Vec<(UserId, Range<usize>)> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=checkins.len() {
+            if i == checkins.len() || checkins[i].user() != checkins[start].user() {
+                user_ranges.push((checkins[start].user(), start..i));
+                start = i;
+            }
+        }
+
+        Ok(Dataset {
+            taxonomy: self.taxonomy,
+            venues: self.venues,
+            venue_index,
+            checkins,
+            user_ranges,
+        })
+    }
+}
+
+/// An immutable, indexed GTSM dataset: taxonomy, venues, and check-ins
+/// sorted by `(user, time)` with per-user ranges.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    taxonomy: Taxonomy,
+    venues: Vec<Venue>,
+    #[serde(skip)]
+    venue_index: HashMap<VenueId, usize>,
+    checkins: Vec<CheckIn>,
+    #[serde(skip)]
+    user_ranges: Vec<(UserId, Range<usize>)>,
+}
+
+impl Dataset {
+    /// Starts building a dataset.
+    pub fn builder() -> DatasetBuilder {
+        DatasetBuilder::new()
+    }
+
+    /// The venue category taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Total number of check-ins.
+    pub fn len(&self) -> usize {
+        self.checkins.len()
+    }
+
+    /// Whether the dataset holds no check-ins.
+    pub fn is_empty(&self) -> bool {
+        self.checkins.is_empty()
+    }
+
+    /// Number of distinct users.
+    pub fn user_count(&self) -> usize {
+        self.user_ranges.len()
+    }
+
+    /// Number of venues.
+    pub fn venue_count(&self) -> usize {
+        self.venues.len()
+    }
+
+    /// All check-ins, sorted by `(user, time)`.
+    pub fn checkins(&self) -> &[CheckIn] {
+        &self.checkins
+    }
+
+    /// All venues, in insertion order.
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// The venue with the given id, if present.
+    pub fn venue(&self, id: VenueId) -> Option<&Venue> {
+        self.venue_index.get(&id).map(|&i| &self.venues[i])
+    }
+
+    /// Iterator over distinct user ids in ascending order.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.user_ranges.iter().map(|(u, _)| *u)
+    }
+
+    /// The check-ins of one user, sorted by time (empty slice for an
+    /// unknown user).
+    pub fn checkins_of(&self, user: UserId) -> &[CheckIn] {
+        match self.user_ranges.binary_search_by_key(&user, |(u, _)| *u) {
+            Ok(i) => &self.checkins[self.user_ranges[i].1.clone()],
+            Err(_) => &[],
+        }
+    }
+
+    /// Earliest and latest check-in instants, or `None` if empty.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        let min = self.checkins.iter().map(CheckIn::time).min()?;
+        let max = self.checkins.iter().map(CheckIn::time).max()?;
+        Some((min, max))
+    }
+
+    /// Rebuilds the skipped indices after `serde` deserialization.
+    ///
+    /// `Dataset` serializes only its data (venues, check-ins, taxonomy);
+    /// call this on the deserialized value before using lookups.
+    pub fn rebuild_index(&mut self) {
+        self.taxonomy.rebuild_index();
+        self.venue_index = self
+            .venues
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.id(), i))
+            .collect();
+        self.checkins.sort_by_key(|c| (c.user(), c.time()));
+        self.user_ranges.clear();
+        let mut start = 0usize;
+        for i in 1..=self.checkins.len() {
+            if i == self.checkins.len() || self.checkins[i].user() != self.checkins[start].user() {
+                self.user_ranges
+                    .push((self.checkins[start].user(), start..i));
+                start = i;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CategoryId;
+    use crowdweb_geo::LatLon;
+
+    fn venue(id: u32) -> Venue {
+        Venue::new(
+            VenueId::new(id),
+            &format!("venue {id}"),
+            LatLon::new(40.7 + f64::from(id) * 0.001, -74.0).unwrap(),
+            CategoryId::new(0),
+        )
+    }
+
+    fn checkin(user: u32, venue_id: u32, secs: i64) -> CheckIn {
+        CheckIn::new(
+            UserId::new(user),
+            VenueId::new(venue_id),
+            Timestamp::from_unix_seconds(secs),
+            -240,
+        )
+    }
+
+    fn sample() -> Dataset {
+        let mut b = Dataset::builder();
+        b.add_venue(venue(1)).add_venue(venue(2));
+        // Deliberately out of order to exercise sorting.
+        b.add_checkin(checkin(2, 1, 300));
+        b.add_checkin(checkin(1, 2, 200));
+        b.add_checkin(checkin(1, 1, 100));
+        b.add_checkin(checkin(2, 2, 50));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_sorts_by_user_then_time() {
+        let d = sample();
+        let order: Vec<(u32, i64)> = d
+            .checkins()
+            .iter()
+            .map(|c| (c.user().raw(), c.time().unix_seconds()))
+            .collect();
+        assert_eq!(order, vec![(1, 100), (1, 200), (2, 50), (2, 300)]);
+    }
+
+    #[test]
+    fn per_user_slices() {
+        let d = sample();
+        assert_eq!(d.checkins_of(UserId::new(1)).len(), 2);
+        assert_eq!(d.checkins_of(UserId::new(2)).len(), 2);
+        assert!(d.checkins_of(UserId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn user_ids_ascending() {
+        let d = sample();
+        let ids: Vec<u32> = d.user_ids().map(UserId::raw).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(d.user_count(), 2);
+    }
+
+    #[test]
+    fn venue_lookup() {
+        let d = sample();
+        assert_eq!(d.venue(VenueId::new(1)).unwrap().name(), "venue 1");
+        assert!(d.venue(VenueId::new(3)).is_none());
+        assert_eq!(d.venue_count(), 2);
+    }
+
+    #[test]
+    fn build_rejects_dangling_venue() {
+        let mut b = Dataset::builder();
+        b.add_checkin(checkin(1, 42, 0));
+        assert!(matches!(
+            b.build(),
+            Err(DatasetError::UnknownVenue { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_duplicate_venue() {
+        let mut b = Dataset::builder();
+        b.add_venue(venue(1)).add_venue(venue(1));
+        assert!(matches!(b.build(), Err(DatasetError::DuplicateVenue(_))));
+    }
+
+    #[test]
+    fn time_range_spans_min_max() {
+        let d = sample();
+        let (lo, hi) = d.time_range().unwrap();
+        assert_eq!(lo.unix_seconds(), 50);
+        assert_eq!(hi.unix_seconds(), 300);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::builder().build().unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.time_range(), None);
+        assert_eq!(d.user_count(), 0);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        let d = sample();
+        let mut copy = Dataset {
+            taxonomy: d.taxonomy.clone(),
+            venues: d.venues.clone(),
+            venue_index: HashMap::new(),
+            checkins: d.checkins.clone(),
+            user_ranges: Vec::new(),
+        };
+        assert!(copy.venue(VenueId::new(1)).is_none());
+        copy.rebuild_index();
+        assert!(copy.venue(VenueId::new(1)).is_some());
+        assert_eq!(copy.checkins_of(UserId::new(1)).len(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types for the dataset crate.
+
+use crate::{UserId, VenueId};
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Error produced by dataset construction, parsing, and time math.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Calendar date with out-of-range month or day.
+    InvalidDate {
+        /// Year supplied.
+        year: i32,
+        /// Month supplied.
+        month: u8,
+        /// Day supplied.
+        day: u8,
+    },
+    /// Time of day with out-of-range hour/minute/second.
+    InvalidTimeOfDay {
+        /// Hour supplied.
+        hour: u8,
+        /// Minute supplied.
+        minute: u8,
+        /// Second supplied.
+        second: u8,
+    },
+    /// Category name not present in the taxonomy.
+    UnknownCategory(String),
+    /// A check-in referenced a venue that was never added.
+    UnknownVenue {
+        /// The dangling venue id.
+        venue: VenueId,
+        /// The user whose check-in referenced it.
+        user: UserId,
+    },
+    /// Two venues registered with the same id.
+    DuplicateVenue(VenueId),
+    /// A TSV line that could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Underlying I/O failure while reading or writing a dataset file.
+    Io(io::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidDate { year, month, day } => {
+                write!(f, "invalid calendar date {year:04}-{month:02}-{day:02}")
+            }
+            DatasetError::InvalidTimeOfDay {
+                hour,
+                minute,
+                second,
+            } => write!(f, "invalid time of day {hour:02}:{minute:02}:{second:02}"),
+            DatasetError::UnknownCategory(name) => write!(f, "unknown category {name:?}"),
+            DatasetError::UnknownVenue { venue, user } => {
+                write!(f, "check-in by {user} references unknown venue {venue}")
+            }
+            DatasetError::DuplicateVenue(id) => write!(f, "venue {id} registered twice"),
+            DatasetError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            DatasetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        let err = DatasetError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn display_messages_are_lowercase() {
+        let err = DatasetError::InvalidDate {
+            year: 2013,
+            month: 2,
+            day: 30,
+        };
+        assert_eq!(err.to_string(), "invalid calendar date 2013-02-30");
+    }
+}

@@ -1,0 +1,100 @@
+//! Newtype identifiers.
+//!
+//! Users, venues, and categories are all addressed by dense integer ids.
+//! Newtypes keep them statically distinct (C-NEWTYPE): a `UserId` can
+//! never be passed where a `VenueId` is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Default,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates the identifier from its raw integer value.
+            pub fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw integer value.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw value as a `usize`, for indexing.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a platform user.
+    UserId,
+    "u"
+);
+id_type!(
+    /// Identifier of a venue (a check-in location).
+    VenueId,
+    "v"
+);
+id_type!(
+    /// Identifier of a venue category in a [`crate::Taxonomy`].
+    CategoryId,
+    "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(UserId::new(3).to_string(), "u3");
+        assert_eq!(VenueId::new(4).to_string(), "v4");
+        assert_eq!(CategoryId::new(5).to_string(), "c5");
+    }
+
+    #[test]
+    fn round_trip_through_u32() {
+        let id = UserId::from(42u32);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42usize);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VenueId::new(1) < VenueId::new(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CategoryId::default(), CategoryId::new(0));
+    }
+}

@@ -1,0 +1,70 @@
+//! GTSM (geotagged social media) check-in data model for CrowdWeb.
+//!
+//! The paper's default dataset is the public Foursquare New York City
+//! check-in collection (227,428 check-ins by 1,083 users, April 2012 –
+//! February 2013). This crate models that data from scratch:
+//!
+//! - [`ids`] — newtype identifiers for users, venues, and categories.
+//! - [`time`] — UTC timestamps and civil-date math (no external time
+//!   crate).
+//! - [`category`] — a Foursquare-like two-level venue category taxonomy;
+//!   the *place labels* that CrowdWeb abstracts venues into.
+//! - [`venue`] / [`checkin`] — venues and check-in records.
+//! - [`dataset`] — the indexed [`Dataset`] container.
+//! - [`tsv`] — reader/writer for the `dataset_TSMC2014_NYC.txt` TSV
+//!   format, so the real Foursquare file drops in unchanged.
+//! - [`stats`] — the dataset statistics reported in Section I.1 of the
+//!   paper (per-user record counts, sparsity, monthly richness).
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_dataset::{CheckIn, Dataset, Taxonomy, Timestamp, UserId, Venue, VenueId};
+//! use crowdweb_geo::LatLon;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let taxonomy = Taxonomy::foursquare();
+//! let eatery = taxonomy.require("Thai Restaurant")?;
+//! let mut builder = Dataset::builder();
+//! builder.add_venue(Venue::new(
+//!     VenueId::new(1),
+//!     "Thai Express",
+//!     LatLon::new(40.75, -73.99)?,
+//!     eatery,
+//! ));
+//! builder.add_checkin(CheckIn::new(
+//!     UserId::new(7),
+//!     VenueId::new(1),
+//!     Timestamp::from_civil(2012, 4, 3, 12, 30, 0)?,
+//!     -240,
+//! ));
+//! let dataset = builder.build()?;
+//! assert_eq!(dataset.len(), 1);
+//! assert_eq!(dataset.user_ids().count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod checkin;
+pub mod dataset;
+pub mod error;
+pub mod ids;
+pub mod profile;
+pub mod stats;
+pub mod time;
+pub mod tsv;
+pub mod venue;
+
+pub use category::{Category, CategoryKind, Taxonomy};
+pub use profile::ActivityProfile;
+pub use checkin::CheckIn;
+pub use dataset::{Dataset, DatasetBuilder};
+pub use error::DatasetError;
+pub use ids::{CategoryId, UserId, VenueId};
+pub use stats::{DatasetStats, MonthKey};
+pub use time::{CivilDate, CivilDateTime, Timestamp, Weekday};
+pub use venue::Venue;

@@ -1,0 +1,204 @@
+//! Temporal activity profiles.
+//!
+//! A weekday × hour matrix of check-in counts — the "when is this city
+//! (or user) active" view that backs the platform's timeline heatmap
+//! and validates the synthetic generator against real-data rhythms
+//! (weekday commute peaks, weekend brunch bulge, nightlife evenings).
+
+use crate::{Dataset, UserId, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// A 7 × 24 matrix of check-in counts (rows Monday-first, columns hour
+/// of local day).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityProfile {
+    counts: Vec<u64>, // 7 * 24 row-major
+}
+
+impl Default for ActivityProfile {
+    fn default() -> Self {
+        ActivityProfile {
+            counts: vec![0; 7 * 24],
+        }
+    }
+}
+
+impl ActivityProfile {
+    /// An empty profile.
+    pub fn new() -> ActivityProfile {
+        ActivityProfile::default()
+    }
+
+    /// The profile of the whole dataset (local check-in times).
+    pub fn of_dataset(dataset: &Dataset) -> ActivityProfile {
+        let mut profile = ActivityProfile::new();
+        for c in dataset.checkins() {
+            let local = c.local_time();
+            profile.record(local.date.weekday(), local.hour);
+        }
+        profile
+    }
+
+    /// The profile of one user (empty for an unknown user).
+    pub fn of_user(dataset: &Dataset, user: UserId) -> ActivityProfile {
+        let mut profile = ActivityProfile::new();
+        for c in dataset.checkins_of(user) {
+            let local = c.local_time();
+            profile.record(local.date.weekday(), local.hour);
+        }
+        profile
+    }
+
+    /// Records one check-in at `(weekday, hour)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn record(&mut self, weekday: Weekday, hour: u8) {
+        assert!(hour < 24, "hour {hour} out of range");
+        self.counts[Self::index(weekday, hour)] += 1;
+    }
+
+    fn index(weekday: Weekday, hour: u8) -> usize {
+        let day = Weekday::ALL
+            .iter()
+            .position(|w| *w == weekday)
+            .expect("all weekdays are in ALL");
+        day * 24 + usize::from(hour)
+    }
+
+    /// Count at `(weekday, hour)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn count(&self, weekday: Weekday, hour: u8) -> u64 {
+        assert!(hour < 24, "hour {hour} out of range");
+        self.counts[Self::index(weekday, hour)]
+    }
+
+    /// Total check-ins in the profile.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Counts summed per hour across all weekdays (`[u64; 24]`).
+    pub fn hourly_totals(&self) -> [u64; 24] {
+        let mut out = [0u64; 24];
+        for day in 0..7 {
+            for (hour, slot) in out.iter_mut().enumerate() {
+                *slot += self.counts[day * 24 + hour];
+            }
+        }
+        out
+    }
+
+    /// Counts summed per weekday across all hours, Monday-first
+    /// (`[u64; 7]`).
+    pub fn daily_totals(&self) -> [u64; 7] {
+        let mut out = [0u64; 7];
+        for (day, slot) in out.iter_mut().enumerate() {
+            *slot = self.counts[day * 24..(day + 1) * 24].iter().sum();
+        }
+        out
+    }
+
+    /// The `(weekday, hour)` with the highest count, or `None` for an
+    /// empty profile.
+    pub fn peak(&self) -> Option<(Weekday, u8, u64)> {
+        let (idx, &max) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        if max == 0 {
+            return None;
+        }
+        Some((Weekday::ALL[idx / 24], (idx % 24) as u8, max))
+    }
+
+    /// Weekend share of all check-ins (0 for an empty profile).
+    pub fn weekend_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let daily = self.daily_totals();
+        (daily[5] + daily[6]) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CategoryId, CheckIn, Timestamp, Venue, VenueId};
+    use crowdweb_geo::LatLon;
+
+    fn dataset_at_hours(hours: &[(u8, u8, u8)]) -> Dataset {
+        // (month, day, hour) for user 1, April 2012, UTC.
+        let mut b = Dataset::builder();
+        b.add_venue(Venue::new(
+            VenueId::new(0),
+            "v",
+            LatLon::new(40.7, -74.0).unwrap(),
+            CategoryId::new(0),
+        ));
+        for &(month, day, hour) in hours {
+            b.add_checkin(CheckIn::new(
+                UserId::new(1),
+                VenueId::new(0),
+                Timestamp::from_civil(2012, month, day, hour, 0, 0).unwrap(),
+                0,
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn records_land_in_correct_cells() {
+        // 2012-04-03 was a Tuesday.
+        let d = dataset_at_hours(&[(4, 3, 9), (4, 3, 9), (4, 7, 14)]); // Sat 4/7
+        let p = ActivityProfile::of_dataset(&d);
+        assert_eq!(p.count(Weekday::Tue, 9), 2);
+        assert_eq!(p.count(Weekday::Sat, 14), 1);
+        assert_eq!(p.count(Weekday::Mon, 9), 0);
+        assert_eq!(p.total(), 3);
+    }
+
+    #[test]
+    fn hourly_and_daily_totals() {
+        let d = dataset_at_hours(&[(4, 3, 9), (4, 4, 9), (4, 7, 14)]);
+        let p = ActivityProfile::of_dataset(&d);
+        assert_eq!(p.hourly_totals()[9], 2);
+        assert_eq!(p.hourly_totals()[14], 1);
+        let daily = p.daily_totals();
+        assert_eq!(daily[1], 1); // Tue
+        assert_eq!(daily[2], 1); // Wed
+        assert_eq!(daily[5], 1); // Sat
+    }
+
+    #[test]
+    fn peak_and_weekend_fraction() {
+        let d = dataset_at_hours(&[(4, 3, 9), (4, 3, 9), (4, 7, 14)]);
+        let p = ActivityProfile::of_dataset(&d);
+        assert_eq!(p.peak(), Some((Weekday::Tue, 9, 2)));
+        assert!((p.weekend_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ActivityProfile::new().peak(), None);
+        assert_eq!(ActivityProfile::new().weekend_fraction(), 0.0);
+    }
+
+    #[test]
+    fn per_user_profile_filters() {
+        let d = dataset_at_hours(&[(4, 3, 9)]);
+        let p = ActivityProfile::of_user(&d, UserId::new(1));
+        assert_eq!(p.total(), 1);
+        let empty = ActivityProfile::of_user(&d, UserId::new(42));
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_hour_24() {
+        ActivityProfile::new().record(Weekday::Mon, 24);
+    }
+}

@@ -1,0 +1,480 @@
+//! UTC timestamps and civil-date math, implemented from scratch.
+//!
+//! Check-ins carry a UTC [`Timestamp`] plus the submitter's timezone
+//! offset in minutes (as in the Foursquare TSV). All pattern mining runs
+//! in the user's *local* civil time — "lunch at noon" must mean noon where
+//! the user is — so the conversion lives here.
+//!
+//! The civil-calendar conversions use Howard Hinnant's `days_from_civil` /
+//! `civil_from_days` algorithms, valid for the proleptic Gregorian
+//! calendar over the entire `i32` year range.
+
+use crate::DatasetError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Day of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday.
+    Mon,
+    /// Tuesday.
+    Tue,
+    /// Wednesday.
+    Wed,
+    /// Thursday.
+    Thu,
+    /// Friday.
+    Fri,
+    /// Saturday.
+    Sat,
+    /// Sunday.
+    Sun,
+}
+
+impl Weekday {
+    /// All weekdays, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Mon,
+        Weekday::Tue,
+        Weekday::Wed,
+        Weekday::Thu,
+        Weekday::Fri,
+        Weekday::Sat,
+        Weekday::Sun,
+    ];
+
+    /// Whether this is Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Sat | Weekday::Sun)
+    }
+
+    /// Three-letter English abbreviation, as used in the Foursquare TSV.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Weekday::Mon => "Mon",
+            Weekday::Tue => "Tue",
+            Weekday::Wed => "Wed",
+            Weekday::Thu => "Thu",
+            Weekday::Fri => "Fri",
+            Weekday::Sat => "Sat",
+            Weekday::Sun => "Sun",
+        }
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// A calendar date in the proleptic Gregorian calendar.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_dataset::{CivilDate, Weekday};
+///
+/// # fn main() -> Result<(), crowdweb_dataset::DatasetError> {
+/// let d = CivilDate::new(2012, 4, 3)?;
+/// assert_eq!(d.weekday(), Weekday::Tue);
+/// assert_eq!(d.succ(), CivilDate::new(2012, 4, 4)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDate {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+/// Days in each month of a non-leap year.
+const MONTH_DAYS: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in the given month (1-12) of `year`, or 0 for an
+/// invalid month.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    if !(1..=12).contains(&month) {
+        return 0;
+    }
+    if month == 2 && is_leap_year(year) {
+        29
+    } else {
+        MONTH_DAYS[usize::from(month) - 1]
+    }
+}
+
+impl CivilDate {
+    /// Creates a date, validating month and day ranges (leap years
+    /// included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidDate`] for out-of-range month/day.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, DatasetError> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(DatasetError::InvalidDate { year, month, day });
+        }
+        Ok(CivilDate { year, month, day })
+    }
+
+    /// Year component.
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1–12).
+    pub fn month(self) -> u8 {
+        self.month
+    }
+
+    /// Day component (1–31).
+    pub fn day(self) -> u8 {
+        self.day
+    }
+
+    /// Days since the epoch 1970-01-01 (negative before it).
+    ///
+    /// Hinnant's `days_from_civil`.
+    pub fn to_epoch_days(self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = y.div_euclid(400);
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (i64::from(self.month) + 9) % 12; // [0, 11], Mar=0
+        let doy = (153 * mp + 2) / 5 + i64::from(self.day) - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// The date `days` after the epoch 1970-01-01.
+    ///
+    /// Hinnant's `civil_from_days`.
+    pub fn from_epoch_days(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = z.div_euclid(146_097);
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        CivilDate {
+            year: (y + i64::from(m <= 2)) as i32,
+            month: m,
+            day: d,
+        }
+    }
+
+    /// Day of the week of this date.
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 was a Thursday; index Monday = 0.
+        let idx = (self.to_epoch_days() + 3).rem_euclid(7) as usize;
+        Weekday::ALL[idx]
+    }
+
+    /// The next calendar day.
+    pub fn succ(self) -> CivilDate {
+        CivilDate::from_epoch_days(self.to_epoch_days() + 1)
+    }
+
+    /// The previous calendar day.
+    pub fn pred(self) -> CivilDate {
+        CivilDate::from_epoch_days(self.to_epoch_days() - 1)
+    }
+
+    /// Signed number of days from `self` to `other`.
+    pub fn days_until(self, other: CivilDate) -> i64 {
+        other.to_epoch_days() - self.to_epoch_days()
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A civil date with a time of day (no timezone attached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDateTime {
+    /// Calendar date.
+    pub date: CivilDate,
+    /// Hour (0–23).
+    pub hour: u8,
+    /// Minute (0–59).
+    pub minute: u8,
+    /// Second (0–59).
+    pub second: u8,
+}
+
+impl CivilDateTime {
+    /// Seconds since local midnight.
+    pub fn seconds_of_day(self) -> u32 {
+        u32::from(self.hour) * 3600 + u32::from(self.minute) * 60 + u32::from(self.second)
+    }
+}
+
+impl fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date, self.hour, self.minute, self.second
+        )
+    }
+}
+
+/// A UTC instant as seconds since the Unix epoch.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_dataset::Timestamp;
+///
+/// # fn main() -> Result<(), crowdweb_dataset::DatasetError> {
+/// let t = Timestamp::from_civil(2012, 4, 3, 18, 0, 9)?;
+/// assert_eq!(t.to_civil_utc().to_string(), "2012-04-03 18:00:09");
+/// // New York in April 2012 was UTC-4 (EDT): 2 pm local.
+/// assert_eq!(t.to_civil_local(-240).hour, 14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// Creates a timestamp from raw Unix seconds.
+    pub fn from_unix_seconds(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Raw Unix seconds.
+    pub fn unix_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Creates a timestamp from a UTC civil date and time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidDate`] for an invalid calendar date
+    /// and [`DatasetError::InvalidTimeOfDay`] for an out-of-range time.
+    pub fn from_civil(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Result<Self, DatasetError> {
+        let date = CivilDate::new(year, month, day)?;
+        if hour > 23 || minute > 59 || second > 59 {
+            return Err(DatasetError::InvalidTimeOfDay {
+                hour,
+                minute,
+                second,
+            });
+        }
+        Ok(Timestamp(
+            date.to_epoch_days() * 86_400
+                + i64::from(hour) * 3600
+                + i64::from(minute) * 60
+                + i64::from(second),
+        ))
+    }
+
+    /// The UTC civil date and time of this instant.
+    pub fn to_civil_utc(self) -> CivilDateTime {
+        let days = self.0.div_euclid(86_400);
+        let secs = self.0.rem_euclid(86_400);
+        CivilDateTime {
+            date: CivilDate::from_epoch_days(days),
+            hour: (secs / 3600) as u8,
+            minute: ((secs % 3600) / 60) as u8,
+            second: (secs % 60) as u8,
+        }
+    }
+
+    /// The civil date and time in a fixed-offset local timezone.
+    ///
+    /// `offset_minutes` is the local offset from UTC in minutes, positive
+    /// east of Greenwich (New York EDT is `-240`), matching the Foursquare
+    /// TSV convention.
+    pub fn to_civil_local(self, offset_minutes: i32) -> CivilDateTime {
+        Timestamp(self.0 + i64::from(offset_minutes) * 60).to_civil_utc()
+    }
+
+    /// A new timestamp shifted by `seconds`.
+    pub fn plus_seconds(self, seconds: i64) -> Timestamp {
+        Timestamp(self.0 + seconds)
+    }
+
+    /// Signed seconds from `self` to `other`.
+    pub fn seconds_until(self, other: Timestamp) -> i64 {
+        other.0 - self.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} UTC", self.to_civil_utc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let d = CivilDate::new(1970, 1, 1).unwrap();
+        assert_eq!(d.to_epoch_days(), 0);
+        assert_eq!(d.weekday(), Weekday::Thu);
+    }
+
+    #[test]
+    fn known_epoch_days() {
+        // 2012-04-01 was 15431 days after the epoch.
+        let d = CivilDate::new(2012, 4, 1).unwrap();
+        assert_eq!(d.to_epoch_days(), 15_431);
+        assert_eq!(CivilDate::from_epoch_days(15_431), d);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2012));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2013));
+        assert_eq!(days_in_month(2012, 2), 29);
+        assert_eq!(days_in_month(2013, 2), 28);
+        assert_eq!(days_in_month(2013, 13), 0);
+    }
+
+    #[test]
+    fn new_rejects_invalid_dates() {
+        assert!(CivilDate::new(2013, 2, 29).is_err());
+        assert!(CivilDate::new(2012, 2, 29).is_ok());
+        assert!(CivilDate::new(2012, 0, 1).is_err());
+        assert!(CivilDate::new(2012, 4, 31).is_err());
+        assert!(CivilDate::new(2012, 4, 0).is_err());
+    }
+
+    #[test]
+    fn weekday_known_dates() {
+        // The paper's Foursquare TSV starts "Tue Apr 03 ... 2012".
+        assert_eq!(CivilDate::new(2012, 4, 3).unwrap().weekday(), Weekday::Tue);
+        assert_eq!(CivilDate::new(2013, 2, 16).unwrap().weekday(), Weekday::Sat);
+        assert!(CivilDate::new(2013, 2, 16).unwrap().weekday().is_weekend());
+    }
+
+    #[test]
+    fn succ_and_pred_cross_month_and_year() {
+        let d = CivilDate::new(2012, 12, 31).unwrap();
+        assert_eq!(d.succ(), CivilDate::new(2013, 1, 1).unwrap());
+        assert_eq!(d.succ().pred(), d);
+        let feb = CivilDate::new(2012, 2, 28).unwrap();
+        assert_eq!(feb.succ(), CivilDate::new(2012, 2, 29).unwrap());
+    }
+
+    #[test]
+    fn days_until_is_signed() {
+        let a = CivilDate::new(2012, 4, 1).unwrap();
+        let b = CivilDate::new(2012, 6, 30).unwrap();
+        assert_eq!(a.days_until(b), 90);
+        assert_eq!(b.days_until(a), -90);
+    }
+
+    #[test]
+    fn timestamp_round_trip_civil() {
+        let t = Timestamp::from_civil(2012, 4, 3, 18, 0, 9).unwrap();
+        let c = t.to_civil_utc();
+        assert_eq!(c.date, CivilDate::new(2012, 4, 3).unwrap());
+        assert_eq!((c.hour, c.minute, c.second), (18, 0, 9));
+        // Known Unix timestamp for 2012-04-03T18:00:09Z.
+        assert_eq!(t.unix_seconds(), 1_333_476_009);
+    }
+
+    #[test]
+    fn timestamp_rejects_bad_time() {
+        assert!(matches!(
+            Timestamp::from_civil(2012, 4, 3, 24, 0, 0),
+            Err(DatasetError::InvalidTimeOfDay { .. })
+        ));
+        assert!(Timestamp::from_civil(2012, 4, 3, 23, 59, 59).is_ok());
+    }
+
+    #[test]
+    fn local_conversion_crosses_midnight() {
+        // 2012-04-04 01:30 UTC is 2012-04-03 21:30 in New York (UTC-4).
+        let t = Timestamp::from_civil(2012, 4, 4, 1, 30, 0).unwrap();
+        let local = t.to_civil_local(-240);
+        assert_eq!(local.date, CivilDate::new(2012, 4, 3).unwrap());
+        assert_eq!(local.hour, 21);
+        // And +9h (Tokyo-like) pushes it to 10:30 the same day.
+        let tokyo = t.to_civil_local(540);
+        assert_eq!(tokyo.date, CivilDate::new(2012, 4, 4).unwrap());
+        assert_eq!(tokyo.hour, 10);
+    }
+
+    #[test]
+    fn negative_timestamps_work() {
+        let t = Timestamp::from_unix_seconds(-1);
+        let c = t.to_civil_utc();
+        assert_eq!(c.date, CivilDate::new(1969, 12, 31).unwrap());
+        assert_eq!((c.hour, c.minute, c.second), (23, 59, 59));
+    }
+
+    #[test]
+    fn seconds_of_day_and_display() {
+        let t = Timestamp::from_civil(2012, 4, 3, 1, 2, 3).unwrap();
+        assert_eq!(t.to_civil_utc().seconds_of_day(), 3723);
+        assert_eq!(t.to_string(), "2012-04-03 01:02:03 UTC");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_epoch_days_round_trip(days in -1_000_000i64..1_000_000) {
+            let d = CivilDate::from_epoch_days(days);
+            prop_assert_eq!(d.to_epoch_days(), days);
+            prop_assert!(CivilDate::new(d.year(), d.month(), d.day()).is_ok());
+        }
+
+        #[test]
+        fn prop_succ_advances_one_day(days in -100_000i64..100_000) {
+            let d = CivilDate::from_epoch_days(days);
+            prop_assert_eq!(d.days_until(d.succ()), 1);
+        }
+
+        #[test]
+        fn prop_timestamp_civil_round_trip(secs in -5_000_000_000i64..5_000_000_000) {
+            let t = Timestamp::from_unix_seconds(secs);
+            let c = t.to_civil_utc();
+            let back = Timestamp::from_civil(
+                c.date.year(), c.date.month(), c.date.day(), c.hour, c.minute, c.second,
+            ).unwrap();
+            prop_assert_eq!(back, t);
+        }
+
+        #[test]
+        fn prop_local_offset_shifts_linearly(
+            secs in 0i64..2_000_000_000, offset in -840i32..=840,
+        ) {
+            let t = Timestamp::from_unix_seconds(secs);
+            let local = t.to_civil_local(offset);
+            let shifted = Timestamp::from_unix_seconds(secs + i64::from(offset) * 60);
+            prop_assert_eq!(local, shifted.to_civil_utc());
+        }
+    }
+}

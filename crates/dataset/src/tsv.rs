@@ -1,0 +1,337 @@
+//! Reader and writer for the Foursquare `dataset_TSMC2014_NYC.txt` TSV
+//! format, so the paper's real dataset drops in unchanged.
+//!
+//! Each line has eight tab-separated columns:
+//!
+//! ```text
+//! user_id \t venue_id \t category_id \t category_name \t lat \t lon \t tz_offset_minutes \t utc_time
+//! ```
+//!
+//! where `utc_time` looks like `Tue Apr 03 18:00:09 +0000 2012`. Venue
+//! ids in the real file are opaque hex strings; the reader interns them
+//! into dense [`VenueId`]s. Category names are interned into the
+//! taxonomy, with coarse kinds guessed by keyword
+//! ([`CategoryKind::guess`]).
+
+use crate::category::CategoryKind;
+use crate::{
+    CheckIn, Dataset, DatasetBuilder, DatasetError, Timestamp, UserId, Venue, VenueId, Weekday,
+};
+use crowdweb_geo::LatLon;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+const MONTH_ABBREVS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Parses a Foursquare-style UTC time string such as
+/// `Tue Apr 03 18:00:09 +0000 2012` into a [`Timestamp`].
+///
+/// The weekday token is ignored (it is redundant); the `±HHMM` offset is
+/// applied so non-UTC strings are also handled.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Parse`] (with line number 0) on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_dataset::tsv::parse_time;
+///
+/// # fn main() -> Result<(), crowdweb_dataset::DatasetError> {
+/// let t = parse_time("Tue Apr 03 18:00:09 +0000 2012")?;
+/// assert_eq!(t.to_civil_utc().to_string(), "2012-04-03 18:00:09");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_time(s: &str) -> Result<Timestamp, DatasetError> {
+    let fail = |message: &str| DatasetError::Parse {
+        line: 0,
+        message: format!("{message} in time string {s:?}"),
+    };
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if parts.len() != 6 {
+        return Err(fail("expected 6 whitespace-separated tokens"));
+    }
+    let month = MONTH_ABBREVS
+        .iter()
+        .position(|m| *m == parts[1])
+        .ok_or_else(|| fail("unknown month abbreviation"))? as u8
+        + 1;
+    let day: u8 = parts[2].parse().map_err(|_| fail("bad day"))?;
+    let hms: Vec<&str> = parts[3].split(':').collect();
+    if hms.len() != 3 {
+        return Err(fail("bad time of day"));
+    }
+    let hour: u8 = hms[0].parse().map_err(|_| fail("bad hour"))?;
+    let minute: u8 = hms[1].parse().map_err(|_| fail("bad minute"))?;
+    let second: u8 = hms[2].parse().map_err(|_| fail("bad second"))?;
+    let offset = parts[4];
+    if offset.len() != 5 || !(offset.starts_with('+') || offset.starts_with('-')) {
+        return Err(fail("bad offset"));
+    }
+    let off_h: i64 = offset[1..3].parse().map_err(|_| fail("bad offset hours"))?;
+    let off_m: i64 = offset[3..5]
+        .parse()
+        .map_err(|_| fail("bad offset minutes"))?;
+    let mut off_secs = (off_h * 60 + off_m) * 60;
+    if offset.starts_with('-') {
+        off_secs = -off_secs;
+    }
+    let year: i32 = parts[5].parse().map_err(|_| fail("bad year"))?;
+    let local = Timestamp::from_civil(year, month, day, hour, minute, second)?;
+    Ok(local.plus_seconds(-off_secs))
+}
+
+/// Formats a timestamp in the Foursquare style (always `+0000`).
+pub fn format_time(t: Timestamp) -> String {
+    let c = t.to_civil_utc();
+    let wd: Weekday = c.date.weekday();
+    format!(
+        "{} {} {:02} {:02}:{:02}:{:02} +0000 {}",
+        wd.abbrev(),
+        MONTH_ABBREVS[usize::from(c.date.month()) - 1],
+        c.date.day(),
+        c.hour,
+        c.minute,
+        c.second,
+        c.date.year(),
+    )
+}
+
+/// Reads a dataset in TSMC2014 TSV format from any [`Read`]er (a `&mut`
+/// reference works too, per the standard blanket impls).
+///
+/// Venue locations are taken from a venue's first occurrence; venue names
+/// in this format are the opaque venue-id strings.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Parse`] with a 1-based line number on any
+/// malformed line, [`DatasetError::Io`] on read failure, and the
+/// builder's validation errors from [`DatasetBuilder::build`].
+pub fn from_reader<R: Read>(reader: R) -> Result<Dataset, DatasetError> {
+    let mut builder = Dataset::builder();
+    let mut venue_ids: HashMap<String, VenueId> = HashMap::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        parse_line(&line, lineno, &mut builder, &mut venue_ids)?;
+    }
+    builder.build()
+}
+
+fn parse_line(
+    line: &str,
+    lineno: usize,
+    builder: &mut DatasetBuilder,
+    venue_ids: &mut HashMap<String, VenueId>,
+) -> Result<(), DatasetError> {
+    let fail = |message: String| DatasetError::Parse {
+        line: lineno,
+        message,
+    };
+    let cols: Vec<&str> = line.split('\t').collect();
+    if cols.len() != 8 {
+        return Err(fail(format!("expected 8 columns, found {}", cols.len())));
+    }
+    let user: u32 = cols[0]
+        .trim()
+        .parse()
+        .map_err(|_| fail(format!("bad user id {:?}", cols[0])))?;
+    let lat: f64 = cols[4]
+        .trim()
+        .parse()
+        .map_err(|_| fail(format!("bad latitude {:?}", cols[4])))?;
+    let lon: f64 = cols[5]
+        .trim()
+        .parse()
+        .map_err(|_| fail(format!("bad longitude {:?}", cols[5])))?;
+    let location = LatLon::new(lat, lon).map_err(|e| fail(e.to_string()))?;
+    let tz: i32 = cols[6]
+        .trim()
+        .parse()
+        .map_err(|_| fail(format!("bad timezone offset {:?}", cols[6])))?;
+    let time = parse_time(cols[7].trim()).map_err(|e| fail(e.to_string()))?;
+
+    let next_id = venue_ids.len() as u32;
+    let mut is_new = false;
+    let vid = *venue_ids.entry(cols[1].trim().to_owned()).or_insert_with(|| {
+        is_new = true;
+        VenueId::new(next_id)
+    });
+    if is_new {
+        let cat_name = cols[3].trim();
+        let kind = CategoryKind::guess(cat_name);
+        let cat = builder.taxonomy_mut().register(cat_name, kind);
+        builder.add_venue(Venue::new(vid, cols[1].trim(), location, cat));
+    }
+    builder.add_checkin(CheckIn::new(UserId::new(user), vid, time, tz));
+    Ok(())
+}
+
+/// Reads a dataset from a TSV string.
+///
+/// # Errors
+///
+/// Same as [`from_reader`].
+pub fn from_str(data: &str) -> Result<Dataset, DatasetError> {
+    from_reader(data.as_bytes())
+}
+
+/// Loads a dataset from a TSV file on disk.
+///
+/// # Errors
+///
+/// Same as [`from_reader`], plus I/O errors opening the file.
+pub fn load_path<P: AsRef<Path>>(path: P) -> Result<Dataset, DatasetError> {
+    from_reader(std::fs::File::open(path)?)
+}
+
+/// Writes a dataset in TSMC2014 TSV format to any [`Write`]r (a `&mut`
+/// reference works too).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on write failure.
+pub fn to_writer<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), DatasetError> {
+    for c in dataset.checkins() {
+        let venue = dataset
+            .venue(c.venue())
+            .expect("dataset invariants guarantee venue exists");
+        let cat_name = dataset
+            .taxonomy()
+            .name_of(venue.category())
+            .unwrap_or("Unknown");
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            c.user().raw(),
+            venue.name(),
+            venue.category().raw(),
+            cat_name,
+            venue.location().lat(),
+            venue.location().lon(),
+            c.tz_offset_minutes(),
+            format_time(c.time()),
+        )?;
+    }
+    Ok(())
+}
+
+/// Serializes a dataset to a TSV string.
+pub fn to_string(dataset: &Dataset) -> String {
+    let mut buf = Vec::new();
+    to_writer(dataset, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("tsv output is ascii")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "470\t49bbd6c0f964a520f4531fe3\t4bf58dd8d48988d127951735\tArts & Crafts Store\t40.719810375488535\t-74.00258103213994\t-240\tTue Apr 03 18:00:09 +0000 2012\n\
+1\t4a43c0aef964a520c6a61fe3\t4bf58dd8d48988d1df941735\tBridge\t40.60679958140643\t-74.04416981025437\t-240\tTue Apr 03 18:00:25 +0000 2012\n\
+470\t4c5cc7b485a1e21e00d35711\t4bf58dd8d48988d103941735\tHome (private)\t40.716161684843215\t-73.88307005845945\t-240\tTue Apr 03 18:02:24 +0000 2012\n";
+
+    #[test]
+    fn parse_time_known_value() {
+        let t = parse_time("Tue Apr 03 18:00:09 +0000 2012").unwrap();
+        assert_eq!(t.unix_seconds(), 1_333_476_009);
+    }
+
+    #[test]
+    fn parse_time_nonzero_offset() {
+        // 18:00 at +0200 is 16:00 UTC.
+        let t = parse_time("Tue Apr 03 18:00:00 +0200 2012").unwrap();
+        assert_eq!(t.to_civil_utc().hour, 16);
+        let t2 = parse_time("Tue Apr 03 18:00:00 -0430 2012").unwrap();
+        assert_eq!(t2.to_civil_utc().hour, 22);
+        assert_eq!(t2.to_civil_utc().minute, 30);
+    }
+
+    #[test]
+    fn parse_time_rejects_garbage() {
+        assert!(parse_time("not a time").is_err());
+        assert!(parse_time("Tue Foo 03 18:00:09 +0000 2012").is_err());
+        assert!(parse_time("Tue Apr 03 18:00 +0000 2012").is_err());
+        assert!(parse_time("Tue Apr 03 18:00:09 0000 2012").is_err());
+    }
+
+    #[test]
+    fn format_time_round_trips() {
+        let t = Timestamp::from_civil(2012, 4, 3, 18, 0, 9).unwrap();
+        let s = format_time(t);
+        assert_eq!(s, "Tue Apr 03 18:00:09 +0000 2012");
+        assert_eq!(parse_time(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn from_str_parses_sample() {
+        let d = from_str(SAMPLE).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.user_count(), 2);
+        assert_eq!(d.venue_count(), 3);
+        let u470 = d.checkins_of(UserId::new(470));
+        assert_eq!(u470.len(), 2);
+        // Category guessing: "Arts & Crafts Store" contains "store" -> Shops.
+        let v = d.venue(u470[0].venue()).unwrap();
+        assert_eq!(
+            d.taxonomy().kind_of(v.category()),
+            Some(CategoryKind::Shops)
+        );
+    }
+
+    #[test]
+    fn venue_interning_reuses_ids() {
+        let two_visits = "1\tvenueA\tx\tPark\t40.7\t-74.0\t-240\tTue Apr 03 10:00:00 +0000 2012\n\
+2\tvenueA\tx\tPark\t40.7\t-74.0\t-240\tWed Apr 04 10:00:00 +0000 2012\n";
+        let d = from_str(two_visits).unwrap();
+        assert_eq!(d.venue_count(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn bad_line_reports_line_number() {
+        let bad = "1\tonly\tthree\tcolumns\n";
+        match from_str(bad) {
+            Err(DatasetError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let with_blank = format!("\n{SAMPLE}\n\n");
+        assert_eq!(from_str(&with_blank).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn round_trip_write_read() {
+        let d = from_str(SAMPLE).unwrap();
+        let out = to_string(&d);
+        let d2 = from_str(&out).unwrap();
+        assert_eq!(d2.len(), d.len());
+        assert_eq!(d2.user_count(), d.user_count());
+        assert_eq!(d2.venue_count(), d.venue_count());
+        // Check-in times survive.
+        let t1: Vec<i64> = d.checkins().iter().map(|c| c.time().unix_seconds()).collect();
+        let t2: Vec<i64> = d2.checkins().iter().map(|c| c.time().unix_seconds()).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn load_path_missing_file_is_io_error() {
+        assert!(matches!(
+            load_path("/nonexistent/definitely/missing.tsv"),
+            Err(DatasetError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,311 @@
+//! Rectangular geographic extents.
+
+use crate::{GeoError, LatLon};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned geographic bounding box.
+///
+/// Invariant: `south < north` and `west < east` (boxes never cross the
+/// antimeridian; city-scale extents never need to).
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_geo::{BoundingBox, LatLon};
+///
+/// let nyc = BoundingBox::NYC;
+/// let times_square = LatLon::new(40.7580, -73.9855).unwrap();
+/// assert!(nyc.contains(times_square));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    south: f64,
+    north: f64,
+    west: f64,
+    east: f64,
+}
+
+impl BoundingBox {
+    /// The New York City extent used by the paper's Foursquare NYC dataset
+    /// (all five boroughs with a small margin).
+    pub const NYC: BoundingBox = BoundingBox {
+        south: 40.49,
+        north: 40.92,
+        west: -74.27,
+        east: -73.68,
+    };
+
+    /// Creates a bounding box from its four edges, in degrees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyBounds`] if `south >= north` or
+    /// `west >= east`, and the latitude/longitude validity errors of
+    /// [`LatLon::new`] if any edge is out of range.
+    pub fn new(south: f64, north: f64, west: f64, east: f64) -> Result<Self, GeoError> {
+        // Validate the corners via LatLon so range checks live in one place.
+        LatLon::new(south, west)?;
+        LatLon::new(north, east)?;
+        if south >= north || west >= east {
+            return Err(GeoError::EmptyBounds {
+                south,
+                north,
+                west,
+                east,
+            });
+        }
+        Ok(BoundingBox {
+            south,
+            north,
+            west,
+            east,
+        })
+    }
+
+    /// Smallest box containing every point in `points`, or `None` if the
+    /// iterator is empty or degenerate (all points on one line are padded
+    /// by a tiny epsilon so the result is a valid, non-empty box).
+    pub fn enclosing<I: IntoIterator<Item = LatLon>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (mut s, mut n, mut w, mut e) = (first.lat(), first.lat(), first.lon(), first.lon());
+        for pt in it {
+            s = s.min(pt.lat());
+            n = n.max(pt.lat());
+            w = w.min(pt.lon());
+            e = e.max(pt.lon());
+        }
+        const EPS: f64 = 1e-9;
+        if n - s < EPS {
+            s -= EPS;
+            n += EPS;
+        }
+        if e - w < EPS {
+            w -= EPS;
+            e += EPS;
+        }
+        BoundingBox::new(s.max(-90.0), n.min(90.0), w.max(-180.0), e.min(180.0)).ok()
+    }
+
+    /// Southern edge latitude in degrees.
+    pub fn south(&self) -> f64 {
+        self.south
+    }
+
+    /// Northern edge latitude in degrees.
+    pub fn north(&self) -> f64 {
+        self.north
+    }
+
+    /// Western edge longitude in degrees.
+    pub fn west(&self) -> f64 {
+        self.west
+    }
+
+    /// Eastern edge longitude in degrees.
+    pub fn east(&self) -> f64 {
+        self.east
+    }
+
+    /// Latitude span (`north - south`) in degrees; always positive.
+    pub fn lat_span(&self) -> f64 {
+        self.north - self.south
+    }
+
+    /// Longitude span (`east - west`) in degrees; always positive.
+    pub fn lon_span(&self) -> f64 {
+        self.east - self.west
+    }
+
+    /// Geometric center of the box.
+    pub fn center(&self) -> LatLon {
+        LatLon::new(
+            (self.south + self.north) / 2.0,
+            (self.west + self.east) / 2.0,
+        )
+        .expect("center of a valid box is valid")
+    }
+
+    /// Whether `point` lies inside the box (edges inclusive).
+    pub fn contains(&self, point: LatLon) -> bool {
+        (self.south..=self.north).contains(&point.lat())
+            && (self.west..=self.east).contains(&point.lon())
+    }
+
+    /// Whether `other` intersects this box (shared edges count).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.south <= other.north
+            && other.south <= self.north
+            && self.west <= other.east
+            && other.west <= self.east
+    }
+
+    /// Returns a copy expanded by `margin_deg` degrees on every side,
+    /// clamped to the valid coordinate domain.
+    pub fn expanded(&self, margin_deg: f64) -> BoundingBox {
+        BoundingBox {
+            south: (self.south - margin_deg).max(-90.0),
+            north: (self.north + margin_deg).min(90.0),
+            west: (self.west - margin_deg).max(-180.0),
+            east: (self.east + margin_deg).min(180.0),
+        }
+    }
+
+    /// Clamps a point into the box, used when synthetic walks step outside
+    /// the city.
+    pub fn clamp(&self, point: LatLon) -> LatLon {
+        LatLon::new(
+            point.lat().clamp(self.south, self.north),
+            point.lon().clamp(self.west, self.east),
+        )
+        .expect("clamped point is valid")
+    }
+
+    /// Approximate width of the box in metres, measured along the
+    /// mid-latitude parallel.
+    pub fn width_m(&self) -> f64 {
+        let mid = self.center().lat();
+        let a = LatLon::new(mid, self.west).expect("valid");
+        let b = LatLon::new(mid, self.east).expect("valid");
+        a.haversine_m(b)
+    }
+
+    /// Approximate height of the box in metres, measured along the
+    /// mid-longitude meridian.
+    pub fn height_m(&self) -> f64 {
+        let mid = self.center().lon();
+        let a = LatLon::new(self.south, mid).expect("valid");
+        let b = LatLon::new(self.north, mid).expect("valid");
+        a.haversine_m(b)
+    }
+
+    /// Linearly interpolates a point inside the box; `fx`/`fy` in `[0,1]`
+    /// map west→east and south→north respectively (values are clamped).
+    pub fn lerp(&self, fx: f64, fy: f64) -> LatLon {
+        let fx = fx.clamp(0.0, 1.0);
+        let fy = fy.clamp(0.0, 1.0);
+        LatLon::new(
+            self.south + fy * self.lat_span(),
+            self.west + fx * self.lon_span(),
+        )
+        .expect("interpolated point is inside a valid box")
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.4}, {:.4}] x [{:.4}, {:.4}]",
+            self.south, self.north, self.west, self.east
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(matches!(
+            BoundingBox::new(41.0, 40.0, -74.0, -73.0),
+            Err(GeoError::EmptyBounds { .. })
+        ));
+        assert!(matches!(
+            BoundingBox::new(40.0, 41.0, -73.0, -74.0),
+            Err(GeoError::EmptyBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn nyc_constant_is_valid_and_contains_manhattan() {
+        let b = BoundingBox::NYC;
+        assert!(b.south() < b.north() && b.west() < b.east());
+        assert!(b.contains(LatLon::new(40.7831, -73.9712).unwrap()));
+        assert!(!b.contains(LatLon::new(34.05, -118.24).unwrap())); // LA
+    }
+
+    #[test]
+    fn enclosing_covers_inputs() {
+        let pts = [
+            LatLon::new(40.7, -74.0).unwrap(),
+            LatLon::new(40.8, -73.9).unwrap(),
+            LatLon::new(40.75, -73.95).unwrap(),
+        ];
+        let b = BoundingBox::enclosing(pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn enclosing_empty_is_none() {
+        assert!(BoundingBox::enclosing(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn enclosing_single_point_is_nonempty() {
+        let p = LatLon::new(40.7, -74.0).unwrap();
+        let b = BoundingBox::enclosing([p]).unwrap();
+        assert!(b.contains(p));
+        assert!(b.lat_span() > 0.0 && b.lon_span() > 0.0);
+    }
+
+    #[test]
+    fn intersects_detects_overlap_and_disjoint() {
+        let a = BoundingBox::new(40.0, 41.0, -74.0, -73.0).unwrap();
+        let b = BoundingBox::new(40.5, 41.5, -73.5, -72.5).unwrap();
+        let c = BoundingBox::new(42.0, 43.0, -74.0, -73.0).unwrap();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn nyc_dimensions_plausible() {
+        // NYC extent should be tens of kilometres on each side.
+        let b = BoundingBox::NYC;
+        assert!((30_000.0..80_000.0).contains(&b.width_m()), "{}", b.width_m());
+        assert!(
+            (30_000.0..80_000.0).contains(&b.height_m()),
+            "{}",
+            b.height_m()
+        );
+    }
+
+    #[test]
+    fn clamp_moves_outside_point_to_edge() {
+        let b = BoundingBox::NYC;
+        let outside = LatLon::new(45.0, -80.0).unwrap();
+        let clamped = b.clamp(outside);
+        assert!(b.contains(clamped));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lerp_inside(fx in 0.0f64..=1.0, fy in 0.0f64..=1.0) {
+            let b = BoundingBox::NYC;
+            prop_assert!(b.contains(b.lerp(fx, fy)));
+        }
+
+        #[test]
+        fn prop_center_inside(
+            s in -80.0f64..0.0, span_lat in 0.1f64..40.0,
+            w in -170.0f64..0.0, span_lon in 0.1f64..40.0,
+        ) {
+            let b = BoundingBox::new(s, s + span_lat, w, w + span_lon).unwrap();
+            prop_assert!(b.contains(b.center()));
+        }
+
+        #[test]
+        fn prop_expanded_contains_original_corners(margin in 0.0f64..5.0) {
+            let b = BoundingBox::NYC;
+            let e = b.expanded(margin);
+            prop_assert!(e.contains(LatLon::new(b.south(), b.west()).unwrap()));
+            prop_assert!(e.contains(LatLon::new(b.north(), b.east()).unwrap()));
+        }
+    }
+}

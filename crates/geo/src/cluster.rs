@@ -1,0 +1,380 @@
+//! Clustering of geographic points.
+//!
+//! Two complementary algorithms:
+//!
+//! - [`grid_density_clusters`] — fast density clustering on a
+//!   [`MicrocellGrid`]: occupied cells above a density threshold are
+//!   flood-filled into connected clusters. This is how CrowdWeb groups
+//!   dense check-in areas into *hotspots*.
+//! - [`kmeans`] — classic Lloyd's k-means over coordinates, used to place
+//!   venue centroids and to derive activity centers for synthetic agents.
+
+use crate::{GeoError, LatLon, MicrocellGrid};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A cluster of points: member indices into the input slice plus a
+/// centroid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Indices into the input point slice.
+    pub members: Vec<usize>,
+    /// Mean coordinate of the members.
+    pub centroid: LatLon,
+}
+
+impl Cluster {
+    /// Number of member points.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+fn centroid_of(points: &[LatLon], members: &[usize]) -> LatLon {
+    let n = members.len().max(1) as f64;
+    let (mut lat, mut lon) = (0.0, 0.0);
+    for &i in members {
+        lat += points[i].lat();
+        lon += points[i].lon();
+    }
+    LatLon::new((lat / n).clamp(-90.0, 90.0), (lon / n).clamp(-180.0, 180.0))
+        .expect("mean of valid coordinates is valid")
+}
+
+/// Groups points into clusters of 8-connected grid cells whose occupancy
+/// is at least `min_points` per cell.
+///
+/// Points falling outside the grid or in under-dense cells are treated as
+/// noise and appear in no cluster. Clusters are returned largest-first.
+///
+/// # Errors
+///
+/// Returns [`GeoError::InvalidClusterParam`] if `min_points == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_geo::{grid_density_clusters, BoundingBox, LatLon, MicrocellGrid};
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// let grid = MicrocellGrid::new(BoundingBox::NYC, 40, 40)?;
+/// let hotspot = LatLon::new(40.7580, -73.9855)?;
+/// let points: Vec<LatLon> = (0..20).map(|_| hotspot).collect();
+/// let clusters = grid_density_clusters(&points, &grid, 3)?;
+/// assert_eq!(clusters.len(), 1);
+/// assert_eq!(clusters[0].len(), 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn grid_density_clusters(
+    points: &[LatLon],
+    grid: &MicrocellGrid,
+    min_points: usize,
+) -> Result<Vec<Cluster>, GeoError> {
+    if min_points == 0 {
+        return Err(GeoError::InvalidClusterParam("min_points must be positive"));
+    }
+    let mut by_cell: HashMap<crate::CellId, Vec<usize>> = HashMap::new();
+    for (i, &p) in points.iter().enumerate() {
+        if let Some(cell) = grid.cell_of(p) {
+            by_cell.entry(cell).or_default().push(i);
+        }
+    }
+    by_cell.retain(|_, v| v.len() >= min_points);
+
+    let mut visited: HashMap<crate::CellId, bool> = HashMap::new();
+    let mut clusters = Vec::new();
+    // Deterministic iteration: sort the dense cells.
+    let mut dense: Vec<_> = by_cell.keys().copied().collect();
+    dense.sort();
+    for seed in dense {
+        if visited.get(&seed).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([seed]);
+        visited.insert(seed, true);
+        while let Some(cell) = queue.pop_front() {
+            members.extend_from_slice(&by_cell[&cell]);
+            for nb in grid.neighbors(cell) {
+                if by_cell.contains_key(&nb) && !visited.get(&nb).copied().unwrap_or(false) {
+                    visited.insert(nb, true);
+                    queue.push_back(nb);
+                }
+            }
+        }
+        members.sort_unstable();
+        let centroid = centroid_of(points, &members);
+        clusters.push(Cluster { members, centroid });
+    }
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    Ok(clusters)
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters to produce.
+    pub k: usize,
+    /// Maximum Lloyd iterations before giving up on convergence.
+    pub max_iterations: usize,
+    /// Stop when no centroid moves more than this many metres.
+    pub tolerance_m: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iterations: 100,
+            tolerance_m: 1.0,
+        }
+    }
+}
+
+/// Lloyd's k-means over coordinates with deterministic farthest-point
+/// initialization (no RNG, so results are reproducible).
+///
+/// Returns exactly `min(k, points.len())` non-empty clusters, sorted
+/// largest-first.
+///
+/// # Errors
+///
+/// Returns [`GeoError::InvalidClusterParam`] if `config.k == 0` or
+/// `config.max_iterations == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_geo::{kmeans, KMeansConfig, LatLon};
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// let downtown = LatLon::new(40.71, -74.01)?;
+/// let midtown = LatLon::new(40.76, -73.98)?;
+/// let mut pts = vec![downtown; 10];
+/// pts.extend(vec![midtown; 10]);
+/// let clusters = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() })?;
+/// assert_eq!(clusters.len(), 2);
+/// assert_eq!(clusters[0].len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kmeans(points: &[LatLon], config: &KMeansConfig) -> Result<Vec<Cluster>, GeoError> {
+    if config.k == 0 {
+        return Err(GeoError::InvalidClusterParam("k must be positive"));
+    }
+    if config.max_iterations == 0 {
+        return Err(GeoError::InvalidClusterParam(
+            "max_iterations must be positive",
+        ));
+    }
+    if points.is_empty() {
+        return Ok(Vec::new());
+    }
+    let k = config.k.min(points.len());
+
+    // Farthest-point ("k-means++ without randomness") initialization.
+    let mut centroids: Vec<LatLon> = vec![points[0]];
+    while centroids.len() < k {
+        let (best_idx, _) = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d = centroids
+                    .iter()
+                    .map(|c| c.equirectangular_m(*p))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("points is non-empty");
+        centroids.push(points[best_idx]);
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..config.max_iterations {
+        // Assign.
+        for (i, p) in points.iter().enumerate() {
+            assignment[i] = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    p.equirectangular_m(**a).total_cmp(&p.equirectangular_m(**b))
+                })
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+        }
+        // Update.
+        let mut moved = 0.0f64;
+        for (j, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..points.len()).filter(|&i| assignment[i] == j).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let new_c = centroid_of(points, &members);
+            moved = moved.max(centroid.equirectangular_m(new_c));
+            *centroid = new_c;
+        }
+        if moved <= config.tolerance_m {
+            break;
+        }
+    }
+
+    let mut clusters: Vec<Cluster> = (0..k)
+        .map(|j| {
+            let members: Vec<usize> = (0..points.len()).filter(|&i| assignment[i] == j).collect();
+            let centroid = if members.is_empty() {
+                centroids[j]
+            } else {
+                centroid_of(points, &members)
+            };
+            Cluster { members, centroid }
+        })
+        .filter(|c| !c.is_empty())
+        .collect();
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    Ok(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoundingBox;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn density_rejects_zero_min_points() {
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 10, 10).unwrap();
+        assert!(grid_density_clusters(&[], &grid, 0).is_err());
+    }
+
+    #[test]
+    fn density_two_separate_hotspots() {
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 40, 40).unwrap();
+        let mut pts = vec![p(40.71, -74.01); 10];
+        pts.extend(vec![p(40.85, -73.80); 7]);
+        let clusters = grid_density_clusters(&pts, &grid, 3).unwrap();
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 10);
+        assert_eq!(clusters[1].len(), 7);
+    }
+
+    #[test]
+    fn density_ignores_sparse_noise() {
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 40, 40).unwrap();
+        let mut pts = vec![p(40.71, -74.01); 10];
+        pts.push(p(40.60, -73.70)); // lone point, below threshold
+        let clusters = grid_density_clusters(&pts, &grid, 3).unwrap();
+        assert_eq!(clusters.len(), 1);
+        let total: usize = clusters.iter().map(Cluster::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn density_ignores_points_outside_grid() {
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 10, 10).unwrap();
+        let pts = vec![p(0.0, 0.0); 10];
+        let clusters = grid_density_clusters(&pts, &grid, 1).unwrap();
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn density_merges_adjacent_cells() {
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 40, 40).unwrap();
+        // Two adjacent cells, both dense: should flood-fill into one cluster.
+        let c0 = grid.cell_center(grid.cell_at(20, 20).unwrap()).unwrap();
+        let c1 = grid.cell_center(grid.cell_at(20, 21).unwrap()).unwrap();
+        let mut pts = vec![c0; 5];
+        pts.extend(vec![c1; 5]);
+        let clusters = grid_density_clusters(&pts, &grid, 3).unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 10);
+    }
+
+    #[test]
+    fn kmeans_rejects_bad_config() {
+        assert!(kmeans(&[], &KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &[],
+            &KMeansConfig {
+                max_iterations: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn kmeans_empty_input_is_empty() {
+        assert!(kmeans(&[], &KMeansConfig::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let mut pts = vec![p(40.71, -74.01); 12];
+        pts.extend(vec![p(40.85, -73.80); 8]);
+        let clusters = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 12);
+        assert_eq!(clusters[1].len(), 8);
+        // Centroids are at the blob centers.
+        assert!(clusters[0].centroid.haversine_m(p(40.71, -74.01)) < 10.0);
+    }
+
+    #[test]
+    fn kmeans_k_larger_than_points() {
+        let pts = vec![p(40.7, -74.0), p(40.8, -73.9)];
+        let clusters = kmeans(&pts, &KMeansConfig { k: 10, ..Default::default() }).unwrap();
+        assert_eq!(clusters.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kmeans_partitions_all_points(
+            n in 1usize..60, k in 1usize..6, seed in any::<u64>()
+        ) {
+            // Pseudo-random but deterministic point cloud.
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let b = BoundingBox::NYC;
+            let pts: Vec<LatLon> = (0..n).map(|_| b.lerp(next(), next())).collect();
+            let clusters = kmeans(&pts, &KMeansConfig { k, ..Default::default() }).unwrap();
+            let mut seen: Vec<usize> = clusters.iter().flat_map(|c| c.members.clone()).collect();
+            seen.sort_unstable();
+            // Every point in exactly one cluster.
+            prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_density_members_unique(n in 1usize..60, seed in any::<u64>()) {
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let b = BoundingBox::NYC;
+            let grid = MicrocellGrid::new(b, 20, 20).unwrap();
+            let pts: Vec<LatLon> = (0..n).map(|_| b.lerp(next(), next())).collect();
+            let clusters = grid_density_clusters(&pts, &grid, 1).unwrap();
+            let mut seen: Vec<usize> = clusters.iter().flat_map(|c| c.members.clone()).collect();
+            let len = seen.len();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(len, seen.len());
+            // min_points = 1 means every in-grid point is clustered.
+            prop_assert_eq!(len, n);
+        }
+    }
+}

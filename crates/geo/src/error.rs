@@ -1,0 +1,102 @@
+//! Error types for geographic operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by geographic constructors and operations.
+///
+/// All validating constructors in this crate ([`crate::LatLon::new`],
+/// [`crate::BoundingBox::new`], [`crate::MicrocellGrid::new`], …) return
+/// this type on invalid input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Latitude outside `[-90, 90]` or not finite.
+    InvalidLatitude(f64),
+    /// Longitude outside `[-180, 180]` or not finite.
+    InvalidLongitude(f64),
+    /// Bounding box with min >= max on some axis.
+    EmptyBounds {
+        /// Southern latitude bound supplied.
+        south: f64,
+        /// Northern latitude bound supplied.
+        north: f64,
+        /// Western longitude bound supplied.
+        west: f64,
+        /// Eastern longitude bound supplied.
+        east: f64,
+    },
+    /// Grid construction with zero rows or columns.
+    EmptyGrid,
+    /// Tile coordinate out of range for its zoom level.
+    InvalidTile {
+        /// Zoom level supplied.
+        zoom: u8,
+        /// Tile x index supplied.
+        x: u32,
+        /// Tile y index supplied.
+        y: u32,
+    },
+    /// Zoom level above the supported maximum (30).
+    InvalidZoom(u8),
+    /// Quadkey string containing a character other than `0`–`3`.
+    InvalidQuadkey(String),
+    /// Clustering requested with an invalid parameter (e.g. `k == 0`).
+    InvalidClusterParam(&'static str),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} is outside [-90, 90] or not finite")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "longitude {v} is outside [-180, 180] or not finite")
+            }
+            GeoError::EmptyBounds {
+                south,
+                north,
+                west,
+                east,
+            } => write!(
+                f,
+                "bounding box is empty: south {south} north {north} west {west} east {east}"
+            ),
+            GeoError::EmptyGrid => write!(f, "grid must have at least one row and one column"),
+            GeoError::InvalidTile { zoom, x, y } => {
+                write!(f, "tile ({x}, {y}) is out of range for zoom {zoom}")
+            }
+            GeoError::InvalidZoom(z) => write!(f, "zoom level {z} exceeds supported maximum 30"),
+            GeoError::InvalidQuadkey(s) => write!(f, "invalid quadkey string {s:?}"),
+            GeoError::InvalidClusterParam(what) => {
+                write!(f, "invalid clustering parameter: {what}")
+            }
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = GeoError::InvalidLatitude(123.0);
+        let msg = err.to_string();
+        assert!(msg.starts_with("latitude"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        assert!(!format!("{:?}", GeoError::EmptyGrid).is_empty());
+    }
+}

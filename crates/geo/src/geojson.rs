@@ -1,0 +1,258 @@
+//! Minimal GeoJSON (RFC 7946) types for interchange with the web
+//! front-end.
+//!
+//! Only the subset CrowdWeb serves is modelled: `Point` and `Polygon`
+//! geometries, features with free-form JSON-like properties, and feature
+//! collections. Serialization derives the exact RFC 7946 field layout via
+//! serde, so `serde_json::to_string` on these types yields valid GeoJSON.
+
+use crate::{BoundingBox, LatLon};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A GeoJSON property value. A deliberately small subset of JSON — enough
+/// for counts, labels, and identifiers — so this crate does not depend on
+/// `serde_json` itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum PropertyValue {
+    /// String property.
+    Str(String),
+    /// Numeric property.
+    Num(f64),
+    /// Integer property (serialized as a JSON number).
+    Int(i64),
+    /// Boolean property.
+    Bool(bool),
+}
+
+impl From<&str> for PropertyValue {
+    fn from(v: &str) -> Self {
+        PropertyValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for PropertyValue {
+    fn from(v: String) -> Self {
+        PropertyValue::Str(v)
+    }
+}
+
+impl From<f64> for PropertyValue {
+    fn from(v: f64) -> Self {
+        PropertyValue::Num(v)
+    }
+}
+
+impl From<i64> for PropertyValue {
+    fn from(v: i64) -> Self {
+        PropertyValue::Int(v)
+    }
+}
+
+impl From<bool> for PropertyValue {
+    fn from(v: bool) -> Self {
+        PropertyValue::Bool(v)
+    }
+}
+
+/// A GeoJSON geometry: `Point` or `Polygon`.
+///
+/// Coordinates follow the GeoJSON order `[longitude, latitude]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", content = "coordinates")]
+pub enum Geometry {
+    /// A single position.
+    Point([f64; 2]),
+    /// An ordered path of positions.
+    LineString(Vec<[f64; 2]>),
+    /// An exterior ring (first == last position), no holes.
+    Polygon(Vec<Vec<[f64; 2]>>),
+}
+
+impl Geometry {
+    /// A point geometry from a coordinate.
+    pub fn point(p: LatLon) -> Geometry {
+        Geometry::Point([p.lon(), p.lat()])
+    }
+
+    /// A line-string geometry from an ordered coordinate path.
+    pub fn line(points: &[LatLon]) -> Geometry {
+        Geometry::LineString(points.iter().map(|p| [p.lon(), p.lat()]).collect())
+    }
+
+    /// A rectangle polygon from a bounding box (closed exterior ring,
+    /// counter-clockwise per RFC 7946).
+    pub fn rect(b: BoundingBox) -> Geometry {
+        let ring = vec![
+            [b.west(), b.south()],
+            [b.east(), b.south()],
+            [b.east(), b.north()],
+            [b.west(), b.north()],
+            [b.west(), b.south()],
+        ];
+        Geometry::Polygon(vec![ring])
+    }
+}
+
+/// A GeoJSON feature: one geometry plus properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Feature {
+    /// Always the string `"Feature"`.
+    #[serde(rename = "type")]
+    pub feature_type: FeatureTag,
+    /// The feature's geometry.
+    pub geometry: Geometry,
+    /// Free-form properties (sorted map for deterministic output).
+    pub properties: BTreeMap<String, PropertyValue>,
+}
+
+/// Marker for the GeoJSON `"Feature"` type tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FeatureTag {
+    /// The only allowed value.
+    #[default]
+    Feature,
+}
+
+/// Marker for the GeoJSON `"FeatureCollection"` type tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FeatureCollectionTag {
+    /// The only allowed value.
+    #[default]
+    FeatureCollection,
+}
+
+impl Feature {
+    /// Creates a feature with no properties.
+    pub fn new(geometry: Geometry) -> Feature {
+        Feature {
+            feature_type: FeatureTag::Feature,
+            geometry,
+            properties: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a property, builder-style.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crowdweb_geo::geojson::{Feature, Geometry};
+    /// use crowdweb_geo::LatLon;
+    ///
+    /// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+    /// let p = LatLon::new(40.7580, -73.9855)?;
+    /// let f = Feature::new(Geometry::point(p)).with_property("name", "Times Square");
+    /// assert_eq!(f.properties.len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_property(mut self, key: &str, value: impl Into<PropertyValue>) -> Feature {
+        self.properties.insert(key.to_owned(), value.into());
+        self
+    }
+}
+
+/// A GeoJSON feature collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FeatureCollection {
+    /// Always the string `"FeatureCollection"`.
+    #[serde(rename = "type")]
+    pub collection_type: FeatureCollectionTag,
+    /// The member features.
+    pub features: Vec<Feature>,
+}
+
+impl FeatureCollection {
+    /// Creates an empty collection.
+    pub fn new() -> FeatureCollection {
+        FeatureCollection::default()
+    }
+}
+
+impl FromIterator<Feature> for FeatureCollection {
+    fn from_iter<I: IntoIterator<Item = Feature>>(iter: I) -> Self {
+        FeatureCollection {
+            collection_type: FeatureCollectionTag::FeatureCollection,
+            features: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Feature> for FeatureCollection {
+    fn extend<I: IntoIterator<Item = Feature>>(&mut self, iter: I) {
+        self.features.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_coordinates_are_lon_lat() {
+        let p = LatLon::new(40.75, -73.98).unwrap();
+        match Geometry::point(p) {
+            Geometry::Point([lon, lat]) => {
+                assert_eq!(lon, -73.98);
+                assert_eq!(lat, 40.75);
+            }
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_preserves_order() {
+        let a = LatLon::new(40.70, -74.00).unwrap();
+        let b = LatLon::new(40.75, -73.98).unwrap();
+        match Geometry::line(&[a, b]) {
+            Geometry::LineString(coords) => {
+                assert_eq!(coords, vec![[-74.00, 40.70], [-73.98, 40.75]]);
+            }
+            other => panic!("expected line string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rect_ring_is_closed() {
+        let g = Geometry::rect(BoundingBox::NYC);
+        match g {
+            Geometry::Polygon(rings) => {
+                assert_eq!(rings.len(), 1);
+                assert_eq!(rings[0].first(), rings[0].last());
+                assert_eq!(rings[0].len(), 5);
+            }
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feature_builder_accumulates_properties() {
+        let p = LatLon::new(40.75, -73.98).unwrap();
+        let f = Feature::new(Geometry::point(p))
+            .with_property("count", 7i64)
+            .with_property("kind", "hotspot")
+            .with_property("score", 0.5)
+            .with_property("active", true);
+        assert_eq!(f.properties.len(), 4);
+        assert_eq!(f.properties["count"], PropertyValue::Int(7));
+        assert_eq!(f.properties["active"], PropertyValue::Bool(true));
+    }
+
+    #[test]
+    fn collection_from_iterator() {
+        let p = LatLon::new(40.75, -73.98).unwrap();
+        let fc: FeatureCollection =
+            (0..3).map(|_| Feature::new(Geometry::point(p))).collect();
+        assert_eq!(fc.features.len(), 3);
+    }
+
+    #[test]
+    fn collection_extend() {
+        let p = LatLon::new(40.75, -73.98).unwrap();
+        let mut fc = FeatureCollection::new();
+        fc.extend([Feature::new(Geometry::point(p))]);
+        assert_eq!(fc.features.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Uniform microcell grids.
+//!
+//! CrowdWeb aggregates a city into *microcells* — small rectangular cells
+//! of a uniform grid laid over the city's bounding box. A user whose
+//! pattern says "shops at 8 am" is placed in the microcell of the shop,
+//! and the crowd view counts users per microcell per time window.
+
+use crate::{BoundingBox, GeoError, LatLon};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a microcell inside a [`MicrocellGrid`].
+///
+/// Cells are numbered row-major from the south-west corner: cell 0 is the
+/// south-west cell, cell `cols - 1` the south-east, and so on northward.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CellId(pub u32);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A uniform rows × cols grid over a bounding box, mapping coordinates to
+/// [`CellId`]s and back.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_geo::{BoundingBox, LatLon, MicrocellGrid};
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// let grid = MicrocellGrid::new(BoundingBox::NYC, 10, 10)?;
+/// let p = LatLon::new(40.7580, -73.9855)?;
+/// let cell = grid.cell_of(p).expect("point is inside the grid");
+/// assert!(grid.cell_bounds(cell).unwrap().contains(p));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicrocellGrid {
+    bounds: BoundingBox,
+    rows: u32,
+    cols: u32,
+}
+
+impl MicrocellGrid {
+    /// Creates a grid of `rows` × `cols` cells over `bounds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyGrid`] if `rows` or `cols` is zero.
+    pub fn new(bounds: BoundingBox, rows: u32, cols: u32) -> Result<Self, GeoError> {
+        if rows == 0 || cols == 0 {
+            return Err(GeoError::EmptyGrid);
+        }
+        Ok(MicrocellGrid { bounds, rows, cols })
+    }
+
+    /// Creates a grid over `bounds` whose cells are approximately
+    /// `cell_size_m` metres on each side (at least 1×1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidClusterParam`] if `cell_size_m` is not
+    /// strictly positive and finite.
+    pub fn with_cell_size(bounds: BoundingBox, cell_size_m: f64) -> Result<Self, GeoError> {
+        if !(cell_size_m.is_finite() && cell_size_m > 0.0) {
+            return Err(GeoError::InvalidClusterParam(
+                "cell size must be positive and finite",
+            ));
+        }
+        let rows = (bounds.height_m() / cell_size_m).ceil().max(1.0) as u32;
+        let cols = (bounds.width_m() / cell_size_m).ceil().max(1.0) as u32;
+        MicrocellGrid::new(bounds, rows, cols)
+    }
+
+    /// The bounding box the grid covers.
+    pub fn bounds(&self) -> BoundingBox {
+        self.bounds
+    }
+
+    /// Number of rows (south→north).
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns (west→east).
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Total number of cells (`rows * cols`).
+    pub fn len(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// Whether the grid has zero cells. Always `false` for a constructed
+    /// grid; provided for API completeness alongside [`Self::len`].
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cell containing `point`, or `None` if the point is outside the
+    /// grid bounds. Points exactly on the north/east edge map to the last
+    /// row/column.
+    pub fn cell_of(&self, point: LatLon) -> Option<CellId> {
+        if !self.bounds.contains(point) {
+            return None;
+        }
+        let fy = (point.lat() - self.bounds.south()) / self.bounds.lat_span();
+        let fx = (point.lon() - self.bounds.west()) / self.bounds.lon_span();
+        let row = ((fy * f64::from(self.rows)) as u32).min(self.rows - 1);
+        let col = ((fx * f64::from(self.cols)) as u32).min(self.cols - 1);
+        Some(CellId(row * self.cols + col))
+    }
+
+    /// `(row, col)` of a cell, or `None` if the id is out of range.
+    pub fn position(&self, cell: CellId) -> Option<(u32, u32)> {
+        if cell.0 >= self.len() {
+            return None;
+        }
+        Some((cell.0 / self.cols, cell.0 % self.cols))
+    }
+
+    /// The id for a `(row, col)` position, or `None` if out of range.
+    pub fn cell_at(&self, row: u32, col: u32) -> Option<CellId> {
+        if row >= self.rows || col >= self.cols {
+            return None;
+        }
+        Some(CellId(row * self.cols + col))
+    }
+
+    /// Bounding box of a cell, or `None` if the id is out of range.
+    pub fn cell_bounds(&self, cell: CellId) -> Option<BoundingBox> {
+        let (row, col) = self.position(cell)?;
+        let lat_step = self.bounds.lat_span() / f64::from(self.rows);
+        let lon_step = self.bounds.lon_span() / f64::from(self.cols);
+        let south = self.bounds.south() + f64::from(row) * lat_step;
+        let west = self.bounds.west() + f64::from(col) * lon_step;
+        BoundingBox::new(south, south + lat_step, west, west + lon_step).ok()
+    }
+
+    /// Center point of a cell, or `None` if the id is out of range.
+    pub fn cell_center(&self, cell: CellId) -> Option<LatLon> {
+        self.cell_bounds(cell).map(|b| b.center())
+    }
+
+    /// Iterator over every cell id, row-major from the south-west corner.
+    pub fn iter(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.len()).map(CellId)
+    }
+
+    /// The up-to-8 neighbouring cells of `cell` (fewer at the grid edge),
+    /// or an empty vector if the id is out of range.
+    pub fn neighbors(&self, cell: CellId) -> Vec<CellId> {
+        let Some((row, col)) = self.position(cell) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(8);
+        for dr in -1i64..=1 {
+            for dc in -1i64..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let (nr, nc) = (i64::from(row) + dr, i64::from(col) + dc);
+                if nr >= 0 && nc >= 0 && (nr as u32) < self.rows && (nc as u32) < self.cols {
+                    out.push(CellId(nr as u32 * self.cols + nc as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// Chebyshev (king-move) distance between two cells in cell units, or
+    /// `None` if either id is out of range.
+    pub fn chebyshev_distance(&self, a: CellId, b: CellId) -> Option<u32> {
+        let (ar, ac) = self.position(a)?;
+        let (br, bc) = self.position(b)?;
+        Some((ar.abs_diff(br)).max(ac.abs_diff(bc)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid() -> MicrocellGrid {
+        MicrocellGrid::new(BoundingBox::NYC, 8, 12).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_zero_dims() {
+        assert!(matches!(
+            MicrocellGrid::new(BoundingBox::NYC, 0, 5),
+            Err(GeoError::EmptyGrid)
+        ));
+        assert!(matches!(
+            MicrocellGrid::new(BoundingBox::NYC, 5, 0),
+            Err(GeoError::EmptyGrid)
+        ));
+    }
+
+    #[test]
+    fn with_cell_size_produces_expected_scale() {
+        let g = MicrocellGrid::with_cell_size(BoundingBox::NYC, 1_000.0).unwrap();
+        // NYC is roughly 48x50 km, so about that many 1 km cells per side.
+        assert!((30..100).contains(&g.rows()), "rows {}", g.rows());
+        assert!((30..100).contains(&g.cols()), "cols {}", g.cols());
+    }
+
+    #[test]
+    fn with_cell_size_rejects_nonpositive() {
+        assert!(MicrocellGrid::with_cell_size(BoundingBox::NYC, 0.0).is_err());
+        assert!(MicrocellGrid::with_cell_size(BoundingBox::NYC, -5.0).is_err());
+        assert!(MicrocellGrid::with_cell_size(BoundingBox::NYC, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn corners_map_to_corner_cells() {
+        let g = grid();
+        let b = g.bounds();
+        let sw = LatLon::new(b.south(), b.west()).unwrap();
+        let ne = LatLon::new(b.north(), b.east()).unwrap();
+        assert_eq!(g.cell_of(sw), Some(CellId(0)));
+        assert_eq!(g.cell_of(ne), Some(CellId(g.len() - 1)));
+    }
+
+    #[test]
+    fn outside_point_is_none() {
+        assert_eq!(grid().cell_of(LatLon::new(0.0, 0.0).unwrap()), None);
+    }
+
+    #[test]
+    fn position_round_trip() {
+        let g = grid();
+        for cell in g.iter() {
+            let (row, col) = g.position(cell).unwrap();
+            assert_eq!(g.cell_at(row, col), Some(cell));
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_are_none() {
+        let g = grid();
+        let bad = CellId(g.len());
+        assert_eq!(g.position(bad), None);
+        assert_eq!(g.cell_bounds(bad), None);
+        assert_eq!(g.cell_center(bad), None);
+        assert!(g.neighbors(bad).is_empty());
+    }
+
+    #[test]
+    fn interior_cell_has_eight_neighbors() {
+        let g = grid();
+        let interior = g.cell_at(3, 5).unwrap();
+        assert_eq!(g.neighbors(interior).len(), 8);
+        let corner = g.cell_at(0, 0).unwrap();
+        assert_eq!(g.neighbors(corner).len(), 3);
+    }
+
+    #[test]
+    fn chebyshev_distance_examples() {
+        let g = grid();
+        let a = g.cell_at(0, 0).unwrap();
+        let b = g.cell_at(3, 5).unwrap();
+        assert_eq!(g.chebyshev_distance(a, b), Some(5));
+        assert_eq!(g.chebyshev_distance(a, a), Some(0));
+    }
+
+    #[test]
+    fn cell_bounds_tile_the_grid_bounds() {
+        let g = grid();
+        let total_area: f64 = g
+            .iter()
+            .map(|c| {
+                let b = g.cell_bounds(c).unwrap();
+                b.lat_span() * b.lon_span()
+            })
+            .sum();
+        let full = g.bounds().lat_span() * g.bounds().lon_span();
+        assert!((total_area - full).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cell_contains_its_point(fx in 0.0f64..1.0, fy in 0.0f64..1.0) {
+            let g = grid();
+            let p = g.bounds().lerp(fx, fy);
+            let cell = g.cell_of(p).unwrap();
+            let b = g.cell_bounds(cell).unwrap();
+            // Allow edge tolerance: a point on a shared edge belongs to
+            // exactly one cell but is contained by both boxes.
+            prop_assert!(b.expanded(1e-12).contains(p));
+        }
+
+        #[test]
+        fn prop_center_maps_back_to_cell(row in 0u32..8, col in 0u32..12) {
+            let g = grid();
+            let cell = g.cell_at(row, col).unwrap();
+            let center = g.cell_center(cell).unwrap();
+            prop_assert_eq!(g.cell_of(center), Some(cell));
+        }
+    }
+}

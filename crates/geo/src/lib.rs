@@ -1,0 +1,55 @@
+//! Geographic substrate for the CrowdWeb platform.
+//!
+//! This crate provides the spatial primitives that every other CrowdWeb
+//! subsystem builds on:
+//!
+//! - [`LatLon`] — a validated WGS-84 coordinate with great-circle distance
+//!   and bearing math ([`point`]).
+//! - [`BoundingBox`] — rectangular geographic extents, including the New
+//!   York City extent used by the paper's Foursquare dataset ([`bbox`]).
+//! - [`MicrocellGrid`] — the uniform *microcell* decomposition of a city
+//!   that CrowdWeb aggregates crowds into ([`grid`]).
+//! - [`TileCoord`] — slippy-map tile coordinates and quadkeys for serving
+//!   map data to the web front-end ([`tile`]).
+//! - Clustering — grid-density and k-means clustering of check-in points
+//!   ([`cluster`]).
+//! - GeoJSON — minimal geometry/feature types for interchange
+//!   ([`geojson`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_geo::{BoundingBox, LatLon, MicrocellGrid};
+//!
+//! # fn main() -> Result<(), crowdweb_geo::GeoError> {
+//! let nyc = BoundingBox::NYC;
+//! let grid = MicrocellGrid::new(nyc, 20, 20)?;
+//! let times_square = LatLon::new(40.7580, -73.9855)?;
+//! let cell = grid.cell_of(times_square).expect("inside NYC");
+//! assert!(grid.cell_bounds(cell).unwrap().contains(times_square));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod cluster;
+pub mod error;
+pub mod geojson;
+pub mod grid;
+pub mod point;
+pub mod polyline;
+pub mod tile;
+pub mod trajectory;
+
+pub use bbox::BoundingBox;
+pub use cluster::{grid_density_clusters, kmeans, Cluster, KMeansConfig};
+pub use error::GeoError;
+pub use grid::{CellId, MicrocellGrid};
+pub use point::LatLon;
+pub use tile::TileCoord;
+
+/// Mean Earth radius in metres (IUGG value), used by all distance math.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;

@@ -1,0 +1,251 @@
+//! WGS-84 coordinates and great-circle math.
+
+use crate::{GeoError, EARTH_RADIUS_M};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated WGS-84 latitude/longitude pair, in degrees.
+///
+/// The constructor rejects non-finite values and values outside the valid
+/// range, so every `LatLon` in the system is known-good.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_geo::LatLon;
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// let empire_state = LatLon::new(40.7484, -73.9857)?;
+/// let one_wtc = LatLon::new(40.7127, -74.0134)?;
+/// let d = empire_state.haversine_m(one_wtc);
+/// assert!((d - 4_600.0).abs() < 300.0, "roughly 4.6 km apart, got {d}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    lat: f64,
+    lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate from latitude and longitude in degrees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidLatitude`] if `lat` is not finite or is
+    /// outside `[-90, 90]`, and [`GeoError::InvalidLongitude`] likewise for
+    /// `lon` and `[-180, 180]`.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, GeoError> {
+        if !lat.is_finite() || !(-90.0..=90.0).contains(&lat) {
+            return Err(GeoError::InvalidLatitude(lat));
+        }
+        if !lon.is_finite() || !(-180.0..=180.0).contains(&lon) {
+            return Err(GeoError::InvalidLongitude(lon));
+        }
+        Ok(LatLon { lat, lon })
+    }
+
+    /// Latitude in degrees, in `[-90, 90]`.
+    pub fn lat(self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in degrees, in `[-180, 180]`.
+    pub fn lon(self) -> f64 {
+        self.lon
+    }
+
+    /// Great-circle distance to `other` in metres using the haversine
+    /// formula, which is numerically stable for small distances.
+    pub fn haversine_m(self, other: LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Fast approximate distance to `other` in metres using the
+    /// equirectangular projection.
+    ///
+    /// Within a city-sized extent the error versus [`Self::haversine_m`] is
+    /// well under 0.1 %, and it avoids the trigonometric calls on the hot
+    /// path of grid assignment and clustering.
+    pub fn equirectangular_m(self, other: LatLon) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos();
+        let dy = (other.lat - self.lat).to_radians();
+        EARTH_RADIUS_M * (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Initial bearing from `self` to `other`, in degrees clockwise from
+    /// north, normalized to `[0, 360)`.
+    pub fn bearing_deg(self, other: LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// Destination point after travelling `distance_m` metres along the
+    /// given initial `bearing_deg` (degrees clockwise from north).
+    ///
+    /// The result is clamped back into the valid coordinate domain, so it
+    /// is always constructible.
+    pub fn destination(self, bearing_deg: f64, distance_m: f64) -> LatLon {
+        let delta = distance_m / EARTH_RADIUS_M;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+        let lat = lat2.to_degrees().clamp(-90.0, 90.0);
+        let mut lon = lon2.to_degrees();
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon < -180.0 {
+            lon += 360.0;
+        }
+        LatLon {
+            lat,
+            lon: lon.clamp(-180.0, 180.0),
+        }
+    }
+
+    /// Midpoint between `self` and `other` computed on the chord, adequate
+    /// for city-scale extents.
+    pub fn midpoint(self, other: LatLon) -> LatLon {
+        LatLon {
+            lat: (self.lat + other.lat) / 2.0,
+            lon: (self.lon + other.lon) / 2.0,
+        }
+    }
+}
+
+impl fmt::Display for LatLon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(matches!(
+            LatLon::new(91.0, 0.0),
+            Err(GeoError::InvalidLatitude(_))
+        ));
+        assert!(matches!(
+            LatLon::new(0.0, -181.0),
+            Err(GeoError::InvalidLongitude(_))
+        ));
+        assert!(matches!(
+            LatLon::new(f64::NAN, 0.0),
+            Err(GeoError::InvalidLatitude(_))
+        ));
+        assert!(matches!(
+            LatLon::new(0.0, f64::INFINITY),
+            Err(GeoError::InvalidLongitude(_))
+        ));
+    }
+
+    #[test]
+    fn new_accepts_boundaries() {
+        assert!(LatLon::new(90.0, 180.0).is_ok());
+        assert!(LatLon::new(-90.0, -180.0).is_ok());
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let a = p(40.75, -73.99);
+        assert_eq!(a.haversine_m(a), 0.0);
+    }
+
+    #[test]
+    fn haversine_known_distance_jfk_lga() {
+        // JFK to LaGuardia is about 17.5 km.
+        let jfk = p(40.6413, -73.7781);
+        let lga = p(40.7769, -73.8740);
+        let d = jfk.haversine_m(lga);
+        assert!((16_000.0..19_000.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_in_city() {
+        let a = p(40.70, -74.02);
+        let b = p(40.88, -73.91);
+        let h = a.haversine_m(b);
+        let e = a.equirectangular_m(b);
+        assert!((h - e).abs() / h < 1e-3, "h {h} e {e}");
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let a = p(40.0, -74.0);
+        assert!((a.bearing_deg(p(41.0, -74.0)) - 0.0).abs() < 0.5);
+        assert!((a.bearing_deg(p(39.0, -74.0)) - 180.0).abs() < 0.5);
+        assert!((a.bearing_deg(p(40.0, -73.0)) - 90.0).abs() < 1.0);
+        assert!((a.bearing_deg(p(40.0, -75.0)) - 270.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let a = p(40.75, -73.99);
+        let b = a.destination(63.0, 5_000.0);
+        assert!((a.haversine_m(b) - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_has_six_decimals() {
+        assert_eq!(p(1.0, 2.0).to_string(), "(1.000000, 2.000000)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_symmetric(
+            lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+            lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+        ) {
+            let a = p(lat1, lon1);
+            let b = p(lat2, lon2);
+            let ab = a.haversine_m(b);
+            let ba = b.haversine_m(a);
+            prop_assert!((ab - ba).abs() <= 1e-6 * ab.max(1.0));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(
+            lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+            lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+            lat3 in -80.0f64..80.0, lon3 in -179.0f64..179.0,
+        ) {
+            let a = p(lat1, lon1);
+            let b = p(lat2, lon2);
+            let c = p(lat3, lon3);
+            prop_assert!(a.haversine_m(c) <= a.haversine_m(b) + b.haversine_m(c) + 1e-6);
+        }
+
+        #[test]
+        fn prop_destination_stays_valid(
+            lat in -89.0f64..89.0, lon in -180.0f64..180.0,
+            bearing in 0.0f64..360.0, dist in 0.0f64..100_000.0,
+        ) {
+            let a = p(lat, lon);
+            let b = a.destination(bearing, dist);
+            prop_assert!(LatLon::new(b.lat(), b.lon()).is_ok());
+        }
+    }
+}

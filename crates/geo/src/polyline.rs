@@ -1,0 +1,172 @@
+//! Google encoded-polyline format (precision 5).
+//!
+//! The compact ASCII encoding used by most web map stacks for
+//! trajectories; CrowdWeb serves user paths in it. Implemented from the
+//! published algorithm: deltas of 1e-5-scaled coordinates, zig-zag
+//! signed encoding, 5-bit groups offset by 63.
+
+use crate::{GeoError, LatLon};
+
+/// Encodes a coordinate sequence as a polyline string.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_geo::{polyline::{decode, encode}, LatLon};
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// // The canonical example from Google's documentation.
+/// let points = vec![
+///     LatLon::new(38.5, -120.2)?,
+///     LatLon::new(40.7, -120.95)?,
+///     LatLon::new(43.252, -126.453)?,
+/// ];
+/// let encoded = encode(&points);
+/// assert_eq!(encoded, "_p~iF~ps|U_ulLnnqC_mqNvxq`@");
+/// assert_eq!(decode(&encoded)?, points);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode(points: &[LatLon]) -> String {
+    let mut out = String::new();
+    let (mut prev_lat, mut prev_lon) = (0i64, 0i64);
+    for p in points {
+        let lat = (p.lat() * 1e5).round() as i64;
+        let lon = (p.lon() * 1e5).round() as i64;
+        encode_value(lat - prev_lat, &mut out);
+        encode_value(lon - prev_lon, &mut out);
+        prev_lat = lat;
+        prev_lon = lon;
+    }
+    out
+}
+
+fn encode_value(value: i64, out: &mut String) {
+    // Zig-zag: left shift, invert if negative.
+    let mut v = (value << 1) as u64;
+    if value < 0 {
+        v = !v;
+    }
+    while v >= 0x20 {
+        out.push(char::from((0x20 | (v & 0x1f)) as u8 + 63));
+        v >>= 5;
+    }
+    out.push(char::from(v as u8 + 63));
+}
+
+/// Decodes a polyline string back into coordinates.
+///
+/// # Errors
+///
+/// Returns [`GeoError::InvalidQuadkey`] — reused as the generic
+/// "malformed encoded string" error — for truncated input or characters
+/// outside the valid range, and coordinate-range errors if the decoded
+/// values are out of bounds.
+pub fn decode(encoded: &str) -> Result<Vec<LatLon>, GeoError> {
+    let bytes = encoded.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let (mut lat, mut lon) = (0i64, 0i64);
+    while i < bytes.len() {
+        let (dlat, next) = decode_value(bytes, i, encoded)?;
+        let (dlon, next) = decode_value(bytes, next, encoded)?;
+        i = next;
+        lat += dlat;
+        lon += dlon;
+        out.push(LatLon::new(lat as f64 / 1e5, lon as f64 / 1e5)?);
+    }
+    Ok(out)
+}
+
+fn decode_value(bytes: &[u8], mut i: usize, original: &str) -> Result<(i64, usize), GeoError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = bytes.get(i) else {
+            return Err(GeoError::InvalidQuadkey(original.to_owned()));
+        };
+        if !(63..=127).contains(&b) {
+            return Err(GeoError::InvalidQuadkey(original.to_owned()));
+        }
+        let chunk = u64::from(b - 63);
+        result |= (chunk & 0x1f) << shift;
+        shift += 5;
+        i += 1;
+        if chunk < 0x20 {
+            break;
+        }
+        if shift > 64 {
+            return Err(GeoError::InvalidQuadkey(original.to_owned()));
+        }
+    }
+    // Undo zig-zag.
+    let value = if result & 1 != 0 {
+        !(result >> 1) as i64
+    } else {
+        (result >> 1) as i64
+    };
+    Ok((value, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn canonical_google_example() {
+        let points = vec![p(38.5, -120.2), p(40.7, -120.95), p(43.252, -126.453)];
+        assert_eq!(encode(&points), "_p~iF~ps|U_ulLnnqC_mqNvxq`@");
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(encode(&[]), "");
+        assert!(decode("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_point_round_trip() {
+        let points = vec![p(40.7580, -73.9855)];
+        let decoded = decode(&encode(&points)).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert!((decoded[0].lat() - 40.7580).abs() < 1e-5);
+        assert!((decoded[0].lon() - -73.9855).abs() < 1e-5);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // Truncated multi-chunk value.
+        assert!(decode("_").is_err());
+        // Character below the valid range (space = 0x20 < 63).
+        assert!(decode(" ").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_within_precision(
+            pts in proptest::collection::vec((-85.0f64..85.0, -179.0f64..179.0), 0..40)
+        ) {
+            let points: Vec<LatLon> = pts.into_iter().map(|(a, b)| p(a, b)).collect();
+            let decoded = decode(&encode(&points)).unwrap();
+            prop_assert_eq!(decoded.len(), points.len());
+            for (d, o) in decoded.iter().zip(&points) {
+                prop_assert!((d.lat() - o.lat()).abs() < 1.5e-5);
+                prop_assert!((d.lon() - o.lon()).abs() < 1.5e-5);
+            }
+        }
+
+        #[test]
+        fn prop_encoding_is_ascii(
+            pts in proptest::collection::vec((-85.0f64..85.0, -179.0f64..179.0), 0..20)
+        ) {
+            let points: Vec<LatLon> = pts.into_iter().map(|(a, b)| p(a, b)).collect();
+            let encoded = encode(&points);
+            prop_assert!(encoded.bytes().all(|b| (63..=126).contains(&b)));
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Slippy-map tile coordinates and quadkeys.
+//!
+//! The CrowdWeb front-end addresses map data in standard Web-Mercator
+//! tile coordinates (`z/x/y`, as used by OpenStreetMap) and Bing-style
+//! quadkeys. This module implements the projection math from scratch.
+
+use crate::{BoundingBox, GeoError, LatLon};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+use std::fmt;
+
+/// Maximum supported zoom level. 30 keeps `2^z` comfortably inside `u32`.
+pub const MAX_ZOOM: u8 = 30;
+
+/// A Web-Mercator tile coordinate `(zoom, x, y)`.
+///
+/// `x` grows eastward from the antimeridian, `y` grows southward from the
+/// north pole — the standard slippy-map convention.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_geo::{LatLon, TileCoord};
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// let p = LatLon::new(40.7580, -73.9855)?; // Times Square
+/// let tile = TileCoord::from_latlon(p, 12)?;
+/// assert!(tile.bounds().contains(p));
+/// assert_eq!(TileCoord::from_quadkey(&tile.quadkey())?, tile);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileCoord {
+    zoom: u8,
+    x: u32,
+    y: u32,
+}
+
+impl TileCoord {
+    /// Creates a tile coordinate, validating that `x` and `y` fit the zoom
+    /// level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidZoom`] if `zoom > 30`, or
+    /// [`GeoError::InvalidTile`] if `x` or `y` is `>= 2^zoom`.
+    pub fn new(zoom: u8, x: u32, y: u32) -> Result<Self, GeoError> {
+        if zoom > MAX_ZOOM {
+            return Err(GeoError::InvalidZoom(zoom));
+        }
+        let n = 1u32 << zoom;
+        if x >= n || y >= n {
+            return Err(GeoError::InvalidTile { zoom, x, y });
+        }
+        Ok(TileCoord { zoom, x, y })
+    }
+
+    /// The tile containing `point` at `zoom`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidZoom`] if `zoom > 30`.
+    pub fn from_latlon(point: LatLon, zoom: u8) -> Result<Self, GeoError> {
+        if zoom > MAX_ZOOM {
+            return Err(GeoError::InvalidZoom(zoom));
+        }
+        let n = f64::from(1u32 << zoom);
+        let x = ((point.lon() + 180.0) / 360.0 * n).floor();
+        let lat_rad = point.lat().to_radians();
+        // Web-Mercator clamps at ±85.0511°; tan blows up beyond that.
+        let y_raw = (1.0 - (lat_rad.tan() + 1.0 / lat_rad.cos()).ln() / PI) / 2.0 * n;
+        let max = n - 1.0;
+        let x = x.clamp(0.0, max) as u32;
+        let y = y_raw.floor().clamp(0.0, max) as u32;
+        Ok(TileCoord { zoom, x, y })
+    }
+
+    /// Parses a Bing-style quadkey (a string of digits `0`–`3`, one per
+    /// zoom level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidQuadkey`] for non-digit characters and
+    /// [`GeoError::InvalidZoom`] for keys longer than 30 digits.
+    pub fn from_quadkey(key: &str) -> Result<Self, GeoError> {
+        if key.len() > usize::from(MAX_ZOOM) {
+            return Err(GeoError::InvalidZoom(key.len() as u8));
+        }
+        let (mut x, mut y) = (0u32, 0u32);
+        for ch in key.chars() {
+            x <<= 1;
+            y <<= 1;
+            match ch {
+                '0' => {}
+                '1' => x |= 1,
+                '2' => y |= 1,
+                '3' => {
+                    x |= 1;
+                    y |= 1;
+                }
+                _ => return Err(GeoError::InvalidQuadkey(key.to_owned())),
+            }
+        }
+        Ok(TileCoord {
+            zoom: key.len() as u8,
+            x,
+            y,
+        })
+    }
+
+    /// Zoom level.
+    pub fn zoom(&self) -> u8 {
+        self.zoom
+    }
+
+    /// Tile x index (west→east).
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// Tile y index (north→south).
+    pub fn y(&self) -> u32 {
+        self.y
+    }
+
+    /// Geographic extent of the tile.
+    pub fn bounds(&self) -> BoundingBox {
+        let n = f64::from(1u32 << self.zoom);
+        let lon_w = f64::from(self.x) / n * 360.0 - 180.0;
+        let lon_e = f64::from(self.x + 1) / n * 360.0 - 180.0;
+        let lat_n = mercator_y_to_lat(f64::from(self.y) / n);
+        let lat_s = mercator_y_to_lat(f64::from(self.y + 1) / n);
+        BoundingBox::new(lat_s, lat_n, lon_w, lon_e).expect("tile bounds are valid by construction")
+    }
+
+    /// The Bing-style quadkey of this tile (`zoom` digits of `0`–`3`).
+    pub fn quadkey(&self) -> String {
+        let mut out = String::with_capacity(usize::from(self.zoom));
+        for level in (1..=self.zoom).rev() {
+            let mask = 1u32 << (level - 1);
+            let mut digit = 0u8;
+            if self.x & mask != 0 {
+                digit += 1;
+            }
+            if self.y & mask != 0 {
+                digit += 2;
+            }
+            out.push(char::from(b'0' + digit));
+        }
+        out
+    }
+
+    /// The parent tile one zoom level up, or `None` at zoom 0.
+    pub fn parent(&self) -> Option<TileCoord> {
+        if self.zoom == 0 {
+            return None;
+        }
+        Some(TileCoord {
+            zoom: self.zoom - 1,
+            x: self.x / 2,
+            y: self.y / 2,
+        })
+    }
+
+    /// The four child tiles one zoom level down, or `None` at the maximum
+    /// zoom.
+    pub fn children(&self) -> Option<[TileCoord; 4]> {
+        if self.zoom >= MAX_ZOOM {
+            return None;
+        }
+        let (z, x, y) = (self.zoom + 1, self.x * 2, self.y * 2);
+        Some([
+            TileCoord { zoom: z, x, y },
+            TileCoord { zoom: z, x: x + 1, y },
+            TileCoord { zoom: z, x, y: y + 1 },
+            TileCoord {
+                zoom: z,
+                x: x + 1,
+                y: y + 1,
+            },
+        ])
+    }
+
+    /// All tiles at `zoom` that intersect `bounds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidZoom`] if `zoom > 30`.
+    pub fn covering(bounds: BoundingBox, zoom: u8) -> Result<Vec<TileCoord>, GeoError> {
+        let nw = LatLon::new(bounds.north(), bounds.west()).expect("box corner valid");
+        let se = LatLon::new(bounds.south(), bounds.east()).expect("box corner valid");
+        let top_left = TileCoord::from_latlon(nw, zoom)?;
+        let bottom_right = TileCoord::from_latlon(se, zoom)?;
+        let mut out = Vec::new();
+        for y in top_left.y..=bottom_right.y {
+            for x in top_left.x..=bottom_right.x {
+                out.push(TileCoord { zoom, x, y });
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.zoom, self.x, self.y)
+    }
+}
+
+/// Inverse Web-Mercator: fractional tile-space y in `[0,1]` to latitude.
+fn mercator_y_to_lat(y_frac: f64) -> f64 {
+    let n = PI * (1.0 - 2.0 * y_frac);
+    n.sinh().atan().to_degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(TileCoord::new(2, 3, 3).is_ok());
+        assert!(matches!(
+            TileCoord::new(2, 4, 0),
+            Err(GeoError::InvalidTile { .. })
+        ));
+        assert!(matches!(
+            TileCoord::new(31, 0, 0),
+            Err(GeoError::InvalidZoom(31))
+        ));
+    }
+
+    #[test]
+    fn zoom_zero_is_world_tile() {
+        let t = TileCoord::new(0, 0, 0).unwrap();
+        let b = t.bounds();
+        assert!((b.west() - -180.0).abs() < 1e-9);
+        assert!((b.east() - 180.0).abs() < 1e-9);
+        // Mercator clamp latitude.
+        assert!((b.north() - 85.0511).abs() < 0.01);
+    }
+
+    #[test]
+    fn known_tile_for_nyc() {
+        // OSM z12 tile for Manhattan is around x=1205..1207, y=1538..1540.
+        let p = LatLon::new(40.7580, -73.9855).unwrap();
+        let t = TileCoord::from_latlon(p, 12).unwrap();
+        assert!((1204..=1208).contains(&t.x()), "x {}", t.x());
+        assert!((1537..=1541).contains(&t.y()), "y {}", t.y());
+    }
+
+    #[test]
+    fn quadkey_known_value() {
+        // Bing documentation example: tile (3,5) zoom 3 => "213".
+        let t = TileCoord::new(3, 3, 5).unwrap();
+        assert_eq!(t.quadkey(), "213");
+        assert_eq!(TileCoord::from_quadkey("213").unwrap(), t);
+    }
+
+    #[test]
+    fn quadkey_rejects_bad_chars() {
+        assert!(matches!(
+            TileCoord::from_quadkey("0412"),
+            Err(GeoError::InvalidQuadkey(_))
+        ));
+    }
+
+    #[test]
+    fn quadkey_empty_is_root() {
+        assert_eq!(
+            TileCoord::from_quadkey("").unwrap(),
+            TileCoord::new(0, 0, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let t = TileCoord::new(10, 300, 400).unwrap();
+        let kids = t.children().unwrap();
+        for kid in kids {
+            assert_eq!(kid.parent(), Some(t));
+        }
+        assert_eq!(TileCoord::new(0, 0, 0).unwrap().parent(), None);
+    }
+
+    #[test]
+    fn covering_includes_all_nyc_tiles() {
+        let tiles = TileCoord::covering(BoundingBox::NYC, 10).unwrap();
+        assert!(!tiles.is_empty());
+        // Every tile intersects the box.
+        for t in &tiles {
+            assert!(t.bounds().intersects(&BoundingBox::NYC), "{t}");
+        }
+    }
+
+    #[test]
+    fn display_is_zxy() {
+        assert_eq!(TileCoord::new(3, 1, 2).unwrap().to_string(), "3/1/2");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_latlon_round_trip(
+            lat in -84.0f64..84.0, lon in -179.9f64..179.9, zoom in 0u8..16,
+        ) {
+            let p = LatLon::new(lat, lon).unwrap();
+            let t = TileCoord::from_latlon(p, zoom).unwrap();
+            prop_assert!(t.bounds().expanded(1e-9).contains(p), "{t} !contains {p}");
+        }
+
+        #[test]
+        fn prop_quadkey_round_trip(zoom in 0u8..20, seed in any::<u64>()) {
+            let n = 1u32 << zoom;
+            let x = (seed as u32) % n.max(1);
+            let y = ((seed >> 32) as u32) % n.max(1);
+            let t = TileCoord::new(zoom, x, y).unwrap();
+            prop_assert_eq!(TileCoord::from_quadkey(&t.quadkey()).unwrap(), t);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Trajectory metrics over ordered coordinate sequences.
+//!
+//! The mobility-science quantities behind the paper's premise (its
+//! citation \[1\], González et al., "Understanding individual human
+//! mobility patterns"):
+//!
+//! - [`path_length_m`] — total great-circle distance travelled.
+//! - [`radius_of_gyration_m`] — the characteristic size of a user's
+//!   territory: RMS distance of visits from their centre of mass.
+//! - [`center_of_mass`] — the visit centroid.
+//! - [`simplify_rdp`] — Ramer–Douglas–Peucker polyline simplification
+//!   for rendering long trajectories cheaply.
+
+use crate::LatLon;
+
+/// The centroid of a visit sequence, or `None` when empty.
+pub fn center_of_mass(points: &[LatLon]) -> Option<LatLon> {
+    if points.is_empty() {
+        return None;
+    }
+    let n = points.len() as f64;
+    let lat = points.iter().map(|p| p.lat()).sum::<f64>() / n;
+    let lon = points.iter().map(|p| p.lon()).sum::<f64>() / n;
+    LatLon::new(lat.clamp(-90.0, 90.0), lon.clamp(-180.0, 180.0)).ok()
+}
+
+/// Total path length in metres along consecutive points.
+pub fn path_length_m(points: &[LatLon]) -> f64 {
+    points.windows(2).map(|w| w[0].haversine_m(w[1])).sum()
+}
+
+/// Radius of gyration in metres: `sqrt(mean(d_i^2))` where `d_i` is
+/// each point's distance from the centre of mass. 0.0 for empty or
+/// single-point inputs.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_geo::{trajectory::radius_of_gyration_m, LatLon};
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// let home = LatLon::new(40.70, -73.99)?;
+/// let work = LatLon::new(40.76, -73.98)?;
+/// let rg = radius_of_gyration_m(&[home, work, home, work]);
+/// // Half the home-work distance, since mass splits evenly.
+/// assert!((rg - home.haversine_m(work) / 2.0).abs() < 50.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn radius_of_gyration_m(points: &[LatLon]) -> f64 {
+    let Some(com) = center_of_mass(points) else {
+        return 0.0;
+    };
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let mean_sq = points
+        .iter()
+        .map(|p| com.equirectangular_m(*p).powi(2))
+        .sum::<f64>()
+        / points.len() as f64;
+    mean_sq.sqrt()
+}
+
+/// Ramer–Douglas–Peucker simplification: keeps endpoints and every
+/// point whose perpendicular offset from the current chord exceeds
+/// `epsilon_m` metres. Inputs of fewer than 3 points are returned
+/// unchanged.
+pub fn simplify_rdp(points: &[LatLon], epsilon_m: f64) -> Vec<LatLon> {
+    if points.len() < 3 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    rdp_recurse(points, 0, points.len() - 1, epsilon_m, &mut keep);
+    points
+        .iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
+fn rdp_recurse(points: &[LatLon], first: usize, last: usize, epsilon_m: f64, keep: &mut [bool]) {
+    if last <= first + 1 {
+        return;
+    }
+    // Perpendicular distance in a local equirectangular frame.
+    let a = points[first];
+    let b = points[last];
+    let mean_lat = ((a.lat() + b.lat()) / 2.0).to_radians();
+    let proj = |p: LatLon| -> (f64, f64) {
+        (
+            p.lon().to_radians() * mean_lat.cos() * crate::EARTH_RADIUS_M,
+            p.lat().to_radians() * crate::EARTH_RADIUS_M,
+        )
+    };
+    let (ax, ay) = proj(a);
+    let (bx, by) = proj(b);
+    let (dx, dy) = (bx - ax, by - ay);
+    let len_sq = dx * dx + dy * dy;
+
+    let mut worst = 0usize;
+    let mut worst_dist = -1.0f64;
+    for (i, point) in points.iter().enumerate().take(last).skip(first + 1) {
+        let (px, py) = proj(*point);
+        let dist = if len_sq == 0.0 {
+            ((px - ax).powi(2) + (py - ay).powi(2)).sqrt()
+        } else {
+            ((py - ay) * dx - (px - ax) * dy).abs() / len_sq.sqrt()
+        };
+        if dist > worst_dist {
+            worst_dist = dist;
+            worst = i;
+        }
+    }
+    if worst_dist > epsilon_m {
+        keep[worst] = true;
+        rdp_recurse(points, first, worst, epsilon_m, keep);
+        rdp_recurse(points, worst, last, epsilon_m, keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn center_of_mass_basics() {
+        assert_eq!(center_of_mass(&[]), None);
+        let single = p(40.7, -74.0);
+        assert_eq!(center_of_mass(&[single]), Some(single));
+        let com = center_of_mass(&[p(40.0, -74.0), p(41.0, -73.0)]).unwrap();
+        assert!((com.lat() - 40.5).abs() < 1e-12);
+        assert!((com.lon() - -73.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_length_accumulates() {
+        assert_eq!(path_length_m(&[]), 0.0);
+        assert_eq!(path_length_m(&[p(40.7, -74.0)]), 0.0);
+        let a = p(40.70, -74.00);
+        let b = p(40.75, -74.00);
+        let c = p(40.75, -73.95);
+        let total = path_length_m(&[a, b, c]);
+        assert!((total - (a.haversine_m(b) + b.haversine_m(c))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gyration_zero_for_stationary() {
+        let home = p(40.7, -74.0);
+        assert_eq!(radius_of_gyration_m(&[home]), 0.0);
+        assert!(radius_of_gyration_m(&[home, home, home]) < 1e-9);
+    }
+
+    #[test]
+    fn gyration_grows_with_territory() {
+        let home = p(40.70, -74.00);
+        let near = p(40.71, -74.00);
+        let far = p(40.90, -73.70);
+        let small = radius_of_gyration_m(&[home, near, home, near]);
+        let large = radius_of_gyration_m(&[home, far, home, far]);
+        assert!(large > small * 5.0, "small {small} large {large}");
+    }
+
+    #[test]
+    fn rdp_keeps_endpoints_and_corners() {
+        // A right angle: the corner must survive.
+        let pts = vec![
+            p(40.70, -74.00),
+            p(40.72, -74.00),
+            p(40.74, -74.00), // corner
+            p(40.74, -73.98),
+            p(40.74, -73.96),
+        ];
+        let simplified = simplify_rdp(&pts, 50.0);
+        assert_eq!(simplified.first(), pts.first());
+        assert_eq!(simplified.last(), pts.last());
+        assert!(simplified.contains(&pts[2]), "corner dropped: {simplified:?}");
+        assert!(simplified.len() < pts.len());
+    }
+
+    #[test]
+    fn rdp_collapses_collinear_points() {
+        let pts: Vec<LatLon> = (0..10).map(|i| p(40.70 + f64::from(i) * 0.005, -74.0)).collect();
+        let simplified = simplify_rdp(&pts, 10.0);
+        assert_eq!(simplified.len(), 2);
+    }
+
+    #[test]
+    fn rdp_small_inputs_unchanged() {
+        let pts = vec![p(40.7, -74.0), p(40.8, -74.0)];
+        assert_eq!(simplify_rdp(&pts, 1.0), pts);
+        assert!(simplify_rdp(&[], 1.0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gyration_nonnegative_and_bounded(
+            pts in proptest::collection::vec((40.5f64..40.9, -74.2f64..-73.7), 0..30)
+        ) {
+            let pts: Vec<LatLon> = pts.into_iter().map(|(a, b)| p(a, b)).collect();
+            let rg = radius_of_gyration_m(&pts);
+            prop_assert!(rg >= 0.0);
+            // Bounded by the maximum distance from the centroid.
+            if let Some(com) = center_of_mass(&pts) {
+                let max_d = pts.iter()
+                    .map(|q| com.equirectangular_m(*q))
+                    .fold(0.0f64, f64::max);
+                prop_assert!(rg <= max_d + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_rdp_output_is_subsequence(
+            pts in proptest::collection::vec((40.5f64..40.9, -74.2f64..-73.7), 0..20),
+            eps in 1.0f64..2000.0,
+        ) {
+            let pts: Vec<LatLon> = pts.into_iter().map(|(a, b)| p(a, b)).collect();
+            let simplified = simplify_rdp(&pts, eps);
+            // Subsequence check.
+            let mut i = 0;
+            for q in &simplified {
+                while i < pts.len() && pts[i] != *q { i += 1; }
+                prop_assert!(i < pts.len(), "not a subsequence");
+                i += 1;
+            }
+            if pts.len() >= 2 {
+                prop_assert!(simplified.len() >= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Predictability metrics for individual mobility.
+//!
+//! The paper's premise — "several studies have demonstrated that human
+//! mobility is highly predictable due to the regularity of daily
+//! routines" — traces to the entropy framework of Song et al. (2010).
+//! This module implements it over a user's place-label visit stream:
+//!
+//! - [`random_entropy`] — `log2(N)` over the `N` distinct places; the
+//!   entropy if every visited place were equally likely.
+//! - [`uncorrelated_entropy`] — Shannon entropy of the visit-frequency
+//!   distribution; captures heterogeneity but not temporal order.
+//! - [`actual_entropy`] — a Lempel–Ziv estimator over the ordered visit
+//!   sequence; captures temporal correlations, so
+//!   `actual <= uncorrelated <= random` (up to estimator noise).
+//! - [`max_predictability`] — Fano's inequality solved for the maximum
+//!   achievable prediction accuracy `Π` given an entropy rate.
+//! - [`regularity`] — the fraction of visits to the user's top place in
+//!   each time slot (the "R" of the mobility literature).
+
+use crowdweb_prep::{PlaceLabel, SeqItem, TimeSlot};
+use std::collections::HashMap;
+
+/// `log2(N)` over the distinct places in `visits` (0.0 for an empty or
+/// single-place stream).
+pub fn random_entropy(visits: &[PlaceLabel]) -> f64 {
+    let mut distinct: Vec<PlaceLabel> = visits.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.len() <= 1 {
+        0.0
+    } else {
+        (distinct.len() as f64).log2()
+    }
+}
+
+/// Shannon entropy (bits) of the visit-frequency distribution.
+pub fn uncorrelated_entropy(visits: &[PlaceLabel]) -> f64 {
+    if visits.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<PlaceLabel, usize> = HashMap::new();
+    for &v in visits {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let n = visits.len() as f64;
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Lempel–Ziv entropy-rate estimator (bits per visit) over the ordered
+/// visit stream:
+///
+/// `S_est = (n * log2(n)) / sum(Lambda_i)`
+///
+/// where `Lambda_i` is the length of the shortest substring starting at
+/// `i` that has not appeared in `visits[..i]` (Kontoyiannis et al.).
+/// Returns 0.0 for streams shorter than 2 visits.
+pub fn actual_entropy(visits: &[PlaceLabel]) -> f64 {
+    let n = visits.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut lambda_sum = 0.0f64;
+    for i in 0..n {
+        // Shortest substring visits[i..i+l] not seen in visits[..i].
+        let mut l = 1usize;
+        'grow: loop {
+            if i + l > n {
+                // Ran off the end without finding a novel substring:
+                // conventionally Lambda = n - i + 1.
+                l = n - i + 1;
+                break;
+            }
+            let needle = &visits[i..i + l];
+            let mut found = false;
+            if i >= l {
+                for start in 0..=(i - l) {
+                    if &visits[start..start + l] == needle {
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if !found {
+                break 'grow;
+            }
+            l += 1;
+        }
+        lambda_sum += l as f64;
+    }
+    (n as f64) * (n as f64).log2() / lambda_sum
+}
+
+/// Solves Fano's inequality for the maximum predictability `Π` of a
+/// process with entropy rate `entropy` (bits) over `n_places` distinct
+/// symbols, by bisection on
+///
+/// `S = H(Π) + (1 - Π) * log2(N - 1)`
+///
+/// Returns a value in `[1/N, 1]`; 1.0 when `entropy <= 0` and `1/N`
+/// when the entropy saturates. Returns `None` if `n_places < 2`.
+pub fn max_predictability(entropy: f64, n_places: usize) -> Option<f64> {
+    if n_places < 2 {
+        return None;
+    }
+    if entropy <= 0.0 {
+        return Some(1.0);
+    }
+    let n = n_places as f64;
+    let h = |p: f64| -> f64 {
+        let q = 1.0 - p;
+        let term = |x: f64| if x <= 0.0 { 0.0 } else { x * x.log2() };
+        -(term(p) + term(q)) + q * (n - 1.0).log2()
+    };
+    // h is decreasing in p on [1/N, 1]; find p with h(p) = entropy.
+    let (mut lo, mut hi) = (1.0 / n, 1.0);
+    if entropy >= h(lo) {
+        return Some(lo);
+    }
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        if h(mid) > entropy {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo + hi) / 2.0)
+}
+
+/// Per-slot regularity: for each time slot, the fraction of that slot's
+/// visits going to the slot's most-visited place. Returns
+/// `(slot, top_fraction, visits_in_slot)` rows for slots with at least
+/// one visit, in slot order. The overall mean of `top_fraction` is the
+/// "R" regularity statistic.
+pub fn regularity(items: &[SeqItem]) -> Vec<(TimeSlot, f64, usize)> {
+    let mut per_slot: HashMap<TimeSlot, HashMap<PlaceLabel, usize>> = HashMap::new();
+    for it in items {
+        *per_slot.entry(it.slot).or_default().entry(it.label).or_insert(0) += 1;
+    }
+    let mut rows: Vec<(TimeSlot, f64, usize)> = per_slot
+        .into_iter()
+        .map(|(slot, counts)| {
+            let total: usize = counts.values().sum();
+            let top = counts.values().max().copied().unwrap_or(0);
+            (slot, top as f64 / total.max(1) as f64, total)
+        })
+        .collect();
+    rows.sort_by_key(|r| r.0);
+    rows
+}
+
+/// The complete entropy/predictability profile of one user's visit
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictabilityProfile {
+    /// Number of visits.
+    pub visits: usize,
+    /// Number of distinct places.
+    pub distinct_places: usize,
+    /// `log2(N)`.
+    pub random_entropy: f64,
+    /// Shannon entropy of visit frequencies.
+    pub uncorrelated_entropy: f64,
+    /// Lempel–Ziv entropy-rate estimate.
+    pub actual_entropy: f64,
+    /// Fano upper bound on prediction accuracy from the actual entropy.
+    pub max_predictability: f64,
+}
+
+/// Computes the full profile over a user's daily sequences
+/// (concatenated in day order).
+pub fn predictability_profile(sequences: &[Vec<SeqItem>]) -> PredictabilityProfile {
+    let visits: Vec<PlaceLabel> = sequences.iter().flatten().map(|it| it.label).collect();
+    let mut distinct = visits.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let s_rand = random_entropy(&visits);
+    let s_unc = uncorrelated_entropy(&visits);
+    let s_act = actual_entropy(&visits);
+    let pi = max_predictability(s_act, distinct.len()).unwrap_or(1.0);
+    PredictabilityProfile {
+        visits: visits.len(),
+        distinct_places: distinct.len(),
+        random_entropy: s_rand,
+        uncorrelated_entropy: s_unc,
+        actual_entropy: s_act,
+        max_predictability: pi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_prep::TimeSlot;
+    use proptest::prelude::*;
+
+    fn l(v: u32) -> PlaceLabel {
+        PlaceLabel(v)
+    }
+
+    #[test]
+    fn random_entropy_examples() {
+        assert_eq!(random_entropy(&[]), 0.0);
+        assert_eq!(random_entropy(&[l(1), l(1)]), 0.0);
+        assert_eq!(random_entropy(&[l(1), l(2)]), 1.0);
+        assert_eq!(random_entropy(&[l(1), l(2), l(3), l(4)]), 2.0);
+    }
+
+    #[test]
+    fn uncorrelated_entropy_examples() {
+        assert_eq!(uncorrelated_entropy(&[]), 0.0);
+        assert_eq!(uncorrelated_entropy(&[l(1), l(1), l(1)]), 0.0);
+        // Uniform over 2: exactly 1 bit.
+        assert!((uncorrelated_entropy(&[l(1), l(2)]) - 1.0).abs() < 1e-12);
+        // Skewed 3:1 is less than 1 bit.
+        let skew = uncorrelated_entropy(&[l(1), l(1), l(1), l(2)]);
+        assert!(skew > 0.0 && skew < 1.0);
+    }
+
+    #[test]
+    fn entropy_hierarchy_on_regular_stream() {
+        // A perfectly periodic stream: actual entropy should be far
+        // below uncorrelated, which is at most random.
+        let visits: Vec<PlaceLabel> = (0..120).map(|i| l(i % 3)).collect();
+        let s_rand = random_entropy(&visits);
+        let s_unc = uncorrelated_entropy(&visits);
+        let s_act = actual_entropy(&visits);
+        assert!(s_unc <= s_rand + 1e-9);
+        assert!(s_act < s_unc, "actual {s_act} uncorrelated {s_unc}");
+    }
+
+    #[test]
+    fn actual_entropy_higher_for_noisy_stream() {
+        let periodic: Vec<PlaceLabel> = (0..90).map(|i| l(i % 3)).collect();
+        // Deterministic but highly irregular: multiplicative hash.
+        let noisy: Vec<PlaceLabel> =
+            (0..90u32).map(|i| l(i.wrapping_mul(2_654_435_761) % 3)).collect();
+        assert!(actual_entropy(&noisy) > actual_entropy(&periodic));
+    }
+
+    #[test]
+    fn max_predictability_bounds() {
+        assert_eq!(max_predictability(0.5, 1), None);
+        assert_eq!(max_predictability(0.0, 5), Some(1.0));
+        // Saturated entropy over N places pins predictability at 1/N.
+        let n = 8usize;
+        let pi = max_predictability((n as f64).log2(), n).unwrap();
+        assert!((pi - 1.0 / n as f64).abs() < 1e-6, "pi {pi}");
+        // A typical human value: S ~ 0.8 bits over many places gives
+        // high predictability (Song et al. report ~93% over N~50).
+        let pi = max_predictability(0.8, 50).unwrap();
+        assert!(pi > 0.85, "pi {pi}");
+    }
+
+    #[test]
+    fn max_predictability_monotone_in_entropy() {
+        let mut prev = 1.1f64;
+        for e in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5] {
+            let pi = max_predictability(e, 8).unwrap();
+            assert!(pi <= prev + 1e-9, "entropy {e}");
+            prev = pi;
+        }
+    }
+
+    #[test]
+    fn regularity_rows() {
+        let item = |s: u8, v: u32| SeqItem {
+            slot: TimeSlot(s),
+            label: l(v),
+        };
+        // Slot 1: three visits, two to place 0. Slot 2: one visit.
+        let items = vec![item(1, 0), item(1, 0), item(1, 1), item(2, 5)];
+        let rows = regularity(&items);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (TimeSlot(1), 2.0 / 3.0, 3));
+        assert_eq!(rows[1], (TimeSlot(2), 1.0, 1));
+        assert!(regularity(&[]).is_empty());
+    }
+
+    #[test]
+    fn profile_on_routine_user() {
+        let item = |s: u8, v: u32| SeqItem {
+            slot: TimeSlot(s),
+            label: l(v),
+        };
+        let days: Vec<Vec<SeqItem>> = (0..30)
+            .map(|_| vec![item(3, 0), item(4, 1), item(6, 2), item(11, 0)])
+            .collect();
+        let p = predictability_profile(&days);
+        assert_eq!(p.visits, 120);
+        assert_eq!(p.distinct_places, 3);
+        // A perfectly repeating routine is almost fully predictable.
+        assert!(p.max_predictability > 0.8, "{p:?}");
+        assert!(p.actual_entropy < p.uncorrelated_entropy);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uncorrelated_below_random(
+            visits in proptest::collection::vec(0u32..6, 0..80)
+        ) {
+            let visits: Vec<PlaceLabel> = visits.into_iter().map(l).collect();
+            prop_assert!(uncorrelated_entropy(&visits) <= random_entropy(&visits) + 1e-9);
+        }
+
+        #[test]
+        fn prop_predictability_in_unit_interval(
+            entropy in 0.0f64..6.0, n in 2usize..40
+        ) {
+            let pi = max_predictability(entropy, n).unwrap();
+            prop_assert!((1.0 / n as f64 - 1e-9..=1.0).contains(&pi));
+        }
+
+        #[test]
+        fn prop_regularity_fractions_valid(
+            items in proptest::collection::vec((0u8..12, 0u32..5), 0..60)
+        ) {
+            let items: Vec<SeqItem> = items
+                .into_iter()
+                .map(|(s, v)| SeqItem { slot: TimeSlot(s), label: l(v) })
+                .collect();
+            for (_, frac, total) in regularity(&items) {
+                prop_assert!(frac > 0.0 && frac <= 1.0);
+                prop_assert!(total >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the mobility core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by pattern detection and prediction.
+#[derive(Debug)]
+pub enum MobilityError {
+    /// Mining configuration was invalid.
+    Mine(crowdweb_seqmine::MineError),
+    /// Preprocessing failed.
+    Prep(crowdweb_prep::PrepError),
+    /// Prediction evaluation was configured with an invalid split.
+    InvalidSplit(f64),
+}
+
+impl fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityError::Mine(e) => write!(f, "mining failed: {e}"),
+            MobilityError::Prep(e) => write!(f, "preprocessing failed: {e}"),
+            MobilityError::InvalidSplit(v) => {
+                write!(f, "train fraction {v} must be in (0, 1)")
+            }
+        }
+    }
+}
+
+impl Error for MobilityError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MobilityError::Mine(e) => Some(e),
+            MobilityError::Prep(e) => Some(e),
+            MobilityError::InvalidSplit(_) => None,
+        }
+    }
+}
+
+impl From<crowdweb_seqmine::MineError> for MobilityError {
+    fn from(e: crowdweb_seqmine::MineError) -> Self {
+        MobilityError::Mine(e)
+    }
+}
+
+impl From<crowdweb_prep::PrepError> for MobilityError {
+    fn from(e: crowdweb_prep::PrepError) -> Self {
+        MobilityError::Prep(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MobilityError>();
+        let e = MobilityError::from(crowdweb_seqmine::MineError::InvalidSupport);
+        assert!(e.source().is_some());
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-user place graphs — "a graph of visited places based on their
+//! historical records".
+//!
+//! Nodes are abstracted places; a directed edge `a → b` records how
+//! often the user went from `a` to `b` within one day. The CrowdWeb UI
+//! renders this network per user; the crowd engine and the Markov
+//! predictor both read the same structure.
+
+use crowdweb_dataset::UserId;
+use crowdweb_prep::{PlaceLabel, SeqItem};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A node of the place graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaceNode {
+    /// The place label.
+    pub label: PlaceLabel,
+    /// Total visits to this place.
+    pub visits: usize,
+}
+
+/// A directed edge of the place graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaceEdge {
+    /// Source place.
+    pub from: PlaceLabel,
+    /// Destination place.
+    pub to: PlaceLabel,
+    /// Number of observed same-day transitions.
+    pub count: usize,
+}
+
+/// A user's directed, weighted graph of visited places.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_mobility::PlaceGraph;
+/// use crowdweb_prep::{PlaceLabel, SeqItem, TimeSlot};
+/// use crowdweb_dataset::UserId;
+///
+/// let item = |s: u8, l: u32| SeqItem { slot: TimeSlot(s), label: PlaceLabel(l) };
+/// let days = vec![vec![item(3, 0), item(6, 1)], vec![item(3, 0), item(6, 1)]];
+/// let graph = PlaceGraph::from_sequences(UserId::new(1), &days);
+/// assert_eq!(graph.node_count(), 2);
+/// assert_eq!(graph.transition_probability(PlaceLabel(0), PlaceLabel(1)), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaceGraph {
+    user: UserId,
+    nodes: BTreeMap<PlaceLabel, usize>,
+    edges: BTreeMap<(PlaceLabel, PlaceLabel), usize>,
+}
+
+impl PlaceGraph {
+    /// Builds the graph from a user's daily sequences: every consecutive
+    /// item pair within a day contributes one edge observation.
+    pub fn from_sequences(user: UserId, sequences: &[Vec<SeqItem>]) -> PlaceGraph {
+        let mut nodes: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
+        let mut edges: BTreeMap<(PlaceLabel, PlaceLabel), usize> = BTreeMap::new();
+        for day in sequences {
+            for item in day {
+                *nodes.entry(item.label).or_insert(0) += 1;
+            }
+            for pair in day.windows(2) {
+                *edges.entry((pair[0].label, pair[1].label)).or_insert(0) += 1;
+            }
+        }
+        PlaceGraph { user, nodes, edges }
+    }
+
+    /// The user this graph belongs to.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Number of distinct places.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct directed transitions.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All nodes, sorted by label.
+    pub fn nodes(&self) -> Vec<PlaceNode> {
+        self.nodes
+            .iter()
+            .map(|(&label, &visits)| PlaceNode { label, visits })
+            .collect()
+    }
+
+    /// All edges, sorted by (from, to).
+    pub fn edges(&self) -> Vec<PlaceEdge> {
+        self.edges
+            .iter()
+            .map(|(&(from, to), &count)| PlaceEdge { from, to, count })
+            .collect()
+    }
+
+    /// Visit count of one place (0 if never visited).
+    pub fn visits(&self, label: PlaceLabel) -> usize {
+        self.nodes.get(&label).copied().unwrap_or(0)
+    }
+
+    /// Observed transition count from `from` to `to`.
+    pub fn transitions(&self, from: PlaceLabel, to: PlaceLabel) -> usize {
+        self.edges.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Outgoing edges of a place, heaviest first.
+    pub fn out_edges(&self, from: PlaceLabel) -> Vec<PlaceEdge> {
+        let mut out: Vec<PlaceEdge> = self
+            .edges
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|(&(from, to), &count)| PlaceEdge { from, to, count })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then(a.to.cmp(&b.to)));
+        out
+    }
+
+    /// Maximum-likelihood transition probability `P(to | from)`, 0.0 when
+    /// `from` has no outgoing transitions.
+    pub fn transition_probability(&self, from: PlaceLabel, to: PlaceLabel) -> f64 {
+        let total: usize = self
+            .edges
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|(_, &c)| c)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.transitions(from, to) as f64 / total as f64
+        }
+    }
+
+    /// The most-visited place, if any (ties broken by smaller label).
+    pub fn top_place(&self) -> Option<PlaceNode> {
+        self.nodes
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&label, &visits)| PlaceNode { label, visits })
+    }
+
+    /// Serializes the graph in Graphviz DOT format, with an optional
+    /// label-naming function for readable node names.
+    pub fn to_dot<F: Fn(PlaceLabel) -> String>(&self, name_of: F) -> String {
+        let mut out = String::from("digraph places {\n");
+        for (label, visits) in &self.nodes {
+            out.push_str(&format!(
+                "  \"{}\" [label=\"{} ({visits})\"];\n",
+                label.0,
+                name_of(*label)
+            ));
+        }
+        for ((from, to), count) in &self.edges {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{count}\"];\n",
+                from.0, to.0
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_prep::TimeSlot;
+
+    fn item(slot: u8, label: u32) -> SeqItem {
+        SeqItem {
+            slot: TimeSlot(slot),
+            label: PlaceLabel(label),
+        }
+    }
+
+    fn graph() -> PlaceGraph {
+        // Day 1: 0 -> 1 -> 0; Day 2: 0 -> 2.
+        PlaceGraph::from_sequences(
+            UserId::new(7),
+            &[
+                vec![item(3, 0), item(6, 1), item(11, 0)],
+                vec![item(3, 0), item(6, 2)],
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_nodes_and_edges() {
+        let g = graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3); // 0->1, 1->0, 0->2
+        assert_eq!(g.visits(PlaceLabel(0)), 3);
+        assert_eq!(g.visits(PlaceLabel(9)), 0);
+        assert_eq!(g.transitions(PlaceLabel(0), PlaceLabel(1)), 1);
+        assert_eq!(g.transitions(PlaceLabel(1), PlaceLabel(2)), 0);
+        assert_eq!(g.user(), UserId::new(7));
+    }
+
+    #[test]
+    fn no_edges_across_days() {
+        let g = graph();
+        // Day 1 ends at 0, day 2 starts at 0: no self-loop 0->0.
+        assert_eq!(g.transitions(PlaceLabel(0), PlaceLabel(0)), 0);
+    }
+
+    #[test]
+    fn transition_probabilities_normalize() {
+        let g = graph();
+        let p1 = g.transition_probability(PlaceLabel(0), PlaceLabel(1));
+        let p2 = g.transition_probability(PlaceLabel(0), PlaceLabel(2));
+        assert_eq!(p1, 0.5);
+        assert_eq!(p2, 0.5);
+        assert_eq!(g.transition_probability(PlaceLabel(2), PlaceLabel(0)), 0.0);
+    }
+
+    #[test]
+    fn out_edges_sorted_by_weight() {
+        let g = PlaceGraph::from_sequences(
+            UserId::new(1),
+            &[
+                vec![item(1, 0), item(2, 1)],
+                vec![item(1, 0), item(2, 1)],
+                vec![item(1, 0), item(2, 2)],
+            ],
+        );
+        let out = g.out_edges(PlaceLabel(0));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].to, PlaceLabel(1));
+        assert_eq!(out[0].count, 2);
+    }
+
+    #[test]
+    fn top_place_is_most_visited() {
+        let g = graph();
+        assert_eq!(g.top_place().unwrap().label, PlaceLabel(0));
+        let empty = PlaceGraph::from_sequences(UserId::new(1), &[]);
+        assert!(empty.top_place().is_none());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn dot_output_mentions_every_edge() {
+        let g = graph();
+        let dot = g.to_dot(|l| format!("place{}", l.0));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("place0 (3)"));
+        assert!(dot.contains("\"0\" -> \"1\""));
+        assert!(dot.ends_with("}\n"));
+    }
+}

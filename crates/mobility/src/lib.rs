@@ -1,0 +1,51 @@
+//! Individual human mobility pattern detection — the core CrowdWeb
+//! library.
+//!
+//! This crate ties the substrates together into the paper's per-user
+//! pipeline (inherited from the authors' iMAP platform):
+//!
+//! 1. Preprocess check-ins into per-day sequences of abstracted places
+//!    (`crowdweb-prep`).
+//! 2. Mine each user's *mobility patterns* with the modified PrefixSpan
+//!    (`crowdweb-seqmine`) — [`PatternMiner`] / [`UserPatterns`].
+//! 3. Build the user's *place graph*, the network of visited places the
+//!    platform visualizes — [`PlaceGraph`].
+//! 4. Baseline next-place prediction ([`predict`]) reproducing the
+//!    motivation that raw-venue prediction accuracy is poor (the paper
+//!    cites 8–25 %) while place abstraction makes behaviour far more
+//!    predictable.
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_mobility::PatternMiner;
+//! use crowdweb_prep::Preprocessor;
+//! use crowdweb_synth::SynthConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = SynthConfig::small(21).generate()?;
+//! let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+//! let all = PatternMiner::new(0.5)?.detect_all(&prepared)?;
+//! assert_eq!(all.len(), prepared.user_count());
+//! // Every qualifying user has at least their daily-anchor patterns.
+//! assert!(all.iter().any(|u| !u.patterns.is_empty()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entropy;
+pub mod error;
+pub mod graph;
+pub mod miner;
+pub mod predict;
+pub mod similarity;
+
+pub use entropy::{predictability_profile, PredictabilityProfile};
+pub use error::MobilityError;
+pub use graph::{PlaceEdge, PlaceGraph, PlaceNode};
+pub use miner::{PatternMiner, UserPatterns};
+pub use predict::{evaluate_pattern_predictor, evaluate_predictor, PredictionReport, PredictorKind};
+pub use similarity::{group_users, pattern_cosine, pattern_jaccard, UserGroup};

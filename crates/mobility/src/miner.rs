@@ -1,0 +1,229 @@
+//! Per-user mobility-pattern detection.
+
+use crate::MobilityError;
+use crowdweb_dataset::UserId;
+use crowdweb_prep::{Prepared, SeqItem};
+use crowdweb_seqmine::{closed_patterns, ModifiedPrefixSpan, PatternSet};
+use serde::{Deserialize, Serialize};
+
+/// The mined mobility patterns of one user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserPatterns {
+    /// The user.
+    pub user: UserId,
+    /// Number of daily sequences the patterns were mined from.
+    pub active_days: usize,
+    /// The mined pattern set (supports are in days).
+    pub patterns: PatternSet<SeqItem>,
+}
+
+impl UserPatterns {
+    /// Number of mined patterns — the paper's "number of sequences
+    /// extracted per user" (Figure 5).
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Mean pattern length — the paper's "average length of sequences
+    /// per user" (Figure 7).
+    pub fn mean_pattern_length(&self) -> f64 {
+        self.patterns.mean_length()
+    }
+}
+
+/// Detects individual mobility patterns with the modified PrefixSpan
+/// (C-BUILDER; [`PatternMiner::detect_all`] is the terminal method).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternMiner {
+    min_support: f64,
+    max_gap: Option<u32>,
+    max_length: Option<usize>,
+    closed_only: bool,
+}
+
+impl PatternMiner {
+    /// Creates a miner with the given relative support threshold in
+    /// `(0, 1]` (fraction of the user's active days).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::Mine`] for thresholds outside `(0, 1]`.
+    pub fn new(min_support: f64) -> Result<PatternMiner, MobilityError> {
+        // Validate eagerly via the underlying miner's constructor.
+        ModifiedPrefixSpan::new(min_support)?;
+        Ok(PatternMiner {
+            min_support,
+            max_gap: None,
+            max_length: None,
+            closed_only: false,
+        })
+    }
+
+    /// Sets the maximum slot gap between consecutive pattern items.
+    pub fn max_gap(mut self, gap: Option<u32>) -> PatternMiner {
+        self.max_gap = gap;
+        self
+    }
+
+    /// Caps pattern length.
+    pub fn max_length(mut self, len: Option<usize>) -> PatternMiner {
+        self.max_length = len;
+        self
+    }
+
+    /// Keeps only closed patterns (no super-pattern with equal support).
+    pub fn closed_only(mut self, closed: bool) -> PatternMiner {
+        self.closed_only = closed;
+        self
+    }
+
+    /// The configured support threshold.
+    pub fn min_support(&self) -> f64 {
+        self.min_support
+    }
+
+    /// Mines the patterns of a single user's daily sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::Mine`] if `max_length` was set to zero.
+    pub fn detect(
+        &self,
+        user: UserId,
+        sequences: &[Vec<SeqItem>],
+    ) -> Result<UserPatterns, MobilityError> {
+        let mut miner = ModifiedPrefixSpan::new(self.min_support)?.max_gap(self.max_gap);
+        if let Some(len) = self.max_length {
+            miner = miner.max_length(len)?;
+        }
+        let mut patterns = miner.mine(sequences, |item| u32::from(item.slot.0));
+        if self.closed_only {
+            patterns = closed_patterns(&patterns);
+        }
+        Ok(UserPatterns {
+            user,
+            active_days: sequences.len(),
+            patterns,
+        })
+    }
+
+    /// Mines every user of a prepared dataset, in user order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::detect`].
+    pub fn detect_all(&self, prepared: &Prepared) -> Result<Vec<UserPatterns>, MobilityError> {
+        prepared
+            .seqdb()
+            .users()
+            .iter()
+            .map(|u| self.detect(u.user, &u.sequences))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_prep::{PlaceLabel, TimeSlot};
+
+    fn item(slot: u8, label: u32) -> SeqItem {
+        SeqItem {
+            slot: TimeSlot(slot),
+            label: PlaceLabel(label),
+        }
+    }
+
+    /// Three synthetic "days": home(3) work(4) eatery(6) home(11).
+    fn days() -> Vec<Vec<SeqItem>> {
+        vec![
+            vec![item(3, 0), item(4, 1), item(6, 2), item(11, 0)],
+            vec![item(3, 0), item(6, 2), item(11, 0)],
+            vec![item(3, 0), item(4, 1), item(11, 0)],
+        ]
+    }
+
+    #[test]
+    fn detect_finds_daily_anchors() {
+        let up = PatternMiner::new(1.0)
+            .unwrap()
+            .detect(UserId::new(1), &days())
+            .unwrap();
+        assert_eq!(up.active_days, 3);
+        // home@3 appears every day.
+        assert!(up.patterns.iter().any(|p| p.items == vec![item(3, 0)]));
+        // home@3 ... home@11 too.
+        assert!(up
+            .patterns
+            .iter()
+            .any(|p| p.items == vec![item(3, 0), item(11, 0)]));
+        assert!(up.pattern_count() > 0);
+        assert!(up.mean_pattern_length() >= 1.0);
+    }
+
+    #[test]
+    fn lower_support_yields_more_patterns() {
+        let hi = PatternMiner::new(1.0)
+            .unwrap()
+            .detect(UserId::new(1), &days())
+            .unwrap();
+        let lo = PatternMiner::new(0.5)
+            .unwrap()
+            .detect(UserId::new(1), &days())
+            .unwrap();
+        assert!(lo.pattern_count() > hi.pattern_count());
+    }
+
+    #[test]
+    fn closed_only_shrinks_set() {
+        let full = PatternMiner::new(0.5)
+            .unwrap()
+            .detect(UserId::new(1), &days())
+            .unwrap();
+        let closed = PatternMiner::new(0.5)
+            .unwrap()
+            .closed_only(true)
+            .detect(UserId::new(1), &days())
+            .unwrap();
+        assert!(closed.pattern_count() < full.pattern_count());
+    }
+
+    #[test]
+    fn gap_constraint_applies() {
+        let free = PatternMiner::new(1.0)
+            .unwrap()
+            .detect(UserId::new(1), &days())
+            .unwrap();
+        let tight = PatternMiner::new(1.0)
+            .unwrap()
+            .max_gap(Some(3))
+            .detect(UserId::new(1), &days())
+            .unwrap();
+        // home@3 -> home@11 (gap 8) pruned under gap 3.
+        let pair = vec![item(3, 0), item(11, 0)];
+        assert!(free.patterns.iter().any(|p| p.items == pair));
+        assert!(!tight.patterns.iter().any(|p| p.items == pair));
+    }
+
+    #[test]
+    fn invalid_configs_error() {
+        assert!(PatternMiner::new(0.0).is_err());
+        assert!(PatternMiner::new(1.5).is_err());
+        let m = PatternMiner::new(0.5).unwrap().max_length(Some(0));
+        assert!(m.detect(UserId::new(1), &days()).is_err());
+    }
+
+    #[test]
+    fn empty_user_has_no_patterns() {
+        let up = PatternMiner::new(0.5)
+            .unwrap()
+            .detect(UserId::new(1), &[])
+            .unwrap();
+        assert_eq!(up.pattern_count(), 0);
+        assert_eq!(up.mean_pattern_length(), 0.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Next-place prediction baselines.
+//!
+//! The paper motivates place abstraction by the poor accuracy of
+//! next-location prediction on raw venues (8–25 % in the literature it
+//! cites). These baselines reproduce that: a temporal holdout per user,
+//! predicting each next item's *label* from the preceding context.
+//! Evaluated over raw venue labels the accuracy is low; over coarse
+//! kinds it rises sharply — exactly the motivation for CrowdWeb's
+//! abstraction (benchmark `prediction_accuracy` regenerates this).
+
+use crate::{MobilityError, PatternMiner};
+use crowdweb_prep::{PlaceLabel, SeqItem, SequenceDatabase};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The baseline predictor family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Always predict the user's most frequent place.
+    TopFrequency,
+    /// Order-1 Markov chain over place labels, with top-frequency
+    /// fallback for unseen contexts.
+    Markov1,
+    /// Order-2 Markov chain with order-1 then top-frequency fallback.
+    Markov2,
+}
+
+/// Outcome of a prediction evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PredictionReport {
+    /// Number of correct next-place predictions.
+    pub correct: usize,
+    /// Number of predictions attempted.
+    pub total: usize,
+}
+
+impl PredictionReport {
+    /// Top-1 accuracy in `[0, 1]` (0 when nothing was predicted).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: PredictionReport) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+/// A per-user predictor trained on that user's early days.
+#[derive(Debug, Clone)]
+struct UserModel {
+    kind: PredictorKind,
+    top: Option<PlaceLabel>,
+    unigram: HashMap<PlaceLabel, PlaceLabel>,
+    bigram: HashMap<(PlaceLabel, PlaceLabel), PlaceLabel>,
+}
+
+impl UserModel {
+    fn train(kind: PredictorKind, days: &[Vec<SeqItem>]) -> UserModel {
+        let mut freq: HashMap<PlaceLabel, usize> = HashMap::new();
+        let mut uni: HashMap<PlaceLabel, HashMap<PlaceLabel, usize>> = HashMap::new();
+        let mut bi: HashMap<(PlaceLabel, PlaceLabel), HashMap<PlaceLabel, usize>> = HashMap::new();
+        for day in days {
+            for item in day {
+                *freq.entry(item.label).or_insert(0) += 1;
+            }
+            for w in day.windows(2) {
+                *uni.entry(w[0].label)
+                    .or_default()
+                    .entry(w[1].label)
+                    .or_insert(0) += 1;
+            }
+            for w in day.windows(3) {
+                *bi.entry((w[0].label, w[1].label))
+                    .or_default()
+                    .entry(w[2].label)
+                    .or_insert(0) += 1;
+            }
+        }
+        let argmax = |m: &HashMap<PlaceLabel, usize>| {
+            m.iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .map(|(&l, _)| l)
+        };
+        UserModel {
+            kind,
+            top: argmax(&freq),
+            unigram: uni
+                .into_iter()
+                .filter_map(|(k, v)| argmax(&v).map(|best| (k, best)))
+                .collect(),
+            bigram: bi
+                .into_iter()
+                .filter_map(|(k, v)| argmax(&v).map(|best| (k, best)))
+                .collect(),
+        }
+    }
+
+    fn predict(&self, context: &[SeqItem]) -> Option<PlaceLabel> {
+        match self.kind {
+            PredictorKind::TopFrequency => self.top,
+            PredictorKind::Markov1 => context
+                .last()
+                .and_then(|prev| self.unigram.get(&prev.label).copied())
+                .or(self.top),
+            PredictorKind::Markov2 => {
+                let bigram_guess = if context.len() >= 2 {
+                    let key = (
+                        context[context.len() - 2].label,
+                        context[context.len() - 1].label,
+                    );
+                    self.bigram.get(&key).copied()
+                } else {
+                    None
+                };
+                bigram_guess
+                    .or_else(|| {
+                        context
+                            .last()
+                            .and_then(|prev| self.unigram.get(&prev.label).copied())
+                    })
+                    .or(self.top)
+            }
+        }
+    }
+}
+
+/// Evaluates a predictor over every user of a sequence database with a
+/// per-user temporal split: the first `train_fraction` of each user's
+/// days train the model, the rest are tested. Every item of a test day
+/// after the first is a prediction target (its preceding items that day
+/// are the context).
+///
+/// # Errors
+///
+/// Returns [`MobilityError::InvalidSplit`] unless
+/// `0 < train_fraction < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_mobility::{evaluate_predictor, PredictorKind};
+/// use crowdweb_prep::{LabelScheme, Preprocessor};
+/// use crowdweb_synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = SynthConfig::small(5).generate()?;
+/// let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+/// let report = evaluate_predictor(prepared.seqdb(), PredictorKind::Markov1, 0.7)?;
+/// assert!(report.total > 0);
+/// assert!((0.0..=1.0).contains(&report.accuracy()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate_predictor(
+    seqdb: &SequenceDatabase,
+    kind: PredictorKind,
+    train_fraction: f64,
+) -> Result<PredictionReport, MobilityError> {
+    if !(train_fraction.is_finite() && 0.0 < train_fraction && train_fraction < 1.0) {
+        return Err(MobilityError::InvalidSplit(train_fraction));
+    }
+    let mut report = PredictionReport::default();
+    for user in seqdb.users() {
+        let n = user.sequences.len();
+        if n < 2 {
+            continue;
+        }
+        let split = ((n as f64 * train_fraction).floor() as usize).clamp(1, n - 1);
+        let model = UserModel::train(kind, &user.sequences[..split]);
+        for day in &user.sequences[split..] {
+            for i in 1..day.len() {
+                if let Some(guess) = model.predict(&day[..i]) {
+                    report.total += 1;
+                    if guess == day[i].label {
+                        report.correct += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Evaluates the *pattern-based* predictor: per user, mine mobility
+/// patterns on the training days (modified PrefixSpan at
+/// `min_support`), then predict each next place as the continuation of
+/// the highest-support mined pattern whose prefix ends at the context's
+/// last item — the prediction CrowdWeb's own patterns imply. Falls back
+/// to the user's most frequent place when no pattern continues the
+/// context.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::InvalidSplit`] unless `0 < train_fraction
+/// < 1`, and mining errors for an invalid `min_support`.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_mobility::evaluate_pattern_predictor;
+/// use crowdweb_prep::Preprocessor;
+/// use crowdweb_synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = SynthConfig::small(5).generate()?;
+/// let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+/// let report = evaluate_pattern_predictor(prepared.seqdb(), 0.15, 0.7)?;
+/// assert!(report.total > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate_pattern_predictor(
+    seqdb: &SequenceDatabase,
+    min_support: f64,
+    train_fraction: f64,
+) -> Result<PredictionReport, MobilityError> {
+    if !(train_fraction.is_finite() && 0.0 < train_fraction && train_fraction < 1.0) {
+        return Err(MobilityError::InvalidSplit(train_fraction));
+    }
+    let miner = PatternMiner::new(min_support)?;
+    let mut report = PredictionReport::default();
+    for user in seqdb.users() {
+        let n = user.sequences.len();
+        if n < 2 {
+            continue;
+        }
+        let split = ((n as f64 * train_fraction).floor() as usize).clamp(1, n - 1);
+        let train = &user.sequences[..split];
+        let mined = miner.detect(user.user, train)?;
+        // Continuation table: for each (slot, label) item, the
+        // highest-support item that follows it in some mined pattern.
+        let mut continuation: HashMap<SeqItem, (usize, PlaceLabel)> = HashMap::new();
+        for p in mined.patterns.iter() {
+            for pair in p.items.windows(2) {
+                let entry = continuation
+                    .entry(pair[0])
+                    .or_insert((p.support, pair[1].label));
+                if p.support > entry.0 {
+                    *entry = (p.support, pair[1].label);
+                }
+            }
+        }
+        // Fallback: most frequent training label.
+        let mut freq: HashMap<PlaceLabel, usize> = HashMap::new();
+        for day in train {
+            for item in day {
+                *freq.entry(item.label).or_insert(0) += 1;
+            }
+        }
+        let top = freq
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&l, _)| l);
+
+        for day in &user.sequences[split..] {
+            for i in 1..day.len() {
+                let guess = continuation
+                    .get(&day[i - 1])
+                    .map(|&(_, label)| label)
+                    .or(top);
+                if let Some(guess) = guess {
+                    report.total += 1;
+                    if guess == day[i].label {
+                        report.correct += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_dataset::UserId;
+    use crowdweb_prep::{TimeSlot, UserSequences};
+
+    fn item(slot: u8, label: u32) -> SeqItem {
+        SeqItem {
+            slot: TimeSlot(slot),
+            label: PlaceLabel(label),
+        }
+    }
+
+    fn db(days: Vec<Vec<SeqItem>>) -> SequenceDatabase {
+        vec![UserSequences {
+            user: UserId::new(1),
+            sequences: days,
+        }]
+        .into_iter()
+        .collect()
+    }
+
+    /// A perfectly regular user: 0 -> 1 -> 2 every day.
+    fn regular() -> SequenceDatabase {
+        db((0..10)
+            .map(|_| vec![item(3, 0), item(6, 1), item(11, 2)])
+            .collect())
+    }
+
+    #[test]
+    fn markov_is_perfect_on_regular_data() {
+        let r = evaluate_predictor(&regular(), PredictorKind::Markov1, 0.5).unwrap();
+        assert_eq!(r.accuracy(), 1.0);
+        assert_eq!(r.total, 10); // 5 test days x 2 targets
+        let r2 = evaluate_predictor(&regular(), PredictorKind::Markov2, 0.5).unwrap();
+        assert_eq!(r2.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn top_frequency_is_weaker_than_markov_on_structured_data() {
+        // 0 -> 1 -> 0 -> 2 daily: top frequency (0) is right half the
+        // time; Markov-1 knows 1 -> 0 but not 0 -> {1,2} perfectly.
+        let days: Vec<Vec<SeqItem>> = (0..12)
+            .map(|_| vec![item(1, 0), item(4, 1), item(7, 0), item(10, 2)])
+            .collect();
+        let top = evaluate_predictor(&db(days.clone()), PredictorKind::TopFrequency, 0.5).unwrap();
+        let markov2 = evaluate_predictor(&db(days), PredictorKind::Markov2, 0.5).unwrap();
+        assert!(markov2.accuracy() > top.accuracy());
+        // Markov-2 disambiguates (1,0)->2 vs (start,0)->1 contexts... the
+        // first target of a day has order-1 context only.
+        assert!(markov2.accuracy() >= 2.0 / 3.0);
+    }
+
+    #[test]
+    fn invalid_split_errors() {
+        for bad in [0.0, 1.0, -0.2, f64::NAN] {
+            assert!(matches!(
+                evaluate_predictor(&regular(), PredictorKind::Markov1, bad),
+                Err(MobilityError::InvalidSplit(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn single_day_users_are_skipped() {
+        let one = db(vec![vec![item(1, 0), item(2, 1)]]);
+        let r = evaluate_predictor(&one, PredictorKind::Markov1, 0.5).unwrap();
+        assert_eq!(r.total, 0);
+        assert_eq!(r.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn unseen_context_falls_back_to_top() {
+        // Train days all 0 -> 1; test day starts at unseen 5.
+        let mut days: Vec<Vec<SeqItem>> = (0..4).map(|_| vec![item(1, 0), item(4, 1)]).collect();
+        days.push(vec![item(2, 5), item(4, 0)]);
+        let r = evaluate_predictor(&db(days), PredictorKind::Markov1, 0.8).unwrap();
+        // One target (the 0 after the 5): fallback predicts top place
+        // which is 0 or 1 (tie broken to smaller) => 0 is top? counts:
+        // 0 x4, 1 x4 -> tie, smaller label wins: predicts 0, correct.
+        assert_eq!(r.total, 1);
+        assert_eq!(r.correct, 1);
+    }
+
+    #[test]
+    fn pattern_predictor_is_perfect_on_regular_data() {
+        let r = evaluate_pattern_predictor(&regular(), 0.5, 0.5).unwrap();
+        assert_eq!(r.accuracy(), 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn pattern_predictor_validates_inputs() {
+        assert!(matches!(
+            evaluate_pattern_predictor(&regular(), 0.5, 0.0),
+            Err(MobilityError::InvalidSplit(_))
+        ));
+        assert!(evaluate_pattern_predictor(&regular(), 0.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn pattern_predictor_beats_top_frequency_on_structured_data() {
+        let days: Vec<Vec<SeqItem>> = (0..12)
+            .map(|_| vec![item(1, 0), item(4, 1), item(7, 0), item(10, 2)])
+            .collect();
+        let top = evaluate_predictor(&db(days.clone()), PredictorKind::TopFrequency, 0.5).unwrap();
+        let pattern = evaluate_pattern_predictor(&db(days), 0.5, 0.5).unwrap();
+        assert!(
+            pattern.accuracy() > top.accuracy(),
+            "pattern {} <= top {}",
+            pattern.accuracy(),
+            top.accuracy()
+        );
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = PredictionReport {
+            correct: 1,
+            total: 2,
+        };
+        a.merge(PredictionReport {
+            correct: 3,
+            total: 4,
+        });
+        assert_eq!(a, PredictionReport { correct: 4, total: 6 });
+        assert!((a.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! User similarity and grouping.
+//!
+//! "Users who frequently visit a specific location at a particular time
+//! are categorized together as a group" — this module provides the
+//! similarity measures behind that grouping and a simple agglomerative
+//! clustering over them, so the platform can colour crowds by
+//! behavioural group rather than only by location.
+
+use crate::UserPatterns;
+use crowdweb_dataset::UserId;
+use crowdweb_prep::SeqItem;
+use std::collections::{HashMap, HashSet};
+
+/// Jaccard similarity of two users' *pattern item* sets (which
+/// `(slot, label)` visits their patterns cover). 1.0 for identical
+/// sets; 0.0 when disjoint or both empty.
+pub fn pattern_jaccard(a: &UserPatterns, b: &UserPatterns) -> f64 {
+    let items = |u: &UserPatterns| -> HashSet<SeqItem> {
+        u.patterns
+            .iter()
+            .flat_map(|p| p.items.iter().copied())
+            .collect()
+    };
+    let sa = items(a);
+    let sb = items(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Cosine similarity of two users' support-weighted pattern-item
+/// vectors: each `(slot, label)` dimension weighted by the total
+/// support of patterns containing it. Captures *how strongly* two
+/// users share habits, not just whether.
+pub fn pattern_cosine(a: &UserPatterns, b: &UserPatterns) -> f64 {
+    let vector = |u: &UserPatterns| -> HashMap<SeqItem, f64> {
+        let mut v: HashMap<SeqItem, f64> = HashMap::new();
+        for p in u.patterns.iter() {
+            for it in &p.items {
+                *v.entry(*it).or_insert(0.0) += p.support as f64;
+            }
+        }
+        v
+    };
+    let va = vector(a);
+    let vb = vector(b);
+    let dot: f64 = va
+        .iter()
+        .filter_map(|(k, x)| vb.get(k).map(|y| x * y))
+        .sum();
+    let norm = |v: &HashMap<SeqItem, f64>| v.values().map(|x| x * x).sum::<f64>().sqrt();
+    let denom = norm(&va) * norm(&vb);
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// A behavioural group of users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserGroup {
+    /// Members, ascending by user id.
+    pub members: Vec<UserId>,
+}
+
+impl UserGroup {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty (never produced by the clusterer).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Greedy single-link agglomerative grouping: users land in the same
+/// group iff they are connected by a chain of pairwise similarities
+/// `>= threshold` (using [`pattern_cosine`]). Groups come back
+/// largest-first; singletons are included.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_mobility::{group_users, PatternMiner};
+/// use crowdweb_prep::Preprocessor;
+/// use crowdweb_synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = SynthConfig::small(3).generate()?;
+/// let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+/// let patterns = PatternMiner::new(0.15)?.detect_all(&prepared)?;
+/// let groups = group_users(&patterns, 0.6);
+/// let total: usize = groups.iter().map(|g| g.len()).sum();
+/// assert_eq!(total, patterns.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn group_users(patterns: &[UserPatterns], threshold: f64) -> Vec<UserGroup> {
+    let n = patterns.len();
+    // Union-find over user indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    #[allow(clippy::needless_range_loop)] // pairwise i < j indexing
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if pattern_cosine(&patterns[i], &patterns[j]) >= threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<UserId>> = HashMap::new();
+    for (i, up) in patterns.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(up.user);
+    }
+    let mut out: Vec<UserGroup> = groups
+        .into_values()
+        .map(|mut members| {
+            members.sort();
+            UserGroup { members }
+        })
+        .collect();
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.members.cmp(&b.members)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_prep::{PlaceLabel, TimeSlot};
+    use crowdweb_seqmine::{Pattern, PatternSet};
+
+    fn item(slot: u8, label: u32) -> SeqItem {
+        SeqItem {
+            slot: TimeSlot(slot),
+            label: PlaceLabel(label),
+        }
+    }
+
+    fn user(id: u32, patterns: Vec<(Vec<SeqItem>, usize)>) -> UserPatterns {
+        UserPatterns {
+            user: UserId::new(id),
+            active_days: 30,
+            patterns: PatternSet {
+                patterns: patterns
+                    .into_iter()
+                    .map(|(items, support)| Pattern { items, support })
+                    .collect(),
+                db_size: 30,
+            },
+        }
+    }
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        let a = user(1, vec![(vec![item(3, 0), item(6, 2)], 10)]);
+        let b = user(2, vec![(vec![item(3, 0), item(6, 2)], 5)]);
+        let c = user(3, vec![(vec![item(9, 7)], 5)]);
+        assert_eq!(pattern_jaccard(&a, &b), 1.0);
+        assert_eq!(pattern_jaccard(&a, &c), 0.0);
+        let empty = user(4, vec![]);
+        assert_eq!(pattern_jaccard(&empty, &empty), 0.0);
+        assert_eq!(pattern_jaccard(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a = user(1, vec![(vec![item(3, 0), item(6, 2)], 10)]);
+        let b = user(2, vec![(vec![item(3, 0), item(9, 7)], 5)]);
+        // items: a = {3@0, 6@2}, b = {3@0, 9@7}; intersection 1, union 3.
+        assert!((pattern_jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        let a = user(1, vec![(vec![item(3, 0)], 10), (vec![item(6, 2)], 5)]);
+        let same_shape = user(2, vec![(vec![item(3, 0)], 20), (vec![item(6, 2)], 10)]);
+        let different = user(3, vec![(vec![item(9, 7)], 10)]);
+        // Proportional vectors => cosine 1.
+        assert!((pattern_cosine(&a, &same_shape) - 1.0).abs() < 1e-12);
+        assert_eq!(pattern_cosine(&a, &different), 0.0);
+        assert!((pattern_cosine(&a, &a) - 1.0).abs() < 1e-12);
+        let empty = user(4, vec![]);
+        assert_eq!(pattern_cosine(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn grouping_joins_chains_and_keeps_singletons() {
+        // a ~ b (identical), c alone.
+        let a = user(1, vec![(vec![item(3, 0)], 10)]);
+        let b = user(2, vec![(vec![item(3, 0)], 7)]);
+        let c = user(3, vec![(vec![item(9, 7)], 7)]);
+        let groups = group_users(&[a, b, c], 0.9);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].members, vec![UserId::new(1), UserId::new(2)]);
+        assert_eq!(groups[1].members, vec![UserId::new(3)]);
+        assert_eq!(groups[0].len(), 2);
+        assert!(!groups[0].is_empty());
+    }
+
+    #[test]
+    fn threshold_one_point_one_separates_everyone() {
+        let a = user(1, vec![(vec![item(3, 0)], 10)]);
+        let b = user(2, vec![(vec![item(3, 0)], 10)]);
+        let groups = group_users(&[a, b], 1.1);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn grouping_partitions_users() {
+        let users: Vec<UserPatterns> = (0..6)
+            .map(|i| user(i, vec![(vec![item((i % 3) as u8, i % 2)], 5)]))
+            .collect();
+        let groups = group_users(&users, 0.5);
+        let total: usize = groups.iter().map(UserGroup::len).sum();
+        assert_eq!(total, 6);
+        let mut seen = HashSet::new();
+        for g in &groups {
+            for m in &g.members {
+                assert!(seen.insert(*m), "user {m} in two groups");
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for preprocessing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the preprocessing pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrepError {
+    /// A configuration value was out of range.
+    InvalidConfig(&'static str),
+    /// The dataset is empty, so no window can be chosen.
+    EmptyDataset,
+    /// A check-in referenced a venue missing from the dataset (dataset
+    /// invariants were violated).
+    MissingVenue(crowdweb_dataset::VenueId),
+}
+
+impl fmt::Display for PrepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepError::InvalidConfig(what) => write!(f, "invalid preprocessing config: {what}"),
+            PrepError::EmptyDataset => write!(f, "dataset has no check-ins"),
+            PrepError::MissingVenue(v) => write!(f, "check-in references missing venue {v}"),
+        }
+    }
+}
+
+impl Error for PrepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PrepError>();
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!PrepError::EmptyDataset.to_string().is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Active-user filtering.
+//!
+//! "We selected users with less than 2 hours check-in records for more
+//! than 50 days within the 3-month period" — i.e. keep users whose
+//! check-ins, bucketed at the 2-hour slot granularity, cover more than
+//! 50 distinct days of the study window. [`ActivityFilter`] implements
+//! that rule with both knobs configurable.
+
+use crate::{StudyWindow, TimeSlotting};
+use crowdweb_dataset::{Dataset, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The paper's activity filter: a user qualifies if they have check-in
+/// records on **more than** `min_active_days` distinct days of the
+/// window.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_prep::{ActivityFilter, StudyWindow};
+/// use crowdweb_synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = SynthConfig::small(1).generate()?;
+/// let window = StudyWindow::full(&dataset)?;
+/// let filter = ActivityFilter::new(20);
+/// let active = filter.active_users(&dataset, &window);
+/// for user in &active {
+///     assert!(filter.active_day_count(&dataset, &window, *user) > 20);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityFilter {
+    min_active_days: usize,
+    slotting: TimeSlotting,
+}
+
+impl Default for ActivityFilter {
+    /// The paper's threshold: more than 50 active days at 2-hour
+    /// granularity.
+    fn default() -> Self {
+        ActivityFilter {
+            min_active_days: 50,
+            slotting: TimeSlotting::default(),
+        }
+    }
+}
+
+impl ActivityFilter {
+    /// Creates a filter requiring more than `min_active_days` active
+    /// days, at the default 2-hour granularity.
+    pub fn new(min_active_days: usize) -> ActivityFilter {
+        ActivityFilter {
+            min_active_days,
+            slotting: TimeSlotting::default(),
+        }
+    }
+
+    /// Sets the slot granularity used when counting records.
+    pub fn slotting(mut self, slotting: TimeSlotting) -> ActivityFilter {
+        self.slotting = slotting;
+        self
+    }
+
+    /// The configured threshold.
+    pub fn min_active_days(&self) -> usize {
+        self.min_active_days
+    }
+
+    /// Number of distinct window days on which `user` has at least one
+    /// check-in record (at slot granularity — multiple records in one
+    /// slot of one day still count the day once).
+    pub fn active_day_count(
+        &self,
+        dataset: &Dataset,
+        window: &StudyWindow,
+        user: UserId,
+    ) -> usize {
+        let mut days: HashSet<i64> = HashSet::new();
+        for c in dataset.checkins_of(user) {
+            if window.contains_checkin(c) {
+                days.insert(c.local_date().to_epoch_days());
+            }
+        }
+        days.len()
+    }
+
+    /// Whether `user` passes the filter.
+    pub fn is_active(&self, dataset: &Dataset, window: &StudyWindow, user: UserId) -> bool {
+        self.active_day_count(dataset, window, user) > self.min_active_days
+    }
+
+    /// All users passing the filter, in ascending id order.
+    pub fn active_users(&self, dataset: &Dataset, window: &StudyWindow) -> Vec<UserId> {
+        dataset
+            .user_ids()
+            .filter(|&u| self.is_active(dataset, window, u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_dataset::{CategoryId, CheckIn, CivilDate, Timestamp, Venue, VenueId};
+    use crowdweb_geo::LatLon;
+
+    /// A dataset where user `u` checks in on `days` consecutive days
+    /// starting 2012-04-01, `per_day` times each day.
+    fn dataset(users: &[(u32, u32, u32)]) -> Dataset {
+        let mut b = Dataset::builder();
+        b.add_venue(Venue::new(
+            VenueId::new(0),
+            "v",
+            LatLon::new(40.7, -74.0).unwrap(),
+            CategoryId::new(0),
+        ));
+        for &(user, days, per_day) in users {
+            for d in 0..days {
+                for k in 0..per_day {
+                    let base = Timestamp::from_civil(2012, 4, 1, 10, 0, 0).unwrap();
+                    let t = base.plus_seconds(i64::from(d) * 86_400 + i64::from(k) * 3600);
+                    b.add_checkin(CheckIn::new(UserId::new(user), VenueId::new(0), t, 0));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn window() -> StudyWindow {
+        StudyWindow::new(
+            CivilDate::new(2012, 4, 1).unwrap(),
+            CivilDate::new(2012, 6, 30).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn threshold_is_strictly_greater() {
+        let d = dataset(&[(1, 50, 1), (2, 51, 1)]);
+        let f = ActivityFilter::new(50);
+        assert!(!f.is_active(&d, &window(), UserId::new(1)));
+        assert!(f.is_active(&d, &window(), UserId::new(2)));
+        assert_eq!(f.active_users(&d, &window()), vec![UserId::new(2)]);
+    }
+
+    #[test]
+    fn multiple_records_per_day_count_once() {
+        let d = dataset(&[(1, 10, 5)]);
+        let f = ActivityFilter::new(0);
+        assert_eq!(f.active_day_count(&d, &window(), UserId::new(1)), 10);
+    }
+
+    #[test]
+    fn records_outside_window_ignored() {
+        let mut b = Dataset::builder();
+        b.add_venue(Venue::new(
+            VenueId::new(0),
+            "v",
+            LatLon::new(40.7, -74.0).unwrap(),
+            CategoryId::new(0),
+        ));
+        // One check-in inside, one in July (outside).
+        b.add_checkin(CheckIn::new(
+            UserId::new(1),
+            VenueId::new(0),
+            Timestamp::from_civil(2012, 5, 1, 10, 0, 0).unwrap(),
+            0,
+        ));
+        b.add_checkin(CheckIn::new(
+            UserId::new(1),
+            VenueId::new(0),
+            Timestamp::from_civil(2012, 7, 1, 10, 0, 0).unwrap(),
+            0,
+        ));
+        let d = b.build().unwrap();
+        let f = ActivityFilter::new(0);
+        assert_eq!(f.active_day_count(&d, &window(), UserId::new(1)), 1);
+    }
+
+    #[test]
+    fn unknown_user_has_zero_days() {
+        let d = dataset(&[(1, 5, 1)]);
+        let f = ActivityFilter::default();
+        assert_eq!(f.active_day_count(&d, &window(), UserId::new(99)), 0);
+        assert!(!f.is_active(&d, &window(), UserId::new(99)));
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let f = ActivityFilter::default();
+        assert_eq!(f.min_active_days(), 50);
+    }
+}

@@ -1,0 +1,210 @@
+//! Place abstraction — mapping venues to pattern labels.
+//!
+//! The paper's central trick: instead of mining over raw venues (where
+//! "Thai Express" and "Seasoning Thai" are different items and the lunch
+//! habit is invisible), venues are abstracted to *places*. Three levels
+//! are supported:
+//!
+//! - [`LabelScheme::Venue`] — no abstraction, raw venue identity (the
+//!   strawman that makes prediction accuracy poor).
+//! - [`LabelScheme::Category`] — fine-grained category ("Thai
+//!   Restaurant").
+//! - [`LabelScheme::Kind`] — coarse kind ("Eatery"), the paper's default.
+
+use crate::PrepError;
+use crowdweb_dataset::{CheckIn, Dataset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Abstraction level for place labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum LabelScheme {
+    /// Raw venue identity (no abstraction).
+    Venue,
+    /// Fine-grained category name.
+    Category,
+    /// Coarse category kind — the paper's place abstraction.
+    #[default]
+    Kind,
+}
+
+impl fmt::Display for LabelScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LabelScheme::Venue => "venue",
+            LabelScheme::Category => "category",
+            LabelScheme::Kind => "kind",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A place label: a dense integer in the label space of one scheme.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PlaceLabel(pub u32);
+
+impl fmt::Display for PlaceLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "place#{}", self.0)
+    }
+}
+
+/// Maps check-ins to [`PlaceLabel`]s under a chosen [`LabelScheme`],
+/// with reverse lookup of human-readable names.
+#[derive(Debug, Clone, Copy)]
+pub struct Labeler<'a> {
+    dataset: &'a Dataset,
+    scheme: LabelScheme,
+}
+
+impl<'a> Labeler<'a> {
+    /// Creates a labeler over a dataset.
+    pub fn new(dataset: &'a Dataset, scheme: LabelScheme) -> Labeler<'a> {
+        Labeler { dataset, scheme }
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> LabelScheme {
+        self.scheme
+    }
+
+    /// The label of a check-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepError::MissingVenue`] if the check-in references a
+    /// venue absent from the dataset (cannot happen for datasets built
+    /// through [`Dataset::builder`]).
+    pub fn label_of(&self, checkin: &CheckIn) -> Result<PlaceLabel, PrepError> {
+        let venue = self
+            .dataset
+            .venue(checkin.venue())
+            .ok_or(PrepError::MissingVenue(checkin.venue()))?;
+        Ok(match self.scheme {
+            LabelScheme::Venue => PlaceLabel(venue.id().raw()),
+            LabelScheme::Category => PlaceLabel(venue.category().raw()),
+            LabelScheme::Kind => {
+                let kind = self
+                    .dataset
+                    .taxonomy()
+                    .kind_of(venue.category())
+                    .unwrap_or(crowdweb_dataset::CategoryKind::Professional);
+                PlaceLabel(kind.index() as u32)
+            }
+        })
+    }
+
+    /// Human-readable name of a label under this scheme, or `None` if
+    /// the label is out of range.
+    pub fn name_of(&self, label: PlaceLabel) -> Option<String> {
+        match self.scheme {
+            LabelScheme::Venue => self
+                .dataset
+                .venue(crowdweb_dataset::VenueId::new(label.0))
+                .map(|v| v.name().to_owned()),
+            LabelScheme::Category => self
+                .dataset
+                .taxonomy()
+                .name_of(crowdweb_dataset::CategoryId::new(label.0))
+                .map(str::to_owned),
+            LabelScheme::Kind => crowdweb_dataset::CategoryKind::ALL
+                .get(label.0 as usize)
+                .map(|k| k.label().to_owned()),
+        }
+    }
+
+    /// Size of the label space (number of distinct possible labels).
+    pub fn label_space(&self) -> usize {
+        match self.scheme {
+            LabelScheme::Venue => self.dataset.venue_count(),
+            LabelScheme::Category => self.dataset.taxonomy().len(),
+            LabelScheme::Kind => crowdweb_dataset::CategoryKind::ALL.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_synth::SynthConfig;
+
+    fn dataset() -> Dataset {
+        SynthConfig::small(11).generate().unwrap()
+    }
+
+    #[test]
+    fn kind_labels_are_dense_small_space() {
+        let d = dataset();
+        let labeler = Labeler::new(&d, LabelScheme::Kind);
+        assert_eq!(labeler.label_space(), 9);
+        for c in d.checkins().iter().take(200) {
+            let l = labeler.label_of(c).unwrap();
+            assert!((l.0 as usize) < 9);
+            assert!(labeler.name_of(l).is_some());
+        }
+    }
+
+    #[test]
+    fn venue_scheme_is_identity() {
+        let d = dataset();
+        let labeler = Labeler::new(&d, LabelScheme::Venue);
+        let c = &d.checkins()[0];
+        assert_eq!(labeler.label_of(c).unwrap().0, c.venue().raw());
+    }
+
+    #[test]
+    fn category_scheme_matches_taxonomy() {
+        let d = dataset();
+        let labeler = Labeler::new(&d, LabelScheme::Category);
+        let c = &d.checkins()[0];
+        let v = d.venue(c.venue()).unwrap();
+        let l = labeler.label_of(c).unwrap();
+        assert_eq!(l.0, v.category().raw());
+        assert_eq!(
+            labeler.name_of(l).as_deref(),
+            d.taxonomy().name_of(v.category())
+        );
+    }
+
+    #[test]
+    fn coarser_schemes_have_smaller_spaces() {
+        let d = dataset();
+        let venue = Labeler::new(&d, LabelScheme::Venue).label_space();
+        let cat = Labeler::new(&d, LabelScheme::Category).label_space();
+        let kind = Labeler::new(&d, LabelScheme::Kind).label_space();
+        assert!(kind < cat && cat < venue, "{kind} {cat} {venue}");
+    }
+
+    #[test]
+    fn abstraction_merges_flexible_venues() {
+        // Two different eatery venues must map to the same Kind label.
+        let d = dataset();
+        let kind_labeler = Labeler::new(&d, LabelScheme::Kind);
+        let eatery_idx = crowdweb_dataset::CategoryKind::Eatery.index() as u32;
+        let mut eatery_venues = std::collections::HashSet::new();
+        for c in d.checkins() {
+            if kind_labeler.label_of(c).unwrap().0 == eatery_idx {
+                eatery_venues.insert(c.venue());
+            }
+        }
+        assert!(
+            eatery_venues.len() >= 2,
+            "expected many venues sharing the Eatery label"
+        );
+    }
+
+    #[test]
+    fn out_of_range_names_are_none() {
+        let d = dataset();
+        let labeler = Labeler::new(&d, LabelScheme::Kind);
+        assert!(labeler.name_of(PlaceLabel(99)).is_none());
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(LabelScheme::Kind.to_string(), "kind");
+        assert_eq!(LabelScheme::default(), LabelScheme::Kind);
+    }
+}

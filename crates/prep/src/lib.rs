@@ -1,0 +1,59 @@
+//! Preprocessing pipeline: from raw check-ins to the per-user sequence
+//! databases that pattern mining consumes.
+//!
+//! The paper's pipeline (Section I.1) is reproduced stage by stage:
+//!
+//! 1. **Window selection** — pick the richest three-month window
+//!    (April–June for the Foursquare data) to fight sparsity
+//!    ([`window`]).
+//! 2. **Active-user filtering** — keep users with check-in records on
+//!    more than 50 days within the window, at the 2-hour time
+//!    granularity ([`filter`]).
+//! 3. **Time discretization** — bucket each check-in's *local* time of
+//!    day into fixed slots (default two hours) ([`timeslot`]).
+//! 4. **Place abstraction** — replace raw venues with labels at a chosen
+//!    abstraction level (venue / fine category / coarse kind); the coarse
+//!    kind is what makes flexible patterns detectable ([`label`]).
+//! 5. **Sequence-database construction** — one sequence per user per
+//!    local day, of `(time slot, place label)` items ([`seqdb`]).
+//!
+//! [`pipeline::Preprocessor`] chains all five.
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_prep::{LabelScheme, Preprocessor};
+//! use crowdweb_synth::SynthConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = SynthConfig::small(7).generate()?;
+//! let prepared = Preprocessor::new()
+//!     .label_scheme(LabelScheme::Kind)
+//!     .min_active_days(20)
+//!     .prepare(&dataset)?;
+//! assert!(prepared.user_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod filter;
+pub mod label;
+pub mod pipeline;
+pub mod quality;
+pub mod seqdb;
+pub mod staypoint;
+pub mod timeslot;
+pub mod window;
+
+pub use error::PrepError;
+pub use filter::ActivityFilter;
+pub use label::{LabelScheme, Labeler, PlaceLabel};
+pub use pipeline::{Prepared, Preprocessor, WindowChoice};
+pub use quality::SeqDbQuality;
+pub use seqdb::{SeqItem, SequenceDatabase, UserSequences};
+pub use timeslot::{TimeSlot, TimeSlotting};
+pub use window::StudyWindow;

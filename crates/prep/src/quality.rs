@@ -1,0 +1,158 @@
+//! Sequence-database quality statistics.
+//!
+//! Before mining, it pays to know what the preprocessing produced: how
+//! long daily sequences are, how the label alphabet is covered, and how
+//! much signal the activity filter retained. These statistics validate
+//! the synthetic data against the real data's character and surface
+//! pathological configurations (e.g. a slotting so coarse every day
+//! collapses to one item).
+
+use crate::{PlaceLabel, SequenceDatabase};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Quality statistics over a [`SequenceDatabase`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqDbQuality {
+    /// Number of users.
+    pub users: usize,
+    /// Total daily sequences.
+    pub sequences: usize,
+    /// Total items across all sequences.
+    pub items: usize,
+    /// Mean items per daily sequence (0 when empty).
+    pub mean_sequence_length: f64,
+    /// Longest daily sequence.
+    pub max_sequence_length: usize,
+    /// Mean daily sequences per user (0 when empty).
+    pub mean_days_per_user: f64,
+    /// Item count per place label.
+    pub label_counts: BTreeMap<PlaceLabel, usize>,
+}
+
+impl SeqDbQuality {
+    /// Computes the statistics.
+    pub fn compute(db: &SequenceDatabase) -> SeqDbQuality {
+        let users = db.user_count();
+        let mut sequences = 0usize;
+        let mut items = 0usize;
+        let mut max_len = 0usize;
+        let mut label_counts: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
+        for u in db.users() {
+            sequences += u.sequences.len();
+            for day in &u.sequences {
+                items += day.len();
+                max_len = max_len.max(day.len());
+                for item in day {
+                    *label_counts.entry(item.label).or_insert(0) += 1;
+                }
+            }
+        }
+        SeqDbQuality {
+            users,
+            sequences,
+            items,
+            mean_sequence_length: if sequences == 0 {
+                0.0
+            } else {
+                items as f64 / sequences as f64
+            },
+            max_sequence_length: max_len,
+            mean_days_per_user: if users == 0 {
+                0.0
+            } else {
+                sequences as f64 / users as f64
+            },
+            label_counts,
+        }
+    }
+
+    /// Number of distinct labels actually used.
+    pub fn distinct_labels(&self) -> usize {
+        self.label_counts.len()
+    }
+
+    /// The most frequent label and its item count, if any.
+    pub fn dominant_label(&self) -> Option<(PlaceLabel, usize)> {
+        self.label_counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&l, &c)| (l, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeqItem, TimeSlot, UserSequences};
+    use crowdweb_dataset::UserId;
+
+    fn item(slot: u8, label: u32) -> SeqItem {
+        SeqItem {
+            slot: TimeSlot(slot),
+            label: PlaceLabel(label),
+        }
+    }
+
+    fn db() -> SequenceDatabase {
+        vec![
+            UserSequences {
+                user: UserId::new(1),
+                sequences: vec![
+                    vec![item(3, 0), item(6, 2), item(11, 0)],
+                    vec![item(3, 0)],
+                ],
+            },
+            UserSequences {
+                user: UserId::new(2),
+                sequences: vec![vec![item(4, 1), item(6, 2)]],
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let q = SeqDbQuality::compute(&db());
+        assert_eq!(q.users, 2);
+        assert_eq!(q.sequences, 3);
+        assert_eq!(q.items, 6);
+        assert_eq!(q.mean_sequence_length, 2.0);
+        assert_eq!(q.max_sequence_length, 3);
+        assert_eq!(q.mean_days_per_user, 1.5);
+    }
+
+    #[test]
+    fn label_accounting() {
+        let q = SeqDbQuality::compute(&db());
+        assert_eq!(q.distinct_labels(), 3);
+        assert_eq!(q.label_counts[&PlaceLabel(0)], 3);
+        assert_eq!(q.label_counts[&PlaceLabel(2)], 2);
+        assert_eq!(q.dominant_label(), Some((PlaceLabel(0), 3)));
+    }
+
+    #[test]
+    fn empty_database() {
+        let q = SeqDbQuality::compute(&SequenceDatabase::default());
+        assert_eq!(q.users, 0);
+        assert_eq!(q.mean_sequence_length, 0.0);
+        assert_eq!(q.mean_days_per_user, 0.0);
+        assert_eq!(q.dominant_label(), None);
+    }
+
+    #[test]
+    fn real_pipeline_quality_is_sane() {
+        use crate::Preprocessor;
+        let d = crowdweb_synth::SynthConfig::small(19).generate().unwrap();
+        let prepared = Preprocessor::new().min_active_days(20).prepare(&d).unwrap();
+        let q = SeqDbQuality::compute(prepared.seqdb());
+        assert!(q.users > 0);
+        // Daily sequences average at least one item, and no day can
+        // exceed the number of slots x labels.
+        assert!(q.mean_sequence_length >= 1.0);
+        assert!(q.max_sequence_length <= 12 * 9);
+        // Kind labels: at most 9 distinct.
+        assert!(q.distinct_labels() <= 9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Sequence-database construction.
+//!
+//! Pattern mining consumes, per user, one *sequence per local day*: the
+//! time-ordered list of `(time slot, place label)` items derived from
+//! that day's check-ins. Consecutive duplicate items within a day are
+//! collapsed (staying at work all afternoon is one item, not five).
+
+use crate::{LabelScheme, Labeler, PlaceLabel, PrepError, StudyWindow, TimeSlot, TimeSlotting};
+use crowdweb_dataset::{Dataset, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One mined item: a place label anchored at a time slot. This is the
+/// item alphabet of the paper's *modified* PrefixSpan — two visits match
+/// only if both the slot and the label agree.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SeqItem {
+    /// Time-of-day slot of the visit.
+    pub slot: TimeSlot,
+    /// Abstracted place label.
+    pub label: PlaceLabel,
+}
+
+impl fmt::Display for SeqItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.label, self.slot)
+    }
+}
+
+/// All daily sequences of one user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserSequences {
+    /// The user.
+    pub user: UserId,
+    /// One entry per active day (days with no check-ins are absent),
+    /// in date order; each is the day's time-ordered item sequence.
+    pub sequences: Vec<Vec<SeqItem>>,
+}
+
+impl UserSequences {
+    /// Number of daily sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the user has no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+}
+
+/// The sequence database: per-user daily sequences for every user that
+/// passed the activity filter.
+///
+/// # Examples
+///
+/// Built through [`crate::Preprocessor::prepare`]; see the crate-level
+/// example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SequenceDatabase {
+    users: Vec<UserSequences>,
+}
+
+impl SequenceDatabase {
+    /// Builds the database for `users` over `dataset`, restricted to
+    /// `window`, at the given slotting and labeling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PrepError::MissingVenue`] from labeling (impossible
+    /// for datasets built via [`Dataset::builder`]).
+    pub fn build(
+        dataset: &Dataset,
+        users: &[UserId],
+        window: &StudyWindow,
+        slotting: TimeSlotting,
+        scheme: LabelScheme,
+    ) -> Result<SequenceDatabase, PrepError> {
+        let labeler = Labeler::new(dataset, scheme);
+        let mut out = Vec::with_capacity(users.len());
+        for &user in users {
+            let mut sequences: Vec<Vec<SeqItem>> = Vec::new();
+            let mut current_day: Option<i64> = None;
+            for c in dataset.checkins_of(user) {
+                if !window.contains_checkin(c) {
+                    continue;
+                }
+                let local = c.local_time();
+                let day = local.date.to_epoch_days();
+                let item = SeqItem {
+                    slot: slotting.slot_of(local),
+                    label: labeler.label_of(c)?,
+                };
+                if current_day != Some(day) {
+                    sequences.push(Vec::new());
+                    current_day = Some(day);
+                }
+                let seq = sequences.last_mut().expect("pushed above");
+                if seq.last() != Some(&item) {
+                    seq.push(item);
+                }
+            }
+            out.push(UserSequences { user, sequences });
+        }
+        Ok(SequenceDatabase { users: out })
+    }
+
+    /// Number of users in the database.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Per-user sequence sets, in the order users were supplied.
+    pub fn users(&self) -> &[UserSequences] {
+        &self.users
+    }
+
+    /// The sequences of one user, if present.
+    pub fn sequences_of(&self, user: UserId) -> Option<&UserSequences> {
+        self.users.iter().find(|u| u.user == user)
+    }
+
+    /// Total number of daily sequences across all users.
+    pub fn total_sequences(&self) -> usize {
+        self.users.iter().map(UserSequences::len).sum()
+    }
+}
+
+impl FromIterator<UserSequences> for SequenceDatabase {
+    fn from_iter<I: IntoIterator<Item = UserSequences>>(iter: I) -> Self {
+        SequenceDatabase {
+            users: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_dataset::{CategoryId, CheckIn, CivilDate, Timestamp, Venue, VenueId};
+    use crowdweb_geo::LatLon;
+
+    /// Dataset with one user visiting venue sequences on specific days.
+    /// Each tuple is (day_of_april, hour, venue).
+    fn dataset(visits: &[(u8, u8, u32)]) -> Dataset {
+        let mut b = Dataset::builder();
+        for v in 0..3u32 {
+            b.add_venue(Venue::new(
+                VenueId::new(v),
+                &format!("v{v}"),
+                LatLon::new(40.7, -74.0).unwrap(),
+                CategoryId::new(v), // distinct fine categories
+            ));
+        }
+        for &(day, hour, venue) in visits {
+            b.add_checkin(CheckIn::new(
+                UserId::new(1),
+                VenueId::new(venue),
+                Timestamp::from_civil(2012, 4, day, hour, 0, 0).unwrap(),
+                0,
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn window() -> StudyWindow {
+        StudyWindow::new(
+            CivilDate::new(2012, 4, 1).unwrap(),
+            CivilDate::new(2012, 4, 30).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn build(d: &Dataset) -> SequenceDatabase {
+        SequenceDatabase::build(
+            d,
+            &[UserId::new(1)],
+            &window(),
+            TimeSlotting::default(),
+            LabelScheme::Category,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_sequence_per_active_day() {
+        let d = dataset(&[(1, 8, 0), (1, 12, 1), (3, 9, 2)]);
+        let db = build(&d);
+        let u = db.sequences_of(UserId::new(1)).unwrap();
+        assert_eq!(u.len(), 2); // days 1 and 3; day 2 absent
+        assert_eq!(u.sequences[0].len(), 2);
+        assert_eq!(u.sequences[1].len(), 1);
+        assert_eq!(db.total_sequences(), 2);
+    }
+
+    #[test]
+    fn items_are_time_ordered_with_slots() {
+        let d = dataset(&[(1, 12, 1), (1, 8, 0)]); // inserted out of order
+        let db = build(&d);
+        let seq = &db.sequences_of(UserId::new(1)).unwrap().sequences[0];
+        assert_eq!(seq[0].slot, TimeSlot(4)); // 08:00-10:00
+        assert_eq!(seq[1].slot, TimeSlot(6)); // 12:00-14:00
+        assert_eq!(seq[0].label, PlaceLabel(0));
+        assert_eq!(seq[1].label, PlaceLabel(1));
+    }
+
+    #[test]
+    fn consecutive_duplicates_collapse() {
+        // Same venue, same slot, three check-ins.
+        let d = dataset(&[(1, 8, 0), (1, 8, 0), (1, 9, 0)]);
+        let db = build(&d);
+        let seq = &db.sequences_of(UserId::new(1)).unwrap().sequences[0];
+        assert_eq!(seq.len(), 1, "{seq:?}");
+    }
+
+    #[test]
+    fn nonconsecutive_repeats_survive() {
+        // Home - work - home: the two home visits are distinct items
+        // (different slots).
+        let d = dataset(&[(1, 8, 0), (1, 12, 1), (1, 20, 0)]);
+        let db = build(&d);
+        let seq = &db.sequences_of(UserId::new(1)).unwrap().sequences[0];
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn window_excludes_outside_days() {
+        let mut b = Dataset::builder();
+        b.add_venue(Venue::new(
+            VenueId::new(0),
+            "v",
+            LatLon::new(40.7, -74.0).unwrap(),
+            CategoryId::new(0),
+        ));
+        for month in [4u8, 7] {
+            b.add_checkin(CheckIn::new(
+                UserId::new(1),
+                VenueId::new(0),
+                Timestamp::from_civil(2012, month, 5, 10, 0, 0).unwrap(),
+                0,
+            ));
+        }
+        let d = b.build().unwrap();
+        let db = build(&d);
+        assert_eq!(db.total_sequences(), 1);
+    }
+
+    #[test]
+    fn unknown_user_yields_empty_sequences() {
+        let d = dataset(&[(1, 8, 0)]);
+        let db = SequenceDatabase::build(
+            &d,
+            &[UserId::new(42)],
+            &window(),
+            TimeSlotting::default(),
+            LabelScheme::Category,
+        )
+        .unwrap();
+        assert_eq!(db.user_count(), 1);
+        assert!(db.users()[0].is_empty());
+        assert!(db.sequences_of(UserId::new(1)).is_none());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let db: SequenceDatabase = vec![UserSequences {
+            user: UserId::new(1),
+            sequences: vec![vec![]],
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(db.user_count(), 1);
+    }
+
+    #[test]
+    fn seq_item_display() {
+        let item = SeqItem {
+            slot: TimeSlot(6),
+            label: PlaceLabel(2),
+        };
+        assert_eq!(item.to_string(), "place#2@slot#6");
+    }
+}

@@ -1,0 +1,212 @@
+//! Stay-point detection (Li et al., 2008).
+//!
+//! GTSM check-ins are already discrete visits, but richer trajectory
+//! sources (GPS traces, WiFi sensing — both named by the paper's
+//! citations as crowd-sensing substrates) deliver raw position streams.
+//! A *stay point* is a region where the subject lingered: all points
+//! within `distance_threshold_m` of the anchor for at least
+//! `duration_threshold_s`. This module turns such streams into
+//! visit-like events that feed the same pipeline as check-ins.
+
+use crowdweb_dataset::Timestamp;
+use crowdweb_geo::LatLon;
+use serde::{Deserialize, Serialize};
+
+/// A timestamped position observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackPoint {
+    /// Position.
+    pub location: LatLon,
+    /// Observation instant.
+    pub time: Timestamp,
+}
+
+/// A detected stay: the subject remained near `centroid` from `arrive`
+/// to `depart`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StayPoint {
+    /// Mean position of the stay's observations.
+    pub centroid: LatLon,
+    /// First observation of the stay.
+    pub arrive: Timestamp,
+    /// Last observation of the stay.
+    pub depart: Timestamp,
+    /// Number of observations merged into the stay.
+    pub points: usize,
+}
+
+impl StayPoint {
+    /// Stay duration in seconds.
+    pub fn duration_s(&self) -> i64 {
+        self.arrive.seconds_until(self.depart)
+    }
+}
+
+/// Detects stay points in a time-ordered position stream.
+///
+/// The classic anchor-scan algorithm: starting from each anchor point,
+/// extend the window while every point stays within
+/// `distance_threshold_m` of the anchor; if the window spans at least
+/// `duration_threshold_s`, emit a stay at the window's centroid and
+/// continue after it.
+///
+/// Unordered input is handled by sorting a copy by time.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_dataset::Timestamp;
+/// use crowdweb_geo::LatLon;
+/// use crowdweb_prep::staypoint::{detect_stay_points, TrackPoint};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let home = LatLon::new(40.75, -73.99)?;
+/// // 40 minutes of jitter near home, then a far-away fix.
+/// let mut track: Vec<TrackPoint> = (0..5)
+///     .map(|i| TrackPoint {
+///         location: home.destination(f64::from(i) * 72.0, 20.0),
+///         time: Timestamp::from_unix_seconds(i64::from(i) * 600),
+///     })
+///     .collect();
+/// track.push(TrackPoint {
+///     location: LatLon::new(40.80, -73.90)?,
+///     time: Timestamp::from_unix_seconds(3600),
+/// });
+/// let stays = detect_stay_points(&track, 150.0, 20 * 60);
+/// assert_eq!(stays.len(), 1);
+/// assert!(stays[0].duration_s() >= 20 * 60);
+/// # Ok(())
+/// # }
+/// ```
+pub fn detect_stay_points(
+    track: &[TrackPoint],
+    distance_threshold_m: f64,
+    duration_threshold_s: i64,
+) -> Vec<StayPoint> {
+    let mut points = track.to_vec();
+    points.sort_by_key(|p| p.time);
+
+    let mut stays = Vec::new();
+    let mut i = 0usize;
+    while i < points.len() {
+        let anchor = points[i].location;
+        let mut j = i + 1;
+        while j < points.len() && anchor.equirectangular_m(points[j].location) <= distance_threshold_m
+        {
+            j += 1;
+        }
+        // Window [i, j) is spatially coherent around the anchor.
+        let duration = points[i].time.seconds_until(points[j - 1].time);
+        if duration >= duration_threshold_s && j - i >= 2 {
+            let n = (j - i) as f64;
+            let lat = points[i..j].iter().map(|p| p.location.lat()).sum::<f64>() / n;
+            let lon = points[i..j].iter().map(|p| p.location.lon()).sum::<f64>() / n;
+            stays.push(StayPoint {
+                centroid: LatLon::new(lat.clamp(-90.0, 90.0), lon.clamp(-180.0, 180.0))
+                    .expect("mean of valid coordinates is valid"),
+                arrive: points[i].time,
+                depart: points[j - 1].time,
+                points: j - i,
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    stays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pt(lat: f64, lon: f64, secs: i64) -> TrackPoint {
+        TrackPoint {
+            location: LatLon::new(lat, lon).unwrap(),
+            time: Timestamp::from_unix_seconds(secs),
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point_tracks() {
+        assert!(detect_stay_points(&[], 100.0, 600).is_empty());
+        assert!(detect_stay_points(&[pt(40.7, -74.0, 0)], 100.0, 600).is_empty());
+    }
+
+    #[test]
+    fn moving_track_has_no_stays() {
+        // 1 km hops every 5 minutes: never inside the 100 m threshold.
+        let track: Vec<TrackPoint> = (0..10)
+            .map(|i| pt(40.70 + f64::from(i) * 0.01, -74.0, i64::from(i) * 300))
+            .collect();
+        assert!(detect_stay_points(&track, 100.0, 600).is_empty());
+    }
+
+    #[test]
+    fn two_separate_stays_detected() {
+        let mut track = Vec::new();
+        // 30 min at home.
+        for i in 0..4 {
+            track.push(pt(40.7000, -74.0000, i * 600));
+        }
+        // Transit fix far away.
+        track.push(pt(40.7400, -73.9700, 4 * 600));
+        // 30 min at work.
+        for i in 5..9 {
+            track.push(pt(40.7600, -73.9800, i * 600));
+        }
+        let stays = detect_stay_points(&track, 150.0, 1200);
+        assert_eq!(stays.len(), 2);
+        assert!(stays[0].centroid.haversine_m(track[0].location) < 50.0);
+        assert!(stays[1].centroid.haversine_m(track[6].location) < 50.0);
+        assert_eq!(stays[0].points, 4);
+        assert!(stays[0].duration_s() == 1800);
+    }
+
+    #[test]
+    fn short_dwell_is_not_a_stay() {
+        // Only 10 minutes within the radius.
+        let track = vec![
+            pt(40.70, -74.00, 0),
+            pt(40.70, -74.00, 600),
+            pt(40.76, -73.98, 1200),
+        ];
+        assert!(detect_stay_points(&track, 150.0, 1200).is_empty());
+    }
+
+    #[test]
+    fn unordered_input_is_sorted() {
+        let track = vec![
+            pt(40.70, -74.00, 1200),
+            pt(40.70, -74.00, 0),
+            pt(40.70, -74.00, 600),
+        ];
+        let stays = detect_stay_points(&track, 150.0, 1200);
+        assert_eq!(stays.len(), 1);
+        assert_eq!(stays[0].arrive, Timestamp::from_unix_seconds(0));
+        assert_eq!(stays[0].depart, Timestamp::from_unix_seconds(1200));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stays_are_temporally_ordered_and_disjoint(
+            raw in proptest::collection::vec(
+                (40.5f64..40.9, -74.2f64..-73.7, 0i64..50_000), 0..40),
+        ) {
+            let track: Vec<TrackPoint> = raw
+                .into_iter()
+                .map(|(lat, lon, t)| pt(lat, lon, t))
+                .collect();
+            let stays = detect_stay_points(&track, 500.0, 1200);
+            for s in &stays {
+                prop_assert!(s.arrive <= s.depart);
+                prop_assert!(s.duration_s() >= 1200);
+                prop_assert!(s.points >= 2);
+            }
+            for w in stays.windows(2) {
+                prop_assert!(w[0].depart <= w[1].arrive, "overlapping stays");
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Time-of-day discretization.
+//!
+//! The paper buckets check-ins at a two-hour granularity ("users with
+//! less than 2 hours check-in records"); crowd views later use one-hour
+//! windows. [`TimeSlotting`] supports any slot width that divides 24.
+
+use crate::PrepError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a time-of-day slot under some [`TimeSlotting`] (0 is the slot
+/// starting at midnight).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TimeSlot(pub u8);
+
+impl fmt::Display for TimeSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot#{}", self.0)
+    }
+}
+
+/// A division of the 24-hour day into equal slots.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_prep::TimeSlotting;
+///
+/// # fn main() -> Result<(), crowdweb_prep::PrepError> {
+/// let slots = TimeSlotting::new(2)?; // the paper's 2-hour granularity
+/// assert_eq!(slots.slot_count(), 12);
+/// let noon = slots.slot_of_hour(12);
+/// assert_eq!(slots.label(noon), "12:00-14:00");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSlotting {
+    slot_hours: u8,
+}
+
+impl Default for TimeSlotting {
+    /// The paper's two-hour granularity.
+    fn default() -> Self {
+        TimeSlotting { slot_hours: 2 }
+    }
+}
+
+impl TimeSlotting {
+    /// Creates a slotting with `slot_hours`-hour slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepError::InvalidConfig`] unless `slot_hours` divides
+    /// 24 evenly (1, 2, 3, 4, 6, 8, 12, or 24).
+    pub fn new(slot_hours: u8) -> Result<Self, PrepError> {
+        if slot_hours == 0 || 24 % slot_hours != 0 {
+            return Err(PrepError::InvalidConfig("slot_hours must divide 24"));
+        }
+        Ok(TimeSlotting { slot_hours })
+    }
+
+    /// Width of one slot in hours.
+    pub fn slot_hours(&self) -> u8 {
+        self.slot_hours
+    }
+
+    /// Number of slots in a day.
+    pub fn slot_count(&self) -> u8 {
+        24 / self.slot_hours
+    }
+
+    /// The slot containing the given hour of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn slot_of_hour(&self, hour: u8) -> TimeSlot {
+        assert!(hour < 24, "hour {hour} out of range");
+        TimeSlot(hour / self.slot_hours)
+    }
+
+    /// The slot containing a local civil time.
+    pub fn slot_of(&self, local: crowdweb_dataset::CivilDateTime) -> TimeSlot {
+        self.slot_of_hour(local.hour)
+    }
+
+    /// Start hour of a slot (wraps modulo the slot count).
+    pub fn start_hour(&self, slot: TimeSlot) -> u8 {
+        (slot.0 % self.slot_count()) * self.slot_hours
+    }
+
+    /// Human-readable slot label, e.g. `"12:00-14:00"`.
+    pub fn label(&self, slot: TimeSlot) -> String {
+        let start = self.start_hour(slot);
+        let end = start + self.slot_hours;
+        if end == 24 {
+            format!("{start:02}:00-24:00")
+        } else {
+            format!("{start:02}:00-{end:02}:00")
+        }
+    }
+
+    /// Iterator over all slots of the day in order.
+    pub fn iter(&self) -> impl Iterator<Item = TimeSlot> {
+        (0..self.slot_count()).map(TimeSlot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_accepts_divisors_of_24() {
+        for h in [1u8, 2, 3, 4, 6, 8, 12, 24] {
+            assert!(TimeSlotting::new(h).is_ok(), "{h}");
+        }
+        for h in [0u8, 5, 7, 9, 10, 25] {
+            assert!(TimeSlotting::new(h).is_err(), "{h}");
+        }
+    }
+
+    #[test]
+    fn default_is_two_hours() {
+        let s = TimeSlotting::default();
+        assert_eq!(s.slot_hours(), 2);
+        assert_eq!(s.slot_count(), 12);
+    }
+
+    #[test]
+    fn slot_boundaries() {
+        let s = TimeSlotting::new(2).unwrap();
+        assert_eq!(s.slot_of_hour(0), TimeSlot(0));
+        assert_eq!(s.slot_of_hour(1), TimeSlot(0));
+        assert_eq!(s.slot_of_hour(2), TimeSlot(1));
+        assert_eq!(s.slot_of_hour(23), TimeSlot(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_of_hour_rejects_24() {
+        TimeSlotting::default().slot_of_hour(24);
+    }
+
+    #[test]
+    fn labels_cover_day() {
+        let s = TimeSlotting::new(2).unwrap();
+        assert_eq!(s.label(TimeSlot(0)), "00:00-02:00");
+        assert_eq!(s.label(TimeSlot(6)), "12:00-14:00");
+        assert_eq!(s.label(TimeSlot(11)), "22:00-24:00");
+    }
+
+    #[test]
+    fn iter_yields_all_slots() {
+        let s = TimeSlotting::new(6).unwrap();
+        let slots: Vec<TimeSlot> = s.iter().collect();
+        assert_eq!(slots, vec![TimeSlot(0), TimeSlot(1), TimeSlot(2), TimeSlot(3)]);
+    }
+
+    #[test]
+    fn slot_of_local_time() {
+        let s = TimeSlotting::default();
+        let t = crowdweb_dataset::Timestamp::from_civil(2012, 4, 3, 13, 30, 0).unwrap();
+        assert_eq!(s.slot_of(t.to_civil_utc()), TimeSlot(6));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_start_hour_consistent(hour in 0u8..24) {
+            let s = TimeSlotting::new(2).unwrap();
+            let slot = s.slot_of_hour(hour);
+            let start = s.start_hour(slot);
+            prop_assert!(start <= hour && hour < start + s.slot_hours());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Closed-pattern post-filtering.
+//!
+//! A frequent pattern is *closed* if no super-pattern has the same
+//! support. Closed patterns carry all the support information of the
+//! full set in (often far) fewer patterns; CrowdWeb's UI uses them to
+//! declutter the per-user pattern list.
+
+use crate::{contains_subsequence, Pattern, PatternSet};
+
+/// Filters a mined set down to its closed patterns.
+///
+/// A pattern is dropped iff some *other* pattern in the set strictly
+/// contains it (as a subsequence, with greater length) and has the same
+/// support. Since frequent-pattern sets are downward closed, filtering
+/// against the mined set itself is sufficient.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_seqmine::{closed_patterns, PrefixSpan};
+///
+/// # fn main() -> Result<(), crowdweb_seqmine::MineError> {
+/// let db = vec![vec!['a', 'b'], vec!['a', 'b'], vec!['a', 'c']];
+/// let mined = PrefixSpan::new(0.5)?.mine(&db);
+/// let closed = closed_patterns(&mined);
+/// // <b> (support 2) is absorbed by <a, b> (support 2);
+/// // <a> (support 3) survives because no super-pattern has support 3.
+/// assert!(closed.patterns.iter().any(|p| p.items == vec!['a']));
+/// assert!(!closed.patterns.iter().any(|p| p.items == vec!['b']));
+/// # Ok(())
+/// # }
+/// ```
+pub fn closed_patterns<T>(set: &PatternSet<T>) -> PatternSet<T>
+where
+    T: Clone + PartialEq,
+{
+    let survivors: Vec<Pattern<T>> = set
+        .patterns
+        .iter()
+        .filter(|p| {
+            !set.patterns.iter().any(|q| {
+                q.support == p.support
+                    && q.len() > p.len()
+                    && contains_subsequence(&p.items, &q.items)
+            })
+        })
+        .cloned()
+        .collect();
+    PatternSet {
+        patterns: survivors,
+        db_size: set.db_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrefixSpan;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_maximal_support_distinct_patterns() {
+        let db = vec![
+            vec!['a', 'b', 'c'],
+            vec!['a', 'b'],
+            vec!['a', 'c'],
+        ];
+        let mined = PrefixSpan::new(0.3).unwrap().mine(&db);
+        let closed = closed_patterns(&mined);
+        // <a> support 3 has no equal-support super-pattern: closed.
+        assert!(closed.patterns.iter().any(|p| p.items == vec!['a']));
+        // <b> support 2 is contained in <a,b> support 2: not closed.
+        assert!(!closed.patterns.iter().any(|p| p.items == vec!['b']));
+        // <a,b,c> support 1 is maximal: closed.
+        assert!(closed
+            .patterns
+            .iter()
+            .any(|p| p.items == vec!['a', 'b', 'c']));
+        assert!(closed.len() < mined.len());
+    }
+
+    #[test]
+    fn empty_set_stays_empty() {
+        let empty: PatternSet<char> = PatternSet {
+            patterns: vec![],
+            db_size: 0,
+        };
+        assert!(closed_patterns(&empty).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_closed_preserves_support_information(
+            db in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 0..6), 1..8),
+        ) {
+            let mined = PrefixSpan::new(0.3).unwrap().mine(&db);
+            let closed = closed_patterns(&mined);
+            // Every mined pattern must have a closed super-pattern (or
+            // itself) with identical support.
+            for p in &mined.patterns {
+                let covered = closed.patterns.iter().any(|q| {
+                    q.support == p.support
+                        && contains_subsequence(&p.items, &q.items)
+                });
+                prop_assert!(covered, "pattern {:?} lost", p.items);
+            }
+            // And closed is a subset of mined.
+            for q in &closed.patterns {
+                prop_assert!(mined.patterns.contains(q));
+            }
+        }
+    }
+}

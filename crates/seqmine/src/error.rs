@@ -1,0 +1,38 @@
+//! Error type for mining configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by miner constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MineError {
+    /// `min_support` outside `(0, 1]`.
+    InvalidSupport,
+    /// `max_length` of zero.
+    InvalidMaxLength,
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::InvalidSupport => {
+                write!(f, "min_support must be in (0, 1]")
+            }
+            MineError::InvalidMaxLength => write!(f, "max_length must be positive"),
+        }
+    }
+}
+
+impl Error for MineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MineError>();
+        assert!(!MineError::InvalidSupport.to_string().is_empty());
+    }
+}

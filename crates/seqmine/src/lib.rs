@@ -1,0 +1,65 @@
+//! Sequential pattern mining for CrowdWeb.
+//!
+//! Given a *sequence database* — for CrowdWeb, one sequence per day of a
+//! user's abstracted visits — sequential pattern mining finds every
+//! subsequence whose *support* (the fraction of database sequences
+//! containing it) meets a threshold.
+//!
+//! Three miners are provided:
+//!
+//! - [`PrefixSpan`] — the classic pattern-growth algorithm of Pei et al.
+//!   with pseudo-projection ([`prefixspan`]).
+//! - [`ModifiedPrefixSpan`] — the paper's variant ([`modified`]): items
+//!   carry a time index (the check-in's time slot) and embeddings may be
+//!   constrained by a maximum slot gap between consecutive pattern items,
+//!   so "home in the morning, eatery at noon" does not match a pair of
+//!   visits twelve hours apart unless allowed to.
+//! - [`Gsp`] — the generate-and-test GSP baseline ([`gsp`]), used by the
+//!   ablation benchmark to show why pattern-growth wins.
+//!
+//! All miners are generic over the item type and deterministic: patterns
+//! come back sorted.
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_seqmine::PrefixSpan;
+//!
+//! # fn main() -> Result<(), crowdweb_seqmine::MineError> {
+//! // Three days of visits; 'H' = home, 'W' = work, 'E' = eatery.
+//! let days = vec![
+//!     vec!['H', 'W', 'E', 'H'],
+//!     vec!['H', 'E', 'H'],
+//!     vec!['H', 'W', 'H'],
+//! ];
+//! let patterns = PrefixSpan::new(1.0)?.mine(&days);
+//! // "H ... H" appears in every day.
+//! assert!(patterns.iter().any(|p| p.items == vec!['H', 'H']));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closed;
+pub mod error;
+pub mod gsp;
+pub mod matcher;
+pub mod maximal;
+pub mod modified;
+pub mod pattern;
+pub mod prefixspan;
+pub mod spade;
+pub mod subseq;
+
+pub use closed::closed_patterns;
+pub use error::MineError;
+pub use gsp::Gsp;
+pub use matcher::{matching_databases, relative_support_in, support_in};
+pub use maximal::{maximal_patterns, top_k_patterns};
+pub use modified::ModifiedPrefixSpan;
+pub use pattern::{Pattern, PatternSet};
+pub use prefixspan::PrefixSpan;
+pub use spade::Spade;
+pub use subseq::{contains_subsequence, contains_subsequence_with_gap};

@@ -1,0 +1,115 @@
+//! Pattern matching across sequence databases — "who shares this
+//! routine?".
+//!
+//! Given a mined pattern, the matcher finds every database (user) whose
+//! sequences support it at a threshold. This is the inverse of mining
+//! and powers CrowdWeb's group-by-pattern view: pick a pattern, see the
+//! crowd that lives by it.
+
+use crate::contains_subsequence;
+
+/// Support of `pattern` in one sequence database: the number of
+/// sequences containing it.
+pub fn support_in<T: PartialEq>(pattern: &[T], db: &[Vec<T>]) -> usize {
+    db.iter()
+        .filter(|seq| contains_subsequence(pattern, seq))
+        .count()
+}
+
+/// Relative support of `pattern` in a database (0.0 for an empty
+/// database).
+pub fn relative_support_in<T: PartialEq>(pattern: &[T], db: &[Vec<T>]) -> f64 {
+    if db.is_empty() {
+        0.0
+    } else {
+        support_in(pattern, db) as f64 / db.len() as f64
+    }
+}
+
+/// Finds which of several databases (e.g. users' daily-sequence sets)
+/// support `pattern` at relative support `>= min_support`. Returns
+/// `(database index, absolute support)` pairs in input order.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_seqmine::matcher::matching_databases;
+///
+/// let alice = vec![vec!['H', 'E'], vec!['H', 'E']];
+/// let bob = vec![vec!['H', 'W'], vec!['H', 'E']];
+/// let hits = matching_databases(&['H', 'E'], &[&alice, &bob], 0.75);
+/// assert_eq!(hits, vec![(0, 2)]); // only Alice has it on 75%+ of days
+/// ```
+pub fn matching_databases<T: PartialEq>(
+    pattern: &[T],
+    databases: &[&Vec<Vec<T>>],
+    min_support: f64,
+) -> Vec<(usize, usize)> {
+    databases
+        .iter()
+        .enumerate()
+        .filter_map(|(i, db)| {
+            let support = support_in(pattern, db);
+            let relative = if db.is_empty() {
+                0.0
+            } else {
+                support as f64 / db.len() as f64
+            };
+            (relative >= min_support && support > 0).then_some((i, support))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn support_counting() {
+        let db = vec![vec![1, 2, 3], vec![1, 3], vec![2, 1]];
+        assert_eq!(support_in(&[1, 3], &db), 2);
+        assert_eq!(support_in(&[3, 1], &db), 0);
+        // The empty pattern is contained everywhere.
+        assert_eq!(support_in::<i32>(&[], &db), 3);
+    }
+
+    #[test]
+    fn relative_support_edge_cases() {
+        let empty: Vec<Vec<u8>> = vec![];
+        assert_eq!(relative_support_in(&[1u8], &empty), 0.0);
+        let db = vec![vec![1u8], vec![2]];
+        assert_eq!(relative_support_in(&[1u8], &db), 0.5);
+    }
+
+    #[test]
+    fn matching_respects_threshold() {
+        let a = vec![vec![1, 2], vec![1, 2], vec![3]];
+        let b = vec![vec![1, 2]];
+        let c = vec![vec![3, 4]];
+        // a: 2/3 ~ 0.67 and b: 1/1 pass at 0.6; c has no occurrence.
+        let hits = matching_databases(&[1, 2], &[&a, &b, &c], 0.6);
+        assert_eq!(hits, vec![(0, 2), (1, 1)]);
+        // At 0.7, a falls below the threshold.
+        let strict = matching_databases(&[1, 2], &[&a, &b, &c], 0.7);
+        assert_eq!(strict, vec![(1, 1)]);
+        // Empty databases never match.
+        let empty: Vec<Vec<i32>> = vec![];
+        assert!(matching_databases(&[1], &[&empty], 0.0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mined_patterns_match_their_own_db(
+            db in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 1..5), 1..6),
+        ) {
+            let mined = crate::PrefixSpan::new(0.5).unwrap().mine(&db);
+            for p in &mined.patterns {
+                prop_assert_eq!(support_in(&p.items, &db), p.support);
+                let hits = matching_databases(&p.items, &[&db], 0.5);
+                prop_assert_eq!(hits, vec![(0usize, p.support)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Maximal patterns and top-k selection.
+//!
+//! - A frequent pattern is *maximal* if no frequent super-pattern
+//!   exists at all (stricter than closed: support is ignored). Maximal
+//!   sets are the most compact summary of what a user does.
+//! - [`top_k_patterns`] ranks patterns by `(support, length)` — the
+//!   platform's "strongest habits first" list.
+
+use crate::{contains_subsequence, Pattern, PatternSet};
+
+/// Filters a mined set down to its maximal patterns: those with no
+/// strict super-pattern in the set.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_seqmine::{maximal_patterns, PrefixSpan};
+///
+/// # fn main() -> Result<(), crowdweb_seqmine::MineError> {
+/// let db = vec![vec!['a', 'b'], vec!['a', 'b']];
+/// let mined = PrefixSpan::new(1.0)?.mine(&db);
+/// let maximal = maximal_patterns(&mined);
+/// // Only <a, b> is maximal; <a> and <b> are subsumed.
+/// assert_eq!(maximal.len(), 1);
+/// assert_eq!(maximal.patterns[0].items, vec!['a', 'b']);
+/// # Ok(())
+/// # }
+/// ```
+pub fn maximal_patterns<T>(set: &PatternSet<T>) -> PatternSet<T>
+where
+    T: Clone + PartialEq,
+{
+    let survivors: Vec<Pattern<T>> = set
+        .patterns
+        .iter()
+        .filter(|p| {
+            !set.patterns
+                .iter()
+                .any(|q| q.len() > p.len() && contains_subsequence(&p.items, &q.items))
+        })
+        .cloned()
+        .collect();
+    PatternSet {
+        patterns: survivors,
+        db_size: set.db_size,
+    }
+}
+
+/// The `k` strongest patterns, ranked by support (descending), then
+/// length (descending — longer is more informative at equal support),
+/// then items (ascending, for determinism).
+pub fn top_k_patterns<T>(set: &PatternSet<T>, k: usize) -> Vec<Pattern<T>>
+where
+    T: Clone + Ord,
+{
+    let mut ranked: Vec<Pattern<T>> = set.patterns.clone();
+    ranked.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(b.len().cmp(&a.len()))
+            .then(a.items.cmp(&b.items))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrefixSpan;
+    use proptest::prelude::*;
+
+    #[test]
+    fn maximal_keeps_only_unsubsumed() {
+        let db = vec![
+            vec!['a', 'b', 'c'],
+            vec!['a', 'b'],
+            vec!['a', 'c'],
+        ];
+        let mined = PrefixSpan::new(0.3).unwrap().mine(&db);
+        let maximal = maximal_patterns(&mined);
+        // <a,b,c> subsumes everything that is frequent at 0.3 support
+        // except patterns not contained in it (none here: every mined
+        // pattern is a subsequence of abc).
+        assert_eq!(maximal.len(), 1);
+        assert_eq!(maximal.patterns[0].items, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn maximal_keeps_incomparable_patterns() {
+        let db = vec![vec!['a', 'b'], vec!['a', 'b'], vec!['c', 'a']];
+        let mined = PrefixSpan::new(0.6).unwrap().mine(&db);
+        let maximal = maximal_patterns(&mined);
+        // <a, b> is maximal; <c> (if frequent) would be too — at 0.6
+        // threshold (2 of 3) only a and b and <a,b> qualify.
+        assert!(maximal
+            .patterns
+            .iter()
+            .any(|p| p.items == vec!['a', 'b']));
+        assert!(!maximal.patterns.iter().any(|p| p.items == vec!['a']));
+    }
+
+    #[test]
+    fn top_k_orders_by_support_then_length() {
+        let db = vec![
+            vec!['a', 'b'],
+            vec!['a', 'b'],
+            vec!['a'],
+            vec!['c'],
+        ];
+        let mined = PrefixSpan::new(0.25).unwrap().mine(&db);
+        let top = top_k_patterns(&mined, 3);
+        assert_eq!(top.len(), 3);
+        // <a> support 3 first.
+        assert_eq!(top[0].items, vec!['a']);
+        // Then support-2 patterns, longer first: <a, b> before <b>.
+        assert_eq!(top[1].items, vec!['a', 'b']);
+        assert_eq!(top[2].items, vec!['b']);
+    }
+
+    #[test]
+    fn top_k_handles_small_sets() {
+        let empty: PatternSet<u8> = PatternSet {
+            patterns: vec![],
+            db_size: 0,
+        };
+        assert!(top_k_patterns(&empty, 5).is_empty());
+        assert!(maximal_patterns(&empty).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_maximal_is_subset_and_covers(
+            db in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 0..6), 1..8),
+        ) {
+            let mined = PrefixSpan::new(0.3).unwrap().mine(&db);
+            let maximal = maximal_patterns(&mined);
+            // Subset.
+            for p in &maximal.patterns {
+                prop_assert!(mined.patterns.contains(p));
+            }
+            // Coverage: every mined pattern is a subsequence of some
+            // maximal one.
+            for p in &mined.patterns {
+                prop_assert!(maximal.patterns.iter().any(
+                    |q| contains_subsequence(&p.items, &q.items)));
+            }
+            // Antichain: no maximal pattern strictly contains another.
+            for p in &maximal.patterns {
+                for q in &maximal.patterns {
+                    if p.len() < q.len() {
+                        prop_assert!(!contains_subsequence(&p.items, &q.items)
+                            || p.items == q.items);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The paper's *modified* PrefixSpan.
+//!
+//! Two changes over the classic algorithm, both reflecting how CrowdWeb
+//! uses patterns:
+//!
+//! 1. **Timed items** — every item exposes a time index (CrowdWeb: the
+//!    check-in's time-of-day slot) through a caller-supplied closure, so
+//!    the miner works directly on `(slot, label)` visits.
+//! 2. **Gap constraint** — an optional maximum slot gap between
+//!    consecutive pattern items. With `max_gap = Some(g)`, a pattern
+//!    embedding is valid only if each matched item occurs at most `g`
+//!    slots after its predecessor. This keeps mined routines temporally
+//!    coherent ("home, then eatery *around noon*") instead of splicing a
+//!    breakfast onto a midnight snack. `None` recovers classic
+//!    PrefixSpan exactly.
+//!
+//! The projection tracks *every* match end position per sequence (not
+//! just the first), which is required for completeness under gap
+//! constraints.
+
+use crate::{MineError, Pattern, PatternSet};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The modified PrefixSpan miner. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_seqmine::ModifiedPrefixSpan;
+///
+/// # fn main() -> Result<(), crowdweb_seqmine::MineError> {
+/// // Daily visits as (slot, label) with 2-hour slots.
+/// let days = vec![
+///     vec![(3u32, 'H'), (6, 'E'), (11, 'H')],
+///     vec![(3, 'H'), (6, 'E')],
+///     vec![(3, 'H'), (11, 'H')],
+/// ];
+/// let miner = ModifiedPrefixSpan::new(0.6)?.max_gap(Some(4));
+/// let patterns = miner.mine(&days, |it| it.0);
+/// // "home at slot 3, eatery at slot 6" survives the gap constraint...
+/// assert!(patterns.patterns.iter().any(|p| p.items == vec![(3, 'H'), (6, 'E')]));
+/// // ...but "home slot 3, home slot 11" (gap 8) does not.
+/// assert!(!patterns.patterns.iter().any(|p| p.items == vec![(3, 'H'), (11, 'H')]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModifiedPrefixSpan {
+    min_support: f64,
+    max_gap: Option<u32>,
+    max_length: usize,
+}
+
+impl ModifiedPrefixSpan {
+    /// Creates a miner with a relative support threshold in `(0, 1]`
+    /// and no gap constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MineError::InvalidSupport`] for thresholds outside
+    /// `(0, 1]`.
+    pub fn new(min_support: f64) -> Result<ModifiedPrefixSpan, MineError> {
+        if !(min_support.is_finite() && 0.0 < min_support && min_support <= 1.0) {
+            return Err(MineError::InvalidSupport);
+        }
+        Ok(ModifiedPrefixSpan {
+            min_support,
+            max_gap: None,
+            max_length: usize::MAX,
+        })
+    }
+
+    /// Sets the maximum slot gap between consecutive pattern items
+    /// (`None` disables the constraint).
+    pub fn max_gap(mut self, max_gap: Option<u32>) -> ModifiedPrefixSpan {
+        self.max_gap = max_gap;
+        self
+    }
+
+    /// Caps the maximum pattern length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MineError::InvalidMaxLength`] for zero.
+    pub fn max_length(mut self, max_length: usize) -> Result<ModifiedPrefixSpan, MineError> {
+        if max_length == 0 {
+            return Err(MineError::InvalidMaxLength);
+        }
+        self.max_length = max_length;
+        Ok(self)
+    }
+
+    /// The configured relative support threshold.
+    pub fn min_support(&self) -> f64 {
+        self.min_support
+    }
+
+    /// The configured gap constraint.
+    pub fn gap(&self) -> Option<u32> {
+        self.max_gap
+    }
+
+    /// The absolute support count needed over `db_len` sequences.
+    pub fn absolute_threshold(&self, db_len: usize) -> usize {
+        ((self.min_support * db_len as f64).ceil() as usize).max(1)
+    }
+
+    /// Mines all frequent patterns; `time_of` maps an item to its time
+    /// index (slot). Patterns come back sorted by `(length, items)`.
+    pub fn mine<T, F>(&self, db: &[Vec<T>], time_of: F) -> PatternSet<T>
+    where
+        T: Clone + Eq + Hash + Ord,
+        F: Fn(&T) -> u32 + Copy,
+    {
+        let threshold = self.absolute_threshold(db.len());
+        let mut out: Vec<Pattern<T>> = Vec::new();
+        // Projection: per sequence, every position where the prefix's
+        // last item matched (empty prefix: sentinel "before start").
+        let initial: Vec<(usize, Vec<usize>)> = (0..db.len()).map(|i| (i, Vec::new())).collect();
+        let mut prefix: Vec<T> = Vec::new();
+        self.grow(db, &initial, threshold, time_of, &mut prefix, &mut out);
+        out.sort_by(|a, b| (a.len(), &a.items).cmp(&(b.len(), &b.items)));
+        PatternSet {
+            patterns: out,
+            db_size: db.len(),
+        }
+    }
+
+    fn grow<T, F>(
+        &self,
+        db: &[Vec<T>],
+        projection: &[(usize, Vec<usize>)],
+        threshold: usize,
+        time_of: F,
+        prefix: &mut Vec<T>,
+        out: &mut Vec<Pattern<T>>,
+    ) where
+        T: Clone + Eq + Hash + Ord,
+        F: Fn(&T) -> u32 + Copy,
+    {
+        if prefix.len() >= self.max_length {
+            return;
+        }
+        let first = prefix.is_empty();
+        // Count candidate extension items, once per sequence.
+        let mut counts: HashMap<&T, usize> = HashMap::new();
+        for (seq_idx, ends) in projection {
+            let seq = &db[*seq_idx];
+            let mut seen: Vec<&T> = Vec::new();
+            for (pos, item) in seq.iter().enumerate() {
+                if self.valid_extension(seq, ends, pos, first, time_of) && !seen.contains(&item) {
+                    seen.push(item);
+                    *counts.entry(item).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut frequent: Vec<(&T, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= threshold)
+            .collect();
+        frequent.sort_by(|a, b| a.0.cmp(b.0));
+
+        for (item, support) in frequent {
+            let item = item.clone();
+            let next: Vec<(usize, Vec<usize>)> = projection
+                .iter()
+                .filter_map(|(seq_idx, ends)| {
+                    let seq = &db[*seq_idx];
+                    let new_ends: Vec<usize> = (0..seq.len())
+                        .filter(|&pos| {
+                            seq[pos] == item
+                                && self.valid_extension(seq, ends, pos, first, time_of)
+                        })
+                        .collect();
+                    (!new_ends.is_empty()).then_some((*seq_idx, new_ends))
+                })
+                .collect();
+            prefix.push(item);
+            out.push(Pattern {
+                items: prefix.clone(),
+                support,
+            });
+            self.grow(db, &next, threshold, time_of, prefix, out);
+            prefix.pop();
+        }
+    }
+
+    /// Whether position `pos` of `seq` can extend a prefix whose last
+    /// item matched at one of `ends`.
+    fn valid_extension<T, F>(
+        &self,
+        seq: &[T],
+        ends: &[usize],
+        pos: usize,
+        first: bool,
+        time_of: F,
+    ) -> bool
+    where
+        F: Fn(&T) -> u32,
+    {
+        if first {
+            return true;
+        }
+        let t = time_of(&seq[pos]);
+        ends.iter().any(|&e| {
+            e < pos
+                && match self.max_gap {
+                    None => true,
+                    Some(g) => {
+                        let pt = time_of(&seq[e]);
+                        t >= pt && t - pt <= g
+                    }
+                }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{contains_subsequence_with_gap, PrefixSpan};
+    use proptest::prelude::*;
+
+    type It = (u32, char);
+    fn time(it: &It) -> u32 {
+        it.0
+    }
+
+    fn db() -> Vec<Vec<It>> {
+        vec![
+            vec![(3, 'H'), (4, 'W'), (6, 'E'), (11, 'H')],
+            vec![(3, 'H'), (6, 'E'), (11, 'H')],
+            vec![(3, 'H'), (4, 'W'), (11, 'H')],
+        ]
+    }
+
+    #[test]
+    fn no_gap_matches_classic_prefixspan() {
+        let modified = ModifiedPrefixSpan::new(0.5).unwrap().mine(&db(), time);
+        let classic = PrefixSpan::new(0.5).unwrap().mine(&db());
+        assert_eq!(modified.patterns, classic.patterns);
+    }
+
+    #[test]
+    fn gap_constraint_prunes_distant_pairs() {
+        let unconstrained = ModifiedPrefixSpan::new(0.6).unwrap().mine(&db(), time);
+        let constrained = ModifiedPrefixSpan::new(0.6)
+            .unwrap()
+            .max_gap(Some(3))
+            .mine(&db(), time);
+        // (3,H)->(11,H) has gap 8: present without constraint, absent with.
+        let pair = vec![(3, 'H'), (11, 'H')];
+        assert!(unconstrained.patterns.iter().any(|p| p.items == pair));
+        assert!(!constrained.patterns.iter().any(|p| p.items == pair));
+        // (3,H)->(6,E) has gap 3: survives.
+        assert!(constrained
+            .patterns
+            .iter()
+            .any(|p| p.items == vec![(3, 'H'), (6, 'E')]));
+        assert!(constrained.len() < unconstrained.len());
+    }
+
+    #[test]
+    fn gap_counts_use_all_embeddings() {
+        // Pattern (0,a)(1,a): greedy first-match projection would bind
+        // a@0 then fail the gap to a@5; the valid embedding is a@4, a@5.
+        let db: Vec<Vec<It>> = vec![vec![(0, 'a'), (4, 'a'), (5, 'a')]];
+        let set = ModifiedPrefixSpan::new(1.0)
+            .unwrap()
+            .max_gap(Some(1))
+            .mine(&db, time);
+        assert!(
+            set.patterns
+                .iter()
+                .any(|p| p.items == vec![(4, 'a'), (5, 'a')]),
+            "{:?}",
+            set.patterns
+        );
+    }
+
+    #[test]
+    fn supports_agree_with_containment_oracle() {
+        let miner = ModifiedPrefixSpan::new(0.3).unwrap().max_gap(Some(4));
+        let set = miner.mine(&db(), time);
+        for p in &set.patterns {
+            let actual = db()
+                .iter()
+                .filter(|s| {
+                    contains_subsequence_with_gap(&p.items, s, 4, time, |a, b| a == b)
+                })
+                .count();
+            assert_eq!(actual, p.support, "pattern {:?}", p.items);
+        }
+    }
+
+    #[test]
+    fn monotone_in_support_threshold() {
+        let mut prev = usize::MAX;
+        for s in [0.25, 0.5, 0.75, 1.0] {
+            let n = ModifiedPrefixSpan::new(s)
+                .unwrap()
+                .max_gap(Some(4))
+                .mine(&db(), time)
+                .len();
+            assert!(n <= prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn max_length_and_validation() {
+        assert!(ModifiedPrefixSpan::new(0.0).is_err());
+        assert!(ModifiedPrefixSpan::new(2.0).is_err());
+        let set = ModifiedPrefixSpan::new(0.3)
+            .unwrap()
+            .max_length(1)
+            .unwrap()
+            .mine(&db(), time);
+        assert_eq!(set.max_length(), 1);
+        assert!(ModifiedPrefixSpan::new(0.3)
+            .unwrap()
+            .max_length(0)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_database_yields_empty_set() {
+        let set = ModifiedPrefixSpan::new(0.5)
+            .unwrap()
+            .mine(&Vec::<Vec<It>>::new(), time);
+        assert!(set.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_gap_equals_classic(
+            db in proptest::collection::vec(
+                proptest::collection::vec((0u32..8, 0u8..3), 0..6), 0..8),
+        ) {
+            let modified = ModifiedPrefixSpan::new(0.4).unwrap()
+                .mine(&db, |it| it.0);
+            let classic = PrefixSpan::new(0.4).unwrap().mine(&db);
+            prop_assert_eq!(modified.patterns, classic.patterns);
+        }
+
+        #[test]
+        fn prop_gap_set_is_subset_of_unconstrained(
+            db in proptest::collection::vec(
+                proptest::collection::vec((0u32..8, 0u8..3), 0..6), 0..8),
+            gap in 0u32..4,
+        ) {
+            let constrained = ModifiedPrefixSpan::new(0.4).unwrap()
+                .max_gap(Some(gap)).mine(&db, |it| it.0);
+            let free = ModifiedPrefixSpan::new(0.4).unwrap()
+                .mine(&db, |it| it.0);
+            for p in &constrained.patterns {
+                let in_free = free.patterns.iter()
+                    .find(|q| q.items == p.items)
+                    .map(|q| q.support);
+                // Same pattern must exist unconstrained with >= support.
+                prop_assert!(in_free.is_some_and(|s| s >= p.support),
+                    "pattern {:?}", p.items);
+            }
+        }
+
+        #[test]
+        fn prop_supports_match_oracle(
+            db in proptest::collection::vec(
+                proptest::collection::vec((0u32..6, 0u8..3), 0..5), 0..7),
+            gap in 0u32..3,
+        ) {
+            let miner = ModifiedPrefixSpan::new(0.5).unwrap().max_gap(Some(gap));
+            let set = miner.mine(&db, |it| it.0);
+            for p in &set.patterns {
+                let actual = db.iter().filter(|s| contains_subsequence_with_gap(
+                    &p.items, s, gap, |it| it.0, |a, b| a == b)).count();
+                prop_assert_eq!(actual, p.support, "pattern {:?}", p.items);
+            }
+        }
+    }
+}

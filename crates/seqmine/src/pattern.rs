@@ -1,0 +1,184 @@
+//! Mined patterns and pattern sets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A mined sequential pattern with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pattern<T> {
+    /// The pattern's items, in order.
+    pub items: Vec<T>,
+    /// Number of database sequences containing the pattern.
+    pub support: usize,
+}
+
+impl<T> Pattern<T> {
+    /// Pattern length in items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pattern is empty (never produced by the miners).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Support as a fraction of `db_size` sequences (0 if `db_size` is
+    /// 0).
+    pub fn relative_support(&self, db_size: usize) -> f64 {
+        if db_size == 0 {
+            0.0
+        } else {
+            self.support as f64 / db_size as f64
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Pattern<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "> x{}", self.support)
+    }
+}
+
+/// The result of one mining run: the patterns plus the database size
+/// they were mined from (so relative supports stay interpretable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternSet<T> {
+    /// Mined patterns, sorted by (length, items).
+    pub patterns: Vec<Pattern<T>>,
+    /// Number of sequences in the mined database.
+    pub db_size: usize,
+}
+
+impl<T> PatternSet<T> {
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether no patterns were found.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Mean pattern length in items (0 for an empty set) — the quantity
+    /// of the paper's Figure 7.
+    pub fn mean_length(&self) -> f64 {
+        if self.patterns.is_empty() {
+            return 0.0;
+        }
+        self.patterns.iter().map(Pattern::len).sum::<usize>() as f64 / self.patterns.len() as f64
+    }
+
+    /// The longest pattern length (0 for an empty set).
+    pub fn max_length(&self) -> usize {
+        self.patterns.iter().map(Pattern::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over all patterns in sorted order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Pattern<T>> {
+        self.patterns.iter()
+    }
+
+    /// Iterator over patterns of exactly `len` items.
+    pub fn of_length(&self, len: usize) -> impl Iterator<Item = &Pattern<T>> {
+        self.patterns.iter().filter(move |p| p.len() == len)
+    }
+}
+
+impl<T> IntoIterator for PatternSet<T> {
+    type Item = Pattern<T>;
+    type IntoIter = std::vec::IntoIter<Pattern<T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PatternSet<T> {
+    type Item = &'a Pattern<T>;
+    type IntoIter = std::slice::Iter<'a, Pattern<T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> PatternSet<char> {
+        PatternSet {
+            patterns: vec![
+                Pattern {
+                    items: vec!['a'],
+                    support: 3,
+                },
+                Pattern {
+                    items: vec!['b'],
+                    support: 2,
+                },
+                Pattern {
+                    items: vec!['a', 'b'],
+                    support: 2,
+                },
+            ],
+            db_size: 4,
+        }
+    }
+
+    #[test]
+    fn relative_support() {
+        let p = Pattern {
+            items: vec!['a'],
+            support: 3,
+        };
+        assert_eq!(p.relative_support(4), 0.75);
+        assert_eq!(p.relative_support(0), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max_length() {
+        let s = set();
+        assert!((s.mean_length() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_length(), 2);
+        let empty: PatternSet<char> = PatternSet {
+            patterns: vec![],
+            db_size: 0,
+        };
+        assert_eq!(empty.mean_length(), 0.0);
+        assert_eq!(empty.max_length(), 0);
+    }
+
+    #[test]
+    fn of_length_filters() {
+        let s = set();
+        assert_eq!(s.of_length(1).count(), 2);
+        assert_eq!(s.of_length(2).count(), 1);
+        assert_eq!(s.of_length(3).count(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Pattern {
+            items: vec!['a', 'b'],
+            support: 2,
+        };
+        assert_eq!(p.to_string(), "<a, b> x2");
+    }
+
+    #[test]
+    fn iteration() {
+        let s = set();
+        assert_eq!((&s).into_iter().count(), 3);
+        assert_eq!(s.into_iter().count(), 3);
+    }
+}

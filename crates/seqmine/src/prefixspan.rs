@@ -1,0 +1,319 @@
+//! Classic PrefixSpan (Pei et al., TKDE 2004) with pseudo-projection.
+//!
+//! Pattern growth: find frequent single items, then for each, project
+//! the database onto suffixes after the item's first occurrence and
+//! recurse. Pseudo-projection stores `(sequence index, start offset)`
+//! pairs instead of copying suffixes.
+
+use crate::{MineError, Pattern, PatternSet};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The classic PrefixSpan miner.
+///
+/// Support is *relative*: a pattern qualifies if it occurs in at least
+/// `ceil(min_support * db_len)` sequences (and at least one).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefixSpan {
+    min_support: f64,
+    max_length: usize,
+}
+
+impl PrefixSpan {
+    /// Creates a miner with a relative support threshold in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MineError::InvalidSupport`] for thresholds outside
+    /// `(0, 1]`.
+    pub fn new(min_support: f64) -> Result<PrefixSpan, MineError> {
+        if !(min_support.is_finite() && 0.0 < min_support && min_support <= 1.0) {
+            return Err(MineError::InvalidSupport);
+        }
+        Ok(PrefixSpan {
+            min_support,
+            max_length: usize::MAX,
+        })
+    }
+
+    /// Caps the maximum pattern length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MineError::InvalidMaxLength`] for zero.
+    pub fn max_length(mut self, max_length: usize) -> Result<PrefixSpan, MineError> {
+        if max_length == 0 {
+            return Err(MineError::InvalidMaxLength);
+        }
+        self.max_length = max_length;
+        Ok(self)
+    }
+
+    /// The configured relative support threshold.
+    pub fn min_support(&self) -> f64 {
+        self.min_support
+    }
+
+    /// The absolute support count a pattern needs over a database of
+    /// `db_len` sequences.
+    pub fn absolute_threshold(&self, db_len: usize) -> usize {
+        ((self.min_support * db_len as f64).ceil() as usize).max(1)
+    }
+
+    /// Mines all frequent sequential patterns of the database. Patterns
+    /// are returned sorted by `(length, items)`.
+    pub fn mine<T>(&self, db: &[Vec<T>]) -> PatternSet<T>
+    where
+        T: Clone + Eq + Hash + Ord,
+    {
+        let threshold = self.absolute_threshold(db.len());
+        let mut out: Vec<Pattern<T>> = Vec::new();
+        // Initial projection: every sequence from offset 0.
+        let initial: Vec<(usize, usize)> = (0..db.len()).map(|i| (i, 0)).collect();
+        let mut prefix: Vec<T> = Vec::new();
+        grow(db, &initial, threshold, self.max_length, &mut prefix, &mut out);
+        out.sort_by(|a, b| (a.len(), &a.items).cmp(&(b.len(), &b.items)));
+        PatternSet {
+            patterns: out,
+            db_size: db.len(),
+        }
+    }
+}
+
+/// Recursive pattern growth over a pseudo-projected database.
+fn grow<T>(
+    db: &[Vec<T>],
+    projection: &[(usize, usize)],
+    threshold: usize,
+    max_length: usize,
+    prefix: &mut Vec<T>,
+    out: &mut Vec<Pattern<T>>,
+) where
+    T: Clone + Eq + Hash + Ord,
+{
+    if prefix.len() >= max_length {
+        return;
+    }
+    // Count each candidate item once per projected sequence.
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    for &(seq, start) in projection {
+        let mut seen: Vec<&T> = Vec::new();
+        for item in &db[seq][start..] {
+            if !seen.contains(&item) {
+                seen.push(item);
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut frequent: Vec<(&T, usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= threshold)
+        .collect();
+    frequent.sort_by(|a, b| a.0.cmp(b.0));
+
+    for (item, support) in frequent {
+        let item = item.clone();
+        // Project: first occurrence of `item` at or after each start.
+        let next: Vec<(usize, usize)> = projection
+            .iter()
+            .filter_map(|&(seq, start)| {
+                db[seq][start..]
+                    .iter()
+                    .position(|x| *x == item)
+                    .map(|off| (seq, start + off + 1))
+            })
+            .collect();
+        prefix.push(item);
+        out.push(Pattern {
+            items: prefix.clone(),
+            support,
+        });
+        grow(db, &next, threshold, max_length, prefix, out);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contains_subsequence;
+    use proptest::prelude::*;
+
+    fn db() -> Vec<Vec<char>> {
+        vec![
+            vec!['a', 'b', 'c'],
+            vec!['a', 'c'],
+            vec!['a', 'b'],
+            vec!['b', 'c'],
+        ]
+    }
+
+    #[test]
+    fn new_validates_support() {
+        assert!(PrefixSpan::new(0.0).is_err());
+        assert!(PrefixSpan::new(-0.5).is_err());
+        assert!(PrefixSpan::new(1.5).is_err());
+        assert!(PrefixSpan::new(f64::NAN).is_err());
+        assert!(PrefixSpan::new(1.0).is_ok());
+        assert!(PrefixSpan::new(0.001).is_ok());
+    }
+
+    #[test]
+    fn absolute_threshold_rounds_up() {
+        let m = PrefixSpan::new(0.5).unwrap();
+        assert_eq!(m.absolute_threshold(4), 2);
+        assert_eq!(m.absolute_threshold(5), 3);
+        assert_eq!(m.absolute_threshold(0), 1);
+    }
+
+    #[test]
+    fn mines_known_patterns() {
+        // Support counts over db(): a=3, b=3, c=3, ab=2, ac=2, bc=2, abc=1.
+        let set = PrefixSpan::new(0.5).unwrap().mine(&db());
+        let items: Vec<(Vec<char>, usize)> = set
+            .patterns
+            .iter()
+            .map(|p| (p.items.clone(), p.support))
+            .collect();
+        assert_eq!(
+            items,
+            vec![
+                (vec!['a'], 3),
+                (vec!['b'], 3),
+                (vec!['c'], 3),
+                (vec!['a', 'b'], 2),
+                (vec!['a', 'c'], 2),
+                (vec!['b', 'c'], 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn support_one_includes_everything() {
+        let set = PrefixSpan::new(0.25).unwrap().mine(&db());
+        assert!(set
+            .patterns
+            .iter()
+            .any(|p| p.items == vec!['a', 'b', 'c'] && p.support == 1));
+    }
+
+    #[test]
+    fn full_support_restricts_hard() {
+        let set = PrefixSpan::new(1.0).unwrap().mine(&db());
+        // No single item appears in all 4 sequences.
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn empty_database() {
+        let set = PrefixSpan::new(0.5).unwrap().mine(&Vec::<Vec<char>>::new());
+        assert!(set.is_empty());
+        assert_eq!(set.db_size, 0);
+    }
+
+    #[test]
+    fn repeated_items_in_sequence_count_once() {
+        let db = vec![vec!['a', 'a', 'a'], vec!['b']];
+        let set = PrefixSpan::new(0.5).unwrap().mine(&db);
+        let a = set.patterns.iter().find(|p| p.items == vec!['a']).unwrap();
+        assert_eq!(a.support, 1);
+        // But <a, a> is still a pattern with support 1 at threshold 0.5.
+        assert!(set.patterns.iter().any(|p| p.items == vec!['a', 'a']));
+    }
+
+    #[test]
+    fn max_length_caps_growth() {
+        let set = PrefixSpan::new(0.25)
+            .unwrap()
+            .max_length(1)
+            .unwrap()
+            .mine(&db());
+        assert_eq!(set.max_length(), 1);
+        assert!(PrefixSpan::new(0.5).unwrap().max_length(0).is_err());
+    }
+
+    #[test]
+    fn monotone_in_support() {
+        // Raising min_support can only shrink the pattern set — the
+        // exact trend of the paper's Figure 5.
+        let mut prev = usize::MAX;
+        for s in [0.25, 0.5, 0.75, 1.0] {
+            let n = PrefixSpan::new(s).unwrap().mine(&db()).len();
+            assert!(n <= prev, "support {s} grew: {n} > {prev}");
+            prev = n;
+        }
+    }
+
+    /// Brute-force reference miner: enumerate all subsequences up to
+    /// length 3 and count support directly.
+    fn brute_force(db: &[Vec<u8>], threshold: usize) -> Vec<(Vec<u8>, usize)> {
+        use std::collections::BTreeSet;
+        let alphabet: BTreeSet<u8> = db.iter().flatten().copied().collect();
+        let mut candidates: Vec<Vec<u8>> = alphabet.iter().map(|&a| vec![a]).collect();
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for c in &candidates {
+                for &a in &alphabet {
+                    let mut n = c.clone();
+                    n.push(a);
+                    next.push(n);
+                }
+            }
+            candidates.extend(next);
+        }
+        candidates.sort();
+        candidates.dedup();
+        candidates
+            .into_iter()
+            .filter_map(|c| {
+                let sup = db
+                    .iter()
+                    .filter(|s| contains_subsequence(&c, s))
+                    .count();
+                (sup >= threshold).then_some((c, sup))
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force(
+            db in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 0..6), 0..8),
+            sup_pct in 1u8..=4,
+        ) {
+            let min_support = f64::from(sup_pct) * 0.25;
+            let miner = PrefixSpan::new(min_support).unwrap()
+                .max_length(3).unwrap();
+            let mined = miner.mine(&db);
+            let threshold = miner.absolute_threshold(db.len());
+            let expected = brute_force(&db, threshold);
+            let got: Vec<(Vec<u8>, usize)> = mined
+                .patterns
+                .iter()
+                .map(|p| (p.items.clone(), p.support))
+                .collect();
+            let mut got_sorted = got.clone();
+            got_sorted.sort();
+            prop_assert_eq!(got_sorted, expected);
+        }
+
+        #[test]
+        fn prop_every_pattern_has_claimed_support(
+            db in proptest::collection::vec(
+                proptest::collection::vec(0u8..5, 0..8), 0..10),
+        ) {
+            let mined = PrefixSpan::new(0.3).unwrap().mine(&db);
+            for p in &mined.patterns {
+                let actual = db.iter()
+                    .filter(|s| contains_subsequence(&p.items, s))
+                    .count();
+                prop_assert_eq!(actual, p.support, "pattern {:?}", p.items);
+            }
+        }
+    }
+}

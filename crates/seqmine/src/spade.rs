@@ -1,0 +1,241 @@
+//! SPADE-style vertical sequential pattern mining (Zaki, 2001).
+//!
+//! Where PrefixSpan grows patterns by projecting the horizontal
+//! database, SPADE works on *id-lists*: for each pattern, the list of
+//! `(sequence, position)` pairs where it can end. Extending a pattern
+//! by an item is a temporal join of id-lists — no database rescan.
+//!
+//! Same pattern semantics as [`crate::PrefixSpan`] (subsequence
+//! containment, support = number of sequences containing the pattern),
+//! so the two are property-tested equal. Included as a second
+//! independent implementation and ablation point.
+
+use crate::{MineError, Pattern, PatternSet};
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+/// The vertical-format SPADE miner.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_seqmine::{PrefixSpan, Spade};
+///
+/// # fn main() -> Result<(), crowdweb_seqmine::MineError> {
+/// let db = vec![vec![1, 2, 3], vec![1, 3], vec![2, 3]];
+/// assert_eq!(
+///     Spade::new(0.5)?.mine(&db).patterns,
+///     PrefixSpan::new(0.5)?.mine(&db).patterns,
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spade {
+    min_support: f64,
+    max_length: usize,
+}
+
+/// An id-list: for each containing sequence, every position where the
+/// pattern can end.
+type IdList = Vec<(usize, Vec<usize>)>;
+
+impl Spade {
+    /// Creates a miner with a relative support threshold in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MineError::InvalidSupport`] for thresholds outside
+    /// `(0, 1]`.
+    pub fn new(min_support: f64) -> Result<Spade, MineError> {
+        if !(min_support.is_finite() && 0.0 < min_support && min_support <= 1.0) {
+            return Err(MineError::InvalidSupport);
+        }
+        Ok(Spade {
+            min_support,
+            max_length: usize::MAX,
+        })
+    }
+
+    /// Caps the maximum pattern length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MineError::InvalidMaxLength`] for zero.
+    pub fn max_length(mut self, max_length: usize) -> Result<Spade, MineError> {
+        if max_length == 0 {
+            return Err(MineError::InvalidMaxLength);
+        }
+        self.max_length = max_length;
+        Ok(self)
+    }
+
+    /// The absolute support count needed over `db_len` sequences.
+    pub fn absolute_threshold(&self, db_len: usize) -> usize {
+        ((self.min_support * db_len as f64).ceil() as usize).max(1)
+    }
+
+    /// Mines all frequent sequential patterns via id-list joins.
+    pub fn mine<T>(&self, db: &[Vec<T>]) -> PatternSet<T>
+    where
+        T: Clone + Eq + Hash + Ord,
+    {
+        let threshold = self.absolute_threshold(db.len());
+
+        // Build the level-1 id-lists.
+        let mut item_lists: BTreeMap<&T, IdList> = BTreeMap::new();
+        for (seq_idx, seq) in db.iter().enumerate() {
+            for (pos, item) in seq.iter().enumerate() {
+                let list = item_lists.entry(item).or_default();
+                match list.last_mut() {
+                    Some((s, positions)) if *s == seq_idx => positions.push(pos),
+                    _ => list.push((seq_idx, vec![pos])),
+                }
+            }
+        }
+        item_lists.retain(|_, list| list.len() >= threshold);
+        let frequent_items: Vec<(T, IdList)> = item_lists
+            .into_iter()
+            .map(|(item, list)| (item.clone(), list))
+            .collect();
+
+        let mut out: Vec<Pattern<T>> = Vec::new();
+        for (item, list) in &frequent_items {
+            let mut prefix = vec![item.clone()];
+            out.push(Pattern {
+                items: prefix.clone(),
+                support: list.len(),
+            });
+            self.grow(&frequent_items, list, threshold, &mut prefix, &mut out);
+        }
+        out.sort_by(|a, b| (a.len(), &a.items).cmp(&(b.len(), &b.items)));
+        PatternSet {
+            patterns: out,
+            db_size: db.len(),
+        }
+    }
+
+    fn grow<T>(
+        &self,
+        frequent_items: &[(T, IdList)],
+        prefix_list: &IdList,
+        threshold: usize,
+        prefix: &mut Vec<T>,
+        out: &mut Vec<Pattern<T>>,
+    ) where
+        T: Clone + Eq + Hash + Ord,
+    {
+        if prefix.len() >= self.max_length {
+            return;
+        }
+        for (item, item_list) in frequent_items {
+            let joined = temporal_join(prefix_list, item_list);
+            if joined.len() >= threshold {
+                prefix.push(item.clone());
+                out.push(Pattern {
+                    items: prefix.clone(),
+                    support: joined.len(),
+                });
+                self.grow(frequent_items, &joined, threshold, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+/// Temporal join: positions of `item` occurring strictly after some end
+/// position of the prefix, per shared sequence.
+fn temporal_join(prefix: &IdList, item: &IdList) -> IdList {
+    let mut out: IdList = Vec::new();
+    let mut i = 0;
+    let mut j = 0;
+    while i < prefix.len() && j < item.len() {
+        let (ps, p_positions) = &prefix[i];
+        let (is, i_positions) = &item[j];
+        match ps.cmp(is) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Earliest prefix end in this sequence.
+                let min_end = p_positions[0];
+                let after: Vec<usize> = i_positions
+                    .iter()
+                    .copied()
+                    .filter(|&p| p > min_end)
+                    .collect();
+                if !after.is_empty() {
+                    out.push((*ps, after));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrefixSpan;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation() {
+        assert!(Spade::new(0.0).is_err());
+        assert!(Spade::new(1.5).is_err());
+        assert!(Spade::new(0.5).unwrap().max_length(0).is_err());
+    }
+
+    #[test]
+    fn agrees_with_prefixspan_on_example() {
+        let db = vec![
+            vec!['a', 'b', 'c'],
+            vec!['a', 'c'],
+            vec!['a', 'b'],
+            vec!['b', 'c'],
+        ];
+        let spade = Spade::new(0.5).unwrap().mine(&db);
+        let ps = PrefixSpan::new(0.5).unwrap().mine(&db);
+        assert_eq!(spade.patterns, ps.patterns);
+    }
+
+    #[test]
+    fn repeated_items_join_correctly() {
+        // <a, a> occurs in seq 0 but not seq 1.
+        let db = vec![vec!['a', 'b', 'a'], vec!['a', 'b']];
+        let spade = Spade::new(0.5).unwrap().mine(&db);
+        let aa = spade
+            .patterns
+            .iter()
+            .find(|p| p.items == vec!['a', 'a'])
+            .unwrap();
+        assert_eq!(aa.support, 1);
+    }
+
+    #[test]
+    fn empty_database() {
+        assert!(Spade::new(0.5).unwrap().mine(&Vec::<Vec<u8>>::new()).is_empty());
+    }
+
+    #[test]
+    fn max_length_caps() {
+        let db = vec![vec![1, 2, 3]; 2];
+        let set = Spade::new(1.0).unwrap().max_length(2).unwrap().mine(&db);
+        assert_eq!(set.max_length(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spade_equals_prefixspan(
+            db in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 0..7), 0..9),
+            sup_pct in 1u8..=4,
+        ) {
+            let s = f64::from(sup_pct) * 0.25;
+            let spade = Spade::new(s).unwrap().max_length(4).unwrap().mine(&db);
+            let ps = PrefixSpan::new(s).unwrap().max_length(4).unwrap().mine(&db);
+            prop_assert_eq!(spade.patterns, ps.patterns);
+        }
+    }
+}

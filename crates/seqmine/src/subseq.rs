@@ -1,0 +1,189 @@
+//! Subsequence containment tests — the support semantics all miners
+//! share.
+
+/// Whether `pattern` occurs in `sequence` as a (not necessarily
+/// contiguous) subsequence: items in order, gaps allowed.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_seqmine::contains_subsequence;
+///
+/// assert!(contains_subsequence(&['a', 'c'], &['a', 'b', 'c']));
+/// assert!(!contains_subsequence(&['c', 'a'], &['a', 'b', 'c']));
+/// assert!(contains_subsequence::<char>(&[], &['a']));
+/// ```
+pub fn contains_subsequence<T: PartialEq>(pattern: &[T], sequence: &[T]) -> bool {
+    let mut pi = 0;
+    for item in sequence {
+        if pi == pattern.len() {
+            return true;
+        }
+        if *item == pattern[pi] {
+            pi += 1;
+        }
+    }
+    pi == pattern.len()
+}
+
+/// Gap-constrained containment: like [`contains_subsequence`], but
+/// consecutive matched items must satisfy
+/// `time(next) - time(prev) <= max_gap`, where `time` maps an item to
+/// its time index (CrowdWeb: the check-in's time slot).
+///
+/// Uses dynamic programming over match positions, so *any* valid
+/// embedding is found, not just the greedy one.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_seqmine::contains_subsequence_with_gap;
+///
+/// // Items are (slot, label); match on labels with slot gaps <= 2.
+/// let seq = [(0u32, 'H'), (4, 'W'), (6, 'E')];
+/// let time = |it: &(u32, char)| it.0;
+/// let eq = |a: &(u32, char), b: &(u32, char)| a.1 == b.1;
+/// assert!(contains_subsequence_with_gap(&[(0, 'W'), (0, 'E')], &seq, 2, time, eq));
+/// assert!(!contains_subsequence_with_gap(&[(0, 'H'), (0, 'E')], &seq, 2, time, eq));
+/// ```
+pub fn contains_subsequence_with_gap<T, F, E>(
+    pattern: &[T],
+    sequence: &[T],
+    max_gap: u32,
+    time_of: F,
+    item_eq: E,
+) -> bool
+where
+    F: Fn(&T) -> u32,
+    E: Fn(&T, &T) -> bool,
+{
+    if pattern.is_empty() {
+        return true;
+    }
+    // end_positions[k]: positions in `sequence` where pattern[..=k] can
+    // end under the gap constraint.
+    let mut end_positions: Vec<usize> = Vec::new();
+    for (k, pitem) in pattern.iter().enumerate() {
+        let mut next: Vec<usize> = Vec::new();
+        for (pos, sitem) in sequence.iter().enumerate() {
+            if !item_eq(sitem, pitem) {
+                continue;
+            }
+            let t = time_of(sitem);
+            let ok = if k == 0 {
+                true
+            } else {
+                end_positions.iter().any(|&prev_pos| {
+                    prev_pos < pos && {
+                        let pt = time_of(&sequence[prev_pos]);
+                        t >= pt && t - pt <= max_gap
+                    }
+                })
+            };
+            if ok {
+                next.push(pos);
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        end_positions = next;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_subsequence_basics() {
+        assert!(contains_subsequence(&[1, 3], &[1, 2, 3]));
+        assert!(contains_subsequence(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!contains_subsequence(&[1, 2, 3, 4], &[1, 2, 3]));
+        assert!(!contains_subsequence(&[2, 1], &[1, 2]));
+        assert!(contains_subsequence::<i32>(&[], &[]));
+        assert!(!contains_subsequence(&[1], &[]));
+    }
+
+    #[test]
+    fn repeated_items() {
+        assert!(contains_subsequence(&[1, 1], &[1, 2, 1]));
+        assert!(!contains_subsequence(&[1, 1, 1], &[1, 2, 1]));
+    }
+
+    type It = (u32, char);
+    fn time(it: &It) -> u32 {
+        it.0
+    }
+    fn eq(a: &It, b: &It) -> bool {
+        a.1 == b.1
+    }
+
+    #[test]
+    fn gap_constraint_blocks_distant_matches() {
+        let seq: Vec<It> = vec![(0, 'H'), (4, 'W'), (11, 'H')];
+        // H then H with gap <= 3: the only H pair is 11 slots apart.
+        assert!(!contains_subsequence_with_gap(
+            &[(0, 'H'), (0, 'H')],
+            &seq,
+            3,
+            time,
+            eq
+        ));
+        // Gap 11 allows it.
+        assert!(contains_subsequence_with_gap(
+            &[(0, 'H'), (0, 'H')],
+            &seq,
+            11,
+            time,
+            eq
+        ));
+    }
+
+    #[test]
+    fn gap_dp_finds_nongreedy_embedding() {
+        // Pattern W,E. Greedy would match W@0 then need E within gap 2
+        // (fails: E@6). The valid embedding is W@4, E@6.
+        let seq: Vec<It> = vec![(0, 'W'), (4, 'W'), (6, 'E')];
+        assert!(contains_subsequence_with_gap(
+            &[(0, 'W'), (0, 'E')],
+            &seq,
+            2,
+            time,
+            eq
+        ));
+    }
+
+    #[test]
+    fn gap_empty_pattern_is_true() {
+        let seq: Vec<It> = vec![(0, 'H')];
+        assert!(contains_subsequence_with_gap(&[], &seq, 0, time, eq));
+    }
+
+    #[test]
+    fn gap_zero_requires_same_slot() {
+        let seq: Vec<It> = vec![(4, 'W'), (4, 'E'), (6, 'H')];
+        assert!(contains_subsequence_with_gap(
+            &[(0, 'W'), (0, 'E')],
+            &seq,
+            0,
+            time,
+            eq
+        ));
+        assert!(!contains_subsequence_with_gap(
+            &[(0, 'E'), (0, 'H')],
+            &seq,
+            1,
+            time,
+            eq
+        ));
+        assert!(contains_subsequence_with_gap(
+            &[(0, 'E'), (0, 'H')],
+            &seq,
+            2,
+            time,
+            eq
+        ));
+    }
+}

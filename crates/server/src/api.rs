@@ -1,0 +1,1024 @@
+//! The JSON/SVG API handlers.
+//!
+//! | Route | Returns |
+//! |---|---|
+//! | `GET /` | embedded front-end |
+//! | `GET /api/stats` | dataset statistics (Sec. I.1 numbers) |
+//! | `GET /api/users` | qualifying users with activity counts |
+//! | `GET /api/patterns/:user` | a user's mined patterns (JSON) |
+//! | `GET /api/network/:user` | a user's place graph (SVG) |
+//! | `GET /api/crowd?hour=H` | crowd snapshot (JSON) |
+//! | `GET /api/crowd/map?hour=H` | crowd heat map (SVG) |
+//! | `GET /api/crowd/geojson?hour=H` | crowd snapshot (GeoJSON) |
+//! | `GET /api/crowd/flows?from=H&to=H` | inter-window flows (JSON) |
+//! | `GET /api/figures/:id` | figure data series (`fig5`…`fig8`) |
+//! | `GET /api/figures/:id/svg` | figure chart (SVG) |
+//! | `POST /api/upload` | mine an uploaded TSV check-in history |
+//! | `GET /api/upload/last` | the most recent upload's patterns |
+
+use crate::{AppState, Request, Response, Router, StatusCode};
+use crowdweb_dataset::UserId;
+use crowdweb_mobility::{PatternMiner, UserPatterns};
+use crowdweb_viz::{
+    render_place_graph, snapshot_to_geojson, CityMap, Histogram, LineChart,
+};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Builds the full CrowdWeb route table.
+pub fn build_router() -> Router<AppState> {
+    let mut router = Router::new();
+    router.get("/", |_, _, _| {
+        Response::html(crate::frontend::INDEX_HTML.to_owned())
+    });
+    router.get("/api/stats", stats);
+    router.get("/api/users", users);
+    router.get("/api/patterns/:user", patterns);
+    router.get("/api/network/:user", network);
+    router.get("/api/crowd", crowd);
+    router.get("/api/crowd/map", crowd_map);
+    router.get("/api/crowd/geojson", crowd_geojson);
+    router.get("/api/crowd/flows", crowd_flows);
+    router.get("/api/figures/:id", figure_data);
+    router.get("/api/figures/:id/svg", figure_svg);
+    router.post("/api/upload", upload);
+    router.get("/api/upload/last", upload_last);
+    router.get("/api/hotspots", hotspots);
+    router.get("/api/crowd/flows/map", crowd_flows_map);
+    router.get("/api/crowd/timeline", crowd_timeline);
+    router.get("/api/heatmap", heatmap);
+    router.get("/api/heatmap/:user", heatmap_user);
+    router.get("/api/entropy/:user", entropy);
+    router.get("/api/groups", groups);
+    router.get("/api/crowd/compare", crowd_compare);
+    router.get("/api/trajectory/:user", trajectory);
+    router.get("/api/tiles/:z/:x/:y", tile);
+    router
+}
+
+fn ok_json<T: Serialize>(value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(body),
+        Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
+    }
+}
+
+fn parse_user(params: &HashMap<String, String>) -> Result<UserId, Response> {
+    params
+        .get("user")
+        .and_then(|s| s.parse::<u32>().ok())
+        .map(UserId::new)
+        .ok_or_else(|| Response::error(StatusCode::BadRequest, "bad user id"))
+}
+
+fn parse_hour(request: &Request) -> Result<u8, Response> {
+    match request.query_param("hour") {
+        None => Ok(9), // the paper's default view
+        Some(raw) => raw
+            .parse::<u8>()
+            .ok()
+            .filter(|h| *h < 24)
+            .ok_or_else(|| Response::error(StatusCode::BadRequest, "hour must be 0-23")),
+    }
+}
+
+#[derive(Serialize)]
+struct StatsDto {
+    total_checkins: usize,
+    user_count: usize,
+    venue_count: usize,
+    mean_records_per_user: f64,
+    median_records_per_user: f64,
+    filtered_users: usize,
+    study_window: String,
+    min_support: f64,
+}
+
+fn stats(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    let s = crowdweb_dataset::DatasetStats::compute(state.dataset());
+    ok_json(&StatsDto {
+        total_checkins: s.total_checkins,
+        user_count: s.user_count,
+        venue_count: s.venue_count,
+        mean_records_per_user: s.mean_records_per_user,
+        median_records_per_user: s.median_records_per_user,
+        filtered_users: state.prepared().user_count(),
+        study_window: state.prepared().window().to_string(),
+        min_support: state.min_support(),
+    })
+}
+
+#[derive(Serialize)]
+struct UserDto {
+    user: u32,
+    active_days: usize,
+    patterns: usize,
+}
+
+fn users(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    let list: Vec<UserDto> = state
+        .patterns()
+        .iter()
+        .map(|p| UserDto {
+            user: p.user.raw(),
+            active_days: p.active_days,
+            patterns: p.pattern_count(),
+        })
+        .collect();
+    ok_json(&list)
+}
+
+#[derive(Serialize)]
+struct PatternDto {
+    items: Vec<String>,
+    support: usize,
+    relative_support: f64,
+}
+
+#[derive(Serialize)]
+struct UserPatternsDto {
+    user: u32,
+    active_days: usize,
+    patterns: Vec<PatternDto>,
+}
+
+fn patterns_dto(state: &AppState, up: &UserPatterns) -> UserPatternsDto {
+    let labeler = state.labeler();
+    let slotting = state.prepared().slotting();
+    UserPatternsDto {
+        user: up.user.raw(),
+        active_days: up.active_days,
+        patterns: up
+            .patterns
+            .iter()
+            .map(|p| PatternDto {
+                items: p
+                    .items
+                    .iter()
+                    .map(|it| {
+                        format!(
+                            "{} @ {}",
+                            labeler
+                                .name_of(it.label)
+                                .unwrap_or_else(|| it.label.to_string()),
+                            slotting.label(it.slot)
+                        )
+                    })
+                    .collect(),
+                support: p.support,
+                relative_support: p.relative_support(up.active_days),
+            })
+            .collect(),
+    }
+}
+
+fn patterns(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+    let user = match parse_user(params) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    match state.patterns_of(user) {
+        Some(up) => ok_json(&patterns_dto(state, up)),
+        None => Response::error(StatusCode::NotFound, "unknown or filtered user"),
+    }
+}
+
+fn network(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+    let user = match parse_user(params) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    match state.place_graph_of(user) {
+        Some(graph) => {
+            let labeler = state.labeler();
+            Response::svg(render_place_graph(&graph, |l| {
+                labeler.name_of(l).unwrap_or_else(|| l.to_string())
+            }))
+        }
+        None => Response::error(StatusCode::NotFound, "unknown or filtered user"),
+    }
+}
+
+#[derive(Serialize)]
+struct CrowdCellDto {
+    cell: u32,
+    users: usize,
+}
+
+#[derive(Serialize)]
+struct CrowdDto {
+    window: String,
+    total_users: usize,
+    cells: Vec<CrowdCellDto>,
+}
+
+fn snapshot_for(state: &AppState, request: &Request) -> Result<crowdweb_crowd::CrowdSnapshot, Response> {
+    let hour = parse_hour(request)?;
+    state
+        .crowd()
+        .snapshot_at_hour(hour)
+        .ok_or_else(|| Response::error(StatusCode::NotFound, "no window covers that hour"))
+}
+
+fn crowd(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    match snapshot_for(state, request) {
+        Ok(snap) => ok_json(&CrowdDto {
+            window: snap.window.label(),
+            total_users: snap.total_users(),
+            cells: snap
+                .busiest_cells()
+                .into_iter()
+                .map(|(cell, users)| CrowdCellDto {
+                    cell: cell.0,
+                    users,
+                })
+                .collect(),
+        }),
+        Err(resp) => resp,
+    }
+}
+
+fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    // Optional ?label=N restricts the view to one place label ("only
+    // the shoppers").
+    let snap = match request.query_param("label") {
+        None => match snapshot_for(state, request) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        },
+        Some(raw) => {
+            let Ok(label) = raw.parse::<u32>() else {
+                return Response::error(StatusCode::BadRequest, "label must be an integer");
+            };
+            let hour = match parse_hour(request) {
+                Ok(h) => h,
+                Err(resp) => return resp,
+            };
+            let Some(idx) = state.crowd().windows().index_of_hour(hour) else {
+                return Response::error(StatusCode::NotFound, "no window covers that hour");
+            };
+            match state
+                .crowd()
+                .snapshot_by_label(idx, crowdweb_prep::PlaceLabel(label))
+            {
+                Ok(s) => s,
+                Err(e) => {
+                    return Response::error(StatusCode::InternalServerError, &e.to_string())
+                }
+            }
+        }
+    };
+    Response::svg(CityMap::new(state.grid()).render(&snap))
+}
+
+fn crowd_geojson(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    match snapshot_for(state, request) {
+        Ok(snap) => ok_json(&snapshot_to_geojson(&snap, state.grid())),
+        Err(resp) => resp,
+    }
+}
+
+#[derive(Serialize)]
+struct FlowDto {
+    from: u32,
+    to: u32,
+    count: usize,
+}
+
+fn crowd_flows(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let parse = |name: &str, default: u8| -> Result<u8, Response> {
+        match request.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<u8>()
+                .ok()
+                .filter(|h| *h < 24)
+                .ok_or_else(|| Response::error(StatusCode::BadRequest, "hours must be 0-23")),
+        }
+    };
+    let (from, to) = match (parse("from", 9), parse("to", 10)) {
+        (Ok(f), Ok(t)) => (f, t),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let windows = state.crowd().windows();
+    let (Some(fi), Some(ti)) = (windows.index_of_hour(from), windows.index_of_hour(to)) else {
+        return Response::error(StatusCode::NotFound, "no window covers that hour");
+    };
+    match state.crowd().flows(fi, ti) {
+        Ok(flows) => ok_json(
+            &flows
+                .into_iter()
+                .map(|f| FlowDto {
+                    from: f.from.0,
+                    to: f.to.0,
+                    count: f.count,
+                })
+                .collect::<Vec<_>>(),
+        ),
+        Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
+    }
+}
+
+/// Support sweep used by the figure endpoints.
+const SWEEP: [f64; 7] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875];
+
+#[derive(Serialize)]
+struct SeriesDto {
+    figure: String,
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+/// Computes a figure's data series against the live state.
+fn figure_series(state: &AppState, id: &str) -> Option<SeriesDto> {
+    let db = state.prepared().seqdb();
+    let mine_all = |support: f64| -> Vec<UserPatterns> {
+        PatternMiner::new(support)
+            .expect("sweep supports are valid")
+            .detect_all(state.prepared())
+            .expect("state sequences are valid")
+    };
+    match id {
+        "fig5" => {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for s in SWEEP {
+                let all = mine_all(s);
+                let avg = if all.is_empty() {
+                    0.0
+                } else {
+                    all.iter().map(UserPatterns::pattern_count).sum::<usize>() as f64
+                        / all.len() as f64
+                };
+                x.push(s);
+                y.push(avg);
+            }
+            Some(SeriesDto {
+                figure: "fig5".into(),
+                x,
+                y,
+            })
+        }
+        "fig6" => {
+            let all = mine_all(0.5);
+            Some(SeriesDto {
+                figure: "fig6".into(),
+                x: (0..all.len()).map(|i| i as f64).collect(),
+                y: all.iter().map(|u| u.pattern_count() as f64).collect(),
+            })
+        }
+        "fig7" => {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for s in SWEEP {
+                let lengths: Vec<f64> = mine_all(s)
+                    .iter()
+                    .filter(|u| u.pattern_count() > 0)
+                    .map(UserPatterns::mean_pattern_length)
+                    .collect();
+                x.push(s);
+                y.push(if lengths.is_empty() {
+                    0.0
+                } else {
+                    lengths.iter().sum::<f64>() / lengths.len() as f64
+                });
+            }
+            Some(SeriesDto {
+                figure: "fig7".into(),
+                x,
+                y,
+            })
+        }
+        "fig8" => {
+            let values: Vec<f64> = mine_all(0.5)
+                .iter()
+                .filter(|u| u.pattern_count() > 0)
+                .map(UserPatterns::mean_pattern_length)
+                .collect();
+            Some(SeriesDto {
+                figure: "fig8".into(),
+                x: (0..values.len()).map(|i| i as f64).collect(),
+                y: values,
+            })
+        }
+        _ => {
+            let _ = db;
+            None
+        }
+    }
+}
+
+fn figure_data(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+    match figure_series(state, params.get("id").map(String::as_str).unwrap_or("")) {
+        Some(series) => ok_json(&series),
+        None => Response::error(StatusCode::NotFound, "unknown figure (fig5..fig8)"),
+    }
+}
+
+fn figure_svg(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+    let id = params.get("id").map(String::as_str).unwrap_or("");
+    let Some(series) = figure_series(state, id) else {
+        return Response::error(StatusCode::NotFound, "unknown figure (fig5..fig8)");
+    };
+    let svg = match id {
+        "fig5" | "fig7" => {
+            let points: Vec<(f64, f64)> =
+                series.x.iter().copied().zip(series.y.iter().copied()).collect();
+            let (title, ylabel) = if id == "fig5" {
+                ("Fig 5: sequences per user vs min_support", "avg sequences per user")
+            } else {
+                ("Fig 7: avg sequence length vs min_support", "avg length per user")
+            };
+            LineChart::new(title)
+                .x_label("minimum support threshold")
+                .y_label(ylabel)
+                .series("modified PrefixSpan", &points)
+                .render()
+        }
+        _ => {
+            let title = if id == "fig6" {
+                "Fig 6: distribution of sequence counts (min_support = 0.5)"
+            } else {
+                "Fig 8: distribution of avg lengths (min_support = 0.5)"
+            };
+            Histogram::from_values(title, &series.y, 10)
+                .x_label(if id == "fig6" { "sequences" } else { "avg length" })
+                .render()
+        }
+    };
+    Response::svg(svg)
+}
+
+#[derive(Serialize)]
+struct UploadDto {
+    users: Vec<u32>,
+    checkins: usize,
+    patterns: Vec<UserPatternsDto>,
+}
+
+fn upload_dto(state: &AppState, result: &crate::state::UploadResult) -> UploadDto {
+    UploadDto {
+        users: result.users.iter().map(|u| u.raw()).collect(),
+        checkins: result.checkin_count,
+        patterns: result
+            .patterns
+            .iter()
+            .map(|up| patterns_dto(state, up))
+            .collect(),
+    }
+}
+
+fn upload(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(StatusCode::BadRequest, "body must be utf-8 tsv");
+    };
+    match state.ingest_upload(body) {
+        Ok(result) => ok_json(&upload_dto(state, &result)),
+        Err(e) => Response::error(StatusCode::BadRequest, &e.to_string()),
+    }
+}
+
+fn upload_last(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    match state.last_upload() {
+        Some(result) => ok_json(&upload_dto(state, &result)),
+        None => Response::error(StatusCode::NotFound, "no upload yet"),
+    }
+}
+
+#[derive(Serialize)]
+struct HotspotDto {
+    window: String,
+    cell: u32,
+    users: usize,
+    z_score: f64,
+    phase: String,
+}
+
+fn hotspots(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    match crowdweb_crowd::detect_hotspots(state.crowd(), &crowdweb_crowd::HotspotConfig::default())
+    {
+        Ok(found) => {
+            let windows = state.crowd().windows();
+            let rows: Vec<HotspotDto> = found
+                .into_iter()
+                .map(|h| HotspotDto {
+                    window: windows
+                        .get(h.window)
+                        .map(|w| w.label())
+                        .unwrap_or_default(),
+                    cell: h.cell.0,
+                    users: h.count,
+                    z_score: h.z_score,
+                    phase: format!("{:?}", h.phase),
+                })
+                .collect();
+            ok_json(&rows)
+        }
+        Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
+    }
+}
+
+fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let parse = |name: &str, default: u8| -> Result<u8, Response> {
+        match request.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<u8>()
+                .ok()
+                .filter(|h| *h < 24)
+                .ok_or_else(|| Response::error(StatusCode::BadRequest, "hours must be 0-23")),
+        }
+    };
+    let (from, to) = match (parse("from", 9), parse("to", 10)) {
+        (Ok(f), Ok(t)) => (f, t),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let windows = state.crowd().windows();
+    let (Some(fi), Some(ti)) = (windows.index_of_hour(from), windows.index_of_hour(to)) else {
+        return Response::error(StatusCode::NotFound, "no window covers that hour");
+    };
+    match state.crowd().flows(fi, ti) {
+        Ok(flows) => Response::svg(crowdweb_viz::render_flow_map(
+            state.grid(),
+            &flows,
+            &format!("{from}h \u{2192} {to}h"),
+        )),
+        Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
+    }
+}
+
+fn crowd_timeline(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    Response::svg(crowdweb_viz::render_crowd_timeline(
+        &state.crowd().animation_frames(),
+    ))
+}
+
+fn heatmap(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    let profile = crowdweb_dataset::ActivityProfile::of_dataset(state.dataset());
+    Response::svg(crowdweb_viz::render_activity_heatmap(
+        &profile,
+        "City activity rhythm (weekday x hour)",
+    ))
+}
+
+fn heatmap_user(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+    let user = match parse_user(params) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    if state.dataset().checkins_of(user).is_empty() {
+        return Response::error(StatusCode::NotFound, "unknown user");
+    }
+    let profile = crowdweb_dataset::ActivityProfile::of_user(state.dataset(), user);
+    Response::svg(crowdweb_viz::render_activity_heatmap(
+        &profile,
+        &format!("Activity rhythm of {user}"),
+    ))
+}
+
+#[derive(Serialize)]
+struct EntropyDto {
+    user: u32,
+    visits: usize,
+    distinct_places: usize,
+    random_entropy: f64,
+    uncorrelated_entropy: f64,
+    actual_entropy: f64,
+    max_predictability: f64,
+}
+
+fn entropy(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+    let user = match parse_user(params) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let Some(seqs) = state.prepared().seqdb().sequences_of(user) else {
+        return Response::error(StatusCode::NotFound, "unknown or filtered user");
+    };
+    let p = crowdweb_mobility::predictability_profile(&seqs.sequences);
+    ok_json(&EntropyDto {
+        user: user.raw(),
+        visits: p.visits,
+        distinct_places: p.distinct_places,
+        random_entropy: p.random_entropy,
+        uncorrelated_entropy: p.uncorrelated_entropy,
+        actual_entropy: p.actual_entropy,
+        max_predictability: p.max_predictability,
+    })
+}
+
+#[derive(Serialize)]
+struct GroupDto {
+    members: Vec<u32>,
+}
+
+fn groups(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let threshold: f64 = match request.query_param("threshold") {
+        None => 0.6,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(t) if (0.0..=1.0).contains(&t) => t,
+            _ => return Response::error(StatusCode::BadRequest, "threshold must be in [0, 1]"),
+        },
+    };
+    let groups = crowdweb_mobility::group_users(state.patterns(), threshold);
+    let rows: Vec<GroupDto> = groups
+        .into_iter()
+        .map(|g| GroupDto {
+            members: g.members.iter().map(|u| u.raw()).collect(),
+        })
+        .collect();
+    ok_json(&rows)
+}
+
+fn crowd_compare(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let parse = |name: &str, default: u8| -> Result<u8, Response> {
+        match request.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<u8>()
+                .ok()
+                .filter(|h| *h < 24)
+                .ok_or_else(|| Response::error(StatusCode::BadRequest, "hours must be 0-23")),
+        }
+    };
+    let (a, b) = match (parse("a", 9), parse("b", 19)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    match crowdweb_crowd::compare_windows(state.crowd(), a, b) {
+        Ok(cmp) => ok_json(&cmp),
+        Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
+    }
+}
+
+#[derive(Serialize)]
+struct TrajectoryDto {
+    user: u32,
+    date: String,
+    points: usize,
+    path_m: f64,
+    radius_of_gyration_m: f64,
+    polyline: String,
+    geojson: crowdweb_geo::geojson::Feature,
+}
+
+fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, String>) -> Response {
+    use crowdweb_geo::trajectory::{path_length_m, radius_of_gyration_m};
+    let user = match parse_user(params) {
+        Ok(u) => u,
+        Err(resp) => return resp,
+    };
+    let checkins = state.dataset().checkins_of(user);
+    if checkins.is_empty() {
+        return Response::error(StatusCode::NotFound, "unknown user");
+    }
+    // Group the user's check-ins by local date.
+    let mut per_day: HashMap<crowdweb_dataset::CivilDate, Vec<crowdweb_geo::LatLon>> =
+        HashMap::new();
+    for c in checkins {
+        if let Some(v) = state.dataset().venue(c.venue()) {
+            per_day.entry(c.local_date()).or_default().push(v.location());
+        }
+    }
+    let date = match request.query_param("date") {
+        Some(raw) => {
+            let parts: Vec<&str> = raw.split('-').collect();
+            let parsed = (parts.len() == 3)
+                .then(|| {
+                    let y = parts[0].parse::<i32>().ok()?;
+                    let m = parts[1].parse::<u8>().ok()?;
+                    let d = parts[2].parse::<u8>().ok()?;
+                    crowdweb_dataset::CivilDate::new(y, m, d).ok()
+                })
+                .flatten();
+            match parsed {
+                Some(d) => d,
+                None => return Response::error(StatusCode::BadRequest, "date must be YYYY-MM-DD"),
+            }
+        }
+        // Default: the user's busiest day.
+        None => *per_day
+            .iter()
+            .max_by_key(|(d, pts)| (pts.len(), std::cmp::Reverse(**d)))
+            .expect("user has check-ins")
+            .0,
+    };
+    let Some(points) = per_day.get(&date) else {
+        return Response::error(StatusCode::NotFound, "no check-ins on that date");
+    };
+    let feature = crowdweb_geo::geojson::Feature::new(crowdweb_geo::geojson::Geometry::line(
+        points,
+    ))
+    .with_property("user", i64::from(user.raw()))
+    .with_property("date", date.to_string());
+    ok_json(&TrajectoryDto {
+        user: user.raw(),
+        date: date.to_string(),
+        points: points.len(),
+        path_m: path_length_m(points),
+        radius_of_gyration_m: radius_of_gyration_m(points),
+        polyline: crowdweb_geo::polyline::encode(points),
+        geojson: feature,
+    })
+}
+
+/// Renders one slippy-map tile of the crowd heat layer: the portion of
+/// the microcell grid intersecting Web-Mercator tile `z/x/y`, shaded by
+/// the crowd of `?hour=H` (default 9). Standard `z/x/y` addressing means
+/// any web map library can use the platform as a tile source.
+fn tile(state: &AppState, request: &Request, params: &HashMap<String, String>) -> Response {
+    use crowdweb_viz::sequential_color;
+    let parse = |name: &str| -> Option<u32> { params.get(name).and_then(|s| s.parse().ok()) };
+    let (Some(z), Some(x), Some(y)) = (parse("z"), parse("x"), parse("y")) else {
+        return Response::error(StatusCode::BadRequest, "tile coordinates must be integers");
+    };
+    let Ok(z8) = u8::try_from(z) else {
+        return Response::error(StatusCode::BadRequest, "zoom out of range");
+    };
+    let tile = match crowdweb_geo::TileCoord::new(z8, x, y) {
+        Ok(t) => t,
+        Err(e) => return Response::error(StatusCode::BadRequest, &e.to_string()),
+    };
+    let snap = match snapshot_for(state, request) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let tile_bounds = tile.bounds();
+    let grid = state.grid();
+    let max = snap.cells.values().max().copied().unwrap_or(0).max(1);
+
+    const SIZE: f64 = 256.0;
+    let mut doc = crowdweb_viz::Document::new(SIZE, SIZE);
+    let project = |lat: f64, lon: f64| -> (f64, f64) {
+        (
+            (lon - tile_bounds.west()) / tile_bounds.lon_span() * SIZE,
+            (1.0 - (lat - tile_bounds.south()) / tile_bounds.lat_span()) * SIZE,
+        )
+    };
+    for (&cell, &count) in &snap.cells {
+        let Some(bounds) = grid.cell_bounds(cell) else {
+            continue;
+        };
+        if !bounds.intersects(&tile_bounds) {
+            continue;
+        }
+        let (x0, y1) = project(bounds.south(), bounds.west());
+        let (x1, y0) = project(bounds.north(), bounds.east());
+        let color = sequential_color(count as f64 / max as f64).to_hex();
+        doc.rect(x0, y0, (x1 - x0).abs(), (y1 - y0).abs(), &color, None);
+    }
+    Response::svg(doc.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_synth::SynthConfig;
+
+    fn state() -> AppState {
+        AppState::build(SynthConfig::small(53).generate().unwrap(), 20).unwrap()
+    }
+
+    fn get(router: &Router<AppState>, state: &AppState, path: &str) -> (u16, String) {
+        let req =
+            Request::read_from(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes()).unwrap();
+        let resp = router.route(state, &req);
+        (resp.status.code(), String::from_utf8(resp.body).unwrap())
+    }
+
+    #[test]
+    fn stats_endpoint() {
+        let (s, r) = (state(), build_router());
+        let (code, body) = get(&r, &s, "/api/stats");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"total_checkins\""));
+        assert!(body.contains("\"study_window\""));
+    }
+
+    #[test]
+    fn users_and_patterns_endpoints() {
+        let s = state();
+        let r = build_router();
+        let (code, body) = get(&r, &s, "/api/users");
+        assert_eq!(code, 200);
+        let users: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
+        assert!(!users.is_empty());
+        let uid = users[0]["user"].as_u64().unwrap();
+        let (code, body) = get(&r, &s, &format!("/api/patterns/{uid}"));
+        assert_eq!(code, 200);
+        assert!(body.contains("\"patterns\""));
+        // Pattern items carry readable labels with slot ranges.
+        assert!(body.contains(":00-"));
+        let (code, _) = get(&r, &s, "/api/patterns/999999");
+        assert_eq!(code, 404);
+        let (code, _) = get(&r, &s, "/api/patterns/not-a-number");
+        assert_eq!(code, 400);
+    }
+
+    #[test]
+    fn network_endpoint_returns_svg() {
+        let s = state();
+        let r = build_router();
+        let uid = s.prepared().users()[0].raw();
+        let (code, body) = get(&r, &s, &format!("/api/network/{uid}"));
+        assert_eq!(code, 200);
+        assert!(body.starts_with("<svg"));
+    }
+
+    #[test]
+    fn crowd_endpoints() {
+        let s = state();
+        let r = build_router();
+        let (code, body) = get(&r, &s, "/api/crowd?hour=9");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"window\":\"9-10 am\""));
+        let (code, body) = get(&r, &s, "/api/crowd/map?hour=9");
+        assert_eq!(code, 200);
+        assert!(body.starts_with("<svg"));
+        // Label-filtered view (kind index 2 = Eatery).
+        let (code, body) = get(&r, &s, "/api/crowd/map?hour=12&label=2");
+        assert_eq!(code, 200);
+        assert!(body.starts_with("<svg"));
+        let (code, _) = get(&r, &s, "/api/crowd/map?hour=12&label=zzz");
+        assert_eq!(code, 400);
+        let (code, body) = get(&r, &s, "/api/crowd/geojson?hour=9");
+        assert_eq!(code, 200);
+        assert!(body.contains("FeatureCollection"));
+        let (code, _) = get(&r, &s, "/api/crowd?hour=99");
+        assert_eq!(code, 400);
+        let (code, body) = get(&r, &s, "/api/crowd/flows?from=9&to=10");
+        assert_eq!(code, 200);
+        assert!(body.starts_with('['));
+    }
+
+    #[test]
+    fn figure_endpoints() {
+        let s = state();
+        let r = build_router();
+        for fig in ["fig5", "fig6", "fig7", "fig8"] {
+            let (code, body) = get(&r, &s, &format!("/api/figures/{fig}"));
+            assert_eq!(code, 200, "{fig}");
+            assert!(body.contains(fig));
+            let (code, body) = get(&r, &s, &format!("/api/figures/{fig}/svg"));
+            assert_eq!(code, 200, "{fig} svg");
+            assert!(body.starts_with("<svg"));
+        }
+        let (code, _) = get(&r, &s, "/api/figures/fig99");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn fig5_series_is_nonincreasing() {
+        let s = state();
+        let series = figure_series(&s, "fig5").unwrap();
+        for w in series.y.windows(2) {
+            assert!(w[0] >= w[1], "{:?}", series.y);
+        }
+    }
+
+    #[test]
+    fn upload_flow() {
+        let s = state();
+        let r = build_router();
+        let (code, _) = get(&r, &s, "/api/upload/last");
+        assert_eq!(code, 404);
+        let tsv = "77\tv1\tx\tCoffee Shop\t40.75\t-73.99\t-240\tTue Apr 03 13:00:00 +0000 2012\n\
+77\tv1\tx\tCoffee Shop\t40.75\t-73.99\t-240\tWed Apr 04 13:00:00 +0000 2012\n";
+        let raw = format!(
+            "POST /api/upload HTTP/1.1\r\nContent-Length: {}\r\n\r\n{tsv}",
+            tsv.len()
+        );
+        let req = Request::read_from(raw.as_bytes()).unwrap();
+        let resp = r.route(&s, &req);
+        assert_eq!(resp.status.code(), 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"checkins\":2"));
+        let (code, _) = get(&r, &s, "/api/upload/last");
+        assert_eq!(code, 200);
+    }
+
+    #[test]
+    fn hotspot_and_group_endpoints() {
+        let s = state();
+        let r = build_router();
+        let (code, body) = get(&r, &s, "/api/hotspots");
+        assert_eq!(code, 200);
+        assert!(body.starts_with('['));
+        let (code, body) = get(&r, &s, "/api/groups?threshold=0.5");
+        assert_eq!(code, 200);
+        let groups: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
+        let total: usize = groups
+            .iter()
+            .map(|g| g["members"].as_array().unwrap().len())
+            .sum();
+        assert_eq!(total, s.patterns().len());
+        let (code, _) = get(&r, &s, "/api/groups?threshold=2.0");
+        assert_eq!(code, 400);
+    }
+
+    #[test]
+    fn heatmap_timeline_and_flow_map_endpoints() {
+        let s = state();
+        let r = build_router();
+        for path in [
+            "/api/heatmap",
+            "/api/crowd/timeline",
+            "/api/crowd/flows/map?from=9&to=10",
+        ] {
+            let (code, body) = get(&r, &s, path);
+            assert_eq!(code, 200, "{path}");
+            assert!(body.starts_with("<svg"), "{path}");
+        }
+        let uid = s.prepared().users()[0].raw();
+        let (code, body) = get(&r, &s, &format!("/api/heatmap/{uid}"));
+        assert_eq!(code, 200);
+        assert!(body.starts_with("<svg"));
+        let (code, _) = get(&r, &s, "/api/heatmap/999999");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn compare_endpoint() {
+        let s = state();
+        let r = build_router();
+        let (code, body) = get(&r, &s, "/api/crowd/compare?a=9&b=19");
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["before_window"], "9-10 am");
+        assert_eq!(v["after_window"], "7-8 pm");
+        assert!(v["deltas"].is_array());
+        let (code, _) = get(&r, &s, "/api/crowd/compare?a=99");
+        assert_eq!(code, 400);
+    }
+
+    #[test]
+    fn entropy_endpoint() {
+        let s = state();
+        let r = build_router();
+        let uid = s.prepared().users()[0].raw();
+        let (code, body) = get(&r, &s, &format!("/api/entropy/{uid}"));
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let pi = v["max_predictability"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&pi));
+        assert!(v["visits"].as_u64().unwrap() > 0);
+        let (code, _) = get(&r, &s, "/api/entropy/999999");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn tile_endpoint_serves_slippy_tiles() {
+        let s = state();
+        let r = build_router();
+        // The z10 tile over Manhattan.
+        let (code, body) = get(&r, &s, "/api/tiles/10/301/384?hour=9");
+        assert_eq!(code, 200);
+        assert!(body.starts_with("<svg"));
+        // A tile over the Pacific has no cells: valid empty tile.
+        let (code, body) = get(&r, &s, "/api/tiles/10/100/384?hour=9");
+        assert_eq!(code, 200);
+        assert_eq!(body.matches("<rect").count(), 0);
+        // Out-of-range coordinates are rejected.
+        let (code, _) = get(&r, &s, "/api/tiles/2/9/0");
+        assert_eq!(code, 400);
+        let (code, _) = get(&r, &s, "/api/tiles/abc/0/0");
+        assert_eq!(code, 400);
+    }
+
+    #[test]
+    fn trajectory_endpoint() {
+        let s = state();
+        let r = build_router();
+        let uid = s.prepared().users()[0].raw();
+        let (code, body) = get(&r, &s, &format!("/api/trajectory/{uid}"));
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(v["points"].as_u64().unwrap() >= 1);
+        assert!(v["path_m"].as_f64().unwrap() >= 0.0);
+        assert!(v["polyline"].as_str().is_some());
+        assert_eq!(v["geojson"]["geometry"]["type"], "LineString");
+        // Explicit date selection.
+        let date = v["date"].as_str().unwrap().to_owned();
+        let (code, body2) = get(&r, &s, &format!("/api/trajectory/{uid}?date={date}"));
+        assert_eq!(code, 200);
+        let v2: serde_json::Value = serde_json::from_str(&body2).unwrap();
+        assert_eq!(v2["date"], date);
+        // Errors.
+        let (code, _) = get(&r, &s, &format!("/api/trajectory/{uid}?date=garbage"));
+        assert_eq!(code, 400);
+        let (code, _) = get(&r, &s, &format!("/api/trajectory/{uid}?date=2031-01-01"));
+        assert_eq!(code, 404);
+        let (code, _) = get(&r, &s, "/api/trajectory/999999");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn home_serves_frontend() {
+        let s = state();
+        let r = build_router();
+        let (code, body) = get(&r, &s, "/");
+        assert_eq!(code, 200);
+        assert!(body.contains("<!DOCTYPE html>"));
+        assert!(body.contains("CrowdWeb"));
+    }
+}

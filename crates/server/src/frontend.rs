@@ -1,0 +1,211 @@
+//! The embedded single-page front-end.
+//!
+//! A self-contained HTML/JS page (no external assets, works offline)
+//! that drives the JSON/SVG API: a crowd city view with an hour slider
+//! and play button (the crowd-movement animation the paper lists as
+//! future work), a user list with per-user pattern and network views,
+//! and the four evaluation figures.
+
+/// The index page served at `/`.
+pub const INDEX_HTML: &str = r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>CrowdWeb — Crowd Mobility in a Smart City</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 0; background: #f7f9fb; color: #16242f; }
+  header { background: #0a4b78; color: #fff; padding: 12px 20px; }
+  header h1 { margin: 0; font-size: 20px; }
+  header p { margin: 2px 0 0; font-size: 12px; opacity: .85; }
+  main { display: grid; grid-template-columns: 300px 1fr; gap: 16px; padding: 16px; }
+  section { background: #fff; border: 1px solid #dde5ec; border-radius: 8px; padding: 12px; }
+  h2 { font-size: 14px; margin: 0 0 8px; color: #0a4b78; }
+  #users { max-height: 320px; overflow-y: auto; font-size: 13px; }
+  #users div { padding: 3px 6px; cursor: pointer; border-radius: 4px; }
+  #users div:hover { background: #e8f0f7; }
+  #users div.sel { background: #0a4b78; color: #fff; }
+  #crowd-controls { display: flex; align-items: center; gap: 10px; margin-bottom: 8px; }
+  #map, #network, #figure { text-align: center; }
+  #map svg, #network svg, #figure svg { max-width: 100%; height: auto; }
+  #patterns { font-size: 12px; max-height: 220px; overflow-y: auto; }
+  #patterns li { margin-bottom: 2px; }
+  button, select { font: inherit; padding: 4px 10px; }
+  .stats { font-size: 12px; color: #44576a; }
+</style>
+</head>
+<body>
+<header>
+  <h1>CrowdWeb</h1>
+  <p>Visualizing individual and crowd mobility patterns in a smart city</p>
+</header>
+<main>
+  <div>
+    <section>
+      <h2>Dataset</h2>
+      <div id="stats" class="stats">loading…</div>
+    </section>
+    <section style="margin-top:12px">
+      <h2>Users</h2>
+      <div id="users">loading…</div>
+    </section>
+    <section style="margin-top:12px">
+      <h2>Patterns of selected user</h2>
+      <ul id="patterns"><li>(select a user)</li></ul>
+    </section>
+  </div>
+  <div>
+    <section>
+      <h2>Crowd in the smart city</h2>
+      <div id="crowd-controls">
+        <button id="play">▶ animate</button>
+        <input type="range" id="hour" min="0" max="23" value="9">
+        <span id="hour-label">9–10 am</span>
+      </div>
+      <div id="map">loading…</div>
+    </section>
+    <section style="margin-top:12px">
+      <h2>Place network of selected user</h2>
+      <div id="network">(select a user)</div>
+    </section>
+    <section style="margin-top:12px">
+      <h2>Crowd flows</h2>
+      <div>
+        from <input type="number" id="flow-from" min="0" max="23" value="7" style="width:52px">
+        to <input type="number" id="flow-to" min="0" max="23" value="9" style="width:52px">
+        <button id="flow-go">show</button>
+      </div>
+      <div id="flowmap"></div>
+    </section>
+    <section style="margin-top:12px">
+      <h2>City rhythm &amp; crowd timeline</h2>
+      <div id="rhythm"></div>
+      <div id="ctimeline" style="margin-top:8px"></div>
+      <div id="hotspots" class="stats" style="margin-top:8px"></div>
+    </section>
+    <section style="margin-top:12px">
+      <h2>Evaluation figures</h2>
+      <select id="fig">
+        <option value="fig5">Fig 5 — sequences vs support</option>
+        <option value="fig6">Fig 6 — sequence count distribution</option>
+        <option value="fig7">Fig 7 — avg length vs support</option>
+        <option value="fig8">Fig 8 — length distribution</option>
+      </select>
+      <div id="figure"></div>
+    </section>
+  </div>
+</main>
+<script>
+const $ = (id) => document.getElementById(id);
+async function jget(url) { const r = await fetch(url); if (!r.ok) throw new Error(url); return r.json(); }
+async function sget(url, el) { const r = await fetch(url); el.innerHTML = r.ok ? await r.text() : '(error)'; }
+
+async function loadStats() {
+  const s = await jget('/api/stats');
+  $('stats').innerHTML =
+    `check-ins: <b>${s.total_checkins}</b><br>users: <b>${s.user_count}</b> ` +
+    `(filtered: <b>${s.filtered_users}</b>)<br>venues: <b>${s.venue_count}</b><br>` +
+    `mean/median records: <b>${s.mean_records_per_user.toFixed(1)} / ${s.median_records_per_user.toFixed(0)}</b><br>` +
+    `study window: <b>${s.study_window}</b><br>min_support: <b>${s.min_support}</b>`;
+}
+async function loadUsers() {
+  const users = await jget('/api/users');
+  $('users').innerHTML = '';
+  users.forEach(u => {
+    const div = document.createElement('div');
+    div.textContent = `user ${u.user} — ${u.active_days} days, ${u.patterns} patterns`;
+    div.onclick = () => selectUser(u.user, div);
+    $('users').appendChild(div);
+  });
+}
+async function selectUser(id, el) {
+  document.querySelectorAll('#users div').forEach(d => d.classList.remove('sel'));
+  el.classList.add('sel');
+  const p = await jget('/api/patterns/' + id);
+  $('patterns').innerHTML = p.patterns.length ? '' : '<li>(no patterns)</li>';
+  p.patterns.forEach(pat => {
+    const li = document.createElement('li');
+    li.textContent = `⟨${pat.items.join(' → ')}⟩ ×${pat.support}`;
+    $('patterns').appendChild(li);
+  });
+  await sget('/api/network/' + id, $('network'));
+}
+function windowLabel(h) {
+  const am = (x) => x === 0 ? '12 am' : x < 12 ? x + ' am' : x === 12 ? '12 pm' : (x - 12) + ' pm';
+  return am(h) + '–' + am((h + 1) % 24);
+}
+async function loadCrowd() {
+  const h = +$('hour').value;
+  $('hour-label').textContent = windowLabel(h);
+  await sget('/api/crowd/map?hour=' + h, $('map'));
+}
+let timer = null;
+$('play').onclick = () => {
+  if (timer) { clearInterval(timer); timer = null; $('play').textContent = '▶ animate'; return; }
+  $('play').textContent = '⏸ stop';
+  timer = setInterval(() => {
+    $('hour').value = (+$('hour').value + 1) % 24;
+    loadCrowd();
+  }, 900);
+};
+$('hour').oninput = loadCrowd;
+$('fig').onchange = () => sget('/api/figures/' + $('fig').value + '/svg', $('figure'));
+
+async function loadFlows() {
+  const f = +$('flow-from').value, t = +$('flow-to').value;
+  await sget(`/api/crowd/flows/map?from=${f}&to=${t}`, $('flowmap'));
+}
+$('flow-go').onclick = loadFlows;
+async function loadHotspots() {
+  const hs = await jget('/api/hotspots');
+  $('hotspots').innerHTML = hs.length
+    ? 'hotspots: ' + hs.slice(0, 8).map(h => `${h.window} cell#${h.cell} (${h.users}, ${h.phase})`).join(' · ')
+    : 'no hotspots detected';
+}
+
+loadStats(); loadUsers(); loadCrowd(); loadFlows(); loadHotspots();
+sget('/api/heatmap', $('rhythm'));
+sget('/api/crowd/timeline', $('ctimeline'));
+sget('/api/figures/fig5/svg', $('figure'));
+</script>
+</body>
+</html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_is_self_contained() {
+        assert!(INDEX_HTML.contains("<!DOCTYPE html>"));
+        // No external scripts, styles, or fonts.
+        assert!(!INDEX_HTML.contains("http://"));
+        assert!(!INDEX_HTML.contains("https://"));
+        assert!(!INDEX_HTML.contains("src=\""));
+    }
+
+    #[test]
+    fn page_references_every_api_family() {
+        for api in [
+            "/api/stats",
+            "/api/users",
+            "/api/patterns/",
+            "/api/network/",
+            "/api/crowd/map",
+            "/api/crowd/flows/map",
+            "/api/crowd/timeline",
+            "/api/heatmap",
+            "/api/hotspots",
+            "/api/figures/",
+        ] {
+            assert!(INDEX_HTML.contains(api), "missing {api}");
+        }
+    }
+
+    #[test]
+    fn page_has_animation_controls() {
+        // The paper's future-work crowd animation.
+        assert!(INDEX_HTML.contains("animate"));
+        assert!(INDEX_HTML.contains("setInterval"));
+    }
+}

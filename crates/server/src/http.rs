@@ -1,0 +1,398 @@
+//! Minimal HTTP/1.1 parsing and serialization.
+//!
+//! Supports what the CrowdWeb API needs: GET/POST, path + query string,
+//! headers, and `Content-Length`-framed bodies. Everything else (chunked
+//! encoding, pipelining, upgrades) is deliberately out of scope.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Maximum accepted request body (4 MiB) — an upload of a full personal
+/// check-in history fits comfortably.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Maximum accepted header section (64 KiB).
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// HTTP request method (only what the API uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+}
+
+impl Method {
+    /// Parses a method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// HTTP response status codes used by the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200.
+    Ok,
+    /// 400.
+    BadRequest,
+    /// 404.
+    NotFound,
+    /// 405.
+    MethodNotAllowed,
+    /// 413.
+    PayloadTooLarge,
+    /// 500.
+    InternalServerError,
+}
+
+impl StatusCode {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::MethodNotAllowed => 405,
+            StatusCode::PayloadTooLarge => 413,
+            StatusCode::InternalServerError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::MethodNotAllowed => "Method Not Allowed",
+            StatusCode::PayloadTooLarge => "Payload Too Large",
+            StatusCode::InternalServerError => "Internal Server Error",
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Decoded path without the query string, e.g. `/api/crowd`.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Header map with lowercase names.
+    pub headers: HashMap<String, String>,
+    /// Request body (empty for GET).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A query parameter by name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// Reads and parses one request from a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` errors for malformed requests, oversized
+    /// heads/bodies, or unsupported methods.
+    pub fn read_from<R: Read>(reader: R) -> io::Result<Request> {
+        let mut reader = BufReader::new(reader);
+        let mut head = String::new();
+        // Request line.
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        if line.trim_end().is_empty() {
+            return Err(bad("empty request line"));
+        }
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or_else(|| bad("unsupported method"))?;
+        let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+        let version = parts.next().unwrap_or("HTTP/1.1");
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad("unsupported http version"));
+        }
+
+        // Headers.
+        let mut headers = HashMap::new();
+        loop {
+            let mut hline = String::new();
+            let n = reader.read_line(&mut hline)?;
+            if n == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            head.push_str(&hline);
+            if head.len() > MAX_HEAD_BYTES {
+                return Err(bad("header section too large"));
+            }
+            let trimmed = hline.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+            }
+        }
+
+        // Body.
+        let content_length: usize = headers
+            .get("content-length")
+            .map(|v| v.parse().map_err(|_| bad("bad content-length")))
+            .transpose()?
+            .unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            return Err(bad("body too large"));
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+
+        let (path, query) = split_target(target);
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Splits a request target into decoded path and query map.
+fn split_target(target: &str) -> (String, HashMap<String, String>) {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let mut query = HashMap::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            // Query components use the form-urlencoded convention where
+            // '+' means space; paths do not (RFC 3986: '+' is literal).
+            query.insert(
+                percent_decode(&k.replace('+', "%20")),
+                percent_decode(&v.replace('+', "%20")),
+            );
+        }
+    }
+    (percent_decode(raw_path), query)
+}
+
+/// Decodes `%XX` escapes. `+` passes through literally (RFC 3986);
+/// query parsing pre-translates form-encoded `+` before calling this.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                // Valid only when two hex digits follow; otherwise the
+                // '%' passes through literally.
+                if let Some(hex) = bytes.get(i + 1..i + 3) {
+                    if let Ok(v) =
+                        u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16)
+                    {
+                        out.push(v);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Content type header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response with a JSON body.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "application/json; charset=utf-8".to_owned(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A 200 response with an HTML body.
+    pub fn html(body: String) -> Response {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "text/html; charset=utf-8".to_owned(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A 200 response with an SVG body.
+    pub fn svg(body: String) -> Response {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "image/svg+xml".to_owned(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a small JSON body.
+    pub fn error(status: StatusCode, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "application/json; charset=utf-8".to_owned(),
+            body: format!("{{\"error\":{}}}", serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into()))
+                .into_bytes(),
+        }
+    }
+
+    /// Writes the response to a stream, closing semantics
+    /// (`Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying stream.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\nAccess-Control-Allow-Origin: *\r\n\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> io::Result<Request> {
+        Request::read_from(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /api/crowd?hour=9&top=5 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/api/crowd");
+        assert_eq!(req.query_param("hour"), Some("9"));
+        assert_eq!(req.query_param("top"), Some("5"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.headers.get("host").map(String::as_str), Some("x"));
+    }
+
+    #[test]
+    fn parses_post_body() {
+        let req = parse("POST /api/upload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(parse("\r\n").is_err());
+        assert!(parse("DELETE /x HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse("GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+        // Truncated body.
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        // '+' is literal in generic decoding (RFC 3986 paths).
+        assert_eq!(percent_decode("a%20b+c"), "a b+c");
+        assert_eq!(percent_decode("no-escapes"), "no-escapes");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("%41"), "A");
+        // Trailing percent.
+        assert_eq!(percent_decode("x%"), "x%");
+    }
+
+    #[test]
+    fn plus_is_space_in_query_but_literal_in_path() {
+        let req = parse("GET /api/a+b?q=x+y HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/api/a+b");
+        assert_eq!(req.query_param("q"), Some("x y"));
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut buf = Vec::new();
+        Response::json("{\"ok\":true}".to_owned())
+            .write_to(&mut buf)
+            .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 11"));
+        assert!(s.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_response_includes_message() {
+        let r = Response::error(StatusCode::NotFound, "no such user");
+        assert_eq!(r.status.code(), 404);
+        assert!(String::from_utf8(r.body).unwrap().contains("no such user"));
+    }
+
+    #[test]
+    fn status_codes_and_reasons() {
+        assert_eq!(StatusCode::Ok.code(), 200);
+        assert_eq!(StatusCode::BadRequest.reason(), "Bad Request");
+        assert_eq!(StatusCode::PayloadTooLarge.code(), 413);
+    }
+}

@@ -1,0 +1,48 @@
+//! The CrowdWeb web platform: an embedded HTTP server exposing the
+//! crowd and pattern views over a JSON/SVG API with a self-contained
+//! single-page front-end.
+//!
+//! The original demo is a browser app backed by a web service; this
+//! crate provides the same surface with zero external web dependencies:
+//!
+//! - [`http`] — a minimal HTTP/1.1 request parser and response writer
+//!   over `std::net`.
+//! - [`router`] — path/method routing with `:param` captures.
+//! - [`state`] — the immutable application state (dataset, patterns,
+//!   crowd model) plus an upload overlay for visitor check-in histories
+//!   (the demo's "share your check-in history" feature).
+//! - [`api`] — the JSON/SVG endpoint handlers.
+//! - [`frontend`] — the embedded HTML/JS page.
+//! - [`server`] — the accept loop and worker pool (crossbeam channel +
+//!   threads).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use crowdweb_server::{AppState, Server};
+//! use crowdweb_synth::SynthConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = SynthConfig::small(1).generate()?;
+//! let state = AppState::build(dataset, 20)?;
+//! let server = Server::bind("127.0.0.1:0", state)?;
+//! println!("CrowdWeb listening on http://{}", server.local_addr());
+//! server.run(); // blocks
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod frontend;
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use http::{Method, Request, Response, StatusCode};
+pub use router::Router;
+pub use server::Server;
+pub use state::AppState;

@@ -1,0 +1,209 @@
+//! Path routing with `:param` captures.
+
+use crate::{Method, Request, Response, StatusCode};
+use std::collections::HashMap;
+
+/// A handler: request + captured path params → response.
+pub type Handler<S> = Box<dyn Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync>;
+
+/// A method+pattern routing table over shared state `S`.
+///
+/// Patterns are `/`-separated; a segment starting with `:` captures the
+/// corresponding request segment under that name.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_server::{Method, Request, Response, Router};
+///
+/// let mut router: Router<()> = Router::new();
+/// router.get("/api/patterns/:user", |_, _, params| {
+///     Response::json(format!("{{\"user\":\"{}\"}}", params["user"]))
+/// });
+/// let req = Request::read_from(
+///     "GET /api/patterns/42 HTTP/1.1\r\n\r\n".as_bytes()).unwrap();
+/// let resp = router.route(&(), &req);
+/// assert_eq!(resp.status.code(), 200);
+/// ```
+pub struct Router<S> {
+    routes: Vec<(Method, Vec<Segment>, Handler<S>)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+impl<S> Default for Router<S> {
+    fn default() -> Self {
+        Router::new()
+    }
+}
+
+impl<S> Router<S> {
+    /// Creates an empty router.
+    pub fn new() -> Router<S> {
+        Router { routes: Vec::new() }
+    }
+
+    /// Registers a GET route.
+    pub fn get<F>(&mut self, pattern: &str, handler: F) -> &mut Router<S>
+    where
+        F: Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Get, pattern, handler)
+    }
+
+    /// Registers a POST route.
+    pub fn post<F>(&mut self, pattern: &str, handler: F) -> &mut Router<S>
+    where
+        F: Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Post, pattern, handler)
+    }
+
+    fn add<F>(&mut self, method: Method, pattern: &str, handler: F) -> &mut Router<S>
+    where
+        F: Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
+    {
+        let segments = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_owned())
+                } else {
+                    Segment::Literal(s.to_owned())
+                }
+            })
+            .collect();
+        self.routes.push((method, segments, Box::new(handler)));
+        self
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Dispatches a request: 404 for unknown paths, 405 when the path
+    /// matches under a different method.
+    pub fn route(&self, state: &S, request: &Request) -> Response {
+        let parts: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut path_matched = false;
+        for (method, segments, handler) in &self.routes {
+            if let Some(params) = match_segments(segments, &parts) {
+                path_matched = true;
+                if *method == request.method {
+                    return handler(state, request, &params);
+                }
+            }
+        }
+        if path_matched {
+            Response::error(StatusCode::MethodNotAllowed, "method not allowed")
+        } else {
+            Response::error(StatusCode::NotFound, "not found")
+        }
+    }
+}
+
+fn match_segments(pattern: &[Segment], parts: &[&str]) -> Option<HashMap<String, String>> {
+    if pattern.len() != parts.len() {
+        return None;
+    }
+    let mut params = HashMap::new();
+    for (seg, part) in pattern.iter().zip(parts) {
+        match seg {
+            Segment::Literal(lit) => {
+                if lit != part {
+                    return None;
+                }
+            }
+            Segment::Param(name) => {
+                params.insert(name.clone(), (*part).to_owned());
+            }
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str) -> Request {
+        Request::read_from(format!("{method} {path} HTTP/1.1\r\n\r\n").as_bytes()).unwrap()
+    }
+
+    fn router() -> Router<i32> {
+        let mut r = Router::new();
+        r.get("/", |_, _, _| Response::html("home".into()));
+        r.get("/api/users", |s, _, _| Response::json(format!("{s}")));
+        r.get("/api/patterns/:user", |_, _, p| {
+            Response::json(p["user"].clone())
+        });
+        r.post("/api/upload", |_, rq, _| {
+            Response::json(format!("{}", rq.body.len()))
+        });
+        r
+    }
+
+    #[test]
+    fn exact_and_param_matching() {
+        let r = router();
+        assert_eq!(r.len(), 4);
+        let resp = r.route(&7, &req("GET", "/api/users"));
+        assert_eq!(String::from_utf8(resp.body).unwrap(), "7");
+        let resp = r.route(&7, &req("GET", "/api/patterns/42"));
+        assert_eq!(String::from_utf8(resp.body).unwrap(), "42");
+    }
+
+    #[test]
+    fn root_path_matches() {
+        let r = router();
+        let resp = r.route(&0, &req("GET", "/"));
+        assert_eq!(resp.status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let r = router();
+        assert_eq!(
+            r.route(&0, &req("GET", "/nope")).status,
+            StatusCode::NotFound
+        );
+        // Wrong arity.
+        assert_eq!(
+            r.route(&0, &req("GET", "/api/patterns/1/2")).status,
+            StatusCode::NotFound
+        );
+    }
+
+    #[test]
+    fn wrong_method_is_405() {
+        let r = router();
+        assert_eq!(
+            r.route(&0, &req("POST", "/api/users")).status,
+            StatusCode::MethodNotAllowed
+        );
+        assert_eq!(
+            r.route(&0, &req("GET", "/api/upload")).status,
+            StatusCode::MethodNotAllowed
+        );
+    }
+
+    #[test]
+    fn trailing_slash_is_equivalent() {
+        let r = router();
+        assert_eq!(
+            r.route(&0, &req("GET", "/api/users/")).status,
+            StatusCode::Ok
+        );
+    }
+}

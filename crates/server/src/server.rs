@@ -1,0 +1,257 @@
+//! The accept loop and worker pool.
+
+use crate::{api, AppState, Request, Response, Router, StatusCode};
+use crossbeam::channel::bounded;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Number of worker threads handling connections.
+const WORKERS: usize = 8;
+
+/// Default per-connection socket read timeout. Without one, an idle
+/// client pins a worker thread forever (slowloris).
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The CrowdWeb HTTP server: a listener plus a fixed worker pool fed
+/// over a crossbeam channel.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    router: Arc<Router<AppState>>,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Duration,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.local_addr())
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the server to an address (use port 0 for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind<A: ToSocketAddrs>(addr: A, state: AppState) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(state),
+            router: Arc::new(api::build_router()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            read_timeout: DEFAULT_READ_TIMEOUT,
+        })
+    }
+
+    /// Sets the per-connection read timeout (default 30 s). Idle
+    /// connections are dropped after this long.
+    pub fn read_timeout(mut self, timeout: Duration) -> Server {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// A handle that can stop a running server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Runs the accept loop on the current thread until
+    /// [`ShutdownHandle::shutdown`] is called.
+    pub fn run(self) {
+        let (tx, rx) = bounded::<TcpStream>(WORKERS * 4);
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(WORKERS);
+        for _ in 0..WORKERS {
+            let rx = rx.clone();
+            let state = Arc::clone(&self.state);
+            let router = Arc::clone(&self.router);
+            let read_timeout = self.read_timeout;
+            workers.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    // A panicking handler must not take the worker down
+                    // with it: catch, drop the connection, keep serving.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(stream, &state, &router, read_timeout);
+                    }));
+                    if result.is_err() {
+                        eprintln!("crowdweb: connection handler panicked; worker recovered");
+                    }
+                }
+            }));
+        }
+        drop(rx);
+
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    let _ = tx.send(s);
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Spawns the server on a background thread, returning its address
+    /// and shutdown handle. Convenient for tests and examples.
+    pub fn spawn(self) -> (SocketAddr, ShutdownHandle, JoinHandle<()>) {
+        let addr = self.local_addr();
+        let handle = self.shutdown_handle();
+        let join = std::thread::spawn(move || self.run());
+        (addr, handle, join)
+    }
+}
+
+/// Stops a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Signals shutdown and pokes the listener so the accept loop
+    /// observes the flag.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &AppState,
+    router: &Router<AppState>,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let response = match Request::read_from(&stream) {
+        Ok(request) => router.route(state, &request),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            Response::error(StatusCode::BadRequest, &e.to_string())
+        }
+        Err(_) => return, // connection dropped; nothing to write
+    };
+    let _ = response.write_to(&stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_synth::SynthConfig;
+    use std::io::{Read, Write};
+
+    fn spawn_server() -> (SocketAddr, ShutdownHandle, JoinHandle<()>) {
+        let dataset = SynthConfig::small(61).generate().unwrap();
+        let state = AppState::build(dataset, 20).unwrap();
+        Server::bind("127.0.0.1:0", state).unwrap().spawn()
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        let code: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_requests_end_to_end() {
+        let (addr, handle, join) = spawn_server();
+        let (code, body) = http_get(addr, "/api/stats");
+        assert_eq!(code, 200);
+        assert!(body.contains("total_checkins"));
+        let (code, body) = http_get(addr, "/");
+        assert_eq!(code, 200);
+        assert!(body.contains("CrowdWeb"));
+        let (code, _) = http_get(addr, "/nope");
+        assert_eq!(code, 404);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn handles_concurrent_clients() {
+        let (addr, handle, join) = spawn_server();
+        let mut threads = Vec::new();
+        for _ in 0..12 {
+            threads.push(std::thread::spawn(move || http_get(addr, "/api/users").0));
+        }
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 200);
+        }
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_do_not_starve_the_pool() {
+        // Slowloris regression: open more silent connections than there
+        // are workers, then confirm a real client is still served once
+        // the short read timeout reaps them.
+        let dataset = SynthConfig::small(62).users(10).generate().unwrap();
+        let state = AppState::build(dataset, 10).unwrap();
+        let (addr, handle, join) = Server::bind("127.0.0.1:0", state)
+            .unwrap()
+            .read_timeout(Duration::from_millis(300))
+            .spawn();
+        let idlers: Vec<TcpStream> = (0..12)
+            .map(|_| TcpStream::connect(addr).unwrap())
+            .collect();
+        // Give the pool time to pick the idlers up and time them out.
+        std::thread::sleep(Duration::from_millis(800));
+        let (code, _) = http_get(addr, "/api/stats");
+        assert_eq!(code, 200, "server starved by idle connections");
+        drop(idlers);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let (addr, handle, join) = spawn_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "BREW /coffee HTCPCP/1.0\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! Application state: everything the handlers serve.
+
+use crowdweb_crowd::{CrowdBuilder, CrowdModel, TimeWindows};
+use crowdweb_dataset::{Dataset, UserId};
+use crowdweb_geo::{BoundingBox, MicrocellGrid};
+use crowdweb_mobility::{PatternMiner, PlaceGraph, UserPatterns};
+use crowdweb_prep::{LabelScheme, Labeler, Prepared, Preprocessor, WindowChoice};
+use parking_lot::RwLock;
+use std::error::Error;
+
+/// A mined upload from a booth visitor ("if any audience member is
+/// willing to share their check-in history, we can upload it to the
+/// platform and visualize their patterns").
+#[derive(Debug, Clone)]
+pub struct UploadResult {
+    /// Users found in the uploaded history.
+    pub users: Vec<UserId>,
+    /// Their mined patterns.
+    pub patterns: Vec<UserPatterns>,
+    /// Check-ins parsed from the upload.
+    pub checkin_count: usize,
+}
+
+/// Immutable platform state built once at startup, plus the mutable
+/// visitor-upload slot.
+pub struct AppState {
+    dataset: Dataset,
+    prepared: Prepared,
+    patterns: Vec<UserPatterns>,
+    grid: MicrocellGrid,
+    crowd: CrowdModel,
+    min_support: f64,
+    last_upload: RwLock<Option<UploadResult>>,
+}
+
+impl std::fmt::Debug for AppState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppState")
+            .field("users", &self.prepared.user_count())
+            .field("checkins", &self.dataset.len())
+            .field("min_support", &self.min_support)
+            .finish()
+    }
+}
+
+/// Default relative support for the platform's pattern view. Voluntary
+/// check-ins are sparse, so routine items recur on a minority of active
+/// days; 0.15 recovers full routines (see the paper's Fig. 5
+/// sensitivity).
+pub const DEFAULT_MIN_SUPPORT: f64 = 0.15;
+
+/// Default microcell grid resolution (cells per side over NYC).
+pub const DEFAULT_GRID_SIDE: u32 = 20;
+
+impl AppState {
+    /// Builds the platform state with defaults: richest-3-months window,
+    /// the given activity filter, kind labels, 0.15 support, 20×20 grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing, mining, and crowd-building failures.
+    pub fn build(dataset: Dataset, min_active_days: usize) -> Result<AppState, Box<dyn Error>> {
+        AppState::with_options(
+            dataset,
+            Preprocessor::new().min_active_days(min_active_days),
+            DEFAULT_MIN_SUPPORT,
+            DEFAULT_GRID_SIDE,
+        )
+    }
+
+    /// Builds the platform state with explicit knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing, mining, and crowd-building failures.
+    pub fn with_options(
+        dataset: Dataset,
+        preprocessor: Preprocessor,
+        min_support: f64,
+        grid_side: u32,
+    ) -> Result<AppState, Box<dyn Error>> {
+        let prepared = preprocessor.prepare(&dataset)?;
+        let patterns = PatternMiner::new(min_support)?.detect_all(&prepared)?;
+        let grid = MicrocellGrid::new(BoundingBox::NYC, grid_side, grid_side)?;
+        let crowd = CrowdBuilder::new(&dataset, &prepared)
+            .windows(TimeWindows::hourly())
+            .build(&patterns, grid.clone())?;
+        Ok(AppState {
+            dataset,
+            prepared,
+            patterns,
+            grid,
+            crowd,
+            min_support,
+            last_upload: RwLock::new(None),
+        })
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The preprocessed pipeline output.
+    pub fn prepared(&self) -> &Prepared {
+        &self.prepared
+    }
+
+    /// All users' mined patterns.
+    pub fn patterns(&self) -> &[UserPatterns] {
+        &self.patterns
+    }
+
+    /// One user's patterns, if the user passed the filter.
+    pub fn patterns_of(&self, user: UserId) -> Option<&UserPatterns> {
+        self.patterns.iter().find(|p| p.user == user)
+    }
+
+    /// One user's place graph built from their daily sequences.
+    pub fn place_graph_of(&self, user: UserId) -> Option<PlaceGraph> {
+        self.prepared
+            .seqdb()
+            .sequences_of(user)
+            .map(|u| PlaceGraph::from_sequences(user, &u.sequences))
+    }
+
+    /// The display microcell grid.
+    pub fn grid(&self) -> &MicrocellGrid {
+        &self.grid
+    }
+
+    /// The synchronized crowd model.
+    pub fn crowd(&self) -> &CrowdModel {
+        &self.crowd
+    }
+
+    /// The platform's mining support threshold.
+    pub fn min_support(&self) -> f64 {
+        self.min_support
+    }
+
+    /// A labeler for rendering label names.
+    pub fn labeler(&self) -> Labeler<'_> {
+        Labeler::new(&self.dataset, self.prepared.scheme())
+    }
+
+    /// Parses an uploaded TSV check-in history, mines its users'
+    /// patterns over its full span (visitor histories are short, so no
+    /// window/filter), stores and returns the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors for malformed TSV and mining errors
+    /// otherwise.
+    pub fn ingest_upload(&self, tsv: &str) -> Result<UploadResult, Box<dyn Error>> {
+        let uploaded = crowdweb_dataset::tsv::from_str(tsv)?;
+        let prepared = Preprocessor::new()
+            .window(WindowChoice::Full)
+            .min_active_days(0)
+            .label_scheme(LabelScheme::Kind)
+            .prepare(&uploaded)?;
+        let patterns = PatternMiner::new(self.min_support)?.detect_all(&prepared)?;
+        let result = UploadResult {
+            users: prepared.users().to_vec(),
+            checkin_count: uploaded.len(),
+            patterns,
+        };
+        *self.last_upload.write() = Some(result.clone());
+        Ok(result)
+    }
+
+    /// The most recent visitor upload, if any.
+    pub fn last_upload(&self) -> Option<UploadResult> {
+        self.last_upload.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_synth::SynthConfig;
+
+    fn state() -> AppState {
+        let dataset = SynthConfig::small(51).generate().unwrap();
+        AppState::build(dataset, 20).unwrap()
+    }
+
+    #[test]
+    fn build_populates_everything() {
+        let s = state();
+        assert!(s.prepared().user_count() > 0);
+        assert_eq!(s.patterns().len(), s.prepared().user_count());
+        assert!(s.crowd().placement_count() > 0);
+        assert_eq!(s.min_support(), DEFAULT_MIN_SUPPORT);
+        assert!(!format!("{s:?}").is_empty());
+    }
+
+    #[test]
+    fn per_user_lookups() {
+        let s = state();
+        let user = s.prepared().users()[0];
+        assert!(s.patterns_of(user).is_some());
+        let graph = s.place_graph_of(user).unwrap();
+        assert!(!graph.is_empty());
+        assert!(s.patterns_of(UserId::new(9999)).is_none());
+        assert!(s.place_graph_of(UserId::new(9999)).is_none());
+    }
+
+    #[test]
+    fn upload_round_trip() {
+        let s = state();
+        assert!(s.last_upload().is_none());
+        // A tiny visitor history: same venue each morning, eatery at
+        // noon, 4 days.
+        let mut tsv = String::new();
+        for day in 1..=4 {
+            tsv.push_str(&format!(
+                "9001\thomeV\tx\tHome (private)\t40.75\t-73.99\t-240\tSun Apr {:02} 11:00:00 +0000 2012\n",
+                day
+            ));
+            tsv.push_str(&format!(
+                "9001\tthaiV\tx\tThai Restaurant\t40.76\t-73.98\t-240\tSun Apr {:02} 16:30:00 +0000 2012\n",
+                day
+            ));
+        }
+        let result = s.ingest_upload(&tsv).unwrap();
+        assert_eq!(result.checkin_count, 8);
+        assert_eq!(result.users, vec![UserId::new(9001)]);
+        let up = &result.patterns[0];
+        assert!(up.pattern_count() > 0, "visitor patterns must be mined");
+        assert!(s.last_upload().is_some());
+    }
+
+    #[test]
+    fn upload_rejects_garbage() {
+        let s = state();
+        assert!(s.ingest_upload("not\ttsv").is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! Agent profiles — the behavioural model behind the synthetic data.
+//!
+//! Each user is an agent with a home, a workplace, and a set of
+//! *category habits*: recurring activities described by a venue category
+//! and a pool of nearby concrete venues. When the habit fires, the agent
+//! picks a venue from the pool at random — the "different Thai place
+//! every lunch" flexibility the paper's place abstraction targets.
+
+use crate::rngx;
+use crate::venues::VenueUniverse;
+use crowdweb_dataset::category::CategoryKind;
+use crowdweb_dataset::{UserId, VenueId};
+use rand::Rng;
+
+/// A recurring activity: at around `hour` on matching days, with
+/// probability `probability`, visit one random venue from `pool`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Habit {
+    /// Coarse kind of the habit (what the pattern should recover).
+    pub kind: CategoryKind,
+    /// Candidate venues (the flexibility pool).
+    pub pool: Vec<VenueId>,
+    /// Local hour of day the habit fires at (0–23).
+    pub hour: u8,
+    /// Per-matching-day probability of the habit firing.
+    pub probability: f64,
+    /// Whether the habit applies on weekdays.
+    pub on_weekdays: bool,
+    /// Whether the habit applies on weekends.
+    pub on_weekends: bool,
+    /// Whether this is one of the user's *signature* habits — an
+    /// activity they nearly always announce when it happens (the
+    /// badge-hunting behaviour of real GTSM users). Signature visits
+    /// get a large check-in propensity boost, which is what sustains
+    /// high-support patterns in sparse data.
+    pub signature: bool,
+}
+
+/// A synthetic user's behavioural profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentProfile {
+    /// The user this profile belongs to.
+    pub user: UserId,
+    /// Home venue (Residence kind).
+    pub home: VenueId,
+    /// Workplace venue (Professional or CollegeUniversity kind).
+    pub work: VenueId,
+    /// Whether the agent works Monday–Friday (a small share work
+    /// irregular days instead).
+    pub regular_schedule: bool,
+    /// Probability of a morning transit check-in on workdays.
+    pub transit_probability: f64,
+    /// Transit venue near home.
+    pub transit: VenueId,
+    /// Whether arriving at work is a signature check-in (announced
+    /// nearly every time).
+    pub work_signature: bool,
+    /// All recurring habits (lunch, coffee, gym, shops, nightlife,
+    /// weekend outings…).
+    pub habits: Vec<Habit>,
+}
+
+impl AgentProfile {
+    /// Generates a profile for `user` against the venue universe.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        universe: &VenueUniverse,
+        user: UserId,
+    ) -> AgentProfile {
+        let pick = |rng: &mut R, ids: &[VenueId]| ids[rng.gen_range(0..ids.len())];
+
+        let home = pick(rng, universe.of_kind(CategoryKind::Residence));
+        // ~12% of agents are students (college workplace).
+        let work_kind = if rng.gen_bool(0.12) {
+            CategoryKind::CollegeUniversity
+        } else {
+            CategoryKind::Professional
+        };
+        let work = pick(rng, universe.of_kind(work_kind));
+        let home_loc = universe.venue(home).location();
+        let work_loc = universe.venue(work).location();
+
+        let transit_pool = universe.nearest_of_kind(CategoryKind::TravelTransport, home_loc, 3);
+        let transit = transit_pool
+            .first()
+            .copied()
+            .unwrap_or(home); // degenerate universes fall back to home
+
+        let mut habits = Vec::new();
+
+        // Lunch near work: the canonical flexible habit. Pool of 2-5
+        // nearby eateries.
+        let lunch_pool =
+            universe.nearest_of_kind(CategoryKind::Eatery, work_loc, rng.gen_range(3..=8));
+        if !lunch_pool.is_empty() {
+            habits.push(Habit {
+                kind: CategoryKind::Eatery,
+                pool: lunch_pool,
+                hour: 12,
+                probability: rng.gen_range(0.75..0.95),
+                on_weekdays: true,
+                on_weekends: false,
+                signature: false,
+            });
+        }
+
+        // Morning coffee (60% of agents).
+        if rng.gen_bool(0.6) {
+            let pool = universe.nearest_of_kind(CategoryKind::Eatery, work_loc, 4);
+            habits.push(Habit {
+                kind: CategoryKind::Eatery,
+                pool,
+                hour: 8,
+                probability: rng.gen_range(0.4..0.8),
+                on_weekdays: true,
+                on_weekends: false,
+                signature: false,
+            });
+        }
+
+        // Evening gym (50% of agents).
+        if rng.gen_bool(0.5) {
+            let pool = universe.nearest_of_kind(CategoryKind::OutdoorsRecreation, home_loc, 3);
+            habits.push(Habit {
+                kind: CategoryKind::OutdoorsRecreation,
+                pool,
+                hour: 18,
+                probability: rng.gen_range(0.3..0.6),
+                on_weekdays: true,
+                on_weekends: rng.gen_bool(0.5),
+                signature: false,
+            });
+        }
+
+        // Evening shopping/errands (everyone, low probability).
+        let shop_pool = universe.nearest_of_kind(CategoryKind::Shops, home_loc, 6);
+        habits.push(Habit {
+            kind: CategoryKind::Shops,
+            pool: shop_pool,
+            hour: 19,
+            probability: rng.gen_range(0.15..0.45),
+            on_weekdays: true,
+            on_weekends: true,
+            signature: false,
+        });
+
+        // Nightlife (55% of agents, mostly weekend-weighted).
+        if rng.gen_bool(0.55) {
+            let anchor = if rng.gen_bool(0.5) { home_loc } else { work_loc };
+            let pool = universe.nearest_of_kind(CategoryKind::NightlifeSpot, anchor, 6);
+            habits.push(Habit {
+                kind: CategoryKind::NightlifeSpot,
+                pool,
+                hour: 21,
+                probability: rng.gen_range(0.2..0.5),
+                on_weekdays: rng.gen_bool(0.3),
+                on_weekends: true,
+                signature: false,
+            });
+        }
+
+        // Weekend daytime outing: outdoors or arts.
+        let outing_kind = if rng.gen_bool(0.5) {
+            CategoryKind::OutdoorsRecreation
+        } else {
+            CategoryKind::ArtsEntertainment
+        };
+        habits.push(Habit {
+            kind: outing_kind,
+            pool: universe.nearest_of_kind(outing_kind, home_loc, 8),
+            hour: 14,
+            probability: rng.gen_range(0.3..0.7),
+            on_weekdays: false,
+            on_weekends: true,
+            signature: false,
+        });
+
+        // Weekend brunch.
+        habits.push(Habit {
+            kind: CategoryKind::Eatery,
+            pool: universe.nearest_of_kind(CategoryKind::Eatery, home_loc, 6),
+            hour: 11,
+            probability: rng.gen_range(0.3..0.6),
+            on_weekdays: false,
+            on_weekends: true,
+            signature: false,
+        });
+
+        habits.retain(|h| !h.pool.is_empty());
+
+        // Mark 1-3 signature habits: activities the user announces
+        // almost every time. Weekday habits make better signatures (they
+        // recur often enough to certify as patterns).
+        if !habits.is_empty() {
+            let count = rng.gen_range(1..=3usize.min(habits.len()));
+            let picks = rngx::sample_indices(rng, habits.len(), count);
+            for i in picks {
+                habits[i].signature = true;
+            }
+        }
+
+        AgentProfile {
+            user,
+            home,
+            work,
+            regular_schedule: rng.gen_bool(0.85),
+            transit_probability: rng.gen_range(0.2..0.6),
+            transit,
+            // ~35% of users religiously check in on arriving at work.
+            work_signature: rng.gen_bool(0.35),
+            habits,
+        }
+    }
+
+    /// Picks a venue from a habit's pool uniformly at random.
+    pub fn choose_from_pool<R: Rng + ?Sized>(rng: &mut R, habit: &Habit) -> VenueId {
+        habit.pool[rngx::sample_indices(rng, habit.pool.len(), 1)[0]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(seed: u64) -> (AgentProfile, VenueUniverse) {
+        let config = SynthConfig::small(seed);
+        let universe = VenueUniverse::generate(&config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            AgentProfile::generate(&mut rng, &universe, UserId::new(0)),
+            universe,
+        )
+    }
+
+    #[test]
+    fn home_is_residence_work_is_workplace() {
+        let (p, u) = profile(1);
+        let home_kind = u
+            .taxonomy()
+            .kind_of(u.venue(p.home).category())
+            .unwrap();
+        assert_eq!(home_kind, CategoryKind::Residence);
+        let work_kind = u
+            .taxonomy()
+            .kind_of(u.venue(p.work).category())
+            .unwrap();
+        assert!(matches!(
+            work_kind,
+            CategoryKind::Professional | CategoryKind::CollegeUniversity
+        ));
+    }
+
+    #[test]
+    fn has_flexible_lunch_habit() {
+        let (p, _) = profile(2);
+        let lunch = p
+            .habits
+            .iter()
+            .find(|h| h.hour == 12 && h.kind == CategoryKind::Eatery)
+            .expect("every agent has a lunch habit");
+        assert!(lunch.pool.len() >= 2, "lunch pool must be flexible");
+        assert!(lunch.on_weekdays && !lunch.on_weekends);
+    }
+
+    #[test]
+    fn habit_pools_are_nonempty_and_valid() {
+        let (p, u) = profile(3);
+        for h in &p.habits {
+            assert!(!h.pool.is_empty());
+            assert!((0.0..=1.0).contains(&h.probability));
+            assert!(h.hour < 24);
+            for &v in &h.pool {
+                let kind = u.taxonomy().kind_of(u.venue(v).category()).unwrap();
+                assert_eq!(kind, h.kind, "pool venue kind mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (a, _) = profile(7);
+        let (b, _) = profile(7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn choose_from_pool_stays_in_pool() {
+        let (p, _) = profile(4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let habit = &p.habits[0];
+        for _ in 0..20 {
+            let v = AgentProfile::choose_from_pool(&mut rng, habit);
+            assert!(habit.pool.contains(&v));
+        }
+    }
+}

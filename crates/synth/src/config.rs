@@ -1,0 +1,312 @@
+//! Generator configuration.
+
+use crate::{generate, SynthError};
+use crowdweb_dataset::{CivilDate, Dataset};
+use crowdweb_geo::BoundingBox;
+use serde::{Deserialize, Serialize};
+
+/// A one-off city event (concert, game) that draws a city-wide crowd to
+/// one venue on one evening — the crowd-management scenario of the
+/// paper's introduction. Injected via [`SynthConfig::event`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityEvent {
+    /// Display name, e.g. `"stadium concert"`.
+    pub name: String,
+    /// Day offset from the collection start the event happens on.
+    pub day_offset: u32,
+    /// Local hour the crowd arrives.
+    pub hour: u8,
+    /// Probability that any given user attends.
+    pub attendance: f64,
+}
+
+/// Configuration for the synthetic check-in generator (C-BUILDER: the
+/// struct itself is the builder; setters chain and [`SynthConfig::generate`]
+/// is the terminal method).
+///
+/// Defaults reproduce the paper's Foursquare NYC statistics at full
+/// scale; [`SynthConfig::small`] gives a fast deterministic miniature
+/// for tests.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = SynthConfig::small(1).users(30).generate()?;
+/// assert_eq!(dataset.user_count(), 30);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    pub(crate) seed: u64,
+    pub(crate) num_users: usize,
+    pub(crate) num_venues: usize,
+    pub(crate) num_hotspots: usize,
+    pub(crate) bounds: BoundingBox,
+    pub(crate) start: CivilDate,
+    pub(crate) num_days: u32,
+    pub(crate) mean_records_per_user: f64,
+    pub(crate) median_records_per_user: f64,
+    pub(crate) tz_offset_minutes: i32,
+    pub(crate) monthly_engagement_decay: f64,
+    #[serde(default)]
+    pub(crate) events: Vec<CityEvent>,
+}
+
+impl Default for SynthConfig {
+    /// Full paper scale: 1,083 users, 11 months from April 2012, NYC
+    /// bounds, mean ≈ 210 / median ≈ 153 records per user.
+    fn default() -> Self {
+        SynthConfig {
+            seed: 0xC0FFEE,
+            num_users: 1_083,
+            num_venues: 12_000,
+            num_hotspots: 30,
+            bounds: BoundingBox::NYC,
+            start: CivilDate::new(2012, 4, 3).expect("valid constant"),
+            num_days: 330,
+            mean_records_per_user: 210.0,
+            median_records_per_user: 153.0,
+            tz_offset_minutes: -240,
+            monthly_engagement_decay: 0.90,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Full paper-scale configuration (see [`Default`]).
+    pub fn paper_nyc() -> SynthConfig {
+        SynthConfig::default()
+    }
+
+    /// A miniature configuration for tests and quick examples: 40 users,
+    /// 400 venues, 3 months starting April 2012, deterministic from
+    /// `seed`.
+    pub fn small(seed: u64) -> SynthConfig {
+        SynthConfig {
+            seed,
+            num_users: 40,
+            num_venues: 400,
+            num_hotspots: 8,
+            num_days: 91,
+            mean_records_per_user: 80.0,
+            median_records_per_user: 65.0,
+            ..SynthConfig::default()
+        }
+    }
+
+    /// Sets the RNG seed (generation is fully deterministic in it).
+    pub fn seed(mut self, seed: u64) -> SynthConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of users.
+    pub fn users(mut self, n: usize) -> SynthConfig {
+        self.num_users = n;
+        self
+    }
+
+    /// Sets the number of venues in the universe.
+    pub fn venues(mut self, n: usize) -> SynthConfig {
+        self.num_venues = n;
+        self
+    }
+
+    /// Sets the number of spatial hotspots venues cluster around.
+    pub fn hotspots(mut self, n: usize) -> SynthConfig {
+        self.num_hotspots = n;
+        self
+    }
+
+    /// Sets the city bounding box.
+    pub fn bounds(mut self, bounds: BoundingBox) -> SynthConfig {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Sets the first collection day.
+    pub fn start(mut self, start: CivilDate) -> SynthConfig {
+        self.start = start;
+        self
+    }
+
+    /// Sets the number of collection days.
+    pub fn days(mut self, n: u32) -> SynthConfig {
+        self.num_days = n;
+        self
+    }
+
+    /// Sets the per-user record-count distribution via its mean and
+    /// median (log-normal).
+    pub fn records_per_user(mut self, mean: f64, median: f64) -> SynthConfig {
+        self.mean_records_per_user = mean;
+        self.median_records_per_user = median;
+        self
+    }
+
+    /// Sets the fixed timezone offset stamped on records (minutes east of
+    /// UTC; New York EDT is −240, the default).
+    pub fn tz_offset(mut self, minutes: i32) -> SynthConfig {
+        self.tz_offset_minutes = minutes;
+        self
+    }
+
+    /// Injects a one-off city event (see [`CityEvent`]); may be called
+    /// multiple times.
+    pub fn event(mut self, event: CityEvent) -> SynthConfig {
+        self.events.push(event);
+        self
+    }
+
+    /// The configured events.
+    pub fn events(&self) -> &[CityEvent] {
+        &self.events
+    }
+
+    /// Sets the month-over-month engagement decay factor in `(0, 1]`.
+    /// 1.0 means uniform months; lower values concentrate check-ins in
+    /// the early (April–June) window as in the real data.
+    pub fn engagement_decay(mut self, factor: f64) -> SynthConfig {
+        self.monthly_engagement_decay = factor;
+        self
+    }
+
+    /// Number of users this configuration will generate.
+    pub fn user_count(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of collection days.
+    pub fn day_count(&self) -> u32 {
+        self.num_days
+    }
+
+    /// First collection day.
+    pub fn start_date(&self) -> CivilDate {
+        self.start
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SynthError> {
+        if self.num_users == 0 {
+            return Err(SynthError::InvalidConfig("num_users must be positive"));
+        }
+        if self.num_venues < 50 {
+            return Err(SynthError::InvalidConfig(
+                "num_venues must be at least 50 to cover all categories",
+            ));
+        }
+        if self.num_hotspots == 0 {
+            return Err(SynthError::InvalidConfig("num_hotspots must be positive"));
+        }
+        if self.num_days == 0 {
+            return Err(SynthError::InvalidConfig("num_days must be positive"));
+        }
+        if !(self.mean_records_per_user.is_finite() && self.mean_records_per_user > 0.0) {
+            return Err(SynthError::InvalidConfig(
+                "mean_records_per_user must be positive",
+            ));
+        }
+        if !(self.median_records_per_user.is_finite() && self.median_records_per_user > 0.0) {
+            return Err(SynthError::InvalidConfig(
+                "median_records_per_user must be positive",
+            ));
+        }
+        if self.mean_records_per_user < self.median_records_per_user {
+            return Err(SynthError::InvalidConfig(
+                "mean_records_per_user must be >= median (log-normal)",
+            ));
+        }
+        if !(0.0 < self.monthly_engagement_decay && self.monthly_engagement_decay <= 1.0) {
+            return Err(SynthError::InvalidConfig(
+                "monthly_engagement_decay must be in (0, 1]",
+            ));
+        }
+        if !(-840..=840).contains(&self.tz_offset_minutes) {
+            return Err(SynthError::InvalidConfig(
+                "tz_offset_minutes must be within +-14 hours",
+            ));
+        }
+        for e in &self.events {
+            if e.day_offset >= self.num_days {
+                return Err(SynthError::InvalidConfig(
+                    "event day_offset outside the collection period",
+                ));
+            }
+            if e.hour >= 24 {
+                return Err(SynthError::InvalidConfig("event hour must be 0-23"));
+            }
+            if !(0.0..=1.0).contains(&e.attendance) {
+                return Err(SynthError::InvalidConfig(
+                    "event attendance must be in [0, 1]",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the generator and produces the dataset (terminal method).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::InvalidConfig`] if [`Self::validate`] fails.
+    pub fn generate(&self) -> Result<Dataset, SynthError> {
+        self.validate()?;
+        generate::run(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_scale() {
+        let c = SynthConfig::default();
+        assert_eq!(c.num_users, 1_083);
+        assert_eq!(c.mean_records_per_user, 210.0);
+        assert_eq!(c.median_records_per_user, 153.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn small_is_valid() {
+        assert!(SynthConfig::small(0).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        assert!(SynthConfig::small(0).users(0).validate().is_err());
+        assert!(SynthConfig::small(0).venues(10).validate().is_err());
+        assert!(SynthConfig::small(0).hotspots(0).validate().is_err());
+        assert!(SynthConfig::small(0).days(0).validate().is_err());
+        assert!(SynthConfig::small(0)
+            .records_per_user(0.0, 1.0)
+            .validate()
+            .is_err());
+        assert!(SynthConfig::small(0)
+            .records_per_user(10.0, 20.0)
+            .validate()
+            .is_err());
+        assert!(SynthConfig::small(0).engagement_decay(0.0).validate().is_err());
+        assert!(SynthConfig::small(0).engagement_decay(1.5).validate().is_err());
+        assert!(SynthConfig::small(0).tz_offset(10_000).validate().is_err());
+    }
+
+    #[test]
+    fn setters_chain() {
+        let c = SynthConfig::small(1).users(5).days(10).seed(9);
+        assert_eq!(c.user_count(), 5);
+        assert_eq!(c.day_count(), 10);
+        assert_eq!(c.seed, 9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for synthetic generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`crate::SynthConfig`] validation or generation.
+#[derive(Debug)]
+pub enum SynthError {
+    /// A configuration field was out of range.
+    InvalidConfig(&'static str),
+    /// The underlying dataset build failed (should not happen for
+    /// generator output; indicates a bug).
+    Dataset(crowdweb_dataset::DatasetError),
+    /// A geographic operation failed (should not happen for in-bounds
+    /// generation; indicates a bug).
+    Geo(crowdweb_geo::GeoError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::InvalidConfig(what) => write!(f, "invalid generator config: {what}"),
+            SynthError::Dataset(e) => write!(f, "dataset build failed: {e}"),
+            SynthError::Geo(e) => write!(f, "geographic operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::InvalidConfig(_) => None,
+            SynthError::Dataset(e) => Some(e),
+            SynthError::Geo(e) => Some(e),
+        }
+    }
+}
+
+impl From<crowdweb_dataset::DatasetError> for SynthError {
+    fn from(e: crowdweb_dataset::DatasetError) -> Self {
+        SynthError::Dataset(e)
+    }
+}
+
+impl From<crowdweb_geo::GeoError> for SynthError {
+    fn from(e: crowdweb_geo::GeoError) -> Self {
+        SynthError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthError>();
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = SynthError::from(crowdweb_geo::GeoError::EmptyGrid);
+        assert!(e.source().is_some());
+        assert!(SynthError::InvalidConfig("x").source().is_none());
+    }
+}

@@ -1,0 +1,440 @@
+//! The simulation loop: agents visit venues day by day, then voluntary
+//! check-in thinning calibrates the record counts.
+
+use crate::agent::AgentProfile;
+use crate::rngx;
+use crate::venues::VenueUniverse;
+use crate::{SynthConfig, SynthError};
+use crowdweb_dataset::{CheckIn, CivilDate, Dataset, Timestamp, UserId, VenueId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One candidate visit before check-in thinning.
+#[derive(Debug, Clone, Copy)]
+struct Visit {
+    venue: VenueId,
+    date: CivilDate,
+    hour: u8,
+    minute: u8,
+    second: u8,
+    /// Zero-based month index since the start date, for engagement decay.
+    month_index: u32,
+    /// Relative propensity to *announce* this visit (kind-dependent).
+    announce_weight: f64,
+}
+
+/// Relative check-in (announcement) propensity per venue kind, indexed
+/// by [`crowdweb_dataset::CategoryKind::index`]. GTSM users broadcast
+/// outings (eateries, nightlife, events, travel) far more readily than
+/// being at home or at their desk — a well-documented Foursquare bias
+/// that concentrates records on the interesting parts of a routine.
+const ANNOUNCE_WEIGHTS: [f64; 9] = [
+    2.2, // ArtsEntertainment
+    1.0, // CollegeUniversity
+    2.0, // Eatery
+    2.5, // NightlifeSpot
+    1.6, // OutdoorsRecreation
+    0.9, // Professional
+    0.5, // Residence
+    1.4, // Shops
+    1.2, // TravelTransport
+];
+
+/// Multiplier applied to a signature visit's announce weight. Large
+/// enough that signature routines are recorded on most of their
+/// occurrences, which is what keeps patterns alive at the paper's
+/// higher support thresholds (0.5-0.75).
+const SIGNATURE_BOOST: f64 = 10.0;
+
+/// Runs the generator (entry point used by [`SynthConfig::generate`]).
+pub(crate) fn run(config: &SynthConfig) -> Result<Dataset, SynthError> {
+    let universe = VenueUniverse::generate(config);
+    // Resolve each event to a fixed entertainment venue, round-robin
+    // over the universe's entertainment stock.
+    let arts = universe.of_kind(crowdweb_dataset::CategoryKind::ArtsEntertainment);
+    let event_venues: Vec<(u32, u8, f64, VenueId)> = config
+        .events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.day_offset, e.hour, e.attendance, arts[i % arts.len()]))
+        .collect();
+    let mut builder = Dataset::builder();
+    builder.taxonomy(universe.taxonomy().clone());
+    for v in universe.venues() {
+        builder.add_venue(v.clone());
+    }
+
+    for user_idx in 0..config.num_users {
+        let user = UserId::new(user_idx as u32);
+        // Per-user RNG stream: independent of other users, so changing
+        // num_users does not reshuffle everyone.
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(user_idx as u64),
+        );
+        let profile = AgentProfile::generate(&mut rng, &universe, user);
+        let visits = simulate_visits(&mut rng, config, &universe, &profile, &event_venues);
+        let selected = thin_to_target(&mut rng, config, &visits);
+        for v in selected {
+            builder.add_checkin(make_checkin(config, user, &v));
+        }
+    }
+
+    Ok(builder.build()?)
+}
+
+/// Simulates every (unthinned) visit an agent makes over the collection
+/// period.
+fn simulate_visits(
+    rng: &mut StdRng,
+    config: &SynthConfig,
+    universe: &VenueUniverse,
+    profile: &AgentProfile,
+    event_venues: &[(u32, u8, f64, VenueId)],
+) -> Vec<Visit> {
+    let mut visits = Vec::new();
+    let start_days = config.start.to_epoch_days();
+    let start_month = (config.start.year(), config.start.month());
+
+    for day_offset in 0..config.num_days {
+        let date = CivilDate::from_epoch_days(start_days + i64::from(day_offset));
+        let month_index = months_between(start_month, (date.year(), date.month()));
+        let weekend = date.weekday().is_weekend();
+        let workday = if profile.regular_schedule {
+            !weekend
+        } else {
+            // Irregular workers: 5 random-ish days via a hash of the date.
+            (date.to_epoch_days() * 2_654_435_761 % 7) < 5
+        };
+
+        let mut push = |rng: &mut StdRng, venue: VenueId, hour: u8, signature: bool| {
+            let kind = universe
+                .taxonomy()
+                .kind_of(universe.venue(venue).category())
+                .expect("universe venues are categorized");
+            let boost = if signature { SIGNATURE_BOOST } else { 1.0 };
+            visits.push(Visit {
+                venue,
+                date,
+                hour,
+                minute: rng.gen_range(0..60),
+                second: rng.gen_range(0..60),
+                month_index,
+                announce_weight: ANNOUNCE_WEIGHTS[kind.index()] * boost,
+            });
+        };
+
+        if workday {
+            // Morning at home, transit, arrival at work.
+            push(rng, profile.home, 7, false);
+            if rng.gen_bool(profile.transit_probability) {
+                push(rng, profile.transit, 8, false);
+            }
+            push(rng, profile.work, 9, profile.work_signature);
+            // Occasionally a second workplace check-in after lunch.
+            if rng.gen_bool(0.3) {
+                push(rng, profile.work, 14, false);
+            }
+        } else {
+            // Late morning at home.
+            push(rng, profile.home, 9, false);
+        }
+
+        for habit in &profile.habits {
+            let applies = if weekend || !workday {
+                habit.on_weekends
+            } else {
+                habit.on_weekdays
+            };
+            if applies && rng.gen_bool(habit.probability) {
+                let venue = AgentProfile::choose_from_pool(rng, habit);
+                push(rng, venue, habit.hour, habit.signature);
+            }
+        }
+
+        // City events: a crowd converges on one venue. Attending is a
+        // highly announceable visit.
+        for &(event_day, hour, attendance, venue) in event_venues {
+            if event_day == day_offset && rng.gen_bool(attendance) {
+                push(rng, venue, hour, true);
+            }
+        }
+
+        // Evening return home.
+        push(rng, profile.home, 22, false);
+    }
+    visits
+}
+
+/// Whole months from `from` to `to` (both `(year, month)`), clamped at 0.
+fn months_between(from: (i32, u8), to: (i32, u8)) -> u32 {
+    let a = from.0 * 12 + i32::from(from.1);
+    let b = to.0 * 12 + i32::from(to.1);
+    (b - a).max(0) as u32
+}
+
+/// Thins visits down to a per-user record target drawn from the
+/// configured log-normal, weighting early months higher (engagement
+/// decay). Weighted sampling without replacement via the
+/// Efraimidis–Spirakis exponential-key trick.
+fn thin_to_target(rng: &mut StdRng, config: &SynthConfig, visits: &[Visit]) -> Vec<Visit> {
+    if visits.is_empty() {
+        return Vec::new();
+    }
+    let target_f = rngx::lognormal_mean_median(
+        rng,
+        config.mean_records_per_user,
+        config.median_records_per_user,
+    );
+    let target = (rngx::stochastic_round(rng, target_f) as usize)
+        .clamp(1, visits.len());
+
+    let mut keyed: Vec<(f64, usize)> = visits
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let w = (config
+                .monthly_engagement_decay
+                .powi(v.month_index as i32)
+                * v.announce_weight)
+                .max(1e-9);
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            // Smaller key = more likely selected; weight divides the
+            // exponential draw.
+            (-u.ln() / w, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut selected: Vec<Visit> = keyed[..target].iter().map(|&(_, i)| visits[i]).collect();
+    selected.sort_by_key(|v| (v.date, v.hour, v.minute, v.second));
+    selected
+}
+
+/// Converts a local-time visit into a UTC check-in record.
+fn make_checkin(config: &SynthConfig, user: UserId, v: &Visit) -> CheckIn {
+    let local = Timestamp::from_civil(
+        v.date.year(),
+        v.date.month(),
+        v.date.day(),
+        v.hour,
+        v.minute,
+        v.second,
+    )
+    .expect("simulated visit times are valid");
+    let utc = local.plus_seconds(-i64::from(config.tz_offset_minutes) * 60);
+    CheckIn::new(user, v.venue, utc, config.tz_offset_minutes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_dataset::DatasetStats;
+
+    #[test]
+    fn generates_requested_users() {
+        let d = SynthConfig::small(1).generate().unwrap();
+        assert_eq!(d.user_count(), 40);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = SynthConfig::small(5).generate().unwrap();
+        let b = SynthConfig::small(5).generate().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.checkins(), b.checkins());
+        let c = SynthConfig::small(6).generate().unwrap();
+        assert_ne!(a.checkins(), c.checkins());
+    }
+
+    #[test]
+    fn adding_users_preserves_existing_streams() {
+        let a = SynthConfig::small(5).users(10).generate().unwrap();
+        let b = SynthConfig::small(5).users(20).generate().unwrap();
+        for u in a.user_ids() {
+            assert_eq!(a.checkins_of(u), b.checkins_of(u), "user {u} reshuffled");
+        }
+    }
+
+    #[test]
+    fn checkins_are_local_daytime_plausible() {
+        let d = SynthConfig::small(2).generate().unwrap();
+        for c in d.checkins().iter().take(500) {
+            let local = c.local_time();
+            assert!((7..=22).contains(&local.hour), "hour {}", local.hour);
+        }
+    }
+
+    #[test]
+    fn collection_period_respected() {
+        let config = SynthConfig::small(3);
+        let d = config.generate().unwrap();
+        let start = config.start_date().to_epoch_days();
+        let end = start + i64::from(config.day_count());
+        for c in d.checkins() {
+            let day = c.local_date().to_epoch_days();
+            assert!((start..end).contains(&day));
+        }
+    }
+
+    #[test]
+    fn dataset_is_sparse_like_paper() {
+        let d = SynthConfig::small(4).generate().unwrap();
+        let stats = DatasetStats::compute(&d);
+        assert!(stats.is_sparse(), "{stats:?}");
+    }
+
+    #[test]
+    fn engagement_decay_enriches_early_months() {
+        // 6-month run with strong decay: first 3 months must hold more
+        // records than the last 3.
+        let config = SynthConfig::small(8).days(182).engagement_decay(0.7);
+        let d = config.generate().unwrap();
+        let stats = DatasetStats::compute(&d);
+        let months: Vec<usize> = stats.monthly_counts.values().copied().collect();
+        assert!(months.len() >= 6, "{months:?}");
+        let early: usize = months[..3].iter().sum();
+        let late: usize = months[months.len() - 3..].iter().sum();
+        assert!(early > late, "early {early} late {late}");
+        let (richest, _) = stats.richest_window(3).unwrap();
+        assert_eq!(
+            (richest.year, richest.month),
+            (2012, 4),
+            "richest window should start at the collection start"
+        );
+    }
+
+    #[test]
+    fn mean_and_median_near_targets() {
+        // Use a mid-sized run for tighter statistics.
+        let config = SynthConfig::small(9)
+            .users(150)
+            .days(330)
+            .records_per_user(210.0, 153.0);
+        let d = config.generate().unwrap();
+        let stats = DatasetStats::compute(&d);
+        // The log-normal's std is ~mean, so the sample-mean std over
+        // 150 users is ~17; allow ~2 sigma.
+        assert!(
+            (stats.mean_records_per_user - 210.0).abs() < 35.0,
+            "mean {}",
+            stats.mean_records_per_user
+        );
+        assert!(
+            (stats.median_records_per_user - 153.0).abs() < 25.0,
+            "median {}",
+            stats.median_records_per_user
+        );
+    }
+
+    #[test]
+    fn temporal_rhythm_matches_gtsm_character() {
+        use crowdweb_dataset::ActivityProfile;
+        let d = SynthConfig::small(23).generate().unwrap();
+        let profile = ActivityProfile::of_dataset(&d);
+        let hourly = profile.hourly_totals();
+        // Daytime and evening dominate the small hours.
+        let night: u64 = hourly[0..6].iter().sum();
+        let day: u64 = hourly[8..22].iter().sum();
+        assert!(day > night * 5, "day {day} night {night}");
+        // Lunch hour is busy (the flexible-lunch habit).
+        assert!(hourly[12] > hourly[15], "{hourly:?}");
+        // Weekends hold a meaningful share but less than 2/7 + slack of
+        // the mass (weekday routines dominate).
+        let wf = profile.weekend_fraction();
+        assert!((0.1..0.45).contains(&wf), "weekend fraction {wf}");
+    }
+
+    #[test]
+    fn events_draw_a_crowd_on_their_day() {
+        use crate::config::CityEvent;
+        let config = SynthConfig::small(77).event(CityEvent {
+            name: "stadium concert".into(),
+            day_offset: 10,
+            hour: 20,
+            attendance: 0.9,
+        });
+        let d = config.generate().unwrap();
+        // Find the venue with the most check-ins on day 10 at hour 20.
+        let event_date = CivilDate::from_epoch_days(
+            config.start_date().to_epoch_days() + 10,
+        );
+        let mut per_venue: std::collections::HashMap<VenueId, usize> =
+            std::collections::HashMap::new();
+        for c in d.checkins() {
+            let local = c.local_time();
+            if local.date == event_date && local.hour == 20 {
+                *per_venue.entry(c.venue()).or_insert(0) += 1;
+            }
+        }
+        let peak = per_venue.values().max().copied().unwrap_or(0);
+        // With 40 users at 90% attendance and a strong announce boost, a
+        // sizable crowd must be recorded at one venue.
+        assert!(peak >= 10, "event crowd too small: {peak}");
+    }
+
+    #[test]
+    fn event_validation() {
+        use crate::config::CityEvent;
+        let bad_day = SynthConfig::small(1).event(CityEvent {
+            name: "x".into(),
+            day_offset: 9999,
+            hour: 20,
+            attendance: 0.5,
+        });
+        assert!(bad_day.validate().is_err());
+        let bad_hour = SynthConfig::small(1).event(CityEvent {
+            name: "x".into(),
+            day_offset: 1,
+            hour: 24,
+            attendance: 0.5,
+        });
+        assert!(bad_hour.validate().is_err());
+        let bad_att = SynthConfig::small(1).event(CityEvent {
+            name: "x".into(),
+            day_offset: 1,
+            hour: 20,
+            attendance: 1.5,
+        });
+        assert!(bad_att.validate().is_err());
+    }
+
+    #[test]
+    fn months_between_clamps() {
+        assert_eq!(months_between((2012, 4), (2012, 4)), 0);
+        assert_eq!(months_between((2012, 4), (2012, 6)), 2);
+        assert_eq!(months_between((2012, 4), (2013, 2)), 10);
+        assert_eq!(months_between((2012, 4), (2012, 1)), 0);
+    }
+
+    #[test]
+    fn lunch_flexibility_visible_in_data() {
+        // At least one user should visit 2+ distinct eatery venues at
+        // local noon — the Thai-lunch phenomenon.
+        let d = SynthConfig::small(10).generate().unwrap();
+        let tax = d.taxonomy();
+        let mut found = false;
+        for u in d.user_ids() {
+            let mut noon_venues: Vec<VenueId> = d
+                .checkins_of(u)
+                .iter()
+                .filter(|c| c.local_time().hour == 12)
+                .filter(|c| {
+                    let v = d.venue(c.venue()).unwrap();
+                    tax.kind_of(v.category())
+                        == Some(crowdweb_dataset::CategoryKind::Eatery)
+                })
+                .map(|c| c.venue())
+                .collect();
+            noon_venues.sort();
+            noon_venues.dedup();
+            if noon_venues.len() >= 2 {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no flexible lunch behaviour in sample");
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic GTSM check-in generator, calibrated to the CrowdWeb paper's
+//! Foursquare New York City dataset.
+//!
+//! The real Foursquare data (227,428 check-ins by 1,083 users, April 2012
+//! to February 2013) is not redistributable, so this crate *simulates*
+//! it: agents with homes, workplaces, and probabilistic daily routines
+//! move through a synthetic venue universe laid over the NYC bounding
+//! box and voluntarily check in at some of their visits.
+//!
+//! Three properties of the real data matter to CrowdWeb's evaluation and
+//! are reproduced deliberately:
+//!
+//! 1. **Sparsity** — voluntary check-ins give each user far fewer records
+//!    than visits (the paper: mean ≈ 210, median ≈ 153 records over
+//!    ~330 days, i.e. less than one per day). Per-user record targets are
+//!    drawn from a log-normal distribution with exactly that mean/median
+//!    and the selection step thins visits to hit the targets.
+//! 2. **Monthly richness** — engagement decays over the collection
+//!    period, making April–June the richest three-month window, which the
+//!    paper selects for its experiments.
+//! 3. **Flexible routines** — agents have *category* habits, not venue
+//!    habits: a "Thai lunch" agent picks a different Thai venue from a
+//!    pool each day. This is precisely the phenomenon CrowdWeb's place
+//!    abstraction exists to detect.
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_synth::SynthConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small deterministic dataset for tests and examples.
+//! let dataset = SynthConfig::small(42).generate()?;
+//! assert!(dataset.len() > 0);
+//! assert_eq!(dataset.user_count(), SynthConfig::small(42).user_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod config;
+pub mod error;
+pub mod generate;
+pub mod rngx;
+pub mod venues;
+
+pub use agent::AgentProfile;
+pub use config::{CityEvent, SynthConfig};
+pub use error::SynthError;
+pub use venues::VenueUniverse;

@@ -1,0 +1,173 @@
+//! Random-sampling helpers on top of `rand`.
+//!
+//! The approved dependency set includes `rand` but not `rand_distr`, so
+//! the handful of distributions the generator needs (normal, log-normal,
+//! weighted choice, Poisson-ish counts) are implemented here.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, std_dev²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a log-normal with the given *median* and *mean*.
+///
+/// For `LogNormal(mu, sigma)`, `median = exp(mu)` and
+/// `mean = exp(mu + sigma²/2)`, so `sigma = sqrt(2 ln(mean/median))`.
+/// This parameterization matches how the paper reports its per-user
+/// record counts (mean ≈ 210, median ≈ 153).
+///
+/// # Panics
+///
+/// Panics if `median <= 0` or `mean < median` (no such log-normal
+/// exists).
+pub fn lognormal_mean_median<R: Rng + ?Sized>(rng: &mut R, mean: f64, median: f64) -> f64 {
+    assert!(median > 0.0, "median must be positive");
+    assert!(mean >= median, "mean must be >= median for a log-normal");
+    let mu = median.ln();
+    let sigma = (2.0 * (mean / median).ln()).sqrt();
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Picks an index in `[0, weights.len())` with probability proportional
+/// to `weights[i]`. Returns `None` for an empty slice or non-positive
+/// total weight.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    weights
+        .iter()
+        .rposition(|w| w.is_finite() && *w > 0.0)
+}
+
+/// Stochastic rounding: `floor(x)` or `ceil(x)` with probability equal
+/// to the fractional part, so the expectation is exactly `x`.
+pub fn stochastic_round<R: Rng + ?Sized>(rng: &mut R, x: f64) -> u64 {
+    if x <= 0.0 {
+        return 0;
+    }
+    let floor = x.floor();
+    let frac = x - floor;
+    floor as u64 + u64::from(rng.gen_bool(frac.clamp(0.0, 1.0)))
+}
+
+/// Samples `k` distinct indices from `[0, n)` uniformly (partial
+/// Fisher–Yates). If `k >= n`, returns all of `0..n`.
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let k = k.min(n);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_var() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_matches_target_mean_and_median() {
+        let mut r = rng();
+        let n = 40_000;
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| lognormal_mean_median(&mut r, 210.0, 153.0))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((mean - 210.0).abs() < 10.0, "mean {mean}");
+        assert!((median - 153.0).abs() < 6.0, "median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be >=")]
+    fn lognormal_rejects_mean_below_median() {
+        lognormal_mean_median(&mut rng(), 100.0, 153.0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut r, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_edge_cases() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&mut r, &[]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut r, &[f64::NAN, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn stochastic_round_expectation() {
+        let mut r = rng();
+        let total: u64 = (0..10_000).map(|_| stochastic_round(&mut r, 2.3)).sum();
+        let mean = total as f64 / 10_000.0;
+        assert!((mean - 2.3).abs() < 0.05, "mean {mean}");
+        assert_eq!(stochastic_round(&mut r, -1.0), 0);
+        assert_eq!(stochastic_round(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = rng();
+        let s = sample_indices(&mut r, 100, 10);
+        assert_eq!(s.len(), 10);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(s.iter().all(|&i| i < 100));
+        // k >= n returns everything.
+        assert_eq!(sample_indices(&mut r, 3, 10).len(), 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Synthetic venue universe generation.
+//!
+//! Venues are not uniform over the city: real check-in venues cluster in
+//! neighbourhoods. The universe scatters *hotspot* centres over the
+//! bounding box and places venues around them with normally distributed
+//! offsets, assigning categories with realistic kind weights (eateries
+//! and shops dominate, as in the Foursquare data).
+
+use crate::rngx;
+use crate::SynthConfig;
+use crowdweb_dataset::category::CategoryKind;
+use crowdweb_dataset::{Taxonomy, Venue, VenueId};
+use crowdweb_geo::LatLon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative frequency of each [`CategoryKind`] in the venue universe,
+/// indexed by [`CategoryKind::index`]. Roughly mirrors the Foursquare NYC
+/// category mix.
+pub const KIND_WEIGHTS: [f64; 9] = [
+    0.07, // ArtsEntertainment
+    0.04, // CollegeUniversity
+    0.30, // Eatery
+    0.08, // NightlifeSpot
+    0.09, // OutdoorsRecreation
+    0.13, // Professional
+    0.10, // Residence
+    0.13, // Shops
+    0.06, // TravelTransport
+];
+
+/// The generated venue universe: venues plus kind-indexed lookup tables.
+#[derive(Debug, Clone)]
+pub struct VenueUniverse {
+    venues: Vec<Venue>,
+    taxonomy: Taxonomy,
+    by_kind: [Vec<VenueId>; 9],
+    hotspots: Vec<LatLon>,
+}
+
+impl VenueUniverse {
+    /// Generates the universe for a configuration. Deterministic in
+    /// `config.seed`.
+    pub fn generate(config: &SynthConfig) -> VenueUniverse {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_0001);
+        let taxonomy = Taxonomy::foursquare();
+        let bounds = config.bounds;
+
+        // Hotspot centres, kept away from the extreme edges.
+        let hotspots: Vec<LatLon> = (0..config.num_hotspots)
+            .map(|_| bounds.lerp(rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)))
+            .collect();
+
+        // Venue placement: pick a hotspot (early ones are "denser" via a
+        // geometric-ish weight), offset by a ~700 m Gaussian scatter.
+        let hotspot_weights: Vec<f64> = (0..hotspots.len())
+            .map(|i| 1.0 / (1.0 + i as f64 * 0.15))
+            .collect();
+        let mut venues = Vec::with_capacity(config.num_venues);
+        let mut by_kind: [Vec<VenueId>; 9] = Default::default();
+
+        for i in 0..config.num_venues {
+            let id = VenueId::new(i as u32);
+            // Guarantee at least a few venues of every kind by cycling
+            // kinds for the first few dozen venues.
+            let kind = if i < 4 * CategoryKind::ALL.len() {
+                CategoryKind::ALL[i % CategoryKind::ALL.len()]
+            } else {
+                CategoryKind::ALL
+                    [rngx::weighted_index(&mut rng, &KIND_WEIGHTS).expect("weights positive")]
+            };
+            let cat_ids = taxonomy.ids_of_kind(kind);
+            let cat = cat_ids[rng.gen_range(0..cat_ids.len())];
+
+            let h = rngx::weighted_index(&mut rng, &hotspot_weights).expect("weights positive");
+            let bearing = rng.gen_range(0.0..360.0);
+            let dist = rngx::normal(&mut rng, 0.0, 700.0).abs();
+            let loc = bounds.clamp(hotspots[h].destination(bearing, dist));
+
+            let name = format!(
+                "{} #{i}",
+                taxonomy.name_of(cat).expect("registered category")
+            );
+            venues.push(Venue::new(id, &name, loc, cat));
+            by_kind[kind.index()].push(id);
+        }
+
+        VenueUniverse {
+            venues,
+            taxonomy,
+            by_kind,
+            hotspots,
+        }
+    }
+
+    /// All venues, id-ordered.
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// The taxonomy venues were categorized against.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The hotspot centres venues cluster around.
+    pub fn hotspots(&self) -> &[LatLon] {
+        &self.hotspots
+    }
+
+    /// A venue by id (ids are dense, so this is an index).
+    pub fn venue(&self, id: VenueId) -> &Venue {
+        &self.venues[id.index()]
+    }
+
+    /// All venue ids of a kind.
+    pub fn of_kind(&self, kind: CategoryKind) -> &[VenueId] {
+        &self.by_kind[kind.index()]
+    }
+
+    /// Up to `k` venues of `kind` nearest to `near`, ordered by distance.
+    /// This is how agents build their habit pools ("the Thai places near
+    /// work").
+    pub fn nearest_of_kind(&self, kind: CategoryKind, near: LatLon, k: usize) -> Vec<VenueId> {
+        let mut candidates: Vec<(f64, VenueId)> = self.by_kind[kind.index()]
+            .iter()
+            .map(|&id| (near.equirectangular_m(self.venue(id).location()), id))
+            .collect();
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+        candidates.truncate(k);
+        candidates.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> VenueUniverse {
+        VenueUniverse::generate(&SynthConfig::small(3))
+    }
+
+    #[test]
+    fn every_kind_represented() {
+        let u = universe();
+        for kind in CategoryKind::ALL {
+            assert!(!u.of_kind(kind).is_empty(), "kind {kind} empty");
+        }
+    }
+
+    #[test]
+    fn venues_inside_bounds() {
+        let u = universe();
+        let bounds = SynthConfig::small(3).bounds;
+        for v in u.venues() {
+            assert!(bounds.contains(v.location()), "{v}");
+        }
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let u = universe();
+        for (i, v) in u.venues().iter().enumerate() {
+            assert_eq!(v.id().index(), i);
+        }
+        assert_eq!(u.venues().len(), 400);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = VenueUniverse::generate(&SynthConfig::small(5));
+        let b = VenueUniverse::generate(&SynthConfig::small(5));
+        assert_eq!(a.venues(), b.venues());
+        let c = VenueUniverse::generate(&SynthConfig::small(6));
+        assert_ne!(a.venues(), c.venues());
+    }
+
+    #[test]
+    fn nearest_of_kind_sorted_by_distance() {
+        let u = universe();
+        let near = SynthConfig::small(3).bounds.center();
+        let ids = u.nearest_of_kind(CategoryKind::Eatery, near, 5);
+        assert!(ids.len() <= 5 && !ids.is_empty());
+        let dists: Vec<f64> = ids
+            .iter()
+            .map(|&id| near.equirectangular_m(u.venue(id).location()))
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn eateries_dominate() {
+        let u = VenueUniverse::generate(&SynthConfig::small(3).venues(2_000));
+        let eateries = u.of_kind(CategoryKind::Eatery).len();
+        let colleges = u.of_kind(CategoryKind::CollegeUniversity).len();
+        assert!(eateries > colleges * 3, "eateries {eateries} colleges {colleges}");
+    }
+
+    #[test]
+    fn kind_weights_sum_to_one() {
+        let total: f64 = KIND_WEIGHTS.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,459 @@
+//! Line charts and histograms — the renderers behind the paper's
+//! Figures 5–8.
+
+use crate::svg::Document;
+use crate::Rgb;
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 24.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 56.0;
+
+/// Default series palette (colorblind-safe-ish).
+const PALETTE: [Rgb; 4] = [
+    Rgb {
+        r: 0x1f,
+        g: 0x77,
+        b: 0xb4,
+    },
+    Rgb {
+        r: 0xd6,
+        g: 0x27,
+        b: 0x28,
+    },
+    Rgb {
+        r: 0x2c,
+        g: 0xa0,
+        b: 0x2c,
+    },
+    Rgb {
+        r: 0x94,
+        g: 0x67,
+        b: 0xbd,
+    },
+];
+
+/// Computes "nice" axis ticks covering `[lo, hi]` (roughly `n` of them).
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo || n == 0 {
+        return vec![lo, hi];
+    }
+    let raw_step = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).floor() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 0.501 {
+        if t >= lo - step * 0.501 {
+            ticks.push((t / step).round() * step);
+        }
+        t += step;
+    }
+    ticks
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 || v == 0.0 || v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// A multi-series XY line chart with markers (C-BUILDER;
+/// [`LineChart::render`] is the terminal method).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    width: f64,
+    height: f64,
+}
+
+impl LineChart {
+    /// Creates an empty chart with a title.
+    pub fn new(title: &str) -> LineChart {
+        LineChart {
+            title: title.to_owned(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+            width: 640.0,
+            height: 420.0,
+        }
+    }
+
+    /// Sets the x-axis label.
+    pub fn x_label(mut self, label: &str) -> LineChart {
+        self.x_label = label.to_owned();
+        self
+    }
+
+    /// Sets the y-axis label.
+    pub fn y_label(mut self, label: &str) -> LineChart {
+        self.y_label = label.to_owned();
+        self
+    }
+
+    /// Sets the pixel size (default 640 × 420).
+    pub fn size(mut self, width: f64, height: f64) -> LineChart {
+        self.width = width.max(160.0);
+        self.height = height.max(120.0);
+        self
+    }
+
+    /// Adds a named series of `(x, y)` points (sorted by x internally).
+    pub fn series(mut self, name: &str, points: &[(f64, f64)]) -> LineChart {
+        let mut pts = points.to_vec();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.series.push((name.to_owned(), pts));
+        self
+    }
+
+    /// Renders the chart to an SVG string (terminal method).
+    pub fn render(&self) -> String {
+        let mut doc = Document::new(self.width, self.height);
+        doc.rect(0.0, 0.0, self.width, self.height, "#ffffff", None);
+        doc.text_centered(self.width / 2.0, 22.0, 15.0, "#111111", &self.title);
+
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, p)| p.clone()).collect();
+        if all.is_empty() {
+            doc.text_centered(
+                self.width / 2.0,
+                self.height / 2.0,
+                12.0,
+                "#666666",
+                "(no data)",
+            );
+            return doc.finish();
+        }
+        let (x_lo, x_hi) = span(all.iter().map(|p| p.0));
+        let (y_lo_raw, y_hi) = span(all.iter().map(|p| p.1));
+        let y_lo = y_lo_raw.min(0.0);
+
+        let plot_w = self.width - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = self.height - MARGIN_TOP - MARGIN_BOTTOM;
+        let sx = |x: f64| MARGIN_LEFT + (x - x_lo) / (x_hi - x_lo).max(1e-12) * plot_w;
+        let sy = |y: f64| MARGIN_TOP + plot_h - (y - y_lo) / (y_hi - y_lo).max(1e-12) * plot_h;
+
+        // Gridlines + ticks.
+        for t in nice_ticks(y_lo, y_hi, 5) {
+            let y = sy(t);
+            doc.line(MARGIN_LEFT, y, self.width - MARGIN_RIGHT, y, "#e0e0e0", 1.0);
+            doc.text(8.0, y + 4.0, 10.0, "#444444", &format_tick(t));
+        }
+        for t in nice_ticks(x_lo, x_hi, 6) {
+            let x = sx(t);
+            doc.line(x, MARGIN_TOP, x, self.height - MARGIN_BOTTOM, "#eeeeee", 1.0);
+            doc.text_centered(
+                x,
+                self.height - MARGIN_BOTTOM + 16.0,
+                10.0,
+                "#444444",
+                &format_tick(t),
+            );
+        }
+        // Axes.
+        doc.line(
+            MARGIN_LEFT,
+            MARGIN_TOP,
+            MARGIN_LEFT,
+            self.height - MARGIN_BOTTOM,
+            "#333333",
+            1.5,
+        );
+        doc.line(
+            MARGIN_LEFT,
+            self.height - MARGIN_BOTTOM,
+            self.width - MARGIN_RIGHT,
+            self.height - MARGIN_BOTTOM,
+            "#333333",
+            1.5,
+        );
+        doc.text_centered(
+            MARGIN_LEFT + plot_w / 2.0,
+            self.height - 12.0,
+            12.0,
+            "#111111",
+            &self.x_label,
+        );
+        doc.raw(&format!(
+            r##"<text x="16" y="{:.2}" font-size="12.0" font-family="sans-serif" fill="#111111" text-anchor="middle" transform="rotate(-90 16 {:.2})">{}</text>"##,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            crate::svg::escape(&self.y_label),
+        ));
+
+        // Series.
+        for (i, (name, pts)) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()].to_hex();
+            let screen: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (sx(x), sy(y))).collect();
+            doc.polyline(&screen, &color, 2.0);
+            for &(x, y) in &screen {
+                doc.circle(x, y, 3.0, &color);
+            }
+            // Legend.
+            let ly = MARGIN_TOP + 14.0 * i as f64;
+            doc.line(
+                self.width - MARGIN_RIGHT - 110.0,
+                ly,
+                self.width - MARGIN_RIGHT - 90.0,
+                ly,
+                &color,
+                2.0,
+            );
+            doc.text(self.width - MARGIN_RIGHT - 84.0, ly + 4.0, 10.0, "#333333", name);
+        }
+        doc.finish()
+    }
+}
+
+/// A histogram over pre-binned or raw values — the renderer for the
+/// paper's distribution plots (Figures 6 and 8).
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_viz::Histogram;
+///
+/// let svg = Histogram::from_values("Sequence counts", &[1.0, 2.0, 2.0, 3.0], 3)
+///     .x_label("sequences")
+///     .render();
+/// assert!(svg.contains("Sequence counts"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    title: String,
+    x_label: String,
+    bins: Vec<(f64, f64, usize)>,
+    width: f64,
+    height: f64,
+}
+
+impl Histogram {
+    /// Bins `values` into `bin_count` equal-width bins over their range.
+    pub fn from_values(title: &str, values: &[f64], bin_count: usize) -> Histogram {
+        let bins = bin_values(values, bin_count);
+        Histogram {
+            title: title.to_owned(),
+            x_label: String::new(),
+            bins,
+            width: 640.0,
+            height: 420.0,
+        }
+    }
+
+    /// Sets the x-axis label.
+    pub fn x_label(mut self, label: &str) -> Histogram {
+        self.x_label = label.to_owned();
+        self
+    }
+
+    /// Sets the pixel size (default 640 × 420).
+    pub fn size(mut self, width: f64, height: f64) -> Histogram {
+        self.width = width.max(160.0);
+        self.height = height.max(120.0);
+        self
+    }
+
+    /// The computed bins as `(lo, hi, count)`.
+    pub fn bins(&self) -> &[(f64, f64, usize)] {
+        &self.bins
+    }
+
+    /// Renders the histogram to an SVG string (terminal method).
+    pub fn render(&self) -> String {
+        let mut doc = Document::new(self.width, self.height);
+        doc.rect(0.0, 0.0, self.width, self.height, "#ffffff", None);
+        doc.text_centered(self.width / 2.0, 22.0, 15.0, "#111111", &self.title);
+        if self.bins.is_empty() {
+            doc.text_centered(
+                self.width / 2.0,
+                self.height / 2.0,
+                12.0,
+                "#666666",
+                "(no data)",
+            );
+            return doc.finish();
+        }
+        let plot_w = self.width - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = self.height - MARGIN_TOP - MARGIN_BOTTOM;
+        let max_count = self.bins.iter().map(|b| b.2).max().unwrap_or(1).max(1);
+        let bar_w = plot_w / self.bins.len() as f64;
+
+        for t in nice_ticks(0.0, max_count as f64, 5) {
+            let y = MARGIN_TOP + plot_h - t / max_count as f64 * plot_h;
+            doc.line(MARGIN_LEFT, y, self.width - MARGIN_RIGHT, y, "#e0e0e0", 1.0);
+            doc.text(8.0, y + 4.0, 10.0, "#444444", &format_tick(t));
+        }
+        for (i, &(lo, hi, count)) in self.bins.iter().enumerate() {
+            let h = count as f64 / max_count as f64 * plot_h;
+            let x = MARGIN_LEFT + i as f64 * bar_w;
+            doc.rect(
+                x + 1.0,
+                MARGIN_TOP + plot_h - h,
+                bar_w - 2.0,
+                h,
+                "#1f77b4",
+                Some(("#13486c", 1.0)),
+            );
+            doc.text_centered(
+                x + bar_w / 2.0,
+                self.height - MARGIN_BOTTOM + 16.0,
+                9.0,
+                "#444444",
+                &format!("{}", (lo + hi) / 2.0 * 100.0 / 100.0),
+            );
+        }
+        doc.line(
+            MARGIN_LEFT,
+            self.height - MARGIN_BOTTOM,
+            self.width - MARGIN_RIGHT,
+            self.height - MARGIN_BOTTOM,
+            "#333333",
+            1.5,
+        );
+        doc.text_centered(
+            MARGIN_LEFT + plot_w / 2.0,
+            self.height - 12.0,
+            12.0,
+            "#111111",
+            &self.x_label,
+        );
+        doc.finish()
+    }
+}
+
+/// Bins values into `bin_count` equal-width bins; returns
+/// `(lo, hi, count)` per bin. Degenerate inputs give a single bin.
+pub fn bin_values(values: &[f64], bin_count: usize) -> Vec<(f64, f64, usize)> {
+    if values.is_empty() || bin_count == 0 {
+        return Vec::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(lo.is_finite() && hi.is_finite()) {
+        return Vec::new();
+    }
+    if hi <= lo {
+        return vec![(lo, hi, values.len())];
+    }
+    let width = (hi - lo) / bin_count as f64;
+    let mut bins: Vec<(f64, f64, usize)> = (0..bin_count)
+        .map(|i| (lo + i as f64 * width, lo + (i + 1) as f64 * width, 0))
+        .collect();
+    for &v in values {
+        let idx = (((v - lo) / width) as usize).min(bin_count - 1);
+        bins[idx].2 += 1;
+    }
+    bins
+}
+
+fn span<I: Iterator<Item = f64>>(values: I) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_ticks_are_round_and_cover() {
+        let ticks = nice_ticks(0.0, 100.0, 5);
+        assert!(ticks.contains(&0.0));
+        assert!(ticks.contains(&100.0));
+        for w in ticks.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Degenerate.
+        assert_eq!(nice_ticks(5.0, 5.0, 4), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn line_chart_renders_all_parts() {
+        let svg = LineChart::new("T")
+            .x_label("xs")
+            .y_label("ys")
+            .series("s1", &[(0.0, 1.0), (1.0, 2.0)])
+            .series("s2", &[(0.0, 2.0), (1.0, 1.0)])
+            .render();
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("s1") && svg.contains("s2"));
+        assert!(svg.contains("xs") && svg.contains("ys"));
+        assert!(svg.contains("rotate(-90"));
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let svg = LineChart::new("T").render();
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn series_points_get_sorted() {
+        let chart = LineChart::new("T").series("s", &[(2.0, 1.0), (0.0, 3.0)]);
+        assert_eq!(chart.series[0].1[0].0, 0.0);
+    }
+
+    #[test]
+    fn bin_values_counts_correctly() {
+        let bins = bin_values(&[0.0, 0.1, 0.9, 1.0], 2);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].2, 2);
+        assert_eq!(bins[1].2, 2);
+        // Max value lands in the last bin.
+        let total: usize = bins.iter().map(|b| b.2).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn bin_values_degenerate_cases() {
+        assert!(bin_values(&[], 3).is_empty());
+        assert!(bin_values(&[1.0], 0).is_empty());
+        let one = bin_values(&[2.0, 2.0], 3);
+        assert_eq!(one, vec![(2.0, 2.0, 2)]);
+    }
+
+    #[test]
+    fn histogram_renders_bars() {
+        let h = Histogram::from_values("H", &[1.0, 2.0, 2.0, 5.0], 4);
+        assert_eq!(h.bins().len(), 4);
+        let svg = h.render();
+        // Background + 4 bars = at least 5 rects.
+        assert!(svg.matches("<rect").count() >= 5);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let svg = Histogram::from_values("H", &[], 4).render();
+        assert!(svg.contains("(no data)"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Color scales for heat maps and charts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates a color from channels.
+    pub fn new(r: u8, g: u8, b: u8) -> Rgb {
+        Rgb { r, g, b }
+    }
+
+    /// CSS hex string, e.g. `"#ff8800"`.
+    pub fn to_hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+impl fmt::Display for Rgb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Linear interpolation between two colors; `t` is clamped to `[0, 1]`.
+pub fn lerp_color(a: Rgb, b: Rgb, t: f64) -> Rgb {
+    let t = t.clamp(0.0, 1.0);
+    let mix = |x: u8, y: u8| (f64::from(x) + (f64::from(y) - f64::from(x)) * t).round() as u8;
+    Rgb::new(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
+}
+
+/// A light-yellow → orange → deep-red sequential scale (heat-map style);
+/// `t` is clamped to `[0, 1]`.
+pub fn sequential_color(t: f64) -> Rgb {
+    const STOPS: [Rgb; 3] = [
+        Rgb {
+            r: 0xff,
+            g: 0xf3,
+            b: 0xc0,
+        },
+        Rgb {
+            r: 0xfd,
+            g: 0x8d,
+            b: 0x3c,
+        },
+        Rgb {
+            r: 0xb1,
+            g: 0x00,
+            b: 0x26,
+        },
+    ];
+    let t = t.clamp(0.0, 1.0);
+    if t <= 0.5 {
+        lerp_color(STOPS[0], STOPS[1], t * 2.0)
+    } else {
+        lerp_color(STOPS[1], STOPS[2], (t - 0.5) * 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(Rgb::new(255, 136, 0).to_hex(), "#ff8800");
+        assert_eq!(Rgb::new(0, 0, 0).to_string(), "#000000");
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Rgb::new(0, 0, 0);
+        let b = Rgb::new(200, 100, 50);
+        assert_eq!(lerp_color(a, b, 0.0), a);
+        assert_eq!(lerp_color(a, b, 1.0), b);
+        assert_eq!(lerp_color(a, b, 0.5), Rgb::new(100, 50, 25));
+        // Clamping.
+        assert_eq!(lerp_color(a, b, -1.0), a);
+        assert_eq!(lerp_color(a, b, 2.0), b);
+    }
+
+    #[test]
+    fn sequential_scale_is_monotone_in_red_heat() {
+        // The scale should get "hotter" (darker red, less green) as t
+        // grows.
+        let low = sequential_color(0.0);
+        let mid = sequential_color(0.5);
+        let high = sequential_color(1.0);
+        assert!(low.g > mid.g && mid.g > high.g);
+        assert_eq!(high, Rgb::new(0xb1, 0x00, 0x26));
+    }
+
+    #[test]
+    fn sequential_clamps() {
+        assert_eq!(sequential_color(-5.0), sequential_color(0.0));
+        assert_eq!(sequential_color(7.0), sequential_color(1.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! GeoJSON export for web clients.
+
+use crowdweb_crowd::CrowdSnapshot;
+use crowdweb_dataset::Dataset;
+use crowdweb_geo::geojson::{Feature, FeatureCollection, Geometry};
+use crowdweb_geo::MicrocellGrid;
+
+/// Exports a crowd snapshot as a GeoJSON `FeatureCollection`: one
+/// polygon feature per occupied microcell with `count` and `window`
+/// properties.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_crowd::{CrowdSnapshot, TimeWindow};
+/// use crowdweb_geo::{BoundingBox, CellId, MicrocellGrid};
+/// use crowdweb_viz::snapshot_to_geojson;
+/// use std::collections::BTreeMap;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = MicrocellGrid::new(BoundingBox::NYC, 10, 10)?;
+/// let mut cells = BTreeMap::new();
+/// cells.insert(CellId(5), 3usize);
+/// let snap = CrowdSnapshot { window: TimeWindow::new(9, 10)?, cells, labels: BTreeMap::new() };
+/// let fc = snapshot_to_geojson(&snap, &grid);
+/// assert_eq!(fc.features.len(), 1);
+/// let json = serde_json::to_string(&fc)?;
+/// assert!(json.contains("\"FeatureCollection\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn snapshot_to_geojson(snapshot: &CrowdSnapshot, grid: &MicrocellGrid) -> FeatureCollection {
+    snapshot
+        .cells
+        .iter()
+        .filter_map(|(&cell, &count)| {
+            let bounds = grid.cell_bounds(cell)?;
+            Some(
+                Feature::new(Geometry::rect(bounds))
+                    .with_property("cell", i64::from(cell.0))
+                    .with_property("count", count as i64)
+                    .with_property("window", snapshot.window.label()),
+            )
+        })
+        .collect()
+}
+
+/// Exports a dataset's venues as GeoJSON points with name and category
+/// properties. `limit` caps the output size (venue order).
+pub fn venues_to_geojson(dataset: &Dataset, limit: usize) -> FeatureCollection {
+    dataset
+        .venues()
+        .iter()
+        .take(limit)
+        .map(|v| {
+            let category = dataset
+                .taxonomy()
+                .name_of(v.category())
+                .unwrap_or("Unknown")
+                .to_owned();
+            Feature::new(Geometry::point(v.location()))
+                .with_property("venue", i64::from(v.id().raw()))
+                .with_property("name", v.name())
+                .with_property("category", category)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_crowd::TimeWindow;
+    use crowdweb_geo::{BoundingBox, CellId};
+    use crowdweb_synth::SynthConfig;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn snapshot_export_produces_valid_geojson() {
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 5, 5).unwrap();
+        let mut cells = BTreeMap::new();
+        cells.insert(CellId(0), 2usize);
+        cells.insert(CellId(24), 7usize);
+        let snap = CrowdSnapshot {
+            window: TimeWindow::new(9, 10).unwrap(),
+            cells,
+            labels: BTreeMap::new(),
+        };
+        let fc = snapshot_to_geojson(&snap, &grid);
+        assert_eq!(fc.features.len(), 2);
+        let json = serde_json::to_string(&fc).unwrap();
+        assert!(json.contains("\"Polygon\""));
+        assert!(json.contains("\"count\":7"));
+        assert!(json.contains("9-10 am"));
+    }
+
+    #[test]
+    fn out_of_range_cells_are_dropped() {
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 2, 2).unwrap();
+        let mut cells = BTreeMap::new();
+        cells.insert(CellId(99), 1usize);
+        let snap = CrowdSnapshot {
+            window: TimeWindow::new(9, 10).unwrap(),
+            cells,
+            labels: BTreeMap::new(),
+        };
+        assert!(snapshot_to_geojson(&snap, &grid).features.is_empty());
+    }
+
+    #[test]
+    fn venue_export_respects_limit() {
+        let d = SynthConfig::small(17).generate().unwrap();
+        let fc = venues_to_geojson(&d, 10);
+        assert_eq!(fc.features.len(), 10);
+        let json = serde_json::to_string(&fc).unwrap();
+        assert!(json.contains("\"Point\""));
+        assert!(json.contains("\"category\""));
+    }
+}

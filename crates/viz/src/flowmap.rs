@@ -1,0 +1,146 @@
+//! Crowd flow maps: arrows between microcells showing how the crowd
+//! relocates between two time windows (the dynamic behind the paper's
+//! Figure 3 → Figure 4 transition).
+
+use crate::svg::Document;
+use crowdweb_crowd::CrowdFlow;
+use crowdweb_geo::MicrocellGrid;
+
+/// Renders inter-window crowd flows over the city grid. Self-flows
+/// (users staying in their cell) render as circles; movements as lines
+/// with arrowheads, width proportional to the flow size.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_crowd::CrowdFlow;
+/// use crowdweb_geo::{BoundingBox, CellId, MicrocellGrid};
+/// use crowdweb_viz::flowmap::render_flow_map;
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// let grid = MicrocellGrid::new(BoundingBox::NYC, 10, 10)?;
+/// let flows = vec![CrowdFlow { from: CellId(0), to: CellId(55), count: 3 }];
+/// let svg = render_flow_map(&grid, &flows, "9 am to 10 am");
+/// assert!(svg.contains("<line"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_flow_map(grid: &MicrocellGrid, flows: &[CrowdFlow], title: &str) -> String {
+    const WIDTH: f64 = 720.0;
+    let bounds = grid.bounds();
+    let height = WIDTH * bounds.height_m() / bounds.width_m().max(1.0);
+    let mut doc = Document::new(WIDTH, height);
+    doc.rect(0.0, 0.0, WIDTH, height, "#f4f6f8", None);
+    doc.text(10.0, 20.0, 14.0, "#111111", &format!("Crowd flows {title}"));
+
+    let project = |cell: crowdweb_geo::CellId| -> Option<(f64, f64)> {
+        let center = grid.cell_center(cell)?;
+        let x = (center.lon() - bounds.west()) / bounds.lon_span() * WIDTH;
+        let y = (1.0 - (center.lat() - bounds.south()) / bounds.lat_span()) * height;
+        Some((x, y))
+    };
+
+    // Light grid backdrop.
+    let cell_w = WIDTH / f64::from(grid.cols());
+    let cell_h = height / f64::from(grid.rows());
+    for r in 0..=grid.rows() {
+        doc.line(0.0, f64::from(r) * cell_h, WIDTH, f64::from(r) * cell_h, "#e3e8ed", 0.4);
+    }
+    for c in 0..=grid.cols() {
+        doc.line(f64::from(c) * cell_w, 0.0, f64::from(c) * cell_w, height, "#e3e8ed", 0.4);
+    }
+
+    let max = flows.iter().map(|f| f.count).max().unwrap_or(1).max(1);
+    for flow in flows {
+        let (Some((x1, y1)), Some((x2, y2))) = (project(flow.from), project(flow.to)) else {
+            continue;
+        };
+        let strength = flow.count as f64 / max as f64;
+        if flow.from == flow.to {
+            // Staying put: a hollow circle sized by the count.
+            doc.circle(x1, y1, 3.0 + 6.0 * strength, "#9db4c8");
+            continue;
+        }
+        let width = 1.0 + 3.5 * strength;
+        doc.line(x1, y1, x2, y2, "#d62728", width);
+        // Arrowhead: two short strokes at the destination.
+        let angle = (y2 - y1).atan2(x2 - x1);
+        const HEAD: f64 = 9.0;
+        for offset in [-0.5f64, 0.5] {
+            let a = angle + std::f64::consts::PI + offset;
+            doc.line(x2, y2, x2 + HEAD * a.cos(), y2 + HEAD * a.sin(), "#d62728", width);
+        }
+        // Count label at the midpoint for big flows.
+        if flow.count > 1 {
+            doc.text_centered(
+                (x1 + x2) / 2.0,
+                (y1 + y2) / 2.0 - 4.0,
+                9.0,
+                "#7a1415",
+                &flow.count.to_string(),
+            );
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_geo::{BoundingBox, CellId};
+
+    fn grid() -> MicrocellGrid {
+        MicrocellGrid::new(BoundingBox::NYC, 8, 8).unwrap()
+    }
+
+    #[test]
+    fn movement_flows_draw_arrows() {
+        let flows = vec![
+            CrowdFlow {
+                from: CellId(0),
+                to: CellId(63),
+                count: 4,
+            },
+            CrowdFlow {
+                from: CellId(10),
+                to: CellId(12),
+                count: 1,
+            },
+        ];
+        let svg = render_flow_map(&grid(), &flows, "test");
+        // Backdrop lines + 2 flow lines + 4 arrowhead strokes.
+        assert!(svg.matches("<line").count() >= 18 + 6);
+        // Big flow gets a count label.
+        assert!(svg.contains(">4</text>"));
+    }
+
+    #[test]
+    fn self_flows_draw_circles() {
+        let flows = vec![CrowdFlow {
+            from: CellId(5),
+            to: CellId(5),
+            count: 3,
+        }];
+        let svg = render_flow_map(&grid(), &flows, "stay");
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn invalid_cells_are_skipped() {
+        let flows = vec![CrowdFlow {
+            from: CellId(9999),
+            to: CellId(0),
+            count: 2,
+        }];
+        let svg = render_flow_map(&grid(), &flows, "bad");
+        assert!(svg.starts_with("<svg"));
+        assert!(!svg.contains(">2<"));
+    }
+
+    #[test]
+    fn empty_flows_render_backdrop_only() {
+        let svg = render_flow_map(&grid(), &[], "empty");
+        assert!(svg.contains("Crowd flows empty"));
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Visualization layer: server-side SVG rendering and GeoJSON export.
+//!
+//! The original CrowdWeb front-end is a browser app; this crate renders
+//! the same views as standalone SVG documents and standard GeoJSON so
+//! any client (including the embedded web UI in `crowdweb-server`) can
+//! display them:
+//!
+//! - [`svg`] — a small, dependency-free SVG document builder.
+//! - [`chart`] — line charts and histograms, used to regenerate the
+//!   paper's Figures 5–8.
+//! - [`map`] — the city view: microcell heat grid plus hotspot markers
+//!   for a crowd snapshot (Figures 3–4).
+//! - [`network`] — a user's place graph as a circular-layout network
+//!   diagram.
+//! - [`export`] — GeoJSON export of crowd snapshots and venues.
+//! - [`color`] — sequential color scales.
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_viz::chart::LineChart;
+//!
+//! let svg = LineChart::new("Sequences vs support")
+//!     .x_label("min_support")
+//!     .y_label("sequences per user")
+//!     .series("modified PrefixSpan", &[(0.25, 40.0), (0.5, 12.0), (0.75, 3.0)])
+//!     .render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("min_support"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod color;
+pub mod export;
+pub mod flowmap;
+pub mod map;
+pub mod network;
+pub mod svg;
+pub mod timeline;
+
+pub use chart::{Histogram, LineChart};
+pub use color::{lerp_color, sequential_color, Rgb};
+pub use export::{snapshot_to_geojson, venues_to_geojson};
+pub use flowmap::render_flow_map;
+pub use map::CityMap;
+pub use network::render_place_graph;
+pub use svg::Document;
+pub use timeline::{render_activity_heatmap, render_crowd_timeline};

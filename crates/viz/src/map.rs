@@ -1,0 +1,283 @@
+//! The city view: crowd heat grid over the microcell map (Figures 3–4).
+
+use crate::color::sequential_color;
+use crate::svg::Document;
+use crowdweb_crowd::CrowdSnapshot;
+use crowdweb_geo::{LatLon, MicrocellGrid};
+
+/// Renders crowd snapshots over a city grid (C-BUILDER;
+/// [`CityMap::render`] is the terminal method).
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_viz::CityMap;
+/// use crowdweb_geo::{BoundingBox, MicrocellGrid};
+///
+/// # fn main() -> Result<(), crowdweb_geo::GeoError> {
+/// let grid = MicrocellGrid::new(BoundingBox::NYC, 10, 10)?;
+/// let svg = CityMap::new(&grid).render_empty();
+/// assert!(svg.starts_with("<svg"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CityMap<'a> {
+    grid: &'a MicrocellGrid,
+    width: f64,
+    show_grid_lines: bool,
+    show_legend: bool,
+    markers: Vec<(LatLon, String)>,
+}
+
+impl<'a> CityMap<'a> {
+    /// Creates a map over a microcell grid.
+    pub fn new(grid: &'a MicrocellGrid) -> CityMap<'a> {
+        CityMap {
+            grid,
+            width: 720.0,
+            show_grid_lines: true,
+            show_legend: true,
+            markers: Vec::new(),
+        }
+    }
+
+    /// Sets the pixel width (height follows the grid's aspect ratio).
+    pub fn width(mut self, width: f64) -> CityMap<'a> {
+        self.width = width.max(100.0);
+        self
+    }
+
+    /// Toggles cell border lines.
+    pub fn grid_lines(mut self, show: bool) -> CityMap<'a> {
+        self.show_grid_lines = show;
+        self
+    }
+
+    /// Toggles the color legend (drawn on crowd renders).
+    pub fn legend(mut self, show: bool) -> CityMap<'a> {
+        self.show_legend = show;
+        self
+    }
+
+    /// Adds a labelled point marker (e.g. a landmark venue).
+    pub fn marker(mut self, location: LatLon, label: &str) -> CityMap<'a> {
+        self.markers.push((location, label.to_owned()));
+        self
+    }
+
+    fn pixel_height(&self) -> f64 {
+        let b = self.grid.bounds();
+        // Approximate aspect from metric extents.
+        self.width * b.height_m() / b.width_m().max(1.0)
+    }
+
+    fn project(&self, p: LatLon) -> (f64, f64) {
+        let b = self.grid.bounds();
+        let x = (p.lon() - b.west()) / b.lon_span() * self.width;
+        let y = (1.0 - (p.lat() - b.south()) / b.lat_span()) * self.pixel_height();
+        (x, y)
+    }
+
+    /// Renders the base map with no crowd (terminal method).
+    pub fn render_empty(&self) -> String {
+        self.render_cells(&[])
+    }
+
+    /// Renders a crowd snapshot as a heat grid: each occupied cell is
+    /// shaded by its user count relative to the busiest cell (terminal
+    /// method).
+    pub fn render(&self, snapshot: &CrowdSnapshot) -> String {
+        let cells: Vec<(crowdweb_geo::CellId, usize)> = snapshot
+            .cells
+            .iter()
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        let max = cells.iter().map(|(_, n)| *n).max().unwrap_or(0);
+        let mut svg = self.render_cells(&cells);
+        if self.show_legend && max > 0 {
+            let legend = self.render_legend(max);
+            let insert = svg.rfind("</svg>").expect("document always closes");
+            svg.insert_str(insert, &legend);
+        }
+        // Title annotation with the window label.
+        let title = format!(
+            r##"<text x="10" y="20" font-size="14.0" font-family="sans-serif" fill="#111111">Crowd {} ({} users)</text>"##,
+            crate::svg::escape(&snapshot.window.label()),
+            snapshot.total_users()
+        );
+        // Inject before the closing tag.
+        let insert = svg.rfind("</svg>").expect("document always closes");
+        svg.insert_str(insert, &title);
+        svg
+    }
+
+    /// A horizontal color ramp with min/max labels, bottom-left.
+    fn render_legend(&self, max: usize) -> String {
+        const STEPS: usize = 24;
+        const W: f64 = 120.0;
+        const H: f64 = 10.0;
+        let y = self.pixel_height() - 26.0;
+        let mut out = String::new();
+        for i in 0..STEPS {
+            let t = i as f64 / (STEPS - 1) as f64;
+            let x = 10.0 + t * (W - W / STEPS as f64);
+            out.push_str(&format!(
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{H}" fill="{}"/>"##,
+                W / STEPS as f64 + 0.5,
+                sequential_color(t).to_hex()
+            ));
+        }
+        out.push_str(&format!(
+            r##"<text x="10" y="{:.1}" font-size="9.0" font-family="sans-serif" fill="#333333">1</text>"##,
+            y + H + 11.0
+        ));
+        out.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" font-size="9.0" font-family="sans-serif" fill="#333333" text-anchor="end">peak {max}</text>"##,
+            10.0 + W,
+            y + H + 11.0
+        ));
+        out
+    }
+
+    fn render_cells(&self, cells: &[(crowdweb_geo::CellId, usize)]) -> String {
+        let height = self.pixel_height();
+        let mut doc = Document::new(self.width, height);
+        doc.rect(0.0, 0.0, self.width, height, "#f4f6f8", None);
+
+        let max = cells.iter().map(|(_, n)| *n).max().unwrap_or(0).max(1);
+        let cell_w = self.width / f64::from(self.grid.cols());
+        let cell_h = height / f64::from(self.grid.rows());
+
+        if self.show_grid_lines {
+            for r in 0..=self.grid.rows() {
+                let y = f64::from(r) * cell_h;
+                doc.line(0.0, y, self.width, y, "#dde3e8", 0.5);
+            }
+            for c in 0..=self.grid.cols() {
+                let x = f64::from(c) * cell_w;
+                doc.line(x, 0.0, x, height, "#dde3e8", 0.5);
+            }
+        }
+
+        for &(cell, count) in cells {
+            let Some((row, col)) = self.grid.position(cell) else {
+                continue;
+            };
+            let x = f64::from(col) * cell_w;
+            // Row 0 is the southern row; SVG y grows downward.
+            let y = height - f64::from(row + 1) * cell_h;
+            let t = count as f64 / max as f64;
+            doc.rect(
+                x,
+                y,
+                cell_w,
+                cell_h,
+                &sequential_color(t).to_hex(),
+                Some(("#8899aa", 0.4)),
+            );
+            if cell_w >= 24.0 {
+                doc.text_centered(
+                    x + cell_w / 2.0,
+                    y + cell_h / 2.0 + 3.0,
+                    9.0,
+                    "#222222",
+                    &count.to_string(),
+                );
+            }
+        }
+
+        for (loc, label) in &self.markers {
+            let (x, y) = self.project(*loc);
+            doc.circle(x, y, 4.0, "#0a4b78");
+            doc.text(x + 6.0, y + 3.0, 9.0, "#0a4b78", label);
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_crowd::TimeWindow;
+    use crowdweb_geo::{BoundingBox, CellId};
+    use std::collections::BTreeMap;
+
+    fn grid() -> MicrocellGrid {
+        MicrocellGrid::new(BoundingBox::NYC, 8, 8).unwrap()
+    }
+
+    fn snapshot(counts: &[(u32, usize)]) -> CrowdSnapshot {
+        CrowdSnapshot {
+            window: TimeWindow::new(9, 10).unwrap(),
+            cells: counts.iter().map(|&(c, n)| (CellId(c), n)).collect(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn empty_map_renders() {
+        let g = grid();
+        let svg = CityMap::new(&g).render_empty();
+        assert!(svg.starts_with("<svg"));
+        // Grid lines present.
+        assert!(svg.matches("<line").count() >= 16);
+    }
+
+    #[test]
+    fn snapshot_shades_occupied_cells() {
+        let g = grid();
+        let svg = CityMap::new(&g).render(&snapshot(&[(0, 3), (9, 1)]));
+        assert!(svg.contains("Crowd 9-10 am (4 users)"));
+        // Two heat cells + background = >= 3 rects.
+        assert!(svg.matches("<rect").count() >= 3);
+        // The busiest cell gets the hottest color.
+        assert!(svg.contains(&sequential_color(1.0).to_hex()));
+    }
+
+    #[test]
+    fn legend_shows_scale_on_crowd_renders() {
+        let g = grid();
+        let svg = CityMap::new(&g).render(&snapshot(&[(0, 7)]));
+        assert!(svg.contains("peak 7"));
+        let no_legend = CityMap::new(&g).legend(false).render(&snapshot(&[(0, 7)]));
+        assert!(!no_legend.contains("peak 7"));
+        // Empty crowd: no legend either.
+        let empty = CityMap::new(&g).render(&snapshot(&[]));
+        assert!(!empty.contains("peak"));
+    }
+
+    #[test]
+    fn out_of_range_cells_are_skipped() {
+        let g = grid();
+        let svg = CityMap::new(&g).render(&snapshot(&[(9999, 5)]));
+        // Renders without panicking, only background rect + title.
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn markers_are_drawn() {
+        let g = grid();
+        let svg = CityMap::new(&g)
+            .marker(BoundingBox::NYC.center(), "center")
+            .render_empty();
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("center"));
+    }
+
+    #[test]
+    fn grid_lines_can_be_disabled() {
+        let g = grid();
+        let svg = CityMap::new(&g).grid_lines(false).render_empty();
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn aspect_follows_bounds() {
+        let g = grid();
+        let map = CityMap::new(&g).width(500.0);
+        let h = map.pixel_height();
+        // NYC is roughly as tall as wide; allow broad bounds.
+        assert!(h > 200.0 && h < 1000.0, "height {h}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Place-graph network rendering — the per-user "graph of visited
+//! places" view.
+//!
+//! Nodes are laid out on a circle (stable, dependency-free, and readable
+//! for the ≤ a-few-dozen places a user visits); node radius scales with
+//! visit count and edge width with transition count.
+
+use crate::svg::Document;
+use crowdweb_mobility::PlaceGraph;
+use crowdweb_prep::PlaceLabel;
+use std::collections::HashMap;
+use std::f64::consts::TAU;
+
+/// Renders a user's place graph as an SVG network diagram. `name_of`
+/// supplies human-readable node names.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_mobility::PlaceGraph;
+/// use crowdweb_prep::{PlaceLabel, SeqItem, TimeSlot};
+/// use crowdweb_dataset::UserId;
+/// use crowdweb_viz::render_place_graph;
+///
+/// let item = |s: u8, l: u32| SeqItem { slot: TimeSlot(s), label: PlaceLabel(l) };
+/// let graph = PlaceGraph::from_sequences(
+///     UserId::new(1),
+///     &[vec![item(3, 0), item(6, 1)]],
+/// );
+/// let svg = render_place_graph(&graph, |l| format!("place {}", l.0));
+/// assert!(svg.contains("place 0"));
+/// ```
+pub fn render_place_graph<F>(graph: &PlaceGraph, name_of: F) -> String
+where
+    F: Fn(PlaceLabel) -> String,
+{
+    const SIZE: f64 = 560.0;
+    const RADIUS: f64 = 200.0;
+    let mut doc = Document::new(SIZE, SIZE);
+    doc.rect(0.0, 0.0, SIZE, SIZE, "#ffffff", None);
+    doc.text_centered(
+        SIZE / 2.0,
+        24.0,
+        14.0,
+        "#111111",
+        &format!("Places of {}", graph.user()),
+    );
+
+    let nodes = graph.nodes();
+    if nodes.is_empty() {
+        doc.text_centered(SIZE / 2.0, SIZE / 2.0, 12.0, "#666666", "(no places)");
+        return doc.finish();
+    }
+    let center = SIZE / 2.0;
+    let positions: HashMap<PlaceLabel, (f64, f64)> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let angle = TAU * i as f64 / nodes.len() as f64 - TAU / 4.0;
+            (
+                n.label,
+                (
+                    center + RADIUS * angle.cos(),
+                    center + RADIUS * angle.sin(),
+                ),
+            )
+        })
+        .collect();
+
+    let max_edge = graph
+        .edges()
+        .iter()
+        .map(|e| e.count)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for e in graph.edges() {
+        let (x1, y1) = positions[&e.from];
+        let (x2, y2) = positions[&e.to];
+        let w = 0.8 + 3.2 * e.count as f64 / max_edge as f64;
+        doc.line(x1, y1, x2, y2, "#9db4c8", w);
+    }
+
+    let max_visits = nodes.iter().map(|n| n.visits).max().unwrap_or(1).max(1);
+    for n in &nodes {
+        let (x, y) = positions[&n.label];
+        let r = 8.0 + 14.0 * n.visits as f64 / max_visits as f64;
+        doc.circle(x, y, r, "#1f77b4");
+        doc.text_centered(x, y + 3.0, 9.0, "#ffffff", &n.visits.to_string());
+        let label_y = if y < center { y - r - 6.0 } else { y + r + 14.0 };
+        doc.text_centered(x, label_y, 10.0, "#333333", &name_of(n.label));
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_dataset::UserId;
+    use crowdweb_prep::{SeqItem, TimeSlot};
+
+    fn item(slot: u8, label: u32) -> SeqItem {
+        SeqItem {
+            slot: TimeSlot(slot),
+            label: PlaceLabel(label),
+        }
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = PlaceGraph::from_sequences(
+            UserId::new(2),
+            &[
+                vec![item(3, 0), item(6, 1), item(11, 0)],
+                vec![item(3, 0), item(6, 2)],
+            ],
+        );
+        let svg = render_place_graph(&g, |l| format!("P{}", l.0));
+        assert!(svg.contains("Places of u2"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.matches("<line").count() >= 3);
+        assert!(svg.contains("P0") && svg.contains("P1") && svg.contains("P2"));
+    }
+
+    #[test]
+    fn empty_graph_renders_placeholder() {
+        let g = PlaceGraph::from_sequences(UserId::new(1), &[]);
+        let svg = render_place_graph(&g, |l| l.to_string());
+        assert!(svg.contains("(no places)"));
+    }
+
+    #[test]
+    fn heavier_edges_are_wider() {
+        let g = PlaceGraph::from_sequences(
+            UserId::new(1),
+            &[
+                vec![item(1, 0), item(2, 1)],
+                vec![item(1, 0), item(2, 1)],
+                vec![item(1, 0), item(2, 2)],
+            ],
+        );
+        let svg = render_place_graph(&g, |l| l.to_string());
+        // Edge 0->1 (count 2) gets max width 4.0; edge 0->2 (count 1)
+        // gets 0.8 + 1.6 = 2.4.
+        assert!(svg.contains("stroke-width=\"4.00\""));
+        assert!(svg.contains("stroke-width=\"2.40\""));
+    }
+}

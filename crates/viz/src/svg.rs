@@ -1,0 +1,201 @@
+//! A minimal SVG document builder.
+//!
+//! Only what the CrowdWeb views need: rects, circles, lines, polylines,
+//! text, and groups, with correct XML escaping. The builder produces a
+//! self-contained `<svg>` string.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in XML text or attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// An SVG document under construction.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_viz::Document;
+///
+/// let mut doc = Document::new(100.0, 50.0);
+/// doc.rect(0.0, 0.0, 100.0, 50.0, "#ffffff", None);
+/// doc.text(10.0, 25.0, 12.0, "#000000", "hello & goodbye");
+/// let svg = doc.finish();
+/// assert!(svg.contains("hello &amp; goodbye"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Document {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl Document {
+    /// Creates an empty document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Document {
+        Document {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Adds a filled rectangle; `stroke` optionally draws a border as
+    /// `(color, width)`.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<(&str, f64)>) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{}""#,
+            escape(fill)
+        );
+        if let Some((color, sw)) = stroke {
+            let _ = write!(
+                self.body,
+                r#" stroke="{}" stroke-width="{sw:.2}""#,
+                escape(color)
+            );
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Adds a filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{}"/>"#,
+            escape(fill)
+        );
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, color: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{width:.2}"/>"#,
+            escape(color)
+        );
+    }
+
+    /// Adds an unfilled polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], color: &str, width: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{width:.2}"/>"#,
+            pts.join(" "),
+            escape(color)
+        );
+    }
+
+    /// Adds left-anchored text.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, color: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" fill="{}">{}</text>"#,
+            escape(color),
+            escape(content)
+        );
+    }
+
+    /// Adds centre-anchored text.
+    pub fn text_centered(&mut self, x: f64, y: f64, size: f64, color: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" fill="{}" text-anchor="middle">{}</text>"#,
+            escape(color),
+            escape(content)
+        );
+    }
+
+    /// Adds raw, pre-escaped SVG markup (for composing sub-documents).
+    pub fn raw(&mut self, markup: &str) {
+        self.body.push_str(markup);
+        self.body.push('\n');
+    }
+
+    /// Finishes the document, returning the full `<svg>` string.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a&b<c>\"d'"), "a&amp;b&lt;c&gt;&quot;d&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut doc = Document::new(200.0, 100.0);
+        doc.rect(1.0, 2.0, 3.0, 4.0, "#fff", Some(("#000", 1.0)));
+        doc.circle(5.0, 6.0, 7.0, "red");
+        doc.line(0.0, 0.0, 10.0, 10.0, "blue", 2.0);
+        doc.polyline(&[(0.0, 0.0), (5.0, 5.0)], "green", 1.5);
+        doc.text(1.0, 1.0, 10.0, "#333", "label");
+        doc.text_centered(2.0, 2.0, 10.0, "#333", "mid");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg xmlns"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        for tag in ["<rect", "<circle", "<line", "<polyline", "<text"] {
+            assert!(svg.contains(tag), "missing {tag}");
+        }
+        assert!(svg.contains("text-anchor=\"middle\""));
+        assert!(svg.contains("stroke-width=\"1.00\""));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut doc = Document::new(10.0, 10.0);
+        doc.text(0.0, 0.0, 8.0, "#000", "<script>");
+        let svg = doc.finish();
+        assert!(!svg.contains("<script>"));
+        assert!(svg.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn dimensions_accessible() {
+        let doc = Document::new(31.0, 17.0);
+        assert_eq!(doc.width(), 31.0);
+        assert_eq!(doc.height(), 17.0);
+    }
+
+    #[test]
+    fn raw_passes_through() {
+        let mut doc = Document::new(10.0, 10.0);
+        doc.raw("<g id=\"x\"></g>");
+        assert!(doc.finish().contains("<g id=\"x\"></g>"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Temporal heatmaps: the weekday × hour activity rhythm and the
+//! crowd-size-per-window timeline.
+
+use crate::color::sequential_color;
+use crate::svg::Document;
+use crowdweb_crowd::CrowdSnapshot;
+use crowdweb_dataset::{ActivityProfile, Weekday};
+
+/// Renders a 7 × 24 activity profile as a heatmap SVG (rows Monday
+/// first, columns midnight to 11 pm).
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_dataset::ActivityProfile;
+/// use crowdweb_viz::timeline::render_activity_heatmap;
+///
+/// let svg = render_activity_heatmap(&ActivityProfile::new(), "City rhythm");
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("Mon"));
+/// ```
+pub fn render_activity_heatmap(profile: &ActivityProfile, title: &str) -> String {
+    const CELL: f64 = 26.0;
+    const LEFT: f64 = 52.0;
+    const TOP: f64 = 48.0;
+    let width = LEFT + 24.0 * CELL + 16.0;
+    let height = TOP + 7.0 * CELL + 28.0;
+    let mut doc = Document::new(width, height);
+    doc.rect(0.0, 0.0, width, height, "#ffffff", None);
+    doc.text_centered(width / 2.0, 24.0, 14.0, "#111111", title);
+
+    let max = Weekday::ALL
+        .iter()
+        .flat_map(|&d| (0u8..24).map(move |h| profile.count(d, h)))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    for (row, &day) in Weekday::ALL.iter().enumerate() {
+        let y = TOP + row as f64 * CELL;
+        doc.text(8.0, y + CELL / 2.0 + 4.0, 10.0, "#333333", day.abbrev());
+        for hour in 0u8..24 {
+            let count = profile.count(day, hour);
+            let x = LEFT + f64::from(hour) * CELL;
+            let color = if count == 0 {
+                "#f0f3f6".to_owned()
+            } else {
+                sequential_color(count as f64 / max as f64).to_hex()
+            };
+            doc.rect(x, y, CELL - 1.0, CELL - 1.0, &color, None);
+        }
+    }
+    for hour in (0u8..24).step_by(3) {
+        doc.text_centered(
+            LEFT + (f64::from(hour) + 0.5) * CELL,
+            height - 10.0,
+            9.0,
+            "#333333",
+            &format!("{hour:02}h"),
+        );
+    }
+    doc.finish()
+}
+
+/// Renders the crowd-size-per-window timeline as a compact bar strip —
+/// the scrubber view above the platform's animation slider.
+pub fn render_crowd_timeline(frames: &[CrowdSnapshot]) -> String {
+    const BAR: f64 = 22.0;
+    const TOP: f64 = 34.0;
+    const HEIGHT: f64 = 120.0;
+    let width = 20.0 + frames.len() as f64 * BAR + 12.0;
+    let mut doc = Document::new(width, HEIGHT);
+    doc.rect(0.0, 0.0, width, HEIGHT, "#ffffff", None);
+    doc.text(10.0, 20.0, 12.0, "#111111", "Crowd size per window");
+    let max = frames
+        .iter()
+        .map(CrowdSnapshot::total_users)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let plot_h = HEIGHT - TOP - 22.0;
+    for (i, frame) in frames.iter().enumerate() {
+        let users = frame.total_users();
+        let h = users as f64 / max as f64 * plot_h;
+        let x = 20.0 + i as f64 * BAR;
+        doc.rect(
+            x,
+            TOP + plot_h - h,
+            BAR - 2.0,
+            h.max(0.5),
+            &sequential_color(users as f64 / max as f64).to_hex(),
+            None,
+        );
+        if i % 3 == 0 {
+            doc.text_centered(
+                x + BAR / 2.0,
+                HEIGHT - 8.0,
+                8.0,
+                "#444444",
+                &frame.window.start().to_string(),
+            );
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_crowd::TimeWindow;
+    use crowdweb_geo::CellId;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn heatmap_has_168_cells() {
+        let mut profile = ActivityProfile::new();
+        profile.record(Weekday::Tue, 9);
+        let svg = render_activity_heatmap(&profile, "T");
+        // 168 heat cells + background.
+        assert_eq!(svg.matches("<rect").count(), 169);
+        // The hot cell gets the top color.
+        assert!(svg.contains(&sequential_color(1.0).to_hex()));
+    }
+
+    #[test]
+    fn heatmap_empty_profile_renders() {
+        let svg = render_activity_heatmap(&ActivityProfile::new(), "Empty");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("Sun"));
+    }
+
+    fn frame(hour: u8, users: usize) -> CrowdSnapshot {
+        let mut cells = BTreeMap::new();
+        if users > 0 {
+            cells.insert(CellId(0), users);
+        }
+        CrowdSnapshot {
+            window: TimeWindow::new(hour, hour + 1).unwrap(),
+            cells,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn timeline_renders_bars() {
+        let frames: Vec<CrowdSnapshot> =
+            (0..23).map(|h| frame(h, usize::from(h) * 2)).collect();
+        let svg = render_crowd_timeline(&frames);
+        assert!(svg.starts_with("<svg"));
+        // One bar per frame plus background.
+        assert_eq!(svg.matches("<rect").count(), frames.len() + 1);
+    }
+
+    #[test]
+    fn timeline_handles_empty() {
+        let svg = render_crowd_timeline(&[]);
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Regenerates every evaluation figure of the paper (Figures 5–8) as
+//! data tables and SVG charts, plus the Section I.1 dataset statistics.
+//!
+//! ```sh
+//! cargo run --release --example figures            # small context
+//! cargo run --release --example figures -- --paper # full 1,083-user scale
+//! ```
+//!
+//! Writes `out/fig5.svg` … `out/fig8.svg`.
+
+use crowdweb::analytics::{
+    dataset_stats_table, fig5_sequences_vs_support, fig6_sequence_count_distribution,
+    fig7_length_vs_support, fig8_length_distribution, ExperimentContext, TextTable,
+    PAPER_SUPPORT_SWEEP,
+};
+use crowdweb::viz::{Histogram, LineChart};
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let ctx = if paper_scale {
+        println!("building paper-scale context (1,083 users, 11 months)...");
+        ExperimentContext::paper_scale(2023)?
+    } else {
+        ExperimentContext::small(2023)?
+    };
+
+    // Section I.1 dataset statistics.
+    let report = dataset_stats_table(&ctx);
+    println!("== Dataset statistics (paper: 227,428 check-ins, 1,083 users, mean 210, median 153) ==");
+    let mut t = TextTable::new(&["metric", "measured"]);
+    t.row(&["check-ins", &report.measured.total_checkins.to_string()]);
+    t.row(&["users", &report.measured.user_count.to_string()]);
+    t.row(&["mean records/user", &format!("{:.1}", report.measured.mean_records_per_user)]);
+    t.row(&["median records/user", &format!("{:.1}", report.measured.median_records_per_user)]);
+    t.row(&["sparse", &report.measured.is_sparse().to_string()]);
+    t.row(&["richest 3-month window", &report.richest_window]);
+    t.row(&["filtered users (>50 days at paper scale)", &report.filtered_users.to_string()]);
+    println!("{t}");
+
+    fs::create_dir_all("out")?;
+
+    // Figure 5.
+    let fig5 = fig5_sequences_vs_support(&ctx, &PAPER_SUPPORT_SWEEP)?;
+    println!("== Fig 5: avg sequences per user vs min_support ==");
+    let mut t5 = TextTable::new(&["min_support", "avg sequences/user"]);
+    for &(s, v) in &fig5 {
+        t5.row(&[&format!("{s:.3}"), &format!("{v:.2}")]);
+    }
+    println!("{t5}");
+    fs::write(
+        "out/fig5.svg",
+        LineChart::new("Fig 5: average number of sequences per user")
+            .x_label("minimum support threshold")
+            .y_label("avg sequences per user")
+            .series("modified PrefixSpan", &fig5)
+            .render(),
+    )?;
+
+    // Figure 6.
+    let fig6 = fig6_sequence_count_distribution(&ctx, 0.5)?;
+    println!(
+        "== Fig 6: distribution of sequence counts at min_support=0.5 ({} users) ==\n",
+        fig6.len()
+    );
+    fs::write(
+        "out/fig6.svg",
+        Histogram::from_values(
+            "Fig 6: distribution of number of sequences (min_support = 0.5)",
+            &fig6,
+            10,
+        )
+        .x_label("number of sequences")
+        .render(),
+    )?;
+
+    // Figure 7.
+    let fig7 = fig7_length_vs_support(&ctx, &PAPER_SUPPORT_SWEEP)?;
+    println!("== Fig 7: avg sequence length per user vs min_support ==");
+    let mut t7 = TextTable::new(&["min_support", "avg length/user"]);
+    for &(s, v) in &fig7 {
+        t7.row(&[&format!("{s:.3}"), &format!("{v:.3}")]);
+    }
+    println!("{t7}");
+    fs::write(
+        "out/fig7.svg",
+        LineChart::new("Fig 7: average length of sequences per user")
+            .x_label("minimum support threshold")
+            .y_label("avg sequence length")
+            .series("modified PrefixSpan", &fig7)
+            .render(),
+    )?;
+
+    // Figure 8.
+    let fig8 = fig8_length_distribution(&ctx, 0.5)?;
+    println!(
+        "== Fig 8: distribution of avg lengths at min_support=0.5 ({} users) ==",
+        fig8.len()
+    );
+    fs::write(
+        "out/fig8.svg",
+        Histogram::from_values(
+            "Fig 8: distribution of average length (min_support = 0.5)",
+            &fig8,
+            10,
+        )
+        .x_label("average sequence length")
+        .render(),
+    )?;
+
+    println!("wrote out/fig5.svg .. out/fig8.svg");
+    Ok(())
+}

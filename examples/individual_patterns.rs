@@ -1,0 +1,94 @@
+//! Individual mobility patterns (the iMAP view): mine one user at
+//! several support thresholds, show how the pattern set shrinks, and
+//! export the user's place network as SVG and Graphviz DOT.
+//!
+//! ```sh
+//! cargo run --release --example individual_patterns
+//! ```
+//!
+//! Writes `out/network_u<id>.svg` and `out/network_u<id>.dot`.
+
+use crowdweb::analytics::TextTable;
+use crowdweb::prelude::*;
+use crowdweb::viz::render_place_graph;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = SynthConfig::small(99).generate()?;
+    let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+    let labeler = crowdweb::prep::Labeler::new(&dataset, prepared.scheme());
+    let slotting = prepared.slotting();
+
+    // Pick the user with the most active days.
+    let user_seqs = prepared
+        .seqdb()
+        .users()
+        .iter()
+        .max_by_key(|u| u.len())
+        .expect("filter kept at least one user");
+    let user = user_seqs.user;
+    println!(
+        "user {user}: {} active days in {}\n",
+        user_seqs.len(),
+        prepared.window()
+    );
+
+    // The paper's Figure 5/7 effect, on a single user: raising
+    // min_support shrinks the pattern set and shortens patterns.
+    let mut table = TextTable::new(&["min_support", "patterns", "avg length", "max length"]);
+    for support in [0.1, 0.2, 0.3, 0.5, 0.75] {
+        let mined = PatternMiner::new(support)?.detect(user, &user_seqs.sequences)?;
+        table.row(&[
+            &format!("{support:.2}"),
+            &mined.pattern_count().to_string(),
+            &format!("{:.2}", mined.mean_pattern_length()),
+            &mined.patterns.max_length().to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // Show the strongest patterns with human-readable labels.
+    let mined = PatternMiner::new(0.15)?.detect(user, &user_seqs.sequences)?;
+    let mut strongest: Vec<_> = mined.patterns.iter().collect();
+    strongest.sort_by(|a, b| b.support.cmp(&a.support).then(b.len().cmp(&a.len())));
+    println!("strongest patterns:");
+    for p in strongest.iter().take(10) {
+        let rendered: Vec<String> = p
+            .items
+            .iter()
+            .map(|it| {
+                format!(
+                    "{} @ {}",
+                    labeler.name_of(it.label).unwrap_or_default(),
+                    slotting.label(it.slot)
+                )
+            })
+            .collect();
+        println!(
+            "  [{}/{} days] {}",
+            p.support,
+            mined.active_days,
+            rendered.join("  ->  ")
+        );
+    }
+
+    // Export the place network.
+    let graph = PlaceGraph::from_sequences(user, &user_seqs.sequences);
+    fs::create_dir_all("out")?;
+    let svg_path = format!("out/network_{user}.svg");
+    let dot_path = format!("out/network_{user}.dot");
+    fs::write(
+        &svg_path,
+        render_place_graph(&graph, |l| labeler.name_of(l).unwrap_or_default()),
+    )?;
+    fs::write(
+        &dot_path,
+        graph.to_dot(|l| labeler.name_of(l).unwrap_or_default()),
+    )?;
+    println!(
+        "\nplace network: {} places, {} transitions -> {svg_path}, {dot_path}",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Runs the full CrowdWeb platform: the HTTP server with the embedded
+//! single-page front-end (user list, per-user patterns and place
+//! network, the crowd city view with an hour slider and the animation
+//! button, and the four evaluation figures).
+//!
+//! ```sh
+//! cargo run --release --example platform                   # small demo data
+//! cargo run --release --example platform -- --paper        # 1,083-user scale
+//! cargo run --release --example platform -- --port 8080
+//! ```
+//!
+//! Then open the printed URL in a browser. Upload a visitor check-in
+//! history (the demo-paper booth feature) with:
+//!
+//! ```sh
+//! curl -X POST --data-binary @history.tsv http://127.0.0.1:PORT/api/upload
+//! ```
+
+use crowdweb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let paper_scale = args.iter().any(|a| a == "--paper");
+    let port: u16 = args
+        .iter()
+        .position(|a| a == "--port")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+
+    let (dataset, min_days) = if paper_scale {
+        println!("generating paper-scale dataset (1,083 users, 11 months)...");
+        (SynthConfig::paper_nyc().generate()?, 50)
+    } else {
+        (SynthConfig::small(8).users(60).generate()?, 20)
+    };
+    println!(
+        "dataset ready: {} check-ins by {} users",
+        dataset.len(),
+        dataset.user_count()
+    );
+
+    println!("mining patterns and building the crowd model...");
+    let state = AppState::build(dataset, min_days)?;
+    let server = Server::bind(("127.0.0.1", port), state)?;
+    println!("CrowdWeb listening on http://{}", server.local_addr());
+    println!("press Ctrl-C to stop");
+    server.run();
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Quickstart: the full CrowdWeb pipeline in one file.
+//!
+//! Synthesizes the Foursquare-NYC-like dataset, preprocesses it the way
+//! the paper does, mines every user's mobility patterns, aggregates the
+//! crowd, and prints a tour of the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use crowdweb::analytics::TextTable;
+use crowdweb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data. `SynthConfig::paper_nyc()` reproduces the paper's scale
+    //    (1,083 users, 11 months); `small` keeps the quickstart snappy.
+    let dataset = SynthConfig::small(2024).generate()?;
+    let stats = DatasetStats::compute(&dataset);
+    println!("== Dataset (synthetic Foursquare-style check-ins) ==");
+    let mut t = TextTable::new(&["metric", "value"]);
+    t.row(&["check-ins", &stats.total_checkins.to_string()]);
+    t.row(&["users", &stats.user_count.to_string()]);
+    t.row(&["venues", &stats.venue_count.to_string()]);
+    t.row(&[
+        "mean records/user",
+        &format!("{:.1}", stats.mean_records_per_user),
+    ]);
+    t.row(&[
+        "median records/user",
+        &format!("{:.1}", stats.median_records_per_user),
+    ]);
+    t.row(&["sparse (<1 record/day)", &stats.is_sparse().to_string()]);
+    println!("{t}");
+
+    // 2. Preprocess: richest 3-month window, active users, 2-hour
+    //    slots, coarse place labels.
+    let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+    println!(
+        "study window {} | {} of {} users pass the activity filter\n",
+        prepared.window(),
+        prepared.user_count(),
+        dataset.user_count()
+    );
+
+    // 3. Individual mobility patterns (modified PrefixSpan).
+    let miner = PatternMiner::new(0.15)?;
+    let patterns = miner.detect_all(&prepared)?;
+    let user = patterns
+        .iter()
+        .max_by_key(|u| u.pattern_count())
+        .expect("at least one user");
+    println!(
+        "== Patterns of {} ({} active days, {} patterns) ==",
+        user.user,
+        user.active_days,
+        user.pattern_count()
+    );
+    let labeler = prepared_labeler(&dataset, &prepared);
+    let slotting = prepared.slotting();
+    for p in user.patterns.iter().rev().take(8) {
+        let rendered: Vec<String> = p
+            .items
+            .iter()
+            .map(|it| {
+                format!(
+                    "{}@{}",
+                    labeler.name_of(it.label).unwrap_or_default(),
+                    slotting.label(it.slot)
+                )
+            })
+            .collect();
+        println!("  <{}> on {} days", rendered.join(" -> "), p.support);
+    }
+
+    // 4. Crowd synchronization and aggregation.
+    let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
+    let model = CrowdBuilder::new(&dataset, &prepared).build(&patterns, grid)?;
+    println!("\n== Crowd in the smart city ==");
+    for hour in [9u8, 12, 19, 22] {
+        let snap = model.snapshot_at_hour(hour).expect("hourly windows");
+        let busiest = snap
+            .busiest_cells()
+            .first()
+            .map(|(c, n)| format!("busiest {c} holds {n}"))
+            .unwrap_or_else(|| "empty".to_owned());
+        println!(
+            "  {:>8}: {:>3} users across {:>2} cells ({busiest})",
+            snap.window.label(),
+            snap.total_users(),
+            snap.occupied_cell_count()
+        );
+    }
+    Ok(())
+}
+
+fn prepared_labeler<'a>(
+    dataset: &'a Dataset,
+    prepared: &Prepared,
+) -> crowdweb::prep::Labeler<'a> {
+    crowdweb::prep::Labeler::new(dataset, prepared.scheme())
+}

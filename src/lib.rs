@@ -1,0 +1,75 @@
+//! # CrowdWeb
+//!
+//! A from-scratch Rust implementation of **CrowdWeb** (ICDCS 2023): a
+//! platform that detects individual human mobility patterns from sparse
+//! geotagged check-ins with a modified PrefixSpan over abstracted
+//! places, then synchronizes and aggregates them into city-scale crowd
+//! views over time windows.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`geo`] | `crowdweb-geo` | coordinates, microcell grids, tiles, clustering |
+//! | [`dataset`] | `crowdweb-dataset` | GTSM data model, TSV I/O, statistics |
+//! | [`synth`] | `crowdweb-synth` | calibrated synthetic Foursquare-NYC generator |
+//! | [`prep`] | `crowdweb-prep` | window/filter/discretize/label/sequence pipeline |
+//! | [`seqmine`] | `crowdweb-seqmine` | PrefixSpan, modified PrefixSpan, GSP |
+//! | [`mobility`] | `crowdweb-mobility` | per-user patterns, place graphs, prediction |
+//! | [`crowd`] | `crowdweb-crowd` | crowd synchronization, aggregation, animation |
+//! | [`viz`] | `crowdweb-viz` | SVG charts/maps, GeoJSON export |
+//! | [`server`] | `crowdweb-server` | the web platform (HTTP API + front-end) |
+//! | [`analytics`] | `crowdweb-analytics` | per-figure experiment harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use crowdweb::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Data (synthetic stand-in for the Foursquare NYC dataset).
+//! let dataset = SynthConfig::small(7).generate()?;
+//! // 2. Preprocess: richest window, active users, 2h slots, kind labels.
+//! let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+//! // 3. Mine individual mobility patterns.
+//! let patterns = PatternMiner::new(0.15)?.detect_all(&prepared)?;
+//! // 4. Synchronize and aggregate the crowd.
+//! let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
+//! let model = CrowdBuilder::new(&dataset, &prepared).build(&patterns, grid)?;
+//! let snapshot = model.snapshot_at_hour(9).expect("hourly windows");
+//! println!("9-10 am crowd: {} users", snapshot.total_users());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use crowdweb_analytics as analytics;
+pub use crowdweb_crowd as crowd;
+pub use crowdweb_dataset as dataset;
+pub use crowdweb_geo as geo;
+pub use crowdweb_mobility as mobility;
+pub use crowdweb_prep as prep;
+pub use crowdweb_seqmine as seqmine;
+pub use crowdweb_server as server;
+pub use crowdweb_synth as synth;
+pub use crowdweb_viz as viz;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crowdweb_crowd::{CrowdBuilder, CrowdModel, CrowdSnapshot, TimeWindow, TimeWindows};
+    pub use crowdweb_dataset::{
+        CheckIn, Dataset, DatasetStats, Taxonomy, Timestamp, UserId, Venue, VenueId,
+    };
+    pub use crowdweb_geo::{BoundingBox, CellId, LatLon, MicrocellGrid};
+    pub use crowdweb_mobility::{
+        evaluate_predictor, PatternMiner, PlaceGraph, PredictorKind, UserPatterns,
+    };
+    pub use crowdweb_prep::{
+        ActivityFilter, LabelScheme, Prepared, Preprocessor, SeqItem, StudyWindow, TimeSlotting,
+    };
+    pub use crowdweb_seqmine::{Gsp, ModifiedPrefixSpan, Pattern, PatternSet, PrefixSpan};
+    pub use crowdweb_server::{AppState, Server};
+    pub use crowdweb_synth::SynthConfig;
+}

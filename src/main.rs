@@ -1,0 +1,193 @@
+//! The `crowdweb` command-line interface.
+//!
+//! ```text
+//! crowdweb serve   [--paper] [--port N] [--tsv FILE]   run the platform
+//! crowdweb stats   [--paper] [--tsv FILE]              dataset statistics
+//! crowdweb figures [--paper] [--out DIR]               regenerate Figs 5-8
+//! crowdweb help                                        this message
+//! ```
+//!
+//! With `--tsv FILE` the real Foursquare `dataset_TSMC2014_NYC.txt` (or
+//! any file in that format) is used instead of the synthetic generator.
+
+use crowdweb::analytics::{
+    dataset_stats_table, fig5_sequences_vs_support, fig6_sequence_count_distribution,
+    fig7_length_vs_support, fig8_length_distribution, ExperimentContext, TextTable,
+    PAPER_SUPPORT_SWEEP,
+};
+use crowdweb::prelude::*;
+use crowdweb::viz::{Histogram, LineChart};
+use std::process::ExitCode;
+
+const HELP: &str = "crowdweb - crowd mobility patterns in smart cities
+
+USAGE:
+    crowdweb serve   [--paper] [--port N] [--tsv FILE]
+    crowdweb stats   [--paper] [--tsv FILE]
+    crowdweb figures [--paper] [--out DIR]
+    crowdweb help
+
+OPTIONS:
+    --paper      full paper scale (1,083 users, 11 months); default is a
+                 fast miniature
+    --port N     listen port for `serve` (default: ephemeral)
+    --tsv FILE   load a Foursquare-format TSV instead of synthesizing
+    --out DIR    output directory for `figures` (default: out)";
+
+struct Args {
+    command: String,
+    paper: bool,
+    port: u16,
+    tsv: Option<String>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    Args {
+        command: argv.first().cloned().unwrap_or_else(|| "help".to_owned()),
+        paper: argv.iter().any(|a| a == "--paper"),
+        port: value_of("--port").and_then(|p| p.parse().ok()).unwrap_or(0),
+        tsv: value_of("--tsv"),
+        out: value_of("--out").unwrap_or_else(|| "out".to_owned()),
+    }
+}
+
+fn load_dataset(args: &Args) -> Result<(Dataset, usize), Box<dyn std::error::Error>> {
+    if let Some(path) = &args.tsv {
+        eprintln!("loading {path}...");
+        let dataset = crowdweb::dataset::tsv::load_path(path)?;
+        return Ok((dataset, 50));
+    }
+    if args.paper {
+        eprintln!("generating paper-scale synthetic dataset (1,083 users, 11 months)...");
+        Ok((SynthConfig::paper_nyc().generate()?, 50))
+    } else {
+        Ok((SynthConfig::small(8).users(60).generate()?, 20))
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (dataset, min_days) = load_dataset(args)?;
+    eprintln!(
+        "dataset: {} check-ins by {} users; mining patterns...",
+        dataset.len(),
+        dataset.user_count()
+    );
+    let state = AppState::build(dataset, min_days)?;
+    let server = Server::bind(("127.0.0.1", args.port), state)?;
+    println!("CrowdWeb listening on http://{}", server.local_addr());
+    server.run();
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (dataset, min_days) = load_dataset(args)?;
+    let ctx = ExperimentContext::from_dataset(
+        dataset,
+        &Preprocessor::new().min_active_days(min_days),
+    )?;
+    let report = dataset_stats_table(&ctx);
+    let m = &report.measured;
+    let mut t = TextTable::new(&["metric", "value"]);
+    t.row(&["check-ins", &m.total_checkins.to_string()]);
+    t.row(&["users", &m.user_count.to_string()]);
+    t.row(&["venues", &m.venue_count.to_string()]);
+    t.row(&["mean records/user", &format!("{:.1}", m.mean_records_per_user)]);
+    t.row(&["median records/user", &format!("{:.1}", m.median_records_per_user)]);
+    t.row(&["collection days", &m.collection_days.to_string()]);
+    t.row(&["sparse (<1 record/user/day)", &m.is_sparse().to_string()]);
+    t.row(&["richest 3-month window", &report.richest_window]);
+    t.row(&["filtered users", &report.filtered_users.to_string()]);
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = if args.tsv.is_some() {
+        let (dataset, min_days) = load_dataset(args)?;
+        ExperimentContext::from_dataset(
+            dataset,
+            &Preprocessor::new().min_active_days(min_days),
+        )?
+    } else if args.paper {
+        eprintln!("building paper-scale context...");
+        ExperimentContext::paper_scale(2023)?
+    } else {
+        ExperimentContext::small(2023)?
+    };
+    std::fs::create_dir_all(&args.out)?;
+    let fig5 = fig5_sequences_vs_support(&ctx, &PAPER_SUPPORT_SWEEP)?;
+    let fig6 = fig6_sequence_count_distribution(&ctx, 0.5)?;
+    let fig7 = fig7_length_vs_support(&ctx, &PAPER_SUPPORT_SWEEP)?;
+    let fig8 = fig8_length_distribution(&ctx, 0.5)?;
+    std::fs::write(
+        format!("{}/fig5.svg", args.out),
+        LineChart::new("Fig 5: average number of sequences per user")
+            .x_label("minimum support threshold")
+            .y_label("avg sequences per user")
+            .series("modified PrefixSpan", &fig5)
+            .render(),
+    )?;
+    std::fs::write(
+        format!("{}/fig6.svg", args.out),
+        Histogram::from_values("Fig 6: sequence count distribution", &fig6, 10)
+            .x_label("number of sequences")
+            .render(),
+    )?;
+    std::fs::write(
+        format!("{}/fig7.svg", args.out),
+        LineChart::new("Fig 7: average length of sequences per user")
+            .x_label("minimum support threshold")
+            .y_label("avg sequence length")
+            .series("modified PrefixSpan", &fig7)
+            .render(),
+    )?;
+    std::fs::write(
+        format!("{}/fig8.svg", args.out),
+        Histogram::from_values("Fig 8: average length distribution", &fig8, 10)
+            .x_label("average sequence length")
+            .render(),
+    )?;
+    let mut t = TextTable::new(&["min_support", "fig5 avg sequences", "fig7 avg length"]);
+    for (i, &s) in PAPER_SUPPORT_SWEEP.iter().enumerate() {
+        t.row(&[
+            &format!("{s:.3}"),
+            &format!("{:.2}", fig5[i].1),
+            &format!("{:.3}", fig7[i].1),
+        ]);
+    }
+    println!("{t}");
+    println!("wrote {}/fig5.svg .. {}/fig8.svg", args.out, args.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let result = match args.command.as_str() {
+        "serve" => cmd_serve(&args),
+        "stats" => cmd_stats(&args),
+        "figures" => cmd_figures(&args),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Reproducibility: every stage of the system is deterministic in the
+//! seed, end to end — the property that makes the benchmark numbers
+//! meaningful.
+
+use crowdweb::prelude::*;
+
+fn full_run(seed: u64) -> (usize, Vec<usize>, Vec<(u32, usize)>) {
+    let dataset = SynthConfig::small(seed).generate().unwrap();
+    let prepared = Preprocessor::new()
+        .min_active_days(20)
+        .prepare(&dataset)
+        .unwrap();
+    let patterns = PatternMiner::new(0.15)
+        .unwrap()
+        .detect_all(&prepared)
+        .unwrap();
+    let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20).unwrap();
+    let model = CrowdBuilder::new(&dataset, &prepared)
+        .build(&patterns, grid)
+        .unwrap();
+    let snapshot = model.snapshot_at_hour(9).unwrap();
+    (
+        dataset.len(),
+        patterns.iter().map(|p| p.pattern_count()).collect(),
+        snapshot
+            .busiest_cells()
+            .into_iter()
+            .map(|(c, n)| (c.0, n))
+            .collect(),
+    )
+}
+
+#[test]
+fn identical_seeds_identical_everything() {
+    let a = full_run(1234);
+    let b = full_run(1234);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let a = full_run(1234);
+    let b = full_run(4321);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn svg_outputs_are_reproducible() {
+    let render = |seed: u64| {
+        let dataset = SynthConfig::small(seed).generate().unwrap();
+        let prepared = Preprocessor::new()
+            .min_active_days(20)
+            .prepare(&dataset)
+            .unwrap();
+        let patterns = PatternMiner::new(0.15)
+            .unwrap()
+            .detect_all(&prepared)
+            .unwrap();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20).unwrap();
+        let model = CrowdBuilder::new(&dataset, &prepared)
+            .build(&patterns, grid.clone())
+            .unwrap();
+        crowdweb::viz::CityMap::new(&grid).render(&model.snapshot_at_hour(9).unwrap())
+    };
+    assert_eq!(render(7), render(7));
+}
+
+#[test]
+fn json_api_is_reproducible() {
+    let body = |seed: u64| {
+        let dataset = SynthConfig::small(seed).users(25).generate().unwrap();
+        let state = AppState::build(dataset, 20).unwrap();
+        let router = crowdweb::server::api::build_router();
+        let req = crowdweb::server::Request::read_from(
+            "GET /api/users HTTP/1.1\r\n\r\n".as_bytes(),
+        )
+        .unwrap();
+        String::from_utf8(router.route(&state, &req).body).unwrap()
+    };
+    assert_eq!(body(5), body(5));
+}

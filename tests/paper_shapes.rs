@@ -1,0 +1,130 @@
+//! The paper's qualitative results ("shapes"), verified end to end on a
+//! mid-sized synthetic dataset: every figure's trend must hold.
+
+use crowdweb::analytics::{
+    ablation_miners, crowd_snapshot_table, dataset_stats_table, fig5_sequences_vs_support,
+    fig6_sequence_count_distribution, fig7_length_vs_support, fig8_length_distribution,
+    prediction_accuracy, ExperimentContext,
+};
+use crowdweb::prep::Preprocessor;
+use crowdweb::synth::SynthConfig;
+use std::sync::OnceLock;
+
+/// A mid-sized context: bigger than the unit-test miniature so the
+/// statistics are stable, far smaller than paper scale so the suite
+/// stays fast.
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        ExperimentContext::build(
+            &SynthConfig::small(2030).users(120).venues(1500),
+            &Preprocessor::new().min_active_days(20),
+        )
+        .unwrap()
+    })
+}
+
+#[test]
+fn section1_dataset_statistics_shape() {
+    let report = dataset_stats_table(ctx());
+    let m = &report.measured;
+    // Sparse, right-skewed per-user counts (mean > median), and the
+    // richest window starts at the collection start (April 2012).
+    assert!(m.is_sparse());
+    assert!(m.mean_records_per_user > m.median_records_per_user);
+    assert_eq!(report.richest_window, "Apr 2012");
+    assert!(report.filtered_users > 0);
+    assert!(report.filtered_users <= m.user_count);
+}
+
+#[test]
+fn fig5_monotone_decreasing_with_steep_then_flat_knee() {
+    let series = fig5_sequences_vs_support(ctx(), &[0.25, 0.5, 0.75]).unwrap();
+    assert!(series[0].1 > 0.0, "no patterns at the loosest support");
+    // Monotone decreasing.
+    assert!(series[0].1 >= series[1].1 && series[1].1 >= series[2].1);
+    // Paper: "significant decrease" 0.25 -> 0.5, "less pronounced"
+    // 0.5 -> 0.75.
+    let drop1 = series[0].1 - series[1].1;
+    let drop2 = series[1].1 - series[2].1;
+    assert!(drop1 >= drop2, "knee inverted: {series:?}");
+}
+
+#[test]
+fn fig6_distribution_is_nondegenerate_and_right_skewed() {
+    let values = fig6_sequence_count_distribution(ctx(), 0.25).unwrap();
+    assert_eq!(values.len(), ctx().prepared.user_count());
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let mut sorted = values.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    assert!(mean > 0.0);
+    // Right-skew (a few users with many patterns pull the mean up) —
+    // allow equality for robustness.
+    assert!(mean >= median * 0.8, "mean {mean} median {median}");
+    // Users differ (not a constant distribution).
+    assert!(sorted.first() != sorted.last(), "degenerate distribution");
+}
+
+#[test]
+fn fig7_average_length_decreases_with_support() {
+    let series = fig7_length_vs_support(ctx(), &[0.125, 0.25, 0.375, 0.5]).unwrap();
+    for w in series.windows(2) {
+        assert!(
+            w[0].1 + 1e-9 >= w[1].1,
+            "length must not grow with support: {series:?}"
+        );
+    }
+    // "Eatery" is more frequent than "Eatery, Shops": at the loosest
+    // support, patterns are meaningfully longer than single items.
+    assert!(series[0].1 > 1.05, "{series:?}");
+}
+
+#[test]
+fn fig8_lengths_are_at_least_one_and_vary() {
+    let values = fig8_length_distribution(ctx(), 0.25).unwrap();
+    assert!(!values.is_empty());
+    assert!(values.iter().all(|v| *v >= 1.0));
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    assert!(max > min, "degenerate length distribution");
+}
+
+#[test]
+fn figs3_4_crowd_relocates_between_windows() {
+    let rows = crowd_snapshot_table(ctx(), &[9, 19], 10).unwrap();
+    let morning: Vec<_> = rows.iter().filter(|r| r.window == "9-10 am").collect();
+    let evening: Vec<_> = rows.iter().filter(|r| r.window == "7-8 pm").collect();
+    assert!(!morning.is_empty(), "9-10 am crowd is empty");
+    assert!(!evening.is_empty(), "7-8 pm crowd is empty");
+    let m_cells: Vec<u32> = morning.iter().map(|r| r.cell).collect();
+    let e_cells: Vec<u32> = evening.iter().map(|r| r.cell).collect();
+    assert_ne!(m_cells, e_cells, "crowd did not move between windows");
+}
+
+#[test]
+fn ablation_classic_equals_gsp_and_gap_prunes() {
+    let rows = ablation_miners(ctx(), &[0.25, 0.5]).unwrap();
+    for r in &rows {
+        assert_eq!(r.classic_patterns, r.gsp_patterns);
+        assert!(r.modified_patterns <= r.classic_patterns);
+        assert!(r.classic_patterns > 0 || r.min_support > 0.25);
+    }
+}
+
+#[test]
+fn prediction_motivation_holds() {
+    let rows = prediction_accuracy(ctx()).unwrap();
+    let best = |scheme: &str| {
+        rows.iter()
+            .filter(|r| r.scheme == scheme)
+            .map(|r| r.accuracy)
+            .fold(0.0f64, f64::max)
+    };
+    // Abstraction strictly helps, monotonically across the hierarchy.
+    assert!(best("kind") > best("venue"));
+    assert!(best("category") >= best("venue"));
+    // Raw-venue prediction is weak (the paper cites 8-25%; mid-scale
+    // synthetic data sits in the same regime).
+    assert!(best("venue") < 0.30, "venue accuracy {}", best("venue"));
+}

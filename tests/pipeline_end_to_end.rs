@@ -1,0 +1,150 @@
+//! Cross-crate integration: the full pipeline from synthesis to crowd
+//! aggregation, checking the invariants each stage hands to the next.
+
+use crowdweb::prelude::*;
+use std::collections::HashSet;
+
+fn pipeline(
+    seed: u64,
+) -> (
+    Dataset,
+    Prepared,
+    Vec<UserPatterns>,
+    crowdweb::crowd::CrowdModel,
+) {
+    let dataset = SynthConfig::small(seed).generate().unwrap();
+    let prepared = Preprocessor::new()
+        .min_active_days(20)
+        .prepare(&dataset)
+        .unwrap();
+    let patterns = PatternMiner::new(0.15).unwrap().detect_all(&prepared).unwrap();
+    let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20).unwrap();
+    let model = CrowdBuilder::new(&dataset, &prepared)
+        .build(&patterns, grid)
+        .unwrap();
+    (dataset, prepared, patterns, model)
+}
+
+#[test]
+fn filtered_users_are_a_subset_of_dataset_users() {
+    let (dataset, prepared, _, _) = pipeline(1);
+    let all: HashSet<UserId> = dataset.user_ids().collect();
+    for u in prepared.users() {
+        assert!(all.contains(u));
+    }
+    assert!(prepared.user_count() <= dataset.user_count());
+}
+
+#[test]
+fn every_filtered_user_has_enough_active_days() {
+    let (dataset, prepared, _, _) = pipeline(2);
+    let filter = ActivityFilter::new(20);
+    for &u in prepared.users() {
+        assert!(
+            filter.active_day_count(&dataset, prepared.window(), u) > 20,
+            "user {u} slipped through the filter"
+        );
+    }
+}
+
+#[test]
+fn sequences_respect_window_and_ordering() {
+    let (_, prepared, _, _) = pipeline(3);
+    for user in prepared.seqdb().users() {
+        for day in &user.sequences {
+            assert!(!day.is_empty(), "empty day sequence for {}", user.user);
+            for pair in day.windows(2) {
+                assert!(
+                    pair[0].slot <= pair[1].slot,
+                    "items out of slot order for {}",
+                    user.user
+                );
+                assert_ne!(pair[0], pair[1], "consecutive duplicates must collapse");
+            }
+        }
+    }
+}
+
+#[test]
+fn pattern_supports_never_exceed_active_days() {
+    let (_, _, patterns, _) = pipeline(4);
+    for up in &patterns {
+        for p in up.patterns.iter() {
+            assert!(p.support <= up.active_days, "{:?}", p);
+            assert!(p.support >= 1);
+            assert!(!p.items.is_empty());
+        }
+    }
+}
+
+#[test]
+fn mined_patterns_actually_occur_in_the_sequences() {
+    let (_, prepared, patterns, _) = pipeline(5);
+    for up in patterns.iter().take(10) {
+        let seqs = &prepared
+            .seqdb()
+            .sequences_of(up.user)
+            .expect("mined users come from the seqdb")
+            .sequences;
+        for p in up.patterns.iter() {
+            let support = seqs
+                .iter()
+                .filter(|s| crowdweb::seqmine::contains_subsequence(&p.items, s))
+                .count();
+            assert_eq!(support, p.support, "user {} pattern {:?}", up.user, p.items);
+        }
+    }
+}
+
+#[test]
+fn crowd_placements_come_from_filtered_users_with_patterns() {
+    let (_, prepared, patterns, model) = pipeline(6);
+    let with_patterns: HashSet<UserId> = patterns
+        .iter()
+        .filter(|u| !u.patterns.is_empty())
+        .map(|u| u.user)
+        .collect();
+    let filtered: HashSet<UserId> = prepared.users().iter().copied().collect();
+    for p in model.placements() {
+        assert!(filtered.contains(&p.user));
+        assert!(with_patterns.contains(&p.user));
+    }
+}
+
+#[test]
+fn snapshot_totals_equal_placement_counts() {
+    let (_, _, _, model) = pipeline(7);
+    let frame_total: usize = model
+        .animation_frames()
+        .iter()
+        .map(|f| f.total_users())
+        .sum();
+    assert_eq!(frame_total, model.placement_count());
+    assert!(model.placement_count() > 0);
+}
+
+#[test]
+fn crowd_distribution_changes_over_the_day() {
+    let (_, _, _, model) = pipeline(8);
+    let morning = model.snapshot_at_hour(9).unwrap();
+    let night = model.snapshot_at_hour(22).unwrap();
+    assert_ne!(
+        morning.cells, night.cells,
+        "the crowd must move between 9 am and 10 pm"
+    );
+}
+
+#[test]
+fn label_space_is_kind_sized() {
+    let (dataset, prepared, _, _) = pipeline(9);
+    let labeler = crowdweb::prep::Labeler::new(&dataset, prepared.scheme());
+    assert_eq!(labeler.label_space(), 9);
+    for user in prepared.seqdb().users() {
+        for day in &user.sequences {
+            for item in day {
+                assert!((item.label.0 as usize) < 9);
+                assert!(item.slot.0 < 12);
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Serde round-trip tests: every serializable data structure must
+//! survive JSON serialization with its semantics intact (C-SERDE).
+//! Lookup indices are rebuilt via the documented `rebuild_index` hooks.
+
+use crowdweb::prelude::*;
+use crowdweb::crowd::{CrowdModel, TimeWindows};
+
+#[test]
+fn dataset_round_trips_through_json() {
+    let original = SynthConfig::small(81).users(10).generate().unwrap();
+    let json = serde_json::to_string(&original).unwrap();
+    let mut restored: Dataset = serde_json::from_str(&json).unwrap();
+    restored.rebuild_index();
+
+    assert_eq!(restored.len(), original.len());
+    assert_eq!(restored.user_count(), original.user_count());
+    assert_eq!(restored.venue_count(), original.venue_count());
+    assert_eq!(restored.checkins(), original.checkins());
+    // Indexed lookups work after rebuild.
+    let user = original.user_ids().next().unwrap();
+    assert_eq!(restored.checkins_of(user), original.checkins_of(user));
+    let venue = original.venues()[0].id();
+    assert_eq!(
+        restored.venue(venue).map(|v| v.name()),
+        original.venue(venue).map(|v| v.name())
+    );
+    // Taxonomy lookups too.
+    assert_eq!(
+        restored.taxonomy().id_of("Coffee Shop"),
+        original.taxonomy().id_of("Coffee Shop")
+    );
+}
+
+#[test]
+fn prepared_pipeline_output_round_trips() {
+    let dataset = SynthConfig::small(82).generate().unwrap();
+    let prepared = Preprocessor::new()
+        .min_active_days(20)
+        .prepare(&dataset)
+        .unwrap();
+    let json = serde_json::to_string(&prepared).unwrap();
+    let restored: Prepared = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, prepared);
+    assert_eq!(restored.seqdb().total_sequences(), prepared.seqdb().total_sequences());
+}
+
+#[test]
+fn patterns_round_trip() {
+    let dataset = SynthConfig::small(83).generate().unwrap();
+    let prepared = Preprocessor::new()
+        .min_active_days(20)
+        .prepare(&dataset)
+        .unwrap();
+    let patterns = PatternMiner::new(0.2).unwrap().detect_all(&prepared).unwrap();
+    let json = serde_json::to_string(&patterns).unwrap();
+    let restored: Vec<UserPatterns> = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, patterns);
+}
+
+#[test]
+fn crowd_model_round_trips() {
+    let dataset = SynthConfig::small(84).generate().unwrap();
+    let prepared = Preprocessor::new()
+        .min_active_days(20)
+        .prepare(&dataset)
+        .unwrap();
+    let patterns = PatternMiner::new(0.15).unwrap().detect_all(&prepared).unwrap();
+    let grid = MicrocellGrid::new(BoundingBox::NYC, 10, 10).unwrap();
+    let model = CrowdBuilder::new(&dataset, &prepared)
+        .build(&patterns, grid)
+        .unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: CrowdModel = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, model);
+    // Behaviour is identical, not just structure.
+    assert_eq!(
+        restored.snapshot_at_hour(9).unwrap().cells,
+        model.snapshot_at_hour(9).unwrap().cells
+    );
+}
+
+#[test]
+fn geo_primitives_round_trip() {
+    let point = LatLon::new(40.7580, -73.9855).unwrap();
+    let restored: LatLon =
+        serde_json::from_str(&serde_json::to_string(&point).unwrap()).unwrap();
+    assert_eq!(restored, point);
+
+    let bbox = BoundingBox::NYC;
+    let restored: BoundingBox =
+        serde_json::from_str(&serde_json::to_string(&bbox).unwrap()).unwrap();
+    assert_eq!(restored, bbox);
+
+    let grid = MicrocellGrid::new(bbox, 7, 9).unwrap();
+    let restored: MicrocellGrid =
+        serde_json::from_str(&serde_json::to_string(&grid).unwrap()).unwrap();
+    assert_eq!(restored, grid);
+    assert_eq!(restored.cell_of(point), grid.cell_of(point));
+
+    let windows = TimeWindows::with_width(2).unwrap();
+    let restored: TimeWindows =
+        serde_json::from_str(&serde_json::to_string(&windows).unwrap()).unwrap();
+    assert_eq!(restored, windows);
+}
+
+#[test]
+fn geojson_output_is_spec_shaped() {
+    use crowdweb::geo::geojson::{Feature, FeatureCollection, Geometry};
+    let p = LatLon::new(40.75, -73.98).unwrap();
+    let fc: FeatureCollection = vec![
+        Feature::new(Geometry::point(p)).with_property("name", "x"),
+        Feature::new(Geometry::rect(BoundingBox::NYC)).with_property("count", 3i64),
+        Feature::new(Geometry::line(&[p, p])),
+    ]
+    .into_iter()
+    .collect();
+    let json: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&fc).unwrap()).unwrap();
+    assert_eq!(json["type"], "FeatureCollection");
+    assert_eq!(json["features"][0]["type"], "Feature");
+    assert_eq!(json["features"][0]["geometry"]["type"], "Point");
+    assert_eq!(json["features"][1]["geometry"]["type"], "Polygon");
+    assert_eq!(json["features"][2]["geometry"]["type"], "LineString");
+    // Coordinates are [lon, lat].
+    assert_eq!(
+        json["features"][0]["geometry"]["coordinates"][0]
+            .as_f64()
+            .unwrap(),
+        -73.98
+    );
+}

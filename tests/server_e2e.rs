@@ -1,0 +1,153 @@
+//! End-to-end platform test: a real server over TCP, every endpoint
+//! family exercised the way the demo's browser front-end uses them.
+
+use crowdweb::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+struct Running {
+    addr: SocketAddr,
+}
+
+fn server() -> &'static Running {
+    static SERVER: OnceLock<Running> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let dataset = SynthConfig::small(71).generate().unwrap();
+        let state = AppState::build(dataset, 20).unwrap();
+        let (addr, _handle, _join) = Server::bind("127.0.0.1:0", state).unwrap().spawn();
+        Running { addr }
+    })
+}
+
+fn request(raw: String) -> (u16, String) {
+    let mut stream = TcpStream::connect(server().addr).unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    let code = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+    (code, body)
+}
+
+fn get(path: &str) -> (u16, String) {
+    request(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+#[test]
+fn frontend_and_stats() {
+    let (code, body) = get("/");
+    assert_eq!(code, 200);
+    assert!(body.contains("CrowdWeb"));
+    let (code, body) = get("/api/stats");
+    assert_eq!(code, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(v["total_checkins"].as_u64().unwrap() > 0);
+    assert!(v["filtered_users"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn user_pattern_and_network_flow() {
+    let (code, body) = get("/api/users");
+    assert_eq!(code, 200);
+    let users: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
+    assert!(!users.is_empty());
+    let uid = users[0]["user"].as_u64().unwrap();
+
+    let (code, body) = get(&format!("/api/patterns/{uid}"));
+    assert_eq!(code, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["user"].as_u64().unwrap(), uid);
+
+    let (code, body) = get(&format!("/api/network/{uid}"));
+    assert_eq!(code, 200);
+    assert!(body.starts_with("<svg"));
+}
+
+#[test]
+fn crowd_views_across_hours() {
+    let (code, body) = get("/api/crowd?hour=9");
+    assert_eq!(code, 200);
+    let morning: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(morning["window"], "9-10 am");
+
+    let (code, body) = get("/api/crowd?hour=21");
+    assert_eq!(code, 200);
+    let night: serde_json::Value = serde_json::from_str(&body).unwrap();
+    // Figures 3 vs 4: the distribution changes with the window.
+    assert_ne!(morning["cells"], night["cells"]);
+
+    let (code, body) = get("/api/crowd/map?hour=9");
+    assert_eq!(code, 200);
+    assert!(body.starts_with("<svg"));
+
+    let (code, body) = get("/api/crowd/geojson?hour=9");
+    assert_eq!(code, 200);
+    assert!(body.contains("FeatureCollection"));
+
+    let (code, _) = get("/api/crowd/flows?from=9&to=10");
+    assert_eq!(code, 200);
+}
+
+#[test]
+fn figures_are_served() {
+    for fig in ["fig5", "fig6", "fig7", "fig8"] {
+        let (code, body) = get(&format!("/api/figures/{fig}"));
+        assert_eq!(code, 200, "{fig}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["figure"], fig);
+        let (code, body) = get(&format!("/api/figures/{fig}/svg"));
+        assert_eq!(code, 200);
+        assert!(body.starts_with("<svg"));
+    }
+}
+
+#[test]
+fn visitor_upload_end_to_end() {
+    // The booth feature: a visitor shares their history, the platform
+    // mines and returns their patterns.
+    let mut tsv = String::new();
+    for day in 1..=5 {
+        tsv.push_str(&format!(
+            "500\thome\tx\tHome (private)\t40.73\t-73.99\t-240\tSun Apr {day:02} 11:00:00 +0000 2012\n"
+        ));
+        tsv.push_str(&format!(
+            "500\tcafe{day}\tx\tCoffee Shop\t40.74\t-73.98\t-240\tSun Apr {day:02} 17:00:00 +0000 2012\n"
+        ));
+    }
+    let (code, body) = request(format!(
+        "POST /api/upload HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{tsv}",
+        tsv.len()
+    ));
+    assert_eq!(code, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["checkins"].as_u64().unwrap(), 10);
+    // The flexible coffee habit (5 different cafés) must be mined as a
+    // single Eatery pattern thanks to place abstraction.
+    let patterns = v["patterns"][0]["patterns"].as_array().unwrap();
+    assert!(
+        patterns
+            .iter()
+            .any(|p| p["items"].as_array().unwrap().iter().any(|i| i
+                .as_str()
+                .unwrap()
+                .contains("Eatery"))),
+        "{body}"
+    );
+
+    let (code, _) = get("/api/upload/last");
+    assert_eq!(code, 200);
+}
+
+#[test]
+fn error_paths() {
+    assert_eq!(get("/api/patterns/abc").0, 400);
+    assert_eq!(get("/api/patterns/99999").0, 404);
+    assert_eq!(get("/api/crowd?hour=77").0, 400);
+    assert_eq!(get("/api/figures/fig9").0, 404);
+    assert_eq!(get("/definitely/not/here").0, 404);
+}

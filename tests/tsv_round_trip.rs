@@ -1,0 +1,77 @@
+//! Integration: a synthetic dataset serialized to the Foursquare TSV
+//! format and re-parsed must drive the entire pipeline to identical
+//! results — this is what guarantees the real `dataset_TSMC2014_NYC.txt`
+//! file drops in unchanged.
+
+use crowdweb::dataset::{tsv, DatasetStats};
+use crowdweb::prelude::*;
+
+#[test]
+fn stats_survive_tsv_round_trip() {
+    let original = SynthConfig::small(41).generate().unwrap();
+    let serialized = tsv::to_string(&original);
+    let reparsed = tsv::from_str(&serialized).unwrap();
+
+    let a = DatasetStats::compute(&original);
+    let b = DatasetStats::compute(&reparsed);
+    assert_eq!(a.total_checkins, b.total_checkins);
+    assert_eq!(a.user_count, b.user_count);
+    // The TSV carries only venues that appear in check-ins, while the
+    // generator also registers never-visited venues — compare the
+    // visited set.
+    let visited: std::collections::HashSet<VenueId> =
+        original.checkins().iter().map(|c| c.venue()).collect();
+    assert_eq!(visited.len(), b.venue_count);
+    assert_eq!(a.mean_records_per_user, b.mean_records_per_user);
+    assert_eq!(a.median_records_per_user, b.median_records_per_user);
+    assert_eq!(a.monthly_counts, b.monthly_counts);
+}
+
+#[test]
+fn mined_patterns_survive_tsv_round_trip() {
+    let original = SynthConfig::small(42).generate().unwrap();
+    let reparsed = tsv::from_str(&tsv::to_string(&original)).unwrap();
+
+    let prep = Preprocessor::new().min_active_days(20);
+    let pa = prep.prepare(&original).unwrap();
+    let pb = prep.prepare(&reparsed).unwrap();
+    assert_eq!(pa.users(), pb.users());
+    assert_eq!(pa.window(), pb.window());
+
+    let miner = PatternMiner::new(0.2).unwrap();
+    let ma = miner.detect_all(&pa).unwrap();
+    let mb = miner.detect_all(&pb).unwrap();
+    // Same pattern counts and supports for every user. (Labels are
+    // kind-indexed, so they are stable across the round trip too.)
+    assert_eq!(ma.len(), mb.len());
+    for (a, b) in ma.iter().zip(&mb) {
+        assert_eq!(a.user, b.user);
+        assert_eq!(a.active_days, b.active_days);
+        assert_eq!(a.patterns.patterns, b.patterns.patterns);
+    }
+}
+
+#[test]
+fn tsv_lines_have_eight_columns_and_parse_individually() {
+    let d = SynthConfig::small(43).users(5).generate().unwrap();
+    let serialized = tsv::to_string(&d);
+    let mut lines = 0;
+    for line in serialized.lines() {
+        assert_eq!(line.split('\t').count(), 8, "bad line: {line}");
+        lines += 1;
+    }
+    assert_eq!(lines, d.len());
+}
+
+#[test]
+fn file_round_trip_via_disk() {
+    let d = SynthConfig::small(44).users(5).generate().unwrap();
+    let dir = std::env::temp_dir().join("crowdweb_tsv_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.tsv");
+    std::fs::write(&path, tsv::to_string(&d)).unwrap();
+    let loaded = tsv::load_path(&path).unwrap();
+    assert_eq!(loaded.len(), d.len());
+    assert_eq!(loaded.user_count(), d.user_count());
+    std::fs::remove_file(&path).ok();
+}
