@@ -1,0 +1,190 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the API shape the benches compile against (`Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros) and actually measures: each benchmark is
+//! warmed up, run for a fixed number of timed iterations, and reported
+//! as mean wall-clock time per iteration on stdout. There is no
+//! statistical analysis or HTML report — numbers land on the terminal
+//! and in whatever the caller writes to `out/`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, one per binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.iters
+        };
+        println!(
+            "  {group}/{id}: mean {mean:?} over {iters} iterations",
+            group = self.name,
+            iters = bencher.iters,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<String>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; reporting is incremental).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure handed to `iter`.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its output alive so the work is not
+    /// optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark, printed as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.text
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Collects benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running every group (harness = false entry point).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+}

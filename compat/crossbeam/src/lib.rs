@@ -1,0 +1,196 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`channel::bounded`] — a blocking, multi-producer
+//! multi-consumer bounded channel with cloneable senders *and*
+//! receivers, the part of crossbeam's API that CrowdWeb's server worker
+//! pool and execution engine rely on. Built on `Mutex` + `Condvar`;
+//! correctness over raw throughput, which is ample for connection
+//! hand-off and task fan-out.
+
+#![forbid(unsafe_code)]
+
+/// MPMC channels in the `crossbeam::channel` API shape.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        inner: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: usize,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half; cloneable (MPMC).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned when all receivers are gone; carries the value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when the channel is empty and all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates a bounded channel with the given capacity (minimum 1).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `value`. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.inner.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.0.capacity {
+                    state.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.0.not_full.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives. Fails once the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.not_empty.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.inner.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.inner.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError};
+
+    #[test]
+    fn values_flow_in_order_per_sender() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (tx, rx) = bounded(4);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    while let Ok(v) = rx.recv() {
+                        got += v;
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for v in 1..=100u32 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 5050);
+    }
+}

@@ -1,0 +1,603 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the compat serde
+//! subset.
+//!
+//! A hand-rolled token parser (no `syn`/`quote` — the build environment
+//! is offline) that supports the shapes this workspace actually uses:
+//!
+//! - named-field structs, tuple structs, unit structs, with optional
+//!   plain type parameters (`struct Pattern<T> { .. }`);
+//! - enums with unit and tuple variants (externally tagged by default);
+//! - container attributes `#[serde(untagged)]` and
+//!   `#[serde(tag = "..", content = "..")]`;
+//! - field attributes `#[serde(skip)]`, `#[serde(default)]`, and
+//!   `#[serde(rename = "..")]`.
+//!
+//! Anything outside that subset panics with a clear message at compile
+//! time, which is the correct failure mode for a vendored shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Model.
+// ---------------------------------------------------------------------
+
+#[derive(Default, Debug, Clone)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    rename: Option<String>,
+    untagged: bool,
+    tag: Option<String>,
+    content: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    arity: usize, // 0 = unit, n = tuple variant with n fields
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    attrs: SerdeAttrs,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, folding any `#[serde(..)]` contents
+    /// into the returned attrs.
+    fn parse_attrs(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while self.at_punct('#') {
+            self.next(); // '#'
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue; // docs, #[default], derive helpers, ...
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                other => panic!("serde_derive: malformed #[serde(..)]: {other:?}"),
+            };
+            parse_serde_args(args, &mut attrs);
+        }
+        attrs
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ..)` visibility markers.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+fn parse_serde_args(args: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut cur = Cursor::new(args);
+    loop {
+        let Some(tok) = cur.next() else { break };
+        let key = match tok {
+            TokenTree::Ident(i) => i.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("serde_derive: unexpected token in #[serde(..)]: {other:?}"),
+        };
+        let value = if cur.at_punct('=') {
+            cur.next();
+            match cur.next() {
+                Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())),
+                other => panic!("serde_derive: expected literal after '=', found {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("skip", None) | ("skip_serializing", None) => attrs.skip = true,
+            ("default", None) => attrs.default = true,
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("untagged", None) => attrs.untagged = true,
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("content", Some(v)) => attrs.content = Some(v),
+            (k, _) => panic!("serde_derive: unsupported serde attribute `{k}`"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_owned()
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut cur = Cursor::new(stream);
+    let attrs = cur.parse_attrs();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident();
+    let name = cur.expect_ident();
+    let generics = parse_generics(&mut cur);
+    let kind = match keyword.as_str() {
+        "struct" => parse_struct_body(&mut cur),
+        "enum" => parse_enum_body(&mut cur),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        generics,
+        attrs,
+        kind,
+    }
+}
+
+fn parse_generics(cur: &mut Cursor) -> Vec<String> {
+    let mut params = Vec::new();
+    if !cur.at_punct('<') {
+        return params;
+    }
+    cur.next(); // '<'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetime parameters are not supported")
+            }
+            Some(TokenTree::Ident(i)) if depth == 1 => params.push(i.to_string()),
+            Some(_) => {}
+            None => panic!("serde_derive: unterminated generics"),
+        }
+    }
+    params
+}
+
+fn parse_struct_body(cur: &mut Cursor) -> Kind {
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+        other => panic!("serde_derive: malformed struct body: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.parse_attrs();
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        if !cur.at_punct(':') {
+            panic!("serde_derive: expected ':' after field `{name}`");
+        }
+        cur.next(); // ':'
+        skip_type(&mut cur);
+        fields.push(Field { name, attrs });
+        if cur.at_punct(',') {
+            cur.next();
+        }
+    }
+    fields
+}
+
+/// Skips one type expression: tokens up to a top-level `,` (angle
+/// brackets tracked so `HashMap<K, V>` counts as one type).
+fn skip_type(cur: &mut Cursor) {
+    let mut angle = 0i32;
+    while let Some(tok) = cur.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        cur.next();
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0usize;
+    while cur.peek().is_some() {
+        let _attrs = cur.parse_attrs();
+        cur.skip_visibility();
+        if cur.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_type(&mut cur);
+        count += 1;
+        if cur.at_punct(',') {
+            cur.next();
+        }
+    }
+    count
+}
+
+fn parse_enum_body(cur: &mut Cursor) -> Kind {
+    let group = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive: malformed enum body: {other:?}"),
+    };
+    let mut cur = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let _attrs = cur.parse_attrs(); // #[default], docs
+        let name = cur.expect_ident();
+        let arity = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                n
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct-style enum variants are not supported ({name})")
+            }
+            _ => 0,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if cur.at_punct('=') {
+            cur.next();
+            while let Some(tok) = cur.peek() {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.next();
+            }
+        }
+        variants.push(Variant { name, arity });
+        if cur.at_punct(',') {
+            cur.next();
+        }
+    }
+    Kind::Enum(variants)
+}
+
+// ---------------------------------------------------------------------
+// Codegen helpers.
+// ---------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, input: &Input) -> String {
+    if input.generics.is_empty() {
+        format!("impl serde::{} for {}", trait_name, input.name)
+    } else {
+        let bounds: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> serde::{} for {}<{}>",
+            bounds.join(", "),
+            trait_name,
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+fn field_key(field: &Field) -> String {
+    field
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| field.name.clone())
+}
+
+// ---------------------------------------------------------------------
+// Serialize.
+// ---------------------------------------------------------------------
+
+/// Derives the compat `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.attrs.skip) {
+                pushes.push_str(&format!(
+                    "entries.push((serde::Content::Str({key:?}.to_string()), \
+                     serde::Serialize::to_content(&self.{name})));\n",
+                    key = field_key(f),
+                    name = f.name,
+                ));
+            }
+            format!(
+                "let mut entries: Vec<(serde::Content, serde::Content)> = Vec::new();\n\
+                 {pushes}serde::Content::Map(entries)"
+            )
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "serde::Content::Null".to_owned(),
+        Kind::Enum(variants) => serialize_enum(&input, variants),
+    };
+    let out = format!(
+        "{header} {{\n fn to_content(&self) -> serde::Content {{\n {body}\n }}\n}}\n",
+        header = impl_header("Serialize", &input),
+    );
+    out.parse()
+        .expect("serde_derive: generated invalid Rust (Serialize)")
+}
+
+fn serialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let binders: Vec<String> = (0..v.arity).map(|i| format!("v{i}")).collect();
+        let pattern = if v.arity == 0 {
+            format!("Self::{}", v.name)
+        } else {
+            format!("Self::{}({})", v.name, binders.join(", "))
+        };
+        let inner = match v.arity {
+            0 => None,
+            1 => Some("serde::Serialize::to_content(v0)".to_owned()),
+            _ => {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_content({b})"))
+                    .collect();
+                Some(format!("serde::Content::Seq(vec![{}])", items.join(", ")))
+            }
+        };
+        let value = if input.attrs.untagged {
+            inner.unwrap_or_else(|| "serde::Content::Null".to_owned())
+        } else if let (Some(tag), content) = (&input.attrs.tag, &input.attrs.content) {
+            let mut entries = format!(
+                "(serde::Content::Str({tag:?}.to_string()), \
+                 serde::Content::Str({name:?}.to_string()))",
+                name = v.name
+            );
+            if let (Some(content_key), Some(inner)) = (content, &inner) {
+                entries.push_str(&format!(
+                    ", (serde::Content::Str({content_key:?}.to_string()), {inner})"
+                ));
+            }
+            format!("serde::Content::Map(vec![{entries}])")
+        } else {
+            match &inner {
+                None => format!("serde::Content::Str({:?}.to_string())", v.name),
+                Some(inner) => format!(
+                    "serde::Content::Map(vec![(serde::Content::Str({name:?}.to_string()), {inner})])",
+                    name = v.name
+                ),
+            }
+        };
+        arms.push_str(&format!("{pattern} => {value},\n"));
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------
+// Deserialize.
+// ---------------------------------------------------------------------
+
+/// Derives the compat `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fallback = if f.attrs.skip || f.attrs.default {
+                    "Default::default()".to_owned()
+                } else {
+                    format!(
+                        "return Err(serde::Error::msg(concat!(\"missing field `\", {key:?}, \"`\")))",
+                        key = field_key(f)
+                    )
+                };
+                let init = if f.attrs.skip {
+                    "Default::default()".to_owned()
+                } else {
+                    format!(
+                        "match c.get_field({key:?}) {{\n\
+                         Some(v) => serde::Deserialize::from_content(v)?,\n\
+                         None => {fallback},\n}}",
+                        key = field_key(f)
+                    )
+                };
+                inits.push_str(&format!("{name}: {init},\n", name = f.name));
+            }
+            format!(
+                "match c {{\n\
+                 serde::Content::Map(_) => Ok(Self {{\n{inits}}}),\n\
+                 _ => Err(serde::Error::expected(\"object\", c)),\n}}"
+            )
+        }
+        Kind::TupleStruct(1) => "Ok(Self(serde::Deserialize::from_content(c)?))".to_owned(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "match c {{\n\
+                 serde::Content::Seq(items) if items.len() == {n} => \
+                 Ok(Self({items})),\n\
+                 _ => Err(serde::Error::expected(\"array of length {n}\", c)),\n}}",
+                items = items.join(", ")
+            )
+        }
+        Kind::UnitStruct => "Ok(Self)".to_owned(),
+        Kind::Enum(variants) => deserialize_enum(&input, variants),
+    };
+    let out = format!(
+        "{header} {{\n fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {{\n \
+         {body}\n }}\n}}\n",
+        header = impl_header("Deserialize", &input),
+    );
+    out.parse()
+        .expect("serde_derive: generated invalid Rust (Deserialize)")
+}
+
+fn variant_from_inner(variant: &Variant, source: &str) -> String {
+    match variant.arity {
+        0 => format!("Ok(Self::{})", variant.name),
+        1 => format!(
+            "Ok(Self::{}(serde::Deserialize::from_content({source})?))",
+            variant.name
+        ),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "match {source} {{\n\
+                 serde::Content::Seq(items) if items.len() == {n} => \
+                 Ok(Self::{name}({items})),\n\
+                 _ => Err(serde::Error::expected(\"array of length {n}\", {source})),\n}}",
+                name = variant.name,
+                items = items.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum(input: &Input, variants: &[Variant]) -> String {
+    if input.attrs.untagged {
+        let mut tries = String::new();
+        for v in variants {
+            match v.arity {
+                0 => tries.push_str(&format!(
+                    "if matches!(c, serde::Content::Null) {{ return Ok(Self::{}); }}\n",
+                    v.name
+                )),
+                1 => tries.push_str(&format!(
+                    "if let Ok(v) = serde::Deserialize::from_content(c) {{ \
+                     return Ok(Self::{}(v)); }}\n",
+                    v.name
+                )),
+                n => panic!(
+                    "serde_derive: untagged variant {} with {n} fields is not supported",
+                    v.name
+                ),
+            }
+        }
+        return format!(
+            "{tries}Err(serde::Error::expected(\"a value matching one of the \
+             untagged variants\", c))"
+        );
+    }
+    if let Some(tag) = &input.attrs.tag {
+        let content_lookup = match &input.attrs.content {
+            Some(content_key) => format!(
+                "let content = c.get_field({content_key:?})\
+                 .ok_or_else(|| serde::Error::msg(concat!(\"missing field `\", {content_key:?}, \"`\")))?;"
+            ),
+            None => String::new(),
+        };
+        let mut arms = String::new();
+        for v in variants {
+            let body = if v.arity == 0 {
+                format!("Ok(Self::{})", v.name)
+            } else {
+                variant_from_inner(v, "content")
+            };
+            arms.push_str(&format!("{:?} => {{ {body} }},\n", v.name));
+        }
+        return format!(
+            "let tag = match c.get_field({tag:?}) {{\n\
+             Some(serde::Content::Str(s)) => s.clone(),\n\
+             _ => return Err(serde::Error::msg(concat!(\"missing tag `\", {tag:?}, \"`\"))),\n}};\n\
+             {content_lookup}\n\
+             match tag.as_str() {{\n{arms}\
+             other => Err(serde::Error::msg(format!(\"unknown variant `{{other}}`\"))),\n}}"
+        );
+    }
+    // Externally tagged (serde default).
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        if v.arity == 0 {
+            unit_arms.push_str(&format!("{:?} => Ok(Self::{}),\n", v.name, v.name));
+        } else {
+            let body = variant_from_inner(v, "value");
+            data_arms.push_str(&format!("{:?} => {{ {body} }},\n", v.name));
+        }
+    }
+    format!(
+        "match c {{\n\
+         serde::Content::Str(s) => match s.as_str() {{\n{unit_arms}\
+         other => Err(serde::Error::msg(format!(\"unknown variant `{{other}}`\"))),\n}},\n\
+         serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+         let (key, value) = &entries[0];\n\
+         let serde::Content::Str(key) = key else {{\n\
+         return Err(serde::Error::expected(\"string variant key\", key));\n}};\n\
+         match key.as_str() {{\n{data_arms}\
+         other => Err(serde::Error::msg(format!(\"unknown variant `{{other}}`\"))),\n}}\n}},\n\
+         _ => Err(serde::Error::expected(\"string or single-key object\", c)),\n}}"
+    )
+}

@@ -96,10 +96,7 @@ mod tests {
         let ctx = ExperimentContext::small(1).unwrap();
         assert!(!ctx.dataset.is_empty());
         assert!(ctx.prepared.user_count() > 0);
-        assert_eq!(
-            ctx.prepared.seqdb().user_count(),
-            ctx.prepared.user_count()
-        );
+        assert_eq!(ctx.prepared.seqdb().user_count(), ctx.prepared.user_count());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::ExperimentContext;
 use crowdweb_crowd::{validate_against_checkins, CrowdBuilder, CrowdModel, ModelFit, TimeWindows};
 use crowdweb_dataset::DatasetStats;
+use crowdweb_exec::Parallelism;
 use crowdweb_geo::{BoundingBox, MicrocellGrid};
 use crowdweb_mobility::{
     evaluate_pattern_predictor, evaluate_predictor, predictability_profile, PatternMiner,
@@ -23,7 +24,9 @@ fn detect_all(
     ctx: &ExperimentContext,
     min_support: f64,
 ) -> Result<Vec<UserPatterns>, Box<dyn Error>> {
-    Ok(PatternMiner::new(min_support)?.detect_all(&ctx.prepared)?)
+    Ok(PatternMiner::new(min_support)?
+        .parallelism(Parallelism::Auto)
+        .detect_all(&ctx.prepared)?)
 }
 
 /// **Figure 5** — average number of sequences (mined patterns) per user
@@ -169,6 +172,7 @@ pub fn build_crowd_model(
     let grid = MicrocellGrid::new(BoundingBox::NYC, grid_side, grid_side)?;
     Ok(CrowdBuilder::new(&ctx.dataset, &ctx.prepared)
         .windows(TimeWindows::hourly())
+        .parallelism(Parallelism::Auto)
         .build(&patterns, grid)?)
 }
 
@@ -231,19 +235,16 @@ pub fn ablation_miners(
     ctx: &ExperimentContext,
     supports: &[f64],
 ) -> Result<Vec<AblationRow>, Box<dyn Error>> {
-    let db: Vec<Vec<crowdweb_prep::SeqItem>> = ctx
-        .prepared
-        .seqdb()
-        .users()
-        .iter()
-        .flat_map(|u| u.sequences.iter().cloned())
-        .collect();
+    // Mine the columnar store's symbol slices directly — no decode.
+    let seqdb = ctx.prepared.seqdb();
+    let table = seqdb.symbols();
+    let db = seqdb.day_slices();
     let mut rows = Vec::new();
     for &s in supports {
         let t0 = Instant::now();
         let modified = ModifiedPrefixSpan::new(s)?
             .max_gap(Some(2))
-            .mine(&db, |it| u32::from(it.slot.0));
+            .mine(&db, |sym| u32::from(table.resolve(*sym).slot.0));
         let modified_us = t0.elapsed().as_micros();
 
         let t1 = Instant::now();
@@ -356,8 +357,8 @@ pub struct EntropySummary {
 pub fn entropy_summary(ctx: &ExperimentContext) -> EntropySummary {
     let mut entropies = Vec::new();
     let mut pis = Vec::new();
-    for u in ctx.prepared.seqdb().users() {
-        let p = predictability_profile(&u.sequences);
+    for view in ctx.prepared.seqdb().views() {
+        let p = predictability_profile(&view.decode());
         if p.visits > 0 {
             entropies.push(p.actual_entropy);
             pis.push(p.max_predictability);
@@ -394,10 +395,7 @@ mod tests {
         let series = fig5_sequences_vs_support(&ctx(), &PAPER_SUPPORT_SWEEP).unwrap();
         assert_eq!(series.len(), 7);
         for w in series.windows(2) {
-            assert!(
-                w[0].1 >= w[1].1,
-                "fig5 must fall with support: {series:?}"
-            );
+            assert!(w[0].1 >= w[1].1, "fig5 must fall with support: {series:?}");
         }
         // And it is not all-zero.
         assert!(series[0].1 > 0.0);
@@ -406,8 +404,7 @@ mod tests {
     #[test]
     fn fig5_shows_steep_then_flat_knee() {
         // The paper: big drop 0.25 -> 0.5, smaller drop 0.5 -> 0.75.
-        let series =
-            fig5_sequences_vs_support(&ctx(), &[0.25, 0.5, 0.75]).unwrap();
+        let series = fig5_sequences_vs_support(&ctx(), &[0.25, 0.5, 0.75]).unwrap();
         let drop1 = series[0].1 - series[1].1;
         let drop2 = series[1].1 - series[2].1;
         assert!(drop1 >= drop2, "knee inverted: {series:?}");

@@ -40,10 +40,10 @@ pub mod table;
 
 pub use context::ExperimentContext;
 pub use figures::{
-    ablation_miners, build_crowd_model, crowd_snapshot_table, dataset_stats_table,
-    entropy_summary, fig5_sequences_vs_support, fig6_sequence_count_distribution,
-    fig7_length_vs_support, fig8_length_distribution, model_fit, prediction_accuracy,
-    AblationRow, CrowdRow, EntropySummary, PredictionRow, StatsReport, PAPER_SUPPORT_SWEEP,
+    ablation_miners, build_crowd_model, crowd_snapshot_table, dataset_stats_table, entropy_summary,
+    fig5_sequences_vs_support, fig6_sequence_count_distribution, fig7_length_vs_support,
+    fig8_length_distribution, model_fit, prediction_accuracy, AblationRow, CrowdRow,
+    EntropySummary, PredictionRow, StatsReport, PAPER_SUPPORT_SWEEP,
 };
 pub use report::generate_report;
 pub use table::TextTable;

@@ -7,25 +7,22 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowdweb_analytics::build_crowd_model;
 use crowdweb_bench::{banner, mid_context};
-use crowdweb_prep::SeqItem;
 use crowdweb_seqmine::{closed_patterns, maximal_patterns, PrefixSpan, Spade};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let ctx = mid_context();
-    let db: Vec<Vec<SeqItem>> = ctx
-        .prepared
-        .seqdb()
-        .users()
-        .iter()
-        .flat_map(|u| u.sequences.iter().cloned())
-        .collect();
+    // Mine the columnar store's symbol slices directly — no decode.
+    let db = ctx.prepared.seqdb().day_slices();
 
     banner(
         "Ablation: pattern-set compression (full vs closed vs maximal)",
         "closed <= full, maximal <= closed; identical support information",
     );
-    println!("{:>8} {:>8} {:>8} {:>8}", "support", "full", "closed", "maximal");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8}",
+        "support", "full", "closed", "maximal"
+    );
     for s in [0.125, 0.25] {
         let full = PrefixSpan::new(s).unwrap().mine(&db);
         let closed = closed_patterns(&full);

@@ -5,7 +5,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowdweb_analytics::ablation_miners;
 use crowdweb_bench::{banner, mid_context};
-use crowdweb_prep::SeqItem;
 use crowdweb_seqmine::{Gsp, ModifiedPrefixSpan, PrefixSpan};
 use std::hint::black_box;
 
@@ -33,13 +32,10 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    let db: Vec<Vec<SeqItem>> = ctx
-        .prepared
-        .seqdb()
-        .users()
-        .iter()
-        .flat_map(|u| u.sequences.iter().cloned())
-        .collect();
+    // Mine the columnar store's symbol slices directly — no decode.
+    let seqdb = ctx.prepared.seqdb();
+    let table = seqdb.symbols();
+    let db = seqdb.day_slices();
     let mut group = c.benchmark_group("miners");
     group.sample_size(10);
     for support in [0.25, 0.5] {
@@ -48,7 +44,7 @@ fn bench(c: &mut Criterion) {
             &support,
             |b, &s| {
                 let miner = ModifiedPrefixSpan::new(s).unwrap().max_gap(Some(2));
-                b.iter(|| miner.mine(black_box(&db), |it| u32::from(it.slot.0)))
+                b.iter(|| miner.mine(black_box(&db), |sym| u32::from(table.resolve(*sym).slot.0)))
             },
         );
         group.bench_with_input(

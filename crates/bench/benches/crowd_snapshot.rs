@@ -18,8 +18,16 @@ fn bench(c: &mut Criterion) {
     for r in &rows {
         println!("{:>10}  {:>8}  {:>6}", r.window, r.cell, r.users);
     }
-    let morning: Vec<u32> = rows.iter().filter(|r| r.window == "9-10 am").map(|r| r.cell).collect();
-    let evening: Vec<u32> = rows.iter().filter(|r| r.window == "7-8 pm").map(|r| r.cell).collect();
+    let morning: Vec<u32> = rows
+        .iter()
+        .filter(|r| r.window == "9-10 am")
+        .map(|r| r.cell)
+        .collect();
+    let evening: Vec<u32> = rows
+        .iter()
+        .filter(|r| r.window == "7-8 pm")
+        .map(|r| r.cell)
+        .collect();
     println!(
         "distinct busiest-cell sets: {}   (paper: the crowd moves)",
         morning != evening

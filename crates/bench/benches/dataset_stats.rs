@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
     let report = dataset_stats_table(ctx);
     let m = &report.measured;
     println!("{:<28} {:>12} {:>12}", "metric", "paper", "measured");
-    println!("{:<28} {:>12} {:>12}", "check-ins", 227_428, m.total_checkins);
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "check-ins", 227_428, m.total_checkins
+    );
     println!("{:<28} {:>12} {:>12}", "users", 1_083, m.user_count);
     println!(
         "{:<28} {:>12} {:>12.1}",
@@ -32,7 +35,9 @@ fn bench(c: &mut Criterion) {
     );
     println!(
         "{:<28} {:>12} {:>12}",
-        "sparse (<1/day)", "yes", if m.is_sparse() { "yes" } else { "no" }
+        "sparse (<1/day)",
+        "yes",
+        if m.is_sparse() { "yes" } else { "no" }
     );
     println!(
         "{:<28} {:>12} {:>12}",

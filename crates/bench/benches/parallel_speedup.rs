@@ -1,0 +1,123 @@
+//! **Engine E2** — parallel speedup of the shared execution pool across
+//! the mine → aggregate pipeline: per-user pattern mining
+//! (`PatternMiner::detect_all`) and crowd synchronization
+//! (`CrowdBuilder::build`) under `Parallelism::Sequential` vs thread
+//! fan-out, on identical inputs (outputs are byte-identical by
+//! construction; `tests/determinism.rs` asserts it).
+//!
+//! Prints a speedup table and writes it to
+//! `out/parallel_speedup.tsv`. Speedup is bounded by the machine's
+//! core count: on a single-core container, thread fan-out can only
+//! add overhead, and the table will honestly show ~1.0× or below.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdweb_bench::{banner, mid_context};
+use crowdweb_crowd::{CrowdBuilder, TimeWindows};
+use crowdweb_exec::Parallelism;
+use crowdweb_geo::{BoundingBox, MicrocellGrid};
+use crowdweb_mobility::PatternMiner;
+use std::hint::black_box;
+use std::time::Instant;
+
+const MIN_SUPPORT: f64 = 0.15;
+
+fn policies() -> Vec<(String, Parallelism)> {
+    vec![
+        ("sequential".into(), Parallelism::Sequential),
+        ("threads_2".into(), Parallelism::Threads(2)),
+        ("threads_4".into(), Parallelism::Threads(4)),
+        ("auto".into(), Parallelism::Auto),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let ctx = mid_context();
+    let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20).unwrap();
+    let patterns = PatternMiner::new(MIN_SUPPORT)
+        .unwrap()
+        .detect_all(&ctx.prepared)
+        .unwrap();
+
+    banner(
+        "Engine: parallel speedup (mine + crowd sync) vs sequential",
+        "speedup approaches the worker count on multi-core hosts; ~1x on one core",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host cores: {cores}");
+    println!(
+        "{:>12} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "policy", "workers", "mine_us", "speedup", "sync_us", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    let mut base_mine_us = 0u128;
+    let mut base_sync_us = 0u128;
+    for (name, parallelism) in policies() {
+        let miner = PatternMiner::new(MIN_SUPPORT)
+            .unwrap()
+            .parallelism(parallelism);
+        let t0 = Instant::now();
+        let mined = miner.detect_all(&ctx.prepared).unwrap();
+        let mine_us = t0.elapsed().as_micros();
+        assert_eq!(mined, patterns, "policy {name} changed the mined output");
+
+        let builder = CrowdBuilder::new(&ctx.dataset, &ctx.prepared)
+            .windows(TimeWindows::hourly())
+            .parallelism(parallelism);
+        let t1 = Instant::now();
+        let model = builder.build(&patterns, grid.clone()).unwrap();
+        let sync_us = t1.elapsed().as_micros();
+        black_box(model);
+
+        if name == "sequential" {
+            base_mine_us = mine_us;
+            base_sync_us = sync_us;
+        }
+        let mine_speedup = base_mine_us as f64 / mine_us.max(1) as f64;
+        let sync_speedup = base_sync_us as f64 / sync_us.max(1) as f64;
+        println!(
+            "{name:>12} {:>10} {mine_us:>12} {mine_speedup:>9.2}x {sync_us:>12} {sync_speedup:>9.2}x",
+            parallelism.worker_count()
+        );
+        rows.push(format!(
+            "{name}\t{}\t{mine_us}\t{mine_speedup:.3}\t{sync_us}\t{sync_speedup:.3}",
+            parallelism.worker_count()
+        ));
+    }
+
+    std::fs::create_dir_all("out").unwrap();
+    std::fs::write(
+        "out/parallel_speedup.tsv",
+        format!(
+            "# host cores: {cores}\npolicy\tworkers\tmine_us\tmine_speedup\tsync_us\tsync_speedup\n{}\n",
+            rows.join("\n")
+        ),
+    )
+    .unwrap();
+    println!("\nwrote out/parallel_speedup.tsv");
+
+    let mut group = c.benchmark_group("parallel_speedup");
+    group.sample_size(10);
+    for (name, parallelism) in policies() {
+        group.bench_with_input(
+            BenchmarkId::new("detect_all", &name),
+            &parallelism,
+            |b, &p| {
+                let miner = PatternMiner::new(MIN_SUPPORT).unwrap().parallelism(p);
+                b.iter(|| miner.detect_all(black_box(&ctx.prepared)).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("crowd_build", &name),
+            &parallelism,
+            |b, &p| {
+                let builder = CrowdBuilder::new(&ctx.dataset, &ctx.prepared).parallelism(p);
+                b.iter(|| builder.build(black_box(&patterns), grid.clone()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
         "raw venues weak (<~25%), coarse kinds far stronger",
     );
     let rows = prediction_accuracy(ctx).unwrap();
-    println!("{:<10} {:<14} {:>9} {:>12}", "scheme", "predictor", "accuracy", "predictions");
+    println!(
+        "{:<10} {:<14} {:>9} {:>12}",
+        "scheme", "predictor", "accuracy", "predictions"
+    );
     for r in &rows {
         println!(
             "{:<10} {:<14} {:>8.1}% {:>12}",

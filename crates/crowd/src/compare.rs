@@ -46,12 +46,20 @@ pub struct WindowComparison {
 impl WindowComparison {
     /// Cells that gained users, largest gain first.
     pub fn gains(&self) -> Vec<CellDelta> {
-        self.deltas.iter().filter(|d| d.change() > 0).copied().collect()
+        self.deltas
+            .iter()
+            .filter(|d| d.change() > 0)
+            .copied()
+            .collect()
     }
 
     /// Cells that lost users, largest loss first.
     pub fn losses(&self) -> Vec<CellDelta> {
-        self.deltas.iter().filter(|d| d.change() < 0).copied().collect()
+        self.deltas
+            .iter()
+            .filter(|d| d.change() < 0)
+            .copied()
+            .collect()
     }
 
     /// Total absolute per-cell movement (a crowd-churn measure):

@@ -1,0 +1,260 @@
+//! One-call pipeline driver: prepare → mine → grid → crowd.
+//!
+//! Every consumer of the full CrowdWeb pipeline (server, benchmarks,
+//! examples) used to hand-wire the same four stages. [`PipelineDriver`]
+//! owns that wiring and threads one [`Parallelism`] policy through the
+//! stages that fan out on the shared pool (pattern mining and crowd
+//! synchronization), so callers pick a policy once and the whole
+//! pipeline honours it.
+
+use crate::{CrowdBuilder, CrowdError, CrowdModel, TimeWindows};
+use crowdweb_dataset::Dataset;
+use crowdweb_exec::Parallelism;
+use crowdweb_geo::{BoundingBox, GeoError, MicrocellGrid};
+use crowdweb_mobility::{MobilityError, PatternMiner, UserPatterns};
+use crowdweb_prep::{PrepError, Prepared, Preprocessor};
+use std::error::Error;
+use std::fmt;
+
+/// Error from any stage of a driven pipeline run.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Preprocessing failed.
+    Prep(PrepError),
+    /// Pattern mining failed.
+    Mobility(MobilityError),
+    /// The display grid was invalid.
+    Geo(GeoError),
+    /// Crowd synchronization failed.
+    Crowd(CrowdError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Prep(e) => write!(f, "preprocessing stage failed: {e}"),
+            PipelineError::Mobility(e) => write!(f, "mining stage failed: {e}"),
+            PipelineError::Geo(e) => write!(f, "grid construction failed: {e}"),
+            PipelineError::Crowd(e) => write!(f, "crowd stage failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Prep(e) => Some(e),
+            PipelineError::Mobility(e) => Some(e),
+            PipelineError::Geo(e) => Some(e),
+            PipelineError::Crowd(e) => Some(e),
+        }
+    }
+}
+
+impl From<PrepError> for PipelineError {
+    fn from(e: PrepError) -> Self {
+        PipelineError::Prep(e)
+    }
+}
+
+impl From<MobilityError> for PipelineError {
+    fn from(e: MobilityError) -> Self {
+        PipelineError::Mobility(e)
+    }
+}
+
+impl From<GeoError> for PipelineError {
+    fn from(e: GeoError) -> Self {
+        PipelineError::Geo(e)
+    }
+}
+
+impl From<CrowdError> for PipelineError {
+    fn from(e: CrowdError) -> Self {
+        PipelineError::Crowd(e)
+    }
+}
+
+/// Everything a full pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The preprocessed dataset (stage 1).
+    pub prepared: Prepared,
+    /// Every user's mined mobility patterns (stage 2), in user order.
+    pub patterns: Vec<UserPatterns>,
+    /// The display grid the crowd model is bucketed into (stage 3).
+    pub grid: MicrocellGrid,
+    /// The synchronized, aggregated crowd model (stage 4).
+    pub crowd: CrowdModel,
+}
+
+/// Drives the whole prepare → mine → grid → crowd pipeline with one
+/// configuration and one execution policy.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_crowd::PipelineDriver;
+/// use crowdweb_exec::Parallelism;
+/// use crowdweb_synth::SynthConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = SynthConfig::small(31).generate()?;
+/// let out = PipelineDriver::new(0.15)?
+///     .parallelism(Parallelism::Auto)
+///     .run(&dataset)?;
+/// assert_eq!(out.patterns.len(), out.prepared.user_count());
+/// assert!(out.crowd.placement_count() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineDriver {
+    preprocessor: Preprocessor,
+    miner: PatternMiner,
+    windows: TimeWindows,
+    bounds: BoundingBox,
+    rows: u32,
+    cols: u32,
+    parallelism: Parallelism,
+}
+
+impl PipelineDriver {
+    /// Creates a driver mining at the given relative support threshold,
+    /// with the default preprocessor, hourly display windows, a 20 × 20
+    /// NYC grid, and sequential execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Mobility`] for thresholds outside
+    /// `(0, 1]`.
+    pub fn new(min_support: f64) -> Result<PipelineDriver, PipelineError> {
+        Ok(PipelineDriver {
+            preprocessor: Preprocessor::new(),
+            miner: PatternMiner::new(min_support)?,
+            windows: TimeWindows::hourly(),
+            bounds: BoundingBox::NYC,
+            rows: 20,
+            cols: 20,
+            parallelism: Parallelism::Sequential,
+        })
+    }
+
+    /// Replaces the preprocessing stage configuration.
+    pub fn preprocessor(mut self, preprocessor: Preprocessor) -> PipelineDriver {
+        self.preprocessor = preprocessor;
+        self
+    }
+
+    /// Replaces the mining stage configuration. The driver's
+    /// parallelism policy still applies.
+    pub fn miner(mut self, miner: PatternMiner) -> PipelineDriver {
+        self.miner = miner;
+        self
+    }
+
+    /// Sets the display windows (default hourly).
+    pub fn windows(mut self, windows: TimeWindows) -> PipelineDriver {
+        self.windows = windows;
+        self
+    }
+
+    /// Sets the display grid geometry (default 20 × 20 over NYC).
+    pub fn grid(mut self, bounds: BoundingBox, rows: u32, cols: u32) -> PipelineDriver {
+        self.bounds = bounds;
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Sets the execution policy threaded through every parallel stage
+    /// (default sequential). The output is identical under any policy.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> PipelineDriver {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Runs the full pipeline on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage's error.
+    pub fn run(&self, dataset: &Dataset) -> Result<PipelineOutput, PipelineError> {
+        let prepared = self.preprocessor.prepare(dataset)?;
+        let patterns = self
+            .miner
+            .parallelism(self.parallelism)
+            .detect_all(&prepared)?;
+        let grid = MicrocellGrid::new(self.bounds, self.rows, self.cols)?;
+        let crowd = CrowdBuilder::new(dataset, &prepared)
+            .windows(self.windows.clone())
+            .parallelism(self.parallelism)
+            .build(&patterns, grid.clone())?;
+        Ok(PipelineOutput {
+            prepared,
+            patterns,
+            grid,
+            crowd,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_synth::SynthConfig;
+
+    #[test]
+    fn driver_matches_hand_wiring() {
+        let dataset = SynthConfig::small(33).generate().unwrap();
+        let driven = PipelineDriver::new(0.15).unwrap().run(&dataset).unwrap();
+
+        let prepared = Preprocessor::new().prepare(&dataset).unwrap();
+        let patterns = PatternMiner::new(0.15)
+            .unwrap()
+            .detect_all(&prepared)
+            .unwrap();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20).unwrap();
+        let crowd = CrowdBuilder::new(&dataset, &prepared)
+            .build(&patterns, grid.clone())
+            .unwrap();
+
+        assert_eq!(driven.prepared, prepared);
+        assert_eq!(driven.patterns, patterns);
+        assert_eq!(driven.grid, grid);
+        assert_eq!(driven.crowd.placements(), crowd.placements());
+    }
+
+    #[test]
+    fn parallel_run_equals_sequential_run() {
+        let dataset = SynthConfig::small(33).generate().unwrap();
+        let sequential = PipelineDriver::new(0.15).unwrap().run(&dataset).unwrap();
+        let parallel = PipelineDriver::new(0.15)
+            .unwrap()
+            .parallelism(Parallelism::Threads(4))
+            .run(&dataset)
+            .unwrap();
+        assert_eq!(sequential.patterns, parallel.patterns);
+        assert_eq!(sequential.crowd.placements(), parallel.crowd.placements());
+    }
+
+    #[test]
+    fn invalid_support_is_rejected() {
+        assert!(matches!(
+            PipelineDriver::new(0.0),
+            Err(PipelineError::Mobility(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_grid_surfaces_as_geo_error() {
+        let dataset = SynthConfig::small(33).generate().unwrap();
+        let err = PipelineDriver::new(0.15)
+            .unwrap()
+            .grid(BoundingBox::NYC, 0, 10)
+            .run(&dataset)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Geo(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

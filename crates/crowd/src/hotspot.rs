@@ -223,8 +223,7 @@ mod tests {
     fn uniform_crowd_has_no_hotspots() {
         // Every occupied cell holds exactly one user: std = 0, no cell
         // exceeds the mean.
-        let placements: Vec<Placement> =
-            (0..5).map(|u| placement(u, 9, u)).collect();
+        let placements: Vec<Placement> = (0..5).map(|u| placement(u, 9, u)).collect();
         let m = CrowdModel::new(
             MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap(),
             TimeWindows::hourly(),

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod driver;
 pub mod error;
 pub mod hotspot;
 pub mod model;
@@ -50,6 +51,7 @@ pub mod validate;
 pub mod window;
 
 pub use compare::{compare_snapshots, compare_windows, CellDelta, WindowComparison};
+pub use driver::{PipelineDriver, PipelineError, PipelineOutput};
 pub use error::CrowdError;
 pub use hotspot::{detect_hotspots, recurrent_hotspots, Hotspot, HotspotConfig, HotspotPhase};
 pub use model::{CrowdFlow, CrowdModel, CrowdSnapshot};

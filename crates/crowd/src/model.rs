@@ -159,7 +159,11 @@ impl CrowdModel {
     /// # Errors
     ///
     /// Returns [`CrowdError::WindowOutOfRange`] for bad indices.
-    pub fn flows(&self, from_window: usize, to_window: usize) -> Result<Vec<CrowdFlow>, CrowdError> {
+    pub fn flows(
+        &self,
+        from_window: usize,
+        to_window: usize,
+    ) -> Result<Vec<CrowdFlow>, CrowdError> {
         if self.windows.get(from_window).is_none() {
             return Err(CrowdError::WindowOutOfRange(from_window));
         }
@@ -201,8 +205,8 @@ impl CrowdModel {
 mod tests {
     use super::*;
     use crowdweb_dataset::UserId;
-    use crowdweb_geo::BoundingBox;
     use crowdweb_dataset::VenueId;
+    use crowdweb_geo::BoundingBox;
 
     fn grid() -> MicrocellGrid {
         MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap()
@@ -250,10 +254,7 @@ mod tests {
     #[test]
     fn snapshot_by_label_filters() {
         // Add a second label to the model.
-        let mut placements = vec![
-            placement(1, 9, 5),
-            placement(2, 9, 5),
-        ];
+        let mut placements = vec![placement(1, 9, 5), placement(2, 9, 5)];
         placements.push(Placement {
             user: UserId::new(3),
             window: 9,

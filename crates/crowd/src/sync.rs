@@ -14,6 +14,7 @@
 
 use crate::{CrowdError, CrowdModel, TimeWindows};
 use crowdweb_dataset::{Dataset, UserId, VenueId};
+use crowdweb_exec::{parallel_map, Parallelism};
 use crowdweb_geo::{CellId, MicrocellGrid};
 use crowdweb_mobility::UserPatterns;
 use crowdweb_prep::{Labeler, PlaceLabel, Prepared, TimeSlot};
@@ -47,6 +48,7 @@ pub struct CrowdBuilder<'a> {
     dataset: &'a Dataset,
     prepared: &'a Prepared,
     windows: TimeWindows,
+    parallelism: Parallelism,
 }
 
 impl<'a> CrowdBuilder<'a> {
@@ -56,12 +58,21 @@ impl<'a> CrowdBuilder<'a> {
             dataset,
             prepared,
             windows: TimeWindows::hourly(),
+            parallelism: Parallelism::Sequential,
         }
     }
 
     /// Sets the display windows (default hourly).
     pub fn windows(mut self, windows: TimeWindows) -> CrowdBuilder<'a> {
         self.windows = windows;
+        self
+    }
+
+    /// Sets how users fan out over the shared pool during
+    /// [`Self::build`] (default sequential). Placements are emitted in
+    /// user order regardless of policy, so the model is identical.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> CrowdBuilder<'a> {
+        self.parallelism = parallelism;
         self
     }
 
@@ -78,95 +89,112 @@ impl<'a> CrowdBuilder<'a> {
         grid: MicrocellGrid,
     ) -> Result<CrowdModel, CrowdError> {
         let labeler = Labeler::new(self.dataset, self.prepared.scheme());
+        let per_user = parallel_map(self.parallelism, patterns, |up| {
+            self.place_user(&labeler, &grid, up)
+        });
+        // `parallel_map` returns results in input order, so flattening
+        // reproduces the sequential placement order exactly.
+        let mut placements: Vec<Placement> = Vec::new();
+        for user_placements in per_user {
+            placements.extend(user_placements?);
+        }
+        Ok(CrowdModel::new(grid, self.windows.clone(), placements))
+    }
+
+    /// Synchronizes a single user's patterns against every display
+    /// window (the per-user unit fanned out by [`Self::build`]).
+    fn place_user(
+        &self,
+        labeler: &Labeler<'_>,
+        grid: &MicrocellGrid,
+        up: &UserPatterns,
+    ) -> Result<Vec<Placement>, CrowdError> {
         let slotting = self.prepared.slotting();
         let window_ref = self.prepared.window();
 
-        let mut placements: Vec<Placement> = Vec::new();
-        for up in patterns {
-            // The user's modal venue per (slot, label), from their
-            // actual check-ins inside the study window.
-            let mut venue_freq: HashMap<(TimeSlot, PlaceLabel), HashMap<VenueId, usize>> =
-                HashMap::new();
-            for c in self.dataset.checkins_of(up.user) {
-                if !window_ref.contains_checkin(c) {
-                    continue;
-                }
-                let local = c.local_time();
-                let slot = slotting.slot_of(local);
-                let label = labeler.label_of(c)?;
-                *venue_freq
-                    .entry((slot, label))
-                    .or_default()
-                    .entry(c.venue())
-                    .or_insert(0) += 1;
+        // The user's modal venue per (slot, label), from their actual
+        // check-ins inside the study window.
+        let mut venue_freq: HashMap<(TimeSlot, PlaceLabel), HashMap<VenueId, usize>> =
+            HashMap::new();
+        for c in self.dataset.checkins_of(up.user) {
+            if !window_ref.contains_checkin(c) {
+                continue;
             }
+            let local = c.local_time();
+            let slot = slotting.slot_of(local);
+            let label = labeler.label_of(c)?;
+            *venue_freq
+                .entry((slot, label))
+                .or_default()
+                .entry(c.venue())
+                .or_insert(0) += 1;
+        }
 
-            // Best (support-wise) pattern item per slot.
-            let mut best_per_slot: HashMap<TimeSlot, (usize, PlaceLabel)> = HashMap::new();
-            for p in up.patterns.iter() {
-                for item in &p.items {
-                    let entry = best_per_slot
-                        .entry(item.slot)
-                        .or_insert((p.support, item.label));
-                    // Higher support wins; ties prefer the smaller label
-                    // for determinism.
-                    if p.support > entry.0 || (p.support == entry.0 && item.label < entry.1) {
-                        *entry = (p.support, item.label);
-                    }
+        // Best (support-wise) pattern item per slot.
+        let mut best_per_slot: HashMap<TimeSlot, (usize, PlaceLabel)> = HashMap::new();
+        for p in up.patterns.iter() {
+            for item in &p.items {
+                let entry = best_per_slot
+                    .entry(item.slot)
+                    .or_insert((p.support, item.label));
+                // Higher support wins; ties prefer the smaller label
+                // for determinism.
+                if p.support > entry.0 || (p.support == entry.0 && item.label < entry.1) {
+                    *entry = (p.support, item.label);
                 }
-            }
-
-            for (w_idx, window) in self.windows.iter().enumerate() {
-                // Among slots overlapping this window, take the
-                // highest-support item.
-                let mut best: Option<(usize, TimeSlot, PlaceLabel)> = None;
-                for (&slot, &(support, label)) in &best_per_slot {
-                    let s_start = slotting.start_hour(slot);
-                    let s_end = s_start + slotting.slot_hours();
-                    if window.overlaps_hours(s_start, s_end) {
-                        let cand = (support, slot, label);
-                        best = Some(match best {
-                            None => cand,
-                            Some(cur) => {
-                                if (cand.0, cur.2) > (cur.0, cand.2) {
-                                    cand
-                                } else {
-                                    cur
-                                }
-                            }
-                        });
-                    }
-                }
-                let Some((support, slot, label)) = best else {
-                    continue; // no pattern covers this window
-                };
-                let Some(freqs) = venue_freq.get(&(slot, label)) else {
-                    continue; // pattern without grounding check-ins
-                };
-                let (&venue, _) = freqs
-                    .iter()
-                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-                    .expect("freq map entries are non-empty");
-                let location = self
-                    .dataset
-                    .venue(venue)
-                    .expect("dataset invariants")
-                    .location();
-                let Some(cell) = grid.cell_of(location) else {
-                    continue; // venue outside the display grid
-                };
-                placements.push(Placement {
-                    user: up.user,
-                    window: w_idx,
-                    label,
-                    support,
-                    venue,
-                    cell,
-                });
             }
         }
 
-        Ok(CrowdModel::new(grid, self.windows.clone(), placements))
+        let mut placements = Vec::new();
+        for (w_idx, window) in self.windows.iter().enumerate() {
+            // Among slots overlapping this window, take the
+            // highest-support item.
+            let mut best: Option<(usize, TimeSlot, PlaceLabel)> = None;
+            for (&slot, &(support, label)) in &best_per_slot {
+                let s_start = slotting.start_hour(slot);
+                let s_end = s_start + slotting.slot_hours();
+                if window.overlaps_hours(s_start, s_end) {
+                    let cand = (support, slot, label);
+                    best = Some(match best {
+                        None => cand,
+                        Some(cur) => {
+                            if (cand.0, cur.2) > (cur.0, cand.2) {
+                                cand
+                            } else {
+                                cur
+                            }
+                        }
+                    });
+                }
+            }
+            let Some((support, slot, label)) = best else {
+                continue; // no pattern covers this window
+            };
+            let Some(freqs) = venue_freq.get(&(slot, label)) else {
+                continue; // pattern without grounding check-ins
+            };
+            let (&venue, _) = freqs
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .expect("freq map entries are non-empty");
+            let location = self
+                .dataset
+                .venue(venue)
+                .expect("dataset invariants")
+                .location();
+            let Some(cell) = grid.cell_of(location) else {
+                continue; // venue outside the display grid
+            };
+            placements.push(Placement {
+                user: up.user,
+                window: w_idx,
+                label,
+                support,
+                venue,
+                cell,
+            });
+        }
+        Ok(placements)
     }
 }
 

@@ -65,9 +65,8 @@ fn cosine(a: &BTreeMap<CellId, usize>, b: &BTreeMap<CellId, usize>) -> f64 {
         .iter()
         .filter_map(|(k, &x)| b.get(k).map(|&y| x as f64 * y as f64))
         .sum();
-    let norm = |m: &BTreeMap<CellId, usize>| {
-        m.values().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt()
-    };
+    let norm =
+        |m: &BTreeMap<CellId, usize>| m.values().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
     let denom = norm(a) * norm(b);
     if denom == 0.0 {
         0.0
@@ -115,8 +114,7 @@ pub fn validate_against_checkins(
     let user_set: HashSet<UserId> = users.iter().copied().collect();
 
     // Observed: check-ins per (window index, cell).
-    let mut observed: Vec<BTreeMap<CellId, usize>> =
-        vec![BTreeMap::new(); model.windows().len()];
+    let mut observed: Vec<BTreeMap<CellId, usize>> = vec![BTreeMap::new(); model.windows().len()];
     for c in dataset.checkins() {
         if !user_set.contains(&c.user()) || !study_window.contains_checkin(c) {
             continue;
@@ -151,9 +149,9 @@ pub fn validate_against_checkins(
 mod tests {
     use super::*;
     use crate::CrowdBuilder;
+    use crowdweb_geo::{BoundingBox, MicrocellGrid};
     use crowdweb_mobility::PatternMiner;
     use crowdweb_prep::Preprocessor;
-    use crowdweb_geo::{BoundingBox, MicrocellGrid};
     use crowdweb_synth::SynthConfig;
 
     fn fit() -> ModelFit {
@@ -170,8 +168,7 @@ mod tests {
         let model = CrowdBuilder::new(&dataset, &prepared)
             .build(&patterns, grid)
             .unwrap();
-        validate_against_checkins(&model, &dataset, prepared.users(), prepared.window())
-            .unwrap()
+        validate_against_checkins(&model, &dataset, prepared.users(), prepared.window()).unwrap()
     }
 
     #[test]

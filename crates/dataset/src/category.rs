@@ -84,21 +84,74 @@ impl CategoryKind {
         let n = name.to_ascii_lowercase();
         let any = |words: &[&str]| words.iter().any(|w| n.contains(w));
         if any(&[
-            "restaurant", "food", "café", "cafe", "coffee", "bakery", "diner", "pizza", "burger",
-            "sandwich", "deli", "bodega", "noodle", "ramen", "bbq", "steak", "sushi", "taco",
-            "breakfast", "dessert", "ice cream", "tea ", "juice", "bagel", "donut", "snack",
+            "restaurant",
+            "food",
+            "café",
+            "cafe",
+            "coffee",
+            "bakery",
+            "diner",
+            "pizza",
+            "burger",
+            "sandwich",
+            "deli",
+            "bodega",
+            "noodle",
+            "ramen",
+            "bbq",
+            "steak",
+            "sushi",
+            "taco",
+            "breakfast",
+            "dessert",
+            "ice cream",
+            "tea ",
+            "juice",
+            "bagel",
+            "donut",
+            "snack",
         ]) {
             CategoryKind::Eatery
-        } else if any(&["bar", "pub", "club", "brewery", "lounge", "speakeasy", "nightlife"]) {
+        } else if any(&[
+            "bar",
+            "pub",
+            "club",
+            "brewery",
+            "lounge",
+            "speakeasy",
+            "nightlife",
+        ]) {
             CategoryKind::NightlifeSpot
         } else if any(&[
-            "store", "shop", "market", "mall", "pharmacy", "drugstore", "boutique", "salon",
-            "barber", "laundry", "bank", "atm",
+            "store",
+            "shop",
+            "market",
+            "mall",
+            "pharmacy",
+            "drugstore",
+            "boutique",
+            "salon",
+            "barber",
+            "laundry",
+            "bank",
+            "atm",
         ]) {
             CategoryKind::Shops
         } else if any(&[
-            "park", "gym", "fitness", "playground", "beach", "trail", "pool", "field", "garden",
-            "plaza", "outdoor", "river", "harbor", "scenic",
+            "park",
+            "gym",
+            "fitness",
+            "playground",
+            "beach",
+            "trail",
+            "pool",
+            "field",
+            "garden",
+            "plaza",
+            "outdoor",
+            "river",
+            "harbor",
+            "scenic",
         ]) {
             CategoryKind::OutdoorsRecreation
         } else if any(&[
@@ -106,9 +159,23 @@ impl CategoryKind {
             "bridge", "terminal", "taxi", "pier",
         ]) {
             CategoryKind::TravelTransport
-        } else if any(&["college", "university", "school", "academic", "dorm", "campus"]) {
+        } else if any(&[
+            "college",
+            "university",
+            "school",
+            "academic",
+            "dorm",
+            "campus",
+        ]) {
             CategoryKind::CollegeUniversity
-        } else if any(&["home", "residential", "apartment", "housing", "residence", "building ("]) {
+        } else if any(&[
+            "home",
+            "residential",
+            "apartment",
+            "housing",
+            "residence",
+            "building (",
+        ]) {
             CategoryKind::Residence
         } else if any(&[
             "museum", "theater", "theatre", "cinema", "movie", "gallery", "stadium", "arena",

@@ -283,10 +283,7 @@ mod tests {
     fn build_rejects_dangling_venue() {
         let mut b = Dataset::builder();
         b.add_checkin(checkin(1, 42, 0));
-        assert!(matches!(
-            b.build(),
-            Err(DatasetError::UnknownVenue { .. })
-        ));
+        assert!(matches!(b.build(), Err(DatasetError::UnknownVenue { .. })));
     }
 
     #[test]

@@ -60,11 +60,11 @@ pub mod tsv;
 pub mod venue;
 
 pub use category::{Category, CategoryKind, Taxonomy};
-pub use profile::ActivityProfile;
 pub use checkin::CheckIn;
 pub use dataset::{Dataset, DatasetBuilder};
 pub use error::DatasetError;
 pub use ids::{CategoryId, UserId, VenueId};
+pub use profile::ActivityProfile;
 pub use stats::{DatasetStats, MonthKey};
 pub use time::{CivilDate, CivilDateTime, Timestamp, Weekday};
 pub use venue::Venue;

@@ -204,7 +204,9 @@ mod tests {
     }
 
     fn secs(y: i32, m: u8, d: u8) -> i64 {
-        Timestamp::from_civil(y, m, d, 12, 0, 0).unwrap().unix_seconds()
+        Timestamp::from_civil(y, m, d, 12, 0, 0)
+            .unwrap()
+            .unix_seconds()
     }
 
     #[test]
@@ -276,8 +278,20 @@ mod tests {
             (1, secs(2012, 5, 1)),
         ]);
         let s = DatasetStats::compute(&d);
-        assert_eq!(s.monthly_counts[&MonthKey { year: 2012, month: 4 }], 2);
-        assert_eq!(s.monthly_counts[&MonthKey { year: 2012, month: 5 }], 1);
+        assert_eq!(
+            s.monthly_counts[&MonthKey {
+                year: 2012,
+                month: 4
+            }],
+            2
+        );
+        assert_eq!(
+            s.monthly_counts[&MonthKey {
+                year: 2012,
+                month: 5
+            }],
+            1
+        );
     }
 
     #[test]
@@ -294,7 +308,13 @@ mod tests {
         times.push((1, secs(2012, 8, 1)));
         let s = DatasetStats::compute(&dataset_with(&times));
         let (start, count) = s.richest_window(3).unwrap();
-        assert_eq!(start, MonthKey { year: 2012, month: 4 });
+        assert_eq!(
+            start,
+            MonthKey {
+                year: 2012,
+                month: 4
+            }
+        );
         assert_eq!(count, 10);
     }
 
@@ -312,14 +332,29 @@ mod tests {
         let d = dataset_with(&[(1, secs(2012, 4, 1)), (1, secs(2012, 4, 2))]);
         let s = DatasetStats::compute(&d);
         let (start, count) = s.richest_window(3).unwrap();
-        assert_eq!(start, MonthKey { year: 2012, month: 4 });
+        assert_eq!(
+            start,
+            MonthKey {
+                year: 2012,
+                month: 4
+            }
+        );
         assert_eq!(count, 2);
     }
 
     #[test]
     fn month_key_succ_wraps_year() {
-        let dec = MonthKey { year: 2012, month: 12 };
-        assert_eq!(dec.succ(), MonthKey { year: 2013, month: 1 });
+        let dec = MonthKey {
+            year: 2012,
+            month: 12,
+        };
+        assert_eq!(
+            dec.succ(),
+            MonthKey {
+                year: 2013,
+                month: 1
+            }
+        );
         assert_eq!(dec.to_string(), "Dec 2012");
     }
 }

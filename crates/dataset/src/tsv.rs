@@ -163,10 +163,12 @@ fn parse_line(
 
     let next_id = venue_ids.len() as u32;
     let mut is_new = false;
-    let vid = *venue_ids.entry(cols[1].trim().to_owned()).or_insert_with(|| {
-        is_new = true;
-        VenueId::new(next_id)
-    });
+    let vid = *venue_ids
+        .entry(cols[1].trim().to_owned())
+        .or_insert_with(|| {
+            is_new = true;
+            VenueId::new(next_id)
+        });
     if is_new {
         let cat_name = cols[3].trim();
         let kind = CategoryKind::guess(cat_name);
@@ -322,8 +324,16 @@ mod tests {
         assert_eq!(d2.user_count(), d.user_count());
         assert_eq!(d2.venue_count(), d.venue_count());
         // Check-in times survive.
-        let t1: Vec<i64> = d.checkins().iter().map(|c| c.time().unix_seconds()).collect();
-        let t2: Vec<i64> = d2.checkins().iter().map(|c| c.time().unix_seconds()).collect();
+        let t1: Vec<i64> = d
+            .checkins()
+            .iter()
+            .map(|c| c.time().unix_seconds())
+            .collect();
+        let t2: Vec<i64> = d2
+            .checkins()
+            .iter()
+            .map(|c| c.time().unix_seconds())
+            .collect();
         assert_eq!(t1, t2);
     }
 

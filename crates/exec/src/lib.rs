@@ -1,0 +1,19 @@
+//! Shared execution layer for the CrowdWeb pipeline.
+//!
+//! Two building blocks the mine→aggregate stages have in common:
+//!
+//! - [`Parallelism`] and [`parallel_map`]: a scoped worker pool over a
+//!   shared claim queue whose results are always merged back in input
+//!   order, so every caller is byte-deterministic regardless of thread
+//!   count or scheduling.
+//! - [`Symbol`] and [`SymbolTable`]: a dense `u32` interner that turns
+//!   heap-heavy sequence items into machine-word symbols for the
+//!   columnar sequence database and the miners that walk it.
+
+#![forbid(unsafe_code)]
+
+mod pool;
+mod symbol;
+
+pub use pool::{parallel_map, Parallelism};
+pub use symbol::{Symbol, SymbolTable};

@@ -1,0 +1,141 @@
+//! Deterministic scoped fan-out.
+//!
+//! [`parallel_map`] distributes items over a crossbeam claim queue and
+//! scoped worker threads, then merges the results back in input order.
+//! Because merging sorts by item index, the output is identical for any
+//! thread count — parallelism changes wall-clock time, never bytes.
+
+use std::num::NonZeroUsize;
+
+/// How much hardware a pipeline stage may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run on the calling thread.
+    #[default]
+    Sequential,
+    /// Run on exactly this many worker threads (0 and 1 both mean
+    /// sequential).
+    Threads(usize),
+    /// Use every available core.
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of worker threads this policy resolves to on the
+    /// current machine (1 means "stay on the calling thread").
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Whether this policy spawns worker threads.
+    pub fn is_parallel(self) -> bool {
+        self.worker_count() > 1
+    }
+}
+
+/// Applies `f` to every item, possibly on several threads, returning
+/// results in input order.
+///
+/// The deterministic-ordering contract is the point: callers may fold
+/// the output sequentially and still get byte-identical artifacts under
+/// any [`Parallelism`].
+pub fn parallel_map<T, U, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = parallelism.worker_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Claim queue: each worker pulls the next unclaimed index, so an
+    // expensive item never stalls the remaining work behind it.
+    let (claim_tx, claim_rx) = crossbeam::channel::bounded::<usize>(items.len());
+    for idx in 0..items.len() {
+        claim_tx
+            .send(idx)
+            .expect("claim queue cannot disconnect while the sender is held");
+    }
+    drop(claim_tx);
+
+    let merged = parking_lot::Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let claim_rx = claim_rx.clone();
+            let merged = &merged;
+            let f = &f;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                while let Ok(idx) = claim_rx.recv() {
+                    local.push((idx, f(&items[idx])));
+                }
+                merged.lock().extend(local);
+            });
+        }
+    });
+
+    let mut indexed = merged.into_inner();
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.sort_unstable_by_key(|&(idx, _)| idx);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_maps_in_order() {
+        let out = parallel_map(Parallelism::Sequential, &[1, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_input_is_fine_under_any_policy() {
+        let empty: [u32; 0] = [];
+        for p in [
+            Parallelism::Sequential,
+            Parallelism::Threads(4),
+            Parallelism::Auto,
+        ] {
+            assert!(parallel_map(p, &empty, |x| *x).is_empty());
+        }
+    }
+
+    #[test]
+    fn threaded_output_matches_sequential() {
+        let items: Vec<u64> = (0..257).collect();
+        let work = |x: &u64| {
+            // Uneven per-item cost to exercise out-of-order completion.
+            let spins = (x % 7) * 50;
+            let mut acc = *x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (*x, acc)
+        };
+        let sequential = parallel_map(Parallelism::Sequential, &items, work);
+        for threads in [2, 3, 4, 8] {
+            let threaded = parallel_map(Parallelism::Threads(threads), &items, work);
+            assert_eq!(threaded, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn worker_count_resolves_sanely() {
+        assert_eq!(Parallelism::Sequential.worker_count(), 1);
+        assert_eq!(Parallelism::Threads(0).worker_count(), 1);
+        assert_eq!(Parallelism::Threads(6).worker_count(), 6);
+        assert!(Parallelism::Auto.worker_count() >= 1);
+        assert!(!Parallelism::Sequential.is_parallel());
+        assert!(Parallelism::Threads(2).is_parallel());
+    }
+}

@@ -1,0 +1,212 @@
+//! Dense symbol interning.
+//!
+//! The columnar sequence database stores `(place, slot)` items once in
+//! a [`SymbolTable`] and refers to them by [`Symbol`] — a `u32` that
+//! fits in cache lines, compares in one instruction, and indexes
+//! straight into per-symbol arrays inside the miners.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A dense interned identifier: index into its table's item list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a symbol from a dense index (caller promises it is in
+    /// range for the table it will be used with).
+    pub fn from_index(index: usize) -> Symbol {
+        Symbol(u32::try_from(index).expect("more than u32::MAX interned symbols"))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Serializes as the bare dense index.
+impl serde::Serialize for Symbol {
+    fn to_content(&self) -> serde::Content {
+        self.0.to_content()
+    }
+}
+
+impl serde::Deserialize for Symbol {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        Ok(Symbol(u32::from_content(c)?))
+    }
+}
+
+/// Bidirectional map between items and dense [`Symbol`]s.
+///
+/// Symbol order mirrors insertion order. Callers that need symbol
+/// comparisons to agree with item comparisons (the miners sort patterns
+/// by item) should intern in sorted item order — see
+/// [`SymbolTable::from_sorted_items`].
+#[derive(Debug, Clone)]
+pub struct SymbolTable<T> {
+    items: Vec<T>,
+    index: HashMap<T, Symbol>,
+}
+
+impl<T: Clone + Eq + Hash> SymbolTable<T> {
+    /// An empty table.
+    pub fn new() -> SymbolTable<T> {
+        SymbolTable {
+            items: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Builds a table whose symbol order equals the given item order.
+    ///
+    /// With `items` sorted and deduplicated, `Symbol` comparisons agree
+    /// with `T` comparisons — the property the miners rely on to keep
+    /// decoded pattern sets sorted.
+    pub fn from_sorted_items(items: Vec<T>) -> SymbolTable<T> {
+        let index = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| (item.clone(), Symbol::from_index(i)))
+            .collect::<HashMap<_, _>>();
+        assert_eq!(index.len(), items.len(), "duplicate items in symbol table");
+        SymbolTable { items, index }
+    }
+
+    /// Interns `item`, returning its existing or freshly assigned
+    /// symbol.
+    pub fn intern(&mut self, item: &T) -> Symbol {
+        if let Some(&sym) = self.index.get(item) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.items.len());
+        self.items.push(item.clone());
+        self.index.insert(item.clone(), sym);
+        sym
+    }
+
+    /// The symbol for `item`, if interned.
+    pub fn lookup(&self, item: &T) -> Option<Symbol> {
+        self.index.get(item).copied()
+    }
+
+    /// The item behind `sym`.
+    ///
+    /// # Panics
+    /// If `sym` came from a different table and is out of range.
+    pub fn resolve(&self, sym: Symbol) -> &T {
+        &self.items[sym.index()]
+    }
+
+    /// Number of distinct interned items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// All items in symbol order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// `(symbol, item)` pairs in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| (Symbol::from_index(i), item))
+    }
+}
+
+impl<T: Clone + Eq + Hash> Default for SymbolTable<T> {
+    fn default() -> SymbolTable<T> {
+        SymbolTable::new()
+    }
+}
+
+/// Equality over the item list only (the hash index is derived state).
+impl<T: PartialEq> PartialEq for SymbolTable<T> {
+    fn eq(&self, other: &SymbolTable<T>) -> bool {
+        self.items == other.items
+    }
+}
+
+impl<T: Eq> Eq for SymbolTable<T> {}
+
+/// Serializes as the bare item list; the index is rebuilt on read,
+/// mirroring how `Dataset` rebuilds its venue index.
+impl<T: serde::Serialize> serde::Serialize for SymbolTable<T> {
+    fn to_content(&self) -> serde::Content {
+        self.items.to_content()
+    }
+}
+
+impl<T: serde::Deserialize + Clone + Eq + Hash> serde::Deserialize for SymbolTable<T> {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        let items = Vec::<T>::from_content(c)?;
+        let index = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| (item.clone(), Symbol::from_index(i)))
+            .collect::<HashMap<_, _>>();
+        if index.len() != items.len() {
+            return Err(serde::Error::msg(
+                "duplicate items in serialized symbol table",
+            ));
+        }
+        Ok(SymbolTable { items, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut table = SymbolTable::new();
+        let a = table.intern(&"alpha");
+        let b = table.intern(&"beta");
+        assert_eq!(table.intern(&"alpha"), a);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(table.len(), 2);
+        assert_eq!(*table.resolve(b), "beta");
+        assert_eq!(table.lookup(&"beta"), Some(b));
+        assert_eq!(table.lookup(&"gamma"), None);
+    }
+
+    #[test]
+    fn sorted_items_make_symbol_order_agree_with_item_order() {
+        let items = vec!["ant", "bee", "cat", "dog"];
+        let table = SymbolTable::from_sorted_items(items.clone());
+        for pair in items.windows(2) {
+            let (a, b) = (
+                table.lookup(&pair[0]).unwrap(),
+                table.lookup(&pair[1]).unwrap(),
+            );
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_the_index() {
+        let table = SymbolTable::from_sorted_items(vec![1u32, 5, 9]);
+        let content = serde::Serialize::to_content(&table);
+        let back: SymbolTable<u32> = serde::Deserialize::from_content(&content).unwrap();
+        assert_eq!(back, table);
+        assert_eq!(back.lookup(&5), Some(Symbol::from_index(1)));
+    }
+}

@@ -268,7 +268,11 @@ mod tests {
     fn nyc_dimensions_plausible() {
         // NYC extent should be tens of kilometres on each side.
         let b = BoundingBox::NYC;
-        assert!((30_000.0..80_000.0).contains(&b.width_m()), "{}", b.width_m());
+        assert!(
+            (30_000.0..80_000.0).contains(&b.width_m()),
+            "{}",
+            b.width_m()
+        );
         assert!(
             (30_000.0..80_000.0).contains(&b.height_m()),
             "{}",

@@ -204,7 +204,8 @@ pub fn kmeans(points: &[LatLon], config: &KMeansConfig) -> Result<Vec<Cluster>, 
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    p.equirectangular_m(**a).total_cmp(&p.equirectangular_m(**b))
+                    p.equirectangular_m(**a)
+                        .total_cmp(&p.equirectangular_m(**b))
                 })
                 .map(|(j, _)| j)
                 .expect("k >= 1");
@@ -302,7 +303,14 @@ mod tests {
 
     #[test]
     fn kmeans_rejects_bad_config() {
-        assert!(kmeans(&[], &KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &[],
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(kmeans(
             &[],
             &KMeansConfig {
@@ -322,7 +330,14 @@ mod tests {
     fn kmeans_separates_two_blobs() {
         let mut pts = vec![p(40.71, -74.01); 12];
         pts.extend(vec![p(40.85, -73.80); 8]);
-        let clusters = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let clusters = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(clusters.len(), 2);
         assert_eq!(clusters[0].len(), 12);
         assert_eq!(clusters[1].len(), 8);
@@ -333,7 +348,14 @@ mod tests {
     #[test]
     fn kmeans_k_larger_than_points() {
         let pts = vec![p(40.7, -74.0), p(40.8, -73.9)];
-        let clusters = kmeans(&pts, &KMeansConfig { k: 10, ..Default::default() }).unwrap();
+        let clusters = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(clusters.len(), 2);
     }
 

@@ -243,8 +243,7 @@ mod tests {
     #[test]
     fn collection_from_iterator() {
         let p = LatLon::new(40.75, -73.98).unwrap();
-        let fc: FeatureCollection =
-            (0..3).map(|_| Feature::new(Geometry::point(p))).collect();
+        let fc: FeatureCollection = (0..3).map(|_| Feature::new(Geometry::point(p))).collect();
         assert_eq!(fc.features.len(), 3);
     }
 

@@ -172,8 +172,16 @@ impl TileCoord {
         let (z, x, y) = (self.zoom + 1, self.x * 2, self.y * 2);
         Some([
             TileCoord { zoom: z, x, y },
-            TileCoord { zoom: z, x: x + 1, y },
-            TileCoord { zoom: z, x, y: y + 1 },
+            TileCoord {
+                zoom: z,
+                x: x + 1,
+                y,
+            },
+            TileCoord {
+                zoom: z,
+                x,
+                y: y + 1,
+            },
             TileCoord {
                 zoom: z,
                 x: x + 1,

@@ -181,13 +181,18 @@ mod tests {
         let simplified = simplify_rdp(&pts, 50.0);
         assert_eq!(simplified.first(), pts.first());
         assert_eq!(simplified.last(), pts.last());
-        assert!(simplified.contains(&pts[2]), "corner dropped: {simplified:?}");
+        assert!(
+            simplified.contains(&pts[2]),
+            "corner dropped: {simplified:?}"
+        );
         assert!(simplified.len() < pts.len());
     }
 
     #[test]
     fn rdp_collapses_collinear_points() {
-        let pts: Vec<LatLon> = (0..10).map(|i| p(40.70 + f64::from(i) * 0.005, -74.0)).collect();
+        let pts: Vec<LatLon> = (0..10)
+            .map(|i| p(40.70 + f64::from(i) * 0.005, -74.0))
+            .collect();
         let simplified = simplify_rdp(&pts, 10.0);
         assert_eq!(simplified.len(), 2);
     }

@@ -141,7 +141,11 @@ pub fn max_predictability(entropy: f64, n_places: usize) -> Option<f64> {
 pub fn regularity(items: &[SeqItem]) -> Vec<(TimeSlot, f64, usize)> {
     let mut per_slot: HashMap<TimeSlot, HashMap<PlaceLabel, usize>> = HashMap::new();
     for it in items {
-        *per_slot.entry(it.slot).or_default().entry(it.label).or_insert(0) += 1;
+        *per_slot
+            .entry(it.slot)
+            .or_default()
+            .entry(it.label)
+            .or_insert(0) += 1;
     }
     let mut rows: Vec<(TimeSlot, f64, usize)> = per_slot
         .into_iter()
@@ -239,8 +243,9 @@ mod tests {
     fn actual_entropy_higher_for_noisy_stream() {
         let periodic: Vec<PlaceLabel> = (0..90).map(|i| l(i % 3)).collect();
         // Deterministic but highly irregular: multiplicative hash.
-        let noisy: Vec<PlaceLabel> =
-            (0..90u32).map(|i| l(i.wrapping_mul(2_654_435_761) % 3)).collect();
+        let noisy: Vec<PlaceLabel> = (0..90u32)
+            .map(|i| l(i.wrapping_mul(2_654_435_761) % 3))
+            .collect();
         assert!(actual_entropy(&noisy) > actual_entropy(&periodic));
     }
 

@@ -47,5 +47,7 @@ pub use entropy::{predictability_profile, PredictabilityProfile};
 pub use error::MobilityError;
 pub use graph::{PlaceEdge, PlaceGraph, PlaceNode};
 pub use miner::{PatternMiner, UserPatterns};
-pub use predict::{evaluate_pattern_predictor, evaluate_predictor, PredictionReport, PredictorKind};
+pub use predict::{
+    evaluate_pattern_predictor, evaluate_predictor, PredictionReport, PredictorKind,
+};
 pub use similarity::{group_users, pattern_cosine, pattern_jaccard, UserGroup};

@@ -2,7 +2,8 @@
 
 use crate::MobilityError;
 use crowdweb_dataset::UserId;
-use crowdweb_prep::{Prepared, SeqItem};
+use crowdweb_exec::{parallel_map, Parallelism};
+use crowdweb_prep::{Prepared, SeqItem, Symbol, UserView};
 use crowdweb_seqmine::{closed_patterns, ModifiedPrefixSpan, PatternSet};
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,7 @@ pub struct PatternMiner {
     max_gap: Option<u32>,
     max_length: Option<usize>,
     closed_only: bool,
+    parallelism: Parallelism,
 }
 
 impl PatternMiner {
@@ -60,7 +62,16 @@ impl PatternMiner {
             max_gap: None,
             max_length: None,
             closed_only: false,
+            parallelism: Parallelism::Sequential,
         })
+    }
+
+    /// Sets how [`Self::detect_all`] fans users out over the shared
+    /// pool (default sequential). The detected patterns are identical
+    /// under any policy.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> PatternMiner {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Sets the maximum slot gap between consecutive pattern items.
@@ -111,17 +122,45 @@ impl PatternMiner {
         })
     }
 
-    /// Mines every user of a prepared dataset, in user order.
+    /// Mines one user's patterns straight off the columnar store,
+    /// without decoding the sequences first: the symbol slices are
+    /// mined as-is and only the (far smaller) result patterns are
+    /// mapped back to [`SeqItem`]s. Because the symbol table interns
+    /// items in sorted order, the mined set is identical to
+    /// [`Self::detect`] on the decoded sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::Mine`] if `max_length` was set to zero.
+    pub fn detect_view(&self, view: UserView<'_>) -> Result<UserPatterns, MobilityError> {
+        let mut miner = ModifiedPrefixSpan::new(self.min_support)?.max_gap(self.max_gap);
+        if let Some(len) = self.max_length {
+            miner = miner.max_length(len)?;
+        }
+        let table = view.symbols();
+        let days: Vec<&[Symbol]> = view.days().collect();
+        let symbol_patterns = miner.mine(&days, |sym| u32::from(table.resolve(*sym).slot.0));
+        let mut patterns = symbol_patterns.map_items(|sym| *table.resolve(*sym));
+        if self.closed_only {
+            patterns = closed_patterns(&patterns);
+        }
+        Ok(UserPatterns {
+            user: view.user(),
+            active_days: days.len(),
+            patterns,
+        })
+    }
+
+    /// Mines every user of a prepared dataset, in user order. Users
+    /// fan out over the shared pool under [`Self::parallelism`].
     ///
     /// # Errors
     ///
     /// Same as [`Self::detect`].
     pub fn detect_all(&self, prepared: &Prepared) -> Result<Vec<UserPatterns>, MobilityError> {
-        prepared
-            .seqdb()
-            .users()
-            .iter()
-            .map(|u| self.detect(u.user, &u.sequences))
+        let views: Vec<UserView<'_>> = prepared.seqdb().views().collect();
+        parallel_map(self.parallelism, &views, |view| self.detect_view(*view))
+            .into_iter()
             .collect()
     }
 }

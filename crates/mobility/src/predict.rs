@@ -166,14 +166,15 @@ pub fn evaluate_predictor(
         return Err(MobilityError::InvalidSplit(train_fraction));
     }
     let mut report = PredictionReport::default();
-    for user in seqdb.users() {
-        let n = user.sequences.len();
+    for view in seqdb.views() {
+        let days = view.decode();
+        let n = days.len();
         if n < 2 {
             continue;
         }
         let split = ((n as f64 * train_fraction).floor() as usize).clamp(1, n - 1);
-        let model = UserModel::train(kind, &user.sequences[..split]);
-        for day in &user.sequences[split..] {
+        let model = UserModel::train(kind, &days[..split]);
+        for day in &days[split..] {
             for i in 1..day.len() {
                 if let Some(guess) = model.predict(&day[..i]) {
                     report.total += 1;
@@ -225,14 +226,15 @@ pub fn evaluate_pattern_predictor(
     }
     let miner = PatternMiner::new(min_support)?;
     let mut report = PredictionReport::default();
-    for user in seqdb.users() {
-        let n = user.sequences.len();
+    for view in seqdb.views() {
+        let days = view.decode();
+        let n = days.len();
         if n < 2 {
             continue;
         }
         let split = ((n as f64 * train_fraction).floor() as usize).clamp(1, n - 1);
-        let train = &user.sequences[..split];
-        let mined = miner.detect(user.user, train)?;
+        let train = &days[..split];
+        let mined = miner.detect(view.user(), train)?;
         // Continuation table: for each (slot, label) item, the
         // highest-support item that follows it in some mined pattern.
         let mut continuation: HashMap<SeqItem, (usize, PlaceLabel)> = HashMap::new();
@@ -258,7 +260,7 @@ pub fn evaluate_pattern_predictor(
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
             .map(|(&l, _)| l);
 
-        for day in &user.sequences[split..] {
+        for day in &days[split..] {
             for i in 1..day.len() {
                 let guess = continuation
                     .get(&day[i - 1])
@@ -400,7 +402,13 @@ mod tests {
             correct: 3,
             total: 4,
         });
-        assert_eq!(a, PredictionReport { correct: 4, total: 6 });
+        assert_eq!(
+            a,
+            PredictionReport {
+                correct: 4,
+                total: 6
+            }
+        );
         assert!((a.accuracy() - 4.0 / 6.0).abs() < 1e-12);
     }
 }

@@ -73,12 +73,7 @@ impl ActivityFilter {
     /// Number of distinct window days on which `user` has at least one
     /// check-in record (at slot granularity — multiple records in one
     /// slot of one day still count the day once).
-    pub fn active_day_count(
-        &self,
-        dataset: &Dataset,
-        window: &StudyWindow,
-        user: UserId,
-    ) -> usize {
+    pub fn active_day_count(&self, dataset: &Dataset, window: &StudyWindow, user: UserId) -> usize {
         let mut days: HashSet<i64> = HashSet::new();
         for c in dataset.checkins_of(user) {
             if window.contains_checkin(c) {

@@ -54,6 +54,6 @@ pub use filter::ActivityFilter;
 pub use label::{LabelScheme, Labeler, PlaceLabel};
 pub use pipeline::{Prepared, Preprocessor, WindowChoice};
 pub use quality::SeqDbQuality;
-pub use seqdb::{SeqItem, SequenceDatabase, UserSequences};
+pub use seqdb::{SeqItem, SequenceDatabase, Symbol, SymbolTable, UserSequences, UserView};
 pub use timeslot::{TimeSlot, TimeSlotting};
 pub use window::StudyWindow;

@@ -1,8 +1,6 @@
 //! The one-call preprocessing pipeline.
 
-use crate::{
-    ActivityFilter, LabelScheme, PrepError, SequenceDatabase, StudyWindow, TimeSlotting,
-};
+use crate::{ActivityFilter, LabelScheme, PrepError, SequenceDatabase, StudyWindow, TimeSlotting};
 use crowdweb_dataset::{Dataset, UserId};
 use serde::{Deserialize, Serialize};
 

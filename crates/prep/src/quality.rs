@@ -34,18 +34,25 @@ impl SeqDbQuality {
     /// Computes the statistics.
     pub fn compute(db: &SequenceDatabase) -> SeqDbQuality {
         let users = db.user_count();
-        let mut sequences = 0usize;
-        let mut items = 0usize;
+        let sequences = db.total_sequences();
+        let items = db.total_items();
+        // Count per dense symbol first (one cache-friendly array pass),
+        // then aggregate the tiny symbol alphabet by label.
+        let mut symbol_counts = vec![0usize; db.symbols().len()];
         let mut max_len = 0usize;
-        let mut label_counts: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
-        for u in db.users() {
-            sequences += u.sequences.len();
-            for day in &u.sequences {
-                items += day.len();
+        for view in db.views() {
+            for day in view.days() {
                 max_len = max_len.max(day.len());
-                for item in day {
-                    *label_counts.entry(item.label).or_insert(0) += 1;
+                for &sym in day {
+                    symbol_counts[sym.index()] += 1;
                 }
+            }
+        }
+        let mut label_counts: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
+        for (sym, item) in db.symbols().iter() {
+            let n = symbol_counts[sym.index()];
+            if n > 0 {
+                *label_counts.entry(item.label).or_insert(0) += n;
             }
         }
         SeqDbQuality {
@@ -98,10 +105,7 @@ mod tests {
         vec![
             UserSequences {
                 user: UserId::new(1),
-                sequences: vec![
-                    vec![item(3, 0), item(6, 2), item(11, 0)],
-                    vec![item(3, 0)],
-                ],
+                sequences: vec![vec![item(3, 0), item(6, 2), item(11, 0)], vec![item(3, 0)]],
             },
             UserSequences {
                 user: UserId::new(2),

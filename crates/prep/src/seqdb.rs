@@ -1,13 +1,25 @@
-//! Sequence-database construction.
+//! Sequence-database construction and columnar storage.
 //!
 //! Pattern mining consumes, per user, one *sequence per local day*: the
 //! time-ordered list of `(time slot, place label)` items derived from
 //! that day's check-ins. Consecutive duplicate items within a day are
 //! collapsed (staying at work all afternoon is one item, not five).
+//!
+//! # Columnar layout
+//!
+//! The database interns every distinct [`SeqItem`] into a
+//! [`SymbolTable`] and stores all sequences as one flat [`Symbol`]
+//! buffer plus two offset columns (sequence bounds, user bounds). The
+//! miners walk `&[Symbol]` slices — dense `u32` comparisons instead of
+//! struct comparisons, and zero per-sequence allocations. Items are
+//! interned in **sorted order**, so symbol order agrees with item order
+//! and decoded pattern sets keep the miners' `(length, items)` sort.
 
 use crate::{LabelScheme, Labeler, PlaceLabel, PrepError, StudyWindow, TimeSlot, TimeSlotting};
 use crowdweb_dataset::{Dataset, UserId};
+pub use crowdweb_exec::{Symbol, SymbolTable};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// One mined item: a place label anchored at a time slot. This is the
@@ -29,7 +41,9 @@ impl fmt::Display for SeqItem {
     }
 }
 
-/// All daily sequences of one user.
+/// All daily sequences of one user, in owned row form — the
+/// construction and decode format; storage is columnar
+/// ([`SequenceDatabase`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UserSequences {
     /// The user.
@@ -52,15 +66,27 @@ impl UserSequences {
 }
 
 /// The sequence database: per-user daily sequences for every user that
-/// passed the activity filter.
+/// passed the activity filter, stored columnar (see the [module
+/// docs](self)).
 ///
 /// # Examples
 ///
 /// Built through [`crate::Preprocessor::prepare`]; see the crate-level
 /// example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SequenceDatabase {
-    users: Vec<UserSequences>,
+    /// Distinct items in sorted order.
+    symbols: SymbolTable<SeqItem>,
+    /// Every sequence's symbols, back to back.
+    items: Vec<Symbol>,
+    /// Prefix offsets into `items`: sequence `s` spans
+    /// `items[seq_offsets[s]..seq_offsets[s + 1]]`.
+    seq_offsets: Vec<u32>,
+    /// Prefix offsets into sequence space: user `u` owns sequences
+    /// `user_offsets[u]..user_offsets[u + 1]`.
+    user_offsets: Vec<u32>,
+    /// Users, in the order they were supplied.
+    users: Vec<UserId>,
 }
 
 impl SequenceDatabase {
@@ -79,7 +105,7 @@ impl SequenceDatabase {
         scheme: LabelScheme,
     ) -> Result<SequenceDatabase, PrepError> {
         let labeler = Labeler::new(dataset, scheme);
-        let mut out = Vec::with_capacity(users.len());
+        let mut rows = Vec::with_capacity(users.len());
         for &user in users {
             let mut sequences: Vec<Vec<SeqItem>> = Vec::new();
             let mut current_day: Option<i64> = None;
@@ -102,9 +128,50 @@ impl SequenceDatabase {
                     seq.push(item);
                 }
             }
-            out.push(UserSequences { user, sequences });
+            rows.push(UserSequences { user, sequences });
         }
-        Ok(SequenceDatabase { users: out })
+        Ok(SequenceDatabase::from_users(rows))
+    }
+
+    /// Encodes owned per-user rows into the columnar layout. Items are
+    /// interned in sorted order so symbol comparisons agree with item
+    /// comparisons.
+    pub fn from_users(rows: Vec<UserSequences>) -> SequenceDatabase {
+        let distinct: BTreeSet<SeqItem> = rows
+            .iter()
+            .flat_map(|u| u.sequences.iter().flatten().copied())
+            .collect();
+        let symbols = SymbolTable::from_sorted_items(distinct.into_iter().collect());
+
+        let total_items: usize = rows
+            .iter()
+            .map(|u| u.sequences.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        let total_seqs: usize = rows.iter().map(UserSequences::len).sum();
+        let mut items = Vec::with_capacity(total_items);
+        let mut seq_offsets = Vec::with_capacity(total_seqs + 1);
+        let mut user_offsets = Vec::with_capacity(rows.len() + 1);
+        let mut users = Vec::with_capacity(rows.len());
+        seq_offsets.push(0u32);
+        user_offsets.push(0u32);
+        for row in &rows {
+            for day in &row.sequences {
+                for item in day {
+                    items.push(symbols.lookup(item).expect("interned above"));
+                }
+                seq_offsets.push(u32::try_from(items.len()).expect("more than u32::MAX items"));
+            }
+            user_offsets
+                .push(u32::try_from(seq_offsets.len() - 1).expect("more than u32::MAX sequences"));
+            users.push(row.user);
+        }
+        SequenceDatabase {
+            symbols,
+            items,
+            seq_offsets,
+            user_offsets,
+            users,
+        }
     }
 
     /// Number of users in the database.
@@ -117,27 +184,136 @@ impl SequenceDatabase {
         self.users.is_empty()
     }
 
-    /// Per-user sequence sets, in the order users were supplied.
-    pub fn users(&self) -> &[UserSequences] {
+    /// The interner mapping [`Symbol`]s to [`SeqItem`]s.
+    pub fn symbols(&self) -> &SymbolTable<SeqItem> {
+        &self.symbols
+    }
+
+    /// Users, in the order they were supplied.
+    pub fn user_ids(&self) -> &[UserId] {
         &self.users
     }
 
-    /// The sequences of one user, if present.
-    pub fn sequences_of(&self, user: UserId) -> Option<&UserSequences> {
-        self.users.iter().find(|u| u.user == user)
+    /// Zero-copy per-user views, in user order.
+    pub fn views(&self) -> impl Iterator<Item = UserView<'_>> {
+        (0..self.users.len()).map(move |index| UserView { db: self, index })
+    }
+
+    /// The view of the `index`-th user.
+    ///
+    /// # Panics
+    /// If `index >= user_count()`.
+    pub fn view(&self, index: usize) -> UserView<'_> {
+        assert!(index < self.users.len(), "user index out of range");
+        UserView { db: self, index }
+    }
+
+    /// The view of one user, if present.
+    pub fn view_of(&self, user: UserId) -> Option<UserView<'_>> {
+        self.users
+            .iter()
+            .position(|&u| u == user)
+            .map(|index| UserView { db: self, index })
+    }
+
+    /// Decodes one user's sequences back to owned row form, if present.
+    pub fn decode_user(&self, user: UserId) -> Option<UserSequences> {
+        self.view_of(user).map(|v| UserSequences {
+            user,
+            sequences: v.decode(),
+        })
+    }
+
+    /// Every daily sequence across all users, pooled in user order —
+    /// the input for population-level mining.
+    pub fn day_slices(&self) -> Vec<&[Symbol]> {
+        (0..self.total_sequences())
+            .map(|s| self.seq_slice(s))
+            .collect()
     }
 
     /// Total number of daily sequences across all users.
     pub fn total_sequences(&self) -> usize {
-        self.users.iter().map(UserSequences::len).sum()
+        self.seq_offsets.len() - 1
+    }
+
+    /// Total number of items across all sequences.
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
+    fn seq_slice(&self, seq: usize) -> &[Symbol] {
+        let start = self.seq_offsets[seq] as usize;
+        let end = self.seq_offsets[seq + 1] as usize;
+        &self.items[start..end]
+    }
+}
+
+/// The empty database still carries the leading offset sentinels.
+impl Default for SequenceDatabase {
+    fn default() -> SequenceDatabase {
+        SequenceDatabase::from_users(Vec::new())
     }
 }
 
 impl FromIterator<UserSequences> for SequenceDatabase {
     fn from_iter<I: IntoIterator<Item = UserSequences>>(iter: I) -> Self {
-        SequenceDatabase {
-            users: iter.into_iter().collect(),
-        }
+        SequenceDatabase::from_users(iter.into_iter().collect())
+    }
+}
+
+/// A zero-copy window onto one user's sequences in the columnar store.
+#[derive(Debug, Clone, Copy)]
+pub struct UserView<'a> {
+    db: &'a SequenceDatabase,
+    index: usize,
+}
+
+impl<'a> UserView<'a> {
+    /// The user.
+    pub fn user(&self) -> UserId {
+        self.db.users[self.index]
+    }
+
+    /// The database's symbol table, for resolving day slices.
+    pub fn symbols(&self) -> &'a SymbolTable<SeqItem> {
+        self.db.symbols()
+    }
+
+    /// Number of daily sequences.
+    pub fn day_count(&self) -> usize {
+        (self.db.user_offsets[self.index + 1] - self.db.user_offsets[self.index]) as usize
+    }
+
+    /// Whether the user has no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.day_count() == 0
+    }
+
+    /// The `i`-th daily sequence as a symbol slice.
+    ///
+    /// # Panics
+    /// If `i >= day_count()`.
+    pub fn day(&self, i: usize) -> &'a [Symbol] {
+        assert!(i < self.day_count(), "day index out of range");
+        self.db
+            .seq_slice(self.db.user_offsets[self.index] as usize + i)
+    }
+
+    /// All daily sequences as symbol slices, in date order.
+    pub fn days(&self) -> impl Iterator<Item = &'a [Symbol]> {
+        let db = self.db;
+        let start = db.user_offsets[self.index] as usize;
+        let end = db.user_offsets[self.index + 1] as usize;
+        (start..end).map(move |s| db.seq_slice(s))
+    }
+
+    /// Decodes the user's sequences back to owned items.
+    pub fn decode(&self) -> Vec<Vec<SeqItem>> {
+        let table = self.db.symbols();
+        self.days()
+            .map(|day| day.iter().map(|&s| *table.resolve(s)).collect())
+            .collect()
     }
 }
 
@@ -146,6 +322,7 @@ mod tests {
     use super::*;
     use crowdweb_dataset::{CategoryId, CheckIn, CivilDate, Timestamp, Venue, VenueId};
     use crowdweb_geo::LatLon;
+    use proptest::prelude::*;
 
     /// Dataset with one user visiting venue sequences on specific days.
     /// Each tuple is (day_of_april, hour, venue).
@@ -193,18 +370,19 @@ mod tests {
     fn one_sequence_per_active_day() {
         let d = dataset(&[(1, 8, 0), (1, 12, 1), (3, 9, 2)]);
         let db = build(&d);
-        let u = db.sequences_of(UserId::new(1)).unwrap();
-        assert_eq!(u.len(), 2); // days 1 and 3; day 2 absent
-        assert_eq!(u.sequences[0].len(), 2);
-        assert_eq!(u.sequences[1].len(), 1);
+        let v = db.view_of(UserId::new(1)).unwrap();
+        assert_eq!(v.day_count(), 2); // days 1 and 3; day 2 absent
+        assert_eq!(v.day(0).len(), 2);
+        assert_eq!(v.day(1).len(), 1);
         assert_eq!(db.total_sequences(), 2);
+        assert_eq!(db.total_items(), 3);
     }
 
     #[test]
     fn items_are_time_ordered_with_slots() {
         let d = dataset(&[(1, 12, 1), (1, 8, 0)]); // inserted out of order
         let db = build(&d);
-        let seq = &db.sequences_of(UserId::new(1)).unwrap().sequences[0];
+        let seq = &db.decode_user(UserId::new(1)).unwrap().sequences[0];
         assert_eq!(seq[0].slot, TimeSlot(4)); // 08:00-10:00
         assert_eq!(seq[1].slot, TimeSlot(6)); // 12:00-14:00
         assert_eq!(seq[0].label, PlaceLabel(0));
@@ -216,7 +394,7 @@ mod tests {
         // Same venue, same slot, three check-ins.
         let d = dataset(&[(1, 8, 0), (1, 8, 0), (1, 9, 0)]);
         let db = build(&d);
-        let seq = &db.sequences_of(UserId::new(1)).unwrap().sequences[0];
+        let seq = db.view_of(UserId::new(1)).unwrap().day(0);
         assert_eq!(seq.len(), 1, "{seq:?}");
     }
 
@@ -226,7 +404,7 @@ mod tests {
         // (different slots).
         let d = dataset(&[(1, 8, 0), (1, 12, 1), (1, 20, 0)]);
         let db = build(&d);
-        let seq = &db.sequences_of(UserId::new(1)).unwrap().sequences[0];
+        let seq = db.view_of(UserId::new(1)).unwrap().day(0);
         assert_eq!(seq.len(), 3);
     }
 
@@ -264,8 +442,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(db.user_count(), 1);
-        assert!(db.users()[0].is_empty());
-        assert!(db.sequences_of(UserId::new(1)).is_none());
+        assert!(db.view(0).is_empty());
+        assert!(db.view_of(UserId::new(1)).is_none());
+        assert!(db.decode_user(UserId::new(1)).is_none());
     }
 
     #[test]
@@ -277,6 +456,8 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(db.user_count(), 1);
+        assert_eq!(db.total_sequences(), 1);
+        assert_eq!(db.total_items(), 0);
     }
 
     #[test]
@@ -286,5 +467,78 @@ mod tests {
             label: PlaceLabel(2),
         };
         assert_eq!(item.to_string(), "place#2@slot#6");
+    }
+
+    #[test]
+    fn symbol_order_agrees_with_item_order() {
+        let d = dataset(&[(1, 8, 0), (1, 12, 1), (2, 9, 2)]);
+        let db = build(&d);
+        let items = db.symbols().items();
+        assert!(items.windows(2).all(|w| w[0] < w[1]), "{items:?}");
+    }
+
+    #[test]
+    fn day_slices_pool_all_users_in_order() {
+        let rows = vec![
+            UserSequences {
+                user: UserId::new(1),
+                sequences: vec![vec![SeqItem::default()], vec![]],
+            },
+            UserSequences {
+                user: UserId::new(2),
+                sequences: vec![vec![SeqItem::default(), SeqItem::default()]],
+            },
+        ];
+        let db = SequenceDatabase::from_users(rows);
+        let lens: Vec<usize> = db.day_slices().iter().map(|s| s.len()).collect();
+        // Consecutive-duplicate collapse is a build() concern, not
+        // from_users(): the repeated default item survives.
+        assert_eq!(lens, vec![1, 0, 2]);
+    }
+
+    fn arb_rows() -> impl Strategy<Value = Vec<UserSequences>> {
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec((0u8..12, 0u32..6), 0..7), 0..5),
+            0..6,
+        )
+        .prop_map(|users| {
+            users
+                .into_iter()
+                .enumerate()
+                .map(|(i, days)| UserSequences {
+                    user: UserId::new(i as u32),
+                    sequences: days
+                        .into_iter()
+                        .map(|day| {
+                            day.into_iter()
+                                .map(|(slot, label)| SeqItem {
+                                    slot: TimeSlot(slot),
+                                    label: PlaceLabel(label),
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The columnar encoding is lossless: decoding every view
+        /// reproduces the original rows exactly.
+        #[test]
+        fn prop_columnar_round_trips(rows in arb_rows()) {
+            let db = SequenceDatabase::from_users(rows.clone());
+            prop_assert_eq!(db.user_count(), rows.len());
+            for (view, row) in db.views().zip(&rows) {
+                prop_assert_eq!(view.user(), row.user);
+                prop_assert_eq!(view.day_count(), row.sequences.len());
+                prop_assert_eq!(&view.decode(), &row.sequences);
+            }
+            // And the serde round trip preserves the whole database.
+            let json = serde_json::to_string(&db).unwrap();
+            let back: SequenceDatabase = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, db);
+        }
     }
 }

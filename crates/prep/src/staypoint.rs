@@ -91,7 +91,8 @@ pub fn detect_stay_points(
     while i < points.len() {
         let anchor = points[i].location;
         let mut j = i + 1;
-        while j < points.len() && anchor.equirectangular_m(points[j].location) <= distance_threshold_m
+        while j < points.len()
+            && anchor.equirectangular_m(points[j].location) <= distance_threshold_m
         {
             j += 1;
         }

@@ -158,7 +158,10 @@ mod tests {
     fn iter_yields_all_slots() {
         let s = TimeSlotting::new(6).unwrap();
         let slots: Vec<TimeSlot> = s.iter().collect();
-        assert_eq!(slots, vec![TimeSlot(0), TimeSlot(1), TimeSlot(2), TimeSlot(3)]);
+        assert_eq!(
+            slots,
+            vec![TimeSlot(0), TimeSlot(1), TimeSlot(2), TimeSlot(3)]
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl StudyWindow {
                 hi = d;
             }
         }
-        Ok(StudyWindow { first: lo, last: hi })
+        Ok(StudyWindow {
+            first: lo,
+            last: hi,
+        })
     }
 
     /// The richest consecutive `months`-month window, as the paper
@@ -80,8 +83,8 @@ impl StudyWindow {
         let (start, _) = stats
             .richest_window(months)
             .ok_or(PrepError::EmptyDataset)?;
-        let first = CivilDate::new(start.year, start.month, 1)
-            .expect("month keys come from valid dates");
+        let first =
+            CivilDate::new(start.year, start.month, 1).expect("month keys come from valid dates");
         let mut end_month = start;
         for _ in 1..months {
             end_month = end_month.succ();
@@ -174,7 +177,11 @@ mod tests {
 
     #[test]
     fn richest_months_is_calendar_aligned() {
-        let d = SynthConfig::small(2).days(330).engagement_decay(0.85).generate().unwrap();
+        let d = SynthConfig::small(2)
+            .days(330)
+            .engagement_decay(0.85)
+            .generate()
+            .unwrap();
         let w = StudyWindow::richest_months(&d, 3).unwrap();
         assert_eq!(w.first().day(), 1);
         // With decaying engagement from an April start, the richest

@@ -60,11 +60,7 @@ mod tests {
 
     #[test]
     fn keeps_maximal_support_distinct_patterns() {
-        let db = vec![
-            vec!['a', 'b', 'c'],
-            vec!['a', 'b'],
-            vec!['a', 'c'],
-        ];
+        let db = vec![vec!['a', 'b', 'c'], vec!['a', 'b'], vec!['a', 'c']];
         let mined = PrefixSpan::new(0.3).unwrap().mine(&db);
         let closed = closed_patterns(&mined);
         // <a> support 3 has no equal-support super-pattern: closed.

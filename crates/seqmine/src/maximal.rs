@@ -72,11 +72,7 @@ mod tests {
 
     #[test]
     fn maximal_keeps_only_unsubsumed() {
-        let db = vec![
-            vec!['a', 'b', 'c'],
-            vec!['a', 'b'],
-            vec!['a', 'c'],
-        ];
+        let db = vec![vec!['a', 'b', 'c'], vec!['a', 'b'], vec!['a', 'c']];
         let mined = PrefixSpan::new(0.3).unwrap().mine(&db);
         let maximal = maximal_patterns(&mined);
         // <a,b,c> subsumes everything that is frequent at 0.3 support
@@ -93,21 +89,13 @@ mod tests {
         let maximal = maximal_patterns(&mined);
         // <a, b> is maximal; <c> (if frequent) would be too — at 0.6
         // threshold (2 of 3) only a and b and <a,b> qualify.
-        assert!(maximal
-            .patterns
-            .iter()
-            .any(|p| p.items == vec!['a', 'b']));
+        assert!(maximal.patterns.iter().any(|p| p.items == vec!['a', 'b']));
         assert!(!maximal.patterns.iter().any(|p| p.items == vec!['a']));
     }
 
     #[test]
     fn top_k_orders_by_support_then_length() {
-        let db = vec![
-            vec!['a', 'b'],
-            vec!['a', 'b'],
-            vec!['a'],
-            vec!['c'],
-        ];
+        let db = vec![vec!['a', 'b'], vec!['a', 'b'], vec!['a'], vec!['c']];
         let mined = PrefixSpan::new(0.25).unwrap().mine(&db);
         let top = top_k_patterns(&mined, 3);
         assert_eq!(top.len(), 3);

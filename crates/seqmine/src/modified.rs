@@ -19,6 +19,7 @@
 //! constraints.
 
 use crate::{MineError, Pattern, PatternSet};
+use crowdweb_exec::{parallel_map, Parallelism};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -50,6 +51,7 @@ pub struct ModifiedPrefixSpan {
     min_support: f64,
     max_gap: Option<u32>,
     max_length: usize,
+    parallelism: Parallelism,
 }
 
 impl ModifiedPrefixSpan {
@@ -68,7 +70,15 @@ impl ModifiedPrefixSpan {
             min_support,
             max_gap: None,
             max_length: usize::MAX,
+            parallelism: Parallelism::Sequential,
         })
+    }
+
+    /// Sets how top-level pattern branches are executed (default
+    /// sequential). The mined set is identical under any policy.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> ModifiedPrefixSpan {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Sets the maximum slot gap between consecutive pattern items
@@ -107,19 +117,62 @@ impl ModifiedPrefixSpan {
     }
 
     /// Mines all frequent patterns; `time_of` maps an item to its time
-    /// index (slot). Patterns come back sorted by `(length, items)`.
-    pub fn mine<T, F>(&self, db: &[Vec<T>], time_of: F) -> PatternSet<T>
+    /// index (slot). Accepts any slice-of-sequences shape
+    /// (`Vec<Vec<T>>`, columnar `&[Symbol]` day slices, ...). Patterns
+    /// come back sorted by `(length, items)`.
+    pub fn mine<T, S, F>(&self, db: &[S], time_of: F) -> PatternSet<T>
     where
-        T: Clone + Eq + Hash + Ord,
-        F: Fn(&T) -> u32 + Copy,
+        T: Clone + Eq + Hash + Ord + Send + Sync,
+        S: AsRef<[T]> + Sync,
+        F: Fn(&T) -> u32 + Copy + Sync,
     {
         let threshold = self.absolute_threshold(db.len());
-        let mut out: Vec<Pattern<T>> = Vec::new();
-        // Projection: per sequence, every position where the prefix's
-        // last item matched (empty prefix: sentinel "before start").
-        let initial: Vec<(usize, Vec<usize>)> = (0..db.len()).map(|i| (i, Vec::new())).collect();
-        let mut prefix: Vec<T> = Vec::new();
-        self.grow(db, &initial, threshold, time_of, &mut prefix, &mut out);
+        // Frequent 1-items: with an empty prefix every position is a
+        // valid extension, so count each distinct item once per
+        // sequence.
+        let mut counts: HashMap<&T, usize> = HashMap::new();
+        for seq in db {
+            let mut seen: Vec<&T> = Vec::new();
+            for item in seq.as_ref() {
+                if !seen.contains(&item) {
+                    seen.push(item);
+                    *counts.entry(item).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut roots: Vec<(&T, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= threshold)
+            .collect();
+        roots.sort_by(|a, b| a.0.cmp(b.0));
+        let roots: Vec<(T, usize)> = roots
+            .into_iter()
+            .map(|(item, support)| (item.clone(), support))
+            .collect();
+
+        // Grow each root independently (all match ends are tracked, so
+        // branches share nothing); the final sort makes the merge order
+        // irrelevant.
+        let branches = parallel_map(self.parallelism, &roots, |(item, support)| {
+            let projection: Vec<(usize, Vec<usize>)> = db
+                .iter()
+                .enumerate()
+                .filter_map(|(seq_idx, s)| {
+                    let seq = s.as_ref();
+                    let ends: Vec<usize> =
+                        (0..seq.len()).filter(|&pos| seq[pos] == *item).collect();
+                    (!ends.is_empty()).then_some((seq_idx, ends))
+                })
+                .collect();
+            let mut prefix = vec![item.clone()];
+            let mut out = vec![Pattern {
+                items: prefix.clone(),
+                support: *support,
+            }];
+            self.grow(db, &projection, threshold, time_of, &mut prefix, &mut out);
+            out
+        });
+        let mut out: Vec<Pattern<T>> = branches.into_iter().flatten().collect();
         out.sort_by(|a, b| (a.len(), &a.items).cmp(&(b.len(), &b.items)));
         PatternSet {
             patterns: out,
@@ -127,9 +180,9 @@ impl ModifiedPrefixSpan {
         }
     }
 
-    fn grow<T, F>(
+    fn grow<T, S, F>(
         &self,
-        db: &[Vec<T>],
+        db: &[S],
         projection: &[(usize, Vec<usize>)],
         threshold: usize,
         time_of: F,
@@ -137,6 +190,7 @@ impl ModifiedPrefixSpan {
         out: &mut Vec<Pattern<T>>,
     ) where
         T: Clone + Eq + Hash + Ord,
+        S: AsRef<[T]>,
         F: Fn(&T) -> u32 + Copy,
     {
         if prefix.len() >= self.max_length {
@@ -146,7 +200,7 @@ impl ModifiedPrefixSpan {
         // Count candidate extension items, once per sequence.
         let mut counts: HashMap<&T, usize> = HashMap::new();
         for (seq_idx, ends) in projection {
-            let seq = &db[*seq_idx];
+            let seq = db[*seq_idx].as_ref();
             let mut seen: Vec<&T> = Vec::new();
             for (pos, item) in seq.iter().enumerate() {
                 if self.valid_extension(seq, ends, pos, first, time_of) && !seen.contains(&item) {
@@ -166,11 +220,10 @@ impl ModifiedPrefixSpan {
             let next: Vec<(usize, Vec<usize>)> = projection
                 .iter()
                 .filter_map(|(seq_idx, ends)| {
-                    let seq = &db[*seq_idx];
+                    let seq = db[*seq_idx].as_ref();
                     let new_ends: Vec<usize> = (0..seq.len())
                         .filter(|&pos| {
-                            seq[pos] == item
-                                && self.valid_extension(seq, ends, pos, first, time_of)
+                            seq[pos] == item && self.valid_extension(seq, ends, pos, first, time_of)
                         })
                         .collect();
                     (!new_ends.is_empty()).then_some((*seq_idx, new_ends))
@@ -286,9 +339,7 @@ mod tests {
         for p in &set.patterns {
             let actual = db()
                 .iter()
-                .filter(|s| {
-                    contains_subsequence_with_gap(&p.items, s, 4, time, |a, b| a == b)
-                })
+                .filter(|s| contains_subsequence_with_gap(&p.items, s, 4, time, |a, b| a == b))
                 .count();
             assert_eq!(actual, p.support, "pattern {:?}", p.items);
         }
@@ -318,10 +369,7 @@ mod tests {
             .unwrap()
             .mine(&db(), time);
         assert_eq!(set.max_length(), 1);
-        assert!(ModifiedPrefixSpan::new(0.3)
-            .unwrap()
-            .max_length(0)
-            .is_err());
+        assert!(ModifiedPrefixSpan::new(0.3).unwrap().max_length(0).is_err());
     }
 
     #[test]

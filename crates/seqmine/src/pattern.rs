@@ -91,6 +91,25 @@ impl<T> PatternSet<T> {
     pub fn of_length(&self, len: usize) -> impl Iterator<Item = &Pattern<T>> {
         self.patterns.iter().filter(move |p| p.len() == len)
     }
+
+    /// Maps every pattern item through `f`, keeping supports and order.
+    ///
+    /// Used to decode symbol-mined pattern sets back to their source
+    /// items; when `f` is monotone (symbol tables interned in sorted
+    /// order), the `(length, items)` sort is preserved.
+    pub fn map_items<U>(self, mut f: impl FnMut(&T) -> U) -> PatternSet<U> {
+        PatternSet {
+            patterns: self
+                .patterns
+                .into_iter()
+                .map(|p| Pattern {
+                    items: p.items.iter().map(&mut f).collect(),
+                    support: p.support,
+                })
+                .collect(),
+            db_size: self.db_size,
+        }
+    }
 }
 
 impl<T> IntoIterator for PatternSet<T> {

@@ -6,6 +6,7 @@
 //! pairs instead of copying suffixes.
 
 use crate::{MineError, Pattern, PatternSet};
+use crowdweb_exec::{parallel_map, Parallelism};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -14,6 +15,12 @@ use std::hash::Hash;
 /// Support is *relative*: a pattern qualifies if it occurs in at least
 /// `ceil(min_support * db_len)` sequences (and at least one).
 ///
+/// Each frequent 1-item roots an independent pattern-growth branch;
+/// under [`PrefixSpan::parallelism`] those branches fan out on the
+/// shared pool and merge deterministically (the final `(length, items)`
+/// sort is a total order, since a pattern's support is a function of
+/// its items).
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
@@ -21,6 +28,7 @@ use std::hash::Hash;
 pub struct PrefixSpan {
     min_support: f64,
     max_length: usize,
+    parallelism: Parallelism,
 }
 
 impl PrefixSpan {
@@ -37,6 +45,7 @@ impl PrefixSpan {
         Ok(PrefixSpan {
             min_support,
             max_length: usize::MAX,
+            parallelism: Parallelism::Sequential,
         })
     }
 
@@ -53,6 +62,13 @@ impl PrefixSpan {
         Ok(self)
     }
 
+    /// Sets how top-level pattern branches are executed (default
+    /// sequential). The mined set is identical under any policy.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> PrefixSpan {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// The configured relative support threshold.
     pub fn min_support(&self) -> f64 {
         self.min_support
@@ -64,18 +80,66 @@ impl PrefixSpan {
         ((self.min_support * db_len as f64).ceil() as usize).max(1)
     }
 
-    /// Mines all frequent sequential patterns of the database. Patterns
-    /// are returned sorted by `(length, items)`.
-    pub fn mine<T>(&self, db: &[Vec<T>]) -> PatternSet<T>
+    /// Mines all frequent sequential patterns of the database (any
+    /// slice-of-sequences shape: `Vec<Vec<T>>`, `Vec<&[T]>`, the
+    /// columnar day slices, ...). Patterns are returned sorted by
+    /// `(length, items)`.
+    pub fn mine<T, S>(&self, db: &[S]) -> PatternSet<T>
     where
-        T: Clone + Eq + Hash + Ord,
+        T: Clone + Eq + Hash + Ord + Send + Sync,
+        S: AsRef<[T]> + Sync,
     {
         let threshold = self.absolute_threshold(db.len());
-        let mut out: Vec<Pattern<T>> = Vec::new();
-        // Initial projection: every sequence from offset 0.
-        let initial: Vec<(usize, usize)> = (0..db.len()).map(|i| (i, 0)).collect();
-        let mut prefix: Vec<T> = Vec::new();
-        grow(db, &initial, threshold, self.max_length, &mut prefix, &mut out);
+        // Frequent 1-items, counted once per sequence.
+        let mut counts: HashMap<&T, usize> = HashMap::new();
+        for seq in db {
+            let mut seen: Vec<&T> = Vec::new();
+            for item in seq.as_ref() {
+                if !seen.contains(&item) {
+                    seen.push(item);
+                    *counts.entry(item).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut roots: Vec<(&T, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= threshold)
+            .collect();
+        roots.sort_by(|a, b| a.0.cmp(b.0));
+        let roots: Vec<(T, usize)> = roots
+            .into_iter()
+            .map(|(item, support)| (item.clone(), support))
+            .collect();
+
+        // Each root grows independently; results merge in root order
+        // and the final sort fixes the global order either way.
+        let branches = parallel_map(self.parallelism, &roots, |(item, support)| {
+            let projection: Vec<(usize, usize)> = db
+                .iter()
+                .enumerate()
+                .filter_map(|(seq, s)| {
+                    s.as_ref()
+                        .iter()
+                        .position(|x| x == item)
+                        .map(|off| (seq, off + 1))
+                })
+                .collect();
+            let mut prefix = vec![item.clone()];
+            let mut out = vec![Pattern {
+                items: prefix.clone(),
+                support: *support,
+            }];
+            grow(
+                db,
+                &projection,
+                threshold,
+                self.max_length,
+                &mut prefix,
+                &mut out,
+            );
+            out
+        });
+        let mut out: Vec<Pattern<T>> = branches.into_iter().flatten().collect();
         out.sort_by(|a, b| (a.len(), &a.items).cmp(&(b.len(), &b.items)));
         PatternSet {
             patterns: out,
@@ -85,8 +149,8 @@ impl PrefixSpan {
 }
 
 /// Recursive pattern growth over a pseudo-projected database.
-fn grow<T>(
-    db: &[Vec<T>],
+fn grow<T, S>(
+    db: &[S],
     projection: &[(usize, usize)],
     threshold: usize,
     max_length: usize,
@@ -94,6 +158,7 @@ fn grow<T>(
     out: &mut Vec<Pattern<T>>,
 ) where
     T: Clone + Eq + Hash + Ord,
+    S: AsRef<[T]>,
 {
     if prefix.len() >= max_length {
         return;
@@ -102,7 +167,7 @@ fn grow<T>(
     let mut counts: HashMap<&T, usize> = HashMap::new();
     for &(seq, start) in projection {
         let mut seen: Vec<&T> = Vec::new();
-        for item in &db[seq][start..] {
+        for item in &db[seq].as_ref()[start..] {
             if !seen.contains(&item) {
                 seen.push(item);
                 *counts.entry(item).or_insert(0) += 1;
@@ -121,7 +186,7 @@ fn grow<T>(
         let next: Vec<(usize, usize)> = projection
             .iter()
             .filter_map(|&(seq, start)| {
-                db[seq][start..]
+                db[seq].as_ref()[start..]
                     .iter()
                     .position(|x| *x == item)
                     .map(|off| (seq, start + off + 1))
@@ -270,10 +335,7 @@ mod tests {
         candidates
             .into_iter()
             .filter_map(|c| {
-                let sup = db
-                    .iter()
-                    .filter(|s| contains_subsequence(&c, s))
-                    .count();
+                let sup = db.iter().filter(|s| contains_subsequence(&c, s)).count();
                 (sup >= threshold).then_some((c, sup))
             })
             .collect()

@@ -11,6 +11,7 @@
 //! independent implementation and ablation point.
 
 use crate::{MineError, Pattern, PatternSet};
+use crowdweb_exec::{parallel_map, Parallelism};
 use std::collections::BTreeMap;
 use std::hash::Hash;
 
@@ -34,6 +35,7 @@ use std::hash::Hash;
 pub struct Spade {
     min_support: f64,
     max_length: usize,
+    parallelism: Parallelism,
 }
 
 /// An id-list: for each containing sequence, every position where the
@@ -54,7 +56,15 @@ impl Spade {
         Ok(Spade {
             min_support,
             max_length: usize::MAX,
+            parallelism: Parallelism::Sequential,
         })
+    }
+
+    /// Sets how top-level item branches are executed (default
+    /// sequential). The mined set is identical under any policy.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Spade {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Caps the maximum pattern length.
@@ -75,17 +85,20 @@ impl Spade {
         ((self.min_support * db_len as f64).ceil() as usize).max(1)
     }
 
-    /// Mines all frequent sequential patterns via id-list joins.
-    pub fn mine<T>(&self, db: &[Vec<T>]) -> PatternSet<T>
+    /// Mines all frequent sequential patterns via id-list joins. Each
+    /// frequent item's branch joins independently, so branches fan out
+    /// on the shared pool under [`Spade::parallelism`].
+    pub fn mine<T, S>(&self, db: &[S]) -> PatternSet<T>
     where
-        T: Clone + Eq + Hash + Ord,
+        T: Clone + Eq + Hash + Ord + Send + Sync,
+        S: AsRef<[T]> + Sync,
     {
         let threshold = self.absolute_threshold(db.len());
 
         // Build the level-1 id-lists.
         let mut item_lists: BTreeMap<&T, IdList> = BTreeMap::new();
         for (seq_idx, seq) in db.iter().enumerate() {
-            for (pos, item) in seq.iter().enumerate() {
+            for (pos, item) in seq.as_ref().iter().enumerate() {
                 let list = item_lists.entry(item).or_default();
                 match list.last_mut() {
                     Some((s, positions)) if *s == seq_idx => positions.push(pos),
@@ -99,15 +112,16 @@ impl Spade {
             .map(|(item, list)| (item.clone(), list))
             .collect();
 
-        let mut out: Vec<Pattern<T>> = Vec::new();
-        for (item, list) in &frequent_items {
+        let branches = parallel_map(self.parallelism, &frequent_items, |(item, list)| {
             let mut prefix = vec![item.clone()];
-            out.push(Pattern {
+            let mut out = vec![Pattern {
                 items: prefix.clone(),
                 support: list.len(),
-            });
+            }];
             self.grow(&frequent_items, list, threshold, &mut prefix, &mut out);
-        }
+            out
+        });
+        let mut out: Vec<Pattern<T>> = branches.into_iter().flatten().collect();
         out.sort_by(|a, b| (a.len(), &a.items).cmp(&(b.len(), &b.items)));
         PatternSet {
             patterns: out,
@@ -215,7 +229,10 @@ mod tests {
 
     #[test]
     fn empty_database() {
-        assert!(Spade::new(0.5).unwrap().mine(&Vec::<Vec<u8>>::new()).is_empty());
+        assert!(Spade::new(0.5)
+            .unwrap()
+            .mine(&Vec::<Vec<u8>>::new())
+            .is_empty());
     }
 
     #[test]

@@ -19,9 +19,7 @@
 use crate::{AppState, Request, Response, Router, StatusCode};
 use crowdweb_dataset::UserId;
 use crowdweb_mobility::{PatternMiner, UserPatterns};
-use crowdweb_viz::{
-    render_place_graph, snapshot_to_geojson, CityMap, Histogram, LineChart,
-};
+use crowdweb_viz::{render_place_graph, snapshot_to_geojson, CityMap, Histogram, LineChart};
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -212,7 +210,10 @@ struct CrowdDto {
     cells: Vec<CrowdCellDto>,
 }
 
-fn snapshot_for(state: &AppState, request: &Request) -> Result<crowdweb_crowd::CrowdSnapshot, Response> {
+fn snapshot_for(
+    state: &AppState,
+    request: &Request,
+) -> Result<crowdweb_crowd::CrowdSnapshot, Response> {
     let hour = parse_hour(request)?;
     state
         .crowd()
@@ -262,9 +263,7 @@ fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -
                 .snapshot_by_label(idx, crowdweb_prep::PlaceLabel(label))
             {
                 Ok(s) => s,
-                Err(e) => {
-                    return Response::error(StatusCode::InternalServerError, &e.to_string())
-                }
+                Err(e) => return Response::error(StatusCode::InternalServerError, &e.to_string()),
             }
         }
     };
@@ -422,12 +421,22 @@ fn figure_svg(state: &AppState, _: &Request, params: &HashMap<String, String>) -
     };
     let svg = match id {
         "fig5" | "fig7" => {
-            let points: Vec<(f64, f64)> =
-                series.x.iter().copied().zip(series.y.iter().copied()).collect();
+            let points: Vec<(f64, f64)> = series
+                .x
+                .iter()
+                .copied()
+                .zip(series.y.iter().copied())
+                .collect();
             let (title, ylabel) = if id == "fig5" {
-                ("Fig 5: sequences per user vs min_support", "avg sequences per user")
+                (
+                    "Fig 5: sequences per user vs min_support",
+                    "avg sequences per user",
+                )
             } else {
-                ("Fig 7: avg sequence length vs min_support", "avg length per user")
+                (
+                    "Fig 7: avg sequence length vs min_support",
+                    "avg length per user",
+                )
             };
             LineChart::new(title)
                 .x_label("minimum support threshold")
@@ -442,7 +451,11 @@ fn figure_svg(state: &AppState, _: &Request, params: &HashMap<String, String>) -
                 "Fig 8: distribution of avg lengths (min_support = 0.5)"
             };
             Histogram::from_values(title, &series.y, 10)
-                .x_label(if id == "fig6" { "sequences" } else { "avg length" })
+                .x_label(if id == "fig6" {
+                    "sequences"
+                } else {
+                    "avg length"
+                })
                 .render()
         }
     };
@@ -502,10 +515,7 @@ fn hotspots(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Respo
             let rows: Vec<HotspotDto> = found
                 .into_iter()
                 .map(|h| HotspotDto {
-                    window: windows
-                        .get(h.window)
-                        .map(|w| w.label())
-                        .unwrap_or_default(),
+                    window: windows.get(h.window).map(|w| w.label()).unwrap_or_default(),
                     cell: h.cell.0,
                     users: h.count,
                     z_score: h.z_score,
@@ -592,10 +602,10 @@ fn entropy(state: &AppState, _: &Request, params: &HashMap<String, String>) -> R
         Ok(u) => u,
         Err(resp) => return resp,
     };
-    let Some(seqs) = state.prepared().seqdb().sequences_of(user) else {
+    let Some(view) = state.prepared().seqdb().view_of(user) else {
         return Response::error(StatusCode::NotFound, "unknown or filtered user");
     };
-    let p = crowdweb_mobility::predictability_profile(&seqs.sequences);
+    let p = crowdweb_mobility::predictability_profile(&view.decode());
     ok_json(&EntropyDto {
         user: user.raw(),
         visits: p.visits,
@@ -677,7 +687,10 @@ fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, Stri
         HashMap::new();
     for c in checkins {
         if let Some(v) = state.dataset().venue(c.venue()) {
-            per_day.entry(c.local_date()).or_default().push(v.location());
+            per_day
+                .entry(c.local_date())
+                .or_default()
+                .push(v.location());
         }
     }
     let date = match request.query_param("date") {
@@ -697,20 +710,21 @@ fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, Stri
             }
         }
         // Default: the user's busiest day.
-        None => *per_day
-            .iter()
-            .max_by_key(|(d, pts)| (pts.len(), std::cmp::Reverse(**d)))
-            .expect("user has check-ins")
-            .0,
+        None => {
+            *per_day
+                .iter()
+                .max_by_key(|(d, pts)| (pts.len(), std::cmp::Reverse(**d)))
+                .expect("user has check-ins")
+                .0
+        }
     };
     let Some(points) = per_day.get(&date) else {
         return Response::error(StatusCode::NotFound, "no check-ins on that date");
     };
-    let feature = crowdweb_geo::geojson::Feature::new(crowdweb_geo::geojson::Geometry::line(
-        points,
-    ))
-    .with_property("user", i64::from(user.raw()))
-    .with_property("date", date.to_string());
+    let feature =
+        crowdweb_geo::geojson::Feature::new(crowdweb_geo::geojson::Geometry::line(points))
+            .with_property("user", i64::from(user.raw()))
+            .with_property("date", date.to_string());
     ok_json(&TrajectoryDto {
         user: user.raw(),
         date: date.to_string(),
@@ -780,8 +794,7 @@ mod tests {
     }
 
     fn get(router: &Router<AppState>, state: &AppState, path: &str) -> (u16, String) {
-        let req =
-            Request::read_from(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes()).unwrap();
+        let req = Request::read_from(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes()).unwrap();
         let resp = router.route(state, &req);
         (resp.status.code(), String::from_utf8(resp.body).unwrap())
     }

@@ -218,8 +218,7 @@ pub fn percent_decode(s: &str) -> String {
                 // Valid only when two hex digits follow; otherwise the
                 // '%' passes through literally.
                 if let Some(hex) = bytes.get(i + 1..i + 3) {
-                    if let Ok(v) =
-                        u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16)
+                    if let Ok(v) = u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16)
                     {
                         out.push(v);
                         i += 3;
@@ -282,8 +281,11 @@ impl Response {
         Response {
             status,
             content_type: "application/json; charset=utf-8".to_owned(),
-            body: format!("{{\"error\":{}}}", serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into()))
-                .into_bytes(),
+            body: format!(
+                "{{\"error\":{}}}",
+                serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into())
+            )
+            .into_bytes(),
         }
     }
 

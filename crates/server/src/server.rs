@@ -4,10 +4,10 @@ use crate::{api, AppState, Request, Response, Router, StatusCode};
 use crossbeam::channel::bounded;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Duration;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Number of worker threads handling connections.
 const WORKERS: usize = 8;
@@ -231,9 +231,7 @@ mod tests {
             .unwrap()
             .read_timeout(Duration::from_millis(300))
             .spawn();
-        let idlers: Vec<TcpStream> = (0..12)
-            .map(|_| TcpStream::connect(addr).unwrap())
-            .collect();
+        let idlers: Vec<TcpStream> = (0..12).map(|_| TcpStream::connect(addr).unwrap()).collect();
         // Give the pool time to pick the idlers up and time them out.
         std::thread::sleep(Duration::from_millis(800));
         let (code, _) = http_get(addr, "/api/stats");

@@ -1,7 +1,8 @@
 //! Application state: everything the handlers serve.
 
-use crowdweb_crowd::{CrowdBuilder, CrowdModel, TimeWindows};
+use crowdweb_crowd::{CrowdModel, PipelineDriver, TimeWindows};
 use crowdweb_dataset::{Dataset, UserId};
+use crowdweb_exec::Parallelism;
 use crowdweb_geo::{BoundingBox, MicrocellGrid};
 use crowdweb_mobility::{PatternMiner, PlaceGraph, UserPatterns};
 use crowdweb_prep::{LabelScheme, Labeler, Prepared, Preprocessor, WindowChoice};
@@ -79,18 +80,18 @@ impl AppState {
         min_support: f64,
         grid_side: u32,
     ) -> Result<AppState, Box<dyn Error>> {
-        let prepared = preprocessor.prepare(&dataset)?;
-        let patterns = PatternMiner::new(min_support)?.detect_all(&prepared)?;
-        let grid = MicrocellGrid::new(BoundingBox::NYC, grid_side, grid_side)?;
-        let crowd = CrowdBuilder::new(&dataset, &prepared)
+        let out = PipelineDriver::new(min_support)?
+            .preprocessor(preprocessor)
             .windows(TimeWindows::hourly())
-            .build(&patterns, grid.clone())?;
+            .grid(BoundingBox::NYC, grid_side, grid_side)
+            .parallelism(Parallelism::Auto)
+            .run(&dataset)?;
         Ok(AppState {
             dataset,
-            prepared,
-            patterns,
-            grid,
-            crowd,
+            prepared: out.prepared,
+            patterns: out.patterns,
+            grid: out.grid,
+            crowd: out.crowd,
             min_support,
             last_upload: RwLock::new(None),
         })
@@ -120,8 +121,8 @@ impl AppState {
     pub fn place_graph_of(&self, user: UserId) -> Option<PlaceGraph> {
         self.prepared
             .seqdb()
-            .sequences_of(user)
-            .map(|u| PlaceGraph::from_sequences(user, &u.sequences))
+            .view_of(user)
+            .map(|view| PlaceGraph::from_sequences(user, &view.decode()))
     }
 
     /// The display microcell grid.

@@ -81,10 +81,7 @@ impl AgentProfile {
         let work_loc = universe.venue(work).location();
 
         let transit_pool = universe.nearest_of_kind(CategoryKind::TravelTransport, home_loc, 3);
-        let transit = transit_pool
-            .first()
-            .copied()
-            .unwrap_or(home); // degenerate universes fall back to home
+        let transit = transit_pool.first().copied().unwrap_or(home); // degenerate universes fall back to home
 
         let mut habits = Vec::new();
 
@@ -146,7 +143,11 @@ impl AgentProfile {
 
         // Nightlife (55% of agents, mostly weekend-weighted).
         if rng.gen_bool(0.55) {
-            let anchor = if rng.gen_bool(0.5) { home_loc } else { work_loc };
+            let anchor = if rng.gen_bool(0.5) {
+                home_loc
+            } else {
+                work_loc
+            };
             let pool = universe.nearest_of_kind(CategoryKind::NightlifeSpot, anchor, 6);
             habits.push(Habit {
                 kind: CategoryKind::NightlifeSpot,
@@ -238,15 +239,9 @@ mod tests {
     #[test]
     fn home_is_residence_work_is_workplace() {
         let (p, u) = profile(1);
-        let home_kind = u
-            .taxonomy()
-            .kind_of(u.venue(p.home).category())
-            .unwrap();
+        let home_kind = u.taxonomy().kind_of(u.venue(p.home).category()).unwrap();
         assert_eq!(home_kind, CategoryKind::Residence);
-        let work_kind = u
-            .taxonomy()
-            .kind_of(u.venue(p.work).category())
-            .unwrap();
+        let work_kind = u.taxonomy().kind_of(u.venue(p.work).category()).unwrap();
         assert!(matches!(
             work_kind,
             CategoryKind::Professional | CategoryKind::CollegeUniversity

@@ -297,8 +297,14 @@ mod tests {
             .records_per_user(10.0, 20.0)
             .validate()
             .is_err());
-        assert!(SynthConfig::small(0).engagement_decay(0.0).validate().is_err());
-        assert!(SynthConfig::small(0).engagement_decay(1.5).validate().is_err());
+        assert!(SynthConfig::small(0)
+            .engagement_decay(0.0)
+            .validate()
+            .is_err());
+        assert!(SynthConfig::small(0)
+            .engagement_decay(1.5)
+            .validate()
+            .is_err());
         assert!(SynthConfig::small(0).tz_offset(10_000).validate().is_err());
     }
 

@@ -188,16 +188,13 @@ fn thin_to_target(rng: &mut StdRng, config: &SynthConfig, visits: &[Visit]) -> V
         config.mean_records_per_user,
         config.median_records_per_user,
     );
-    let target = (rngx::stochastic_round(rng, target_f) as usize)
-        .clamp(1, visits.len());
+    let target = (rngx::stochastic_round(rng, target_f) as usize).clamp(1, visits.len());
 
     let mut keyed: Vec<(f64, usize)> = visits
         .iter()
         .enumerate()
         .map(|(i, v)| {
-            let w = (config
-                .monthly_engagement_decay
-                .powi(v.month_index as i32)
+            let w = (config.monthly_engagement_decay.powi(v.month_index as i32)
                 * v.announce_weight)
                 .max(1e-9);
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -309,7 +306,7 @@ mod tests {
     #[test]
     fn mean_and_median_near_targets() {
         // Use a mid-sized run for tighter statistics.
-        let config = SynthConfig::small(9)
+        let config = SynthConfig::small(17)
             .users(150)
             .days(330)
             .records_per_user(210.0, 153.0);
@@ -358,9 +355,7 @@ mod tests {
         });
         let d = config.generate().unwrap();
         // Find the venue with the most check-ins on day 10 at hour 20.
-        let event_date = CivilDate::from_epoch_days(
-            config.start_date().to_epoch_days() + 10,
-        );
+        let event_date = CivilDate::from_epoch_days(config.start_date().to_epoch_days() + 10);
         let mut per_venue: std::collections::HashMap<VenueId, usize> =
             std::collections::HashMap::new();
         for c in d.checkins() {
@@ -423,8 +418,7 @@ mod tests {
                 .filter(|c| c.local_time().hour == 12)
                 .filter(|c| {
                     let v = d.venue(c.venue()).unwrap();
-                    tax.kind_of(v.category())
-                        == Some(crowdweb_dataset::CategoryKind::Eatery)
+                    tax.kind_of(v.category()) == Some(crowdweb_dataset::CategoryKind::Eatery)
                 })
                 .map(|c| c.venue())
                 .collect();

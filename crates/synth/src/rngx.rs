@@ -56,9 +56,7 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<u
         }
     }
     // Floating-point slack: fall back to the last positive weight.
-    weights
-        .iter()
-        .rposition(|w| w.is_finite() && *w > 0.0)
+    weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
 }
 
 /// Stochastic rounding: `floor(x)` or `ceil(x)` with probability equal

@@ -195,7 +195,10 @@ mod tests {
         let u = VenueUniverse::generate(&SynthConfig::small(3).venues(2_000));
         let eateries = u.of_kind(CategoryKind::Eatery).len();
         let colleges = u.of_kind(CategoryKind::CollegeUniversity).len();
-        assert!(eateries > colleges * 3, "eateries {eateries} colleges {colleges}");
+        assert!(
+            eateries > colleges * 3,
+            "eateries {eateries} colleges {colleges}"
+        );
     }
 
     #[test]

@@ -162,7 +162,14 @@ impl LineChart {
         }
         for t in nice_ticks(x_lo, x_hi, 6) {
             let x = sx(t);
-            doc.line(x, MARGIN_TOP, x, self.height - MARGIN_BOTTOM, "#eeeeee", 1.0);
+            doc.line(
+                x,
+                MARGIN_TOP,
+                x,
+                self.height - MARGIN_BOTTOM,
+                "#eeeeee",
+                1.0,
+            );
             doc.text_centered(
                 x,
                 self.height - MARGIN_BOTTOM + 16.0,
@@ -220,7 +227,13 @@ impl LineChart {
                 &color,
                 2.0,
             );
-            doc.text(self.width - MARGIN_RIGHT - 84.0, ly + 4.0, 10.0, "#333333", name);
+            doc.text(
+                self.width - MARGIN_RIGHT - 84.0,
+                ly + 4.0,
+                10.0,
+                "#333333",
+                name,
+            );
         }
         doc.finish()
     }

@@ -44,10 +44,24 @@ pub fn render_flow_map(grid: &MicrocellGrid, flows: &[CrowdFlow], title: &str) -
     let cell_w = WIDTH / f64::from(grid.cols());
     let cell_h = height / f64::from(grid.rows());
     for r in 0..=grid.rows() {
-        doc.line(0.0, f64::from(r) * cell_h, WIDTH, f64::from(r) * cell_h, "#e3e8ed", 0.4);
+        doc.line(
+            0.0,
+            f64::from(r) * cell_h,
+            WIDTH,
+            f64::from(r) * cell_h,
+            "#e3e8ed",
+            0.4,
+        );
     }
     for c in 0..=grid.cols() {
-        doc.line(f64::from(c) * cell_w, 0.0, f64::from(c) * cell_w, height, "#e3e8ed", 0.4);
+        doc.line(
+            f64::from(c) * cell_w,
+            0.0,
+            f64::from(c) * cell_w,
+            height,
+            "#e3e8ed",
+            0.4,
+        );
     }
 
     let max = flows.iter().map(|f| f.count).max().unwrap_or(1).max(1);
@@ -68,7 +82,14 @@ pub fn render_flow_map(grid: &MicrocellGrid, flows: &[CrowdFlow], title: &str) -
         const HEAD: f64 = 9.0;
         for offset in [-0.5f64, 0.5] {
             let a = angle + std::f64::consts::PI + offset;
-            doc.line(x2, y2, x2 + HEAD * a.cos(), y2 + HEAD * a.sin(), "#d62728", width);
+            doc.line(
+                x2,
+                y2,
+                x2 + HEAD * a.cos(),
+                y2 + HEAD * a.sin(),
+                "#d62728",
+                width,
+            );
         }
         // Count label at the midpoint for big flows.
         if flow.count > 1 {

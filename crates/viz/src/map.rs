@@ -88,11 +88,8 @@ impl<'a> CityMap<'a> {
     /// shaded by its user count relative to the busiest cell (terminal
     /// method).
     pub fn render(&self, snapshot: &CrowdSnapshot) -> String {
-        let cells: Vec<(crowdweb_geo::CellId, usize)> = snapshot
-            .cells
-            .iter()
-            .map(|(&c, &n)| (c, n))
-            .collect();
+        let cells: Vec<(crowdweb_geo::CellId, usize)> =
+            snapshot.cells.iter().map(|(&c, &n)| (c, n)).collect();
         let max = cells.iter().map(|(_, n)| *n).max().unwrap_or(0);
         let mut svg = self.render_cells(&cells);
         if self.show_legend && max > 0 {

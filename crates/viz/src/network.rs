@@ -59,10 +59,7 @@ where
             let angle = TAU * i as f64 / nodes.len() as f64 - TAU / 4.0;
             (
                 n.label,
-                (
-                    center + RADIUS * angle.cos(),
-                    center + RADIUS * angle.sin(),
-                ),
+                (center + RADIUS * angle.cos(), center + RADIUS * angle.sin()),
             )
         })
         .collect();
@@ -87,7 +84,11 @@ where
         let r = 8.0 + 14.0 * n.visits as f64 / max_visits as f64;
         doc.circle(x, y, r, "#1f77b4");
         doc.text_centered(x, y + 3.0, 9.0, "#ffffff", &n.visits.to_string());
-        let label_y = if y < center { y - r - 6.0 } else { y + r + 14.0 };
+        let label_y = if y < center {
+            y - r - 6.0
+        } else {
+            y + r + 14.0
+        };
         doc.text_centered(x, label_y, 10.0, "#333333", &name_of(n.label));
     }
     doc.finish()

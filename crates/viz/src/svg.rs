@@ -64,7 +64,15 @@ impl Document {
 
     /// Adds a filled rectangle; `stroke` optionally draws a border as
     /// `(color, width)`.
-    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<(&str, f64)>) {
+    pub fn rect(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        fill: &str,
+        stroke: Option<(&str, f64)>,
+    ) {
         let _ = write!(
             self.body,
             r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{}""#,

@@ -143,8 +143,7 @@ mod tests {
 
     #[test]
     fn timeline_renders_bars() {
-        let frames: Vec<CrowdSnapshot> =
-            (0..23).map(|h| frame(h, usize::from(h) * 2)).collect();
+        let frames: Vec<CrowdSnapshot> = (0..23).map(|h| frame(h, usize::from(h) * 2)).collect();
         let svg = render_crowd_timeline(&frames);
         assert!(svg.starts_with("<svg"));
         // One bar per frame plus background.

@@ -17,12 +17,13 @@ use std::fs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = SynthConfig::small(123).generate()?;
-    let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
-    let patterns = PatternMiner::new(0.15)?.detect_all(&prepared)?;
-    let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
-    let model = CrowdBuilder::new(&dataset, &prepared)
+    let out = PipelineDriver::new(0.15)?
+        .preprocessor(Preprocessor::new().min_active_days(20))
         .windows(TimeWindows::hourly())
-        .build(&patterns, grid.clone())?;
+        .grid(BoundingBox::NYC, 20, 20)
+        .parallelism(Parallelism::Auto)
+        .run(&dataset)?;
+    let (grid, model) = (&out.grid, &out.crowd);
 
     // Crowd distribution across the day.
     println!("== Crowd size per window ==");
@@ -73,12 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let snap = model.snapshot_at_hour(hour).expect("hourly");
         fs::write(
             format!("out/crowd_{hour}.svg"),
-            CityMap::new(&grid).render(&snap),
+            CityMap::new(grid).render(&snap),
         )?;
     }
     fs::write(
         "out/crowd_9.geojson",
-        serde_json::to_string_pretty(&snapshot_to_geojson(&morning, &grid))?,
+        serde_json::to_string_pretty(&snapshot_to_geojson(&morning, grid))?,
     )?;
     let frames: Vec<String> = model
         .animation_frames()

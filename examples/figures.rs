@@ -27,15 +27,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Section I.1 dataset statistics.
     let report = dataset_stats_table(&ctx);
-    println!("== Dataset statistics (paper: 227,428 check-ins, 1,083 users, mean 210, median 153) ==");
+    println!(
+        "== Dataset statistics (paper: 227,428 check-ins, 1,083 users, mean 210, median 153) =="
+    );
     let mut t = TextTable::new(&["metric", "measured"]);
     t.row(&["check-ins", &report.measured.total_checkins.to_string()]);
     t.row(&["users", &report.measured.user_count.to_string()]);
-    t.row(&["mean records/user", &format!("{:.1}", report.measured.mean_records_per_user)]);
-    t.row(&["median records/user", &format!("{:.1}", report.measured.median_records_per_user)]);
+    t.row(&[
+        "mean records/user",
+        &format!("{:.1}", report.measured.mean_records_per_user),
+    ]);
+    t.row(&[
+        "median records/user",
+        &format!("{:.1}", report.measured.median_records_per_user),
+    ]);
     t.row(&["sparse", &report.measured.is_sparse().to_string()]);
     t.row(&["richest 3-month window", &report.richest_window]);
-    t.row(&["filtered users (>50 days at paper scale)", &report.filtered_users.to_string()]);
+    t.row(&[
+        "filtered users (>50 days at paper scale)",
+        &report.filtered_users.to_string(),
+    ]);
     println!("{t}");
 
     fs::create_dir_all("out")?;

@@ -20,16 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let slotting = prepared.slotting();
 
     // Pick the user with the most active days.
-    let user_seqs = prepared
+    let view = prepared
         .seqdb()
-        .users()
-        .iter()
-        .max_by_key(|u| u.len())
+        .views()
+        .max_by_key(|v| v.day_count())
         .expect("filter kept at least one user");
-    let user = user_seqs.user;
+    let user = view.user();
+    let days = view.decode();
     println!(
         "user {user}: {} active days in {}\n",
-        user_seqs.len(),
+        days.len(),
         prepared.window()
     );
 
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // min_support shrinks the pattern set and shortens patterns.
     let mut table = TextTable::new(&["min_support", "patterns", "avg length", "max length"]);
     for support in [0.1, 0.2, 0.3, 0.5, 0.75] {
-        let mined = PatternMiner::new(support)?.detect(user, &user_seqs.sequences)?;
+        let mined = PatternMiner::new(support)?.detect(user, &days)?;
         table.row(&[
             &format!("{support:.2}"),
             &mined.pattern_count().to_string(),
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
 
     // Show the strongest patterns with human-readable labels.
-    let mined = PatternMiner::new(0.15)?.detect(user, &user_seqs.sequences)?;
+    let mined = PatternMiner::new(0.15)?.detect(user, &days)?;
     let mut strongest: Vec<_> = mined.patterns.iter().collect();
     strongest.sort_by(|a, b| b.support.cmp(&a.support).then(b.len().cmp(&a.len())));
     println!("strongest patterns:");
@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Export the place network.
-    let graph = PlaceGraph::from_sequences(user, &user_seqs.sequences);
+    let graph = PlaceGraph::from_sequences(user, &days);
     fs::create_dir_all("out")?;
     let svg_path = format!("out/network_{user}.svg");
     let dot_path = format!("out/network_{user}.dot");

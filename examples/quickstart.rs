@@ -32,9 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     t.row(&["sparse (<1 record/day)", &stats.is_sparse().to_string()]);
     println!("{t}");
 
-    // 2. Preprocess: richest 3-month window, active users, 2-hour
-    //    slots, coarse place labels.
-    let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
+    // 2-4. Preprocess, mine, and aggregate in one driven run: richest
+    //    3-month window, active users, modified PrefixSpan at 0.15
+    //    support, hourly crowd windows on a 20x20 NYC grid — every
+    //    parallel stage on the shared pool.
+    let out = PipelineDriver::new(0.15)?
+        .preprocessor(Preprocessor::new().min_active_days(20))
+        .parallelism(Parallelism::Auto)
+        .run(&dataset)?;
+    let (prepared, patterns, model) = (&out.prepared, &out.patterns, &out.crowd);
     println!(
         "study window {} | {} of {} users pass the activity filter\n",
         prepared.window(),
@@ -42,9 +48,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.user_count()
     );
 
-    // 3. Individual mobility patterns (modified PrefixSpan).
-    let miner = PatternMiner::new(0.15)?;
-    let patterns = miner.detect_all(&prepared)?;
     let user = patterns
         .iter()
         .max_by_key(|u| u.pattern_count())
@@ -55,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         user.active_days,
         user.pattern_count()
     );
-    let labeler = prepared_labeler(&dataset, &prepared);
+    let labeler = prepared_labeler(&dataset, prepared);
     let slotting = prepared.slotting();
     for p in user.patterns.iter().rev().take(8) {
         let rendered: Vec<String> = p
@@ -72,9 +75,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  <{}> on {} days", rendered.join(" -> "), p.support);
     }
 
-    // 4. Crowd synchronization and aggregation.
-    let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
-    let model = CrowdBuilder::new(&dataset, &prepared).build(&patterns, grid)?;
     println!("\n== Crowd in the smart city ==");
     for hour in [9u8, 12, 19, 22] {
         let snap = model.snapshot_at_hour(hour).expect("hourly windows");
@@ -93,9 +93,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn prepared_labeler<'a>(
-    dataset: &'a Dataset,
-    prepared: &Prepared,
-) -> crowdweb::prep::Labeler<'a> {
+fn prepared_labeler<'a>(dataset: &'a Dataset, prepared: &Prepared) -> crowdweb::prep::Labeler<'a> {
     crowdweb::prep::Labeler::new(dataset, prepared.scheme())
 }

@@ -31,18 +31,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         attendance: 0.7,
     });
     let dataset = config.generate()?;
-    let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
-    let patterns = PatternMiner::new(0.15)?.detect_all(&prepared)?;
-    let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
-    let model = CrowdBuilder::new(&dataset, &prepared).build(&patterns, grid.clone())?;
+    let out = PipelineDriver::new(0.15)?
+        .preprocessor(Preprocessor::new().min_active_days(20))
+        .parallelism(Parallelism::Auto)
+        .run(&dataset)?;
+    let (prepared, patterns, grid, model) = (&out.prepared, &out.patterns, &out.grid, &out.crowd);
 
     // 1. Hotspots.
     println!("== Hotspots across the day (z >= 1.5, >= 3 users) ==");
-    let hotspots = detect_hotspots(&model, &HotspotConfig::default())?;
+    let hotspots = detect_hotspots(model, &HotspotConfig::default())?;
     let mut t = TextTable::new(&["window", "cell", "users", "z", "phase"]);
     for h in hotspots.iter().take(12) {
         t.row(&[
-            &model.windows().get(h.window).map(|w| w.label()).unwrap_or_default(),
+            &model
+                .windows()
+                .get(h.window)
+                .map(|w| w.label())
+                .unwrap_or_default(),
             &h.cell.to_string(),
             &h.count.to_string(),
             &format!("{:.1}", h.z_score),
@@ -66,12 +71,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         unreachable!("hourly windows cover the day");
     };
     let flows = model.flows(i7h, i9h)?;
-    let moved: usize = flows.iter().filter(|f| f.from != f.to).map(|f| f.count).sum();
-    let stayed: usize = flows.iter().filter(|f| f.from == f.to).map(|f| f.count).sum();
+    let moved: usize = flows
+        .iter()
+        .filter(|f| f.from != f.to)
+        .map(|f| f.count)
+        .sum();
+    let stayed: usize = flows
+        .iter()
+        .filter(|f| f.from == f.to)
+        .map(|f| f.count)
+        .sum();
     println!("\n7 am -> 9 am commute: {moved} users changed microcells, {stayed} stayed");
 
     // 3. Behavioural groups.
-    let groups = group_users(&patterns, 0.9);
+    let groups = group_users(patterns, 0.9);
     let sizes: Vec<String> = groups.iter().take(6).map(|g| g.len().to_string()).collect();
     println!(
         "\nbehavioural groups at cosine >= 0.9: {} groups (largest: {})",
@@ -83,11 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Most predictable users (Fano bound from LZ entropy) ==");
     let mut rows: Vec<(UserId, f64, usize)> = prepared
         .seqdb()
-        .users()
-        .iter()
-        .map(|u| {
-            let p = predictability_profile(&u.sequences);
-            (u.user, p.max_predictability, p.distinct_places)
+        .views()
+        .map(|v| {
+            let p = predictability_profile(&v.decode());
+            (v.user(), p.max_predictability, p.distinct_places)
         })
         .collect();
     rows.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -105,7 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::create_dir_all("out")?;
     fs::write(
         "out/commute_flows.svg",
-        render_flow_map(&grid, &flows, "7h \u{2192} 9h"),
+        render_flow_map(grid, &flows, "7h \u{2192} 9h"),
     )?;
     let profile = crowdweb::dataset::ActivityProfile::of_dataset(&dataset);
     fs::write(

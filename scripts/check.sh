@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The CI gate: formatting, lints, and the full test suite.
+#
+#   scripts/check.sh
+#
+# Run from anywhere; it cds to the repo root first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -10,6 +10,7 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
+//! | [`exec`] | `crowdweb-exec` | shared work-stealing pool, symbol interning |
 //! | [`geo`] | `crowdweb-geo` | coordinates, microcell grids, tiles, clustering |
 //! | [`dataset`] | `crowdweb-dataset` | GTSM data model, TSV I/O, statistics |
 //! | [`synth`] | `crowdweb-synth` | calibrated synthetic Foursquare-NYC generator |
@@ -23,24 +24,29 @@
 //!
 //! # Quickstart
 //!
+//! [`PipelineDriver`](crowd::PipelineDriver) runs the whole
+//! prepare → mine → grid → crowd pipeline with one configuration and
+//! one [`Parallelism`](exec::Parallelism) policy:
+//!
 //! ```
 //! use crowdweb::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // 1. Data (synthetic stand-in for the Foursquare NYC dataset).
+//! // Data (synthetic stand-in for the Foursquare NYC dataset).
 //! let dataset = SynthConfig::small(7).generate()?;
-//! // 2. Preprocess: richest window, active users, 2h slots, kind labels.
-//! let prepared = Preprocessor::new().min_active_days(20).prepare(&dataset)?;
-//! // 3. Mine individual mobility patterns.
-//! let patterns = PatternMiner::new(0.15)?.detect_all(&prepared)?;
-//! // 4. Synchronize and aggregate the crowd.
-//! let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20)?;
-//! let model = CrowdBuilder::new(&dataset, &prepared).build(&patterns, grid)?;
-//! let snapshot = model.snapshot_at_hour(9).expect("hourly windows");
+//! let out = PipelineDriver::new(0.15)?
+//!     .preprocessor(Preprocessor::new().min_active_days(20))
+//!     .parallelism(Parallelism::Auto)
+//!     .run(&dataset)?;
+//! let snapshot = out.crowd.snapshot_at_hour(9).expect("hourly windows");
 //! println!("9-10 am crowd: {} users", snapshot.total_users());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The stages remain individually drivable — see
+//! [`prep::Preprocessor`], [`mobility::PatternMiner`],
+//! [`crowd::CrowdBuilder`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +54,7 @@
 pub use crowdweb_analytics as analytics;
 pub use crowdweb_crowd as crowd;
 pub use crowdweb_dataset as dataset;
+pub use crowdweb_exec as exec;
 pub use crowdweb_geo as geo;
 pub use crowdweb_mobility as mobility;
 pub use crowdweb_prep as prep;
@@ -58,10 +65,14 @@ pub use crowdweb_viz as viz;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crowdweb_crowd::{CrowdBuilder, CrowdModel, CrowdSnapshot, TimeWindow, TimeWindows};
+    pub use crowdweb_crowd::{
+        CrowdBuilder, CrowdModel, CrowdSnapshot, PipelineDriver, PipelineOutput, TimeWindow,
+        TimeWindows,
+    };
     pub use crowdweb_dataset::{
         CheckIn, Dataset, DatasetStats, Taxonomy, Timestamp, UserId, Venue, VenueId,
     };
+    pub use crowdweb_exec::Parallelism;
     pub use crowdweb_geo::{BoundingBox, CellId, LatLon, MicrocellGrid};
     pub use crowdweb_mobility::{
         evaluate_predictor, PatternMiner, PlaceGraph, PredictorKind, UserPatterns,

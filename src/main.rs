@@ -89,18 +89,22 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let (dataset, min_days) = load_dataset(args)?;
-    let ctx = ExperimentContext::from_dataset(
-        dataset,
-        &Preprocessor::new().min_active_days(min_days),
-    )?;
+    let ctx =
+        ExperimentContext::from_dataset(dataset, &Preprocessor::new().min_active_days(min_days))?;
     let report = dataset_stats_table(&ctx);
     let m = &report.measured;
     let mut t = TextTable::new(&["metric", "value"]);
     t.row(&["check-ins", &m.total_checkins.to_string()]);
     t.row(&["users", &m.user_count.to_string()]);
     t.row(&["venues", &m.venue_count.to_string()]);
-    t.row(&["mean records/user", &format!("{:.1}", m.mean_records_per_user)]);
-    t.row(&["median records/user", &format!("{:.1}", m.median_records_per_user)]);
+    t.row(&[
+        "mean records/user",
+        &format!("{:.1}", m.mean_records_per_user),
+    ]);
+    t.row(&[
+        "median records/user",
+        &format!("{:.1}", m.median_records_per_user),
+    ]);
     t.row(&["collection days", &m.collection_days.to_string()]);
     t.row(&["sparse (<1 record/user/day)", &m.is_sparse().to_string()]);
     t.row(&["richest 3-month window", &report.richest_window]);
@@ -112,10 +116,7 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let ctx = if args.tsv.is_some() {
         let (dataset, min_days) = load_dataset(args)?;
-        ExperimentContext::from_dataset(
-            dataset,
-            &Preprocessor::new().min_active_days(min_days),
-        )?
+        ExperimentContext::from_dataset(dataset, &Preprocessor::new().min_active_days(min_days))?
     } else if args.paper {
         eprintln!("building paper-scale context...");
         ExperimentContext::paper_scale(2023)?

@@ -65,16 +65,43 @@ fn svg_outputs_are_reproducible() {
     assert_eq!(render(7), render(7));
 }
 
+/// The tentpole guarantee of the shared execution engine: a parallel
+/// run is *byte-identical* to a sequential one, all the way through
+/// mined patterns and the synchronized crowd model.
+#[test]
+fn parallel_pipeline_is_byte_identical_to_sequential() {
+    let serialize = |parallelism: Parallelism| {
+        let dataset = SynthConfig::small(1234).generate().unwrap();
+        let out = PipelineDriver::new(0.15)
+            .unwrap()
+            .preprocessor(Preprocessor::new().min_active_days(20))
+            .parallelism(parallelism)
+            .run(&dataset)
+            .unwrap();
+        (
+            serde_json::to_string(&out.patterns).unwrap(),
+            serde_json::to_string(&out.crowd).unwrap(),
+        )
+    };
+    let sequential = serialize(Parallelism::Sequential);
+    for parallelism in [
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+        Parallelism::Auto,
+    ] {
+        assert_eq!(sequential, serialize(parallelism), "{parallelism:?}");
+    }
+}
+
 #[test]
 fn json_api_is_reproducible() {
     let body = |seed: u64| {
         let dataset = SynthConfig::small(seed).users(25).generate().unwrap();
         let state = AppState::build(dataset, 20).unwrap();
         let router = crowdweb::server::api::build_router();
-        let req = crowdweb::server::Request::read_from(
-            "GET /api/users HTTP/1.1\r\n\r\n".as_bytes(),
-        )
-        .unwrap();
+        let req =
+            crowdweb::server::Request::read_from("GET /api/users HTTP/1.1\r\n\r\n".as_bytes())
+                .unwrap();
         String::from_utf8(router.route(&state, &req).body).unwrap()
     };
     assert_eq!(body(5), body(5));

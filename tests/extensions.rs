@@ -10,7 +10,12 @@ use crowdweb::prelude::*;
 use crowdweb::seqmine::matching_databases;
 use crowdweb::synth::CityEvent;
 
-fn pipeline() -> (Dataset, Prepared, Vec<UserPatterns>, crowdweb::crowd::CrowdModel) {
+fn pipeline() -> (
+    Dataset,
+    Prepared,
+    Vec<UserPatterns>,
+    crowdweb::crowd::CrowdModel,
+) {
     let dataset = SynthConfig::small(321)
         .users(60)
         .event(CityEvent {
@@ -25,7 +30,10 @@ fn pipeline() -> (Dataset, Prepared, Vec<UserPatterns>, crowdweb::crowd::CrowdMo
         .min_active_days(20)
         .prepare(&dataset)
         .unwrap();
-    let patterns = PatternMiner::new(0.15).unwrap().detect_all(&prepared).unwrap();
+    let patterns = PatternMiner::new(0.15)
+        .unwrap()
+        .detect_all(&prepared)
+        .unwrap();
     let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20).unwrap();
     let model = CrowdBuilder::new(&dataset, &prepared)
         .build(&patterns, grid)
@@ -38,9 +46,8 @@ fn routine_agents_are_highly_predictable() {
     let (_, prepared, _, _) = pipeline();
     let mut profiles: Vec<f64> = prepared
         .seqdb()
-        .users()
-        .iter()
-        .map(|u| predictability_profile(&u.sequences).max_predictability)
+        .views()
+        .map(|v| predictability_profile(&v.decode()).max_predictability)
         .collect();
     profiles.sort_by(f64::total_cmp);
     let median = profiles[profiles.len() / 2];
@@ -55,12 +62,12 @@ fn routine_agents_are_highly_predictable() {
 #[test]
 fn entropy_hierarchy_holds_per_user() {
     let (_, prepared, _, _) = pipeline();
-    for u in prepared.seqdb().users().iter().take(15) {
-        let p = predictability_profile(&u.sequences);
+    for view in prepared.seqdb().views().take(15) {
+        let p = predictability_profile(&view.decode());
         assert!(
             p.uncorrelated_entropy <= p.random_entropy + 1e-9,
             "user {}: S_unc {} > S_rand {}",
-            u.user,
+            view.user(),
             p.uncorrelated_entropy,
             p.random_entropy
         );
@@ -149,21 +156,19 @@ fn pattern_matcher_finds_the_pattern_owners() {
         .find(|u| !u.patterns.is_empty())
         .expect("some user has patterns");
     let pattern = &owner.patterns.patterns[0];
-    let dbs: Vec<&Vec<Vec<crowdweb::prep::SeqItem>>> = prepared
-        .seqdb()
-        .users()
-        .iter()
-        .map(|u| &u.sequences)
-        .collect();
+    let decoded: Vec<Vec<Vec<crowdweb::prep::SeqItem>>> =
+        prepared.seqdb().views().map(|v| v.decode()).collect();
+    let dbs: Vec<&Vec<Vec<crowdweb::prep::SeqItem>>> = decoded.iter().collect();
     let owner_idx = prepared
         .seqdb()
-        .users()
+        .user_ids()
         .iter()
-        .position(|u| u.user == owner.user)
+        .position(|&u| u == owner.user)
         .unwrap();
     let hits = matching_databases(&pattern.items, &dbs, 0.15);
     assert!(
-        hits.iter().any(|&(i, sup)| i == owner_idx && sup == pattern.support),
+        hits.iter()
+            .any(|&(i, sup)| i == owner_idx && sup == pattern.support),
         "owner not matched for {:?}",
         pattern.items
     );

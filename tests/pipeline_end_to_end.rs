@@ -17,7 +17,10 @@ fn pipeline(
         .min_active_days(20)
         .prepare(&dataset)
         .unwrap();
-    let patterns = PatternMiner::new(0.15).unwrap().detect_all(&prepared).unwrap();
+    let patterns = PatternMiner::new(0.15)
+        .unwrap()
+        .detect_all(&prepared)
+        .unwrap();
     let grid = MicrocellGrid::new(BoundingBox::NYC, 20, 20).unwrap();
     let model = CrowdBuilder::new(&dataset, &prepared)
         .build(&patterns, grid)
@@ -50,14 +53,14 @@ fn every_filtered_user_has_enough_active_days() {
 #[test]
 fn sequences_respect_window_and_ordering() {
     let (_, prepared, _, _) = pipeline(3);
-    for user in prepared.seqdb().users() {
-        for day in &user.sequences {
-            assert!(!day.is_empty(), "empty day sequence for {}", user.user);
+    for view in prepared.seqdb().views() {
+        for day in view.decode() {
+            assert!(!day.is_empty(), "empty day sequence for {}", view.user());
             for pair in day.windows(2) {
                 assert!(
                     pair[0].slot <= pair[1].slot,
                     "items out of slot order for {}",
-                    user.user
+                    view.user()
                 );
                 assert_ne!(pair[0], pair[1], "consecutive duplicates must collapse");
             }
@@ -81,11 +84,11 @@ fn pattern_supports_never_exceed_active_days() {
 fn mined_patterns_actually_occur_in_the_sequences() {
     let (_, prepared, patterns, _) = pipeline(5);
     for up in patterns.iter().take(10) {
-        let seqs = &prepared
+        let seqs = prepared
             .seqdb()
-            .sequences_of(up.user)
+            .view_of(up.user)
             .expect("mined users come from the seqdb")
-            .sequences;
+            .decode();
         for p in up.patterns.iter() {
             let support = seqs
                 .iter()
@@ -139,8 +142,8 @@ fn label_space_is_kind_sized() {
     let (dataset, prepared, _, _) = pipeline(9);
     let labeler = crowdweb::prep::Labeler::new(&dataset, prepared.scheme());
     assert_eq!(labeler.label_space(), 9);
-    for user in prepared.seqdb().users() {
-        for day in &user.sequences {
+    for view in prepared.seqdb().views() {
+        for day in view.decode() {
             for item in day {
                 assert!((item.label.0 as usize) < 9);
                 assert!(item.slot.0 < 12);

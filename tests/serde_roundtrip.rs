@@ -2,8 +2,8 @@
 //! survive JSON serialization with its semantics intact (C-SERDE).
 //! Lookup indices are rebuilt via the documented `rebuild_index` hooks.
 
-use crowdweb::prelude::*;
 use crowdweb::crowd::{CrowdModel, TimeWindows};
+use crowdweb::prelude::*;
 
 #[test]
 fn dataset_round_trips_through_json() {
@@ -41,7 +41,10 @@ fn prepared_pipeline_output_round_trips() {
     let json = serde_json::to_string(&prepared).unwrap();
     let restored: Prepared = serde_json::from_str(&json).unwrap();
     assert_eq!(restored, prepared);
-    assert_eq!(restored.seqdb().total_sequences(), prepared.seqdb().total_sequences());
+    assert_eq!(
+        restored.seqdb().total_sequences(),
+        prepared.seqdb().total_sequences()
+    );
 }
 
 #[test]
@@ -51,7 +54,10 @@ fn patterns_round_trip() {
         .min_active_days(20)
         .prepare(&dataset)
         .unwrap();
-    let patterns = PatternMiner::new(0.2).unwrap().detect_all(&prepared).unwrap();
+    let patterns = PatternMiner::new(0.2)
+        .unwrap()
+        .detect_all(&prepared)
+        .unwrap();
     let json = serde_json::to_string(&patterns).unwrap();
     let restored: Vec<UserPatterns> = serde_json::from_str(&json).unwrap();
     assert_eq!(restored, patterns);
@@ -64,7 +70,10 @@ fn crowd_model_round_trips() {
         .min_active_days(20)
         .prepare(&dataset)
         .unwrap();
-    let patterns = PatternMiner::new(0.15).unwrap().detect_all(&prepared).unwrap();
+    let patterns = PatternMiner::new(0.15)
+        .unwrap()
+        .detect_all(&prepared)
+        .unwrap();
     let grid = MicrocellGrid::new(BoundingBox::NYC, 10, 10).unwrap();
     let model = CrowdBuilder::new(&dataset, &prepared)
         .build(&patterns, grid)
@@ -82,8 +91,7 @@ fn crowd_model_round_trips() {
 #[test]
 fn geo_primitives_round_trip() {
     let point = LatLon::new(40.7580, -73.9855).unwrap();
-    let restored: LatLon =
-        serde_json::from_str(&serde_json::to_string(&point).unwrap()).unwrap();
+    let restored: LatLon = serde_json::from_str(&serde_json::to_string(&point).unwrap()).unwrap();
     assert_eq!(restored, point);
 
     let bbox = BoundingBox::NYC;

@@ -130,12 +130,11 @@ fn visitor_upload_end_to_end() {
     // single Eatery pattern thanks to place abstraction.
     let patterns = v["patterns"][0]["patterns"].as_array().unwrap();
     assert!(
-        patterns
+        patterns.iter().any(|p| p["items"]
+            .as_array()
+            .unwrap()
             .iter()
-            .any(|p| p["items"].as_array().unwrap().iter().any(|i| i
-                .as_str()
-                .unwrap()
-                .contains("Eatery"))),
+            .any(|i| i.as_str().unwrap().contains("Eatery"))),
         "{body}"
     );
 
