@@ -55,6 +55,6 @@ pub use driver::{PipelineDriver, PipelineError, PipelineOutput};
 pub use error::CrowdError;
 pub use hotspot::{detect_hotspots, recurrent_hotspots, Hotspot, HotspotConfig, HotspotPhase};
 pub use model::{CrowdFlow, CrowdModel, CrowdSnapshot};
-pub use sync::{CrowdBuilder, Placement};
+pub use sync::{CrowdBuilder, CrowdDelta, Placement};
 pub use validate::{validate_against_checkins, ModelFit, WindowFit};
 pub use window::{TimeWindow, TimeWindows};

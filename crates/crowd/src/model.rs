@@ -1,6 +1,7 @@
 //! The aggregated crowd model: distributions, flows, animation.
 
 use crate::{CrowdError, Placement, TimeWindow, TimeWindows};
+use crowdweb_dataset::UserId;
 use crowdweb_geo::{CellId, MicrocellGrid};
 use crowdweb_prep::PlaceLabel;
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,43 @@ impl CrowdModel {
     /// Total number of placements across all windows.
     pub fn placement_count(&self) -> usize {
         self.placements.len()
+    }
+
+    /// A new model with the given users' placements replaced (an empty
+    /// vector removes a user), splicing each update into its sorted
+    /// position. Grid and windows are carried over unchanged.
+    ///
+    /// Placements built by [`crate::CrowdBuilder::build`] are grouped
+    /// by user in ascending user order (each group in window order);
+    /// this method preserves that invariant, so incremental updates
+    /// remain byte-identical to a cold rebuild of the same placements.
+    pub fn with_user_placements(&self, updates: &BTreeMap<UserId, Vec<Placement>>) -> CrowdModel {
+        let old = &self.placements;
+        let mut out = Vec::with_capacity(old.len());
+        let mut pending = updates.iter().peekable();
+        let mut i = 0;
+        while i < old.len() {
+            let user = old[i].user;
+            // Updated users sorting strictly before this one are new.
+            while let Some((_, ps)) = pending.next_if(|&(&u, _)| u < user) {
+                out.extend(ps.iter().copied());
+            }
+            if let Some((_, ps)) = pending.next_if(|&(&u, _)| u == user) {
+                out.extend(ps.iter().copied());
+                while i < old.len() && old[i].user == user {
+                    i += 1; // skip the replaced run
+                }
+                continue;
+            }
+            while i < old.len() && old[i].user == user {
+                out.push(old[i]);
+                i += 1;
+            }
+        }
+        for (_, ps) in pending {
+            out.extend(ps.iter().copied());
+        }
+        CrowdModel::new(self.grid.clone(), self.windows.clone(), out)
     }
 
     /// The crowd snapshot for the window at `index`.

@@ -19,7 +19,7 @@ use crowdweb_geo::{CellId, MicrocellGrid};
 use crowdweb_mobility::UserPatterns;
 use crowdweb_prep::{Labeler, PlaceLabel, Prepared, TimeSlot};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One user grounded in one time window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,6 +36,20 @@ pub struct Placement {
     pub venue: VenueId,
     /// The microcell of that venue.
     pub cell: CellId,
+}
+
+/// Summary of one incremental crowd update ([`CrowdBuilder::update`]):
+/// how much of the model actually moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CrowdDelta {
+    /// Users whose placements were recomputed (or cleared).
+    pub users_recomputed: usize,
+    /// Placements dropped from the previous model.
+    pub placements_removed: usize,
+    /// Placements in the new model for the recomputed users.
+    pub placements_added: usize,
+    /// Distinct `(window, cell)` pairs touched by the update.
+    pub cells_touched: usize,
 }
 
 /// Builds a [`CrowdModel`] from mined patterns (C-BUILDER).
@@ -99,6 +113,65 @@ impl<'a> CrowdBuilder<'a> {
             placements.extend(user_placements?);
         }
         Ok(CrowdModel::new(grid, self.windows.clone(), placements))
+    }
+
+    /// Re-synchronizes only the `dirty` users against `previous`,
+    /// splicing their fresh placements into the model (a dirty user
+    /// with no patterns loses their placements). The builder must be
+    /// configured over the *merged* dataset and its re-prepared form,
+    /// with the same display windows as `previous` (whose grid is
+    /// reused); `patterns` is the full updated pattern list. Under
+    /// those preconditions the result is byte-identical to
+    /// [`Self::build`] on the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::build`].
+    pub fn update(
+        &self,
+        previous: &CrowdModel,
+        patterns: &[UserPatterns],
+        dirty: &BTreeSet<UserId>,
+    ) -> Result<(CrowdModel, CrowdDelta), CrowdError> {
+        let labeler = Labeler::new(self.dataset, self.prepared.scheme());
+        let grid = previous.grid().clone();
+        let dirty_patterns: Vec<&UserPatterns> = patterns
+            .iter()
+            .filter(|up| dirty.contains(&up.user))
+            .collect();
+        let per_user = parallel_map(self.parallelism, &dirty_patterns, |up| {
+            self.place_user(&labeler, &grid, up)
+        });
+        let mut updates: BTreeMap<UserId, Vec<Placement>> = BTreeMap::new();
+        for (up, result) in dirty_patterns.iter().zip(per_user) {
+            updates.insert(up.user, result?);
+        }
+        // A dirty user absent from `patterns` (not active) contributes
+        // an empty update, clearing any stale placements.
+        for &user in dirty {
+            updates.entry(user).or_default();
+        }
+        let mut cells: BTreeSet<(usize, CellId)> = BTreeSet::new();
+        let mut removed = 0usize;
+        for p in previous
+            .placements()
+            .iter()
+            .filter(|p| updates.contains_key(&p.user))
+        {
+            removed += 1;
+            cells.insert((p.window, p.cell));
+        }
+        let added: usize = updates.values().map(Vec::len).sum();
+        for p in updates.values().flatten() {
+            cells.insert((p.window, p.cell));
+        }
+        let delta = CrowdDelta {
+            users_recomputed: updates.len(),
+            placements_removed: removed,
+            placements_added: added,
+            cells_touched: cells.len(),
+        };
+        Ok((previous.with_user_placements(&updates), delta))
     }
 
     /// Synchronizes a single user's patterns against every display
@@ -281,6 +354,44 @@ mod tests {
             .unwrap();
         let snapshot = model.snapshot_at_hour(9).unwrap();
         assert!(snapshot.total_users() > 0, "9-10 am crowd is empty");
+    }
+
+    #[test]
+    fn incremental_update_matches_cold_build() {
+        let (dataset, prepared, patterns) = setup();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 15, 15).unwrap();
+        let builder = CrowdBuilder::new(&dataset, &prepared);
+        let cold = builder.build(&patterns, grid.clone()).unwrap();
+        // Dirty every third user; patterns are unchanged, so the update
+        // must reproduce the cold model exactly.
+        let dirty: BTreeSet<UserId> = prepared.users().iter().copied().step_by(3).collect();
+        let (updated, delta) = builder.update(&cold, &patterns, &dirty).unwrap();
+        assert_eq!(updated, cold);
+        assert_eq!(delta.users_recomputed, dirty.len());
+        assert_eq!(delta.placements_removed, delta.placements_added);
+    }
+
+    #[test]
+    fn update_clears_dirty_user_without_patterns() {
+        let (dataset, prepared, patterns) = setup();
+        let grid = MicrocellGrid::new(BoundingBox::NYC, 15, 15).unwrap();
+        let builder = CrowdBuilder::new(&dataset, &prepared);
+        let cold = builder.build(&patterns, grid).unwrap();
+        let victim = cold.placements()[0].user;
+        let without: Vec<UserPatterns> = patterns
+            .iter()
+            .filter(|up| up.user != victim)
+            .cloned()
+            .collect();
+        let dirty: BTreeSet<UserId> = [victim].into_iter().collect();
+        let (updated, delta) = builder.update(&cold, &without, &dirty).unwrap();
+        assert!(updated.placements().iter().all(|p| p.user != victim));
+        assert_eq!(delta.placements_added, 0);
+        assert!(delta.placements_removed > 0);
+        assert_eq!(
+            updated.placement_count(),
+            cold.placement_count() - delta.placements_removed
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   the *place labels* that CrowdWeb abstracts venues into.
 //! - [`venue`] / [`checkin`] — venues and check-in records.
 //! - [`dataset`] — the indexed [`Dataset`] container.
+//! - [`merge`] — appending ingested [`MergeRecord`] batches to an
+//!   existing dataset with TSV-equivalent venue resolution.
 //! - [`tsv`] — reader/writer for the `dataset_TSMC2014_NYC.txt` TSV
 //!   format, so the real Foursquare file drops in unchanged.
 //! - [`stats`] — the dataset statistics reported in Section I.1 of the
@@ -53,6 +55,7 @@ pub mod checkin;
 pub mod dataset;
 pub mod error;
 pub mod ids;
+pub mod merge;
 pub mod profile;
 pub mod stats;
 pub mod time;
@@ -64,6 +67,7 @@ pub use checkin::CheckIn;
 pub use dataset::{Dataset, DatasetBuilder};
 pub use error::DatasetError;
 pub use ids::{CategoryId, UserId, VenueId};
+pub use merge::MergeRecord;
 pub use profile::ActivityProfile;
 pub use stats::{DatasetStats, MonthKey};
 pub use time::{CivilDate, CivilDateTime, Timestamp, Weekday};

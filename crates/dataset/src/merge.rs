@@ -1,0 +1,199 @@
+//! Appending check-in batches to an immutable [`Dataset`].
+//!
+//! Live ingestion delivers check-ins as [`MergeRecord`]s: the same
+//! information a TSV row carries, with venues identified by their
+//! opaque string key. [`Dataset::merge_records`] resolves those keys
+//! against the existing venue set (first occurrence wins, exactly like
+//! the TSV reader), assigns dense ids to brand-new venues, and builds a
+//! fresh immutable dataset.
+//!
+//! Determinism contract: merging a batch is equivalent to appending the
+//! records' rows to the original TSV and re-reading it — new venues get
+//! ids in record order starting after the current maximum, and the
+//! resulting dataset is byte-identical whether the records arrive in
+//! one batch or split across several (in the same overall order).
+
+use crate::category::CategoryKind;
+use crate::{CheckIn, Dataset, DatasetError, Timestamp, UserId, Venue, VenueId};
+use crowdweb_geo::LatLon;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One ingested check-in, with its venue identified by string key (the
+/// TSV `venue_id` column). Category and location are only consulted
+/// when the key introduces a venue the dataset has not seen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergeRecord {
+    /// The user checking in.
+    pub user: UserId,
+    /// Opaque venue key (the venue "name" in TSV terms).
+    pub venue_key: String,
+    /// Category name for a new venue (interned into the taxonomy).
+    pub category: String,
+    /// Location for a new venue.
+    pub location: LatLon,
+    /// The user's UTC offset at check-in time, in minutes.
+    pub tz_offset_minutes: i32,
+    /// Check-in instant (UTC).
+    pub time: Timestamp,
+}
+
+impl Dataset {
+    /// Builds a new dataset containing every existing venue and
+    /// check-in plus the given records, resolving venue keys by name.
+    ///
+    /// Existing venues keep their id, location, and category (first
+    /// occurrence wins); new venues are assigned ids in record order,
+    /// starting after the current maximum raw id, and their categories
+    /// are interned into the taxonomy with a guessed coarse kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DatasetBuilder::build`](crate::DatasetBuilder::build)
+    /// validation errors (impossible for well-formed inputs, since every
+    /// referenced venue is added here).
+    pub fn merge_records(&self, records: &[MergeRecord]) -> Result<Dataset, DatasetError> {
+        let mut builder = Dataset::builder();
+        builder.taxonomy(self.taxonomy().clone());
+        let mut key_to_id: HashMap<&str, VenueId> = HashMap::with_capacity(self.venue_count());
+        let mut next_raw = 0u32;
+        for v in self.venues() {
+            builder.add_venue(v.clone());
+            key_to_id.insert(v.name(), v.id());
+            next_raw = next_raw.max(v.id().raw().saturating_add(1));
+        }
+        for c in self.checkins() {
+            builder.add_checkin(*c);
+        }
+        // Venues introduced by this batch, keyed by name. Kept separate
+        // from `key_to_id` so the borrow of `self` stays immutable.
+        let mut new_ids: HashMap<&str, VenueId> = HashMap::new();
+        for r in records {
+            let vid = match key_to_id
+                .get(r.venue_key.as_str())
+                .or_else(|| new_ids.get(r.venue_key.as_str()))
+            {
+                Some(&id) => id,
+                None => {
+                    let id = VenueId::new(next_raw);
+                    next_raw = next_raw.saturating_add(1);
+                    let kind = CategoryKind::guess(&r.category);
+                    let cat = builder.taxonomy_mut().register(&r.category, kind);
+                    builder.add_venue(Venue::new(id, &r.venue_key, r.location, cat));
+                    new_ids.insert(r.venue_key.as_str(), id);
+                    id
+                }
+            };
+            builder.add_checkin(CheckIn::new(r.user, vid, r.time, r.tz_offset_minutes));
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CategoryId;
+
+    fn base() -> Dataset {
+        let mut b = Dataset::builder();
+        b.add_venue(Venue::new(
+            VenueId::new(0),
+            "v-home",
+            LatLon::new(40.75, -73.99).unwrap(),
+            CategoryId::new(0),
+        ));
+        b.add_venue(Venue::new(
+            VenueId::new(1),
+            "v-work",
+            LatLon::new(40.76, -73.98).unwrap(),
+            CategoryId::new(1),
+        ));
+        for (user, venue, secs) in [(1u32, 0u32, 100i64), (1, 1, 200), (2, 0, 150)] {
+            b.add_checkin(CheckIn::new(
+                UserId::new(user),
+                VenueId::new(venue),
+                Timestamp::from_unix_seconds(secs),
+                -240,
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn record(user: u32, key: &str, secs: i64) -> MergeRecord {
+        MergeRecord {
+            user: UserId::new(user),
+            venue_key: key.to_owned(),
+            category: "Coffee Shop".to_owned(),
+            location: LatLon::new(40.77, -73.97).unwrap(),
+            tz_offset_minutes: -240,
+            time: Timestamp::from_unix_seconds(secs),
+        }
+    }
+
+    #[test]
+    fn merge_resolves_existing_venue_by_key() {
+        let d = base();
+        let merged = d.merge_records(&[record(2, "v-work", 500)]).unwrap();
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.venue_count(), 2, "no new venue for a known key");
+        let last = merged.checkins_of(UserId::new(2)).last().unwrap();
+        assert_eq!(last.venue(), VenueId::new(1));
+    }
+
+    #[test]
+    fn merge_assigns_dense_ids_to_new_venues_in_record_order() {
+        let d = base();
+        let merged = d
+            .merge_records(&[
+                record(3, "v-cafe", 300),
+                record(3, "v-gym", 400),
+                record(4, "v-cafe", 500),
+            ])
+            .unwrap();
+        assert_eq!(merged.venue_count(), 4);
+        assert_eq!(merged.venue(VenueId::new(2)).unwrap().name(), "v-cafe");
+        assert_eq!(merged.venue(VenueId::new(3)).unwrap().name(), "v-gym");
+        // The new category was interned.
+        assert!(merged.taxonomy().id_of("Coffee Shop").is_some());
+    }
+
+    #[test]
+    fn merge_in_stages_equals_merge_at_once() {
+        let d = base();
+        let batch = vec![
+            record(1, "v-cafe", 300),
+            record(2, "v-work", 400),
+            record(5, "v-gym", 500),
+        ];
+        let once = d.merge_records(&batch).unwrap();
+        let staged = d
+            .merge_records(&batch[..1])
+            .unwrap()
+            .merge_records(&batch[1..])
+            .unwrap();
+        assert_eq!(once.checkins(), staged.checkins());
+        assert_eq!(once.venues(), staged.venues());
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let d = base();
+        let merged = d.merge_records(&[]).unwrap();
+        assert_eq!(merged.checkins(), d.checkins());
+        assert_eq!(merged.venues(), d.venues());
+    }
+
+    #[test]
+    fn merge_keeps_checkins_sorted_per_user() {
+        let d = base();
+        // Insert a check-in earlier than user 1's existing ones.
+        let merged = d.merge_records(&[record(1, "v-home", 50)]).unwrap();
+        let times: Vec<i64> = merged
+            .checkins_of(UserId::new(1))
+            .iter()
+            .map(|c| c.time().unix_seconds())
+            .collect();
+        assert_eq!(times, vec![50, 100, 200]);
+    }
+}

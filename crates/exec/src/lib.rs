@@ -9,11 +9,16 @@
 //! - [`Symbol`] and [`SymbolTable`]: a dense `u32` interner that turns
 //!   heap-heavy sequence items into machine-word symbols for the
 //!   columnar sequence database and the miners that walk it.
+//! - [`EpochCell`]: epoch-style `Arc` snapshot publication — readers
+//!   clone the current snapshot without blocking behind writers; a
+//!   writer swaps whole immutable snapshots atomically.
 
 #![forbid(unsafe_code)]
 
+mod epoch;
 mod pool;
 mod symbol;
 
+pub use epoch::EpochCell;
 pub use pool::{parallel_map, Parallelism};
 pub use symbol::{Symbol, SymbolTable};

@@ -1,0 +1,548 @@
+//! The epoch-based ingest engine: queue → WAL → snapshot swap.
+
+use crate::{
+    EpochMode, EpochReport, IngestError, IngestStats, PlatformSnapshot, SubmitReceipt, Wal,
+    WalConfig, WalEntry,
+};
+use crowdweb_crowd::{CrowdBuilder, CrowdDelta, PipelineDriver, TimeWindows};
+use crowdweb_dataset::{Dataset, MergeRecord, UserId};
+use crowdweb_exec::{EpochCell, Parallelism};
+use crowdweb_geo::BoundingBox;
+use crowdweb_mobility::PatternMiner;
+use crowdweb_prep::{PrepUpdate, Preprocessor};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything the engine needs to build and rebuild snapshots.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Preprocessing configuration (window, filter, slotting, labels).
+    pub preprocessor: Preprocessor,
+    /// Relative mining support threshold.
+    pub min_support: f64,
+    /// Display windows of the crowd model.
+    pub windows: TimeWindows,
+    /// Display grid bounds.
+    pub bounds: BoundingBox,
+    /// Display grid rows.
+    pub grid_rows: u32,
+    /// Display grid columns.
+    pub grid_cols: u32,
+    /// Execution policy threaded through every parallel stage.
+    pub parallelism: Parallelism,
+    /// Bounded queue capacity; batches that would exceed it are
+    /// rejected whole with [`IngestError::Backpressure`].
+    pub queue_capacity: usize,
+    /// When set, a submit leaving the queue at or above this depth runs
+    /// an epoch inline before returning.
+    pub epoch_batch: Option<usize>,
+    /// When set, accepted records are logged durably and replayed on
+    /// [`IngestEngine::open`].
+    pub wal: Option<WalConfig>,
+}
+
+impl Default for IngestConfig {
+    /// Mirrors the server defaults: paper preprocessor, 0.15 support,
+    /// hourly windows, 20 × 20 NYC grid, auto parallelism, a 65 536
+    /// record queue, manual epochs, no WAL.
+    fn default() -> IngestConfig {
+        IngestConfig {
+            preprocessor: Preprocessor::new(),
+            min_support: 0.15,
+            windows: TimeWindows::hourly(),
+            bounds: BoundingBox::NYC,
+            grid_rows: 20,
+            grid_cols: 20,
+            parallelism: Parallelism::Auto,
+            queue_capacity: 65_536,
+            epoch_batch: None,
+            wal: None,
+        }
+    }
+}
+
+impl IngestConfig {
+    fn driver(&self) -> Result<PipelineDriver, IngestError> {
+        Ok(PipelineDriver::new(self.min_support)?
+            .preprocessor(self.preprocessor)
+            .windows(self.windows.clone())
+            .grid(self.bounds, self.grid_rows, self.grid_cols)
+            .parallelism(self.parallelism))
+    }
+
+    fn miner(&self) -> Result<PatternMiner, IngestError> {
+        Ok(PatternMiner::new(self.min_support)
+            .map_err(crowdweb_crowd::PipelineError::Mobility)?
+            .parallelism(self.parallelism))
+    }
+}
+
+/// Mutable engine internals. One mutex covers the queue, the WAL, and
+/// the applied log so WAL append order always equals queue order —
+/// that ordering is what makes crash replay deterministic.
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<WalEntry>,
+    wal: Option<Wal>,
+    /// Entries applied to the published snapshot, ascending by seq;
+    /// rewritten into the checkpoint after each epoch.
+    applied: Vec<WalEntry>,
+    next_seq: u64,
+    total_accepted: u64,
+    total_applied: u64,
+    epochs_run: u64,
+    full_rebuilds: u64,
+    last_epoch: Option<EpochReport>,
+}
+
+/// The live-ingestion engine (see the [crate docs](crate)).
+///
+/// Readers call [`Self::snapshot`] and never block behind ingestion;
+/// writers submit batches that are framed into the WAL and queued, and
+/// epochs fold the queue into a fresh [`PlatformSnapshot`] swapped in
+/// atomically.
+#[derive(Debug)]
+pub struct IngestEngine {
+    config: IngestConfig,
+    cell: EpochCell<PlatformSnapshot>,
+    inner: Mutex<Inner>,
+    /// Serializes epochs without blocking submitters or readers.
+    epoch_guard: Mutex<()>,
+}
+
+impl IngestEngine {
+    /// Opens the engine over a base dataset: replays the WAL (when
+    /// configured), merges every surviving record, cold-builds the
+    /// epoch-0 snapshot on the merged dataset, and rewrites the
+    /// checkpoint so replayed segments are compacted away.
+    ///
+    /// # Errors
+    ///
+    /// WAL I/O or corruption errors, merge failures, and pipeline
+    /// failures from the cold build.
+    pub fn open(base: Dataset, config: IngestConfig) -> Result<IngestEngine, IngestError> {
+        let (mut wal, recovered) = match &config.wal {
+            Some(wal_config) => {
+                let (wal, recovery) = Wal::open(wal_config)?;
+                (Some(wal), Some(recovery))
+            }
+            None => (None, None),
+        };
+        let (applied, next_seq) = match recovered {
+            Some(recovery) => {
+                let next = recovery.last_seq + 1;
+                (recovery.entries, next)
+            }
+            None => (Vec::new(), 1),
+        };
+        let records: Vec<MergeRecord> = applied.iter().map(|e| e.record.clone()).collect();
+        let merged = base.merge_records(&records)?;
+        let out = config.driver()?.run(&merged)?;
+        let snapshot = PlatformSnapshot::new(
+            0,
+            merged,
+            out.prepared,
+            out.patterns,
+            out.grid,
+            out.crowd,
+            config.min_support,
+        );
+        if let Some(wal) = wal.as_mut() {
+            // Fold replayed segments (including a truncated torn tail)
+            // into a fresh checkpoint.
+            let last_seq = applied.last().map_or(0, |e| e.seq);
+            wal.checkpoint(last_seq, &applied)?;
+        }
+        Ok(IngestEngine {
+            config,
+            cell: EpochCell::new(Arc::new(snapshot)),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                wal,
+                applied,
+                next_seq,
+                total_accepted: 0,
+                total_applied: 0,
+                epochs_run: 0,
+                full_rebuilds: 0,
+                last_epoch: None,
+            }),
+            epoch_guard: Mutex::new(()),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// The currently published snapshot (wait-free for practical
+    /// purposes; see [`EpochCell`]).
+    pub fn snapshot(&self) -> Arc<PlatformSnapshot> {
+        self.cell.load()
+    }
+
+    /// The published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Records currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Accepts a batch: assigns sequence numbers, appends the batch to
+    /// the WAL (durably, when configured), and enqueues it — all under
+    /// one lock, so log order equals queue order. If the queue would
+    /// overflow the whole batch is rejected. When
+    /// [`IngestConfig::epoch_batch`] is reached, an epoch runs inline
+    /// and its report rides on the receipt.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Backpressure`] on a full queue, WAL I/O errors,
+    /// and epoch errors from an inline epoch.
+    pub fn submit(&self, records: Vec<MergeRecord>) -> Result<SubmitReceipt, IngestError> {
+        let (first_seq, last_seq, depth) = {
+            let mut inner = self.inner.lock();
+            if inner.queue.len() + records.len() > self.config.queue_capacity {
+                return Err(IngestError::Backpressure {
+                    queued: inner.queue.len(),
+                    capacity: self.config.queue_capacity,
+                    rejected: records.len(),
+                });
+            }
+            if records.is_empty() {
+                return Ok(SubmitReceipt {
+                    accepted: 0,
+                    first_seq: 0,
+                    last_seq: 0,
+                    queue_depth: inner.queue.len(),
+                    epoch: None,
+                });
+            }
+            let first_seq = inner.next_seq;
+            let entries: Vec<WalEntry> = records
+                .into_iter()
+                .enumerate()
+                .map(|(i, record)| WalEntry {
+                    seq: first_seq + i as u64,
+                    record,
+                })
+                .collect();
+            let last_seq = entries.last().expect("non-empty").seq;
+            inner.next_seq = last_seq + 1;
+            if let Some(wal) = inner.wal.as_mut() {
+                wal.append(&entries)?;
+            }
+            inner.total_accepted += entries.len() as u64;
+            inner.queue.extend(entries);
+            (first_seq, last_seq, inner.queue.len())
+        };
+        let mut report = None;
+        if self.config.epoch_batch.is_some_and(|batch| depth >= batch) {
+            report = self.run_epoch()?;
+        }
+        Ok(SubmitReceipt {
+            accepted: (last_seq - first_seq + 1) as usize,
+            first_seq,
+            last_seq,
+            queue_depth: self.queue_depth(),
+            epoch: report,
+        })
+    }
+
+    /// Drains the queue and publishes a new snapshot. Returns `None`
+    /// when the queue was empty. Dirty users (those in the batch) are
+    /// re-prepared, re-mined, and re-placed incrementally; if the batch
+    /// moved the study window the full pipeline runs instead. Readers
+    /// keep serving the previous snapshot throughout; the swap is
+    /// atomic.
+    ///
+    /// # Errors
+    ///
+    /// Merge and pipeline errors; the drained batch is re-queued at the
+    /// front, so no accepted record is lost. A WAL checkpoint failure
+    /// after the swap is reported but leaves the published snapshot in
+    /// place (replay deduplicates the stale segments).
+    pub fn run_epoch(&self) -> Result<Option<EpochReport>, IngestError> {
+        let _epoch = self.epoch_guard.lock();
+        let start = Instant::now();
+        let batch: Vec<WalEntry> = {
+            let mut inner = self.inner.lock();
+            inner.queue.drain(..).collect()
+        };
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        let previous = self.cell.load();
+        let result = self.build_next(&previous, &batch);
+        let (snapshot, mode, delta) = match result {
+            Ok(next) => next,
+            Err(e) => {
+                // Put the batch back, oldest first, ahead of anything
+                // submitted while we were building.
+                let mut inner = self.inner.lock();
+                for entry in batch.into_iter().rev() {
+                    inner.queue.push_front(entry);
+                }
+                return Err(e);
+            }
+        };
+        let report = EpochReport {
+            epoch: snapshot.epoch(),
+            applied: batch.len(),
+            users_remined: delta.users_recomputed,
+            mode,
+            duration_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            delta,
+        };
+        self.cell.store(Arc::new(snapshot));
+        let mut inner = self.inner.lock();
+        inner.total_applied += batch.len() as u64;
+        inner.epochs_run += 1;
+        if mode == EpochMode::FullRebuild {
+            inner.full_rebuilds += 1;
+        }
+        inner.last_epoch = Some(report);
+        let last_seq = batch.last().expect("non-empty").seq;
+        inner.applied.extend(batch);
+        let applied = std::mem::take(&mut inner.applied);
+        let result = match inner.wal.as_mut() {
+            Some(wal) => wal.checkpoint(last_seq, &applied),
+            None => Ok(()),
+        };
+        inner.applied = applied;
+        result?;
+        Ok(Some(report))
+    }
+
+    /// Builds the next snapshot from `previous` plus a drained batch.
+    fn build_next(
+        &self,
+        previous: &PlatformSnapshot,
+        batch: &[WalEntry],
+    ) -> Result<(PlatformSnapshot, EpochMode, CrowdDelta), IngestError> {
+        let records: Vec<MergeRecord> = batch.iter().map(|e| e.record.clone()).collect();
+        let dirty: BTreeSet<UserId> = records.iter().map(|r| r.user).collect();
+        let merged = previous.dataset().merge_records(&records)?;
+        let epoch = previous.epoch() + 1;
+        match self
+            .config
+            .preprocessor
+            .update(previous.prepared(), &merged, &dirty)
+            .map_err(crowdweb_crowd::PipelineError::Prep)?
+        {
+            PrepUpdate::Incremental(prepared) => {
+                let patterns = self
+                    .config
+                    .miner()?
+                    .detect_updated(&prepared, previous.patterns(), &dirty)
+                    .map_err(crowdweb_crowd::PipelineError::Mobility)?;
+                let (crowd, delta) = CrowdBuilder::new(&merged, &prepared)
+                    .windows(self.config.windows.clone())
+                    .parallelism(self.config.parallelism)
+                    .update(previous.crowd(), &patterns, &dirty)
+                    .map_err(crowdweb_crowd::PipelineError::Crowd)?;
+                let snapshot = PlatformSnapshot::new(
+                    epoch,
+                    merged,
+                    *prepared,
+                    patterns,
+                    previous.grid().clone(),
+                    crowd,
+                    self.config.min_support,
+                );
+                Ok((snapshot, EpochMode::Incremental, delta))
+            }
+            PrepUpdate::FullRebuild => {
+                let out = self.config.driver()?.run(&merged)?;
+                let mut cells: BTreeSet<(usize, _)> = BTreeSet::new();
+                for p in previous.crowd().placements() {
+                    cells.insert((p.window, p.cell));
+                }
+                for p in out.crowd.placements() {
+                    cells.insert((p.window, p.cell));
+                }
+                let delta = CrowdDelta {
+                    users_recomputed: out.prepared.user_count(),
+                    placements_removed: previous.crowd().placement_count(),
+                    placements_added: out.crowd.placement_count(),
+                    cells_touched: cells.len(),
+                };
+                let snapshot = PlatformSnapshot::new(
+                    epoch,
+                    merged,
+                    out.prepared,
+                    out.patterns,
+                    out.grid,
+                    out.crowd,
+                    self.config.min_support,
+                );
+                Ok((snapshot, EpochMode::FullRebuild, delta))
+            }
+        }
+    }
+
+    /// Point-in-time statistics for `GET /api/ingest/stats`.
+    pub fn stats(&self) -> IngestStats {
+        let inner = self.inner.lock();
+        IngestStats {
+            epoch: self.cell.epoch(),
+            queue_depth: inner.queue.len(),
+            queue_capacity: self.config.queue_capacity,
+            total_accepted: inner.total_accepted,
+            total_applied: inner.total_applied,
+            durable: inner.wal.is_some(),
+            wal_segment_bytes: inner.wal.as_ref().map_or(0, Wal::segment_bytes),
+            wal_checkpoint_bytes: inner.wal.as_ref().map_or(0, Wal::checkpoint_bytes),
+            epochs_run: inner.epochs_run,
+            full_rebuilds: inner.full_rebuilds,
+            last_epoch: inner.last_epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_dataset::Timestamp;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("crowdweb-engine-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn config() -> IngestConfig {
+        let mut c = IngestConfig::default();
+        c.preprocessor = c.preprocessor.min_active_days(20);
+        c
+    }
+
+    fn base() -> Dataset {
+        crowdweb_synth::SynthConfig::small(51).generate().unwrap()
+    }
+
+    /// Clones `n` existing check-ins shifted by `shift_secs` as records.
+    fn shifted_records(d: &Dataset, shift_secs: i64, n: usize) -> Vec<MergeRecord> {
+        d.checkins()
+            .iter()
+            .step_by(97) // spread across users
+            .take(n)
+            .map(|c| {
+                let v = d.venue(c.venue()).unwrap();
+                MergeRecord {
+                    user: c.user(),
+                    venue_key: v.name().to_owned(),
+                    category: d.taxonomy().name_of(v.category()).unwrap().to_owned(),
+                    location: v.location(),
+                    tz_offset_minutes: c.tz_offset_minutes(),
+                    time: Timestamp::from_unix_seconds(c.time().unix_seconds() + shift_secs),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backpressure_rejects_whole_batch() {
+        let mut cfg = config();
+        cfg.queue_capacity = 3;
+        let engine = IngestEngine::open(base(), cfg).unwrap();
+        let records = shifted_records(engine.snapshot().dataset(), 3600, 2);
+        engine.submit(records.clone()).unwrap();
+        let err = engine.submit(records).unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::Backpressure {
+                queued: 2,
+                capacity: 3,
+                rejected: 2
+            }
+        ));
+        assert_eq!(engine.queue_depth(), 2, "rejected batch must not enqueue");
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_submit_and_empty_epoch_are_noops() {
+        let engine = IngestEngine::open(base(), config()).unwrap();
+        let receipt = engine.submit(Vec::new()).unwrap();
+        assert_eq!(receipt.accepted, 0);
+        assert!(engine.run_epoch().unwrap().is_none());
+        assert_eq!(engine.epoch(), 0);
+    }
+
+    #[test]
+    fn epoch_applies_batch_and_updates_stats() {
+        let engine = IngestEngine::open(base(), config()).unwrap();
+        let before = engine.snapshot();
+        let records = shifted_records(before.dataset(), 3600, 5);
+        let receipt = engine.submit(records).unwrap();
+        assert_eq!(receipt.accepted, 5);
+        assert_eq!((receipt.first_seq, receipt.last_seq), (1, 5));
+        let report = engine.run_epoch().unwrap().expect("non-empty queue");
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.applied, 5);
+        assert_eq!(report.mode, EpochMode::Incremental);
+        let after = engine.snapshot();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.dataset().len(), before.dataset().len() + 5);
+        // The pinned pre-epoch snapshot is untouched.
+        assert_eq!(before.epoch(), 0);
+        let stats = engine.stats();
+        assert_eq!(stats.total_accepted, 5);
+        assert_eq!(stats.total_applied, 5);
+        assert_eq!(stats.epochs_run, 1);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(!stats.durable);
+        assert!(serde_json::to_string(&stats).is_ok());
+    }
+
+    #[test]
+    fn auto_epoch_runs_at_threshold() {
+        let mut cfg = config();
+        cfg.epoch_batch = Some(3);
+        let engine = IngestEngine::open(base(), cfg).unwrap();
+        let records = shifted_records(engine.snapshot().dataset(), 3600, 4);
+        let receipt = engine.submit(records).unwrap();
+        let report = receipt.epoch.expect("threshold reached, epoch must run");
+        assert_eq!(report.applied, 4);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(receipt.queue_depth, 0);
+    }
+
+    #[test]
+    fn wal_replay_reaches_same_snapshot() {
+        let dir = temp_dir("replay");
+        let mut cfg = config();
+        cfg.wal = Some(crate::WalConfig::new(&dir));
+        let records;
+        let crowd_json;
+        {
+            let engine = IngestEngine::open(base(), cfg.clone()).unwrap();
+            records = shifted_records(engine.snapshot().dataset(), 3600, 6);
+            engine.submit(records.clone()).unwrap();
+            engine.run_epoch().unwrap().unwrap();
+            crowd_json = serde_json::to_string(engine.snapshot().crowd()).unwrap();
+            assert!(engine.stats().durable);
+        } // crash
+        let engine = IngestEngine::open(base(), cfg).unwrap();
+        // Everything replayed into the epoch-0 cold build.
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(
+            serde_json::to_string(engine.snapshot().crowd()).unwrap(),
+            crowd_json,
+            "replayed snapshot diverged from pre-crash snapshot"
+        );
+        // Sequence numbers continue after the replayed tail.
+        let receipt = engine.submit(records).unwrap();
+        assert_eq!(receipt.first_seq, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,98 @@
+//! The immutable platform snapshot published to readers.
+
+use crowdweb_crowd::CrowdModel;
+use crowdweb_dataset::{Dataset, UserId};
+use crowdweb_geo::MicrocellGrid;
+use crowdweb_mobility::{PlaceGraph, UserPatterns};
+use crowdweb_prep::{Labeler, Prepared};
+
+/// One epoch's complete, immutable pipeline output: the dataset plus
+/// every derived stage. Readers clone an `Arc<PlatformSnapshot>` from
+/// the engine and can serve any number of queries from a consistent
+/// view while later epochs are published underneath them.
+#[derive(Debug, Clone)]
+pub struct PlatformSnapshot {
+    epoch: u64,
+    dataset: Dataset,
+    prepared: Prepared,
+    patterns: Vec<UserPatterns>,
+    grid: MicrocellGrid,
+    crowd: CrowdModel,
+    min_support: f64,
+}
+
+impl PlatformSnapshot {
+    /// Assembles a snapshot (used by the engine).
+    pub fn new(
+        epoch: u64,
+        dataset: Dataset,
+        prepared: Prepared,
+        patterns: Vec<UserPatterns>,
+        grid: MicrocellGrid,
+        crowd: CrowdModel,
+        min_support: f64,
+    ) -> PlatformSnapshot {
+        PlatformSnapshot {
+            epoch,
+            dataset,
+            prepared,
+            patterns,
+            grid,
+            crowd,
+            min_support,
+        }
+    }
+
+    /// The epoch this snapshot was published at (0 = the cold build).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying (merged) dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The preprocessed pipeline output.
+    pub fn prepared(&self) -> &Prepared {
+        &self.prepared
+    }
+
+    /// All users' mined patterns, in user order.
+    pub fn patterns(&self) -> &[UserPatterns] {
+        &self.patterns
+    }
+
+    /// One user's patterns, if the user passed the filter.
+    pub fn patterns_of(&self, user: UserId) -> Option<&UserPatterns> {
+        self.patterns.iter().find(|p| p.user == user)
+    }
+
+    /// One user's place graph built from their daily sequences.
+    pub fn place_graph_of(&self, user: UserId) -> Option<PlaceGraph> {
+        self.prepared
+            .seqdb()
+            .view_of(user)
+            .map(|view| PlaceGraph::from_sequences(user, &view.decode()))
+    }
+
+    /// The display microcell grid.
+    pub fn grid(&self) -> &MicrocellGrid {
+        &self.grid
+    }
+
+    /// The synchronized crowd model.
+    pub fn crowd(&self) -> &CrowdModel {
+        &self.crowd
+    }
+
+    /// The mining support threshold the snapshot was built with.
+    pub fn min_support(&self) -> f64 {
+        self.min_support
+    }
+
+    /// A labeler for rendering label names against this snapshot.
+    pub fn labeler(&self) -> Labeler<'_> {
+        Labeler::new(&self.dataset, self.prepared.scheme())
+    }
+}

@@ -1,0 +1,74 @@
+//! Observability types for the ingest subsystem.
+
+use crowdweb_crowd::CrowdDelta;
+use serde::{Deserialize, Serialize};
+
+/// How an epoch rebuilt the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpochMode {
+    /// Only dirty users were re-prepared, re-mined, and re-placed.
+    Incremental,
+    /// The batch moved the study window (or otherwise invalidated the
+    /// shortcut); the full pipeline ran.
+    FullRebuild,
+}
+
+/// Summary of one completed epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// The epoch number the new snapshot was published at.
+    pub epoch: u64,
+    /// Records drained from the queue and applied.
+    pub applied: usize,
+    /// Users whose patterns were re-mined.
+    pub users_remined: usize,
+    /// Incremental or full rebuild.
+    pub mode: EpochMode,
+    /// Wall-clock time of the epoch, in microseconds.
+    pub duration_micros: u64,
+    /// How much of the crowd model moved.
+    pub delta: CrowdDelta,
+}
+
+/// Receipt returned to a submitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SubmitReceipt {
+    /// Records accepted into the queue (all or nothing per batch).
+    pub accepted: usize,
+    /// Sequence number of the first accepted record (0 if none).
+    pub first_seq: u64,
+    /// Sequence number of the last accepted record (0 if none).
+    pub last_seq: u64,
+    /// Queue depth right after the batch was enqueued.
+    pub queue_depth: usize,
+    /// Present when the submit tripped the auto-epoch threshold and an
+    /// epoch ran inline.
+    pub epoch: Option<EpochReport>,
+}
+
+/// Point-in-time ingest statistics (`GET /api/ingest/stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct IngestStats {
+    /// Current published epoch.
+    pub epoch: u64,
+    /// Records waiting in the queue.
+    pub queue_depth: usize,
+    /// The queue's capacity.
+    pub queue_capacity: usize,
+    /// Records accepted since the engine opened.
+    pub total_accepted: u64,
+    /// Records applied to a snapshot since the engine opened.
+    pub total_applied: u64,
+    /// Whether a write-ahead log is configured.
+    pub durable: bool,
+    /// Live WAL segment bytes (un-checkpointed tail).
+    pub wal_segment_bytes: u64,
+    /// Bytes of the current WAL checkpoint.
+    pub wal_checkpoint_bytes: u64,
+    /// Epochs run since the engine opened.
+    pub epochs_run: u64,
+    /// How many of those fell back to a full pipeline rebuild.
+    pub full_rebuilds: u64,
+    /// The most recent epoch, if any has run.
+    pub last_epoch: Option<EpochReport>,
+}

@@ -6,6 +6,7 @@ use crowdweb_exec::{parallel_map, Parallelism};
 use crowdweb_prep::{Prepared, SeqItem, Symbol, UserView};
 use crowdweb_seqmine::{closed_patterns, ModifiedPrefixSpan, PatternSet};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
 
 /// The mined mobility patterns of one user.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -163,6 +164,47 @@ impl PatternMiner {
             .into_iter()
             .collect()
     }
+
+    /// Re-mines only the `dirty` users (plus any user absent from
+    /// `previous`), reusing every other user's patterns, and returns
+    /// the full pattern list in `prepared` user order — byte-identical
+    /// to [`Self::detect_all`] on the same `prepared`, provided
+    /// `previous` was mined with this miner's configuration and the
+    /// non-dirty users' sequences are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::detect`].
+    pub fn detect_updated(
+        &self,
+        prepared: &Prepared,
+        previous: &[UserPatterns],
+        dirty: &BTreeSet<UserId>,
+    ) -> Result<Vec<UserPatterns>, MobilityError> {
+        let prev: HashMap<UserId, &UserPatterns> = previous.iter().map(|p| (p.user, p)).collect();
+        let to_mine: Vec<UserView<'_>> = prepared
+            .seqdb()
+            .views()
+            .filter(|v| dirty.contains(&v.user()) || !prev.contains_key(&v.user()))
+            .collect();
+        let mined: Vec<UserPatterns> =
+            parallel_map(self.parallelism, &to_mine, |view| self.detect_view(*view))
+                .into_iter()
+                .collect::<Result<_, _>>()?;
+        let mut mined_by_user: HashMap<UserId, UserPatterns> =
+            mined.into_iter().map(|p| (p.user, p)).collect();
+        Ok(prepared
+            .seqdb()
+            .user_ids()
+            .iter()
+            .map(|user| match mined_by_user.remove(user) {
+                Some(fresh) => fresh,
+                // Only reachable for users present in `previous` (the
+                // filter above mined everyone else).
+                None => (*prev.get(user).expect("filtered above")).clone(),
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +296,28 @@ mod tests {
         assert!(PatternMiner::new(1.5).is_err());
         let m = PatternMiner::new(0.5).unwrap().max_length(Some(0));
         assert!(m.detect(UserId::new(1), &days()).is_err());
+    }
+
+    #[test]
+    fn detect_updated_matches_detect_all() {
+        let d = crowdweb_synth::SynthConfig::small(31).generate().unwrap();
+        let prepared = crowdweb_prep::Preprocessor::new()
+            .min_active_days(15)
+            .prepare(&d)
+            .unwrap();
+        assert!(prepared.user_count() >= 2, "need at least two users");
+        let miner = PatternMiner::new(0.4).unwrap();
+        let all = miner.detect_all(&prepared).unwrap();
+        // Dirty half the users; pass the other half through `previous`.
+        let dirty: BTreeSet<UserId> = prepared.users().iter().copied().step_by(2).collect();
+        let updated = miner.detect_updated(&prepared, &all, &dirty).unwrap();
+        assert_eq!(updated, all);
+        // A user missing from `previous` is mined even when not dirty.
+        let partial: Vec<UserPatterns> = all[1..].to_vec();
+        let updated = miner
+            .detect_updated(&prepared, &partial, &BTreeSet::new())
+            .unwrap();
+        assert_eq!(updated, all);
     }
 
     #[test]

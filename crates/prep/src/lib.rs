@@ -52,7 +52,7 @@ pub mod window;
 pub use error::PrepError;
 pub use filter::ActivityFilter;
 pub use label::{LabelScheme, Labeler, PlaceLabel};
-pub use pipeline::{Prepared, Preprocessor, WindowChoice};
+pub use pipeline::{PrepUpdate, Prepared, Preprocessor, WindowChoice};
 pub use quality::SeqDbQuality;
 pub use seqdb::{SeqItem, SequenceDatabase, Symbol, SymbolTable, UserSequences, UserView};
 pub use timeslot::{TimeSlot, TimeSlotting};

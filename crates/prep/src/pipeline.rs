@@ -1,8 +1,12 @@
 //! The one-call preprocessing pipeline.
 
-use crate::{ActivityFilter, LabelScheme, PrepError, SequenceDatabase, StudyWindow, TimeSlotting};
+use crate::seqdb::build_user_row;
+use crate::{
+    ActivityFilter, LabelScheme, Labeler, PrepError, SequenceDatabase, StudyWindow, TimeSlotting,
+};
 use crowdweb_dataset::{Dataset, UserId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// How the study window is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -101,6 +105,94 @@ impl Preprocessor {
             seqdb,
         })
     }
+    /// Incrementally re-prepares after appending check-ins for the
+    /// `dirty` users to `dataset` (which must be the *merged* dataset —
+    /// old plus new check-ins).
+    ///
+    /// Recomputes the study window on the merged dataset; if it moved —
+    /// or the slotting/scheme no longer match `previous` — the
+    /// incremental shortcut is unsound and [`PrepUpdate::FullRebuild`]
+    /// is returned. Otherwise only dirty users are re-filtered and
+    /// re-sequenced; every other user's rows are decoded from
+    /// `previous` unchanged. Because check-ins are append-only, a
+    /// previously active user can never fall below the activity
+    /// threshold under the same window, so the result is byte-identical
+    /// to [`Preprocessor::prepare`] on the merged dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-selection and labeling errors.
+    pub fn update(
+        &self,
+        previous: &Prepared,
+        dataset: &Dataset,
+        dirty: &BTreeSet<UserId>,
+    ) -> Result<PrepUpdate, PrepError> {
+        let window = match self.window {
+            WindowChoice::RichestThreeMonths => StudyWindow::richest_months(dataset, 3)?,
+            WindowChoice::RichestMonths(n) => StudyWindow::richest_months(dataset, n)?,
+            WindowChoice::Full => StudyWindow::full(dataset)?,
+        };
+        if window != previous.window
+            || self.slotting != previous.slotting
+            || self.scheme != previous.scheme
+        {
+            return Ok(PrepUpdate::FullRebuild);
+        }
+        let filter = ActivityFilter::new(self.min_active_days).slotting(self.slotting);
+        let mut users: Vec<UserId> = previous
+            .users
+            .iter()
+            .copied()
+            .filter(|u| !dirty.contains(u))
+            .collect();
+        for &user in dirty {
+            if filter.is_active(dataset, &window, user) {
+                users.push(user);
+            }
+        }
+        users.sort_unstable();
+        let labeler = Labeler::new(dataset, self.scheme);
+        let mut rows = Vec::with_capacity(users.len());
+        for &user in &users {
+            if dirty.contains(&user) {
+                rows.push(build_user_row(
+                    dataset,
+                    user,
+                    &window,
+                    self.slotting,
+                    &labeler,
+                )?);
+            } else {
+                match previous.seqdb.decode_user(user) {
+                    Some(row) => rows.push(row),
+                    // A previously active user missing from the previous
+                    // database means `previous` and the merged dataset
+                    // disagree; fall back to a cold build.
+                    None => return Ok(PrepUpdate::FullRebuild),
+                }
+            }
+        }
+        let seqdb = SequenceDatabase::from_users(rows);
+        Ok(PrepUpdate::Incremental(Box::new(Prepared {
+            window,
+            users,
+            slotting: self.slotting,
+            scheme: self.scheme,
+            seqdb,
+        })))
+    }
+}
+
+/// Outcome of an incremental re-prepare attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrepUpdate {
+    /// The study window held; `Prepared` was rebuilt reusing every
+    /// unchanged user's sequences.
+    Incremental(Box<Prepared>),
+    /// The merged dataset shifted the study window (or the configuration
+    /// drifted from `previous`); the caller must run the full pipeline.
+    FullRebuild,
 }
 
 /// The pipeline's output: the chosen window, the qualifying users, and
@@ -187,6 +279,112 @@ mod tests {
         assert_eq!(
             Preprocessor::new().prepare(&d),
             Err(PrepError::EmptyDataset)
+        );
+    }
+
+    /// Merge records cloning `n` of `user`'s check-ins shifted by
+    /// `shift_secs`, so the merged dataset stays inside the same study
+    /// window but the user's sequences change.
+    fn shifted_records(
+        d: &Dataset,
+        user: u32,
+        shift_secs: i64,
+        n: usize,
+    ) -> Vec<crowdweb_dataset::MergeRecord> {
+        d.checkins_of(UserId::new(user))
+            .iter()
+            .take(n)
+            .map(|c| {
+                let v = d.venue(c.venue()).unwrap();
+                crowdweb_dataset::MergeRecord {
+                    user: c.user(),
+                    venue_key: v.name().to_owned(),
+                    category: d.taxonomy().name_of(v.category()).unwrap().to_owned(),
+                    location: v.location(),
+                    tz_offset_minutes: c.tz_offset_minutes(),
+                    time: crowdweb_dataset::Timestamp::from_unix_seconds(
+                        c.time().unix_seconds() + shift_secs,
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_update_matches_cold_prepare() {
+        let d = SynthConfig::small(21).generate().unwrap();
+        let pre = Preprocessor::new().min_active_days(15);
+        let before = pre.prepare(&d).unwrap();
+        let dirty_user = before.users()[0];
+        // Shift by one hour: same days, possibly different slots.
+        let records = shifted_records(&d, dirty_user.raw(), 3600, 40);
+        let merged = d.merge_records(&records).unwrap();
+        let dirty: BTreeSet<UserId> = records.iter().map(|r| r.user).collect();
+        match pre.update(&before, &merged, &dirty).unwrap() {
+            PrepUpdate::Incremental(inc) => {
+                let cold = pre.prepare(&merged).unwrap();
+                assert_eq!(
+                    *inc, cold,
+                    "incremental re-prepare diverged from cold build"
+                );
+            }
+            PrepUpdate::FullRebuild => {
+                panic!("one hour of shift must not move the study window")
+            }
+        }
+    }
+
+    #[test]
+    fn window_shift_forces_full_rebuild() {
+        use crowdweb_dataset::{CategoryId, CheckIn, MergeRecord, Timestamp, Venue, VenueId};
+        use crowdweb_geo::LatLon;
+        let mut b = crowdweb_dataset::Dataset::builder();
+        b.add_venue(Venue::new(
+            VenueId::new(0),
+            "v0",
+            LatLon::new(40.7, -74.0).unwrap(),
+            CategoryId::new(0),
+        ));
+        for day in 1..=20u8 {
+            b.add_checkin(CheckIn::new(
+                UserId::new(1),
+                VenueId::new(0),
+                Timestamp::from_civil(2012, 4, day, 10, 0, 0).unwrap(),
+                0,
+            ));
+        }
+        let d = b.build().unwrap();
+        let pre = Preprocessor::new().min_active_days(0);
+        let before = pre.prepare(&d).unwrap();
+        // A denser burst six months later drags the richest window away.
+        let records: Vec<MergeRecord> = (0..60u32)
+            .map(|i| MergeRecord {
+                user: UserId::new(1),
+                venue_key: "v0".to_owned(),
+                category: "Office".to_owned(),
+                location: LatLon::new(40.7, -74.0).unwrap(),
+                tz_offset_minutes: 0,
+                time: Timestamp::from_civil(2012, 10, 1 + (i % 28) as u8, 12, 0, 0).unwrap(),
+            })
+            .collect();
+        let merged = d.merge_records(&records).unwrap();
+        let dirty: BTreeSet<UserId> = [UserId::new(1)].into_iter().collect();
+        assert_eq!(
+            pre.update(&before, &merged, &dirty).unwrap(),
+            PrepUpdate::FullRebuild
+        );
+    }
+
+    #[test]
+    fn config_drift_forces_full_rebuild() {
+        let d = SynthConfig::small(23).generate().unwrap();
+        let before = Preprocessor::new().min_active_days(15).prepare(&d).unwrap();
+        let drifted = Preprocessor::new()
+            .min_active_days(15)
+            .slotting(TimeSlotting::new(1).unwrap());
+        assert_eq!(
+            drifted.update(&before, &d, &BTreeSet::new()).unwrap(),
+            PrepUpdate::FullRebuild
         );
     }
 

@@ -107,28 +107,7 @@ impl SequenceDatabase {
         let labeler = Labeler::new(dataset, scheme);
         let mut rows = Vec::with_capacity(users.len());
         for &user in users {
-            let mut sequences: Vec<Vec<SeqItem>> = Vec::new();
-            let mut current_day: Option<i64> = None;
-            for c in dataset.checkins_of(user) {
-                if !window.contains_checkin(c) {
-                    continue;
-                }
-                let local = c.local_time();
-                let day = local.date.to_epoch_days();
-                let item = SeqItem {
-                    slot: slotting.slot_of(local),
-                    label: labeler.label_of(c)?,
-                };
-                if current_day != Some(day) {
-                    sequences.push(Vec::new());
-                    current_day = Some(day);
-                }
-                let seq = sequences.last_mut().expect("pushed above");
-                if seq.last() != Some(&item) {
-                    seq.push(item);
-                }
-            }
-            rows.push(UserSequences { user, sequences });
+            rows.push(build_user_row(dataset, user, window, slotting, &labeler)?);
         }
         Ok(SequenceDatabase::from_users(rows))
     }
@@ -247,6 +226,41 @@ impl SequenceDatabase {
         let end = self.seq_offsets[seq + 1] as usize;
         &self.items[start..end]
     }
+}
+
+/// Builds one user's daily sequences: window filter, slotting, labeling,
+/// per-local-day split, consecutive-duplicate collapse. Shared by the
+/// full [`SequenceDatabase::build`] and the incremental re-prepare path,
+/// which rebuilds rows only for users whose check-ins changed.
+pub(crate) fn build_user_row(
+    dataset: &Dataset,
+    user: UserId,
+    window: &StudyWindow,
+    slotting: TimeSlotting,
+    labeler: &Labeler<'_>,
+) -> Result<UserSequences, PrepError> {
+    let mut sequences: Vec<Vec<SeqItem>> = Vec::new();
+    let mut current_day: Option<i64> = None;
+    for c in dataset.checkins_of(user) {
+        if !window.contains_checkin(c) {
+            continue;
+        }
+        let local = c.local_time();
+        let day = local.date.to_epoch_days();
+        let item = SeqItem {
+            slot: slotting.slot_of(local),
+            label: labeler.label_of(c)?,
+        };
+        if current_day != Some(day) {
+            sequences.push(Vec::new());
+            current_day = Some(day);
+        }
+        let seq = sequences.last_mut().expect("pushed above");
+        if seq.last() != Some(&item) {
+            seq.push(item);
+        }
+    }
+    Ok(UserSequences { user, sequences })
 }
 
 /// The empty database still carries the leading offset sentinels.

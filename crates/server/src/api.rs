@@ -15,12 +15,17 @@
 //! | `GET /api/figures/:id/svg` | figure chart (SVG) |
 //! | `POST /api/upload` | mine an uploaded TSV check-in history |
 //! | `GET /api/upload/last` | the most recent upload's patterns |
+//! | `GET /api/uploads` | recent uploads, newest first |
+//! | `POST /api/checkins` | enqueue live check-ins (single or batch JSON) |
+//! | `POST /api/ingest/epoch` | drain the queue into a new epoch snapshot |
+//! | `GET /api/ingest/stats` | ingest queue/WAL/epoch statistics |
 
 use crate::{AppState, Request, Response, Router, StatusCode};
-use crowdweb_dataset::UserId;
+use crowdweb_dataset::{MergeRecord, UserId};
+use crowdweb_ingest::{IngestError, PlatformSnapshot};
 use crowdweb_mobility::{PatternMiner, UserPatterns};
 use crowdweb_viz::{render_place_graph, snapshot_to_geojson, CityMap, Histogram, LineChart};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Builds the full CrowdWeb route table.
@@ -41,6 +46,10 @@ pub fn build_router() -> Router<AppState> {
     router.get("/api/figures/:id/svg", figure_svg);
     router.post("/api/upload", upload);
     router.get("/api/upload/last", upload_last);
+    router.get("/api/uploads", uploads_list);
+    router.post("/api/checkins", checkins_submit);
+    router.post("/api/ingest/epoch", ingest_epoch);
+    router.get("/api/ingest/stats", ingest_stats);
     router.get("/api/hotspots", hotspots);
     router.get("/api/crowd/flows/map", crowd_flows_map);
     router.get("/api/crowd/timeline", crowd_timeline);
@@ -93,16 +102,17 @@ struct StatsDto {
 }
 
 fn stats(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
-    let s = crowdweb_dataset::DatasetStats::compute(state.dataset());
+    let snap = state.snapshot();
+    let s = crowdweb_dataset::DatasetStats::compute(snap.dataset());
     ok_json(&StatsDto {
         total_checkins: s.total_checkins,
         user_count: s.user_count,
         venue_count: s.venue_count,
         mean_records_per_user: s.mean_records_per_user,
         median_records_per_user: s.median_records_per_user,
-        filtered_users: state.prepared().user_count(),
-        study_window: state.prepared().window().to_string(),
-        min_support: state.min_support(),
+        filtered_users: snap.prepared().user_count(),
+        study_window: snap.prepared().window().to_string(),
+        min_support: snap.min_support(),
     })
 }
 
@@ -114,7 +124,8 @@ struct UserDto {
 }
 
 fn users(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
-    let list: Vec<UserDto> = state
+    let snap = state.snapshot();
+    let list: Vec<UserDto> = snap
         .patterns()
         .iter()
         .map(|p| UserDto {
@@ -140,9 +151,9 @@ struct UserPatternsDto {
     patterns: Vec<PatternDto>,
 }
 
-fn patterns_dto(state: &AppState, up: &UserPatterns) -> UserPatternsDto {
-    let labeler = state.labeler();
-    let slotting = state.prepared().slotting();
+fn patterns_dto(snap: &PlatformSnapshot, up: &UserPatterns) -> UserPatternsDto {
+    let labeler = snap.labeler();
+    let slotting = snap.prepared().slotting();
     UserPatternsDto {
         user: up.user.raw(),
         active_days: up.active_days,
@@ -175,8 +186,9 @@ fn patterns(state: &AppState, _: &Request, params: &HashMap<String, String>) -> 
         Ok(u) => u,
         Err(resp) => return resp,
     };
-    match state.patterns_of(user) {
-        Some(up) => ok_json(&patterns_dto(state, up)),
+    let snap = state.snapshot();
+    match snap.patterns_of(user) {
+        Some(up) => ok_json(&patterns_dto(&snap, up)),
         None => Response::error(StatusCode::NotFound, "unknown or filtered user"),
     }
 }
@@ -186,9 +198,10 @@ fn network(state: &AppState, _: &Request, params: &HashMap<String, String>) -> R
         Ok(u) => u,
         Err(resp) => return resp,
     };
-    match state.place_graph_of(user) {
+    let snap = state.snapshot();
+    match snap.place_graph_of(user) {
         Some(graph) => {
-            let labeler = state.labeler();
+            let labeler = snap.labeler();
             Response::svg(render_place_graph(&graph, |l| {
                 labeler.name_of(l).unwrap_or_else(|| l.to_string())
             }))
@@ -211,18 +224,18 @@ struct CrowdDto {
 }
 
 fn snapshot_for(
-    state: &AppState,
+    snap: &PlatformSnapshot,
     request: &Request,
 ) -> Result<crowdweb_crowd::CrowdSnapshot, Response> {
     let hour = parse_hour(request)?;
-    state
-        .crowd()
+    snap.crowd()
         .snapshot_at_hour(hour)
         .ok_or_else(|| Response::error(StatusCode::NotFound, "no window covers that hour"))
 }
 
 fn crowd(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
-    match snapshot_for(state, request) {
+    let platform = state.snapshot();
+    match snapshot_for(&platform, request) {
         Ok(snap) => ok_json(&CrowdDto {
             window: snap.window.label(),
             total_users: snap.total_users(),
@@ -242,8 +255,9 @@ fn crowd(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Re
 fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
     // Optional ?label=N restricts the view to one place label ("only
     // the shoppers").
+    let platform = state.snapshot();
     let snap = match request.query_param("label") {
-        None => match snapshot_for(state, request) {
+        None => match snapshot_for(&platform, request) {
             Ok(s) => s,
             Err(resp) => return resp,
         },
@@ -255,10 +269,10 @@ fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -
                 Ok(h) => h,
                 Err(resp) => return resp,
             };
-            let Some(idx) = state.crowd().windows().index_of_hour(hour) else {
+            let Some(idx) = platform.crowd().windows().index_of_hour(hour) else {
                 return Response::error(StatusCode::NotFound, "no window covers that hour");
             };
-            match state
+            match platform
                 .crowd()
                 .snapshot_by_label(idx, crowdweb_prep::PlaceLabel(label))
             {
@@ -267,12 +281,13 @@ fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -
             }
         }
     };
-    Response::svg(CityMap::new(state.grid()).render(&snap))
+    Response::svg(CityMap::new(platform.grid()).render(&snap))
 }
 
 fn crowd_geojson(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
-    match snapshot_for(state, request) {
-        Ok(snap) => ok_json(&snapshot_to_geojson(&snap, state.grid())),
+    let platform = state.snapshot();
+    match snapshot_for(&platform, request) {
+        Ok(snap) => ok_json(&snapshot_to_geojson(&snap, platform.grid())),
         Err(resp) => resp,
     }
 }
@@ -299,11 +314,12 @@ fn crowd_flows(state: &AppState, request: &Request, _: &HashMap<String, String>)
         (Ok(f), Ok(t)) => (f, t),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    let windows = state.crowd().windows();
+    let snap = state.snapshot();
+    let windows = snap.crowd().windows();
     let (Some(fi), Some(ti)) = (windows.index_of_hour(from), windows.index_of_hour(to)) else {
         return Response::error(StatusCode::NotFound, "no window covers that hour");
     };
-    match state.crowd().flows(fi, ti) {
+    match snap.crowd().flows(fi, ti) {
         Ok(flows) => ok_json(
             &flows
                 .into_iter()
@@ -328,13 +344,13 @@ struct SeriesDto {
     y: Vec<f64>,
 }
 
-/// Computes a figure's data series against the live state.
-fn figure_series(state: &AppState, id: &str) -> Option<SeriesDto> {
-    let db = state.prepared().seqdb();
+/// Computes a figure's data series against one snapshot.
+fn figure_series(snap: &PlatformSnapshot, id: &str) -> Option<SeriesDto> {
+    let db = snap.prepared().seqdb();
     let mine_all = |support: f64| -> Vec<UserPatterns> {
         PatternMiner::new(support)
             .expect("sweep supports are valid")
-            .detect_all(state.prepared())
+            .detect_all(snap.prepared())
             .expect("state sequences are valid")
     };
     match id {
@@ -408,7 +424,8 @@ fn figure_series(state: &AppState, id: &str) -> Option<SeriesDto> {
 }
 
 fn figure_data(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
-    match figure_series(state, params.get("id").map(String::as_str).unwrap_or("")) {
+    let snap = state.snapshot();
+    match figure_series(&snap, params.get("id").map(String::as_str).unwrap_or("")) {
         Some(series) => ok_json(&series),
         None => Response::error(StatusCode::NotFound, "unknown figure (fig5..fig8)"),
     }
@@ -416,7 +433,8 @@ fn figure_data(state: &AppState, _: &Request, params: &HashMap<String, String>) 
 
 fn figure_svg(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
     let id = params.get("id").map(String::as_str).unwrap_or("");
-    let Some(series) = figure_series(state, id) else {
+    let snap = state.snapshot();
+    let Some(series) = figure_series(&snap, id) else {
         return Response::error(StatusCode::NotFound, "unknown figure (fig5..fig8)");
     };
     let svg = match id {
@@ -469,14 +487,14 @@ struct UploadDto {
     patterns: Vec<UserPatternsDto>,
 }
 
-fn upload_dto(state: &AppState, result: &crate::state::UploadResult) -> UploadDto {
+fn upload_dto(snap: &PlatformSnapshot, result: &crate::state::UploadResult) -> UploadDto {
     UploadDto {
         users: result.users.iter().map(|u| u.raw()).collect(),
         checkins: result.checkin_count,
         patterns: result
             .patterns
             .iter()
-            .map(|up| patterns_dto(state, up))
+            .map(|up| patterns_dto(snap, up))
             .collect(),
     }
 }
@@ -486,16 +504,115 @@ fn upload(state: &AppState, request: &Request, _: &HashMap<String, String>) -> R
         return Response::error(StatusCode::BadRequest, "body must be utf-8 tsv");
     };
     match state.ingest_upload(body) {
-        Ok(result) => ok_json(&upload_dto(state, &result)),
+        Ok(result) => ok_json(&upload_dto(&state.snapshot(), &result)),
         Err(e) => Response::error(StatusCode::BadRequest, &e.to_string()),
     }
 }
 
 fn upload_last(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
     match state.last_upload() {
-        Some(result) => ok_json(&upload_dto(state, &result)),
+        Some(result) => ok_json(&upload_dto(&state.snapshot(), &result)),
         None => Response::error(StatusCode::NotFound, "no upload yet"),
     }
+}
+
+fn uploads_list(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    let snap = state.snapshot();
+    let rows: Vec<UploadDto> = state
+        .uploads()
+        .iter()
+        .map(|r| upload_dto(&snap, r))
+        .collect();
+    ok_json(&rows)
+}
+
+/// One live check-in as submitted to `POST /api/checkins`. `category`
+/// defaults to `"Unknown"` and `tz_offset_minutes` to `0` (UTC) when
+/// omitted.
+#[derive(Deserialize)]
+struct CheckinDto {
+    user: u32,
+    venue: String,
+    #[serde(default)]
+    category: Option<String>,
+    lat: f64,
+    lon: f64,
+    #[serde(default)]
+    tz_offset_minutes: Option<i32>,
+    time: String,
+}
+
+fn checkin_to_record(dto: &CheckinDto) -> Result<MergeRecord, String> {
+    if dto.venue.is_empty() {
+        return Err("venue must not be empty".to_owned());
+    }
+    let location = crowdweb_geo::LatLon::new(dto.lat, dto.lon).map_err(|e| e.to_string())?;
+    let time = crowdweb_dataset::tsv::parse_time(&dto.time).map_err(|e| e.to_string())?;
+    Ok(MergeRecord {
+        user: UserId::new(dto.user),
+        venue_key: dto.venue.clone(),
+        category: dto.category.clone().unwrap_or_else(|| "Unknown".to_owned()),
+        location,
+        tz_offset_minutes: dto.tz_offset_minutes.unwrap_or(0),
+        time,
+    })
+}
+
+fn checkins_submit(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(StatusCode::BadRequest, "body must be utf-8 json");
+    };
+    // Accept a single check-in object or an array of them.
+    let dtos: Vec<CheckinDto> = match serde_json::from_str::<Vec<CheckinDto>>(body) {
+        Ok(list) => list,
+        Err(_) => match serde_json::from_str::<CheckinDto>(body) {
+            Ok(one) => vec![one],
+            Err(e) => {
+                return Response::error(
+                    StatusCode::BadRequest,
+                    &format!("body must be a check-in object or array: {e}"),
+                )
+            }
+        },
+    };
+    let mut records = Vec::with_capacity(dtos.len());
+    for (i, dto) in dtos.iter().enumerate() {
+        match checkin_to_record(dto) {
+            Ok(r) => records.push(r),
+            Err(msg) => {
+                return Response::error(StatusCode::BadRequest, &format!("check-in {i}: {msg}"))
+            }
+        }
+    }
+    match state.engine().submit(records) {
+        Ok(receipt) => ok_json(&receipt),
+        Err(e @ IngestError::Backpressure { .. }) => {
+            Response::error(StatusCode::ServiceUnavailable, &e.to_string())
+        }
+        Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
+    }
+}
+
+#[derive(Serialize)]
+struct EpochRunDto {
+    ran: bool,
+    epoch: u64,
+    report: Option<crowdweb_ingest::EpochReport>,
+}
+
+fn ingest_epoch(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    match state.engine().run_epoch() {
+        Ok(report) => ok_json(&EpochRunDto {
+            ran: report.is_some(),
+            epoch: state.engine().epoch(),
+            report,
+        }),
+        Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
+    }
+}
+
+fn ingest_stats(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    ok_json(&state.engine().stats())
 }
 
 #[derive(Serialize)]
@@ -508,10 +625,10 @@ struct HotspotDto {
 }
 
 fn hotspots(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
-    match crowdweb_crowd::detect_hotspots(state.crowd(), &crowdweb_crowd::HotspotConfig::default())
-    {
+    let snap = state.snapshot();
+    match crowdweb_crowd::detect_hotspots(snap.crowd(), &crowdweb_crowd::HotspotConfig::default()) {
         Ok(found) => {
-            let windows = state.crowd().windows();
+            let windows = snap.crowd().windows();
             let rows: Vec<HotspotDto> = found
                 .into_iter()
                 .map(|h| HotspotDto {
@@ -543,13 +660,14 @@ fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, Stri
         (Ok(f), Ok(t)) => (f, t),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    let windows = state.crowd().windows();
+    let snap = state.snapshot();
+    let windows = snap.crowd().windows();
     let (Some(fi), Some(ti)) = (windows.index_of_hour(from), windows.index_of_hour(to)) else {
         return Response::error(StatusCode::NotFound, "no window covers that hour");
     };
-    match state.crowd().flows(fi, ti) {
+    match snap.crowd().flows(fi, ti) {
         Ok(flows) => Response::svg(crowdweb_viz::render_flow_map(
-            state.grid(),
+            snap.grid(),
             &flows,
             &format!("{from}h \u{2192} {to}h"),
         )),
@@ -559,12 +677,13 @@ fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, Stri
 
 fn crowd_timeline(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
     Response::svg(crowdweb_viz::render_crowd_timeline(
-        &state.crowd().animation_frames(),
+        &state.snapshot().crowd().animation_frames(),
     ))
 }
 
 fn heatmap(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
-    let profile = crowdweb_dataset::ActivityProfile::of_dataset(state.dataset());
+    let snap = state.snapshot();
+    let profile = crowdweb_dataset::ActivityProfile::of_dataset(snap.dataset());
     Response::svg(crowdweb_viz::render_activity_heatmap(
         &profile,
         "City activity rhythm (weekday x hour)",
@@ -576,10 +695,11 @@ fn heatmap_user(state: &AppState, _: &Request, params: &HashMap<String, String>)
         Ok(u) => u,
         Err(resp) => return resp,
     };
-    if state.dataset().checkins_of(user).is_empty() {
+    let snap = state.snapshot();
+    if snap.dataset().checkins_of(user).is_empty() {
         return Response::error(StatusCode::NotFound, "unknown user");
     }
-    let profile = crowdweb_dataset::ActivityProfile::of_user(state.dataset(), user);
+    let profile = crowdweb_dataset::ActivityProfile::of_user(snap.dataset(), user);
     Response::svg(crowdweb_viz::render_activity_heatmap(
         &profile,
         &format!("Activity rhythm of {user}"),
@@ -602,7 +722,8 @@ fn entropy(state: &AppState, _: &Request, params: &HashMap<String, String>) -> R
         Ok(u) => u,
         Err(resp) => return resp,
     };
-    let Some(view) = state.prepared().seqdb().view_of(user) else {
+    let snap = state.snapshot();
+    let Some(view) = snap.prepared().seqdb().view_of(user) else {
         return Response::error(StatusCode::NotFound, "unknown or filtered user");
     };
     let p = crowdweb_mobility::predictability_profile(&view.decode());
@@ -630,7 +751,8 @@ fn groups(state: &AppState, request: &Request, _: &HashMap<String, String>) -> R
             _ => return Response::error(StatusCode::BadRequest, "threshold must be in [0, 1]"),
         },
     };
-    let groups = crowdweb_mobility::group_users(state.patterns(), threshold);
+    let snap = state.snapshot();
+    let groups = crowdweb_mobility::group_users(snap.patterns(), threshold);
     let rows: Vec<GroupDto> = groups
         .into_iter()
         .map(|g| GroupDto {
@@ -655,7 +777,8 @@ fn crowd_compare(state: &AppState, request: &Request, _: &HashMap<String, String
         (Ok(a), Ok(b)) => (a, b),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    match crowdweb_crowd::compare_windows(state.crowd(), a, b) {
+    let snap = state.snapshot();
+    match crowdweb_crowd::compare_windows(snap.crowd(), a, b) {
         Ok(cmp) => ok_json(&cmp),
         Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
     }
@@ -678,7 +801,8 @@ fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, Stri
         Ok(u) => u,
         Err(resp) => return resp,
     };
-    let checkins = state.dataset().checkins_of(user);
+    let snap = state.snapshot();
+    let checkins = snap.dataset().checkins_of(user);
     if checkins.is_empty() {
         return Response::error(StatusCode::NotFound, "unknown user");
     }
@@ -686,7 +810,7 @@ fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, Stri
     let mut per_day: HashMap<crowdweb_dataset::CivilDate, Vec<crowdweb_geo::LatLon>> =
         HashMap::new();
     for c in checkins {
-        if let Some(v) = state.dataset().venue(c.venue()) {
+        if let Some(v) = snap.dataset().venue(c.venue()) {
             per_day
                 .entry(c.local_date())
                 .or_default()
@@ -753,12 +877,13 @@ fn tile(state: &AppState, request: &Request, params: &HashMap<String, String>) -
         Ok(t) => t,
         Err(e) => return Response::error(StatusCode::BadRequest, &e.to_string()),
     };
-    let snap = match snapshot_for(state, request) {
+    let platform = state.snapshot();
+    let snap = match snapshot_for(&platform, request) {
         Ok(s) => s,
         Err(resp) => return resp,
     };
     let tile_bounds = tile.bounds();
-    let grid = state.grid();
+    let grid = platform.grid();
     let max = snap.cells.values().max().copied().unwrap_or(0).max(1);
 
     const SIZE: f64 = 256.0;
@@ -832,7 +957,7 @@ mod tests {
     fn network_endpoint_returns_svg() {
         let s = state();
         let r = build_router();
-        let uid = s.prepared().users()[0].raw();
+        let uid = s.snapshot().prepared().users()[0].raw();
         let (code, body) = get(&r, &s, &format!("/api/network/{uid}"));
         assert_eq!(code, 200);
         assert!(body.starts_with("<svg"));
@@ -883,7 +1008,7 @@ mod tests {
     #[test]
     fn fig5_series_is_nonincreasing() {
         let s = state();
-        let series = figure_series(&s, "fig5").unwrap();
+        let series = figure_series(&s.snapshot(), "fig5").unwrap();
         for w in series.y.windows(2) {
             assert!(w[0] >= w[1], "{:?}", series.y);
         }
@@ -910,6 +1035,118 @@ mod tests {
         assert_eq!(code, 200);
     }
 
+    fn post(router: &Router<AppState>, state: &AppState, path: &str, body: &str) -> (u16, String) {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = Request::read_from(raw.as_bytes()).unwrap();
+        let resp = router.route(state, &req);
+        (resp.status.code(), String::from_utf8(resp.body).unwrap())
+    }
+
+    #[test]
+    fn live_ingest_endpoints() {
+        let s = state();
+        let r = build_router();
+        let (code, body) = get(&r, &s, "/api/ingest/stats");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"queue_depth\":0"));
+        // Submit a check-in at an existing venue, then run an epoch.
+        let snap = s.snapshot();
+        let c = snap.dataset().checkins()[0];
+        let v = snap.dataset().venue(c.venue()).unwrap();
+        let json = format!(
+            "[{{\"user\":{},\"venue\":{},\"category\":\"Office\",\"lat\":{},\"lon\":{},\"tz_offset_minutes\":-240,\"time\":\"Tue Apr 03 13:00:00 +0000 2012\"}}]",
+            c.user().raw(),
+            serde_json::to_string(v.name()).unwrap(),
+            v.location().lat(),
+            v.location().lon()
+        );
+        drop(snap);
+        let (code, body) = post(&r, &s, "/api/checkins", &json);
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"accepted\":1"));
+        let (code, body) = post(&r, &s, "/api/ingest/epoch", "");
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"ran\":true"));
+        assert!(body.contains("\"epoch\":1"));
+        let (code, body) = get(&r, &s, "/api/ingest/stats");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"epochs_run\":1"));
+        assert!(body.contains("\"total_applied\":1"));
+        // The published snapshot advanced and still serves queries.
+        assert_eq!(s.snapshot().epoch(), 1);
+        let (code, _) = get(&r, &s, "/api/stats");
+        assert_eq!(code, 200);
+        // An epoch over an empty queue is a no-op.
+        let (code, body) = post(&r, &s, "/api/ingest/epoch", "");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"ran\":false"));
+    }
+
+    #[test]
+    fn checkins_endpoint_accepts_single_object_and_rejects_garbage() {
+        let s = state();
+        let r = build_router();
+        let one = "{\"user\":7,\"venue\":\"Test Cafe\",\"lat\":40.75,\"lon\":-73.99,\
+                   \"time\":\"Tue Apr 03 13:00:00 +0000 2012\"}";
+        let (code, body) = post(&r, &s, "/api/checkins", one);
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"accepted\":1"));
+        assert!(body.contains("\"queue_depth\":1"));
+        let (code, _) = post(&r, &s, "/api/checkins", "not json");
+        assert_eq!(code, 400);
+        // Out-of-range latitude.
+        let bad = "{\"user\":7,\"venue\":\"x\",\"lat\":91.0,\"lon\":0.0,\
+                   \"time\":\"Tue Apr 03 13:00:00 +0000 2012\"}";
+        let (code, _) = post(&r, &s, "/api/checkins", bad);
+        assert_eq!(code, 400);
+        // Unparseable time string.
+        let bad = "{\"user\":7,\"venue\":\"x\",\"lat\":40.0,\"lon\":0.0,\"time\":\"2012-04-03\"}";
+        let (code, _) = post(&r, &s, "/api/checkins", bad);
+        assert_eq!(code, 400);
+    }
+
+    #[test]
+    fn checkins_endpoint_backpressure_returns_503() {
+        let dataset = SynthConfig::small(53).generate().unwrap();
+        let mut config = crowdweb_ingest::IngestConfig::default();
+        config.preprocessor = config.preprocessor.min_active_days(20);
+        config.queue_capacity = 1;
+        let s = AppState::with_config(dataset, config).unwrap();
+        let r = build_router();
+        let one = "{\"user\":7,\"venue\":\"Test Cafe\",\"lat\":40.75,\"lon\":-73.99,\
+                   \"time\":\"Tue Apr 03 13:00:00 +0000 2012\"}";
+        let (code, _) = post(&r, &s, "/api/checkins", one);
+        assert_eq!(code, 200);
+        let (code, body) = post(&r, &s, "/api/checkins", one);
+        assert_eq!(code, 503, "{body}");
+        assert!(body.contains("queue full"));
+    }
+
+    #[test]
+    fn uploads_endpoint_lists_history_newest_first() {
+        let s = state();
+        let r = build_router();
+        let (code, body) = get(&r, &s, "/api/uploads");
+        assert_eq!(code, 200);
+        assert_eq!(body, "[]");
+        for user in [501, 502] {
+            let tsv = format!(
+                "{user}\tv1\tx\tCoffee Shop\t40.75\t-73.99\t-240\tTue Apr 03 13:00:00 +0000 2012\n"
+            );
+            let (code, _) = post(&r, &s, "/api/upload", &tsv);
+            assert_eq!(code, 200);
+        }
+        let (code, body) = get(&r, &s, "/api/uploads");
+        assert_eq!(code, 200);
+        let rows: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["users"][0].as_u64(), Some(502));
+        assert_eq!(rows[1]["users"][0].as_u64(), Some(501));
+    }
+
     #[test]
     fn hotspot_and_group_endpoints() {
         let s = state();
@@ -924,7 +1161,7 @@ mod tests {
             .iter()
             .map(|g| g["members"].as_array().unwrap().len())
             .sum();
-        assert_eq!(total, s.patterns().len());
+        assert_eq!(total, s.snapshot().patterns().len());
         let (code, _) = get(&r, &s, "/api/groups?threshold=2.0");
         assert_eq!(code, 400);
     }
@@ -942,7 +1179,7 @@ mod tests {
             assert_eq!(code, 200, "{path}");
             assert!(body.starts_with("<svg"), "{path}");
         }
-        let uid = s.prepared().users()[0].raw();
+        let uid = s.snapshot().prepared().users()[0].raw();
         let (code, body) = get(&r, &s, &format!("/api/heatmap/{uid}"));
         assert_eq!(code, 200);
         assert!(body.starts_with("<svg"));
@@ -968,7 +1205,7 @@ mod tests {
     fn entropy_endpoint() {
         let s = state();
         let r = build_router();
-        let uid = s.prepared().users()[0].raw();
+        let uid = s.snapshot().prepared().users()[0].raw();
         let (code, body) = get(&r, &s, &format!("/api/entropy/{uid}"));
         assert_eq!(code, 200);
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
@@ -1002,7 +1239,7 @@ mod tests {
     fn trajectory_endpoint() {
         let s = state();
         let r = build_router();
-        let uid = s.prepared().users()[0].raw();
+        let uid = s.snapshot().prepared().users()[0].raw();
         let (code, body) = get(&r, &s, &format!("/api/trajectory/{uid}"));
         assert_eq!(code, 200);
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();

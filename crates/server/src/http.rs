@@ -15,6 +15,11 @@ pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 /// Maximum accepted header section (64 KiB).
 pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 
+/// Maximum accepted single head line — request line or one header
+/// (8 KiB). Bounding each line keeps a newline-free byte stream from
+/// growing an unbounded buffer.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
 /// HTTP request method (only what the API uses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
@@ -59,6 +64,8 @@ pub enum StatusCode {
     PayloadTooLarge,
     /// 500.
     InternalServerError,
+    /// 503.
+    ServiceUnavailable,
 }
 
 impl StatusCode {
@@ -71,6 +78,7 @@ impl StatusCode {
             StatusCode::MethodNotAllowed => 405,
             StatusCode::PayloadTooLarge => 413,
             StatusCode::InternalServerError => 500,
+            StatusCode::ServiceUnavailable => 503,
         }
     }
 
@@ -83,6 +91,7 @@ impl StatusCode {
             StatusCode::MethodNotAllowed => "Method Not Allowed",
             StatusCode::PayloadTooLarge => "Payload Too Large",
             StatusCode::InternalServerError => "Internal Server Error",
+            StatusCode::ServiceUnavailable => "Service Unavailable",
         }
     }
 }
@@ -116,10 +125,9 @@ impl Request {
     /// heads/bodies, or unsupported methods.
     pub fn read_from<R: Read>(reader: R) -> io::Result<Request> {
         let mut reader = BufReader::new(reader);
-        let mut head = String::new();
-        // Request line.
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
+        // Request line: bounded and validated as UTF-8, so a hostile
+        // byte stream produces a 400 instead of an unbounded buffer.
+        let line = read_line_bounded(&mut reader, MAX_LINE_BYTES)?;
         if line.trim_end().is_empty() {
             return Err(bad("empty request line"));
         }
@@ -136,14 +144,15 @@ impl Request {
 
         // Headers.
         let mut headers = HashMap::new();
+        let mut head_len = 0usize;
         loop {
-            let mut hline = String::new();
-            let n = reader.read_line(&mut hline)?;
-            if n == 0 {
+            let hline = read_line_bounded(&mut reader, MAX_LINE_BYTES)?;
+            if hline.is_empty() {
+                // EOF before the blank terminator line.
                 return Err(bad("connection closed mid-headers"));
             }
-            head.push_str(&hline);
-            if head.len() > MAX_HEAD_BYTES {
+            head_len += hline.len();
+            if head_len > MAX_HEAD_BYTES {
                 return Err(bad("header section too large"));
             }
             let trimmed = hline.trim_end();
@@ -180,6 +189,37 @@ impl Request {
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Reads one `\n`-terminated line of at most `limit` bytes. Returns an
+/// empty string at EOF; errors on an over-long line or non-UTF-8 bytes.
+fn read_line_bounded<R: BufRead>(reader: &mut R, limit: usize) -> io::Result<String> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            break; // EOF
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&available[..=pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                buf.extend_from_slice(available);
+                let n = available.len();
+                reader.consume(n);
+            }
+        }
+        if buf.len() > limit {
+            return Err(bad("head line too long"));
+        }
+    }
+    if buf.len() > limit {
+        return Err(bad("head line too long"));
+    }
+    String::from_utf8(buf).map_err(|_| bad("head line is not valid utf-8"))
 }
 
 /// Splits a request target into decoded path and query map.
@@ -355,6 +395,44 @@ mod tests {
     }
 
     #[test]
+    fn rejects_missing_header_terminator() {
+        // EOF arrives before the blank line ending the header section.
+        assert!(parse("GET /x HTTP/1.1\r\nHost: x\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_overlong_request_line() {
+        // A newline-free request line must error once past the line
+        // cap instead of buffering forever.
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES));
+        assert!(parse(&raw).is_err());
+        // And the same stream without any newline at all.
+        let raw = "G".repeat(MAX_LINE_BYTES + 100);
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn rejects_non_utf8_request_line() {
+        let mut raw = b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec();
+        assert!(Request::read_from(raw.as_slice()).is_err());
+        // Non-UTF-8 header line as well.
+        raw = b"GET /x HTTP/1.1\r\nX-Bin: \xc3\x28\r\n\r\n".to_vec();
+        assert!(Request::read_from(raw.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_header_section() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        // Many individually small header lines that sum past the cap.
+        for i in 0..((MAX_HEAD_BYTES / 80) + 2) {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "p".repeat(80)));
+        }
+        raw.push_str("\r\n");
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
     fn percent_decoding() {
         // '+' is literal in generic decoding (RFC 3986 paths).
         assert_eq!(percent_decode("a%20b+c"), "a b+c");
@@ -396,5 +474,10 @@ mod tests {
         assert_eq!(StatusCode::Ok.code(), 200);
         assert_eq!(StatusCode::BadRequest.reason(), "Bad Request");
         assert_eq!(StatusCode::PayloadTooLarge.code(), 413);
+        assert_eq!(StatusCode::ServiceUnavailable.code(), 503);
+        assert_eq!(
+            StatusCode::ServiceUnavailable.reason(),
+            "Service Unavailable"
+        );
     }
 }

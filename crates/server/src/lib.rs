@@ -8,9 +8,10 @@
 //! - [`http`] — a minimal HTTP/1.1 request parser and response writer
 //!   over `std::net`.
 //! - [`router`] — path/method routing with `:param` captures.
-//! - [`state`] — the immutable application state (dataset, patterns,
-//!   crowd model) plus an upload overlay for visitor check-in histories
-//!   (the demo's "share your check-in history" feature).
+//! - [`state`] — the live application state: an ingest engine
+//!   publishing immutable epoch snapshots (dataset, patterns, crowd
+//!   model) plus a capped ring of visitor uploads (the demo's "share
+//!   your check-in history" feature).
 //! - [`api`] — the JSON/SVG endpoint handlers.
 //! - [`frontend`] — the embedded HTML/JS page.
 //! - [`server`] — the accept loop and worker pool (crossbeam channel +

@@ -1,13 +1,19 @@
-//! Application state: everything the handlers serve.
+//! Application state: the live ingest engine plus the visitor-upload
+//! ring.
+//!
+//! Handlers do not borrow pipeline data from `AppState` directly.
+//! Instead they call [`AppState::snapshot`] once per request and serve
+//! the whole request from that immutable [`PlatformSnapshot`] — a new
+//! epoch published mid-request never tears a response.
 
-use crowdweb_crowd::{CrowdModel, PipelineDriver, TimeWindows};
 use crowdweb_dataset::{Dataset, UserId};
-use crowdweb_exec::Parallelism;
-use crowdweb_geo::{BoundingBox, MicrocellGrid};
-use crowdweb_mobility::{PatternMiner, PlaceGraph, UserPatterns};
-use crowdweb_prep::{LabelScheme, Labeler, Prepared, Preprocessor, WindowChoice};
+use crowdweb_ingest::{IngestConfig, IngestEngine, PlatformSnapshot};
+use crowdweb_mobility::{PatternMiner, UserPatterns};
+use crowdweb_prep::{LabelScheme, Preprocessor, WindowChoice};
 use parking_lot::RwLock;
+use std::collections::VecDeque;
 use std::error::Error;
+use std::sync::Arc;
 
 /// A mined upload from a booth visitor ("if any audience member is
 /// willing to share their check-in history, we can upload it to the
@@ -22,24 +28,21 @@ pub struct UploadResult {
     pub checkin_count: usize,
 }
 
-/// Immutable platform state built once at startup, plus the mutable
-/// visitor-upload slot.
+/// The platform state: a live [`IngestEngine`] publishing epoch
+/// snapshots, plus a capped ring of recent visitor uploads.
 pub struct AppState {
-    dataset: Dataset,
-    prepared: Prepared,
-    patterns: Vec<UserPatterns>,
-    grid: MicrocellGrid,
-    crowd: CrowdModel,
-    min_support: f64,
-    last_upload: RwLock<Option<UploadResult>>,
+    engine: IngestEngine,
+    uploads: RwLock<VecDeque<UploadResult>>,
 }
 
 impl std::fmt::Debug for AppState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
         f.debug_struct("AppState")
-            .field("users", &self.prepared.user_count())
-            .field("checkins", &self.dataset.len())
-            .field("min_support", &self.min_support)
+            .field("epoch", &snap.epoch())
+            .field("users", &snap.prepared().user_count())
+            .field("checkins", &snap.dataset().len())
+            .field("min_support", &snap.min_support())
             .finish()
     }
 }
@@ -52,6 +55,10 @@ pub const DEFAULT_MIN_SUPPORT: f64 = 0.15;
 
 /// Default microcell grid resolution (cells per side over NYC).
 pub const DEFAULT_GRID_SIDE: u32 = 20;
+
+/// How many visitor uploads the platform remembers (newest evicts
+/// oldest).
+pub const DEFAULT_UPLOAD_HISTORY: usize = 16;
 
 impl AppState {
     /// Builds the platform state with defaults: richest-3-months window,
@@ -80,74 +87,50 @@ impl AppState {
         min_support: f64,
         grid_side: u32,
     ) -> Result<AppState, Box<dyn Error>> {
-        let out = PipelineDriver::new(min_support)?
-            .preprocessor(preprocessor)
-            .windows(TimeWindows::hourly())
-            .grid(BoundingBox::NYC, grid_side, grid_side)
-            .parallelism(Parallelism::Auto)
-            .run(&dataset)?;
-        Ok(AppState {
-            dataset,
-            prepared: out.prepared,
-            patterns: out.patterns,
-            grid: out.grid,
-            crowd: out.crowd,
+        let config = IngestConfig {
+            preprocessor,
             min_support,
-            last_upload: RwLock::new(None),
+            grid_rows: grid_side,
+            grid_cols: grid_side,
+            ..IngestConfig::default()
+        };
+        AppState::with_config(dataset, config)
+    }
+
+    /// Builds the platform state around a fully explicit ingest
+    /// configuration (WAL directory, queue bounds, epoch batching).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL recovery and pipeline failures.
+    pub fn with_config(dataset: Dataset, config: IngestConfig) -> Result<AppState, Box<dyn Error>> {
+        let engine = IngestEngine::open(dataset, config)?;
+        Ok(AppState {
+            engine,
+            uploads: RwLock::new(VecDeque::new()),
         })
     }
 
-    /// The underlying dataset.
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+    /// The current immutable pipeline snapshot. Handlers take one per
+    /// request and serve everything from it.
+    pub fn snapshot(&self) -> Arc<PlatformSnapshot> {
+        self.engine.snapshot()
     }
 
-    /// The preprocessed pipeline output.
-    pub fn prepared(&self) -> &Prepared {
-        &self.prepared
-    }
-
-    /// All users' mined patterns.
-    pub fn patterns(&self) -> &[UserPatterns] {
-        &self.patterns
-    }
-
-    /// One user's patterns, if the user passed the filter.
-    pub fn patterns_of(&self, user: UserId) -> Option<&UserPatterns> {
-        self.patterns.iter().find(|p| p.user == user)
-    }
-
-    /// One user's place graph built from their daily sequences.
-    pub fn place_graph_of(&self, user: UserId) -> Option<PlaceGraph> {
-        self.prepared
-            .seqdb()
-            .view_of(user)
-            .map(|view| PlaceGraph::from_sequences(user, &view.decode()))
-    }
-
-    /// The display microcell grid.
-    pub fn grid(&self) -> &MicrocellGrid {
-        &self.grid
-    }
-
-    /// The synchronized crowd model.
-    pub fn crowd(&self) -> &CrowdModel {
-        &self.crowd
+    /// The live ingest engine (submit, epochs, stats).
+    pub fn engine(&self) -> &IngestEngine {
+        &self.engine
     }
 
     /// The platform's mining support threshold.
     pub fn min_support(&self) -> f64 {
-        self.min_support
-    }
-
-    /// A labeler for rendering label names.
-    pub fn labeler(&self) -> Labeler<'_> {
-        Labeler::new(&self.dataset, self.prepared.scheme())
+        self.engine.config().min_support
     }
 
     /// Parses an uploaded TSV check-in history, mines its users'
     /// patterns over its full span (visitor histories are short, so no
-    /// window/filter), stores and returns the result.
+    /// window/filter), stores it in the upload ring, and returns the
+    /// result.
     ///
     /// # Errors
     ///
@@ -160,19 +143,28 @@ impl AppState {
             .min_active_days(0)
             .label_scheme(LabelScheme::Kind)
             .prepare(&uploaded)?;
-        let patterns = PatternMiner::new(self.min_support)?.detect_all(&prepared)?;
+        let patterns = PatternMiner::new(self.min_support())?.detect_all(&prepared)?;
         let result = UploadResult {
             users: prepared.users().to_vec(),
             checkin_count: uploaded.len(),
             patterns,
         };
-        *self.last_upload.write() = Some(result.clone());
+        let mut ring = self.uploads.write();
+        if ring.len() == DEFAULT_UPLOAD_HISTORY {
+            ring.pop_front();
+        }
+        ring.push_back(result.clone());
         Ok(result)
     }
 
     /// The most recent visitor upload, if any.
     pub fn last_upload(&self) -> Option<UploadResult> {
-        self.last_upload.read().clone()
+        self.uploads.read().back().cloned()
+    }
+
+    /// All remembered visitor uploads, newest first.
+    pub fn uploads(&self) -> Vec<UploadResult> {
+        self.uploads.read().iter().rev().cloned().collect()
     }
 }
 
@@ -189,9 +181,11 @@ mod tests {
     #[test]
     fn build_populates_everything() {
         let s = state();
-        assert!(s.prepared().user_count() > 0);
-        assert_eq!(s.patterns().len(), s.prepared().user_count());
-        assert!(s.crowd().placement_count() > 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert!(snap.prepared().user_count() > 0);
+        assert_eq!(snap.patterns().len(), snap.prepared().user_count());
+        assert!(snap.crowd().placement_count() > 0);
         assert_eq!(s.min_support(), DEFAULT_MIN_SUPPORT);
         assert!(!format!("{s:?}").is_empty());
     }
@@ -199,12 +193,13 @@ mod tests {
     #[test]
     fn per_user_lookups() {
         let s = state();
-        let user = s.prepared().users()[0];
-        assert!(s.patterns_of(user).is_some());
-        let graph = s.place_graph_of(user).unwrap();
+        let snap = s.snapshot();
+        let user = snap.prepared().users()[0];
+        assert!(snap.patterns_of(user).is_some());
+        let graph = snap.place_graph_of(user).unwrap();
         assert!(!graph.is_empty());
-        assert!(s.patterns_of(UserId::new(9999)).is_none());
-        assert!(s.place_graph_of(UserId::new(9999)).is_none());
+        assert!(snap.patterns_of(UserId::new(9999)).is_none());
+        assert!(snap.place_graph_of(UserId::new(9999)).is_none());
     }
 
     #[test]
@@ -236,5 +231,27 @@ mod tests {
     fn upload_rejects_garbage() {
         let s = state();
         assert!(s.ingest_upload("not\ttsv").is_err());
+    }
+
+    #[test]
+    fn upload_ring_caps_and_orders_newest_first() {
+        let s = state();
+        let mk = |user: u32| {
+            format!(
+                "{user}\tv1\tx\tCoffee Shop\t40.75\t-73.99\t-240\tTue Apr 03 13:00:00 +0000 2012\n"
+            )
+        };
+        for i in 0..DEFAULT_UPLOAD_HISTORY + 3 {
+            s.ingest_upload(&mk(100 + i as u32)).unwrap();
+        }
+        let ring = s.uploads();
+        assert_eq!(ring.len(), DEFAULT_UPLOAD_HISTORY);
+        // Newest first: the last submitted user leads.
+        let newest = 100 + (DEFAULT_UPLOAD_HISTORY + 2) as u32;
+        assert_eq!(ring[0].users, vec![UserId::new(newest)]);
+        assert_eq!(s.last_upload().unwrap().users, vec![UserId::new(newest)]);
+        // The oldest three were evicted.
+        let oldest_kept = ring.last().unwrap().users[0];
+        assert_eq!(oldest_kept, UserId::new(103));
     }
 }

@@ -16,4 +16,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
+echo "== ingest determinism gate =="
+cargo test -q -p crowdweb-ingest
+cargo test -q --test ingest_determinism
+
 echo "All checks passed."

@@ -18,6 +18,7 @@
 //! | [`seqmine`] | `crowdweb-seqmine` | PrefixSpan, modified PrefixSpan, GSP |
 //! | [`mobility`] | `crowdweb-mobility` | per-user patterns, place graphs, prediction |
 //! | [`crowd`] | `crowdweb-crowd` | crowd synchronization, aggregation, animation |
+//! | [`ingest`] | `crowdweb-ingest` | live ingestion: WAL, epoch snapshots, incremental updates |
 //! | [`viz`] | `crowdweb-viz` | SVG charts/maps, GeoJSON export |
 //! | [`server`] | `crowdweb-server` | the web platform (HTTP API + front-end) |
 //! | [`analytics`] | `crowdweb-analytics` | per-figure experiment harness |
@@ -56,6 +57,7 @@ pub use crowdweb_crowd as crowd;
 pub use crowdweb_dataset as dataset;
 pub use crowdweb_exec as exec;
 pub use crowdweb_geo as geo;
+pub use crowdweb_ingest as ingest;
 pub use crowdweb_mobility as mobility;
 pub use crowdweb_prep as prep;
 pub use crowdweb_seqmine as seqmine;
@@ -74,6 +76,7 @@ pub mod prelude {
     };
     pub use crowdweb_exec::Parallelism;
     pub use crowdweb_geo::{BoundingBox, CellId, LatLon, MicrocellGrid};
+    pub use crowdweb_ingest::{IngestConfig, IngestEngine, PlatformSnapshot};
     pub use crowdweb_mobility::{
         evaluate_predictor, PatternMiner, PlaceGraph, PredictorKind, UserPatterns,
     };

@@ -1,0 +1,195 @@
+//! End-to-end guarantees of the live ingestion subsystem: an epoch
+//! snapshot is byte-identical to a cold pipeline build over the merged
+//! dataset (under any parallelism policy), epochs chain, and WAL
+//! recovery — including a torn final record — reaches the same state.
+
+use crowdweb::dataset::MergeRecord;
+use crowdweb::ingest::{IngestConfig, IngestEngine, WalConfig};
+use crowdweb::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "crowdweb-ingest-e2e-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(parallelism: Parallelism) -> IngestConfig {
+    let mut c = IngestConfig::default();
+    c.preprocessor = c.preprocessor.min_active_days(20);
+    c.parallelism = parallelism;
+    c
+}
+
+/// Clones every 37th check-in, shifted in time, as a merge batch.
+fn shifted_records(d: &Dataset, shift_secs: i64, n: usize) -> Vec<MergeRecord> {
+    d.checkins()
+        .iter()
+        .step_by(37)
+        .take(n)
+        .map(|c| {
+            let v = d.venue(c.venue()).unwrap();
+            MergeRecord {
+                user: c.user(),
+                venue_key: v.name().to_owned(),
+                category: "Office".to_owned(),
+                location: v.location(),
+                tz_offset_minutes: c.tz_offset_minutes(),
+                time: Timestamp::from_unix_seconds(c.time().unix_seconds() + shift_secs),
+            }
+        })
+        .collect()
+}
+
+fn cold(dataset: &Dataset, parallelism: Parallelism) -> PipelineOutput {
+    PipelineDriver::new(0.15)
+        .unwrap()
+        .preprocessor(Preprocessor::new().min_active_days(20))
+        .windows(TimeWindows::hourly())
+        .grid(BoundingBox::NYC, 20, 20)
+        .parallelism(parallelism)
+        .run(dataset)
+        .unwrap()
+}
+
+fn crowd_json(model: &CrowdModel) -> String {
+    serde_json::to_string(model).unwrap()
+}
+
+#[test]
+fn epoch_snapshot_is_byte_identical_to_cold_build() {
+    for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+        let base = SynthConfig::small(71).generate().unwrap();
+        let records = shifted_records(&base, 3600, 40);
+        let merged = base.merge_records(&records).unwrap();
+
+        let engine = IngestEngine::open(base, config(parallelism)).unwrap();
+        engine.submit(records).unwrap();
+        engine.run_epoch().unwrap().expect("non-empty queue");
+        let snap = engine.snapshot();
+
+        let out = cold(&merged, parallelism);
+        assert_eq!(
+            crowd_json(snap.crowd()),
+            crowd_json(&out.crowd),
+            "{parallelism:?} crowd"
+        );
+        assert_eq!(
+            serde_json::to_string(snap.patterns()).unwrap(),
+            serde_json::to_string(&out.patterns).unwrap(),
+            "{parallelism:?} patterns"
+        );
+    }
+}
+
+#[test]
+fn chained_epochs_match_one_shot_cold_build() {
+    let base = SynthConfig::small(72).generate().unwrap();
+    let first = shifted_records(&base, 1800, 25);
+    let second = shifted_records(&base, 7200, 25);
+    let mut all = first.clone();
+    all.extend(second.iter().cloned());
+    let merged = base.merge_records(&all).unwrap();
+
+    let engine = IngestEngine::open(base, config(Parallelism::Sequential)).unwrap();
+    engine.submit(first).unwrap();
+    engine.run_epoch().unwrap().expect("first epoch");
+    engine.submit(second).unwrap();
+    let report = engine.run_epoch().unwrap().expect("second epoch");
+    assert_eq!(report.epoch, 2);
+
+    let out = cold(&merged, Parallelism::Sequential);
+    assert_eq!(
+        crowd_json(engine.snapshot().crowd()),
+        crowd_json(&out.crowd)
+    );
+}
+
+#[test]
+fn app_state_cold_build_matches_engine_epoch() {
+    let base = SynthConfig::small(75).generate().unwrap();
+    let records = shifted_records(&base, 3600, 30);
+    let merged = base.merge_records(&records).unwrap();
+
+    let state = AppState::build(base, 20).unwrap();
+    state.engine().submit(records).unwrap();
+    state
+        .engine()
+        .run_epoch()
+        .unwrap()
+        .expect("non-empty queue");
+
+    let cold_state = AppState::build(merged, 20).unwrap();
+    assert_eq!(
+        crowd_json(state.snapshot().crowd()),
+        crowd_json(cold_state.snapshot().crowd())
+    );
+}
+
+#[test]
+fn wal_replay_after_crash_reaches_cold_build_state() {
+    let dir = temp_dir("crash");
+    let base = SynthConfig::small(73).generate().unwrap();
+    let applied = shifted_records(&base, 3600, 20);
+    let tail = shifted_records(&base, 10800, 15);
+    let mut all = applied.clone();
+    all.extend(tail.iter().cloned());
+    let merged = base.merge_records(&all).unwrap();
+
+    let mut cfg = config(Parallelism::Sequential);
+    cfg.wal = Some(WalConfig::new(&dir));
+    let engine = IngestEngine::open(base.clone(), cfg.clone()).unwrap();
+    engine.submit(applied).unwrap();
+    engine.run_epoch().unwrap().expect("first epoch");
+    engine.submit(tail).unwrap();
+    // Crash before the second epoch: the tail lives only in the WAL.
+    drop(engine);
+
+    let engine = IngestEngine::open(base, cfg).unwrap();
+    let out = cold(&merged, Parallelism::Sequential);
+    assert_eq!(
+        crowd_json(engine.snapshot().crowd()),
+        crowd_json(&out.crowd)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_wal_tail_recovers_the_intact_prefix() {
+    let dir = temp_dir("torn");
+    let base = SynthConfig::small(74).generate().unwrap();
+    let records = shifted_records(&base, 3600, 12);
+    let mut cfg = config(Parallelism::Sequential);
+    cfg.wal = Some(WalConfig::new(&dir));
+    let engine = IngestEngine::open(base.clone(), cfg.clone()).unwrap();
+    engine.submit(records.clone()).unwrap();
+    // Crash before any epoch, then tear the final record's frame.
+    drop(engine);
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    segs.sort();
+    let last = segs.last().expect("a live segment");
+    let len = std::fs::metadata(last).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(last).unwrap();
+    f.set_len(len - 3).unwrap();
+    drop(f);
+
+    let engine = IngestEngine::open(base.clone(), cfg).unwrap();
+    let merged = base.merge_records(&records[..records.len() - 1]).unwrap();
+    let out = cold(&merged, Parallelism::Sequential);
+    assert_eq!(
+        crowd_json(engine.snapshot().crowd()),
+        crowd_json(&out.crowd)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
