@@ -16,6 +16,7 @@ use crowdweb_crowd::{CrowdBuilder, TimeWindows};
 use crowdweb_exec::Parallelism;
 use crowdweb_geo::{BoundingBox, MicrocellGrid};
 use crowdweb_mobility::PatternMiner;
+use crowdweb_obs::MetricsRegistry;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -49,13 +50,26 @@ fn bench(c: &mut Criterion) {
         "policy", "workers", "mine_us", "speedup", "sync_us", "speedup"
     );
 
+    // One registry for all policies: the fan-out histograms are keyed
+    // by {stage, policy}, so each policy reads back its own series.
+    let registry = MetricsRegistry::new();
+    let obs_us = |stage: &str, policy: &str| -> u128 {
+        registry
+            .histogram_stats(
+                crowdweb_exec::FANOUT_SECONDS,
+                &[("stage", stage), ("policy", policy)],
+            )
+            .map_or(0, |(_, sum)| (sum * 1e6) as u128)
+    };
+
     let mut rows = Vec::new();
     let mut base_mine_us = 0u128;
     let mut base_sync_us = 0u128;
     for (name, parallelism) in policies() {
         let miner = PatternMiner::new(MIN_SUPPORT)
             .unwrap()
-            .parallelism(parallelism);
+            .parallelism(parallelism)
+            .metrics(Some(registry.clone()));
         let t0 = Instant::now();
         let mined = miner.detect_all(&ctx.prepared).unwrap();
         let mine_us = t0.elapsed().as_micros();
@@ -63,7 +77,8 @@ fn bench(c: &mut Criterion) {
 
         let builder = CrowdBuilder::new(&ctx.dataset, &ctx.prepared)
             .windows(TimeWindows::hourly())
-            .parallelism(parallelism);
+            .parallelism(parallelism)
+            .metrics(Some(registry.clone()));
         let t1 = Instant::now();
         let model = builder.build(&patterns, grid.clone()).unwrap();
         let sync_us = t1.elapsed().as_micros();
@@ -75,12 +90,17 @@ fn bench(c: &mut Criterion) {
         }
         let mine_speedup = base_mine_us as f64 / mine_us.max(1) as f64;
         let sync_speedup = base_sync_us as f64 / sync_us.max(1) as f64;
+        // Registry-sourced stage timings for the same runs: the fan-out
+        // histograms time only the parallel_map section, so obs columns
+        // slightly undercut the wall-clock columns.
+        let obs_mine_us = obs_us("mine", &name);
+        let obs_sync_us = obs_us("crowd", &name);
         println!(
             "{name:>12} {:>10} {mine_us:>12} {mine_speedup:>9.2}x {sync_us:>12} {sync_speedup:>9.2}x",
             parallelism.worker_count()
         );
         rows.push(format!(
-            "{name}\t{}\t{mine_us}\t{mine_speedup:.3}\t{sync_us}\t{sync_speedup:.3}",
+            "{name}\t{}\t{mine_us}\t{mine_speedup:.3}\t{sync_us}\t{sync_speedup:.3}\t{obs_mine_us}\t{obs_sync_us}",
             parallelism.worker_count()
         ));
     }
@@ -89,7 +109,7 @@ fn bench(c: &mut Criterion) {
     std::fs::write(
         "out/parallel_speedup.tsv",
         format!(
-            "# host cores: {cores}\npolicy\tworkers\tmine_us\tmine_speedup\tsync_us\tsync_speedup\n{}\n",
+            "# host cores: {cores}\npolicy\tworkers\tmine_us\tmine_speedup\tsync_us\tsync_speedup\tobs_mine_us\tobs_sync_us\n{}\n",
             rows.join("\n")
         ),
     )

@@ -12,9 +12,11 @@ use crowdweb_dataset::Dataset;
 use crowdweb_exec::Parallelism;
 use crowdweb_geo::{BoundingBox, GeoError, MicrocellGrid};
 use crowdweb_mobility::{MobilityError, PatternMiner, UserPatterns};
+use crowdweb_obs::MetricsRegistry;
 use crowdweb_prep::{PrepError, Prepared, Preprocessor};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// Error from any stage of a driven pipeline run.
 #[derive(Debug)]
@@ -117,6 +119,7 @@ pub struct PipelineDriver {
     rows: u32,
     cols: u32,
     parallelism: Parallelism,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl PipelineDriver {
@@ -137,6 +140,7 @@ impl PipelineDriver {
             rows: 20,
             cols: 20,
             parallelism: Parallelism::Sequential,
+            metrics: None,
         })
     }
 
@@ -174,22 +178,66 @@ impl PipelineDriver {
         self
     }
 
+    /// Attaches a metrics registry: every [`Self::run`] records
+    /// per-stage wall time (prepare/mine/grid/crowd) keyed by the
+    /// driver's parallelism policy, and bumps a run counter. Timing
+    /// never alters pipeline output.
+    pub fn metrics(mut self, metrics: Option<MetricsRegistry>) -> PipelineDriver {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Records one stage's wall time into the shared stage histogram.
+    fn observe_stage(&self, stage: &str, started: Instant) {
+        if let Some(metrics) = &self.metrics {
+            metrics.observe_stage(
+                stage,
+                &self.parallelism.label(),
+                started.elapsed().as_secs_f64(),
+            );
+        }
+    }
+
     /// Runs the full pipeline on a dataset.
     ///
     /// # Errors
     ///
     /// Returns the first failing stage's error.
     pub fn run(&self, dataset: &Dataset) -> Result<PipelineOutput, PipelineError> {
+        let started = Instant::now();
         let prepared = self.preprocessor.prepare(dataset)?;
+        self.observe_stage("prepare", started);
+
+        let started = Instant::now();
         let patterns = self
             .miner
+            .clone()
             .parallelism(self.parallelism)
+            .metrics(self.metrics.clone())
             .detect_all(&prepared)?;
+        self.observe_stage("mine", started);
+
+        let started = Instant::now();
         let grid = MicrocellGrid::new(self.bounds, self.rows, self.cols)?;
+        self.observe_stage("grid", started);
+
+        let started = Instant::now();
         let crowd = CrowdBuilder::new(dataset, &prepared)
             .windows(self.windows.clone())
             .parallelism(self.parallelism)
+            .metrics(self.metrics.clone())
             .build(&patterns, grid.clone())?;
+        self.observe_stage("crowd", started);
+
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .counter(
+                    "crowdweb_pipeline_runs_total",
+                    "Completed full pipeline runs.",
+                    &[("policy", &self.parallelism.label())],
+                )
+                .inc();
+        }
         Ok(PipelineOutput {
             prepared,
             patterns,
@@ -236,6 +284,34 @@ mod tests {
             .unwrap();
         assert_eq!(sequential.patterns, parallel.patterns);
         assert_eq!(sequential.crowd.placements(), parallel.crowd.placements());
+    }
+
+    #[test]
+    fn instrumented_run_matches_uninstrumented() {
+        let dataset = SynthConfig::small(33).generate().unwrap();
+        let plain = PipelineDriver::new(0.15).unwrap().run(&dataset).unwrap();
+        let metrics = crowdweb_obs::MetricsRegistry::new();
+        let timed = PipelineDriver::new(0.15)
+            .unwrap()
+            .metrics(Some(metrics.clone()))
+            .run(&dataset)
+            .unwrap();
+        assert_eq!(timed.patterns, plain.patterns);
+        assert_eq!(timed.crowd.placements(), plain.crowd.placements());
+        // Every stage recorded exactly one observation.
+        for stage in ["prepare", "mine", "grid", "crowd"] {
+            let (count, _) = metrics
+                .histogram_stats(
+                    crowdweb_obs::STAGE_SECONDS,
+                    &[("stage", stage), ("policy", "sequential")],
+                )
+                .unwrap_or_else(|| panic!("stage {stage} not recorded"));
+            assert_eq!(count, 1, "stage {stage}");
+        }
+        assert_eq!(
+            metrics.counter_value("crowdweb_pipeline_runs_total", &[("policy", "sequential")]),
+            Some(1)
+        );
     }
 
     #[test]

@@ -14,9 +14,10 @@
 
 use crate::{CrowdError, CrowdModel, TimeWindows};
 use crowdweb_dataset::{Dataset, UserId, VenueId};
-use crowdweb_exec::{parallel_map, Parallelism};
+use crowdweb_exec::{parallel_map_observed, Parallelism};
 use crowdweb_geo::{CellId, MicrocellGrid};
 use crowdweb_mobility::UserPatterns;
+use crowdweb_obs::MetricsRegistry;
 use crowdweb_prep::{Labeler, PlaceLabel, Prepared, TimeSlot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -63,6 +64,7 @@ pub struct CrowdBuilder<'a> {
     prepared: &'a Prepared,
     windows: TimeWindows,
     parallelism: Parallelism,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl<'a> CrowdBuilder<'a> {
@@ -73,6 +75,7 @@ impl<'a> CrowdBuilder<'a> {
             prepared,
             windows: TimeWindows::hourly(),
             parallelism: Parallelism::Sequential,
+            metrics: None,
         }
     }
 
@@ -90,6 +93,14 @@ impl<'a> CrowdBuilder<'a> {
         self
     }
 
+    /// Attaches a metrics registry: [`Self::build`] and
+    /// [`Self::update`] record their fan-out wall time. Timing never
+    /// alters the produced placements.
+    pub fn metrics(mut self, metrics: Option<MetricsRegistry>) -> CrowdBuilder<'a> {
+        self.metrics = metrics;
+        self
+    }
+
     /// Synchronizes and aggregates every user's patterns into the crowd
     /// model (terminal method).
     ///
@@ -103,9 +114,12 @@ impl<'a> CrowdBuilder<'a> {
         grid: MicrocellGrid,
     ) -> Result<CrowdModel, CrowdError> {
         let labeler = Labeler::new(self.dataset, self.prepared.scheme());
-        let per_user = parallel_map(self.parallelism, patterns, |up| {
-            self.place_user(&labeler, &grid, up)
-        });
+        let per_user = parallel_map_observed(
+            self.parallelism,
+            patterns,
+            |up| self.place_user(&labeler, &grid, up),
+            self.metrics.as_ref().map(|m| (m, "crowd")),
+        );
         // `parallel_map` returns results in input order, so flattening
         // reproduces the sequential placement order exactly.
         let mut placements: Vec<Placement> = Vec::new();
@@ -139,9 +153,12 @@ impl<'a> CrowdBuilder<'a> {
             .iter()
             .filter(|up| dirty.contains(&up.user))
             .collect();
-        let per_user = parallel_map(self.parallelism, &dirty_patterns, |up| {
-            self.place_user(&labeler, &grid, up)
-        });
+        let per_user = parallel_map_observed(
+            self.parallelism,
+            &dirty_patterns,
+            |up| self.place_user(&labeler, &grid, up),
+            self.metrics.as_ref().map(|m| (m, "crowd_update")),
+        );
         let mut updates: BTreeMap<UserId, Vec<Placement>> = BTreeMap::new();
         for (up, result) in dirty_patterns.iter().zip(per_user) {
             updates.insert(up.user, result?);

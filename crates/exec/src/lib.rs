@@ -20,5 +20,5 @@ mod pool;
 mod symbol;
 
 pub use epoch::EpochCell;
-pub use pool::{parallel_map, Parallelism};
+pub use pool::{parallel_map, parallel_map_observed, Parallelism, FANOUT_SECONDS};
 pub use symbol::{Symbol, SymbolTable};

@@ -37,6 +37,16 @@ impl Parallelism {
     pub fn is_parallel(self) -> bool {
         self.worker_count() > 1
     }
+
+    /// A stable metrics-label spelling of this policy (`"sequential"`,
+    /// `"threads_4"`, `"auto"`).
+    pub fn label(self) -> String {
+        match self {
+            Parallelism::Sequential => "sequential".to_owned(),
+            Parallelism::Threads(n) => format!("threads_{n}"),
+            Parallelism::Auto => "auto".to_owned(),
+        }
+    }
 }
 
 /// Applies `f` to every item, possibly on several threads, returning
@@ -88,6 +98,43 @@ where
     indexed.into_iter().map(|(_, value)| value).collect()
 }
 
+/// Family name for per-fan-out wall-time recorded by
+/// [`parallel_map_observed`], labelled `{stage, policy}`.
+pub const FANOUT_SECONDS: &str = "crowdweb_exec_fanout_seconds";
+
+/// [`parallel_map`], optionally timed.
+///
+/// When `metrics` is `Some`, the whole fan-out's wall-clock time is
+/// recorded into the [`FANOUT_SECONDS`] histogram under the given stage
+/// name and this policy's [`Parallelism::label`]. Timing never touches
+/// the mapped values, so output stays byte-identical with metrics on or
+/// off.
+pub fn parallel_map_observed<T, U, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    f: F,
+    metrics: Option<(&crowdweb_obs::MetricsRegistry, &str)>,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let started = std::time::Instant::now();
+    let out = parallel_map(parallelism, items, f);
+    if let Some((registry, stage)) = metrics {
+        registry
+            .histogram(
+                FANOUT_SECONDS,
+                "Wall-clock seconds per parallel_map fan-out, by stage and policy.",
+                &[("stage", stage), ("policy", &parallelism.label())],
+                &crowdweb_obs::DEFAULT_LATENCY_BUCKETS,
+            )
+            .observe(started.elapsed().as_secs_f64());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +174,38 @@ mod tests {
             let threaded = parallel_map(Parallelism::Threads(threads), &items, work);
             assert_eq!(threaded, sequential, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn observed_map_matches_plain_and_records_timing() {
+        let registry = crowdweb_obs::MetricsRegistry::new();
+        let items: Vec<u64> = (0..64).collect();
+        let plain = parallel_map(Parallelism::Threads(4), &items, |x| x * 3);
+        let observed = parallel_map_observed(
+            Parallelism::Threads(4),
+            &items,
+            |x| x * 3,
+            Some((&registry, "mine")),
+        );
+        assert_eq!(observed, plain, "timing must not perturb output");
+        let (count, sum) = registry
+            .histogram_stats(
+                FANOUT_SECONDS,
+                &[("stage", "mine"), ("policy", "threads_4")],
+            )
+            .expect("fan-out histogram registered");
+        assert_eq!(count, 1);
+        assert!(sum >= 0.0);
+        // No registry, no recording, same output.
+        let silent = parallel_map_observed(Parallelism::Sequential, &items, |x| x * 3, None);
+        assert_eq!(silent, plain);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(Parallelism::Sequential.label(), "sequential");
+        assert_eq!(Parallelism::Threads(4).label(), "threads_4");
+        assert_eq!(Parallelism::Auto.label(), "auto");
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub enum GeoError {
     },
     /// Grid construction with zero rows or columns.
     EmptyGrid,
+    /// Grid construction whose total cell count exceeds
+    /// [`crate::MicrocellGrid::MAX_CELLS`] (or overflows `u32`).
+    GridTooLarge {
+        /// Rows requested (or derived from a cell size).
+        rows: u32,
+        /// Columns requested (or derived from a cell size).
+        cols: u32,
+    },
     /// Tile coordinate out of range for its zoom level.
     InvalidTile {
         /// Zoom level supplied.
@@ -63,6 +71,10 @@ impl fmt::Display for GeoError {
                 "bounding box is empty: south {south} north {north} west {west} east {east}"
             ),
             GeoError::EmptyGrid => write!(f, "grid must have at least one row and one column"),
+            GeoError::GridTooLarge { rows, cols } => write!(
+                f,
+                "grid of {rows} x {cols} cells exceeds the supported maximum cell count"
+            ),
             GeoError::InvalidTile { zoom, x, y } => {
                 write!(f, "tile ({x}, {y}) is out of range for zoom {zoom}")
             }

@@ -48,16 +48,26 @@ pub struct MicrocellGrid {
 }
 
 impl MicrocellGrid {
+    /// Maximum total cell count a grid may hold (2²⁴ ≈ 16.7 M cells —
+    /// far beyond any display grid, far below `u32` overflow in the
+    /// row-major `CellId` math).
+    pub const MAX_CELLS: u32 = 1 << 24;
+
     /// Creates a grid of `rows` × `cols` cells over `bounds`.
     ///
     /// # Errors
     ///
-    /// Returns [`GeoError::EmptyGrid`] if `rows` or `cols` is zero.
+    /// Returns [`GeoError::EmptyGrid`] if `rows` or `cols` is zero, and
+    /// [`GeoError::GridTooLarge`] if `rows * cols` exceeds
+    /// [`Self::MAX_CELLS`].
     pub fn new(bounds: BoundingBox, rows: u32, cols: u32) -> Result<Self, GeoError> {
         if rows == 0 || cols == 0 {
             return Err(GeoError::EmptyGrid);
         }
-        Ok(MicrocellGrid { bounds, rows, cols })
+        match rows.checked_mul(cols) {
+            Some(cells) if cells <= Self::MAX_CELLS => Ok(MicrocellGrid { bounds, rows, cols }),
+            _ => Err(GeoError::GridTooLarge { rows, cols }),
+        }
     }
 
     /// Creates a grid over `bounds` whose cells are approximately
@@ -66,16 +76,26 @@ impl MicrocellGrid {
     /// # Errors
     ///
     /// Returns [`GeoError::InvalidClusterParam`] if `cell_size_m` is not
-    /// strictly positive and finite.
+    /// strictly positive and finite, and [`GeoError::GridTooLarge`] if
+    /// the size implies more than [`Self::MAX_CELLS`] cells.
     pub fn with_cell_size(bounds: BoundingBox, cell_size_m: f64) -> Result<Self, GeoError> {
         if !(cell_size_m.is_finite() && cell_size_m > 0.0) {
             return Err(GeoError::InvalidClusterParam(
                 "cell size must be positive and finite",
             ));
         }
-        let rows = (bounds.height_m() / cell_size_m).ceil().max(1.0) as u32;
-        let cols = (bounds.width_m() / cell_size_m).ceil().max(1.0) as u32;
-        MicrocellGrid::new(bounds, rows, cols)
+        let rows_f = (bounds.height_m() / cell_size_m).ceil().max(1.0);
+        let cols_f = (bounds.width_m() / cell_size_m).ceil().max(1.0);
+        // Check in f64 first: a tiny cell size can yield counts that
+        // saturate the `as u32` cast (u32::MAX each), whose product
+        // would wrap long before `new` could see sane inputs.
+        if rows_f * cols_f > f64::from(Self::MAX_CELLS) {
+            return Err(GeoError::GridTooLarge {
+                rows: rows_f.min(f64::from(u32::MAX)) as u32,
+                cols: cols_f.min(f64::from(u32::MAX)) as u32,
+            });
+        }
+        MicrocellGrid::new(bounds, rows_f as u32, cols_f as u32)
     }
 
     /// The bounding box the grid covers.
@@ -95,7 +115,9 @@ impl MicrocellGrid {
 
     /// Total number of cells (`rows * cols`).
     pub fn len(&self) -> u32 {
-        self.rows * self.cols
+        self.rows
+            .checked_mul(self.cols)
+            .expect("grid constructors cap rows * cols at MAX_CELLS")
     }
 
     /// Whether the grid has zero cells. Always `false` for a constructed
@@ -203,6 +225,34 @@ mod tests {
             MicrocellGrid::new(BoundingBox::NYC, 5, 0),
             Err(GeoError::EmptyGrid)
         ));
+    }
+
+    #[test]
+    fn new_rejects_cell_count_overflow() {
+        // 2^16 x 2^16 = 2^32 overflows the u32 row-major CellId math:
+        // pre-fix this panicked in debug and wrapped to 0 in release.
+        assert!(matches!(
+            MicrocellGrid::new(BoundingBox::NYC, 1 << 16, 1 << 16),
+            Err(GeoError::GridTooLarge { .. })
+        ));
+        // 2^13 x 2^13 = 2^26 fits u32 but exceeds the sanity cap.
+        assert!(matches!(
+            MicrocellGrid::new(BoundingBox::NYC, 1 << 13, 1 << 13),
+            Err(GeoError::GridTooLarge { .. })
+        ));
+        // Exactly at the cap is fine: 2^12 * 2^12 = 2^24 = MAX_CELLS.
+        let g = MicrocellGrid::new(BoundingBox::NYC, 1 << 12, 1 << 12).unwrap();
+        assert_eq!(g.len(), MicrocellGrid::MAX_CELLS);
+    }
+
+    #[test]
+    fn with_cell_size_rejects_microscopic_cells() {
+        // A 1 µm cell over NYC implies ~5e10 cells per side; pre-fix
+        // the saturating f64→u32 casts produced u32::MAX × u32::MAX and
+        // the multiplication wrapped.
+        let err = MicrocellGrid::with_cell_size(BoundingBox::NYC, 1e-6).unwrap_err();
+        assert!(matches!(err, GeoError::GridTooLarge { .. }));
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

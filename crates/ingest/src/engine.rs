@@ -9,6 +9,7 @@ use crowdweb_dataset::{Dataset, MergeRecord, UserId};
 use crowdweb_exec::{EpochCell, Parallelism};
 use crowdweb_geo::BoundingBox;
 use crowdweb_mobility::PatternMiner;
+use crowdweb_obs::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
 use crowdweb_prep::{PrepUpdate, Preprocessor};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, VecDeque};
@@ -41,6 +42,10 @@ pub struct IngestConfig {
     /// When set, accepted records are logged durably and replayed on
     /// [`IngestEngine::open`].
     pub wal: Option<WalConfig>,
+    /// When set, the engine records ingest metrics (queue depth, WAL
+    /// bytes, epoch latency) and threads the registry through the
+    /// pipeline stages. Never affects snapshot contents.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Default for IngestConfig {
@@ -59,6 +64,7 @@ impl Default for IngestConfig {
             queue_capacity: 65_536,
             epoch_batch: None,
             wal: None,
+            metrics: None,
         }
     }
 }
@@ -69,13 +75,81 @@ impl IngestConfig {
             .preprocessor(self.preprocessor)
             .windows(self.windows.clone())
             .grid(self.bounds, self.grid_rows, self.grid_cols)
-            .parallelism(self.parallelism))
+            .parallelism(self.parallelism)
+            .metrics(self.metrics.clone()))
     }
 
     fn miner(&self) -> Result<PatternMiner, IngestError> {
         Ok(PatternMiner::new(self.min_support)
             .map_err(crowdweb_crowd::PipelineError::Mobility)?
-            .parallelism(self.parallelism))
+            .parallelism(self.parallelism)
+            .metrics(self.metrics.clone()))
+    }
+}
+
+/// Pre-registered handles for the engine's hot-path metrics, so submits
+/// and epochs never touch the registry's family table.
+#[derive(Debug, Clone)]
+struct IngestMetrics {
+    registry: MetricsRegistry,
+    accepted: Counter,
+    wal_bytes: Counter,
+    wal_records: Counter,
+    queue_depth: Gauge,
+    epoch_seconds: Histogram,
+    dirty_users: Gauge,
+}
+
+impl IngestMetrics {
+    fn new(registry: MetricsRegistry) -> IngestMetrics {
+        IngestMetrics {
+            accepted: registry.counter(
+                "crowdweb_ingest_accepted_total",
+                "Records accepted into the ingest queue.",
+                &[],
+            ),
+            wal_bytes: registry.counter(
+                "crowdweb_ingest_wal_appended_bytes_total",
+                "Bytes appended to active WAL segments.",
+                &[],
+            ),
+            wal_records: registry.counter(
+                "crowdweb_ingest_wal_appended_records_total",
+                "Records appended to active WAL segments.",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "crowdweb_ingest_queue_depth",
+                "Records currently queued for the next epoch.",
+                &[],
+            ),
+            epoch_seconds: registry.histogram(
+                "crowdweb_ingest_epoch_seconds",
+                "Wall-clock seconds from epoch start to snapshot publication.",
+                &[],
+                &DEFAULT_LATENCY_BUCKETS,
+            ),
+            dirty_users: registry.gauge(
+                "crowdweb_ingest_epoch_dirty_users",
+                "Users recomputed by the most recent epoch.",
+                &[],
+            ),
+            registry,
+        }
+    }
+
+    fn count_epoch(&self, mode: EpochMode) {
+        let label = match mode {
+            EpochMode::Incremental => "incremental",
+            EpochMode::FullRebuild => "full_rebuild",
+        };
+        self.registry
+            .counter(
+                "crowdweb_ingest_epochs_total",
+                "Published epochs, by rebuild mode.",
+                &[("mode", label)],
+            )
+            .inc();
     }
 }
 
@@ -110,6 +184,7 @@ pub struct IngestEngine {
     inner: Mutex<Inner>,
     /// Serializes epochs without blocking submitters or readers.
     epoch_guard: Mutex<()>,
+    metrics: Option<IngestMetrics>,
 }
 
 impl IngestEngine {
@@ -155,7 +230,9 @@ impl IngestEngine {
             let last_seq = applied.last().map_or(0, |e| e.seq);
             wal.checkpoint(last_seq, &applied)?;
         }
+        let metrics = config.metrics.clone().map(IngestMetrics::new);
         Ok(IngestEngine {
+            metrics,
             config,
             cell: EpochCell::new(Arc::new(snapshot)),
             inner: Mutex::new(Inner {
@@ -236,10 +313,23 @@ impl IngestEngine {
             let last_seq = entries.last().expect("non-empty").seq;
             inner.next_seq = last_seq + 1;
             if let Some(wal) = inner.wal.as_mut() {
+                let bytes_before = wal.segment_bytes();
                 wal.append(&entries)?;
+                if let Some(metrics) = &self.metrics {
+                    metrics
+                        .wal_bytes
+                        .add(wal.segment_bytes().saturating_sub(bytes_before));
+                    metrics.wal_records.add(entries.len() as u64);
+                }
             }
             inner.total_accepted += entries.len() as u64;
+            if let Some(metrics) = &self.metrics {
+                metrics.accepted.add(entries.len() as u64);
+            }
             inner.queue.extend(entries);
+            if let Some(metrics) = &self.metrics {
+                metrics.queue_depth.set(inner.queue.len() as i64);
+            }
             (first_seq, last_seq, inner.queue.len())
         };
         let mut report = None;
@@ -273,7 +363,11 @@ impl IngestEngine {
         let start = Instant::now();
         let batch: Vec<WalEntry> = {
             let mut inner = self.inner.lock();
-            inner.queue.drain(..).collect()
+            let batch: Vec<WalEntry> = inner.queue.drain(..).collect();
+            if let Some(metrics) = &self.metrics {
+                metrics.queue_depth.set(0);
+            }
+            batch
         };
         if batch.is_empty() {
             return Ok(None);
@@ -289,6 +383,9 @@ impl IngestEngine {
                 for entry in batch.into_iter().rev() {
                     inner.queue.push_front(entry);
                 }
+                if let Some(metrics) = &self.metrics {
+                    metrics.queue_depth.set(inner.queue.len() as i64);
+                }
                 return Err(e);
             }
         };
@@ -301,6 +398,11 @@ impl IngestEngine {
             delta,
         };
         self.cell.store(Arc::new(snapshot));
+        if let Some(metrics) = &self.metrics {
+            metrics.epoch_seconds.observe(start.elapsed().as_secs_f64());
+            metrics.dirty_users.set(delta.users_recomputed as i64);
+            metrics.count_epoch(mode);
+        }
         let mut inner = self.inner.lock();
         inner.total_applied += batch.len() as u64;
         inner.epochs_run += 1;
@@ -515,6 +617,60 @@ mod tests {
         assert_eq!(report.applied, 4);
         assert_eq!(engine.epoch(), 1);
         assert_eq!(receipt.queue_depth, 0);
+    }
+
+    #[test]
+    fn metrics_track_submits_epochs_and_wal() {
+        let dir = temp_dir("metrics");
+        let registry = MetricsRegistry::new();
+        let mut cfg = config();
+        cfg.wal = Some(crate::WalConfig::new(&dir));
+        cfg.metrics = Some(registry.clone());
+        let engine = IngestEngine::open(base(), cfg).unwrap();
+        let records = shifted_records(engine.snapshot().dataset(), 3600, 5);
+        engine.submit(records).unwrap();
+        assert_eq!(
+            registry.counter_value("crowdweb_ingest_accepted_total", &[]),
+            Some(5)
+        );
+        assert_eq!(
+            registry.counter_value("crowdweb_ingest_wal_appended_records_total", &[]),
+            Some(5)
+        );
+        let wal_bytes = registry
+            .counter_value("crowdweb_ingest_wal_appended_bytes_total", &[])
+            .unwrap();
+        assert!(wal_bytes > 0, "WAL append must record bytes");
+        assert_eq!(
+            registry.gauge_value("crowdweb_ingest_queue_depth", &[]),
+            Some(5)
+        );
+        engine.run_epoch().unwrap().unwrap();
+        assert_eq!(
+            registry.gauge_value("crowdweb_ingest_queue_depth", &[]),
+            Some(0)
+        );
+        assert_eq!(
+            registry.counter_value("crowdweb_ingest_epochs_total", &[("mode", "incremental")]),
+            Some(1)
+        );
+        let (count, sum) = registry
+            .histogram_stats("crowdweb_ingest_epoch_seconds", &[])
+            .unwrap();
+        assert_eq!(count, 1);
+        assert!(sum >= 0.0);
+        let dirty = registry
+            .gauge_value("crowdweb_ingest_epoch_dirty_users", &[])
+            .unwrap();
+        assert!(dirty > 0, "epoch must recompute the touched users");
+        // The pipeline stages recorded through the same registry.
+        assert!(registry
+            .histogram_stats(
+                crowdweb_obs::STAGE_SECONDS,
+                &[("stage", "prepare"), ("policy", "auto")]
+            )
+            .is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

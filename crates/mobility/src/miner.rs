@@ -2,7 +2,8 @@
 
 use crate::MobilityError;
 use crowdweb_dataset::UserId;
-use crowdweb_exec::{parallel_map, Parallelism};
+use crowdweb_exec::{parallel_map_observed, Parallelism};
+use crowdweb_obs::MetricsRegistry;
 use crowdweb_prep::{Prepared, SeqItem, Symbol, UserView};
 use crowdweb_seqmine::{closed_patterns, ModifiedPrefixSpan, PatternSet};
 use serde::{Deserialize, Serialize};
@@ -39,13 +40,14 @@ impl UserPatterns {
 /// # Examples
 ///
 /// See the [crate-level example](crate).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatternMiner {
     min_support: f64,
     max_gap: Option<u32>,
     max_length: Option<usize>,
     closed_only: bool,
     parallelism: Parallelism,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl PatternMiner {
@@ -64,6 +66,7 @@ impl PatternMiner {
             max_length: None,
             closed_only: false,
             parallelism: Parallelism::Sequential,
+            metrics: None,
         })
     }
 
@@ -72,6 +75,14 @@ impl PatternMiner {
     /// under any policy.
     pub fn parallelism(mut self, parallelism: Parallelism) -> PatternMiner {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Attaches a metrics registry: [`Self::detect_all`] and
+    /// [`Self::detect_updated`] record their fan-out wall time. Timing
+    /// never alters the mined patterns.
+    pub fn metrics(mut self, metrics: Option<MetricsRegistry>) -> PatternMiner {
+        self.metrics = metrics;
         self
     }
 
@@ -160,9 +171,14 @@ impl PatternMiner {
     /// Same as [`Self::detect`].
     pub fn detect_all(&self, prepared: &Prepared) -> Result<Vec<UserPatterns>, MobilityError> {
         let views: Vec<UserView<'_>> = prepared.seqdb().views().collect();
-        parallel_map(self.parallelism, &views, |view| self.detect_view(*view))
-            .into_iter()
-            .collect()
+        parallel_map_observed(
+            self.parallelism,
+            &views,
+            |view| self.detect_view(*view),
+            self.metrics.as_ref().map(|m| (m, "mine")),
+        )
+        .into_iter()
+        .collect()
     }
 
     /// Re-mines only the `dirty` users (plus any user absent from
@@ -187,10 +203,14 @@ impl PatternMiner {
             .views()
             .filter(|v| dirty.contains(&v.user()) || !prev.contains_key(&v.user()))
             .collect();
-        let mined: Vec<UserPatterns> =
-            parallel_map(self.parallelism, &to_mine, |view| self.detect_view(*view))
-                .into_iter()
-                .collect::<Result<_, _>>()?;
+        let mined: Vec<UserPatterns> = parallel_map_observed(
+            self.parallelism,
+            &to_mine,
+            |view| self.detect_view(*view),
+            self.metrics.as_ref().map(|m| (m, "mine_update")),
+        )
+        .into_iter()
+        .collect::<Result<_, _>>()?;
         let mut mined_by_user: HashMap<UserId, UserPatterns> =
             mined.into_iter().map(|p| (p.user, p)).collect();
         Ok(prepared

@@ -1,0 +1,49 @@
+//! Observability layer for the CrowdWeb platform.
+//!
+//! A small, dependency-free metrics registry built for a serving stack:
+//!
+//! - [`Counter`] — monotonic `u64`, one atomic add per event.
+//! - [`Gauge`] — signed point-in-time value (queue depths, dirty-user
+//!   counts).
+//! - [`Histogram`] — fixed-bucket latency/size distribution; observing
+//!   is two atomic adds, no allocation, no lock.
+//! - [`MetricsRegistry`] — a cheaply clonable (`Arc`-shared) family
+//!   table handing out the above, renderable as Prometheus text
+//!   exposition with deterministic ordering
+//!   ([`MetricsRegistry::render`]).
+//!
+//! # Design constraints
+//!
+//! *Snapshot-able without stopping writers.* Every metric is a handle
+//! around atomics; [`MetricsRegistry::render`] takes a read lock on the
+//! family table only (writers registering **new** series block it,
+//! recording into existing series never does).
+//!
+//! *Injectable, never load-bearing.* Pipeline stages accept an
+//! `Option<MetricsRegistry>` and default to `None`; instrumentation
+//! records wall-clock observations but never participates in the data
+//! path, so pipeline output is byte-identical with metrics on or off
+//! (the determinism suites assert this).
+//!
+//! # Examples
+//!
+//! ```
+//! use crowdweb_obs::MetricsRegistry;
+//!
+//! let metrics = MetricsRegistry::new();
+//! let hits = metrics.counter("cache_hits_total", "Cache hits.", &[("tier", "l1")]);
+//! hits.inc();
+//! hits.add(2);
+//! assert_eq!(metrics.counter_value("cache_hits_total", &[("tier", "l1")]), Some(3));
+//! let text = metrics.render();
+//! assert!(text.contains("cache_hits_total{tier=\"l1\"} 3"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+
+pub use registry::{
+    Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS, STAGE_SECONDS,
+};

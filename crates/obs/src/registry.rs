@@ -1,0 +1,541 @@
+//! The metric handles and the family registry.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default latency buckets (seconds): 250 µs up to 10 s, roughly
+/// ×2.5 apart — wide enough for both a cache-hit JSON read and a full
+/// pipeline rebuild.
+pub const DEFAULT_LATENCY_BUCKETS: [f64; 12] = [
+    0.000_25, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 10.0,
+];
+
+/// Family name used by [`MetricsRegistry::observe_stage`].
+pub const STAGE_SECONDS: &str = "crowdweb_pipeline_stage_seconds";
+
+/// A monotonic counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed point-in-time value. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending upper bounds; an implicit `+Inf` bucket follows.
+    bounds: Box<[f64]>,
+    /// Per-bucket (non-cumulative) counts, one per bound plus `+Inf`.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum in micro-units (`value * 1e6`), so it fits an atomic.
+    sum_micros: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Observing performs two or three relaxed
+/// atomic adds; no lock, no allocation. Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.into(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_micros: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation (negative values clamp to zero).
+    pub fn observe(&self, value: f64) {
+        let v = value.max(0.0);
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .sum_micros
+            .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.inner.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: &'static str,
+    /// Keyed by the rendered label set (`{a="x",b="y"}` or empty), so
+    /// iteration order — and therefore exposition order — is stable.
+    series: BTreeMap<String, Series>,
+}
+
+/// The registry: a table of metric families shared via `Arc`. Cloning
+/// is cheap; all clones observe the same metrics.
+///
+/// Handing out a metric (`counter`/`gauge`/`histogram`) takes a write
+/// lock once per *new* series; recording through a handle never locks.
+/// [`MetricsRegistry::render`] produces Prometheus text exposition with
+/// families and series in deterministic (sorted) order.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    families: Arc<RwLock<BTreeMap<String, Family>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("families", &self.families.read().len())
+            .finish()
+    }
+}
+
+impl PartialEq for MetricsRegistry {
+    /// Identity comparison: two registries are equal when they share
+    /// the same family table. Lets containing configs keep `PartialEq`.
+    fn eq(&self, other: &MetricsRegistry) -> bool {
+        Arc::ptr_eq(&self.families, &other.families)
+    }
+}
+
+/// Renders a sorted, escaped `{k="v",…}` label block ("" when empty).
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+        && !name.as_bytes()[0].is_ascii_digit()
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+        kind: &'static str,
+    ) -> Series {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let key = label_key(labels);
+        // Fast path: the series already exists.
+        {
+            let families = self.families.read();
+            if let Some(family) = families.get(name) {
+                assert_eq!(
+                    family.kind, kind,
+                    "metric {name} already registered as a {}",
+                    family.kind
+                );
+                if let Some(series) = family.series.get(&key) {
+                    return series.clone();
+                }
+            }
+        }
+        let mut families = self.families.write();
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric {name} already registered as a {}",
+            family.kind
+        );
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// The counter for `name` + `labels`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind, or
+    /// is not a valid metric name.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Series::Counter(Counter::default()),
+            "counter",
+        ) {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// The gauge for `name` + `labels`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Self::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Series::Gauge(Gauge::default()),
+            "gauge",
+        ) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// The histogram for `name` + `labels`, registering it with the
+    /// given bucket bounds on first use (later calls reuse the existing
+    /// buckets regardless of `bounds`).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Self::counter`]; also panics on empty or unsorted
+    /// `bounds` when the series is first created.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Series::Histogram(Histogram::new(bounds)),
+            "histogram",
+        ) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// Records one pipeline-stage wall-time observation into the shared
+    /// [`STAGE_SECONDS`] histogram, keyed by stage and parallelism
+    /// policy.
+    pub fn observe_stage(&self, stage: &str, policy: &str, seconds: f64) {
+        self.histogram(
+            STAGE_SECONDS,
+            "Wall-clock seconds per pipeline stage run, by parallelism policy.",
+            &[("stage", stage), ("policy", policy)],
+            &DEFAULT_LATENCY_BUCKETS,
+        )
+        .observe(seconds);
+    }
+
+    /// The value of a registered counter, if any.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.lookup(name, labels)? {
+            Series::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// The value of a registered gauge, if any.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.lookup(name, labels)? {
+            Series::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// `(count, sum)` of a registered histogram, if any.
+    pub fn histogram_stats(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, f64)> {
+        match self.lookup(name, labels)? {
+            Series::Histogram(h) => Some((h.count(), h.sum())),
+            _ => None,
+        }
+    }
+
+    fn lookup(&self, name: &str, labels: &[(&str, &str)]) -> Option<Series> {
+        let key = label_key(labels);
+        self.families.read().get(name)?.series.get(&key).cloned()
+    }
+
+    /// Renders the whole registry as Prometheus text exposition
+    /// (version 0.0.4). Families sort by name and series by label set,
+    /// so two renders of the same state are byte-identical.
+    pub fn render(&self) -> String {
+        let families = self.families.read();
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind));
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!("{name}{labels} {}\n", g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        render_histogram(&mut out, name, labels, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Emits `_bucket` (cumulative), `_sum`, and `_count` series for one
+/// histogram, splicing `le` after any existing labels.
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let with_le = |le: &str| -> String {
+        if labels.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            let inner = &labels[1..labels.len() - 1];
+            format!("{{{inner},le=\"{le}\"}}")
+        }
+    };
+    let mut cumulative = 0u64;
+    for (i, bound) in h.inner.bounds.iter().enumerate() {
+        cumulative += h.inner.buckets[i].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "{name}_bucket{} {cumulative}\n",
+            with_le(&format!("{bound}"))
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{} {}\n", with_le("+Inf"), h.count()));
+    out.push_str(&format!("{name}_sum{labels} {}\n", h.sum()));
+    out.push_str(&format!("{name}_count{labels} {}\n", h.count()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let m = MetricsRegistry::new();
+        let a = m.counter("requests_total", "Requests.", &[]);
+        let b = m.counter("requests_total", "Requests.", &[]);
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5, "handles to the same series share the cell");
+        assert_eq!(m.counter_value("requests_total", &[]), Some(5));
+        assert_eq!(m.counter_value("missing", &[]), None);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let m = MetricsRegistry::new();
+        let g = m.gauge("queue_depth", "Depth.", &[("queue", "ingest")]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(
+            m.gauge_value("queue_depth", &[("queue", "ingest")]),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let m = MetricsRegistry::new();
+        let h = m.histogram("lat", "Latency.", &[], &[0.01, 0.1, 1.0]);
+        h.observe(0.005);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0); // +Inf bucket
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 5.555).abs() < 1e-6);
+        let text = m.render();
+        assert!(text.contains("lat_bucket{le=\"0.01\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"0.1\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_count 4"));
+    }
+
+    #[test]
+    fn histogram_le_splices_after_labels() {
+        let m = MetricsRegistry::new();
+        m.histogram("lat", "Latency.", &[("route", "/api/x")], &[1.0])
+            .observe(0.5);
+        let text = m.render();
+        assert!(
+            text.contains("lat_bucket{route=\"/api/x\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("lat_sum{route=\"/api/x\"} 0.5"));
+    }
+
+    #[test]
+    fn labels_are_sorted_and_escaped() {
+        let m = MetricsRegistry::new();
+        m.counter("c", "C.", &[("z", "1"), ("a", "he said \"hi\"\n")])
+            .inc();
+        let text = m.render();
+        assert!(
+            text.contains("c{a=\"he said \\\"hi\\\"\\n\",z=\"1\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let m = MetricsRegistry::new();
+        m.counter("zzz_total", "Z.", &[]).inc();
+        m.counter("aaa_total", "A.", &[("b", "2")]).inc();
+        m.counter("aaa_total", "A.", &[("b", "1")]).inc();
+        m.gauge("mmm", "M.", &[]).set(3);
+        let first = m.render();
+        let second = m.render();
+        assert_eq!(first, second, "same state must render byte-identically");
+        let a1 = first.find("aaa_total{b=\"1\"}").unwrap();
+        let a2 = first.find("aaa_total{b=\"2\"}").unwrap();
+        let z = first.find("zzz_total").unwrap();
+        assert!(a1 < a2 && a2 < z, "families and series must sort");
+    }
+
+    #[test]
+    fn observe_stage_records_policy_keyed_series() {
+        let m = MetricsRegistry::new();
+        m.observe_stage("mine", "threads_4", 0.02);
+        m.observe_stage("mine", "threads_4", 0.04);
+        let (count, sum) = m
+            .histogram_stats(STAGE_SECONDS, &[("stage", "mine"), ("policy", "threads_4")])
+            .unwrap();
+        assert_eq!(count, 2);
+        assert!((sum - 0.06).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        let clone = m.clone();
+        clone.counter("shared_total", "S.", &[]).inc();
+        assert_eq!(m.counter_value("shared_total", &[]), Some(1));
+        assert_eq!(m, clone);
+        assert_ne!(m, MetricsRegistry::new());
+    }
+
+    #[test]
+    fn concurrent_writers_never_block_render() {
+        let m = MetricsRegistry::new();
+        let c = m.counter("spins_total", "S.", &[]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let _ = m.render();
+            }
+        });
+        assert_eq!(m.counter_value("spins_total", &[]), Some(40_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let m = MetricsRegistry::new();
+        m.counter("x_total", "X.", &[]);
+        m.gauge("x_total", "X.", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        MetricsRegistry::new().counter("9bad name", "B.", &[]);
+    }
+}

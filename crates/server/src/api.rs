@@ -19,6 +19,8 @@
 //! | `POST /api/checkins` | enqueue live check-ins (single or batch JSON) |
 //! | `POST /api/ingest/epoch` | drain the queue into a new epoch snapshot |
 //! | `GET /api/ingest/stats` | ingest queue/WAL/epoch statistics |
+//! | `GET /api/metrics` | platform metrics (Prometheus text exposition) |
+//! | `GET /api/healthz` | liveness: snapshot epoch + queue state (JSON) |
 
 use crate::{AppState, Request, Response, Router, StatusCode};
 use crowdweb_dataset::{MergeRecord, UserId};
@@ -50,6 +52,8 @@ pub fn build_router() -> Router<AppState> {
     router.post("/api/checkins", checkins_submit);
     router.post("/api/ingest/epoch", ingest_epoch);
     router.get("/api/ingest/stats", ingest_stats);
+    router.get("/api/metrics", metrics_text);
+    router.get("/api/healthz", healthz);
     router.get("/api/hotspots", hotspots);
     router.get("/api/crowd/flows/map", crowd_flows_map);
     router.get("/api/crowd/timeline", crowd_timeline);
@@ -615,6 +619,30 @@ fn ingest_stats(state: &AppState, _: &Request, _: &HashMap<String, String>) -> R
     ok_json(&state.engine().stats())
 }
 
+fn metrics_text(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    Response::text(state.metrics().render())
+}
+
+#[derive(Serialize)]
+struct HealthDto {
+    status: &'static str,
+    epoch: u64,
+    queue_depth: usize,
+    queue_capacity: usize,
+    durable: bool,
+}
+
+fn healthz(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    let stats = state.engine().stats();
+    ok_json(&HealthDto {
+        status: "ok",
+        epoch: stats.epoch,
+        queue_depth: stats.queue_depth,
+        queue_capacity: stats.queue_capacity,
+        durable: stats.durable,
+    })
+}
+
 #[derive(Serialize)]
 struct HotspotDto {
     window: String,
@@ -931,6 +959,87 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("\"total_checkins\""));
         assert!(body.contains("\"study_window\""));
+    }
+
+    /// Asserts one line of Prometheus text exposition is well-formed.
+    fn assert_prometheus_line(line: &str) {
+        fn valid_name(name: &str) -> bool {
+            !name.is_empty()
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+                && !name.as_bytes()[0].is_ascii_digit()
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            assert!(valid_name(name), "bad HELP name in {line:?}");
+            return;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            assert!(
+                valid_name(parts.next().unwrap_or("")),
+                "bad TYPE in {line:?}"
+            );
+            let kind = parts.next().unwrap_or("");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "bad TYPE kind in {line:?}"
+            );
+            return;
+        }
+        let (metric, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line {line:?} has no value");
+        });
+        assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        let name = metric.split('{').next().unwrap();
+        assert!(valid_name(name), "bad metric name in {line:?}");
+        if metric.contains('{') {
+            assert!(metric.ends_with('}'), "unterminated labels in {line:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_valid_stable_prometheus_text() {
+        let s = state();
+        let r = build_router();
+        let req = Request::read_from("GET /api/metrics HTTP/1.1\r\n\r\n".as_bytes()).unwrap();
+        let first = r.route(&s, &req);
+        assert_eq!(first.status.code(), 200);
+        assert!(first.content_type.starts_with("text/plain"));
+        let text = String::from_utf8(first.body.clone()).unwrap();
+        assert!(!text.is_empty(), "cold build must have recorded metrics");
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            assert_prometheus_line(line);
+        }
+        // The cold build ran the full pipeline through the default-on
+        // registry: stage timings must be present.
+        assert!(
+            text.contains("crowdweb_pipeline_stage_seconds_bucket"),
+            "{text}"
+        );
+        assert!(text.contains("stage=\"mine\""));
+        assert!(text.contains("crowdweb_pipeline_runs_total"));
+        // Deterministic ordering: a second scrape with unchanged state
+        // is byte-identical.
+        let second = r.route(&s, &req);
+        assert_eq!(
+            first.body, second.body,
+            "scrapes must order deterministically"
+        );
+    }
+
+    #[test]
+    fn healthz_endpoint_reports_epoch_and_queue() {
+        let (s, r) = (state(), build_router());
+        let (code, body) = get(&r, &s, "/api/healthz");
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["status"], "ok");
+        assert_eq!(v["epoch"].as_u64(), Some(0));
+        assert_eq!(v["queue_depth"].as_u64(), Some(0));
+        assert!(v["queue_capacity"].as_u64().unwrap() > 0);
+        assert_eq!(v["durable"].as_bool(), Some(false));
     }
 
     #[test]

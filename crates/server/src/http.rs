@@ -160,7 +160,17 @@ impl Request {
                 break;
             }
             if let Some((name, value)) = trimmed.split_once(':') {
-                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_owned();
+                // Folding duplicates into the map would let the last
+                // Content-Length silently win — the classic
+                // request-smuggling shape. Conflicting duplicates are
+                // fatal; identical repeats collapse (RFC 9112 §6.3).
+                if name == "content-length" && headers.get(&name).is_some_and(|prev| *prev != value)
+                {
+                    return Err(bad("conflicting duplicate content-length headers"));
+                }
+                headers.insert(name, value);
             }
         }
 
@@ -307,6 +317,16 @@ impl Response {
         }
     }
 
+    /// A 200 response with a plain-text body (Prometheus text
+    /// exposition format version 0.0.4).
+    pub fn text(body: String) -> Response {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".to_owned(),
+            body: body.into_bytes(),
+        }
+    }
+
     /// A 200 response with an SVG body.
     pub fn svg(body: String) -> Response {
         Response {
@@ -352,6 +372,7 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn parse(raw: &str) -> io::Result<Request> {
         Request::read_from(raw.as_bytes())
@@ -448,6 +469,87 @@ mod tests {
         let req = parse("GET /api/a+b?q=x+y HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.path, "/api/a+b");
         assert_eq!(req.query_param("q"), Some("x y"));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        // Pre-fix, HashMap folding let the second value silently win —
+        // a request-smuggling shape where a front proxy and this parser
+        // disagree on where the body ends.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\nhello";
+        let err = parse(raw).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("content-length"), "{err}");
+        // Identical repeats collapse harmlessly.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(parse(raw).unwrap().body, b"hello");
+        // Other headers still last-win without error.
+        let raw = "GET /x HTTP/1.1\r\nX-Tag: a\r\nX-Tag: b\r\n\r\n";
+        assert_eq!(
+            parse(raw).unwrap().headers.get("x-tag").map(String::as_str),
+            Some("b")
+        );
+    }
+
+    /// Percent-encodes every byte outside the RFC 3986 unreserved set,
+    /// so decoding is an exact inverse for any input string.
+    fn percent_encode(s: &str) -> String {
+        let mut out = String::new();
+        for &b in s.as_bytes() {
+            match b {
+                b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                    out.push(b as char);
+                }
+                _ => out.push_str(&format!("%{b:02X}")),
+            }
+        }
+        out
+    }
+
+    /// Character palette for generated strings: unreserved, reserved,
+    /// space/plus (the tricky pair), '%', and multi-byte UTF-8.
+    const PALETTE: &[char] = &[
+        'a', 'Z', '0', '9', '-', '_', '.', '~', ' ', '+', '%', '&', '=', '?', '/', '#', '"', 'é',
+        '日',
+    ];
+
+    proptest! {
+        #[test]
+        fn prop_percent_encode_decode_round_trips(
+            indices in proptest::collection::vec(0usize..PALETTE.len(), 0..24)
+        ) {
+            let original: String = indices.iter().map(|&i| PALETTE[i]).collect();
+            // Generic decoding: '+' must survive literally ('+' is an
+            // RFC 3986 path character, not a space).
+            prop_assert_eq!(percent_decode(&percent_encode(&original)), original);
+        }
+
+        #[test]
+        fn prop_split_target_round_trips_path_and_query(
+            path_idx in proptest::collection::vec(0usize..PALETTE.len(), 0..16),
+            value_idx in proptest::collection::vec(0usize..PALETTE.len(), 0..16)
+        ) {
+            let path: String = path_idx.iter().map(|&i| PALETTE[i]).collect();
+            let value: String = value_idx.iter().map(|&i| PALETTE[i]).collect();
+            let target = format!("/{}?k={}", percent_encode(&path), percent_encode(&value));
+            let (decoded_path, query) = split_target(&target);
+            prop_assert_eq!(decoded_path, format!("/{path}"));
+            prop_assert_eq!(query.get("k").cloned(), Some(value.clone()));
+            // Form-encoded convention: '+' in the raw query means
+            // space, while %2B stays a literal plus — swapping the
+            // space escapes for '+' must decode identically.
+            let plus_form = format!("/x?k={}", percent_encode(&value).replace("%20", "+"));
+            let (_, plus_query) = split_target(&plus_form);
+            prop_assert_eq!(plus_query.get("k").cloned(), Some(value));
+        }
+    }
+
+    #[test]
+    fn text_response_has_prometheus_content_type() {
+        let r = Response::text("metric 1\n".to_owned());
+        assert_eq!(r.status, StatusCode::Ok);
+        assert!(r.content_type.starts_with("text/plain"));
+        assert!(r.content_type.contains("version=0.0.4"));
     }
 
     #[test]

@@ -26,7 +26,17 @@ pub type Handler<S> = Box<dyn Fn(&S, &Request, &HashMap<String, String>) -> Resp
 /// assert_eq!(resp.status.code(), 200);
 /// ```
 pub struct Router<S> {
-    routes: Vec<(Method, Vec<Segment>, Handler<S>)>,
+    routes: Vec<Route<S>>,
+}
+
+struct Route<S> {
+    method: Method,
+    /// The registration pattern verbatim (e.g. `/api/patterns/:user`) —
+    /// the route label for metrics, bounded in cardinality where raw
+    /// request paths are not.
+    pattern: String,
+    segments: Vec<Segment>,
+    handler: Handler<S>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +88,12 @@ impl<S> Router<S> {
                 }
             })
             .collect();
-        self.routes.push((method, segments, Box::new(handler)));
+        self.routes.push(Route {
+            method,
+            pattern: pattern.to_owned(),
+            segments,
+            handler: Box::new(handler),
+        });
         self
     }
 
@@ -95,21 +110,32 @@ impl<S> Router<S> {
     /// Dispatches a request: 404 for unknown paths, 405 when the path
     /// matches under a different method.
     pub fn route(&self, state: &S, request: &Request) -> Response {
+        self.dispatch(state, request).0
+    }
+
+    /// [`Self::route`], also returning the matched route's registration
+    /// pattern (`None` on 404/405) — the bounded-cardinality label
+    /// metrics key per-route series by.
+    pub fn dispatch(&self, state: &S, request: &Request) -> (Response, Option<&str>) {
         let parts: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         let mut path_matched = false;
-        for (method, segments, handler) in &self.routes {
-            if let Some(params) = match_segments(segments, &parts) {
+        for route in &self.routes {
+            if let Some(params) = match_segments(&route.segments, &parts) {
                 path_matched = true;
-                if *method == request.method {
-                    return handler(state, request, &params);
+                if route.method == request.method {
+                    return (
+                        (route.handler)(state, request, &params),
+                        Some(route.pattern.as_str()),
+                    );
                 }
             }
         }
-        if path_matched {
+        let response = if path_matched {
             Response::error(StatusCode::MethodNotAllowed, "method not allowed")
         } else {
             Response::error(StatusCode::NotFound, "not found")
-        }
+        };
+        (response, None)
     }
 }
 
@@ -196,6 +222,18 @@ mod tests {
             r.route(&0, &req("GET", "/api/upload")).status,
             StatusCode::MethodNotAllowed
         );
+    }
+
+    #[test]
+    fn dispatch_reports_the_matched_pattern() {
+        let r = router();
+        let (resp, pattern) = r.dispatch(&7, &req("GET", "/api/patterns/42"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(pattern, Some("/api/patterns/:user"));
+        let (_, pattern) = r.dispatch(&0, &req("GET", "/nope"));
+        assert_eq!(pattern, None, "404 has no route label");
+        let (_, pattern) = r.dispatch(&0, &req("POST", "/api/users"));
+        assert_eq!(pattern, None, "405 has no route label");
     }
 
     #[test]

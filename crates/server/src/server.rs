@@ -2,12 +2,13 @@
 
 use crate::{api, AppState, Request, Response, Router, StatusCode};
 use crossbeam::channel::bounded;
+use crowdweb_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of worker threads handling connections.
 const WORKERS: usize = 8;
@@ -155,14 +156,103 @@ fn handle_connection(
     read_timeout: Duration,
 ) {
     let _ = stream.set_read_timeout(Some(read_timeout));
+    let metrics = state.metrics();
+    let started = Instant::now();
     let response = match Request::read_from(&stream) {
-        Ok(request) => router.route(state, &request),
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            Response::error(StatusCode::BadRequest, &e.to_string())
+        Ok(request) => {
+            let (response, route) = router.dispatch(state, &request);
+            record_access(
+                metrics,
+                &request.method.to_string(),
+                route.unwrap_or("unmatched"),
+                &response,
+                request.body.len(),
+                started,
+            );
+            response
+        }
+        // A stalled client hitting the socket read timeout is client
+        // misbehaviour, not a server fault: count it and drop the
+        // connection (nothing useful can be written mid-read).
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            metrics
+                .counter(
+                    "crowdweb_http_timeouts_total",
+                    "Connections dropped at the socket read timeout.",
+                    &[],
+                )
+                .inc();
+            return;
+        }
+        // Malformed head (InvalidData) or a body shorter than its
+        // Content-Length (read_exact → UnexpectedEof): the client sent
+        // a broken request and deserves a 400, not a silent drop.
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+            ) =>
+        {
+            let message = if e.kind() == io::ErrorKind::UnexpectedEof {
+                "request body shorter than content-length".to_owned()
+            } else {
+                e.to_string()
+            };
+            let response = Response::error(StatusCode::BadRequest, &message);
+            record_access(metrics, "invalid", "unparsed", &response, 0, started);
+            response
         }
         Err(_) => return, // connection dropped; nothing to write
     };
     let _ = response.write_to(&stream);
+}
+
+/// Records one access into the route-keyed request metrics. Routes are
+/// labelled by registration pattern (bounded cardinality), never by raw
+/// request path.
+fn record_access(
+    metrics: &MetricsRegistry,
+    method: &str,
+    route: &str,
+    response: &Response,
+    request_body_bytes: usize,
+    started: Instant,
+) {
+    let status = response.status.code().to_string();
+    metrics
+        .counter(
+            "crowdweb_http_requests_total",
+            "HTTP requests served, by method, route pattern, and status.",
+            &[("method", method), ("route", route), ("status", &status)],
+        )
+        .inc();
+    metrics
+        .histogram(
+            "crowdweb_http_request_seconds",
+            "Wall-clock seconds from first read to response ready, by route pattern.",
+            &[("route", route)],
+            &DEFAULT_LATENCY_BUCKETS,
+        )
+        .observe(started.elapsed().as_secs_f64());
+    metrics
+        .counter(
+            "crowdweb_http_request_body_bytes_total",
+            "Request body bytes received, by route pattern.",
+            &[("route", route)],
+        )
+        .add(request_body_bytes as u64);
+    metrics
+        .counter(
+            "crowdweb_http_response_body_bytes_total",
+            "Response body bytes produced, by route pattern.",
+            &[("route", route)],
+        )
+        .add(response.body.len() as u64);
 }
 
 #[cfg(test)]
@@ -237,6 +327,99 @@ mod tests {
         let (code, _) = http_get(addr, "/api/stats");
         assert_eq!(code, 200, "server starved by idle connections");
         drop(idlers);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn truncated_body_gets_400_not_silent_drop() {
+        // Regression: read_exact on a body shorter than Content-Length
+        // fails with UnexpectedEof, which the old error mapping treated
+        // as "connection dropped" and answered with nothing at all.
+        let (addr, handle, join) = spawn_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /api/upload HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+        )
+        .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(
+            buf.starts_with("HTTP/1.1 400"),
+            "torn body must get a 400, got: {buf:?}"
+        );
+        assert!(buf.contains("content-length"), "{buf}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_client_is_dropped_and_counted_not_answered() {
+        let dataset = SynthConfig::small(63).users(10).generate().unwrap();
+        let state = AppState::build(dataset, 10).unwrap();
+        let metrics = state.metrics().clone();
+        let (addr, handle, join) = Server::bind("127.0.0.1:0", state)
+            .unwrap()
+            .read_timeout(Duration::from_millis(200))
+            .spawn();
+        // A client that starts a request head and then stalls.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /api/stats HTTP/1.1\r\n").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // The server must close without writing anything — a timeout is
+        // not a request to answer.
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        assert!(buf.is_empty(), "stalled client got bytes: {buf:?}");
+        assert_eq!(
+            metrics.counter_value("crowdweb_http_timeouts_total", &[]),
+            Some(1),
+            "timeout must be counted as client misbehaviour"
+        );
+        // And the server is still healthy afterwards.
+        let (code, _) = http_get(addr, "/api/stats");
+        assert_eq!(code, 200);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn access_metrics_record_requests_by_route_and_status() {
+        let dataset = SynthConfig::small(64).users(10).generate().unwrap();
+        let state = AppState::build(dataset, 10).unwrap();
+        let metrics = state.metrics().clone();
+        let (addr, handle, join) = Server::bind("127.0.0.1:0", state).unwrap().spawn();
+        let (code, _) = http_get(addr, "/api/stats");
+        assert_eq!(code, 200);
+        let (code, _) = http_get(addr, "/definitely/not/a/route");
+        assert_eq!(code, 404);
+        assert_eq!(
+            metrics.counter_value(
+                "crowdweb_http_requests_total",
+                &[
+                    ("method", "GET"),
+                    ("route", "/api/stats"),
+                    ("status", "200")
+                ]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            metrics.counter_value(
+                "crowdweb_http_requests_total",
+                &[("method", "GET"), ("route", "unmatched"), ("status", "404")]
+            ),
+            Some(1),
+            "404s must be counted even with no matching route"
+        );
+        let (count, _) = metrics
+            .histogram_stats("crowdweb_http_request_seconds", &[("route", "/api/stats")])
+            .expect("latency histogram registered");
+        assert_eq!(count, 1);
         handle.shutdown();
         join.join().unwrap();
     }

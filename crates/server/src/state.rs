@@ -9,6 +9,7 @@
 use crowdweb_dataset::{Dataset, UserId};
 use crowdweb_ingest::{IngestConfig, IngestEngine, PlatformSnapshot};
 use crowdweb_mobility::{PatternMiner, UserPatterns};
+use crowdweb_obs::MetricsRegistry;
 use crowdweb_prep::{LabelScheme, Preprocessor, WindowChoice};
 use parking_lot::RwLock;
 use std::collections::VecDeque;
@@ -33,6 +34,7 @@ pub struct UploadResult {
 pub struct AppState {
     engine: IngestEngine,
     uploads: RwLock<VecDeque<UploadResult>>,
+    metrics: MetricsRegistry,
 }
 
 impl std::fmt::Debug for AppState {
@@ -103,11 +105,25 @@ impl AppState {
     /// # Errors
     ///
     /// Propagates WAL recovery and pipeline failures.
-    pub fn with_config(dataset: Dataset, config: IngestConfig) -> Result<AppState, Box<dyn Error>> {
+    pub fn with_config(
+        dataset: Dataset,
+        mut config: IngestConfig,
+    ) -> Result<AppState, Box<dyn Error>> {
+        // Metrics are default-on in the server: install a fresh
+        // registry unless the caller supplied their own.
+        let metrics = match &config.metrics {
+            Some(metrics) => metrics.clone(),
+            None => {
+                let metrics = MetricsRegistry::new();
+                config.metrics = Some(metrics.clone());
+                metrics
+            }
+        };
         let engine = IngestEngine::open(dataset, config)?;
         Ok(AppState {
             engine,
             uploads: RwLock::new(VecDeque::new()),
+            metrics,
         })
     }
 
@@ -120,6 +136,13 @@ impl AppState {
     /// The live ingest engine (submit, epochs, stats).
     pub fn engine(&self) -> &IngestEngine {
         &self.engine
+    }
+
+    /// The platform's metrics registry. Ingest and pipeline stages
+    /// record into it; the server threads it through request handling
+    /// and exposes it at `GET /api/metrics`.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The platform's mining support threshold.

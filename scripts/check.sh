@@ -20,4 +20,11 @@ echo "== ingest determinism gate =="
 cargo test -q -p crowdweb-ingest
 cargo test -q --test ingest_determinism
 
+echo "== observability gate =="
+cargo test -q -p crowdweb-obs -p crowdweb-server
+grep -q '/api/metrics' README.md || {
+    echo "README.md must document the /api/metrics endpoint" >&2
+    exit 1
+}
+
 echo "All checks passed."

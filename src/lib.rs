@@ -19,6 +19,7 @@
 //! | [`mobility`] | `crowdweb-mobility` | per-user patterns, place graphs, prediction |
 //! | [`crowd`] | `crowdweb-crowd` | crowd synchronization, aggregation, animation |
 //! | [`ingest`] | `crowdweb-ingest` | live ingestion: WAL, epoch snapshots, incremental updates |
+//! | [`obs`] | `crowdweb-obs` | metrics registry: counters, gauges, histograms, Prometheus text |
 //! | [`viz`] | `crowdweb-viz` | SVG charts/maps, GeoJSON export |
 //! | [`server`] | `crowdweb-server` | the web platform (HTTP API + front-end) |
 //! | [`analytics`] | `crowdweb-analytics` | per-figure experiment harness |
@@ -59,6 +60,7 @@ pub use crowdweb_exec as exec;
 pub use crowdweb_geo as geo;
 pub use crowdweb_ingest as ingest;
 pub use crowdweb_mobility as mobility;
+pub use crowdweb_obs as obs;
 pub use crowdweb_prep as prep;
 pub use crowdweb_seqmine as seqmine;
 pub use crowdweb_server as server;

@@ -89,6 +89,47 @@ fn epoch_snapshot_is_byte_identical_to_cold_build() {
 }
 
 #[test]
+fn metrics_instrumentation_never_perturbs_epoch_output() {
+    // Observability must stay out of the determinism story: an engine
+    // with a metrics registry injected publishes byte-identical
+    // snapshots to one without, while the registry fills up.
+    let base = SynthConfig::small(76).generate().unwrap();
+    let records = shifted_records(&base, 3600, 30);
+
+    let registry = crowdweb::obs::MetricsRegistry::new();
+    let mut observed_cfg = config(Parallelism::Threads(4));
+    observed_cfg.metrics = Some(registry.clone());
+    let observed = IngestEngine::open(base.clone(), observed_cfg).unwrap();
+    observed.submit(records.clone()).unwrap();
+    observed.run_epoch().unwrap().expect("non-empty queue");
+
+    let plain = IngestEngine::open(base, config(Parallelism::Threads(4))).unwrap();
+    plain.submit(records).unwrap();
+    plain.run_epoch().unwrap().expect("non-empty queue");
+
+    assert_eq!(
+        crowd_json(observed.snapshot().crowd()),
+        crowd_json(plain.snapshot().crowd()),
+        "metrics injection changed the crowd model"
+    );
+    assert_eq!(
+        serde_json::to_string(observed.snapshot().patterns()).unwrap(),
+        serde_json::to_string(plain.snapshot().patterns()).unwrap(),
+        "metrics injection changed mined patterns"
+    );
+    // And the registry actually observed the run.
+    assert!(
+        registry
+            .counter_value("crowdweb_ingest_accepted_total", &[])
+            .unwrap_or(0)
+            > 0
+    );
+    assert!(registry
+        .render()
+        .contains("crowdweb_pipeline_stage_seconds_bucket"));
+}
+
+#[test]
 fn chained_epochs_match_one_shot_cold_build() {
     let base = SynthConfig::small(72).generate().unwrap();
     let first = shifted_records(&base, 1800, 25);
