@@ -44,6 +44,33 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]; carries the value back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned when the channel is empty and all senders dropped.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -55,6 +82,28 @@ pub mod channel {
     }
 
     impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel has no queued values right now.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
 
     /// Creates a bounded channel with the given capacity (minimum 1).
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
@@ -88,6 +137,33 @@ pub mod channel {
                 state = self.0.not_full.wait(state).unwrap();
             }
         }
+
+        /// Enqueues `value` without blocking: fails with
+        /// [`TrySendError::Full`] when the channel is at capacity and
+        /// [`TrySendError::Disconnected`] when every receiver is gone,
+        /// handing the value back either way.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.inner.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= self.0.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// How many values are queued right now.
+        pub fn len(&self) -> usize {
+            self.0.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {
@@ -105,6 +181,32 @@ pub mod channel {
                 }
                 state = self.0.not_empty.wait(state).unwrap();
             }
+        }
+
+        /// Dequeues a value without blocking: fails with
+        /// [`TryRecvError::Empty`] when nothing is queued and
+        /// [`TryRecvError::Disconnected`] once the channel is drained
+        /// and every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.inner.lock().unwrap();
+            if let Some(value) = state.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// How many values are queued right now.
+        pub fn len(&self) -> usize {
+            self.0.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -145,7 +247,29 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, RecvError};
+    use super::channel::{bounded, RecvError, TryRecvError, TrySendError};
+
+    #[test]
+    fn try_send_and_try_recv_never_block() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(tx.try_send(2).unwrap_err().into_inner(), 2);
+        assert_eq!(rx.len(), 1);
+        assert!(!rx.is_empty());
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(rx.is_empty());
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_reports_disconnect() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
 
     #[test]
     fn values_flow_in_order_per_sender() {

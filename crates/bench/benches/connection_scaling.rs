@@ -1,0 +1,174 @@
+//! **Server S1** — connection scaling: the evented reactor loop vs the
+//! old thread-per-connection pool under slow-drip (slowloris) load.
+//!
+//! A legacy thread-per-connection server (rebuilt here inline from the
+//! same public pieces: blocking sockets, a bounded worker pool, a
+//! per-socket read timeout) must wait for slow clients to time out in
+//! worker-sized waves before a fast client gets through. The reactor
+//! multiplexes every connection on one event thread, so time-to-first-
+//! response for a well-behaved client should stay flat in the number of
+//! slow-drip connections.
+//!
+//! Prints a table and writes it to `out/connection_scaling.tsv`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdweb_bench::banner;
+use crowdweb_exec::WorkerPool;
+use crowdweb_server::{api, AppState, Request, Router, Server};
+use crowdweb_synth::SynthConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const DRIP_COUNTS: [usize; 3] = [0, 8, 64];
+const READ_TIMEOUT: Duration = Duration::from_millis(300);
+const FAST_REQUESTS: usize = 32;
+
+fn app_state() -> AppState {
+    let dataset = SynthConfig::small(91).users(10).generate().unwrap();
+    AppState::build(dataset, 10).unwrap()
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    buf.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The pre-reactor server shape: one blocking accept loop feeding whole
+/// sockets to a bounded worker pool, slow clients reaped only by the
+/// per-socket read timeout.
+fn spawn_threadpool(state: Arc<AppState>) -> (SocketAddr, Arc<AtomicBool>, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let join = std::thread::spawn(move || {
+        let router = Arc::new(api::build_router());
+        let pool = WorkerPool::new(8, 32);
+        for stream in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&state);
+            let router: Arc<Router<AppState>> = Arc::clone(&router);
+            // `execute` blocks when the queue is full — exactly the old
+            // accept-loop behaviour under pressure.
+            pool.execute(move || {
+                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                if let Ok(request) = Request::read_from(&stream) {
+                    let (response, _) = router.dispatch(&state, &request);
+                    let _ = response.write_to(&stream);
+                }
+            });
+        }
+        drop(pool);
+    });
+    (addr, stop, join)
+}
+
+/// Opens `n` connections that drip a partial request head and hold the
+/// socket open.
+fn open_drips(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    (0..n)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "GET /api/healthz HTTP/1.1\r\nX-Drip: 1\r\n").unwrap();
+            s
+        })
+        .collect()
+}
+
+/// Time-to-first-response for a fast client behind `drips` slow ones,
+/// then sequential fast-request throughput.
+fn measure(addr: SocketAddr, drips: usize) -> (u128, u128, f64) {
+    let held = open_drips(addr, drips);
+    std::thread::sleep(Duration::from_millis(100));
+    let t0 = Instant::now();
+    assert_eq!(http_get(addr, "/api/healthz"), 200);
+    let first_response_us = t0.elapsed().as_micros();
+    let t1 = Instant::now();
+    for _ in 0..FAST_REQUESTS {
+        assert_eq!(http_get(addr, "/api/healthz"), 200);
+    }
+    let total_us = t1.elapsed().as_micros();
+    let req_per_s = FAST_REQUESTS as f64 / (total_us as f64 / 1e6);
+    drop(held);
+    (first_response_us, total_us, req_per_s)
+}
+
+fn bench(c: &mut Criterion) {
+    banner(
+        "Server: fast-client latency vs slow-drip connection count",
+        "reactor time-to-first-response stays flat; threadpool grows in worker-sized timeout waves",
+    );
+    println!(
+        "{:>12} {:>12} {:>18} {:>10} {:>12} {:>10}",
+        "model", "slow_conns", "first_response_us", "requests", "total_us", "req_per_s"
+    );
+
+    let mut rows = Vec::new();
+    for drips in DRIP_COUNTS {
+        let (addr, stop, join) = spawn_threadpool(Arc::new(app_state()));
+        let (first, total, rps) = measure(addr, drips);
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr); // poke the blocking accept
+        join.join().unwrap();
+        println!(
+            "{:>12} {drips:>12} {first:>18} {FAST_REQUESTS:>10} {total:>12} {rps:>10.0}",
+            "threadpool"
+        );
+        rows.push(format!(
+            "threadpool\t{drips}\t{first}\t{FAST_REQUESTS}\t{total}\t{rps:.0}"
+        ));
+    }
+    for drips in DRIP_COUNTS {
+        let (addr, handle, join) = Server::bind("127.0.0.1:0", app_state())
+            .unwrap()
+            .read_timeout(Duration::from_secs(30))
+            .spawn();
+        let (first, total, rps) = measure(addr, drips);
+        handle.shutdown();
+        join.join().unwrap();
+        println!(
+            "{:>12} {drips:>12} {first:>18} {FAST_REQUESTS:>10} {total:>12} {rps:>10.0}",
+            "reactor"
+        );
+        rows.push(format!(
+            "reactor\t{drips}\t{first}\t{FAST_REQUESTS}\t{total}\t{rps:.0}"
+        ));
+    }
+
+    std::fs::create_dir_all("out").unwrap();
+    std::fs::write(
+        "out/connection_scaling.tsv",
+        format!(
+            "model\tslow_conns\tfirst_response_us\trequests\ttotal_us\treq_per_s\n{}\n",
+            rows.join("\n")
+        ),
+    )
+    .unwrap();
+    println!("wrote out/connection_scaling.tsv");
+
+    let (addr, handle, join) = Server::bind("127.0.0.1:0", app_state()).unwrap().spawn();
+    let mut group = c.benchmark_group("connection_scaling");
+    group.sample_size(10);
+    group.bench_function("reactor_fast_request", |b| {
+        b.iter(|| http_get(addr, "/api/healthz"))
+    });
+    group.finish();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,13 +12,19 @@
 //! - [`EpochCell`]: epoch-style `Arc` snapshot publication — readers
 //!   clone the current snapshot without blocking behind writers; a
 //!   writer swaps whole immutable snapshots atomically.
+//! - [`WorkerPool`]: a persistent, bounded worker pool for serving
+//!   workloads — long-lived threads draining an open-ended job stream,
+//!   with non-blocking saturation-aware submission so callers can shed
+//!   load instead of queueing without limit.
 
 #![forbid(unsafe_code)]
 
 mod epoch;
 mod pool;
 mod symbol;
+mod workers;
 
 pub use epoch::EpochCell;
 pub use pool::{parallel_map, parallel_map_observed, Parallelism, FANOUT_SECONDS};
 pub use symbol::{Symbol, SymbolTable};
+pub use workers::{PoolSaturated, WorkerPool};

@@ -1,0 +1,239 @@
+//! A persistent bounded worker pool for request execution.
+//!
+//! [`parallel_map`](crate::parallel_map) covers batch fan-out with
+//! scoped threads; serving workloads need the opposite shape — long-
+//! lived workers draining an *open-ended* stream of independent jobs.
+//! [`WorkerPool`] provides that: a fixed set of threads pulling boxed
+//! jobs off a bounded crossbeam channel. The bound is the backpressure
+//! contract: [`WorkerPool::try_execute`] refuses instead of queueing
+//! without limit, so a caller (the server's reactor) can answer 503
+//! rather than letting latency grow unbounded.
+
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use std::panic::AssertUnwindSafe;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`WorkerPool::try_execute`] when the job queue is
+/// at capacity (or the pool is shutting down); carries the job back so
+/// the caller can run or refuse it explicitly.
+pub struct PoolSaturated(pub Box<dyn FnOnce() + Send + 'static>);
+
+impl std::fmt::Debug for PoolSaturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolSaturated(..)")
+    }
+}
+
+impl std::fmt::Display for PoolSaturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("worker pool job queue is full")
+    }
+}
+
+/// A fixed-size thread pool draining a bounded job queue.
+///
+/// Jobs are independent `FnOnce` closures; a panicking job is caught
+/// and logged so the worker survives to run the next one. Dropping the
+/// pool closes the queue, lets queued jobs drain, and joins every
+/// worker.
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_exec::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(2, 8);
+/// let done = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..4 {
+///     let done = Arc::clone(&done);
+///     pool.try_execute(move || {
+///         done.fetch_add(1, Ordering::SeqCst);
+///     })
+///     .unwrap();
+/// }
+/// drop(pool); // joins workers after the queue drains
+/// assert_eq!(done.load(Ordering::SeqCst), 4);
+/// ```
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.queue_capacity)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (minimum 1) behind a job queue bounded
+    /// at `queue_capacity` (minimum 1).
+    pub fn new(threads: usize, queue_capacity: usize) -> WorkerPool {
+        let queue_capacity = queue_capacity.max(1);
+        let (tx, rx) = bounded::<Job>(queue_capacity);
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // A panicking job must not take the worker down
+                        // with it: catch, log, keep draining.
+                        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                            eprintln!("crowdweb-exec: worker job panicked; worker recovered");
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+            queue_capacity,
+        }
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolSaturated`] (carrying the job) when the queue is
+    /// full — the caller decides whether to shed load or retry later.
+    pub fn try_execute<F>(&self, job: F) -> Result<(), PoolSaturated>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let tx = self.tx.as_ref().expect("pool sender lives until drop");
+        tx.try_send(Box::new(job)).map_err(|e| match e {
+            TrySendError::Full(job) | TrySendError::Disconnected(job) => PoolSaturated(job),
+        })
+    }
+
+    /// Enqueues a job, blocking until there is queue room. Fails (job
+    /// dropped) only if every worker has exited, which cannot happen
+    /// before the pool itself is dropped.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let tx = self.tx.as_ref().expect("pool sender lives until drop");
+        let _ = tx.send(Box::new(job));
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs queued but not yet claimed by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.tx.as_ref().map_or(0, Sender::len)
+    }
+
+    /// The job queue bound this pool was built with.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the sender lets workers drain the queue and exit.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_job_across_workers() {
+        let pool = WorkerPool::new(3, 64);
+        assert_eq!(pool.worker_count(), 3);
+        assert_eq!(pool.queue_capacity(), 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn try_execute_sheds_load_when_saturated() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = crossbeam::channel::bounded::<()>(1);
+        // Occupy the single worker until the gate opens.
+        pool.execute(move || {
+            let _ = gate_rx.recv();
+        });
+        // Wait for the worker to claim the blocker so the queue slot
+        // frees up.
+        for _ in 0..200 {
+            if pool.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.queue_depth(), 0, "worker never claimed the blocker");
+        // Fill the single queue slot...
+        pool.try_execute(|| {})
+            .expect("one job must fit the queue slot");
+        // ...so the next job must bounce: worker busy + queue full.
+        match pool.try_execute(|| {}) {
+            Err(PoolSaturated(job)) => {
+                assert!(!format!("{}", PoolSaturated(job)).is_empty());
+            }
+            Ok(()) => panic!("a bounded queue must refuse when full"),
+        }
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.execute(|| panic!("boom"));
+        let done = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&done);
+        pool.execute(move || {
+            flag.store(1, Ordering::SeqCst);
+        });
+        // Dropping joins: the second job must have run on the same
+        // (recovered) worker.
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn queue_depth_reports_waiting_jobs() {
+        let pool = WorkerPool::new(1, 8);
+        let (gate_tx, gate_rx) = crossbeam::channel::bounded::<()>(1);
+        pool.execute(move || {
+            let _ = gate_rx.recv();
+        });
+        // Give the worker a moment to claim the blocker so the next
+        // jobs sit in the queue.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.execute(|| {});
+        pool.execute(|| {});
+        assert!(pool.queue_depth() >= 1);
+        gate_tx.send(()).unwrap();
+    }
+}

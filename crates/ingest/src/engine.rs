@@ -9,7 +9,7 @@ use crowdweb_dataset::{Dataset, MergeRecord, UserId};
 use crowdweb_exec::{EpochCell, Parallelism};
 use crowdweb_geo::BoundingBox;
 use crowdweb_mobility::PatternMiner;
-use crowdweb_obs::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use crowdweb_obs::{Counter, Gauge, Histogram, MetricsRegistry, EPOCH_LATENCY_BUCKETS};
 use crowdweb_prep::{PrepUpdate, Preprocessor};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, VecDeque};
@@ -127,7 +127,7 @@ impl IngestMetrics {
                 "crowdweb_ingest_epoch_seconds",
                 "Wall-clock seconds from epoch start to snapshot publication.",
                 &[],
-                &DEFAULT_LATENCY_BUCKETS,
+                &EPOCH_LATENCY_BUCKETS,
             ),
             dirty_users: registry.gauge(
                 "crowdweb_ingest_epoch_dirty_users",

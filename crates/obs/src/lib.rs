@@ -45,5 +45,6 @@
 mod registry;
 
 pub use registry::{
-    Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS, STAGE_SECONDS,
+    Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS, EPOCH_LATENCY_BUCKETS,
+    HTTP_LATENCY_BUCKETS, STAGE_SECONDS,
 };

@@ -12,6 +12,31 @@ pub const DEFAULT_LATENCY_BUCKETS: [f64; 12] = [
     0.000_25, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 10.0,
 ];
 
+/// HTTP request-latency buckets (seconds), tuned from the serving-path
+/// benches instead of picked blind: snapshot-backed JSON reads resolve
+/// in tens to hundreds of microseconds, SVG renders and uploads in the
+/// low milliseconds, and the figure endpoints (which re-mine a support
+/// sweep per request) in tens of milliseconds. The old
+/// [`DEFAULT_LATENCY_BUCKETS`] put its lowest bound at 250 µs and so
+/// collapsed the entire fast path into two buckets; this ladder spends
+/// its resolution where requests actually land (50 µs–50 ms) and keeps
+/// two coarse overflow buckets for pathological requests.
+pub const HTTP_LATENCY_BUCKETS: [f64; 12] = [
+    0.000_05, 0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.05, 0.25, 1.0, 10.0,
+];
+
+/// Epoch-latency buckets (seconds), tuned from
+/// `out/ingest_throughput.tsv`: incremental epochs measure 2.7–5.7 ms
+/// at bench scale (batches of 16–256) and a cold rebuild ~5 ms, so the
+/// 1–12 ms band gets fine resolution; full paper-scale rebuilds and
+/// WAL-heavy epochs stretch to seconds, covered by the coarse tail.
+/// The old blind defaults spent their three finest buckets below the
+/// first observed epoch and crossed the whole observed 2.7–5.7 ms band
+/// with a single bound at 5 ms.
+pub const EPOCH_LATENCY_BUCKETS: [f64; 12] = [
+    0.001, 0.002, 0.003, 0.004, 0.006, 0.008, 0.012, 0.025, 0.1, 0.5, 2.5, 10.0,
+];
+
 /// Family name used by [`MetricsRegistry::observe_stage`].
 pub const STAGE_SECONDS: &str = "crowdweb_pipeline_stage_seconds";
 
@@ -537,5 +562,31 @@ mod tests {
     #[should_panic(expected = "invalid metric name")]
     fn invalid_name_panics() {
         MetricsRegistry::new().counter("9bad name", "B.", &[]);
+    }
+
+    #[test]
+    fn tuned_bucket_ladders_are_valid_and_resolve_their_bands() {
+        for bounds in [
+            &DEFAULT_LATENCY_BUCKETS,
+            &HTTP_LATENCY_BUCKETS,
+            &EPOCH_LATENCY_BUCKETS,
+        ] {
+            assert!(
+                bounds.windows(2).all(|w| w[0] < w[1]),
+                "bounds must be strictly ascending: {bounds:?}"
+            );
+            // Histogram construction enforces the same invariant.
+            let _ = MetricsRegistry::new().histogram("h", "H.", &[], bounds);
+        }
+        // The HTTP ladder separates a 100 µs JSON read from a 1 ms SVG
+        // render — the bench-observed fast path.
+        assert!(HTTP_LATENCY_BUCKETS.iter().filter(|b| **b < 0.001).count() >= 4);
+        // The epoch ladder puts multiple bounds inside the observed
+        // 2.7–5.7 ms incremental-epoch band (out/ingest_throughput.tsv).
+        let in_band = EPOCH_LATENCY_BUCKETS
+            .iter()
+            .filter(|b| (0.0027..=0.0057).contains(*b))
+            .count();
+        assert!(in_band >= 2, "epoch band needs resolution, got {in_band}");
     }
 }

@@ -630,6 +630,7 @@ struct HealthDto {
     queue_depth: usize,
     queue_capacity: usize,
     durable: bool,
+    open_connections: i64,
 }
 
 fn healthz(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
@@ -640,6 +641,12 @@ fn healthz(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Respon
         queue_depth: stats.queue_depth,
         queue_capacity: stats.queue_capacity,
         durable: stats.durable,
+        // Published by the reactor loop; 0 when the router is driven
+        // without a running server (tests, embedding).
+        open_connections: state
+            .metrics()
+            .gauge_value("crowdweb_server_open_connections", &[])
+            .unwrap_or(0),
     })
 }
 
@@ -1040,6 +1047,8 @@ mod tests {
         assert_eq!(v["queue_depth"].as_u64(), Some(0));
         assert!(v["queue_capacity"].as_u64().unwrap() > 0);
         assert_eq!(v["durable"].as_bool(), Some(false));
+        // Driven without a running reactor, the gauge is absent → 0.
+        assert_eq!(v["open_connections"].as_i64(), Some(0));
     }
 
     #[test]

@@ -201,6 +201,90 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
 }
 
+/// Finds the end of the request head in an accumulating byte buffer:
+/// the index just past the first empty (`\r\n` or bare `\n`) line, i.e.
+/// where the body begins. Returns `None` while the head is incomplete.
+///
+/// This mirrors [`Request::read_from`]'s line discipline (lines are
+/// `\n`-terminated; a trimmed-empty line ends the head) so the evented
+/// reader can detect completeness without consuming the stream, then
+/// hand the full bytes to the real parser.
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut start = 0;
+    while start < buf.len() {
+        let nl = buf[start..].iter().position(|&b| b == b'\n')?;
+        let line = &buf[start..start + nl];
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        // An empty first line is also "complete": the parser rejects it
+        // as "empty request line", an error the caller reaches by
+        // parsing the now-complete head.
+        if line.is_empty() {
+            return Some(start + nl + 1);
+        }
+        start += nl + 1;
+    }
+    None
+}
+
+/// Outcome of [`scan_head`]: how many body bytes to expect, or a signal
+/// that the head is malformed and the authoritative parser should run
+/// immediately for its 400.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadScan {
+    /// The head is plausible and declares this many body bytes
+    /// (0 when `Content-Length` is absent).
+    BodyBytes(usize),
+    /// The head cannot be trusted (conflicting/unparseable
+    /// `Content-Length`, oversized or non-UTF-8 line, declared body
+    /// over [`MAX_BODY_BYTES`]): do not wait for a body — hand the
+    /// bytes to [`Request::read_from`] now and surface its error.
+    Malformed,
+}
+
+/// Scans a *complete* head (everything before the index returned by
+/// [`find_head_end`]) for the declared body length, with the same
+/// duplicate-`Content-Length` discipline as the full parser. Never
+/// authoritative: on [`HeadScan::Malformed`] the caller runs the real
+/// parser, whose error message is the one the client sees.
+pub fn scan_head(head: &[u8]) -> HeadScan {
+    let mut content_length: Option<usize> = None;
+    for (i, raw_line) in head.split(|&b| b == b'\n').enumerate() {
+        if raw_line.len() > MAX_LINE_BYTES {
+            return HeadScan::Malformed;
+        }
+        let Ok(line) = std::str::from_utf8(raw_line) else {
+            return HeadScan::Malformed;
+        };
+        if i == 0 {
+            continue; // the request line carries no body framing
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            continue;
+        };
+        if !name.trim().eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let Ok(n) = value.trim().parse::<usize>() else {
+            return HeadScan::Malformed;
+        };
+        // Identical repeats collapse; conflicting duplicates are the
+        // request-smuggling shape the parser rejects — don't wait for
+        // either claimed body, reject now.
+        if content_length.is_some_and(|prev| prev != n) {
+            return HeadScan::Malformed;
+        }
+        if n > MAX_BODY_BYTES {
+            return HeadScan::Malformed;
+        }
+        content_length = Some(n);
+    }
+    HeadScan::BodyBytes(content_length.unwrap_or(0))
+}
+
 /// Reads one `\n`-terminated line of at most `limit` bytes. Returns an
 /// empty string at EOF; errors on an over-long line or non-UTF-8 bytes.
 fn read_line_bounded<R: BufRead>(reader: &mut R, limit: usize) -> io::Result<String> {
@@ -542,6 +626,89 @@ mod tests {
             let (_, plus_query) = split_target(&plus_form);
             prop_assert_eq!(plus_query.get("k").cloned(), Some(value));
         }
+    }
+
+    #[test]
+    fn head_end_detection_matches_the_parser() {
+        // Incomplete heads.
+        assert_eq!(find_head_end(b""), None);
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
+        // Complete heads, CRLF and bare LF.
+        let raw = b"GET / HTTP/1.1\r\nHost: x\r\n\r\nBODY";
+        assert_eq!(find_head_end(raw), Some(raw.len() - 4));
+        let raw = b"GET / HTTP/1.1\nHost: x\n\nBODY";
+        assert_eq!(find_head_end(raw), Some(raw.len() - 4));
+        // An empty first line is complete (the parser rejects it).
+        assert_eq!(find_head_end(b"\r\nrest"), Some(2));
+        // Binary junk with no newline never completes.
+        assert_eq!(find_head_end(&[0xff; 64]), None);
+    }
+
+    #[test]
+    fn head_scan_extracts_body_framing() {
+        assert_eq!(
+            scan_head(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
+            HeadScan::BodyBytes(0)
+        );
+        assert_eq!(
+            scan_head(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\n"),
+            HeadScan::BodyBytes(5)
+        );
+        // Case-insensitive name, whitespace-tolerant value.
+        assert_eq!(
+            scan_head(b"POST /x HTTP/1.1\r\ncontent-length:  7 \r\n\r\n"),
+            HeadScan::BodyBytes(7)
+        );
+        // Identical repeats collapse like the parser's.
+        assert_eq!(
+            scan_head(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n"),
+            HeadScan::BodyBytes(5)
+        );
+    }
+
+    #[test]
+    fn head_scan_flags_untrustworthy_heads() {
+        // Conflicting duplicates (request-smuggling shape).
+        assert_eq!(
+            scan_head(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\n"),
+            HeadScan::Malformed
+        );
+        // Unparseable length.
+        assert_eq!(
+            scan_head(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            HeadScan::Malformed
+        );
+        // Declared body over the cap.
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(scan_head(huge.as_bytes()), HeadScan::Malformed);
+        // Non-UTF-8 header line.
+        assert_eq!(
+            scan_head(b"GET /x HTTP/1.1\r\nX-Bin: \xc3\x28\r\n\r\n"),
+            HeadScan::Malformed
+        );
+        // A single over-long line.
+        let long = format!(
+            "GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "p".repeat(MAX_LINE_BYTES)
+        );
+        assert_eq!(scan_head(long.as_bytes()), HeadScan::Malformed);
+    }
+
+    #[test]
+    fn scanned_complete_requests_parse_identically() {
+        // Completeness detection + real parse must agree end to end.
+        let raw = b"POST /api/upload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let head_end = find_head_end(raw).unwrap();
+        let HeadScan::BodyBytes(n) = scan_head(&raw[..head_end]) else {
+            panic!("well-formed head misflagged");
+        };
+        assert_eq!(head_end + n, raw.len());
+        let req = Request::read_from(&raw[..head_end + n]).unwrap();
+        assert_eq!(req.body, b"hello");
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //!   your check-in history" feature).
 //! - [`api`] — the JSON/SVG endpoint handlers.
 //! - [`frontend`] — the embedded HTML/JS page.
-//! - [`server`] — the accept loop and worker pool (crossbeam channel +
-//!   threads).
+//! - [`reactor`] — the evented connection loop: one event thread
+//!   multiplexing nonblocking sockets, with handlers executing on a
+//!   bounded worker pool.
+//! - [`server`] — the front door: binding, tunables, lifecycle.
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@
 pub mod api;
 pub mod frontend;
 pub mod http;
+pub mod reactor;
 pub mod router;
 pub mod server;
 pub mod state;

@@ -1,0 +1,715 @@
+//! The evented connection loop.
+//!
+//! One event thread owns a nonblocking listener and every open
+//! connection. Each tick it accepts pending sockets, pumps bytes
+//! through per-connection state machines, hands complete requests to a
+//! bounded [`WorkerPool`] (where [`Router::dispatch`] and response
+//! serialization run), queues finished responses for nonblocking
+//! writes, and enforces read/write deadlines — so a thousand idle or
+//! slow-drip (slowloris) connections cost a read syscall per tick each,
+//! never a blocked thread.
+//!
+//! The per-connection state machine:
+//!
+//! ```text
+//!            accept (cap-checked, else immediate 503)
+//!              │
+//!              ▼
+//!   ┌──────── Reading ────────┐   bytes accumulate; head end and
+//!   │  buf / head_end / want  │   Content-Length detected by the
+//!   └──────────┬──────────────┘   scanners in `http` (the hardened
+//!              │ complete | EOF    parser stays authoritative)
+//!              ▼
+//!          Dispatched ────────── job on the worker pool: parse with
+//!              │                 `Request::read_from`, route, record
+//!              │ response bytes  metrics, serialize — or `None` to
+//!              ▼                 drop (panic / unparseable stream)
+//!           Writing ──────────── nonblocking writes until drained,
+//!              │                 then close (`Connection: close`)
+//!              ▼
+//!            closed
+//! ```
+//!
+//! Deadlines are checked once per tick from the loop, not with
+//! per-socket timeouts: `Reading` has a read deadline (a stalled or
+//! dripping client is reaped and counted, never answered), `Writing` a
+//! write deadline, and `Dispatched` none (handlers may legitimately run
+//! long). Saturation is explicit at both edges: over the connection cap
+//! a fresh socket gets an immediate 503, and a full worker queue bounces
+//! the job back so the event thread answers 503 itself.
+
+use crate::http::{find_head_end, scan_head, HeadScan, MAX_HEAD_BYTES, MAX_LINE_BYTES};
+use crate::{AppState, Request, Response, Router, StatusCode};
+use crowdweb_exec::{PoolSaturated, WorkerPool};
+use crowdweb_obs::{Counter, Gauge, Histogram, MetricsRegistry, HTTP_LATENCY_BUCKETS};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Tunables for the evented connection loop. Constructed by `Server`'s
+/// builder methods; defaults suit an interactive deployment.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// How long a connection may take to deliver a complete request
+    /// head + body before being reaped (default 30 s).
+    pub read_timeout: Duration,
+    /// How long a connection may take to drain its response bytes
+    /// (default 30 s).
+    pub write_timeout: Duration,
+    /// Open-connection cap; sockets accepted beyond it get an
+    /// immediate `503` (default 1024).
+    pub max_connections: usize,
+    /// Worker threads executing `Router::dispatch` off the event
+    /// thread (default 8).
+    pub workers: usize,
+    /// Bound on jobs queued for the workers; a full queue answers
+    /// `503` instead of growing latency without limit (default 128).
+    pub job_queue_capacity: usize,
+    /// How long the loop parks when a tick moved nothing (default
+    /// 500 µs) — the effective deadline-check granularity.
+    pub idle_wait: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_connections: 1024,
+            workers: 8,
+            job_queue_capacity: 128,
+            idle_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Token-addressed completion from a worker: the serialized response
+/// bytes, or `None` when the connection should just be dropped.
+type Completion = (u64, Option<Vec<u8>>);
+
+enum ConnState {
+    /// Accumulating request bytes until the head terminator and the
+    /// declared body length are both satisfied.
+    Reading {
+        buf: Vec<u8>,
+        head_end: Option<usize>,
+        /// Total bytes (head + body) that make the request complete.
+        want: Option<usize>,
+    },
+    /// A worker owns the request; the loop only waits.
+    Dispatched,
+    /// Serialized response bytes draining through nonblocking writes.
+    Writing { buf: Vec<u8>, written: usize },
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    accepted_at: Instant,
+    /// Tick-enforced deadline; `None` while a handler runs.
+    deadline: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, read_timeout: Duration) -> Conn {
+        let accepted_at = Instant::now();
+        Conn {
+            stream,
+            state: ConnState::Reading {
+                buf: Vec::new(),
+                head_end: None,
+                want: None,
+            },
+            accepted_at,
+            deadline: Some(accepted_at + read_timeout),
+        }
+    }
+}
+
+/// Pre-registered reactor metric handles, so the hot loop never touches
+/// the registry's family table.
+struct ReactorMetrics {
+    registry: MetricsRegistry,
+    open_connections: Gauge,
+    deferred_writes: Gauge,
+    tick_seconds: Histogram,
+    read_timeouts: Counter,
+    write_timeouts: Counter,
+    rejected_cap: Counter,
+    rejected_busy: Counter,
+}
+
+impl ReactorMetrics {
+    fn new(registry: MetricsRegistry) -> ReactorMetrics {
+        ReactorMetrics {
+            open_connections: registry.gauge(
+                "crowdweb_server_open_connections",
+                "Connections currently registered with the reactor.",
+                &[],
+            ),
+            deferred_writes: registry.gauge(
+                "crowdweb_server_deferred_writes",
+                "Connections with response bytes queued but not yet fully written.",
+                &[],
+            ),
+            tick_seconds: registry.histogram(
+                "crowdweb_server_reactor_tick_seconds",
+                "Wall-clock seconds per reactor tick that moved bytes or events.",
+                &[],
+                &HTTP_LATENCY_BUCKETS,
+            ),
+            read_timeouts: registry.counter(
+                "crowdweb_http_timeouts_total",
+                "Connections dropped at the read deadline before a complete request arrived.",
+                &[],
+            ),
+            write_timeouts: registry.counter(
+                "crowdweb_server_write_timeouts_total",
+                "Connections dropped at the write deadline with a response still queued.",
+                &[],
+            ),
+            rejected_cap: registry.counter(
+                "crowdweb_server_rejected_total",
+                "Connections refused with 503, by reason.",
+                &[("reason", "max_connections")],
+            ),
+            rejected_busy: registry.counter(
+                "crowdweb_server_rejected_total",
+                "Connections refused with 503, by reason.",
+                &[("reason", "worker_queue_full")],
+            ),
+            registry,
+        }
+    }
+}
+
+/// Shared per-tick context threaded through the state machine.
+struct Ctx<'a> {
+    state: &'a Arc<AppState>,
+    router: &'a Arc<Router<AppState>>,
+    pool: &'a WorkerPool,
+    done_tx: &'a mpsc::Sender<Completion>,
+    metrics: &'a ReactorMetrics,
+    config: &'a ReactorConfig,
+}
+
+enum Drive {
+    /// Bytes or events moved.
+    Progress,
+    /// Nothing to do right now.
+    Idle,
+    /// The connection is finished (drained, dead, or hopeless).
+    Close,
+}
+
+/// Runs the event loop until `shutdown` is observed. Consumes the
+/// listener; joins the worker pool before returning.
+pub(crate) fn run(
+    listener: TcpListener,
+    state: Arc<AppState>,
+    router: Arc<Router<AppState>>,
+    shutdown: Arc<AtomicBool>,
+    config: ReactorConfig,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener supports nonblocking mode");
+    let metrics = ReactorMetrics::new(state.metrics().clone());
+    let pool = WorkerPool::new(config.workers, config.job_queue_capacity);
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+
+    while !shutdown.load(Ordering::SeqCst) {
+        let tick_started = Instant::now();
+        let mut progressed = false;
+        let ctx = Ctx {
+            state: &state,
+            router: &router,
+            pool: &pool,
+            done_tx: &done_tx,
+            metrics: &metrics,
+            config: &config,
+        };
+
+        // 1. Accept every pending socket (cap-aware).
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progressed = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let mut conn = Conn::new(stream, config.read_timeout);
+                    if conns.len() >= config.max_connections {
+                        // Over the cap: answer 503 through the normal
+                        // write path (the connection occupies a map
+                        // slot only until the refusal drains).
+                        metrics.rejected_cap.inc();
+                        queue_response(
+                            &mut conn,
+                            Response::error(
+                                StatusCode::ServiceUnavailable,
+                                "connection limit reached",
+                            ),
+                            config.write_timeout,
+                        );
+                    }
+                    conns.insert(next_token, conn);
+                    next_token += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // 2. Move finished worker responses into write queues.
+        while let Ok((token, payload)) = done_rx.try_recv() {
+            progressed = true;
+            match payload {
+                Some(bytes) => {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        conn.state = ConnState::Writing {
+                            buf: bytes,
+                            written: 0,
+                        };
+                        conn.deadline = Some(Instant::now() + config.write_timeout);
+                    }
+                }
+                None => {
+                    conns.remove(&token);
+                }
+            }
+        }
+
+        // 3. Pump every connection's state machine.
+        let mut closed: Vec<u64> = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            match drive(token, conn, &ctx) {
+                Drive::Progress => progressed = true,
+                Drive::Idle => {}
+                Drive::Close => {
+                    progressed = true;
+                    closed.push(token);
+                }
+            }
+        }
+        for token in &closed {
+            conns.remove(token);
+        }
+
+        // 4. Deadlines, enforced by the tick instead of per-socket
+        // timeouts. A reading connection past its deadline is client
+        // misbehaviour: count it, never answer it.
+        let now = Instant::now();
+        conns.retain(|_, conn| match conn.deadline {
+            Some(deadline) if now >= deadline => {
+                match conn.state {
+                    ConnState::Reading { .. } => metrics.read_timeouts.inc(),
+                    _ => metrics.write_timeouts.inc(),
+                }
+                false
+            }
+            _ => true,
+        });
+
+        // 5. Loop-health signals, then park if the tick was empty.
+        metrics.open_connections.set(conns.len() as i64);
+        let deferred = conns
+            .values()
+            .filter(|c| matches!(c.state, ConnState::Writing { .. }))
+            .count();
+        metrics.deferred_writes.set(deferred as i64);
+        if progressed {
+            metrics
+                .tick_seconds
+                .observe(tick_started.elapsed().as_secs_f64());
+        } else {
+            std::thread::sleep(config.idle_wait);
+        }
+    }
+
+    metrics.open_connections.set(0);
+    metrics.deferred_writes.set(0);
+    drop(conns);
+    drop(pool); // drains queued jobs and joins every worker
+}
+
+/// Serializes a loop-generated response (over-cap or pool-saturated
+/// 503) and moves the connection straight to `Writing`.
+fn queue_response(conn: &mut Conn, response: Response, write_timeout: Duration) {
+    let mut out = Vec::new();
+    let _ = response.write_to(&mut out);
+    conn.state = ConnState::Writing {
+        buf: out,
+        written: 0,
+    };
+    conn.deadline = Some(Instant::now() + write_timeout);
+}
+
+fn drive(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
+    match conn.state {
+        ConnState::Reading { .. } => drive_read(token, conn, ctx),
+        ConnState::Dispatched => Drive::Idle,
+        ConnState::Writing { .. } => drive_write(conn),
+    }
+}
+
+fn drive_read(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
+    let mut progressed = false;
+    loop {
+        let mut chunk = [0u8; 8192];
+        match conn.stream.read(&mut chunk) {
+            // EOF: the client finished (or gave up) — finalize with
+            // whatever arrived. The parser decides between a request,
+            // a 400, or nothing to say.
+            Ok(0) => {
+                dispatch(token, conn, ctx);
+                return Drive::Progress;
+            }
+            Ok(n) => {
+                progressed = true;
+                if accumulate(conn, &chunk[..n]) {
+                    dispatch(token, conn, ctx);
+                    return Drive::Progress;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Drive::Close,
+        }
+    }
+    if progressed {
+        Drive::Progress
+    } else {
+        Drive::Idle
+    }
+}
+
+/// Extends the read buffer and re-evaluates completeness. Returns true
+/// once the buffered bytes should go to a worker.
+fn accumulate(conn: &mut Conn, bytes: &[u8]) -> bool {
+    let ConnState::Reading {
+        buf,
+        head_end,
+        want,
+    } = &mut conn.state
+    else {
+        return false;
+    };
+    buf.extend_from_slice(bytes);
+    if head_end.is_none() {
+        *head_end = find_head_end(buf);
+        match *head_end {
+            Some(end) => {
+                *want = Some(match scan_head(&buf[..end]) {
+                    HeadScan::BodyBytes(n) => end + n,
+                    // Untrustworthy head: don't wait for a body that
+                    // may never come — parse now for the real 400.
+                    HeadScan::Malformed => end,
+                });
+            }
+            // A head that exceeds every parser bound without ever
+            // terminating gets parsed as-is; `read_line_bounded` and
+            // the head-size cap turn it into the right 400.
+            None if buf.len() > MAX_HEAD_BYTES + MAX_LINE_BYTES => {
+                *want = Some(buf.len());
+            }
+            None => {}
+        }
+    }
+    want.is_some_and(|w| buf.len() >= w)
+}
+
+/// Moves a connection to `Dispatched` and hands its buffered request to
+/// the worker pool. On a saturated pool the event thread sheds load
+/// itself with a 503.
+fn dispatch(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) {
+    let ConnState::Reading { buf, want, .. } =
+        std::mem::replace(&mut conn.state, ConnState::Dispatched)
+    else {
+        return;
+    };
+    conn.deadline = None;
+    let take = want.unwrap_or(buf.len()).min(buf.len());
+    let accepted_at = conn.accepted_at;
+    let state = Arc::clone(ctx.state);
+    let router = Arc::clone(ctx.router);
+    let registry = ctx.metrics.registry.clone();
+    let done = ctx.done_tx.clone();
+    let job = move || {
+        let payload = execute(&buf[..take], &state, &router, &registry, accepted_at).map(|r| {
+            let mut out = Vec::with_capacity(r.body.len() + 128);
+            let _ = r.write_to(&mut out);
+            out
+        });
+        let _ = done.send((token, payload));
+    };
+    if let Err(PoolSaturated(job)) = ctx.pool.try_execute(job) {
+        drop(job);
+        ctx.metrics.rejected_busy.inc();
+        queue_response(
+            conn,
+            Response::error(StatusCode::ServiceUnavailable, "worker queue full"),
+            ctx.config.write_timeout,
+        );
+    }
+}
+
+/// Parses and routes one buffered request on a worker thread. Returns
+/// the response to write, or `None` when the connection deserves
+/// nothing (unreadable stream, panicking handler).
+fn execute(
+    bytes: &[u8],
+    state: &AppState,
+    router: &Router<AppState>,
+    registry: &MetricsRegistry,
+    accepted_at: Instant,
+) -> Option<Response> {
+    match Request::read_from(bytes) {
+        Ok(request) => {
+            // A panicking handler must not take the worker down or leak
+            // the connection: catch, drop the connection, keep serving.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                router.dispatch(state, &request)
+            }));
+            match result {
+                Ok((response, route)) => {
+                    record_access(
+                        registry,
+                        &request.method.to_string(),
+                        route.unwrap_or("unmatched"),
+                        &response,
+                        request.body.len(),
+                        accepted_at,
+                    );
+                    Some(response)
+                }
+                Err(_) => {
+                    eprintln!("crowdweb: connection handler panicked; worker recovered");
+                    None
+                }
+            }
+        }
+        // Malformed head (InvalidData) or a body shorter than its
+        // Content-Length (read_exact → UnexpectedEof): the client sent
+        // a broken request and deserves a 400, not a silent drop.
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+            ) =>
+        {
+            let message = if e.kind() == io::ErrorKind::UnexpectedEof {
+                "request body shorter than content-length".to_owned()
+            } else {
+                e.to_string()
+            };
+            let response = Response::error(StatusCode::BadRequest, &message);
+            record_access(registry, "invalid", "unparsed", &response, 0, accepted_at);
+            Some(response)
+        }
+        Err(_) => None,
+    }
+}
+
+fn drive_write(conn: &mut Conn) -> Drive {
+    // Discard request bytes still arriving (a refused connection never
+    // had its request read): unread data at close would turn the FIN
+    // into a RST and destroy the response before the client reads it.
+    drain_input(&mut conn.stream);
+    let ConnState::Writing { buf, written } = &mut conn.state else {
+        return Drive::Idle;
+    };
+    let mut progressed = false;
+    while *written < buf.len() {
+        match conn.stream.write(&buf[*written..]) {
+            Ok(0) => return Drive::Close,
+            Ok(n) => {
+                *written += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return if progressed {
+                    Drive::Progress
+                } else {
+                    Drive::Idle
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Drive::Close,
+        }
+    }
+    // Response fully drained: `Connection: close` semantics.
+    let _ = conn.stream.flush();
+    drain_input(&mut conn.stream);
+    Drive::Close
+}
+
+/// Reads and discards whatever is waiting on the socket (bounded per
+/// tick so an aggressive sender cannot pin the loop).
+fn drain_input(stream: &mut TcpStream) {
+    let mut scratch = [0u8; 4096];
+    for _ in 0..8 {
+        match stream.read(&mut scratch) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
+}
+
+/// Records one access into the route-keyed request metrics. Routes are
+/// labelled by registration pattern (bounded cardinality), never by raw
+/// request path.
+pub(crate) fn record_access(
+    metrics: &MetricsRegistry,
+    method: &str,
+    route: &str,
+    response: &Response,
+    request_body_bytes: usize,
+    started: Instant,
+) {
+    let status = response.status.code().to_string();
+    metrics
+        .counter(
+            "crowdweb_http_requests_total",
+            "HTTP requests served, by method, route pattern, and status.",
+            &[("method", method), ("route", route), ("status", &status)],
+        )
+        .inc();
+    metrics
+        .histogram(
+            "crowdweb_http_request_seconds",
+            "Wall-clock seconds from first read to response ready, by route pattern.",
+            &[("route", route)],
+            &HTTP_LATENCY_BUCKETS,
+        )
+        .observe(started.elapsed().as_secs_f64());
+    metrics
+        .counter(
+            "crowdweb_http_request_body_bytes_total",
+            "Request body bytes received, by route pattern.",
+            &[("route", route)],
+        )
+        .add(request_body_bytes as u64);
+    metrics
+        .counter(
+            "crowdweb_http_response_body_bytes_total",
+            "Response body bytes produced, by route pattern.",
+            &[("route", route)],
+        )
+        .add(response.body.len() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api;
+    use crowdweb_synth::SynthConfig;
+
+    fn app() -> (Arc<AppState>, Arc<Router<AppState>>, MetricsRegistry) {
+        let dataset = SynthConfig::small(71).users(10).generate().unwrap();
+        let state = AppState::build(dataset, 10).unwrap();
+        let registry = state.metrics().clone();
+        (Arc::new(state), Arc::new(api::build_router()), registry)
+    }
+
+    #[test]
+    fn execute_routes_complete_requests_and_records() {
+        let (state, router, registry) = app();
+        let response = execute(
+            b"GET /api/stats HTTP/1.1\r\nHost: t\r\n\r\n",
+            &state,
+            &router,
+            &registry,
+            Instant::now(),
+        )
+        .expect("well-formed request gets a response");
+        assert_eq!(response.status.code(), 200);
+        assert_eq!(
+            registry.counter_value(
+                "crowdweb_http_requests_total",
+                &[
+                    ("method", "GET"),
+                    ("route", "/api/stats"),
+                    ("status", "200")
+                ]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn execute_maps_parser_errors_to_400() {
+        let (state, router, registry) = app();
+        let response = execute(
+            b"BREW /coffee HTCPCP/1.0\r\n\r\n",
+            &state,
+            &router,
+            &registry,
+            Instant::now(),
+        )
+        .expect("malformed request gets a 400");
+        assert_eq!(response.status.code(), 400);
+        // Truncated body keeps the dedicated message.
+        let response = execute(
+            b"POST /api/upload HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+            &state,
+            &router,
+            &registry,
+            Instant::now(),
+        )
+        .unwrap();
+        assert_eq!(response.status.code(), 400);
+        assert!(String::from_utf8(response.body)
+            .unwrap()
+            .contains("content-length"));
+        assert_eq!(
+            registry.counter_value(
+                "crowdweb_http_requests_total",
+                &[
+                    ("method", "invalid"),
+                    ("route", "unparsed"),
+                    ("status", "400")
+                ]
+            ),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn accumulate_tracks_head_and_body_completion() {
+        let stream = TcpStream::connect(
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut conn = Conn::new(stream, Duration::from_secs(1));
+        assert!(!accumulate(&mut conn, b"POST /x HTTP/1.1\r\nContent-"));
+        assert!(!accumulate(&mut conn, b"Length: 5\r\n\r\n"));
+        assert!(!accumulate(&mut conn, b"he"));
+        assert!(accumulate(&mut conn, b"llo"));
+        let ConnState::Reading { buf, want, .. } = &conn.state else {
+            panic!("still reading");
+        };
+        assert_eq!(*want, Some(buf.len()));
+    }
+
+    #[test]
+    fn accumulate_finalizes_untrustworthy_heads_without_waiting() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut conn = Conn::new(stream, Duration::from_secs(1));
+        // Conflicting Content-Length: complete immediately (no body
+        // wait), so the parser can answer 400 now.
+        assert!(accumulate(
+            &mut conn,
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\n"
+        ));
+    }
+}

@@ -1,24 +1,22 @@
-//! The accept loop and worker pool.
+//! The server front door: binding, tunables, lifecycle.
+//!
+//! Connection handling itself lives in [`crate::reactor`]: a single
+//! event thread multiplexes every connection over nonblocking sockets
+//! and hands complete requests to a bounded worker pool, so slow or
+//! idle clients cannot pin threads (see `DESIGN.md` §6).
 
-use crate::{api, AppState, Request, Response, Router, StatusCode};
-use crossbeam::channel::bounded;
-use crowdweb_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use crate::reactor::ReactorConfig;
+use crate::{api, reactor, AppState, Router};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Number of worker threads handling connections.
-const WORKERS: usize = 8;
-
-/// Default per-connection socket read timeout. Without one, an idle
-/// client pins a worker thread forever (slowloris).
-const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// The CrowdWeb HTTP server: a listener plus a fixed worker pool fed
-/// over a crossbeam channel.
+/// The CrowdWeb HTTP server: a nonblocking listener driven by an
+/// evented reactor loop, with routing and handlers executing on a
+/// bounded worker pool.
 ///
 /// # Examples
 ///
@@ -28,7 +26,7 @@ pub struct Server {
     state: Arc<AppState>,
     router: Arc<Router<AppState>>,
     shutdown: Arc<AtomicBool>,
-    read_timeout: Duration,
+    config: ReactorConfig,
 }
 
 impl std::fmt::Debug for Server {
@@ -36,6 +34,7 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("addr", &self.local_addr())
             .field("state", &self.state)
+            .field("config", &self.config)
             .finish()
     }
 }
@@ -54,14 +53,34 @@ impl Server {
             state: Arc::new(state),
             router: Arc::new(api::build_router()),
             shutdown: Arc::new(AtomicBool::new(false)),
-            read_timeout: DEFAULT_READ_TIMEOUT,
+            config: ReactorConfig::default(),
         })
     }
 
-    /// Sets the per-connection read timeout (default 30 s). Idle
-    /// connections are dropped after this long.
+    /// Sets the read deadline (default 30 s): how long a connection may
+    /// take to deliver a complete request before being dropped.
     pub fn read_timeout(mut self, timeout: Duration) -> Server {
-        self.read_timeout = timeout;
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the write deadline (default 30 s): how long a connection
+    /// may take to drain its response before being dropped.
+    pub fn write_timeout(mut self, timeout: Duration) -> Server {
+        self.config.write_timeout = timeout;
+        self
+    }
+
+    /// Caps concurrently open connections (default 1024). Sockets
+    /// accepted beyond the cap are answered with an immediate `503`.
+    pub fn max_connections(mut self, cap: usize) -> Server {
+        self.config.max_connections = cap.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count executing handlers (default 8).
+    pub fn workers(mut self, threads: usize) -> Server {
+        self.config.workers = threads.max(1);
         self
     }
 
@@ -80,46 +99,16 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop on the current thread until
+    /// Runs the event loop on the current thread until
     /// [`ShutdownHandle::shutdown`] is called.
     pub fn run(self) {
-        let (tx, rx) = bounded::<TcpStream>(WORKERS * 4);
-        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(WORKERS);
-        for _ in 0..WORKERS {
-            let rx = rx.clone();
-            let state = Arc::clone(&self.state);
-            let router = Arc::clone(&self.router);
-            let read_timeout = self.read_timeout;
-            workers.push(std::thread::spawn(move || {
-                while let Ok(stream) = rx.recv() {
-                    // A panicking handler must not take the worker down
-                    // with it: catch, drop the connection, keep serving.
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        handle_connection(stream, &state, &router, read_timeout);
-                    }));
-                    if result.is_err() {
-                        eprintln!("crowdweb: connection handler panicked; worker recovered");
-                    }
-                }
-            }));
-        }
-        drop(rx);
-
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(s) => {
-                    let _ = tx.send(s);
-                }
-                Err(_) => continue,
-            }
-        }
-        drop(tx);
-        for w in workers {
-            let _ = w.join();
-        }
+        reactor::run(
+            self.listener,
+            self.state,
+            self.router,
+            self.shutdown,
+            self.config,
+        );
     }
 
     /// Spawns the server on a background thread, returning its address
@@ -140,119 +129,13 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Signals shutdown and pokes the listener so the accept loop
-    /// observes the flag.
+    /// Signals shutdown and pokes the listener so the event loop
+    /// observes the flag promptly.
     pub fn shutdown(&self) {
         self.flag.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
+        // Wake an otherwise-idle loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
     }
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    state: &AppState,
-    router: &Router<AppState>,
-    read_timeout: Duration,
-) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let metrics = state.metrics();
-    let started = Instant::now();
-    let response = match Request::read_from(&stream) {
-        Ok(request) => {
-            let (response, route) = router.dispatch(state, &request);
-            record_access(
-                metrics,
-                &request.method.to_string(),
-                route.unwrap_or("unmatched"),
-                &response,
-                request.body.len(),
-                started,
-            );
-            response
-        }
-        // A stalled client hitting the socket read timeout is client
-        // misbehaviour, not a server fault: count it and drop the
-        // connection (nothing useful can be written mid-read).
-        Err(e)
-            if matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ) =>
-        {
-            metrics
-                .counter(
-                    "crowdweb_http_timeouts_total",
-                    "Connections dropped at the socket read timeout.",
-                    &[],
-                )
-                .inc();
-            return;
-        }
-        // Malformed head (InvalidData) or a body shorter than its
-        // Content-Length (read_exact → UnexpectedEof): the client sent
-        // a broken request and deserves a 400, not a silent drop.
-        Err(e)
-            if matches!(
-                e.kind(),
-                io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
-            ) =>
-        {
-            let message = if e.kind() == io::ErrorKind::UnexpectedEof {
-                "request body shorter than content-length".to_owned()
-            } else {
-                e.to_string()
-            };
-            let response = Response::error(StatusCode::BadRequest, &message);
-            record_access(metrics, "invalid", "unparsed", &response, 0, started);
-            response
-        }
-        Err(_) => return, // connection dropped; nothing to write
-    };
-    let _ = response.write_to(&stream);
-}
-
-/// Records one access into the route-keyed request metrics. Routes are
-/// labelled by registration pattern (bounded cardinality), never by raw
-/// request path.
-fn record_access(
-    metrics: &MetricsRegistry,
-    method: &str,
-    route: &str,
-    response: &Response,
-    request_body_bytes: usize,
-    started: Instant,
-) {
-    let status = response.status.code().to_string();
-    metrics
-        .counter(
-            "crowdweb_http_requests_total",
-            "HTTP requests served, by method, route pattern, and status.",
-            &[("method", method), ("route", route), ("status", &status)],
-        )
-        .inc();
-    metrics
-        .histogram(
-            "crowdweb_http_request_seconds",
-            "Wall-clock seconds from first read to response ready, by route pattern.",
-            &[("route", route)],
-            &DEFAULT_LATENCY_BUCKETS,
-        )
-        .observe(started.elapsed().as_secs_f64());
-    metrics
-        .counter(
-            "crowdweb_http_request_body_bytes_total",
-            "Request body bytes received, by route pattern.",
-            &[("route", route)],
-        )
-        .add(request_body_bytes as u64);
-    metrics
-        .counter(
-            "crowdweb_http_response_body_bytes_total",
-            "Response body bytes produced, by route pattern.",
-            &[("route", route)],
-        )
-        .add(response.body.len() as u64);
 }
 
 #[cfg(test)]
@@ -260,6 +143,7 @@ mod tests {
     use super::*;
     use crowdweb_synth::SynthConfig;
     use std::io::{Read, Write};
+    use std::time::Instant;
 
     fn spawn_server() -> (SocketAddr, ShutdownHandle, JoinHandle<()>) {
         let dataset = SynthConfig::small(61).generate().unwrap();
@@ -327,6 +211,87 @@ mod tests {
         let (code, _) = http_get(addr, "/api/stats");
         assert_eq!(code, 200, "server starved by idle connections");
         drop(idlers);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn slow_drip_connections_do_not_block_fast_clients() {
+        // The evented-loop guarantee the old thread-per-connection
+        // model could not give: dozens of connections dripping partial
+        // request heads — all still inside their read deadline, so none
+        // get reaped — must not delay a well-behaved client at all.
+        let dataset = SynthConfig::small(65).users(10).generate().unwrap();
+        let state = AppState::build(dataset, 10).unwrap();
+        let metrics = state.metrics().clone();
+        let (addr, handle, join) = Server::bind("127.0.0.1:0", state)
+            .unwrap()
+            .read_timeout(Duration::from_secs(30))
+            .spawn();
+        let drips: Vec<TcpStream> = (0..72)
+            .map(|_| {
+                let mut s = TcpStream::connect(addr).unwrap();
+                write!(s, "GET /api/stats HTTP/1.1\r\nX-Drip: 1\r\n").unwrap();
+                s
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(300));
+        let open = metrics
+            .gauge_value("crowdweb_server_open_connections", &[])
+            .unwrap_or(0);
+        assert!(
+            open >= 64,
+            "expected ≥64 drip connections held open, gauge says {open}"
+        );
+        let started = Instant::now();
+        let (code, _) = http_get(addr, "/api/stats");
+        assert_eq!(
+            code, 200,
+            "fast client starved behind slow-drip connections"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "fast client waited {:?} behind {} slow-drip connections",
+            started.elapsed(),
+            drips.len()
+        );
+        drop(drips);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_503_and_recovers() {
+        let dataset = SynthConfig::small(66).users(10).generate().unwrap();
+        let state = AppState::build(dataset, 10).unwrap();
+        let metrics = state.metrics().clone();
+        let (addr, handle, join) = Server::bind("127.0.0.1:0", state)
+            .unwrap()
+            .max_connections(4)
+            .spawn();
+        let holders: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(
+            metrics.gauge_value("crowdweb_server_open_connections", &[]),
+            Some(4)
+        );
+        // The connection over the cap is turned away with a clean 503,
+        // not a hang or a reset.
+        let (code, body) = http_get(addr, "/api/stats");
+        assert_eq!(code, 503, "over-cap connection must get 503");
+        assert!(body.contains("connection limit"), "{body}");
+        assert_eq!(
+            metrics.counter_value(
+                "crowdweb_server_rejected_total",
+                &[("reason", "max_connections")]
+            ),
+            Some(1)
+        );
+        // Capacity comes back once the holders leave.
+        drop(holders);
+        std::thread::sleep(Duration::from_millis(300));
+        let (code, _) = http_get(addr, "/api/stats");
+        assert_eq!(code, 200, "server must recover after holders disconnect");
         handle.shutdown();
         join.join().unwrap();
     }
@@ -420,6 +385,32 @@ mod tests {
             .histogram_stats("crowdweb_http_request_seconds", &[("route", "/api/stats")])
             .expect("latency histogram registered");
         assert_eq!(count, 1);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn reactor_loop_health_metrics_are_published() {
+        let dataset = SynthConfig::small(67).users(10).generate().unwrap();
+        let state = AppState::build(dataset, 10).unwrap();
+        let metrics = state.metrics().clone();
+        let (addr, handle, join) = Server::bind("127.0.0.1:0", state).unwrap().spawn();
+        let (code, _) = http_get(addr, "/api/stats");
+        assert_eq!(code, 200);
+        // The loop-health gauges and tick histogram exist from startup.
+        assert!(metrics
+            .gauge_value("crowdweb_server_open_connections", &[])
+            .is_some());
+        assert!(metrics
+            .gauge_value("crowdweb_server_deferred_writes", &[])
+            .is_some());
+        let (ticks, _) = metrics
+            .histogram_stats("crowdweb_server_reactor_tick_seconds", &[])
+            .expect("tick histogram registered");
+        assert!(
+            ticks >= 1,
+            "serving a request must observe at least one tick"
+        );
         handle.shutdown();
         join.join().unwrap();
     }

@@ -5,6 +5,11 @@
 //! Instead they call [`AppState::snapshot`] once per request and serve
 //! the whole request from that immutable [`PlatformSnapshot`] — a new
 //! epoch published mid-request never tears a response.
+//!
+//! Handlers execute on the reactor's bounded worker pool (see
+//! [`crate::reactor`]), so the state is shared behind an `Arc` and
+//! everything reachable from it must stay `Sync`; a blocking handler
+//! occupies one worker, never the event thread.
 
 use crowdweb_dataset::{Dataset, UserId};
 use crowdweb_ingest::{IngestConfig, IngestEngine, PlatformSnapshot};

@@ -27,4 +27,14 @@ grep -q '/api/metrics' README.md || {
     exit 1
 }
 
+echo "== server gate =="
+cargo test -q -p crowdweb-server
+# The evented-loop guarantee must hold explicitly: slow-drip clients
+# cannot block a fast one.
+cargo test -q -p crowdweb-server slow_drip
+grep -q '/api/healthz' README.md || {
+    echo "README.md must document the /api/healthz endpoint" >&2
+    exit 1
+}
+
 echo "All checks passed."
