@@ -15,7 +15,7 @@ use crowdweb_crowd::{PipelineDriver, TimeWindows};
 use crowdweb_dataset::{Dataset, MergeRecord, Timestamp};
 use crowdweb_exec::Parallelism;
 use crowdweb_geo::BoundingBox;
-use crowdweb_ingest::{IngestConfig, IngestEngine, WalConfig};
+use crowdweb_ingest::{IngestConfig, IngestEngine, ShardedIngestEngine, WalConfig};
 use crowdweb_prep::Preprocessor;
 use std::hint::black_box;
 use std::time::Instant;
@@ -95,6 +95,35 @@ fn bench(c: &mut Criterion) {
         );
         rows.push(format!(
             "{n}\t{}\t{epoch_us}\t{cold_us}\t{speedup:.3}\t{mode}",
+            report.users_remined
+        ));
+    }
+
+    // Sharded epoch latency: the same 256-record batch through the
+    // sharded engine at shard counts 1, 2, 4. Fan-out parallelism only
+    // helps with >1 CPU; on a single core expect rough parity with a
+    // small coordination overhead (snapshots are byte-identical either
+    // way — `tests/ingest_determinism.rs`).
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>12}",
+        "shards", "remined", "epoch_us", "mode"
+    );
+    for shards in [1usize, 2, 4] {
+        let records = batch(&ctx.dataset, 256);
+        let mut cfg = config();
+        cfg.shards = shards;
+        let engine = ShardedIngestEngine::open(ctx.dataset.clone(), cfg).unwrap();
+        engine.submit(records).unwrap();
+        let t0 = Instant::now();
+        let report = engine.run_epoch().unwrap().expect("non-empty queue");
+        let epoch_us = t0.elapsed().as_micros();
+        let mode = format!("{:?}", report.mode);
+        println!(
+            "{shards:>8} {:>10} {epoch_us:>12} {mode:>12}",
+            report.users_remined
+        );
+        rows.push(format!(
+            "shards_{shards}\t{}\t{epoch_us}\t-\t-\t{mode}",
             report.users_remined
         ));
     }

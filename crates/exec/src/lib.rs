@@ -25,6 +25,8 @@ mod symbol;
 mod workers;
 
 pub use epoch::EpochCell;
-pub use pool::{parallel_map, parallel_map_observed, Parallelism, FANOUT_SECONDS};
+pub use pool::{
+    parallel_map, parallel_map_observed, parallel_map_with_index, Parallelism, FANOUT_SECONDS,
+};
 pub use symbol::{Symbol, SymbolTable};
 pub use workers::{PoolSaturated, WorkerPool};

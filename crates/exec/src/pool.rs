@@ -61,9 +61,28 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    parallel_map_with_index(parallelism, items, |_, item| f(item))
+}
+
+/// [`parallel_map`] whose closure also receives the item's input index.
+///
+/// The index lets a caller address pre-registered per-slot state — the
+/// sharded ingest engine uses it to time each shard's re-mine into that
+/// shard's own histogram handle — without smuggling the index through
+/// the item type. Same ordering contract as [`parallel_map`].
+pub fn parallel_map_with_index<T, U, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
     let workers = parallelism.worker_count().min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(idx, item)| f(idx, item))
+            .collect();
     }
 
     // Claim queue: each worker pulls the next unclaimed index, so an
@@ -85,7 +104,7 @@ where
             scope.spawn(move || {
                 let mut local = Vec::new();
                 while let Ok(idx) = claim_rx.recv() {
-                    local.push((idx, f(&items[idx])));
+                    local.push((idx, f(idx, &items[idx])));
                 }
                 merged.lock().extend(local);
             });
@@ -154,6 +173,15 @@ mod tests {
             Parallelism::Auto,
         ] {
             assert!(parallel_map(p, &empty, |x| *x).is_empty());
+        }
+    }
+
+    #[test]
+    fn indexed_map_passes_input_indices() {
+        let items = ["a", "b", "c", "d"];
+        for p in [Parallelism::Sequential, Parallelism::Threads(3)] {
+            let out = parallel_map_with_index(p, &items, |idx, s| format!("{idx}:{s}"));
+            assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"], "{p:?}");
         }
     }
 

@@ -8,9 +8,9 @@ use crowdweb_crowd::{CrowdBuilder, CrowdDelta, PipelineDriver, TimeWindows};
 use crowdweb_dataset::{Dataset, MergeRecord, UserId};
 use crowdweb_exec::{EpochCell, Parallelism};
 use crowdweb_geo::BoundingBox;
-use crowdweb_mobility::PatternMiner;
+use crowdweb_mobility::{PatternMiner, UserPatterns};
 use crowdweb_obs::{Counter, Gauge, Histogram, MetricsRegistry, EPOCH_LATENCY_BUCKETS};
-use crowdweb_prep::{PrepUpdate, Preprocessor};
+use crowdweb_prep::{PrepUpdate, Prepared, Preprocessor};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -46,6 +46,11 @@ pub struct IngestConfig {
     /// bytes, epoch latency) and threads the registry through the
     /// pipeline stages. Never affects snapshot contents.
     pub metrics: Option<MetricsRegistry>,
+    /// Shard count for [`ShardedIngestEngine`](crate::ShardedIngestEngine):
+    /// `0` (the default) resolves to the machine's available
+    /// parallelism, capped at [`MAX_SHARDS`](crate::shard::MAX_SHARDS).
+    /// The unsharded [`IngestEngine`] ignores this field.
+    pub shards: usize,
 }
 
 impl Default for IngestConfig {
@@ -65,12 +70,13 @@ impl Default for IngestConfig {
             epoch_batch: None,
             wal: None,
             metrics: None,
+            shards: 0,
         }
     }
 }
 
 impl IngestConfig {
-    fn driver(&self) -> Result<PipelineDriver, IngestError> {
+    pub(crate) fn driver(&self) -> Result<PipelineDriver, IngestError> {
         Ok(PipelineDriver::new(self.min_support)?
             .preprocessor(self.preprocessor)
             .windows(self.windows.clone())
@@ -79,7 +85,7 @@ impl IngestConfig {
             .metrics(self.metrics.clone()))
     }
 
-    fn miner(&self) -> Result<PatternMiner, IngestError> {
+    pub(crate) fn miner(&self) -> Result<PatternMiner, IngestError> {
         Ok(PatternMiner::new(self.min_support)
             .map_err(crowdweb_crowd::PipelineError::Mobility)?
             .parallelism(self.parallelism)
@@ -90,18 +96,18 @@ impl IngestConfig {
 /// Pre-registered handles for the engine's hot-path metrics, so submits
 /// and epochs never touch the registry's family table.
 #[derive(Debug, Clone)]
-struct IngestMetrics {
-    registry: MetricsRegistry,
-    accepted: Counter,
-    wal_bytes: Counter,
-    wal_records: Counter,
-    queue_depth: Gauge,
-    epoch_seconds: Histogram,
-    dirty_users: Gauge,
+pub(crate) struct IngestMetrics {
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) accepted: Counter,
+    pub(crate) wal_bytes: Counter,
+    pub(crate) wal_records: Counter,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) epoch_seconds: Histogram,
+    pub(crate) dirty_users: Gauge,
 }
 
 impl IngestMetrics {
-    fn new(registry: MetricsRegistry) -> IngestMetrics {
+    pub(crate) fn new(registry: MetricsRegistry) -> IngestMetrics {
         IngestMetrics {
             accepted: registry.counter(
                 "crowdweb_ingest_accepted_total",
@@ -138,7 +144,7 @@ impl IngestMetrics {
         }
     }
 
-    fn count_epoch(&self, mode: EpochMode) {
+    pub(crate) fn count_epoch(&self, mode: EpochMode) {
         let label = match mode {
             EpochMode::Incremental => "incremental",
             EpochMode::FullRebuild => "full_rebuild",
@@ -280,8 +286,12 @@ impl IngestEngine {
     ///
     /// # Errors
     ///
-    /// [`IngestError::Backpressure`] on a full queue, WAL I/O errors,
-    /// and epoch errors from an inline epoch.
+    /// [`IngestError::Backpressure`] on a full queue and WAL I/O
+    /// errors both reject the batch atomically (nothing queued, the
+    /// sequence numbers released) — the client may retry. An inline
+    /// epoch that fails *after* acceptance returns
+    /// [`IngestError::EpochFailed`] carrying the accepted range — the
+    /// batch is held by the engine and must **not** be re-submitted.
     pub fn submit(&self, records: Vec<MergeRecord>) -> Result<SubmitReceipt, IngestError> {
         let (first_seq, last_seq, depth) = {
             let mut inner = self.inner.lock();
@@ -314,7 +324,20 @@ impl IngestEngine {
             inner.next_seq = last_seq + 1;
             if let Some(wal) = inner.wal.as_mut() {
                 let bytes_before = wal.segment_bytes();
-                wal.append(&entries)?;
+                let mark = wal.mark();
+                if let Err(e) = wal.append(&entries) {
+                    // Reject atomically: discard whatever the failed
+                    // append left in the segment and release the batch's
+                    // sequence numbers so a client retry is safe. If the
+                    // rollback itself fails the numbers stay consumed —
+                    // replay may then resurrect the batch, so the client
+                    // must not re-submit (at-least-once under a double
+                    // fault; see DESIGN.md §9).
+                    if wal.rollback_to(mark).is_ok() {
+                        inner.next_seq = first_seq;
+                    }
+                    return Err(e);
+                }
                 if let Some(metrics) = &self.metrics {
                     metrics
                         .wal_bytes
@@ -334,7 +357,21 @@ impl IngestEngine {
         };
         let mut report = None;
         if self.config.epoch_batch.is_some_and(|batch| depth >= batch) {
-            report = self.run_epoch()?;
+            // The batch is already accepted (logged and queued): an
+            // epoch failure here must not read as a rejected submit, or
+            // clients would re-submit and double-apply. Wrap it so the
+            // error itself carries the accepted range.
+            match self.run_epoch() {
+                Ok(r) => report = r,
+                Err(source) => {
+                    return Err(IngestError::EpochFailed {
+                        accepted: (last_seq - first_seq + 1) as usize,
+                        first_seq,
+                        last_seq,
+                        source: Box::new(source),
+                    })
+                }
+            }
         }
         Ok(SubmitReceipt {
             accepted: (last_seq - first_seq + 1) as usize,
@@ -428,65 +465,13 @@ impl IngestEngine {
         previous: &PlatformSnapshot,
         batch: &[WalEntry],
     ) -> Result<(PlatformSnapshot, EpochMode, CrowdDelta), IngestError> {
-        let records: Vec<MergeRecord> = batch.iter().map(|e| e.record.clone()).collect();
-        let dirty: BTreeSet<UserId> = records.iter().map(|r| r.user).collect();
-        let merged = previous.dataset().merge_records(&records)?;
-        let epoch = previous.epoch() + 1;
-        match self
-            .config
-            .preprocessor
-            .update(previous.prepared(), &merged, &dirty)
-            .map_err(crowdweb_crowd::PipelineError::Prep)?
-        {
-            PrepUpdate::Incremental(prepared) => {
-                let patterns = self
-                    .config
-                    .miner()?
-                    .detect_updated(&prepared, previous.patterns(), &dirty)
-                    .map_err(crowdweb_crowd::PipelineError::Mobility)?;
-                let (crowd, delta) = CrowdBuilder::new(&merged, &prepared)
-                    .windows(self.config.windows.clone())
-                    .parallelism(self.config.parallelism)
-                    .update(previous.crowd(), &patterns, &dirty)
-                    .map_err(crowdweb_crowd::PipelineError::Crowd)?;
-                let snapshot = PlatformSnapshot::new(
-                    epoch,
-                    merged,
-                    *prepared,
-                    patterns,
-                    previous.grid().clone(),
-                    crowd,
-                    self.config.min_support,
-                );
-                Ok((snapshot, EpochMode::Incremental, delta))
-            }
-            PrepUpdate::FullRebuild => {
-                let out = self.config.driver()?.run(&merged)?;
-                let mut cells: BTreeSet<(usize, _)> = BTreeSet::new();
-                for p in previous.crowd().placements() {
-                    cells.insert((p.window, p.cell));
-                }
-                for p in out.crowd.placements() {
-                    cells.insert((p.window, p.cell));
-                }
-                let delta = CrowdDelta {
-                    users_recomputed: out.prepared.user_count(),
-                    placements_removed: previous.crowd().placement_count(),
-                    placements_added: out.crowd.placement_count(),
-                    cells_touched: cells.len(),
-                };
-                let snapshot = PlatformSnapshot::new(
-                    epoch,
-                    merged,
-                    out.prepared,
-                    out.patterns,
-                    out.grid,
-                    out.crowd,
-                    self.config.min_support,
-                );
-                Ok((snapshot, EpochMode::FullRebuild, delta))
-            }
-        }
+        build_next_snapshot(&self.config, previous, batch, |prepared, prev, dirty| {
+            self.config
+                .miner()?
+                .detect_updated(prepared, prev, dirty)
+                .map_err(crowdweb_crowd::PipelineError::Mobility)
+                .map_err(IngestError::from)
+        })
     }
 
     /// Point-in-time statistics for `GET /api/ingest/stats`.
@@ -504,6 +489,85 @@ impl IngestEngine {
             epochs_run: inner.epochs_run,
             full_rebuilds: inner.full_rebuilds,
             last_epoch: inner.last_epoch,
+        }
+    }
+}
+
+/// Builds the epoch-`previous.epoch() + 1` snapshot from `previous`
+/// plus a drained batch, shared by the unsharded and sharded engines.
+///
+/// `mine` supplies the incremental re-mining strategy — the unsharded
+/// engine calls [`PatternMiner::detect_updated`] directly, the sharded
+/// engine fans per-shard partitions of the dirty set out over
+/// [`crowdweb_exec::parallel_map_with_index`]. Both must honour the
+/// same contract: return one [`UserPatterns`] per prepared user, in
+/// `prepared.seqdb().user_ids()` order, re-mining exactly the users
+/// that are dirty or absent from `previous.patterns()`.
+pub(crate) fn build_next_snapshot<F>(
+    config: &IngestConfig,
+    previous: &PlatformSnapshot,
+    batch: &[WalEntry],
+    mine: F,
+) -> Result<(PlatformSnapshot, EpochMode, CrowdDelta), IngestError>
+where
+    F: FnOnce(
+        &Prepared,
+        &[UserPatterns],
+        &BTreeSet<UserId>,
+    ) -> Result<Vec<UserPatterns>, IngestError>,
+{
+    let records: Vec<MergeRecord> = batch.iter().map(|e| e.record.clone()).collect();
+    let dirty: BTreeSet<UserId> = records.iter().map(|r| r.user).collect();
+    let merged = previous.dataset().merge_records(&records)?;
+    let epoch = previous.epoch() + 1;
+    match config
+        .preprocessor
+        .update(previous.prepared(), &merged, &dirty)
+        .map_err(crowdweb_crowd::PipelineError::Prep)?
+    {
+        PrepUpdate::Incremental(prepared) => {
+            let patterns = mine(&prepared, previous.patterns(), &dirty)?;
+            let (crowd, delta) = CrowdBuilder::new(&merged, &prepared)
+                .windows(config.windows.clone())
+                .parallelism(config.parallelism)
+                .update(previous.crowd(), &patterns, &dirty)
+                .map_err(crowdweb_crowd::PipelineError::Crowd)?;
+            let snapshot = PlatformSnapshot::new(
+                epoch,
+                merged,
+                *prepared,
+                patterns,
+                previous.grid().clone(),
+                crowd,
+                config.min_support,
+            );
+            Ok((snapshot, EpochMode::Incremental, delta))
+        }
+        PrepUpdate::FullRebuild => {
+            let out = config.driver()?.run(&merged)?;
+            let mut cells: BTreeSet<(usize, _)> = BTreeSet::new();
+            for p in previous.crowd().placements() {
+                cells.insert((p.window, p.cell));
+            }
+            for p in out.crowd.placements() {
+                cells.insert((p.window, p.cell));
+            }
+            let delta = CrowdDelta {
+                users_recomputed: out.prepared.user_count(),
+                placements_removed: previous.crowd().placement_count(),
+                placements_added: out.crowd.placement_count(),
+                cells_touched: cells.len(),
+            };
+            let snapshot = PlatformSnapshot::new(
+                epoch,
+                merged,
+                out.prepared,
+                out.patterns,
+                out.grid,
+                out.crowd,
+                config.min_support,
+            );
+            Ok((snapshot, EpochMode::FullRebuild, delta))
         }
     }
 }
@@ -617,6 +681,55 @@ mod tests {
         assert_eq!(report.applied, 4);
         assert_eq!(engine.epoch(), 1);
         assert_eq!(receipt.queue_depth, 0);
+    }
+
+    #[test]
+    fn wal_append_failure_rejects_batch_atomically() {
+        let dir = temp_dir("walfail");
+        let mut cfg = config();
+        cfg.wal = Some(crate::WalConfig::new(&dir));
+        let engine = IngestEngine::open(base(), cfg).unwrap();
+        let records = shifted_records(engine.snapshot().dataset(), 3600, 2);
+        // Sabotage the first append: no directory, no segment file.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = engine.submit(records.clone()).unwrap_err();
+        assert!(matches!(err, IngestError::Wal(_)), "{err:?}");
+        assert_eq!(engine.queue_depth(), 0, "failed batch must not enqueue");
+        // The sequence numbers were released: a retry reuses the range
+        // safely because nothing of the failed batch survived.
+        std::fs::create_dir_all(&dir).unwrap();
+        let receipt = engine.submit(records).unwrap();
+        assert_eq!((receipt.first_seq, receipt.last_seq), (1, 2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inline_epoch_failure_reports_accepted_range() {
+        let dir = temp_dir("epochfail");
+        let mut cfg = config();
+        cfg.wal = Some(crate::WalConfig::new(&dir));
+        cfg.epoch_batch = Some(2);
+        let engine = IngestEngine::open(base(), cfg).unwrap();
+        let records = shifted_records(engine.snapshot().dataset(), 3600, 2);
+        engine.submit(records[..1].to_vec()).unwrap();
+        // Sabotage the post-publish checkpoint: the directory is gone,
+        // but appends still reach the already-open segment file.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = engine.submit(records[1..].to_vec()).unwrap_err();
+        match err {
+            IngestError::EpochFailed {
+                accepted,
+                first_seq,
+                last_seq,
+                ..
+            } => assert_eq!((accepted, first_seq, last_seq), (1, 2, 2)),
+            other => panic!("expected EpochFailed, got {other:?}"),
+        }
+        // The failure was past the publish: the snapshot moved and the
+        // queue is empty, so re-submitting the batch would double-apply
+        // — exactly what the error's contract warns clients against.
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.queue_depth(), 0);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!    ingestion and never observe a half-updated pipeline.
 //! 4. **Observability** ([`stats`]) — [`IngestEngine::stats`] reports
 //!    queue depth, WAL bytes, epoch latency, and re-mine counts.
+//! 5. **Sharding** ([`shard`]) — [`ShardedIngestEngine`] partitions
+//!    the queue, the WAL, and the per-epoch dirty set across
+//!    `hash(user) % N` shards so epoch re-mining fans out per shard,
+//!    while a global sequence counter keeps snapshots byte-identical
+//!    to the unsharded engine for any shard count.
 //!
 //! Determinism contract: after any sequence of submits and epochs, the
 //! published snapshot's pipeline stages are byte-identical to a cold
@@ -71,12 +76,16 @@
 
 pub mod engine;
 pub mod error;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod wal;
 
 pub use engine::{IngestConfig, IngestEngine};
 pub use error::IngestError;
+pub use shard::{effective_shards, shard_of, ShardedIngestEngine, MAX_SHARDS};
 pub use snapshot::PlatformSnapshot;
-pub use stats::{EpochMode, EpochReport, IngestStats, SubmitReceipt};
+pub use stats::{
+    EpochMode, EpochReport, IngestStats, ShardStats, ShardedIngestStats, SubmitReceipt,
+};
 pub use wal::{Wal, WalConfig, WalEntry, WalRecovery};

@@ -46,6 +46,62 @@ pub struct SubmitReceipt {
     pub epoch: Option<EpochReport>,
 }
 
+/// One shard's slice of [`ShardedIngestStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ShardStats {
+    /// Shard index (`hash(user) % shard_count`).
+    pub shard: usize,
+    /// Records waiting in this shard's queue.
+    pub queue_depth: usize,
+    /// This shard's queue capacity (the engine capacity split evenly).
+    pub queue_capacity: usize,
+    /// Highest sequence number applied from this shard (0 if none);
+    /// persisted as the shard checkpoint's header and reconciled on
+    /// recovery.
+    pub watermark: u64,
+    /// Records routed to this shard since the engine opened.
+    pub total_accepted: u64,
+    /// Records from this shard applied to a snapshot.
+    pub total_applied: u64,
+    /// Live WAL segment bytes in this shard's directory.
+    pub wal_segment_bytes: u64,
+    /// Bytes of this shard's current checkpoint.
+    pub wal_checkpoint_bytes: u64,
+}
+
+/// Point-in-time statistics of the sharded engine
+/// (`GET /api/v1/ingest/stats`): engine-wide totals plus one
+/// [`ShardStats`] row per shard.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardedIngestStats {
+    /// Current published epoch.
+    pub epoch: u64,
+    /// Resolved shard count.
+    pub shard_count: usize,
+    /// Records waiting across every shard queue.
+    pub queue_depth: usize,
+    /// Total capacity across every shard queue.
+    pub queue_capacity: usize,
+    /// Records accepted since the engine opened.
+    pub total_accepted: u64,
+    /// Records applied to a snapshot since the engine opened.
+    pub total_applied: u64,
+    /// Whether write-ahead logs are configured.
+    pub durable: bool,
+    /// Live WAL segment bytes summed over every shard.
+    pub wal_segment_bytes: u64,
+    /// Checkpoint bytes summed over every shard.
+    pub wal_checkpoint_bytes: u64,
+    /// Epochs run since the engine opened.
+    pub epochs_run: u64,
+    /// How many of those fell back to a full pipeline rebuild.
+    pub full_rebuilds: u64,
+    /// The most recent epoch, if any has run.
+    pub last_epoch: Option<EpochReport>,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
 /// Point-in-time ingest statistics (`GET /api/ingest/stats`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct IngestStats {

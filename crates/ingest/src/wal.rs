@@ -91,6 +91,15 @@ struct ActiveSegment {
     meta: SegmentMeta,
 }
 
+/// A point-in-time position of the log used to undo one append; see
+/// [`Wal::mark`] / [`Wal::rollback_to`].
+#[derive(Debug)]
+pub(crate) struct WalMark {
+    segment_count: usize,
+    /// `(path, bytes, last_seq)` of the active segment, if one existed.
+    active: Option<(PathBuf, u64, u64)>,
+}
+
 /// The write-ahead log (see the [module docs](self)).
 #[derive(Debug)]
 pub struct Wal {
@@ -263,6 +272,77 @@ impl Wal {
         if active.meta.bytes >= self.segment_limit {
             let closed = self.active.take().expect("checked above");
             self.segments.push(closed.meta);
+        }
+        Ok(())
+    }
+
+    /// Captures the log's position so a subsequent [`Wal::append`] can
+    /// be undone with [`Wal::rollback_to`].
+    pub(crate) fn mark(&self) -> WalMark {
+        WalMark {
+            segment_count: self.segments.len(),
+            active: self
+                .active
+                .as_ref()
+                .map(|a| (a.meta.path.clone(), a.meta.bytes, a.meta.last_seq)),
+        }
+    }
+
+    /// Undoes at most one `append` issued since `mark` was captured,
+    /// truncating the segment it wrote back to the marked length (or
+    /// deleting the segment the append created). Used by submit to
+    /// reject a batch atomically when a sibling shard's append fails,
+    /// and to discard the partial frame of an append that itself
+    /// failed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the caller must then treat the batch's sequence
+    /// numbers as consumed (replay may resurrect the rolled-back
+    /// records, so they must never be re-issued).
+    pub(crate) fn rollback_to(&mut self, mark: WalMark) -> Result<(), IngestError> {
+        match mark.active {
+            Some((path, bytes, last_seq)) => {
+                let still_active = self.active.as_ref().is_some_and(|a| a.meta.path == path);
+                if still_active {
+                    let active = self.active.as_mut().expect("checked above");
+                    active.file.set_len(bytes)?;
+                    active.meta.bytes = bytes;
+                    active.meta.last_seq = last_seq;
+                } else {
+                    // The append rotated the marked segment into the
+                    // closed list; truncate it and reinstate it as
+                    // active so later appends continue where the mark
+                    // left off.
+                    let idx = self
+                        .segments
+                        .iter()
+                        .position(|s| s.path == path)
+                        .ok_or_else(|| {
+                            IngestError::Corrupt("rollback lost track of its segment".to_owned())
+                        })?;
+                    let meta = self.segments.remove(idx);
+                    let file = OpenOptions::new().append(true).open(&meta.path)?;
+                    file.set_len(bytes)?;
+                    self.active = Some(ActiveSegment {
+                        file,
+                        meta: SegmentMeta {
+                            path: meta.path,
+                            last_seq,
+                            bytes,
+                        },
+                    });
+                }
+            }
+            None => {
+                // The append created the segment it wrote; remove it.
+                if let Some(active) = self.active.take() {
+                    fs::remove_file(&active.meta.path)?;
+                } else if self.segments.len() > mark.segment_count {
+                    let meta = self.segments.pop().expect("checked above");
+                    fs::remove_file(&meta.path)?;
+                }
+            }
         }
         Ok(())
     }
@@ -471,6 +551,48 @@ mod tests {
         let (_, rec) = Wal::open(&config).unwrap();
         assert_eq!(rec.entries.len(), 3);
         assert_eq!(rec.last_seq, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rollback_undoes_one_append() {
+        let dir = temp_wal_dir("rollback");
+        let config = WalConfig::new(&dir);
+        let (mut wal, _) = Wal::open(&config).unwrap();
+        // Rolling back the very first append removes its segment.
+        let mark = wal.mark();
+        wal.append(&[entry(1), entry(2)]).unwrap();
+        wal.rollback_to(mark).unwrap();
+        assert_eq!(wal.segment_bytes(), 0);
+        // Rolling back a later append truncates to the marked length.
+        wal.append(&[entry(1)]).unwrap();
+        let kept_bytes = wal.segment_bytes();
+        let mark = wal.mark();
+        wal.append(&[entry(2), entry(3)]).unwrap();
+        wal.rollback_to(mark).unwrap();
+        assert_eq!(wal.segment_bytes(), kept_bytes);
+        // Appends continue cleanly after a rollback.
+        wal.append(&[entry(2)]).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&config).unwrap();
+        assert_eq!(rec.entries, vec![entry(1), entry(2)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rollback_reinstates_a_rotated_segment() {
+        let dir = temp_wal_dir("rollback-rotate");
+        let config = WalConfig::new(&dir).segment_bytes(64); // every batch rotates
+        let (mut wal, _) = Wal::open(&config).unwrap();
+        wal.append(&[entry(1)]).unwrap();
+        assert_eq!(wal.segment_count(), 1);
+        // This append starts a new segment AND rotates it closed.
+        let mark = wal.mark();
+        wal.append(&[entry(2)]).unwrap();
+        assert_eq!(wal.segment_count(), 2);
+        wal.rollback_to(mark).unwrap();
+        let (_, rec) = Wal::open(&config).unwrap();
+        assert_eq!(rec.entries, vec![entry(1)]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,7 +18,7 @@
 //!   each time slot (the "R" of the mobility literature).
 
 use crowdweb_prep::{PlaceLabel, SeqItem, TimeSlot};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// `log2(N)` over the distinct places in `visits` (0.0 for an empty or
 /// single-place stream).
@@ -38,7 +38,10 @@ pub fn uncorrelated_entropy(visits: &[PlaceLabel]) -> f64 {
     if visits.is_empty() {
         return 0.0;
     }
-    let mut counts: HashMap<PlaceLabel, usize> = HashMap::new();
+    // BTreeMap, not HashMap: a fixed summation order keeps the result
+    // bit-identical across calls (HashMap iteration order varies per
+    // instance, which shifts the float sum by an ulp).
+    let mut counts: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
     for &v in visits {
         *counts.entry(v).or_insert(0) += 1;
     }

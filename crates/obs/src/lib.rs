@@ -46,5 +46,5 @@ mod registry;
 
 pub use registry::{
     Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS, EPOCH_LATENCY_BUCKETS,
-    HTTP_LATENCY_BUCKETS, STAGE_SECONDS,
+    HTTP_LATENCY_BUCKETS, SHARD_FANOUT_SECONDS, STAGE_SECONDS,
 };

@@ -40,6 +40,12 @@ pub const EPOCH_LATENCY_BUCKETS: [f64; 12] = [
 /// Family name used by [`MetricsRegistry::observe_stage`].
 pub const STAGE_SECONDS: &str = "crowdweb_pipeline_stage_seconds";
 
+/// Family name for the sharded ingest engine's per-shard epoch re-mine
+/// wall-time, labelled `{shard}`. The label is bounded: the engine
+/// caps its shard count and pre-registers one series per shard at
+/// startup, so cardinality never grows with traffic.
+pub const SHARD_FANOUT_SECONDS: &str = "crowdweb_ingest_shard_fanout_seconds";
+
 /// A monotonic counter. Cloning shares the underlying cell.
 #[derive(Debug, Clone, Default)]
 pub struct Counter {

@@ -1,26 +1,70 @@
 //! The JSON/SVG API handlers.
 //!
+//! # Versioning and alias policy
+//!
+//! The canonical API surface lives under `/api/v1/...`. Every endpoint
+//! is *also* reachable at its historical `/api/...` spelling: the alias
+//! is registered against the **same handler** (see
+//! [`Router::get_aliased`]), so the two spellings can never drift, and
+//! both report the canonical `/api/v1/...` pattern as their metrics
+//! route label — aliasing adds zero label cardinality. New clients
+//! should use `/api/v1`; the unversioned aliases are kept for existing
+//! dashboards and scripts and carry no deprecation deadline. A future
+//! breaking revision would mount `/api/v2` alongside `/api/v1` and
+//! leave both the v1 routes and the legacy aliases untouched.
+//!
+//! # Error envelope
+//!
+//! Every error response — handler errors, router 404/405, reactor
+//! 400/413/503 — carries one uniform JSON envelope:
+//!
+//! ```json
+//! {"error": {"code": "<kebab-slug>", "message": "...", "status": 404}}
+//! ```
+//!
+//! `code` is machine-readable and stable (`"unknown-user"`,
+//! `"bad-hour"`, `"queue-full"`, …; defaults to the status's slug such
+//! as `"not-found"` when nothing more specific applies), `message` is
+//! human-readable and may change, `status` repeats the HTTP status
+//! code. Handlers build envelopes via [`Response::error`] /
+//! [`Response::error_with_code`]; there is no other error body shape.
+//!
+//! # Routes
+//!
 //! | Route | Returns |
 //! |---|---|
 //! | `GET /` | embedded front-end |
-//! | `GET /api/stats` | dataset statistics (Sec. I.1 numbers) |
-//! | `GET /api/users` | qualifying users with activity counts |
-//! | `GET /api/patterns/:user` | a user's mined patterns (JSON) |
-//! | `GET /api/network/:user` | a user's place graph (SVG) |
-//! | `GET /api/crowd?hour=H` | crowd snapshot (JSON) |
-//! | `GET /api/crowd/map?hour=H` | crowd heat map (SVG) |
-//! | `GET /api/crowd/geojson?hour=H` | crowd snapshot (GeoJSON) |
-//! | `GET /api/crowd/flows?from=H&to=H` | inter-window flows (JSON) |
-//! | `GET /api/figures/:id` | figure data series (`fig5`…`fig8`) |
-//! | `GET /api/figures/:id/svg` | figure chart (SVG) |
-//! | `POST /api/upload` | mine an uploaded TSV check-in history |
-//! | `GET /api/upload/last` | the most recent upload's patterns |
-//! | `GET /api/uploads` | recent uploads, newest first |
-//! | `POST /api/checkins` | enqueue live check-ins (single or batch JSON) |
-//! | `POST /api/ingest/epoch` | drain the queue into a new epoch snapshot |
-//! | `GET /api/ingest/stats` | ingest queue/WAL/epoch statistics |
-//! | `GET /api/metrics` | platform metrics (Prometheus text exposition) |
-//! | `GET /api/healthz` | liveness: snapshot epoch + queue state (JSON) |
+//! | `GET /api/v1/stats` | dataset statistics (Sec. I.1 numbers) |
+//! | `GET /api/v1/users?limit=N&offset=M` | qualifying users, paginated (`{"total", "items"}`) |
+//! | `GET /api/v1/patterns/:user` | a user's mined patterns (JSON) |
+//! | `GET /api/v1/network/:user` | a user's place graph (SVG) |
+//! | `GET /api/v1/crowd?hour=H` | crowd snapshot (JSON) |
+//! | `GET /api/v1/crowd/map?hour=H` | crowd heat map (SVG) |
+//! | `GET /api/v1/crowd/geojson?hour=H` | crowd snapshot (GeoJSON) |
+//! | `GET /api/v1/crowd/flows?from=H&to=H` | inter-window flows (JSON) |
+//! | `GET /api/v1/crowd/flows/map?from=H&to=H` | inter-window flow map (SVG) |
+//! | `GET /api/v1/crowd/timeline` | per-window crowd timeline (SVG) |
+//! | `GET /api/v1/crowd/compare?a=H&b=H` | two-window comparison (JSON) |
+//! | `GET /api/v1/figures/:id` | figure data series (`fig5`…`fig8`) |
+//! | `GET /api/v1/figures/:id/svg` | figure chart (SVG) |
+//! | `POST /api/v1/upload` | mine an uploaded TSV check-in history |
+//! | `GET /api/v1/upload/last` | the most recent upload's patterns |
+//! | `GET /api/v1/uploads?limit=N&offset=M` | recent uploads, newest first, paginated |
+//! | `POST /api/v1/checkins` | enqueue live check-ins (single or batch JSON) |
+//! | `POST /api/v1/ingest/epoch` | drain the queue into a new epoch snapshot |
+//! | `GET /api/v1/ingest/stats` | ingest queue/WAL/epoch/shard statistics |
+//! | `GET /api/v1/metrics` | platform metrics (Prometheus text exposition) |
+//! | `GET /api/v1/healthz` | liveness: epoch, queue, shard count (JSON) |
+//! | `GET /api/v1/hotspots` | detected crowd hotspots (JSON) |
+//! | `GET /api/v1/heatmap` | city activity rhythm (SVG) |
+//! | `GET /api/v1/heatmap/:user` | one user's activity rhythm (SVG) |
+//! | `GET /api/v1/entropy/:user` | predictability profile (JSON) |
+//! | `GET /api/v1/groups?threshold=T` | users grouped by pattern similarity (JSON) |
+//! | `GET /api/v1/trajectory/:user?date=D` | one day's trajectory (JSON + GeoJSON) |
+//! | `GET /api/v1/tiles/:z/:x/:y?hour=H` | slippy-map crowd tile (SVG) |
+//!
+//! Each route above (minus `GET /`) also answers at `/api/...` without
+//! the version segment.
 
 use crate::{AppState, Request, Response, Router, StatusCode};
 use crowdweb_dataset::{MergeRecord, UserId};
@@ -30,40 +74,58 @@ use crowdweb_viz::{render_place_graph, snapshot_to_geojson, CityMap, Histogram, 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// Builds the full CrowdWeb route table.
+/// Builds the full CrowdWeb route table: every endpoint at its
+/// canonical `/api/v1/...` pattern plus its legacy `/api/...` alias
+/// (one handler, one metrics label — see the module docs).
 pub fn build_router() -> Router<AppState> {
     let mut router = Router::new();
     router.get("/", |_, _, _| {
         Response::html(crate::frontend::INDEX_HTML.to_owned())
     });
-    router.get("/api/stats", stats);
-    router.get("/api/users", users);
-    router.get("/api/patterns/:user", patterns);
-    router.get("/api/network/:user", network);
-    router.get("/api/crowd", crowd);
-    router.get("/api/crowd/map", crowd_map);
-    router.get("/api/crowd/geojson", crowd_geojson);
-    router.get("/api/crowd/flows", crowd_flows);
-    router.get("/api/figures/:id", figure_data);
-    router.get("/api/figures/:id/svg", figure_svg);
-    router.post("/api/upload", upload);
-    router.get("/api/upload/last", upload_last);
-    router.get("/api/uploads", uploads_list);
-    router.post("/api/checkins", checkins_submit);
-    router.post("/api/ingest/epoch", ingest_epoch);
-    router.get("/api/ingest/stats", ingest_stats);
-    router.get("/api/metrics", metrics_text);
-    router.get("/api/healthz", healthz);
-    router.get("/api/hotspots", hotspots);
-    router.get("/api/crowd/flows/map", crowd_flows_map);
-    router.get("/api/crowd/timeline", crowd_timeline);
-    router.get("/api/heatmap", heatmap);
-    router.get("/api/heatmap/:user", heatmap_user);
-    router.get("/api/entropy/:user", entropy);
-    router.get("/api/groups", groups);
-    router.get("/api/crowd/compare", crowd_compare);
-    router.get("/api/trajectory/:user", trajectory);
-    router.get("/api/tiles/:z/:x/:y", tile);
+    router.get_aliased("/api/v1/stats", "/api/stats", stats);
+    router.get_aliased("/api/v1/users", "/api/users", users);
+    router.get_aliased("/api/v1/patterns/:user", "/api/patterns/:user", patterns);
+    router.get_aliased("/api/v1/network/:user", "/api/network/:user", network);
+    router.get_aliased("/api/v1/crowd", "/api/crowd", crowd);
+    router.get_aliased("/api/v1/crowd/map", "/api/crowd/map", crowd_map);
+    router.get_aliased("/api/v1/crowd/geojson", "/api/crowd/geojson", crowd_geojson);
+    router.get_aliased("/api/v1/crowd/flows", "/api/crowd/flows", crowd_flows);
+    router.get_aliased("/api/v1/figures/:id", "/api/figures/:id", figure_data);
+    router.get_aliased(
+        "/api/v1/figures/:id/svg",
+        "/api/figures/:id/svg",
+        figure_svg,
+    );
+    router.post_aliased("/api/v1/upload", "/api/upload", upload);
+    router.get_aliased("/api/v1/upload/last", "/api/upload/last", upload_last);
+    router.get_aliased("/api/v1/uploads", "/api/uploads", uploads_list);
+    router.post_aliased("/api/v1/checkins", "/api/checkins", checkins_submit);
+    router.post_aliased("/api/v1/ingest/epoch", "/api/ingest/epoch", ingest_epoch);
+    router.get_aliased("/api/v1/ingest/stats", "/api/ingest/stats", ingest_stats);
+    router.get_aliased("/api/v1/metrics", "/api/metrics", metrics_text);
+    router.get_aliased("/api/v1/healthz", "/api/healthz", healthz);
+    router.get_aliased("/api/v1/hotspots", "/api/hotspots", hotspots);
+    router.get_aliased(
+        "/api/v1/crowd/flows/map",
+        "/api/crowd/flows/map",
+        crowd_flows_map,
+    );
+    router.get_aliased(
+        "/api/v1/crowd/timeline",
+        "/api/crowd/timeline",
+        crowd_timeline,
+    );
+    router.get_aliased("/api/v1/heatmap", "/api/heatmap", heatmap);
+    router.get_aliased("/api/v1/heatmap/:user", "/api/heatmap/:user", heatmap_user);
+    router.get_aliased("/api/v1/entropy/:user", "/api/entropy/:user", entropy);
+    router.get_aliased("/api/v1/groups", "/api/groups", groups);
+    router.get_aliased("/api/v1/crowd/compare", "/api/crowd/compare", crowd_compare);
+    router.get_aliased(
+        "/api/v1/trajectory/:user",
+        "/api/trajectory/:user",
+        trajectory,
+    );
+    router.get_aliased("/api/v1/tiles/:z/:x/:y", "/api/tiles/:z/:x/:y", tile);
     router
 }
 
@@ -74,22 +136,87 @@ fn ok_json<T: Serialize>(value: &T) -> Response {
     }
 }
 
+/// Builds an error envelope with a handler-specific machine-readable
+/// code. The single funnel for every ad-hoc error a handler emits — the
+/// body shape is owned by [`Response::error_with_code`].
+fn error_envelope(status: StatusCode, code: &str, message: &str) -> Response {
+    Response::error_with_code(status, code, message)
+}
+
 fn parse_user(params: &HashMap<String, String>) -> Result<UserId, Response> {
     params
         .get("user")
         .and_then(|s| s.parse::<u32>().ok())
         .map(UserId::new)
-        .ok_or_else(|| Response::error(StatusCode::BadRequest, "bad user id"))
+        .ok_or_else(|| error_envelope(StatusCode::BadRequest, "bad-user-id", "bad user id"))
 }
 
 fn parse_hour(request: &Request) -> Result<u8, Response> {
     match request.query_param("hour") {
         None => Ok(9), // the paper's default view
+        Some(raw) => {
+            raw.parse::<u8>().ok().filter(|h| *h < 24).ok_or_else(|| {
+                error_envelope(StatusCode::BadRequest, "bad-hour", "hour must be 0-23")
+            })
+        }
+    }
+}
+
+/// Pagination bounds. `limit` defaults to 100 and must be 1..=1000;
+/// `offset` defaults to 0 and accepts any non-negative integer
+/// (offsets past the end yield an empty page, which is valid). Values
+/// outside those bounds are a 400 envelope, never a silent clamp.
+const DEFAULT_PAGE_LIMIT: usize = 100;
+const MAX_PAGE_LIMIT: usize = 1000;
+
+struct Page {
+    limit: usize,
+    offset: usize,
+}
+
+fn parse_page(request: &Request) -> Result<Page, Response> {
+    let limit = match request.query_param("limit") {
+        None => DEFAULT_PAGE_LIMIT,
         Some(raw) => raw
-            .parse::<u8>()
+            .parse::<usize>()
             .ok()
-            .filter(|h| *h < 24)
-            .ok_or_else(|| Response::error(StatusCode::BadRequest, "hour must be 0-23")),
+            .filter(|l| (1..=MAX_PAGE_LIMIT).contains(l))
+            .ok_or_else(|| {
+                error_envelope(
+                    StatusCode::BadRequest,
+                    "bad-limit",
+                    &format!("limit must be an integer in 1..={MAX_PAGE_LIMIT}"),
+                )
+            })?,
+    };
+    let offset = match request.query_param("offset") {
+        None => 0,
+        Some(raw) => raw.parse::<usize>().map_err(|_| {
+            error_envelope(
+                StatusCode::BadRequest,
+                "bad-offset",
+                "offset must be a non-negative integer",
+            )
+        })?,
+    };
+    Ok(Page { limit, offset })
+}
+
+/// A paginated listing: the unfiltered total plus one page of items.
+#[derive(Serialize)]
+struct PageDto<T> {
+    total: usize,
+    items: Vec<T>,
+}
+
+fn paginate<T>(items: impl IntoIterator<Item = T>, total: usize, page: &Page) -> PageDto<T> {
+    PageDto {
+        total,
+        items: items
+            .into_iter()
+            .skip(page.offset)
+            .take(page.limit)
+            .collect(),
     }
 }
 
@@ -127,18 +254,19 @@ struct UserDto {
     patterns: usize,
 }
 
-fn users(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn users(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let page = match parse_page(request) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
     let snap = state.snapshot();
-    let list: Vec<UserDto> = snap
-        .patterns()
-        .iter()
-        .map(|p| UserDto {
-            user: p.user.raw(),
-            active_days: p.active_days,
-            patterns: p.pattern_count(),
-        })
-        .collect();
-    ok_json(&list)
+    let all = snap.patterns();
+    let rows = all.iter().map(|p| UserDto {
+        user: p.user.raw(),
+        active_days: p.active_days,
+        patterns: p.pattern_count(),
+    });
+    ok_json(&paginate(rows, all.len(), &page))
 }
 
 #[derive(Serialize)]
@@ -193,7 +321,11 @@ fn patterns(state: &AppState, _: &Request, params: &HashMap<String, String>) -> 
     let snap = state.snapshot();
     match snap.patterns_of(user) {
         Some(up) => ok_json(&patterns_dto(&snap, up)),
-        None => Response::error(StatusCode::NotFound, "unknown or filtered user"),
+        None => error_envelope(
+            StatusCode::NotFound,
+            "unknown-user",
+            "unknown or filtered user",
+        ),
     }
 }
 
@@ -210,7 +342,11 @@ fn network(state: &AppState, _: &Request, params: &HashMap<String, String>) -> R
                 labeler.name_of(l).unwrap_or_else(|| l.to_string())
             }))
         }
-        None => Response::error(StatusCode::NotFound, "unknown or filtered user"),
+        None => error_envelope(
+            StatusCode::NotFound,
+            "unknown-user",
+            "unknown or filtered user",
+        ),
     }
 }
 
@@ -232,9 +368,13 @@ fn snapshot_for(
     request: &Request,
 ) -> Result<crowdweb_crowd::CrowdSnapshot, Response> {
     let hour = parse_hour(request)?;
-    snap.crowd()
-        .snapshot_at_hour(hour)
-        .ok_or_else(|| Response::error(StatusCode::NotFound, "no window covers that hour"))
+    snap.crowd().snapshot_at_hour(hour).ok_or_else(|| {
+        error_envelope(
+            StatusCode::NotFound,
+            "no-window",
+            "no window covers that hour",
+        )
+    })
 }
 
 fn crowd(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
@@ -267,14 +407,22 @@ fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -
         },
         Some(raw) => {
             let Ok(label) = raw.parse::<u32>() else {
-                return Response::error(StatusCode::BadRequest, "label must be an integer");
+                return error_envelope(
+                    StatusCode::BadRequest,
+                    "bad-label",
+                    "label must be an integer",
+                );
             };
             let hour = match parse_hour(request) {
                 Ok(h) => h,
                 Err(resp) => return resp,
             };
             let Some(idx) = platform.crowd().windows().index_of_hour(hour) else {
-                return Response::error(StatusCode::NotFound, "no window covers that hour");
+                return error_envelope(
+                    StatusCode::NotFound,
+                    "no-window",
+                    "no window covers that hour",
+                );
             };
             match platform
                 .crowd()
@@ -307,11 +455,9 @@ fn crowd_flows(state: &AppState, request: &Request, _: &HashMap<String, String>)
     let parse = |name: &str, default: u8| -> Result<u8, Response> {
         match request.query_param(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse::<u8>()
-                .ok()
-                .filter(|h| *h < 24)
-                .ok_or_else(|| Response::error(StatusCode::BadRequest, "hours must be 0-23")),
+            Some(raw) => raw.parse::<u8>().ok().filter(|h| *h < 24).ok_or_else(|| {
+                error_envelope(StatusCode::BadRequest, "bad-hour", "hours must be 0-23")
+            }),
         }
     };
     let (from, to) = match (parse("from", 9), parse("to", 10)) {
@@ -321,7 +467,11 @@ fn crowd_flows(state: &AppState, request: &Request, _: &HashMap<String, String>)
     let snap = state.snapshot();
     let windows = snap.crowd().windows();
     let (Some(fi), Some(ti)) = (windows.index_of_hour(from), windows.index_of_hour(to)) else {
-        return Response::error(StatusCode::NotFound, "no window covers that hour");
+        return error_envelope(
+            StatusCode::NotFound,
+            "no-window",
+            "no window covers that hour",
+        );
     };
     match snap.crowd().flows(fi, ti) {
         Ok(flows) => ok_json(
@@ -431,7 +581,11 @@ fn figure_data(state: &AppState, _: &Request, params: &HashMap<String, String>) 
     let snap = state.snapshot();
     match figure_series(&snap, params.get("id").map(String::as_str).unwrap_or("")) {
         Some(series) => ok_json(&series),
-        None => Response::error(StatusCode::NotFound, "unknown figure (fig5..fig8)"),
+        None => error_envelope(
+            StatusCode::NotFound,
+            "unknown-figure",
+            "unknown figure (fig5..fig8)",
+        ),
     }
 }
 
@@ -439,7 +593,11 @@ fn figure_svg(state: &AppState, _: &Request, params: &HashMap<String, String>) -
     let id = params.get("id").map(String::as_str).unwrap_or("");
     let snap = state.snapshot();
     let Some(series) = figure_series(&snap, id) else {
-        return Response::error(StatusCode::NotFound, "unknown figure (fig5..fig8)");
+        return error_envelope(
+            StatusCode::NotFound,
+            "unknown-figure",
+            "unknown figure (fig5..fig8)",
+        );
     };
     let svg = match id {
         "fig5" | "fig7" => {
@@ -505,29 +663,30 @@ fn upload_dto(snap: &PlatformSnapshot, result: &crate::state::UploadResult) -> U
 
 fn upload(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
     let Ok(body) = std::str::from_utf8(&request.body) else {
-        return Response::error(StatusCode::BadRequest, "body must be utf-8 tsv");
+        return error_envelope(StatusCode::BadRequest, "bad-body", "body must be utf-8 tsv");
     };
     match state.ingest_upload(body) {
         Ok(result) => ok_json(&upload_dto(&state.snapshot(), &result)),
-        Err(e) => Response::error(StatusCode::BadRequest, &e.to_string()),
+        Err(e) => error_envelope(StatusCode::BadRequest, "bad-upload", &e.to_string()),
     }
 }
 
 fn upload_last(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
     match state.last_upload() {
         Some(result) => ok_json(&upload_dto(&state.snapshot(), &result)),
-        None => Response::error(StatusCode::NotFound, "no upload yet"),
+        None => error_envelope(StatusCode::NotFound, "no-upload", "no upload yet"),
     }
 }
 
-fn uploads_list(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn uploads_list(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let page = match parse_page(request) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
     let snap = state.snapshot();
-    let rows: Vec<UploadDto> = state
-        .uploads()
-        .iter()
-        .map(|r| upload_dto(&snap, r))
-        .collect();
-    ok_json(&rows)
+    let uploads = state.uploads();
+    let rows = uploads.iter().map(|r| upload_dto(&snap, r));
+    ok_json(&paginate(rows, uploads.len(), &page))
 }
 
 /// One live check-in as submitted to `POST /api/checkins`. `category`
@@ -564,7 +723,11 @@ fn checkin_to_record(dto: &CheckinDto) -> Result<MergeRecord, String> {
 
 fn checkins_submit(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
     let Ok(body) = std::str::from_utf8(&request.body) else {
-        return Response::error(StatusCode::BadRequest, "body must be utf-8 json");
+        return error_envelope(
+            StatusCode::BadRequest,
+            "bad-body",
+            "body must be utf-8 json",
+        );
     };
     // Accept a single check-in object or an array of them.
     let dtos: Vec<CheckinDto> = match serde_json::from_str::<Vec<CheckinDto>>(body) {
@@ -572,8 +735,9 @@ fn checkins_submit(state: &AppState, request: &Request, _: &HashMap<String, Stri
         Err(_) => match serde_json::from_str::<CheckinDto>(body) {
             Ok(one) => vec![one],
             Err(e) => {
-                return Response::error(
+                return error_envelope(
                     StatusCode::BadRequest,
+                    "bad-checkin",
                     &format!("body must be a check-in object or array: {e}"),
                 )
             }
@@ -584,15 +748,28 @@ fn checkins_submit(state: &AppState, request: &Request, _: &HashMap<String, Stri
         match checkin_to_record(dto) {
             Ok(r) => records.push(r),
             Err(msg) => {
-                return Response::error(StatusCode::BadRequest, &format!("check-in {i}: {msg}"))
+                return error_envelope(
+                    StatusCode::BadRequest,
+                    "bad-checkin",
+                    &format!("check-in {i}: {msg}"),
+                )
             }
         }
     }
     match state.engine().submit(records) {
         Ok(receipt) => ok_json(&receipt),
         Err(e @ IngestError::Backpressure { .. }) => {
-            Response::error(StatusCode::ServiceUnavailable, &e.to_string())
+            error_envelope(StatusCode::ServiceUnavailable, "queue-full", &e.to_string())
         }
+        // The batch was accepted and logged but the inline epoch
+        // failed: the records are durable, so the client must NOT
+        // re-submit — a distinct code makes that distinguishable from
+        // a rejected batch.
+        Err(e @ IngestError::EpochFailed { .. }) => error_envelope(
+            StatusCode::InternalServerError,
+            "epoch-failed",
+            &e.to_string(),
+        ),
         Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
     }
 }
@@ -629,6 +806,7 @@ struct HealthDto {
     epoch: u64,
     queue_depth: usize,
     queue_capacity: usize,
+    shards: usize,
     durable: bool,
     open_connections: i64,
 }
@@ -640,6 +818,7 @@ fn healthz(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Respon
         epoch: stats.epoch,
         queue_depth: stats.queue_depth,
         queue_capacity: stats.queue_capacity,
+        shards: stats.shard_count,
         durable: stats.durable,
         // Published by the reactor loop; 0 when the router is driven
         // without a running server (tests, embedding).
@@ -684,11 +863,9 @@ fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, Stri
     let parse = |name: &str, default: u8| -> Result<u8, Response> {
         match request.query_param(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse::<u8>()
-                .ok()
-                .filter(|h| *h < 24)
-                .ok_or_else(|| Response::error(StatusCode::BadRequest, "hours must be 0-23")),
+            Some(raw) => raw.parse::<u8>().ok().filter(|h| *h < 24).ok_or_else(|| {
+                error_envelope(StatusCode::BadRequest, "bad-hour", "hours must be 0-23")
+            }),
         }
     };
     let (from, to) = match (parse("from", 9), parse("to", 10)) {
@@ -698,7 +875,11 @@ fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, Stri
     let snap = state.snapshot();
     let windows = snap.crowd().windows();
     let (Some(fi), Some(ti)) = (windows.index_of_hour(from), windows.index_of_hour(to)) else {
-        return Response::error(StatusCode::NotFound, "no window covers that hour");
+        return error_envelope(
+            StatusCode::NotFound,
+            "no-window",
+            "no window covers that hour",
+        );
     };
     match snap.crowd().flows(fi, ti) {
         Ok(flows) => Response::svg(crowdweb_viz::render_flow_map(
@@ -732,7 +913,7 @@ fn heatmap_user(state: &AppState, _: &Request, params: &HashMap<String, String>)
     };
     let snap = state.snapshot();
     if snap.dataset().checkins_of(user).is_empty() {
-        return Response::error(StatusCode::NotFound, "unknown user");
+        return error_envelope(StatusCode::NotFound, "unknown-user", "unknown user");
     }
     let profile = crowdweb_dataset::ActivityProfile::of_user(snap.dataset(), user);
     Response::svg(crowdweb_viz::render_activity_heatmap(
@@ -759,7 +940,11 @@ fn entropy(state: &AppState, _: &Request, params: &HashMap<String, String>) -> R
     };
     let snap = state.snapshot();
     let Some(view) = snap.prepared().seqdb().view_of(user) else {
-        return Response::error(StatusCode::NotFound, "unknown or filtered user");
+        return error_envelope(
+            StatusCode::NotFound,
+            "unknown-user",
+            "unknown or filtered user",
+        );
     };
     let p = crowdweb_mobility::predictability_profile(&view.decode());
     ok_json(&EntropyDto {
@@ -783,7 +968,13 @@ fn groups(state: &AppState, request: &Request, _: &HashMap<String, String>) -> R
         None => 0.6,
         Some(raw) => match raw.parse::<f64>() {
             Ok(t) if (0.0..=1.0).contains(&t) => t,
-            _ => return Response::error(StatusCode::BadRequest, "threshold must be in [0, 1]"),
+            _ => {
+                return error_envelope(
+                    StatusCode::BadRequest,
+                    "bad-threshold",
+                    "threshold must be in [0, 1]",
+                )
+            }
         },
     };
     let snap = state.snapshot();
@@ -801,11 +992,9 @@ fn crowd_compare(state: &AppState, request: &Request, _: &HashMap<String, String
     let parse = |name: &str, default: u8| -> Result<u8, Response> {
         match request.query_param(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse::<u8>()
-                .ok()
-                .filter(|h| *h < 24)
-                .ok_or_else(|| Response::error(StatusCode::BadRequest, "hours must be 0-23")),
+            Some(raw) => raw.parse::<u8>().ok().filter(|h| *h < 24).ok_or_else(|| {
+                error_envelope(StatusCode::BadRequest, "bad-hour", "hours must be 0-23")
+            }),
         }
     };
     let (a, b) = match (parse("a", 9), parse("b", 19)) {
@@ -839,7 +1028,7 @@ fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, Stri
     let snap = state.snapshot();
     let checkins = snap.dataset().checkins_of(user);
     if checkins.is_empty() {
-        return Response::error(StatusCode::NotFound, "unknown user");
+        return error_envelope(StatusCode::NotFound, "unknown-user", "unknown user");
     }
     // Group the user's check-ins by local date.
     let mut per_day: HashMap<crowdweb_dataset::CivilDate, Vec<crowdweb_geo::LatLon>> =
@@ -865,7 +1054,13 @@ fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, Stri
                 .flatten();
             match parsed {
                 Some(d) => d,
-                None => return Response::error(StatusCode::BadRequest, "date must be YYYY-MM-DD"),
+                None => {
+                    return error_envelope(
+                        StatusCode::BadRequest,
+                        "bad-date",
+                        "date must be YYYY-MM-DD",
+                    )
+                }
             }
         }
         // Default: the user's busiest day.
@@ -878,7 +1073,11 @@ fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, Stri
         }
     };
     let Some(points) = per_day.get(&date) else {
-        return Response::error(StatusCode::NotFound, "no check-ins on that date");
+        return error_envelope(
+            StatusCode::NotFound,
+            "no-checkins",
+            "no check-ins on that date",
+        );
     };
     let feature =
         crowdweb_geo::geojson::Feature::new(crowdweb_geo::geojson::Geometry::line(points))
@@ -903,14 +1102,18 @@ fn tile(state: &AppState, request: &Request, params: &HashMap<String, String>) -
     use crowdweb_viz::sequential_color;
     let parse = |name: &str| -> Option<u32> { params.get(name).and_then(|s| s.parse().ok()) };
     let (Some(z), Some(x), Some(y)) = (parse("z"), parse("x"), parse("y")) else {
-        return Response::error(StatusCode::BadRequest, "tile coordinates must be integers");
+        return error_envelope(
+            StatusCode::BadRequest,
+            "bad-tile",
+            "tile coordinates must be integers",
+        );
     };
     let Ok(z8) = u8::try_from(z) else {
-        return Response::error(StatusCode::BadRequest, "zoom out of range");
+        return error_envelope(StatusCode::BadRequest, "bad-tile", "zoom out of range");
     };
     let tile = match crowdweb_geo::TileCoord::new(z8, x, y) {
         Ok(t) => t,
-        Err(e) => return Response::error(StatusCode::BadRequest, &e.to_string()),
+        Err(e) => return error_envelope(StatusCode::BadRequest, "bad-tile", &e.to_string()),
     };
     let platform = state.snapshot();
     let snap = match snapshot_for(&platform, request) {
@@ -1039,13 +1242,14 @@ mod tests {
     #[test]
     fn healthz_endpoint_reports_epoch_and_queue() {
         let (s, r) = (state(), build_router());
-        let (code, body) = get(&r, &s, "/api/healthz");
+        let (code, body) = get(&r, &s, "/api/v1/healthz");
         assert_eq!(code, 200);
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
         assert_eq!(v["status"], "ok");
         assert_eq!(v["epoch"].as_u64(), Some(0));
         assert_eq!(v["queue_depth"].as_u64(), Some(0));
         assert!(v["queue_capacity"].as_u64().unwrap() > 0);
+        assert!(v["shards"].as_u64().unwrap() >= 1);
         assert_eq!(v["durable"].as_bool(), Some(false));
         // Driven without a running reactor, the gauge is absent → 0.
         assert_eq!(v["open_connections"].as_i64(), Some(0));
@@ -1055,20 +1259,64 @@ mod tests {
     fn users_and_patterns_endpoints() {
         let s = state();
         let r = build_router();
-        let (code, body) = get(&r, &s, "/api/users");
+        let (code, body) = get(&r, &s, "/api/v1/users");
         assert_eq!(code, 200);
-        let users: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
-        assert!(!users.is_empty());
-        let uid = users[0]["user"].as_u64().unwrap();
-        let (code, body) = get(&r, &s, &format!("/api/patterns/{uid}"));
+        let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let items = page["items"].as_array().unwrap();
+        assert!(!items.is_empty());
+        assert_eq!(page["total"].as_u64().unwrap() as usize, items.len());
+        let uid = items[0]["user"].as_u64().unwrap();
+        let (code, body) = get(&r, &s, &format!("/api/v1/patterns/{uid}"));
         assert_eq!(code, 200);
         assert!(body.contains("\"patterns\""));
         // Pattern items carry readable labels with slot ranges.
         assert!(body.contains(":00-"));
-        let (code, _) = get(&r, &s, "/api/patterns/999999");
+        let (code, _) = get(&r, &s, "/api/v1/patterns/999999");
         assert_eq!(code, 404);
-        let (code, _) = get(&r, &s, "/api/patterns/not-a-number");
+        let (code, _) = get(&r, &s, "/api/v1/patterns/not-a-number");
         assert_eq!(code, 400);
+    }
+
+    #[test]
+    fn users_pagination_windows_and_validates() {
+        let s = state();
+        let r = build_router();
+        let (_, body) = get(&r, &s, "/api/v1/users");
+        let full: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let total = full["total"].as_u64().unwrap() as usize;
+        assert!(total >= 3, "need a few users to paginate over");
+        // A window in the middle: same total, bounded items, correct
+        // slice.
+        let (code, body) = get(&r, &s, "/api/v1/users?limit=2&offset=1");
+        assert_eq!(code, 200);
+        let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(page["total"].as_u64().unwrap() as usize, total);
+        assert_eq!(page["items"].as_array().unwrap().len(), 2);
+        assert_eq!(page["items"][0], full["items"][1]);
+        // An offset past the end is a valid empty page.
+        let (code, body) = get(&r, &s, &format!("/api/v1/users?offset={}", total + 5));
+        assert_eq!(code, 200);
+        let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(page["items"].as_array().unwrap().len(), 0);
+        assert_eq!(page["total"].as_u64().unwrap() as usize, total);
+        // Out-of-bounds values are rejected, never clamped.
+        for bad in [
+            "/api/v1/users?limit=0",
+            "/api/v1/users?limit=1001",
+            "/api/v1/users?limit=-1",
+            "/api/v1/users?limit=abc",
+            "/api/v1/users?offset=-1",
+            "/api/v1/users?offset=x",
+        ] {
+            let (code, body) = get(&r, &s, bad);
+            assert_eq!(code, 400, "{bad}: {body}");
+            let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+            let code_slug = v["error"]["code"].as_str().unwrap();
+            assert!(
+                code_slug == "bad-limit" || code_slug == "bad-offset",
+                "{bad}: {body}"
+            );
+        }
     }
 
     #[test]
@@ -1247,22 +1495,32 @@ mod tests {
     fn uploads_endpoint_lists_history_newest_first() {
         let s = state();
         let r = build_router();
-        let (code, body) = get(&r, &s, "/api/uploads");
+        let (code, body) = get(&r, &s, "/api/v1/uploads");
         assert_eq!(code, 200);
-        assert_eq!(body, "[]");
+        assert_eq!(body, "{\"total\":0,\"items\":[]}");
         for user in [501, 502] {
             let tsv = format!(
                 "{user}\tv1\tx\tCoffee Shop\t40.75\t-73.99\t-240\tTue Apr 03 13:00:00 +0000 2012\n"
             );
-            let (code, _) = post(&r, &s, "/api/upload", &tsv);
+            let (code, _) = post(&r, &s, "/api/v1/upload", &tsv);
             assert_eq!(code, 200);
         }
-        let (code, body) = get(&r, &s, "/api/uploads");
+        let (code, body) = get(&r, &s, "/api/v1/uploads");
         assert_eq!(code, 200);
-        let rows: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
+        let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(page["total"].as_u64(), Some(2));
+        let rows = page["items"].as_array().unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0]["users"][0].as_u64(), Some(502));
         assert_eq!(rows[1]["users"][0].as_u64(), Some(501));
+        // Pagination applies to the newest-first ordering.
+        let (code, body) = get(&r, &s, "/api/v1/uploads?limit=1&offset=1");
+        assert_eq!(code, 200);
+        let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(page["total"].as_u64(), Some(2));
+        assert_eq!(page["items"][0]["users"][0].as_u64(), Some(501));
+        let (code, _) = get(&r, &s, "/api/v1/uploads?limit=5000");
+        assert_eq!(code, 400);
     }
 
     #[test]
@@ -1378,6 +1636,103 @@ mod tests {
         assert_eq!(code, 404);
         let (code, _) = get(&r, &s, "/api/trajectory/999999");
         assert_eq!(code, 404);
+    }
+
+    /// Every error the API emits — bad params, unknown resources,
+    /// router 404/405 — must carry the uniform envelope:
+    /// `{"error": {"code": "<kebab-slug>", "message": ..., "status": N}}`.
+    #[test]
+    fn every_error_response_carries_the_uniform_envelope() {
+        let s = state();
+        let r = build_router();
+        let cases: &[(&str, u16, &str)] = &[
+            ("/api/v1/patterns/not-a-number", 400, "bad-user-id"),
+            ("/api/v1/patterns/999999", 404, "unknown-user"),
+            ("/api/v1/network/999999", 404, "unknown-user"),
+            ("/api/v1/crowd?hour=99", 400, "bad-hour"),
+            ("/api/v1/crowd/map?hour=12&label=zzz", 400, "bad-label"),
+            ("/api/v1/crowd/flows?from=77", 400, "bad-hour"),
+            ("/api/v1/figures/fig99", 404, "unknown-figure"),
+            ("/api/v1/upload/last", 404, "no-upload"),
+            ("/api/v1/users?limit=0", 400, "bad-limit"),
+            ("/api/v1/users?offset=-1", 400, "bad-offset"),
+            ("/api/v1/groups?threshold=2.0", 400, "bad-threshold"),
+            ("/api/v1/crowd/compare?a=99", 400, "bad-hour"),
+            ("/api/v1/heatmap/999999", 404, "unknown-user"),
+            ("/api/v1/entropy/999999", 404, "unknown-user"),
+            ("/api/v1/trajectory/999999", 404, "unknown-user"),
+            ("/api/v1/tiles/abc/0/0", 400, "bad-tile"),
+            ("/api/v1/tiles/2/9/0", 400, "bad-tile"),
+            // Router-level errors use the status' default slug.
+            ("/definitely/not/a/route", 404, "not-found"),
+        ];
+        for &(path, status, code_slug) in cases {
+            let (code, body) = get(&r, &s, path);
+            assert_eq!(code, status, "{path}: {body}");
+            let v: serde_json::Value = serde_json::from_str(&body)
+                .unwrap_or_else(|e| panic!("{path}: non-JSON error body {body:?}: {e}"));
+            assert_eq!(v["error"]["code"].as_str(), Some(code_slug), "{path}");
+            assert!(
+                !v["error"]["message"].as_str().unwrap().is_empty(),
+                "{path}"
+            );
+            assert_eq!(v["error"]["status"].as_u64(), Some(u64::from(status)));
+            let slug = v["error"]["code"].as_str().unwrap();
+            assert!(
+                slug.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
+                "{path}: code {slug:?} is not kebab-case"
+            );
+        }
+        // Method mismatch (405) and bad POST bodies are enveloped too.
+        let (code, body) = post(&r, &s, "/api/v1/users", "");
+        assert_eq!(code, 405);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["code"], "method-not-allowed");
+        let (code, body) = post(&r, &s, "/api/v1/checkins", "not json");
+        assert_eq!(code, 400, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["code"], "bad-checkin");
+        let (code, body) = post(&r, &s, "/api/v1/upload", "not\ttsv");
+        assert_eq!(code, 400);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["code"], "bad-upload");
+    }
+
+    /// The legacy `/api/...` aliases answer with byte-identical bodies
+    /// to their canonical `/api/v1/...` routes — same handler, zero
+    /// drift.
+    #[test]
+    fn legacy_aliases_return_identical_bodies() {
+        let s = state();
+        let r = build_router();
+        let uid = s.snapshot().prepared().users()[0].raw();
+        let patterns_path = format!("patterns/{uid}");
+        let entropy_path = format!("entropy/{uid}");
+        let suffixes: &[&str] = &[
+            "stats",
+            "users?limit=3&offset=1",
+            &patterns_path,
+            &entropy_path,
+            "crowd?hour=9",
+            "crowd/geojson?hour=9",
+            "crowd/flows?from=9&to=10",
+            "figures/fig5",
+            "uploads",
+            "ingest/stats",
+            "healthz",
+            "hotspots",
+            "groups?threshold=0.5",
+            // Error paths alias identically as well.
+            "patterns/999999",
+            "crowd?hour=99",
+        ];
+        for suffix in suffixes {
+            let (v1_code, v1_body) = get(&r, &s, &format!("/api/v1/{suffix}"));
+            let (legacy_code, legacy_body) = get(&r, &s, &format!("/api/{suffix}"));
+            assert_eq!(v1_code, legacy_code, "{suffix}");
+            assert_eq!(v1_body, legacy_body, "{suffix}");
+        }
     }
 
     #[test]

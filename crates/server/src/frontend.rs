@@ -100,7 +100,7 @@ async function jget(url) { const r = await fetch(url); if (!r.ok) throw new Erro
 async function sget(url, el) { const r = await fetch(url); el.innerHTML = r.ok ? await r.text() : '(error)'; }
 
 async function loadStats() {
-  const s = await jget('/api/stats');
+  const s = await jget('/api/v1/stats');
   $('stats').innerHTML =
     `check-ins: <b>${s.total_checkins}</b><br>users: <b>${s.user_count}</b> ` +
     `(filtered: <b>${s.filtered_users}</b>)<br>venues: <b>${s.venue_count}</b><br>` +
@@ -108,9 +108,9 @@ async function loadStats() {
     `study window: <b>${s.study_window}</b><br>min_support: <b>${s.min_support}</b>`;
 }
 async function loadUsers() {
-  const users = await jget('/api/users');
+  const page = await jget('/api/v1/users?limit=1000');
   $('users').innerHTML = '';
-  users.forEach(u => {
+  page.items.forEach(u => {
     const div = document.createElement('div');
     div.textContent = `user ${u.user} — ${u.active_days} days, ${u.patterns} patterns`;
     div.onclick = () => selectUser(u.user, div);
@@ -120,14 +120,14 @@ async function loadUsers() {
 async function selectUser(id, el) {
   document.querySelectorAll('#users div').forEach(d => d.classList.remove('sel'));
   el.classList.add('sel');
-  const p = await jget('/api/patterns/' + id);
+  const p = await jget('/api/v1/patterns/' + id);
   $('patterns').innerHTML = p.patterns.length ? '' : '<li>(no patterns)</li>';
   p.patterns.forEach(pat => {
     const li = document.createElement('li');
     li.textContent = `⟨${pat.items.join(' → ')}⟩ ×${pat.support}`;
     $('patterns').appendChild(li);
   });
-  await sget('/api/network/' + id, $('network'));
+  await sget('/api/v1/network/' + id, $('network'));
 }
 function windowLabel(h) {
   const am = (x) => x === 0 ? '12 am' : x < 12 ? x + ' am' : x === 12 ? '12 pm' : (x - 12) + ' pm';
@@ -136,7 +136,7 @@ function windowLabel(h) {
 async function loadCrowd() {
   const h = +$('hour').value;
   $('hour-label').textContent = windowLabel(h);
-  await sget('/api/crowd/map?hour=' + h, $('map'));
+  await sget('/api/v1/crowd/map?hour=' + h, $('map'));
 }
 let timer = null;
 $('play').onclick = () => {
@@ -148,24 +148,24 @@ $('play').onclick = () => {
   }, 900);
 };
 $('hour').oninput = loadCrowd;
-$('fig').onchange = () => sget('/api/figures/' + $('fig').value + '/svg', $('figure'));
+$('fig').onchange = () => sget('/api/v1/figures/' + $('fig').value + '/svg', $('figure'));
 
 async function loadFlows() {
   const f = +$('flow-from').value, t = +$('flow-to').value;
-  await sget(`/api/crowd/flows/map?from=${f}&to=${t}`, $('flowmap'));
+  await sget(`/api/v1/crowd/flows/map?from=${f}&to=${t}`, $('flowmap'));
 }
 $('flow-go').onclick = loadFlows;
 async function loadHotspots() {
-  const hs = await jget('/api/hotspots');
+  const hs = await jget('/api/v1/hotspots');
   $('hotspots').innerHTML = hs.length
     ? 'hotspots: ' + hs.slice(0, 8).map(h => `${h.window} cell#${h.cell} (${h.users}, ${h.phase})`).join(' · ')
     : 'no hotspots detected';
 }
 
 loadStats(); loadUsers(); loadCrowd(); loadFlows(); loadHotspots();
-sget('/api/heatmap', $('rhythm'));
-sget('/api/crowd/timeline', $('ctimeline'));
-sget('/api/figures/fig5/svg', $('figure'));
+sget('/api/v1/heatmap', $('rhythm'));
+sget('/api/v1/crowd/timeline', $('ctimeline'));
+sget('/api/v1/figures/fig5/svg', $('figure'));
 </script>
 </body>
 </html>
@@ -187,16 +187,16 @@ mod tests {
     #[test]
     fn page_references_every_api_family() {
         for api in [
-            "/api/stats",
-            "/api/users",
-            "/api/patterns/",
-            "/api/network/",
-            "/api/crowd/map",
-            "/api/crowd/flows/map",
-            "/api/crowd/timeline",
-            "/api/heatmap",
-            "/api/hotspots",
-            "/api/figures/",
+            "/api/v1/stats",
+            "/api/v1/users",
+            "/api/v1/patterns/",
+            "/api/v1/network/",
+            "/api/v1/crowd/map",
+            "/api/v1/crowd/flows/map",
+            "/api/v1/crowd/timeline",
+            "/api/v1/heatmap",
+            "/api/v1/hotspots",
+            "/api/v1/figures/",
         ] {
             assert!(INDEX_HTML.contains(api), "missing {api}");
         }

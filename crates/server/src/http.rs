@@ -94,6 +94,21 @@ impl StatusCode {
             StatusCode::ServiceUnavailable => "Service Unavailable",
         }
     }
+
+    /// The status's kebab-case error code (`"not-found"`,
+    /// `"payload-too-large"`, …) — the default `code` in the error
+    /// envelope when a handler doesn't supply a more specific one.
+    pub fn slug(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "ok",
+            StatusCode::BadRequest => "bad-request",
+            StatusCode::NotFound => "not-found",
+            StatusCode::MethodNotAllowed => "method-not-allowed",
+            StatusCode::PayloadTooLarge => "payload-too-large",
+            StatusCode::InternalServerError => "internal-server-error",
+            StatusCode::ServiceUnavailable => "service-unavailable",
+        }
+    }
 }
 
 /// A parsed HTTP request.
@@ -420,14 +435,38 @@ impl Response {
         }
     }
 
-    /// An error response with a small JSON body.
+    /// An error response carrying the uniform envelope with the
+    /// status's default code ([`StatusCode::slug`]). Every error body
+    /// the server emits — router 404/405, reactor 400/413/503, handler
+    /// errors — goes through here or [`Response::error_with_code`], so
+    /// clients can always parse `error.code` / `error.message` /
+    /// `error.status`.
     pub fn error(status: StatusCode, message: &str) -> Response {
+        Response::error_with_code(status, status.slug(), message)
+    }
+
+    /// An error response with the uniform envelope and an explicit
+    /// machine-readable code:
+    ///
+    /// ```json
+    /// {"error": {"code": "<kebab-slug>", "message": "...", "status": 404}}
+    /// ```
+    pub fn error_with_code(status: StatusCode, code: &str, message: &str) -> Response {
+        debug_assert!(
+            !code.is_empty()
+                && code
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
+            "error codes are kebab-case slugs, got {code:?}"
+        );
         Response {
             status,
             content_type: "application/json; charset=utf-8".to_owned(),
             body: format!(
-                "{{\"error\":{}}}",
-                serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into())
+                "{{\"error\":{{\"code\":{},\"message\":{},\"status\":{}}}}}",
+                serde_json::to_string(code).unwrap_or_else(|_| "\"error\"".into()),
+                serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into()),
+                status.code()
             )
             .into_bytes(),
         }
@@ -732,10 +771,32 @@ mod tests {
     }
 
     #[test]
-    fn error_response_includes_message() {
+    fn error_response_is_enveloped_with_status_slug() {
         let r = Response::error(StatusCode::NotFound, "no such user");
         assert_eq!(r.status.code(), 404);
-        assert!(String::from_utf8(r.body).unwrap().contains("no such user"));
+        let body = String::from_utf8(r.body).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&body).expect("error body is valid JSON");
+        assert_eq!(v["error"]["code"], "not-found");
+        assert_eq!(v["error"]["message"], "no such user");
+        assert_eq!(v["error"]["status"], 404);
+    }
+
+    #[test]
+    fn error_with_code_overrides_the_slug() {
+        let r = Response::error_with_code(StatusCode::BadRequest, "bad-hour", "hour must be 0-23");
+        let v: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(r.body).unwrap()).unwrap();
+        assert_eq!(v["error"]["code"], "bad-hour");
+        assert_eq!(v["error"]["message"], "hour must be 0-23");
+        assert_eq!(v["error"]["status"], 400);
+    }
+
+    #[test]
+    fn error_envelope_escapes_hostile_messages() {
+        let r = Response::error(StatusCode::BadRequest, "a \"quoted\" message\nwith newline");
+        let v: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(r.body).unwrap()).unwrap();
+        assert_eq!(v["error"]["message"], "a \"quoted\" message\nwith newline");
     }
 
     #[test]
@@ -748,5 +809,7 @@ mod tests {
             StatusCode::ServiceUnavailable.reason(),
             "Service Unavailable"
         );
+        assert_eq!(StatusCode::ServiceUnavailable.slug(), "service-unavailable");
+        assert_eq!(StatusCode::MethodNotAllowed.slug(), "method-not-allowed");
     }
 }

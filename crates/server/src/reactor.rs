@@ -629,12 +629,13 @@ mod tests {
         )
         .expect("well-formed request gets a response");
         assert_eq!(response.status.code(), 200);
+        // The legacy spelling folds into the canonical v1 route label.
         assert_eq!(
             registry.counter_value(
                 "crowdweb_http_requests_total",
                 &[
                     ("method", "GET"),
-                    ("route", "/api/stats"),
+                    ("route", "/api/v1/stats"),
                     ("status", "200")
                 ]
             ),

@@ -2,9 +2,12 @@
 
 use crate::{Method, Request, Response, StatusCode};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// A handler: request + captured path params → response.
-pub type Handler<S> = Box<dyn Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync>;
+/// A handler: request + captured path params → response. Handlers are
+/// reference-counted so one handler can serve several registered
+/// patterns (versioned routes and their legacy aliases).
+pub type Handler<S> = Arc<dyn Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync>;
 
 /// A method+pattern routing table over shared state `S`.
 ///
@@ -31,10 +34,12 @@ pub struct Router<S> {
 
 struct Route<S> {
     method: Method,
-    /// The registration pattern verbatim (e.g. `/api/patterns/:user`) —
-    /// the route label for metrics, bounded in cardinality where raw
-    /// request paths are not.
-    pattern: String,
+    /// The route label for metrics: the canonical registration pattern
+    /// (e.g. `/api/v1/patterns/:user`), bounded in cardinality where
+    /// raw request paths are not. For an alias registration this is the
+    /// *canonical* pattern, not the alias — both spellings fold into
+    /// one metric series.
+    label: String,
     segments: Vec<Segment>,
     handler: Handler<S>,
 }
@@ -62,7 +67,8 @@ impl<S> Router<S> {
     where
         F: Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
     {
-        self.add(Method::Get, pattern, handler)
+        self.add(Method::Get, pattern, pattern, Arc::new(handler));
+        self
     }
 
     /// Registers a POST route.
@@ -70,13 +76,38 @@ impl<S> Router<S> {
     where
         F: Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
     {
-        self.add(Method::Post, pattern, handler)
+        self.add(Method::Post, pattern, pattern, Arc::new(handler));
+        self
     }
 
-    fn add<F>(&mut self, method: Method, pattern: &str, handler: F) -> &mut Router<S>
+    /// Registers a GET route at its canonical `pattern` plus a legacy
+    /// `alias` spelling. Both dispatch the *same* handler and report
+    /// the canonical pattern as the metrics route label, so aliasing
+    /// never doubles the label cardinality.
+    pub fn get_aliased<F>(&mut self, pattern: &str, alias: &str, handler: F) -> &mut Router<S>
     where
         F: Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
     {
+        let handler: Handler<S> = Arc::new(handler);
+        self.add(Method::Get, pattern, pattern, Arc::clone(&handler));
+        self.add(Method::Get, alias, pattern, handler);
+        self
+    }
+
+    /// Registers a POST route at its canonical `pattern` plus a legacy
+    /// `alias`, sharing one handler and one metrics label (see
+    /// [`Router::get_aliased`]).
+    pub fn post_aliased<F>(&mut self, pattern: &str, alias: &str, handler: F) -> &mut Router<S>
+    where
+        F: Fn(&S, &Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
+    {
+        let handler: Handler<S> = Arc::new(handler);
+        self.add(Method::Post, pattern, pattern, Arc::clone(&handler));
+        self.add(Method::Post, alias, pattern, handler);
+        self
+    }
+
+    fn add(&mut self, method: Method, pattern: &str, label: &str, handler: Handler<S>) {
         let segments = pattern
             .split('/')
             .filter(|s| !s.is_empty())
@@ -90,11 +121,10 @@ impl<S> Router<S> {
             .collect();
         self.routes.push(Route {
             method,
-            pattern: pattern.to_owned(),
+            label: label.to_owned(),
             segments,
-            handler: Box::new(handler),
+            handler,
         });
-        self
     }
 
     /// Number of registered routes.
@@ -113,9 +143,10 @@ impl<S> Router<S> {
         self.dispatch(state, request).0
     }
 
-    /// [`Self::route`], also returning the matched route's registration
+    /// [`Self::route`], also returning the matched route's canonical
     /// pattern (`None` on 404/405) — the bounded-cardinality label
-    /// metrics key per-route series by.
+    /// metrics key per-route series by. A legacy alias reports the
+    /// canonical pattern it aliases, not its own spelling.
     pub fn dispatch(&self, state: &S, request: &Request) -> (Response, Option<&str>) {
         let parts: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         let mut path_matched = false;
@@ -125,7 +156,7 @@ impl<S> Router<S> {
                 if route.method == request.method {
                     return (
                         (route.handler)(state, request, &params),
-                        Some(route.pattern.as_str()),
+                        Some(route.label.as_str()),
                     );
                 }
             }
@@ -234,6 +265,30 @@ mod tests {
         assert_eq!(pattern, None, "404 has no route label");
         let (_, pattern) = r.dispatch(&0, &req("POST", "/api/users"));
         assert_eq!(pattern, None, "405 has no route label");
+    }
+
+    #[test]
+    fn aliased_routes_share_handler_and_canonical_label() {
+        let mut r: Router<i32> = Router::new();
+        r.get_aliased(
+            "/api/v1/patterns/:user",
+            "/api/patterns/:user",
+            |s, _, p| Response::json(format!("{s}:{}", p["user"])),
+        );
+        r.post_aliased("/api/v1/upload", "/api/upload", |_, rq, _| {
+            Response::json(format!("{}", rq.body.len()))
+        });
+        assert_eq!(r.len(), 4, "each alias pair registers two routes");
+        // Both spellings dispatch the same handler...
+        let (v1, v1_label) = r.dispatch(&7, &req("GET", "/api/v1/patterns/42"));
+        let (legacy, legacy_label) = r.dispatch(&7, &req("GET", "/api/patterns/42"));
+        assert_eq!(v1.body, legacy.body);
+        // ...and both report the canonical pattern as the metrics
+        // label, so the alias adds zero label cardinality.
+        assert_eq!(v1_label, Some("/api/v1/patterns/:user"));
+        assert_eq!(legacy_label, Some("/api/v1/patterns/:user"));
+        let (_, label) = r.dispatch(&0, &req("POST", "/api/upload"));
+        assert_eq!(label, Some("/api/v1/upload"));
     }
 
     #[test]

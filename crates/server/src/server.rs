@@ -276,8 +276,19 @@ mod tests {
             Some(4)
         );
         // The connection over the cap is turned away with a clean 503,
-        // not a hang or a reset.
-        let (code, body) = http_get(addr, "/api/stats");
+        // not a hang or a reset. The refusal is written unprompted (the
+        // request is never read), so read without sending anything:
+        // request bytes arriving after the post-refusal close would
+        // turn it into an RST that can discard the buffered 503.
+        let mut refused = TcpStream::connect(addr).unwrap();
+        let mut buf = String::new();
+        refused.read_to_string(&mut buf).unwrap();
+        let code: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
         assert_eq!(code, 503, "over-cap connection must get 503");
         assert!(body.contains("connection limit"), "{body}");
         assert_eq!(
@@ -358,6 +369,11 @@ mod tests {
         let state = AppState::build(dataset, 10).unwrap();
         let metrics = state.metrics().clone();
         let (addr, handle, join) = Server::bind("127.0.0.1:0", state).unwrap().spawn();
+        // One request via the canonical route, one via its legacy
+        // alias: both must fold into the canonical /api/v1 label, so
+        // aliasing never doubles the route-label cardinality.
+        let (code, _) = http_get(addr, "/api/v1/stats");
+        assert_eq!(code, 200);
         let (code, _) = http_get(addr, "/api/stats");
         assert_eq!(code, 200);
         let (code, _) = http_get(addr, "/definitely/not/a/route");
@@ -367,11 +383,24 @@ mod tests {
                 "crowdweb_http_requests_total",
                 &[
                     ("method", "GET"),
+                    ("route", "/api/v1/stats"),
+                    ("status", "200")
+                ]
+            ),
+            Some(2),
+            "canonical and alias requests share one route label"
+        );
+        assert_eq!(
+            metrics.counter_value(
+                "crowdweb_http_requests_total",
+                &[
+                    ("method", "GET"),
                     ("route", "/api/stats"),
                     ("status", "200")
                 ]
             ),
-            Some(1)
+            None,
+            "the alias spelling must not mint its own label"
         );
         assert_eq!(
             metrics.counter_value(
@@ -382,9 +411,12 @@ mod tests {
             "404s must be counted even with no matching route"
         );
         let (count, _) = metrics
-            .histogram_stats("crowdweb_http_request_seconds", &[("route", "/api/stats")])
+            .histogram_stats(
+                "crowdweb_http_request_seconds",
+                &[("route", "/api/v1/stats")],
+            )
             .expect("latency histogram registered");
-        assert_eq!(count, 1);
+        assert_eq!(count, 2);
         handle.shutdown();
         join.join().unwrap();
     }

@@ -12,7 +12,7 @@
 //! occupies one worker, never the event thread.
 
 use crowdweb_dataset::{Dataset, UserId};
-use crowdweb_ingest::{IngestConfig, IngestEngine, PlatformSnapshot};
+use crowdweb_ingest::{IngestConfig, PlatformSnapshot, ShardedIngestEngine};
 use crowdweb_mobility::{PatternMiner, UserPatterns};
 use crowdweb_obs::MetricsRegistry;
 use crowdweb_prep::{LabelScheme, Preprocessor, WindowChoice};
@@ -34,10 +34,15 @@ pub struct UploadResult {
     pub checkin_count: usize,
 }
 
-/// The platform state: a live [`IngestEngine`] publishing epoch
-/// snapshots, plus a capped ring of recent visitor uploads.
+/// The platform state: a live [`ShardedIngestEngine`] publishing
+/// epoch snapshots, plus a capped ring of recent visitor uploads.
+///
+/// The ingest queue and WAL are partitioned across user-id-range
+/// shards (`IngestConfig::shards`; 0 = one per available core), so
+/// epoch re-mining fans out per shard while snapshots stay
+/// byte-identical to an unsharded engine.
 pub struct AppState {
-    engine: IngestEngine,
+    engine: ShardedIngestEngine,
     uploads: RwLock<VecDeque<UploadResult>>,
     metrics: MetricsRegistry,
 }
@@ -124,7 +129,7 @@ impl AppState {
                 metrics
             }
         };
-        let engine = IngestEngine::open(dataset, config)?;
+        let engine = ShardedIngestEngine::open(dataset, config)?;
         Ok(AppState {
             engine,
             uploads: RwLock::new(VecDeque::new()),
@@ -138,8 +143,8 @@ impl AppState {
         self.engine.snapshot()
     }
 
-    /// The live ingest engine (submit, epochs, stats).
-    pub fn engine(&self) -> &IngestEngine {
+    /// The live sharded ingest engine (submit, epochs, stats).
+    pub fn engine(&self) -> &ShardedIngestEngine {
         &self.engine
     }
 

@@ -37,4 +37,20 @@ grep -q '/api/healthz' README.md || {
     exit 1
 }
 
+echo "== API v1 doc-drift gate =="
+# Every route registered in build_router must appear verbatim in the
+# README endpoint table (parameter spellings like :user included).
+routes=$(awk '/fn build_router/,/^}/' crates/server/src/api.rs |
+    grep -oE '"/api/v1[^"]*"' | tr -d '"' | sort -u)
+[ -n "$routes" ] || {
+    echo "no /api/v1 routes found in crates/server/src/api.rs build_router" >&2
+    exit 1
+}
+for route in $routes; do
+    grep -qF "$route" README.md || {
+        echo "README.md does not document registered route: $route" >&2
+        exit 1
+    }
+done
+
 echo "All checks passed."

@@ -4,7 +4,7 @@
 //! recovery — including a torn final record — reaches the same state.
 
 use crowdweb::dataset::MergeRecord;
-use crowdweb::ingest::{IngestConfig, IngestEngine, WalConfig};
+use crowdweb::ingest::{shard_of, IngestConfig, IngestEngine, ShardedIngestEngine, WalConfig};
 use crowdweb::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +85,41 @@ fn epoch_snapshot_is_byte_identical_to_cold_build() {
             serde_json::to_string(&out.patterns).unwrap(),
             "{parallelism:?} patterns"
         );
+    }
+}
+
+#[test]
+fn sharded_snapshots_match_unsharded_and_cold_build() {
+    // The tentpole determinism criterion: shards(4) == shards(1) ==
+    // cold rebuild, byte for byte, under Sequential and Threads(4).
+    for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+        let base = SynthConfig::small(71).generate().unwrap();
+        let records = shifted_records(&base, 3600, 40);
+        let merged = base.merge_records(&records).unwrap();
+        let out = cold(&merged, parallelism);
+
+        let mut snapshots = Vec::new();
+        for shards in [4usize, 1] {
+            let mut cfg = config(parallelism);
+            cfg.shards = shards;
+            let engine = ShardedIngestEngine::open(base.clone(), cfg).unwrap();
+            assert_eq!(engine.shard_count(), shards);
+            engine.submit(records.clone()).unwrap();
+            engine.run_epoch().unwrap().expect("non-empty queue");
+            snapshots.push((shards, engine.snapshot()));
+        }
+        for (shards, snap) in &snapshots {
+            assert_eq!(
+                crowd_json(snap.crowd()),
+                crowd_json(&out.crowd),
+                "{parallelism:?} crowd diverged from cold build at {shards} shards"
+            );
+            assert_eq!(
+                serde_json::to_string(snap.patterns()).unwrap(),
+                serde_json::to_string(&out.patterns).unwrap(),
+                "{parallelism:?} patterns diverged from cold build at {shards} shards"
+            );
+        }
     }
 }
 
@@ -198,6 +233,66 @@ fn wal_replay_after_crash_reaches_cold_build_state() {
         crowd_json(engine.snapshot().crowd()),
         crowd_json(&out.crowd)
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_shard_tail_leaves_other_shards_intact() {
+    // A torn tail in one shard's WAL must lose only that shard's final
+    // record: the other shards replay fully — including records with
+    // HIGHER sequence numbers than the torn one — and the reconciled
+    // global sequence continues past everything that survived.
+    const SHARDS: usize = 4;
+    let dir = temp_dir("torn-shard");
+    let base = SynthConfig::small(74).generate().unwrap();
+    let records = shifted_records(&base, 3600, 24);
+    let mut cfg = config(Parallelism::Sequential);
+    cfg.shards = SHARDS;
+    cfg.wal = Some(WalConfig::new(&dir));
+    let engine = ShardedIngestEngine::open(base.clone(), cfg.clone()).unwrap();
+    engine.submit(records.clone()).unwrap();
+    // Crash before any epoch: everything lives only in the shard WALs.
+    drop(engine);
+
+    // Tear a shard that does NOT hold the globally last record, so the
+    // survivors include sequence numbers above the torn one.
+    let last_index_by_shard =
+        |k: usize| records.iter().rposition(|r| shard_of(r.user, SHARDS) == k);
+    let torn_shard = (0..SHARDS)
+        .find(|&k| last_index_by_shard(k).is_some_and(|i| i < records.len() - 1))
+        .expect("more than one shard holds records");
+    let lost_index = last_index_by_shard(torn_shard).unwrap();
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir.join(format!("shard-{torn_shard}")))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    segs.sort();
+    let last = segs.last().expect("a live segment on the torn shard");
+    let len = std::fs::metadata(last).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(last).unwrap();
+    f.set_len(len - 3).unwrap();
+    drop(f);
+
+    let engine = ShardedIngestEngine::open(base.clone(), cfg).unwrap();
+    let survivors: Vec<MergeRecord> = records
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != lost_index)
+        .map(|(_, r)| r.clone())
+        .collect();
+    let merged = base.merge_records(&survivors).unwrap();
+    let out = cold(&merged, Parallelism::Sequential);
+    assert_eq!(
+        crowd_json(engine.snapshot().crowd()),
+        crowd_json(&out.crowd),
+        "recovery must keep every record except the torn shard's tail"
+    );
+    // The other shards were not rewound: the globally last record
+    // survived, so the next sequence number continues after it.
+    let receipt = engine.submit(shifted_records(&base, 7200, 1)).unwrap();
+    assert_eq!(receipt.first_seq, records.len() as u64 + 1);
     std::fs::remove_dir_all(&dir).ok();
 }
 

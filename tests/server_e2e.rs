@@ -52,18 +52,26 @@ fn frontend_and_stats() {
 
 #[test]
 fn user_pattern_and_network_flow() {
-    let (code, body) = get("/api/users");
+    // The canonical v1 listing is paginated: {"total": N, "items": [...]}.
+    let (code, body) = get("/api/v1/users");
     assert_eq!(code, 200);
-    let users: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
+    let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let users = page["items"].as_array().unwrap();
     assert!(!users.is_empty());
+    assert!(page["total"].as_u64().unwrap() as usize >= users.len());
     let uid = users[0]["user"].as_u64().unwrap();
 
-    let (code, body) = get(&format!("/api/patterns/{uid}"));
+    // The legacy alias serves the identical body.
+    let (code, alias_body) = get("/api/users");
+    assert_eq!(code, 200);
+    assert_eq!(body, alias_body);
+
+    let (code, body) = get(&format!("/api/v1/patterns/{uid}"));
     assert_eq!(code, 200);
     let v: serde_json::Value = serde_json::from_str(&body).unwrap();
     assert_eq!(v["user"].as_u64().unwrap(), uid);
 
-    let (code, body) = get(&format!("/api/network/{uid}"));
+    let (code, body) = get(&format!("/api/v1/network/{uid}"));
     assert_eq!(code, 200);
     assert!(body.starts_with("<svg"));
 }
@@ -144,9 +152,26 @@ fn visitor_upload_end_to_end() {
 
 #[test]
 fn error_paths() {
-    assert_eq!(get("/api/patterns/abc").0, 400);
-    assert_eq!(get("/api/patterns/99999").0, 404);
-    assert_eq!(get("/api/crowd?hour=77").0, 400);
-    assert_eq!(get("/api/figures/fig9").0, 404);
+    // Status codes on both the v1 and legacy spellings…
+    for prefix in ["/api/v1", "/api"] {
+        assert_eq!(get(&format!("{prefix}/patterns/abc")).0, 400);
+        assert_eq!(get(&format!("{prefix}/patterns/99999")).0, 404);
+        assert_eq!(get(&format!("{prefix}/crowd?hour=77")).0, 400);
+        assert_eq!(get(&format!("{prefix}/figures/fig9")).0, 404);
+        assert_eq!(get(&format!("{prefix}/users?limit=0")).0, 400);
+    }
     assert_eq!(get("/definitely/not/here").0, 404);
+    // …and every error body is the uniform envelope, end to end over
+    // real TCP.
+    for (path, slug) in [
+        ("/api/v1/patterns/abc", "bad-user-id"),
+        ("/api/v1/patterns/99999", "unknown-user"),
+        ("/api/v1/users?limit=0", "bad-limit"),
+        ("/definitely/not/here", "not-found"),
+    ] {
+        let (_, body) = get(path);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some(slug), "{path}");
+        assert!(v["error"]["status"].as_u64().is_some(), "{path}");
+    }
 }
