@@ -46,6 +46,7 @@ pub mod driver;
 pub mod error;
 pub mod hotspot;
 pub mod model;
+pub mod splice;
 pub mod sync;
 pub mod validate;
 pub mod window;
@@ -55,6 +56,7 @@ pub use driver::{PipelineDriver, PipelineError, PipelineOutput};
 pub use error::CrowdError;
 pub use hotspot::{detect_hotspots, recurrent_hotspots, Hotspot, HotspotConfig, HotspotPhase};
 pub use model::{CrowdFlow, CrowdModel, CrowdSnapshot};
+pub use splice::{CrowdSplice, UserSplice};
 pub use sync::{CrowdBuilder, CrowdDelta, Placement};
 pub use validate::{validate_against_checkins, ModelFit, WindowFit};
 pub use window::{TimeWindow, TimeWindows};

@@ -1,0 +1,275 @@
+//! Crowd splices: cell-level deltas between consecutive epoch models.
+//!
+//! An epoch rarely moves more than a handful of users, yet publishing
+//! it used to mean retaining a full placement clone per epoch. A
+//! [`CrowdSplice`] records only the per-user placement runs that
+//! actually changed between two [`CrowdModel`]s, so an epoch history
+//! can keep deltas and materialize any retained epoch as *nearest full
+//! snapshot + delta chain*.
+//!
+//! The splice algebra is exact, not approximate:
+//!
+//! - [`CrowdSplice::between`]`(a, b)` then [`CrowdSplice::apply`]`(a)`
+//!   reproduces `b` byte-for-byte (placement order included, because
+//!   `apply` goes through [`CrowdModel::with_user_placements`], which
+//!   preserves the builder's user-grouped ordering invariant);
+//! - [`CrowdSplice::invert`] swaps the two directions, so applying a
+//!   splice and then its inverse is the identity.
+//!
+//! Splices only describe placements. Grid and windows are carried over
+//! from the model a splice is applied to, so a splice is only valid
+//! between models sharing them — [`CrowdSplice::between`] debug-asserts
+//! that; epochs that rebuild the grid or windows must be retained as
+//! full snapshots instead.
+
+use crate::{CrowdModel, Placement};
+use crowdweb_dataset::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One user's placement change between two models: the run they had
+/// `before` and the run they have `after` (either may be empty — a
+/// user appearing in or vanishing from the crowd).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserSplice {
+    /// The user whose placements changed.
+    pub user: UserId,
+    /// The user's placements in the earlier model (window order).
+    pub before: Vec<Placement>,
+    /// The user's placements in the later model (window order).
+    pub after: Vec<Placement>,
+}
+
+/// The cell-level delta between two consecutive crowd models: one
+/// [`UserSplice`] per changed user, ascending by user id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdSplice {
+    changes: Vec<UserSplice>,
+}
+
+/// Splits a user-grouped placement slice into `(user, run)` pairs in
+/// order of appearance.
+fn user_runs(placements: &[Placement]) -> Vec<(UserId, &[Placement])> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < placements.len() {
+        let user = placements[i].user;
+        let start = i;
+        while i < placements.len() && placements[i].user == user {
+            i += 1;
+        }
+        runs.push((user, &placements[start..i]));
+    }
+    runs
+}
+
+impl CrowdSplice {
+    /// Computes the splice turning `before` into `after` by
+    /// merge-walking the two user-grouped placement lists. Users whose
+    /// runs are identical contribute nothing.
+    pub fn between(before: &CrowdModel, after: &CrowdModel) -> CrowdSplice {
+        debug_assert!(
+            before.grid() == after.grid() && before.windows() == after.windows(),
+            "splices require a shared grid and window set"
+        );
+        let old = user_runs(before.placements());
+        let new = user_runs(after.placements());
+        let mut changes = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() || j < new.len() {
+            match (old.get(i), new.get(j)) {
+                (Some(&(u, run_a)), Some(&(v, run_b))) if u == v => {
+                    if run_a != run_b {
+                        changes.push(UserSplice {
+                            user: u,
+                            before: run_a.to_vec(),
+                            after: run_b.to_vec(),
+                        });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(u, run_a)), Some(&(v, _))) if u < v => {
+                    changes.push(UserSplice {
+                        user: u,
+                        before: run_a.to_vec(),
+                        after: Vec::new(),
+                    });
+                    i += 1;
+                }
+                (Some(_), Some(&(v, run_b))) => {
+                    changes.push(UserSplice {
+                        user: v,
+                        before: Vec::new(),
+                        after: run_b.to_vec(),
+                    });
+                    j += 1;
+                }
+                (Some(&(u, run_a)), None) => {
+                    changes.push(UserSplice {
+                        user: u,
+                        before: run_a.to_vec(),
+                        after: Vec::new(),
+                    });
+                    i += 1;
+                }
+                (None, Some(&(v, run_b))) => {
+                    changes.push(UserSplice {
+                        user: v,
+                        before: Vec::new(),
+                        after: run_b.to_vec(),
+                    });
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        CrowdSplice { changes }
+    }
+
+    /// Applies the splice to a model, producing the later model. Exact:
+    /// for `s = between(a, b)`, `s.apply(&a) == b` including placement
+    /// order.
+    pub fn apply(&self, model: &CrowdModel) -> CrowdModel {
+        let updates: BTreeMap<UserId, Vec<Placement>> = self
+            .changes
+            .iter()
+            .map(|c| (c.user, c.after.clone()))
+            .collect();
+        model.with_user_placements(&updates)
+    }
+
+    /// The reverse splice: applying `between(a, b)` then its inverse
+    /// restores `a`.
+    pub fn invert(&self) -> CrowdSplice {
+        CrowdSplice {
+            changes: self
+                .changes
+                .iter()
+                .map(|c| UserSplice {
+                    user: c.user,
+                    before: c.after.clone(),
+                    after: c.before.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The per-user changes, ascending by user id.
+    pub fn changes(&self) -> &[UserSplice] {
+        &self.changes
+    }
+
+    /// Whether the two models were identical.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of users whose placements changed.
+    pub fn user_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Approximate resident heap size of the splice in bytes — the
+    /// quantity the history store's `resident_bytes` gauges report.
+    pub fn resident_bytes(&self) -> usize {
+        let per_placement = std::mem::size_of::<Placement>();
+        self.changes
+            .iter()
+            .map(|c| {
+                std::mem::size_of::<UserSplice>() + (c.before.len() + c.after.len()) * per_placement
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeWindows;
+    use crowdweb_dataset::VenueId;
+    use crowdweb_geo::{BoundingBox, CellId, MicrocellGrid};
+    use crowdweb_prep::PlaceLabel;
+
+    fn grid() -> MicrocellGrid {
+        MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap()
+    }
+
+    fn placement(user: u32, window: usize, cell: u32) -> Placement {
+        Placement {
+            user: UserId::new(user),
+            window,
+            label: PlaceLabel(0),
+            support: 1,
+            venue: VenueId::new(0),
+            cell: CellId(cell),
+        }
+    }
+
+    fn model(placements: Vec<Placement>) -> CrowdModel {
+        CrowdModel::new(grid(), TimeWindows::hourly(), placements)
+    }
+
+    #[test]
+    fn between_then_apply_reproduces_the_target() {
+        let a = model(vec![
+            placement(1, 9, 5),
+            placement(1, 10, 5),
+            placement(2, 9, 5),
+            placement(4, 9, 6),
+        ]);
+        // User 1 moves, user 2 vanishes, user 3 appears, user 4 stays.
+        let b = model(vec![
+            placement(1, 9, 7),
+            placement(1, 10, 5),
+            placement(3, 9, 2),
+            placement(4, 9, 6),
+        ]);
+        let splice = CrowdSplice::between(&a, &b);
+        assert_eq!(splice.user_count(), 3, "user 4 did not change");
+        assert_eq!(splice.apply(&a), b);
+        assert_eq!(
+            serde_json::to_string(&splice.apply(&a)).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "application must be byte-exact"
+        );
+    }
+
+    #[test]
+    fn invert_restores_the_source() {
+        let a = model(vec![placement(1, 9, 5), placement(2, 9, 5)]);
+        let b = model(vec![placement(2, 9, 6), placement(3, 11, 1)]);
+        let splice = CrowdSplice::between(&a, &b);
+        assert_eq!(splice.invert().apply(&b), a);
+        assert_eq!(splice.invert().apply(&splice.apply(&a)), a);
+    }
+
+    #[test]
+    fn identical_models_yield_an_empty_splice() {
+        let a = model(vec![placement(1, 9, 5)]);
+        let splice = CrowdSplice::between(&a, &a.clone());
+        assert!(splice.is_empty());
+        assert_eq!(splice.resident_bytes(), 0);
+        assert_eq!(splice.apply(&a), a);
+    }
+
+    #[test]
+    fn resident_bytes_scale_with_changed_runs() {
+        let a = model(vec![placement(1, 9, 5)]);
+        let b = model(vec![placement(1, 9, 6), placement(2, 9, 6)]);
+        let splice = CrowdSplice::between(&a, &b);
+        assert!(splice.resident_bytes() >= 3 * std::mem::size_of::<Placement>());
+        assert!(splice.resident_bytes() < 1024, "two users stay tiny");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = model(vec![placement(1, 9, 5)]);
+        let b = model(vec![placement(1, 9, 6)]);
+        let splice = CrowdSplice::between(&a, &b);
+        let json = serde_json::to_string(&splice).unwrap();
+        let back: CrowdSplice = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, splice);
+        assert_eq!(back.changes()[0].user, UserId::new(1));
+    }
+}

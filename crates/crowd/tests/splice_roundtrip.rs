@@ -1,0 +1,84 @@
+//! Property tests for the splice algebra: `between`/`apply`/`invert`
+//! must be exact on arbitrary user-grouped placement lists, because the
+//! epoch history store reconstructs retained epochs by replaying delta
+//! chains — a single placement out of place breaks the byte-identity
+//! contract with a cold rebuild.
+
+use crowdweb_crowd::{CrowdModel, CrowdSplice, Placement, TimeWindows};
+use crowdweb_dataset::{UserId, VenueId};
+use crowdweb_geo::{BoundingBox, CellId, MicrocellGrid};
+use crowdweb_prep::PlaceLabel;
+use proptest::prelude::*;
+
+/// Builds a valid crowd model from raw `(user, window, cell)` triples:
+/// placements are grouped by user in ascending user order with one
+/// placement per `(user, window)` — the invariant
+/// `CrowdModel::with_user_placements` (and therefore `apply`) preserves.
+fn model_from(raw: &[(u32, usize, u32)]) -> CrowdModel {
+    let mut rows: Vec<(u32, usize, u32)> = raw.to_vec();
+    rows.sort_unstable();
+    rows.dedup_by_key(|r| (r.0, r.1));
+    let placements: Vec<Placement> = rows
+        .iter()
+        .map(|&(user, window, seed)| Placement {
+            user: UserId::new(user),
+            window,
+            label: PlaceLabel(seed % 5),
+            support: 1 + seed as usize % 7,
+            venue: VenueId::new(seed),
+            cell: CellId(seed % 16),
+        })
+        .collect();
+    CrowdModel::new(
+        MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap(),
+        TimeWindows::hourly(),
+        placements,
+    )
+}
+
+proptest! {
+    /// `between(a, b).apply(a)` reproduces `b` exactly, and applying
+    /// the inverse splice afterwards restores `a` — the round-trip the
+    /// history store's checkpoint + delta-chain reconstruction rests on.
+    #[test]
+    fn prop_apply_then_invert_is_identity(
+        a in proptest::collection::vec((0u32..64, 0usize..24, 0u32..64), 0..64),
+        b in proptest::collection::vec((0u32..64, 0usize..24, 0u32..64), 0..64),
+    ) {
+        let a = model_from(&a);
+        let b = model_from(&b);
+        let splice = CrowdSplice::between(&a, &b);
+        let forward = splice.apply(&a);
+        prop_assert_eq!(&forward, &b);
+        prop_assert_eq!(splice.invert().apply(&forward), a);
+    }
+
+    /// A model spliced against itself yields the empty delta, and the
+    /// empty delta is a no-op in both directions.
+    #[test]
+    fn prop_self_splice_is_empty(
+        a in proptest::collection::vec((0u32..64, 0usize..24, 0u32..64), 0..64),
+    ) {
+        let a = model_from(&a);
+        let splice = CrowdSplice::between(&a, &a.clone());
+        prop_assert!(splice.is_empty());
+        prop_assert_eq!(splice.apply(&a), a.clone());
+        prop_assert_eq!(splice.invert().apply(&a), a);
+    }
+
+    /// Chained splices compose: replaying a→b→c from `a` lands on `c`
+    /// exactly, as in a multi-epoch delta chain.
+    #[test]
+    fn prop_delta_chains_compose(
+        a in proptest::collection::vec((0u32..48, 0usize..24, 0u32..64), 0..48),
+        b in proptest::collection::vec((0u32..48, 0usize..24, 0u32..64), 0..48),
+        c in proptest::collection::vec((0u32..48, 0usize..24, 0u32..64), 0..48),
+    ) {
+        let a = model_from(&a);
+        let b = model_from(&b);
+        let c = model_from(&c);
+        let ab = CrowdSplice::between(&a, &b);
+        let bc = CrowdSplice::between(&b, &c);
+        prop_assert_eq!(bc.apply(&ab.apply(&a)), c);
+    }
+}

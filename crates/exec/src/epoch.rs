@@ -15,6 +15,7 @@
 //! the pattern expressible without `unsafe`.
 
 use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -78,6 +79,166 @@ impl<T> EpochCell<T> {
     /// Number of `store`s performed so far (the published generation).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// An [`EpochCell`] that also retains a bounded ring of past epochs.
+///
+/// The latest snapshot stays O(1) and contention-free — `latest` and
+/// `epoch` go straight to the inner cell. Historical lookups by epoch
+/// id take one short mutex on the ring, held only to clone an `Arc`
+/// out: retained epochs are contiguous, so `get` is an index
+/// computation, not a scan.
+///
+/// Writers go through [`Self::store`] (or [`Self::store_with`]), which
+/// publishes to the cell and appends to the ring atomically with
+/// respect to other writers. When the ring is full the oldest entry is
+/// evicted; `store_with` hands the evicted value and the new oldest
+/// entry to a fold so the caller can maintain invariants that anchor on
+/// the oldest retained epoch (e.g. "the oldest entry is always a full
+/// snapshot, never a delta").
+///
+/// # Examples
+///
+/// ```
+/// use crowdweb_exec::EpochStore;
+/// use std::sync::Arc;
+///
+/// let store = EpochStore::new(Arc::new(10u32), 2);
+/// store.store(Arc::new(11));
+/// store.store(Arc::new(12)); // epoch 0 falls off the ring
+/// assert_eq!(*store.latest(), 12);
+/// assert_eq!(store.epoch(), 2);
+/// assert_eq!(store.retained(), (1, 2));
+/// assert_eq!(store.get(1).as_deref(), Some(&11));
+/// assert_eq!(store.get(0), None);
+/// ```
+#[derive(Debug)]
+pub struct EpochStore<T> {
+    cell: EpochCell<T>,
+    /// `(epoch id, snapshot)` pairs with contiguous ascending ids; the
+    /// back entry always mirrors what the cell publishes.
+    ring: Mutex<VecDeque<(u64, Arc<T>)>>,
+    capacity: usize,
+}
+
+impl<T> EpochStore<T> {
+    /// Creates a store publishing `initial` as epoch 0 and retaining at
+    /// most `capacity` epochs (clamped to at least 1: the latest epoch
+    /// is always retained).
+    pub fn new(initial: Arc<T>, capacity: usize) -> EpochStore<T> {
+        let capacity = capacity.max(1);
+        let mut ring = VecDeque::with_capacity(capacity + 1);
+        ring.push_back((0, Arc::clone(&initial)));
+        EpochStore {
+            cell: EpochCell::new(initial),
+            ring: Mutex::new(ring),
+            capacity,
+        }
+    }
+
+    /// The currently published snapshot (O(1), no ring lock).
+    pub fn latest(&self) -> Arc<T> {
+        self.cell.load()
+    }
+
+    /// The published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// The maximum number of epochs retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many epochs are currently retained (always at least 1).
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether the ring is empty — it never is, so this is always
+    /// `false`; provided for the conventional `len`/`is_empty` pair.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The inclusive `(oldest, newest)` retained epoch ids.
+    pub fn retained(&self) -> (u64, u64) {
+        let ring = self.ring.lock();
+        let oldest = ring.front().expect("ring is never empty").0;
+        let newest = ring.back().expect("ring is never empty").0;
+        (oldest, newest)
+    }
+
+    /// The snapshot published at `epoch`, if still retained.
+    pub fn get(&self, epoch: u64) -> Option<Arc<T>> {
+        let ring = self.ring.lock();
+        let oldest = ring.front().expect("ring is never empty").0;
+        if epoch < oldest {
+            return None;
+        }
+        let index = usize::try_from(epoch - oldest).ok()?;
+        ring.get(index).map(|(_, snap)| Arc::clone(snap))
+    }
+
+    /// Every retained `(id, snapshot)` from the oldest epoch through
+    /// `epoch` inclusive, or `None` if `epoch` is not retained. One
+    /// lock acquisition, so the returned chain is a consistent prefix —
+    /// no concurrent store can evict entries out from under a caller
+    /// walking it.
+    pub fn up_to(&self, epoch: u64) -> Option<Vec<(u64, Arc<T>)>> {
+        let ring = self.ring.lock();
+        let oldest = ring.front().expect("ring is never empty").0;
+        if epoch < oldest {
+            return None;
+        }
+        let index = usize::try_from(epoch - oldest).ok()?;
+        if index >= ring.len() {
+            return None;
+        }
+        Some(
+            ring.iter()
+                .take(index + 1)
+                .map(|(id, snap)| (*id, Arc::clone(snap)))
+                .collect(),
+        )
+    }
+
+    /// Every retained `(id, snapshot)` pair, oldest first.
+    pub fn entries(&self) -> Vec<(u64, Arc<T>)> {
+        self.ring
+            .lock()
+            .iter()
+            .map(|(id, snap)| (*id, Arc::clone(snap)))
+            .collect()
+    }
+
+    /// Publishes a new snapshot, returning its epoch id. Equivalent to
+    /// [`Self::store_with`] with a fold that never promotes.
+    pub fn store(&self, next: Arc<T>) -> u64 {
+        self.store_with(next, |_, _| None)
+    }
+
+    /// Publishes a new snapshot and, if the ring overflowed, hands the
+    /// evicted oldest value together with the *new* oldest value to
+    /// `fold`; a `Some` return replaces the new oldest snapshot. The
+    /// whole step — publish, append, evict, promote — happens under one
+    /// ring lock, so readers never observe an oldest entry whose
+    /// invariant is mid-repair.
+    pub fn store_with(&self, next: Arc<T>, fold: impl FnOnce(&T, &T) -> Option<T>) -> u64 {
+        let mut ring = self.ring.lock();
+        self.cell.store(Arc::clone(&next));
+        let epoch = self.cell.epoch();
+        ring.push_back((epoch, next));
+        if ring.len() > self.capacity {
+            let (_, evicted) = ring.pop_front().expect("ring is never empty");
+            let front = ring.front_mut().expect("capacity >= 1");
+            if let Some(promoted) = fold(&evicted, &front.1) {
+                front.1 = Arc::new(promoted);
+            }
+        }
+        epoch
     }
 }
 
@@ -152,5 +313,102 @@ mod tests {
         // one that was actually stored (no torn slot state).
         let last = *cell.load();
         assert!((0..4000).contains(&last));
+    }
+
+    #[test]
+    fn store_retains_a_bounded_contiguous_ring() {
+        let store = EpochStore::new(Arc::new(0u64), 4);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.retained(), (0, 0));
+        for gen in 1..=10u64 {
+            assert_eq!(store.store(Arc::new(gen)), gen);
+        }
+        assert_eq!(store.epoch(), 10);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.capacity(), 4);
+        assert!(!store.is_empty());
+        assert_eq!(store.retained(), (7, 10));
+        for gen in 7..=10u64 {
+            assert_eq!(store.get(gen).as_deref(), Some(&gen));
+        }
+        assert_eq!(store.get(6), None);
+        assert_eq!(store.get(11), None);
+        assert_eq!(*store.latest(), 10);
+    }
+
+    #[test]
+    fn up_to_returns_the_prefix_chain() {
+        let store = EpochStore::new(Arc::new(0u64), 8);
+        for gen in 1..=5u64 {
+            store.store(Arc::new(gen));
+        }
+        let chain = store.up_to(3).unwrap();
+        let ids: Vec<u64> = chain.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(*chain[3].1, 3);
+        assert!(store.up_to(6).is_none());
+        assert_eq!(store.up_to(0).unwrap().len(), 1);
+        assert_eq!(store.entries().len(), 6);
+    }
+
+    #[test]
+    fn store_with_promotes_the_new_oldest_entry() {
+        // Values track whether they are "checkpoints" (even numbers in
+        // this toy): on eviction the fold folds the evicted value into
+        // the new front, mimicking delta→full promotion.
+        let store = EpochStore::new(Arc::new(0i64), 2);
+        store.store(Arc::new(1));
+        // Ring is full: this store evicts epoch 0 and promotes epoch 1
+        // to evicted + front.
+        store.store_with(Arc::new(2), |evicted, front| Some(evicted + front + 100));
+        assert_eq!(store.retained(), (1, 2));
+        assert_eq!(*store.get(1).unwrap(), 101);
+        assert_eq!(*store.get(2).unwrap(), 2);
+        // A fold returning None leaves the new front untouched.
+        store.store_with(Arc::new(3), |_, _| None);
+        assert_eq!(*store.get(2).unwrap(), 2);
+    }
+
+    #[test]
+    fn capacity_one_always_keeps_the_latest() {
+        let store = EpochStore::new(Arc::new(0u32), 0); // clamped to 1
+        assert_eq!(store.capacity(), 1);
+        store.store(Arc::new(7));
+        assert_eq!(store.retained(), (1, 1));
+        assert_eq!(store.get(0), None);
+        assert_eq!(*store.get(1).unwrap(), 7);
+    }
+
+    #[test]
+    fn concurrent_history_readers_see_consistent_chains() {
+        let store = Arc::new(EpochStore::new(Arc::new(0u64), 8));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let (oldest, newest) = store.retained();
+                    assert!(newest - oldest < 8);
+                    if let Some(chain) = store.up_to(newest) {
+                        // Entries are contiguous and each value equals
+                        // its id (the writer stores gen at epoch gen).
+                        for (i, (id, v)) in chain.iter().enumerate() {
+                            assert_eq!(*id, chain[0].0 + i as u64);
+                            assert_eq!(**v, *id);
+                        }
+                    }
+                }
+            }));
+        }
+        for gen in 1..=2000u64 {
+            store.store(Arc::new(gen));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.retained(), (1993, 2000));
     }
 }

@@ -12,6 +12,10 @@
 //! - [`EpochCell`]: epoch-style `Arc` snapshot publication — readers
 //!   clone the current snapshot without blocking behind writers; a
 //!   writer swaps whole immutable snapshots atomically.
+//! - [`EpochStore`]: an [`EpochCell`] that additionally retains a
+//!   bounded ring of past epochs for historical lookup by epoch id,
+//!   with an eviction fold for invariants anchored on the oldest
+//!   retained entry.
 //! - [`WorkerPool`]: a persistent, bounded worker pool for serving
 //!   workloads — long-lived threads draining an open-ended job stream,
 //!   with non-blocking saturation-aware submission so callers can shed
@@ -24,7 +28,7 @@ mod pool;
 mod symbol;
 mod workers;
 
-pub use epoch::EpochCell;
+pub use epoch::{EpochCell, EpochStore};
 pub use pool::{
     parallel_map, parallel_map_observed, parallel_map_with_index, Parallelism, FANOUT_SECONDS,
 };

@@ -1,9 +1,10 @@
 //! The epoch-based ingest engine: queue → WAL → snapshot swap.
 
 use crate::{
-    EpochMode, EpochReport, IngestError, IngestStats, PlatformSnapshot, SubmitReceipt, Wal,
-    WalConfig, WalEntry,
+    CrowdHistory, EpochInfo, EpochMode, EpochReport, IngestError, IngestStats, PlatformSnapshot,
+    SubmitReceipt, Wal, WalConfig, WalEntry,
 };
+use crowdweb_crowd::CrowdModel;
 use crowdweb_crowd::{CrowdBuilder, CrowdDelta, PipelineDriver, TimeWindows};
 use crowdweb_dataset::{Dataset, MergeRecord, UserId};
 use crowdweb_exec::{EpochCell, Parallelism};
@@ -51,12 +52,22 @@ pub struct IngestConfig {
     /// parallelism, capped at [`MAX_SHARDS`](crate::shard::MAX_SHARDS).
     /// The unsharded [`IngestEngine`] ignores this field.
     pub shards: usize,
+    /// How many published epochs the engine's
+    /// [`CrowdHistory`](crate::CrowdHistory) retains for the server's
+    /// `?epoch=N` time travel. Clamped to ≥ 1 (the latest epoch is
+    /// always retained).
+    pub history_depth: usize,
+    /// Force a full checkpoint (instead of a delta splice) into the
+    /// epoch history every this-many epochs, bounding reconstruction
+    /// chains. Clamped to ≥ 1.
+    pub checkpoint_every: u64,
 }
 
 impl Default for IngestConfig {
     /// Mirrors the server defaults: paper preprocessor, 0.15 support,
     /// hourly windows, 20 × 20 NYC grid, auto parallelism, a 65 536
-    /// record queue, manual epochs, no WAL.
+    /// record queue, manual epochs, no WAL, 16 retained history epochs
+    /// with a checkpoint every 8.
     fn default() -> IngestConfig {
         IngestConfig {
             preprocessor: Preprocessor::new(),
@@ -71,6 +82,8 @@ impl Default for IngestConfig {
             wal: None,
             metrics: None,
             shards: 0,
+            history_depth: 16,
+            checkpoint_every: 8,
         }
     }
 }
@@ -190,6 +203,7 @@ pub struct IngestEngine {
     inner: Mutex<Inner>,
     /// Serializes epochs without blocking submitters or readers.
     epoch_guard: Mutex<()>,
+    history: CrowdHistory,
     metrics: Option<IngestMetrics>,
 }
 
@@ -237,8 +251,15 @@ impl IngestEngine {
             wal.checkpoint(last_seq, &applied)?;
         }
         let metrics = config.metrics.clone().map(IngestMetrics::new);
+        let history = CrowdHistory::new(
+            snapshot.crowd_arc(),
+            config.history_depth,
+            config.checkpoint_every,
+            config.metrics.as_ref(),
+        );
         Ok(IngestEngine {
             metrics,
+            history,
             config,
             cell: EpochCell::new(Arc::new(snapshot)),
             inner: Mutex::new(Inner {
@@ -434,7 +455,17 @@ impl IngestEngine {
             duration_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
             delta,
         };
-        self.cell.store(Arc::new(snapshot));
+        let next = Arc::new(snapshot);
+        // Record into the history before publishing, so any epoch a
+        // reader can observe as latest is already materializable.
+        self.history.record(
+            next.epoch(),
+            previous.crowd(),
+            next.crowd_arc(),
+            mode,
+            batch.len(),
+        );
+        self.cell.store(next);
         if let Some(metrics) = &self.metrics {
             metrics.epoch_seconds.observe(start.elapsed().as_secs_f64());
             metrics.dirty_users.set(delta.users_recomputed as i64);
@@ -474,11 +505,30 @@ impl IngestEngine {
         })
     }
 
+    /// The engine's bounded epoch history.
+    pub fn history(&self) -> &CrowdHistory {
+        &self.history
+    }
+
+    /// Materializes the crowd model as published at `epoch`, or `None`
+    /// when the epoch has been evicted from (or never reached) the
+    /// history ring.
+    pub fn crowd_at(&self, epoch: u64) -> Option<Arc<CrowdModel>> {
+        self.history.materialize(epoch)
+    }
+
+    /// One row per retained history epoch, oldest first.
+    pub fn epochs(&self) -> Vec<EpochInfo> {
+        self.history.epochs()
+    }
+
     /// Point-in-time statistics for `GET /api/ingest/stats`.
     pub fn stats(&self) -> IngestStats {
         let inner = self.inner.lock();
         IngestStats {
             epoch: self.cell.epoch(),
+            history_depth: self.history.depth(),
+            history_capacity: self.history.capacity(),
             queue_depth: inner.queue.len(),
             queue_capacity: self.config.queue_capacity,
             total_accepted: inner.total_accepted,

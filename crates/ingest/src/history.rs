@@ -1,0 +1,457 @@
+//! The bounded, delta-compressed epoch history store.
+//!
+//! Each published epoch used to exist only until the next one replaced
+//! it in the engine's [`EpochCell`](crowdweb_exec::EpochCell). The
+//! history store retains the last `history_depth` epochs of the *crowd
+//! model* — the stage every temporal endpoint reads — without cloning
+//! full placements per epoch:
+//!
+//! - **checkpoints** ([`EpochRepr::Full`]) share the published
+//!   snapshot's `Arc<CrowdModel>` (no copy at all), and are taken at
+//!   epoch 0, on every full pipeline rebuild, and every
+//!   `checkpoint_every` epochs so reconstruction cost stays bounded;
+//! - every other epoch stores a [`CrowdSplice`]
+//!   ([`EpochRepr::Delta`]) — just the per-user placement runs that
+//!   changed.
+//!
+//! [`CrowdHistory::materialize`] rebuilds any retained epoch by walking
+//! back to the nearest checkpoint and replaying the delta chain
+//! forward; the splice algebra is exact, so the result is
+//! byte-identical to the model that was published at that epoch (the
+//! determinism suites assert this against cold rebuilds). Eviction
+//! keeps the invariant that the **oldest retained epoch is always a
+//! checkpoint**: when a checkpoint falls off the ring and the next
+//! entry is a delta, the delta is folded into the evicted model and
+//! promoted — atomically, inside the ring lock, via
+//! [`EpochStore::store_with`].
+
+use crowdweb_crowd::{CrowdModel, CrowdSplice};
+use crowdweb_exec::EpochStore;
+use crowdweb_obs::{
+    Gauge, Histogram, MetricsRegistry, EPOCH_LATENCY_BUCKETS, HISTORY_RECONSTRUCTION_SECONDS,
+    HISTORY_RESIDENT_BYTES, HISTORY_RETAINED_EPOCHS,
+};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::EpochMode;
+
+/// How one retained epoch is represented in the ring.
+#[derive(Debug, Clone)]
+pub enum EpochRepr {
+    /// A full crowd model — a checkpoint the delta chain anchors on.
+    /// Shares the published snapshot's `Arc`, so it costs no copy.
+    Full(Arc<CrowdModel>),
+    /// The splice turning the previous epoch's model into this one.
+    Delta(Arc<CrowdSplice>),
+}
+
+/// One retained epoch: identity, provenance, and representation.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// The epoch id (equals the engine's published epoch counter).
+    pub epoch: u64,
+    /// Wall-clock publication time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Records applied by the epoch (0 for the cold build).
+    pub records: usize,
+    /// Full checkpoint or delta splice.
+    pub repr: EpochRepr,
+}
+
+impl EpochRecord {
+    /// Approximate resident heap bytes of this entry's representation.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.repr {
+            EpochRepr::Full(model) => {
+                model.placement_count() * std::mem::size_of::<crowdweb_crowd::Placement>()
+            }
+            EpochRepr::Delta(splice) => splice.resident_bytes(),
+        }
+    }
+
+    /// Whether the entry is a full checkpoint.
+    pub fn is_full(&self) -> bool {
+        matches!(self.repr, EpochRepr::Full(_))
+    }
+}
+
+/// One row of `GET /api/v1/epochs`: everything a client needs to decide
+/// which epochs are scrubbable and what holding them costs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct EpochInfo {
+    /// The epoch id, usable as `?epoch=N`.
+    pub epoch: u64,
+    /// Publication time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Records applied by the epoch.
+    pub records: usize,
+    /// `"full"` for checkpoints, `"delta"` for splices.
+    pub kind: &'static str,
+    /// Approximate resident bytes of the retained representation.
+    pub resident_bytes: usize,
+}
+
+/// Pre-registered history metric handles (see crowdweb-obs name
+/// consts); updates never touch the registry's family table.
+#[derive(Debug)]
+struct HistoryMetrics {
+    retained: Gauge,
+    full_bytes: Gauge,
+    delta_bytes: Gauge,
+    reconstruction_seconds: Histogram,
+}
+
+impl HistoryMetrics {
+    fn new(registry: &MetricsRegistry) -> HistoryMetrics {
+        HistoryMetrics {
+            retained: registry.gauge(
+                HISTORY_RETAINED_EPOCHS,
+                "Epochs currently retained by the history store.",
+                &[],
+            ),
+            full_bytes: registry.gauge(
+                HISTORY_RESIDENT_BYTES,
+                "Approximate resident bytes of the epoch history, by representation.",
+                &[("kind", "full")],
+            ),
+            delta_bytes: registry.gauge(
+                HISTORY_RESIDENT_BYTES,
+                "Approximate resident bytes of the epoch history, by representation.",
+                &[("kind", "delta")],
+            ),
+            reconstruction_seconds: registry.histogram(
+                HISTORY_RECONSTRUCTION_SECONDS,
+                "Wall-clock seconds to materialize a historical epoch from checkpoint + deltas.",
+                &[],
+                &EPOCH_LATENCY_BUCKETS,
+            ),
+        }
+    }
+}
+
+/// The engine-side epoch history (see the [module docs](self)).
+///
+/// Thread-safe: the single epoch writer records through
+/// [`Self::record`] (serialized by the engine's epoch guard) while any
+/// number of readers list and materialize concurrently.
+#[derive(Debug)]
+pub struct CrowdHistory {
+    store: EpochStore<EpochRecord>,
+    checkpoint_every: u64,
+    metrics: Option<HistoryMetrics>,
+}
+
+impl CrowdHistory {
+    /// Creates a history seeded with the epoch-0 cold build (always a
+    /// checkpoint), retaining up to `depth` epochs and forcing a full
+    /// checkpoint every `checkpoint_every` epochs (clamped to ≥ 1).
+    pub fn new(
+        initial: Arc<CrowdModel>,
+        depth: usize,
+        checkpoint_every: u64,
+        metrics: Option<&MetricsRegistry>,
+    ) -> CrowdHistory {
+        let seed = EpochRecord {
+            epoch: 0,
+            unix_ms: now_unix_ms(),
+            records: 0,
+            repr: EpochRepr::Full(initial),
+        };
+        let history = CrowdHistory {
+            store: EpochStore::new(Arc::new(seed), depth),
+            checkpoint_every: checkpoint_every.max(1),
+            metrics: metrics.map(HistoryMetrics::new),
+        };
+        history.publish_gauges();
+        history
+    }
+
+    /// Records a freshly built epoch. Must be called with the epochs in
+    /// order (the engines' epoch guard serializes this) and *before*
+    /// the snapshot is published, so every epoch a client can observe
+    /// as latest is already materializable from the history.
+    pub fn record(
+        &self,
+        epoch: u64,
+        previous: &CrowdModel,
+        next: Arc<CrowdModel>,
+        mode: EpochMode,
+        records: usize,
+    ) {
+        // Full rebuilds may replace the grid or window set, which a
+        // splice cannot express; periodic checkpoints bound the delta
+        // chain a materialization has to replay.
+        let repr = if mode == EpochMode::FullRebuild || epoch.is_multiple_of(self.checkpoint_every)
+        {
+            EpochRepr::Full(next)
+        } else {
+            EpochRepr::Delta(Arc::new(CrowdSplice::between(previous, &next)))
+        };
+        let record = EpochRecord {
+            epoch,
+            unix_ms: now_unix_ms(),
+            records,
+            repr,
+        };
+        let stored = self.store.store_with(Arc::new(record), promote_front);
+        debug_assert_eq!(stored, epoch, "history epochs must track engine epochs");
+        self.publish_gauges();
+    }
+
+    /// The retention capacity (`IngestConfig::history_depth`).
+    pub fn capacity(&self) -> usize {
+        self.store.capacity()
+    }
+
+    /// How many epochs are currently retained.
+    pub fn depth(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The inclusive `(oldest, newest)` retained epoch ids.
+    pub fn retained(&self) -> (u64, u64) {
+        self.store.retained()
+    }
+
+    /// One [`EpochInfo`] row per retained epoch, oldest first.
+    pub fn epochs(&self) -> Vec<EpochInfo> {
+        self.store
+            .entries()
+            .iter()
+            .map(|(_, record)| EpochInfo {
+                epoch: record.epoch,
+                unix_ms: record.unix_ms,
+                records: record.records,
+                kind: if record.is_full() { "full" } else { "delta" },
+                resident_bytes: record.resident_bytes(),
+            })
+            .collect()
+    }
+
+    /// Materializes the crowd model as it was published at `epoch`, or
+    /// `None` if the epoch is no longer (or not yet) retained.
+    ///
+    /// Checkpoint hits return the shared `Arc` directly; delta hits
+    /// clone the nearest earlier checkpoint and replay the splice chain
+    /// forward. The chain is collected under one ring lock (consistent
+    /// prefix) but replayed outside it, so a slow reconstruction never
+    /// blocks the epoch writer.
+    pub fn materialize(&self, epoch: u64) -> Option<Arc<CrowdModel>> {
+        let start = Instant::now();
+        let chain = self.store.up_to(epoch)?;
+        let anchor = chain.iter().rposition(|(_, r)| r.is_full())?;
+        let EpochRepr::Full(base) = &chain[anchor].1.repr else {
+            unreachable!("rposition(is_full) found a checkpoint");
+        };
+        let mut current = Arc::clone(base);
+        for (_, record) in &chain[anchor + 1..] {
+            let EpochRepr::Delta(splice) = &record.repr else {
+                unreachable!("entries after the last checkpoint are deltas");
+            };
+            current = Arc::new(splice.apply(&current));
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .reconstruction_seconds
+                .observe(start.elapsed().as_secs_f64());
+        }
+        Some(current)
+    }
+
+    /// Re-publishes the retained-epochs and resident-bytes gauges from
+    /// the current ring contents.
+    fn publish_gauges(&self) {
+        let Some(metrics) = &self.metrics else {
+            return;
+        };
+        let entries = self.store.entries();
+        let (mut full, mut delta) = (0usize, 0usize);
+        for (_, record) in &entries {
+            if record.is_full() {
+                full += record.resident_bytes();
+            } else {
+                delta += record.resident_bytes();
+            }
+        }
+        metrics.retained.set(entries.len() as i64);
+        metrics.full_bytes.set(full as i64);
+        metrics.delta_bytes.set(delta as i64);
+    }
+}
+
+/// The eviction fold: when the evicted oldest entry leaves a delta at
+/// the front of the ring, fold the delta into the evicted checkpoint so
+/// the oldest retained epoch is always a checkpoint. `evicted` is a
+/// checkpoint by induction (epoch 0 is, and this fold re-establishes
+/// the invariant on every eviction).
+fn promote_front(evicted: &EpochRecord, front: &EpochRecord) -> Option<EpochRecord> {
+    let EpochRepr::Delta(splice) = &front.repr else {
+        return None;
+    };
+    let EpochRepr::Full(base) = &evicted.repr else {
+        unreachable!("the oldest retained epoch is always a checkpoint");
+    };
+    Some(EpochRecord {
+        epoch: front.epoch,
+        unix_ms: front.unix_ms,
+        records: front.records,
+        repr: EpochRepr::Full(Arc::new(splice.apply(base))),
+    })
+}
+
+/// Wall-clock milliseconds since the Unix epoch (0 if the clock is
+/// before it, which only a badly skewed host would report).
+fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdweb_crowd::{Placement, TimeWindows};
+    use crowdweb_dataset::{UserId, VenueId};
+    use crowdweb_geo::{BoundingBox, CellId, MicrocellGrid};
+    use crowdweb_prep::PlaceLabel;
+
+    fn placement(user: u32, window: usize, cell: u32) -> Placement {
+        Placement {
+            user: UserId::new(user),
+            window,
+            label: PlaceLabel(0),
+            support: 1,
+            venue: VenueId::new(0),
+            cell: CellId(cell),
+        }
+    }
+
+    fn model(placements: Vec<Placement>) -> Arc<CrowdModel> {
+        Arc::new(CrowdModel::new(
+            MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap(),
+            TimeWindows::hourly(),
+            placements,
+        ))
+    }
+
+    /// A toy epoch sequence: user 1 wanders one cell per epoch.
+    fn epoch_model(n: u64) -> Arc<CrowdModel> {
+        model(vec![placement(1, 9, n as u32 % 16), placement(2, 9, 3)])
+    }
+
+    fn run_history(depth: usize, checkpoint_every: u64, epochs: u64) -> CrowdHistory {
+        let history = CrowdHistory::new(epoch_model(0), depth, checkpoint_every, None);
+        for n in 1..=epochs {
+            history.record(
+                n,
+                &epoch_model(n - 1),
+                epoch_model(n),
+                EpochMode::Incremental,
+                1,
+            );
+        }
+        history
+    }
+
+    #[test]
+    fn every_retained_epoch_materializes_exactly() {
+        let history = run_history(8, 3, 20);
+        assert_eq!(history.depth(), 8);
+        assert_eq!(history.retained(), (13, 20));
+        for n in 13..=20u64 {
+            let got = history.materialize(n).expect("retained epoch");
+            assert_eq!(
+                *got,
+                *epoch_model(n),
+                "epoch {n} must reconstruct byte-identically"
+            );
+        }
+        assert!(history.materialize(12).is_none());
+        assert!(history.materialize(21).is_none());
+    }
+
+    #[test]
+    fn oldest_retained_entry_is_always_a_checkpoint() {
+        // checkpoint_every = 5 with depth 4 forces evictions that land
+        // deltas at the front; the fold must promote them.
+        let history = run_history(4, 5, 23);
+        let listing = history.epochs();
+        assert_eq!(listing.len(), 4);
+        assert_eq!(listing[0].kind, "full", "front must be a checkpoint");
+        for n in 20..=23u64 {
+            assert!(history.materialize(n).is_some(), "epoch {n}");
+        }
+    }
+
+    #[test]
+    fn full_rebuild_epochs_are_checkpoints() {
+        let history = CrowdHistory::new(epoch_model(0), 8, 100, None);
+        history.record(
+            1,
+            &epoch_model(0),
+            epoch_model(1),
+            EpochMode::Incremental,
+            1,
+        );
+        history.record(
+            2,
+            &epoch_model(1),
+            epoch_model(2),
+            EpochMode::FullRebuild,
+            1,
+        );
+        let listing = history.epochs();
+        assert_eq!(
+            listing.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec!["full", "delta", "full"]
+        );
+        assert_eq!(*history.materialize(1).unwrap(), *epoch_model(1));
+    }
+
+    #[test]
+    fn listing_reports_identity_and_cost() {
+        let history = run_history(16, 8, 5);
+        let listing = history.epochs();
+        assert_eq!(listing.len(), 6);
+        assert_eq!(listing[0].epoch, 0);
+        assert_eq!(listing[0].records, 0);
+        assert_eq!(listing[5].epoch, 5);
+        assert_eq!(listing[5].records, 1);
+        let full = listing.iter().find(|e| e.kind == "full").unwrap();
+        let delta = listing.iter().find(|e| e.kind == "delta").unwrap();
+        assert!(full.resident_bytes > 0);
+        assert!(delta.resident_bytes > 0);
+        assert!(serde_json::to_string(&listing).is_ok());
+    }
+
+    #[test]
+    fn metrics_publish_retention_and_reconstruction() {
+        let registry = MetricsRegistry::new();
+        let history = CrowdHistory::new(epoch_model(0), 8, 4, Some(&registry));
+        for n in 1..=6u64 {
+            history.record(
+                n,
+                &epoch_model(n - 1),
+                epoch_model(n),
+                EpochMode::Incremental,
+                1,
+            );
+        }
+        assert_eq!(registry.gauge_value(HISTORY_RETAINED_EPOCHS, &[]), Some(7));
+        let full = registry
+            .gauge_value(HISTORY_RESIDENT_BYTES, &[("kind", "full")])
+            .unwrap();
+        let delta = registry
+            .gauge_value(HISTORY_RESIDENT_BYTES, &[("kind", "delta")])
+            .unwrap();
+        assert!(full > 0, "checkpoints resident");
+        assert!(delta > 0, "deltas resident");
+        history.materialize(3).unwrap();
+        let (count, _) = registry
+            .histogram_stats(HISTORY_RECONSTRUCTION_SECONDS, &[])
+            .unwrap();
+        assert_eq!(count, 1, "reconstruction must be observed");
+    }
+}

@@ -29,6 +29,11 @@
 //!    `hash(user) % N` shards so epoch re-mining fans out per shard,
 //!    while a global sequence counter keeps snapshots byte-identical
 //!    to the unsharded engine for any shard count.
+//! 6. **Epoch history** ([`history`]) — each published epoch is also
+//!    recorded in a bounded [`CrowdHistory`] ring as either a shared
+//!    full checkpoint or a [`CrowdSplice`](crowdweb_crowd::CrowdSplice)
+//!    delta, so any retained epoch's crowd model can be rematerialized
+//!    on demand (the server's `?epoch=N` time-travel parameter).
 //!
 //! Determinism contract: after any sequence of submits and epochs, the
 //! published snapshot's pipeline stages are byte-identical to a cold
@@ -76,6 +81,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod history;
 pub mod shard;
 pub mod snapshot;
 pub mod stats;
@@ -83,6 +89,7 @@ pub mod wal;
 
 pub use engine::{IngestConfig, IngestEngine};
 pub use error::IngestError;
+pub use history::{CrowdHistory, EpochInfo, EpochRecord, EpochRepr};
 pub use shard::{effective_shards, shard_of, ShardedIngestEngine, MAX_SHARDS};
 pub use snapshot::PlatformSnapshot;
 pub use stats::{

@@ -32,9 +32,10 @@
 
 use crate::engine::{build_next_snapshot, IngestConfig, IngestMetrics};
 use crate::{
-    EpochMode, EpochReport, IngestError, PlatformSnapshot, ShardStats, ShardedIngestStats,
-    SubmitReceipt, Wal, WalConfig, WalEntry,
+    CrowdHistory, EpochInfo, EpochMode, EpochReport, IngestError, PlatformSnapshot, ShardStats,
+    ShardedIngestStats, SubmitReceipt, Wal, WalConfig, WalEntry,
 };
+use crowdweb_crowd::CrowdModel;
 use crowdweb_dataset::{Dataset, MergeRecord, UserId};
 use crowdweb_exec::{parallel_map_with_index, EpochCell};
 use crowdweb_mobility::UserPatterns;
@@ -162,6 +163,7 @@ pub struct ShardedIngestEngine {
     inner: Mutex<ShardedInner>,
     /// Serializes epochs without blocking submitters or readers.
     epoch_guard: Mutex<()>,
+    history: CrowdHistory,
     metrics: Option<ShardMetrics>,
 }
 
@@ -267,8 +269,15 @@ impl ShardedIngestEngine {
             .metrics
             .clone()
             .map(|registry| ShardMetrics::new(IngestMetrics::new(registry), shard_count));
+        let history = CrowdHistory::new(
+            snapshot.crowd_arc(),
+            config.history_depth,
+            config.checkpoint_every,
+            config.metrics.as_ref(),
+        );
         Ok(ShardedIngestEngine {
             metrics,
+            history,
             config,
             shard_count,
             per_shard_capacity,
@@ -525,7 +534,17 @@ impl ShardedIngestEngine {
             duration_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
             delta,
         };
-        self.cell.store(Arc::new(snapshot));
+        let next = Arc::new(snapshot);
+        // Record into the history before publishing, so any epoch a
+        // reader can observe as latest is already materializable.
+        self.history.record(
+            next.epoch(),
+            previous.crowd(),
+            next.crowd_arc(),
+            mode,
+            total,
+        );
+        self.cell.store(next);
         if let Some(metrics) = &self.metrics {
             metrics
                 .base
@@ -640,6 +659,8 @@ impl ShardedIngestEngine {
             .collect();
         ShardedIngestStats {
             epoch: self.cell.epoch(),
+            history_depth: self.history.depth(),
+            history_capacity: self.history.capacity(),
             shard_count: self.shard_count,
             queue_depth: shards.iter().map(|s| s.queue_depth).sum(),
             queue_capacity: self.per_shard_capacity * self.shard_count,
@@ -653,6 +674,23 @@ impl ShardedIngestEngine {
             last_epoch: inner.last_epoch,
             shards,
         }
+    }
+
+    /// The engine's bounded epoch history.
+    pub fn history(&self) -> &CrowdHistory {
+        &self.history
+    }
+
+    /// Materializes the crowd model as published at `epoch`, or `None`
+    /// when the epoch has been evicted from (or never reached) the
+    /// history ring.
+    pub fn crowd_at(&self, epoch: u64) -> Option<Arc<CrowdModel>> {
+        self.history.materialize(epoch)
+    }
+
+    /// One row per retained history epoch, oldest first.
+    pub fn epochs(&self) -> Vec<EpochInfo> {
+        self.history.epochs()
     }
 }
 

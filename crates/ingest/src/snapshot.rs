@@ -5,6 +5,7 @@ use crowdweb_dataset::{Dataset, UserId};
 use crowdweb_geo::MicrocellGrid;
 use crowdweb_mobility::{PlaceGraph, UserPatterns};
 use crowdweb_prep::{Labeler, Prepared};
+use std::sync::Arc;
 
 /// One epoch's complete, immutable pipeline output: the dataset plus
 /// every derived stage. Readers clone an `Arc<PlatformSnapshot>` from
@@ -17,7 +18,9 @@ pub struct PlatformSnapshot {
     prepared: Prepared,
     patterns: Vec<UserPatterns>,
     grid: MicrocellGrid,
-    crowd: CrowdModel,
+    /// Shared with the engine's epoch history store, so retaining a
+    /// full-model checkpoint never clones the placements.
+    crowd: Arc<CrowdModel>,
     min_support: f64,
 }
 
@@ -38,7 +41,7 @@ impl PlatformSnapshot {
             prepared,
             patterns,
             grid,
-            crowd,
+            crowd: Arc::new(crowd),
             min_support,
         }
     }
@@ -84,6 +87,12 @@ impl PlatformSnapshot {
     /// The synchronized crowd model.
     pub fn crowd(&self) -> &CrowdModel {
         &self.crowd
+    }
+
+    /// The crowd model behind its shared `Arc` — what the epoch
+    /// history retains for full-snapshot checkpoints.
+    pub fn crowd_arc(&self) -> Arc<CrowdModel> {
+        Arc::clone(&self.crowd)
     }
 
     /// The mining support threshold the snapshot was built with.

@@ -76,6 +76,11 @@ pub struct ShardStats {
 pub struct ShardedIngestStats {
     /// Current published epoch.
     pub epoch: u64,
+    /// Epochs currently retained by the history ring (scrubbable via
+    /// `?epoch=N`).
+    pub history_depth: usize,
+    /// The history ring's retention capacity.
+    pub history_capacity: usize,
     /// Resolved shard count.
     pub shard_count: usize,
     /// Records waiting across every shard queue.
@@ -107,6 +112,11 @@ pub struct ShardedIngestStats {
 pub struct IngestStats {
     /// Current published epoch.
     pub epoch: u64,
+    /// Epochs currently retained by the history ring (scrubbable via
+    /// `?epoch=N`).
+    pub history_depth: usize,
+    /// The history ring's retention capacity.
+    pub history_capacity: usize,
     /// Records waiting in the queue.
     pub queue_depth: usize,
     /// The queue's capacity.

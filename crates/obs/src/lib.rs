@@ -46,5 +46,6 @@ mod registry;
 
 pub use registry::{
     Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS, EPOCH_LATENCY_BUCKETS,
+    HISTORY_RECONSTRUCTION_SECONDS, HISTORY_RESIDENT_BYTES, HISTORY_RETAINED_EPOCHS,
     HTTP_LATENCY_BUCKETS, SHARD_FANOUT_SECONDS, STAGE_SECONDS,
 };

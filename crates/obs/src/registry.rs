@@ -46,6 +46,19 @@ pub const STAGE_SECONDS: &str = "crowdweb_pipeline_stage_seconds";
 /// startup, so cardinality never grows with traffic.
 pub const SHARD_FANOUT_SECONDS: &str = "crowdweb_ingest_shard_fanout_seconds";
 
+/// Gauge: epochs currently retained by the ingest engine's history
+/// store (bounded by `IngestConfig::history_depth`).
+pub const HISTORY_RETAINED_EPOCHS: &str = "crowdweb_ingest_history_retained_epochs";
+
+/// Gauge family: approximate resident bytes of the retained epoch
+/// history, labelled `{kind="full"|"delta"}` — full checkpoints vs.
+/// delta splices. The label set is fixed at two series.
+pub const HISTORY_RESIDENT_BYTES: &str = "crowdweb_ingest_history_resident_bytes";
+
+/// Histogram: wall-clock seconds to materialize a historical epoch
+/// from its nearest full checkpoint plus the delta chain.
+pub const HISTORY_RECONSTRUCTION_SECONDS: &str = "crowdweb_ingest_history_reconstruction_seconds";
+
 /// A monotonic counter. Cloning shares the underlying cell.
 #[derive(Debug, Clone, Default)]
 pub struct Counter {

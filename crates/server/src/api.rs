@@ -45,6 +45,8 @@
 //! | `GET /api/v1/crowd/flows/map?from=H&to=H` | inter-window flow map (SVG) |
 //! | `GET /api/v1/crowd/timeline` | per-window crowd timeline (SVG) |
 //! | `GET /api/v1/crowd/compare?a=H&b=H` | two-window comparison (JSON) |
+//! | `GET /api/v1/crowd/diff?a=N&b=N` | per-user crowd delta between two retained epochs (JSON) |
+//! | `GET /api/v1/epochs` | retained epoch history listing (JSON) |
 //! | `GET /api/v1/figures/:id` | figure data series (`fig5`…`fig8`) |
 //! | `GET /api/v1/figures/:id/svg` | figure chart (SVG) |
 //! | `POST /api/v1/upload` | mine an uploaded TSV check-in history |
@@ -65,14 +67,29 @@
 //!
 //! Each route above (minus `GET /`) also answers at `/api/...` without
 //! the version segment.
+//!
+//! # Time travel
+//!
+//! Every crowd endpoint (`crowd`, `crowd/map`, `crowd/geojson`,
+//! `crowd/flows`, `crowd/flows/map`, `crowd/timeline`,
+//! `crowd/compare`, `tiles`) accepts an optional `?epoch=N` parameter
+//! that serves the view as it was published at epoch `N`, exactly as
+//! the live endpoint rendered it when `N` was latest — the engine's
+//! [`CrowdHistory`](crowdweb_ingest::CrowdHistory) rematerializes the
+//! crowd model from its delta-compressed ring. `GET /api/v1/epochs`
+//! lists which epochs are scrubbable; asking for an evicted (or
+//! not-yet-published) epoch is a 404 `"unknown-epoch"` envelope, and a
+//! non-integer epoch is a 400 `"bad-epoch"` envelope.
 
 use crate::{AppState, Request, Response, Router, StatusCode};
+use crowdweb_crowd::{CrowdModel, CrowdSplice};
 use crowdweb_dataset::{MergeRecord, UserId};
 use crowdweb_ingest::{IngestError, PlatformSnapshot};
 use crowdweb_mobility::{PatternMiner, UserPatterns};
 use crowdweb_viz::{render_place_graph, snapshot_to_geojson, CityMap, Histogram, LineChart};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Builds the full CrowdWeb route table: every endpoint at its
 /// canonical `/api/v1/...` pattern plus its legacy `/api/...` alias
@@ -90,6 +107,8 @@ pub fn build_router() -> Router<AppState> {
     router.get_aliased("/api/v1/crowd/map", "/api/crowd/map", crowd_map);
     router.get_aliased("/api/v1/crowd/geojson", "/api/crowd/geojson", crowd_geojson);
     router.get_aliased("/api/v1/crowd/flows", "/api/crowd/flows", crowd_flows);
+    router.get_aliased("/api/v1/crowd/diff", "/api/crowd/diff", crowd_diff);
+    router.get_aliased("/api/v1/epochs", "/api/epochs", epochs_list);
     router.get_aliased("/api/v1/figures/:id", "/api/figures/:id", figure_data);
     router.get_aliased(
         "/api/v1/figures/:id/svg",
@@ -363,12 +382,40 @@ struct CrowdDto {
     cells: Vec<CrowdCellDto>,
 }
 
+/// Resolves the crowd model a temporal endpoint should serve: the live
+/// snapshot's model by default, or — when the request carries
+/// `?epoch=N` — the model exactly as published at epoch `N`,
+/// rematerialized from the engine's delta-compressed history. A
+/// non-integer epoch is a 400 `"bad-epoch"` envelope; an epoch outside
+/// the retained ring is a 404 `"unknown-epoch"` envelope naming the
+/// scrubbable range.
+fn crowd_view(state: &AppState, request: &Request) -> Result<Arc<CrowdModel>, Response> {
+    let Some(raw) = request.query_param("epoch") else {
+        return Ok(state.snapshot().crowd_arc());
+    };
+    let Ok(epoch) = raw.parse::<u64>() else {
+        return Err(error_envelope(
+            StatusCode::BadRequest,
+            "bad-epoch",
+            "epoch must be a non-negative integer",
+        ));
+    };
+    state.engine().crowd_at(epoch).ok_or_else(|| {
+        let (oldest, newest) = state.engine().history().retained();
+        error_envelope(
+            StatusCode::NotFound,
+            "unknown-epoch",
+            &format!("epoch {epoch} is not retained (history holds {oldest}..={newest})"),
+        )
+    })
+}
+
 fn snapshot_for(
-    snap: &PlatformSnapshot,
+    crowd: &CrowdModel,
     request: &Request,
 ) -> Result<crowdweb_crowd::CrowdSnapshot, Response> {
     let hour = parse_hour(request)?;
-    snap.crowd().snapshot_at_hour(hour).ok_or_else(|| {
+    crowd.snapshot_at_hour(hour).ok_or_else(|| {
         error_envelope(
             StatusCode::NotFound,
             "no-window",
@@ -378,8 +425,11 @@ fn snapshot_for(
 }
 
 fn crowd(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
-    let platform = state.snapshot();
-    match snapshot_for(&platform, request) {
+    let model = match crowd_view(state, request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    match snapshot_for(&model, request) {
         Ok(snap) => ok_json(&CrowdDto {
             window: snap.window.label(),
             total_users: snap.total_users(),
@@ -399,9 +449,12 @@ fn crowd(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Re
 fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
     // Optional ?label=N restricts the view to one place label ("only
     // the shoppers").
-    let platform = state.snapshot();
+    let model = match crowd_view(state, request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
     let snap = match request.query_param("label") {
-        None => match snapshot_for(&platform, request) {
+        None => match snapshot_for(&model, request) {
             Ok(s) => s,
             Err(resp) => return resp,
         },
@@ -417,29 +470,29 @@ fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -
                 Ok(h) => h,
                 Err(resp) => return resp,
             };
-            let Some(idx) = platform.crowd().windows().index_of_hour(hour) else {
+            let Some(idx) = model.windows().index_of_hour(hour) else {
                 return error_envelope(
                     StatusCode::NotFound,
                     "no-window",
                     "no window covers that hour",
                 );
             };
-            match platform
-                .crowd()
-                .snapshot_by_label(idx, crowdweb_prep::PlaceLabel(label))
-            {
+            match model.snapshot_by_label(idx, crowdweb_prep::PlaceLabel(label)) {
                 Ok(s) => s,
                 Err(e) => return Response::error(StatusCode::InternalServerError, &e.to_string()),
             }
         }
     };
-    Response::svg(CityMap::new(platform.grid()).render(&snap))
+    Response::svg(CityMap::new(model.grid()).render(&snap))
 }
 
 fn crowd_geojson(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
-    let platform = state.snapshot();
-    match snapshot_for(&platform, request) {
-        Ok(snap) => ok_json(&snapshot_to_geojson(&snap, platform.grid())),
+    let model = match crowd_view(state, request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    match snapshot_for(&model, request) {
+        Ok(snap) => ok_json(&snapshot_to_geojson(&snap, model.grid())),
         Err(resp) => resp,
     }
 }
@@ -464,8 +517,11 @@ fn crowd_flows(state: &AppState, request: &Request, _: &HashMap<String, String>)
         (Ok(f), Ok(t)) => (f, t),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    let snap = state.snapshot();
-    let windows = snap.crowd().windows();
+    let model = match crowd_view(state, request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let windows = model.windows();
     let (Some(fi), Some(ti)) = (windows.index_of_hour(from), windows.index_of_hour(to)) else {
         return error_envelope(
             StatusCode::NotFound,
@@ -473,7 +529,7 @@ fn crowd_flows(state: &AppState, request: &Request, _: &HashMap<String, String>)
             "no window covers that hour",
         );
     };
-    match snap.crowd().flows(fi, ti) {
+    match model.flows(fi, ti) {
         Ok(flows) => ok_json(
             &flows
                 .into_iter()
@@ -486,6 +542,73 @@ fn crowd_flows(state: &AppState, request: &Request, _: &HashMap<String, String>)
         ),
         Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
     }
+}
+
+/// `GET /api/v1/epochs`: which epochs are currently scrubbable via
+/// `?epoch=N`, plus what retaining each one costs.
+#[derive(Serialize)]
+struct EpochListDto {
+    latest: u64,
+    capacity: usize,
+    epochs: Vec<crowdweb_ingest::EpochInfo>,
+}
+
+fn epochs_list(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    ok_json(&EpochListDto {
+        latest: state.engine().epoch(),
+        capacity: state.engine().history().capacity(),
+        epochs: state.engine().epochs(),
+    })
+}
+
+/// `GET /api/v1/crowd/diff?a=N&b=N`: the exact per-user placement delta
+/// between two retained epochs.
+#[derive(Serialize)]
+struct CrowdDiffDto {
+    a: u64,
+    b: u64,
+    users_changed: usize,
+    changes: Vec<crowdweb_crowd::UserSplice>,
+}
+
+fn crowd_diff(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    let parse = |name: &str| -> Result<u64, Response> {
+        request
+            .query_param(name)
+            .and_then(|raw| raw.parse::<u64>().ok())
+            .ok_or_else(|| {
+                error_envelope(
+                    StatusCode::BadRequest,
+                    "bad-epoch",
+                    "a and b must be non-negative integer epochs",
+                )
+            })
+    };
+    let (a, b) = match (parse("a"), parse("b")) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let materialize = |epoch: u64| -> Result<Arc<CrowdModel>, Response> {
+        state.engine().crowd_at(epoch).ok_or_else(|| {
+            let (oldest, newest) = state.engine().history().retained();
+            error_envelope(
+                StatusCode::NotFound,
+                "unknown-epoch",
+                &format!("epoch {epoch} is not retained (history holds {oldest}..={newest})"),
+            )
+        })
+    };
+    let (model_a, model_b) = match (materialize(a), materialize(b)) {
+        (Ok(ma), Ok(mb)) => (ma, mb),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let splice = CrowdSplice::between(&model_a, &model_b);
+    ok_json(&CrowdDiffDto {
+        a,
+        b,
+        users_changed: splice.user_count(),
+        changes: splice.changes().to_vec(),
+    })
 }
 
 /// Support sweep used by the figure endpoints.
@@ -804,6 +927,8 @@ fn metrics_text(state: &AppState, _: &Request, _: &HashMap<String, String>) -> R
 struct HealthDto {
     status: &'static str,
     epoch: u64,
+    history_depth: usize,
+    history_capacity: usize,
     queue_depth: usize,
     queue_capacity: usize,
     shards: usize,
@@ -816,6 +941,8 @@ fn healthz(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Respon
     ok_json(&HealthDto {
         status: "ok",
         epoch: stats.epoch,
+        history_depth: stats.history_depth,
+        history_capacity: stats.history_capacity,
         queue_depth: stats.queue_depth,
         queue_capacity: stats.queue_capacity,
         shards: stats.shard_count,
@@ -872,8 +999,11 @@ fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, Stri
         (Ok(f), Ok(t)) => (f, t),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    let snap = state.snapshot();
-    let windows = snap.crowd().windows();
+    let model = match crowd_view(state, request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let windows = model.windows();
     let (Some(fi), Some(ti)) = (windows.index_of_hour(from), windows.index_of_hour(to)) else {
         return error_envelope(
             StatusCode::NotFound,
@@ -881,9 +1011,9 @@ fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, Stri
             "no window covers that hour",
         );
     };
-    match snap.crowd().flows(fi, ti) {
+    match model.flows(fi, ti) {
         Ok(flows) => Response::svg(crowdweb_viz::render_flow_map(
-            snap.grid(),
+            model.grid(),
             &flows,
             &format!("{from}h \u{2192} {to}h"),
         )),
@@ -891,10 +1021,13 @@ fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, Stri
     }
 }
 
-fn crowd_timeline(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
-    Response::svg(crowdweb_viz::render_crowd_timeline(
-        &state.snapshot().crowd().animation_frames(),
-    ))
+fn crowd_timeline(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+    match crowd_view(state, request) {
+        Ok(model) => Response::svg(crowdweb_viz::render_crowd_timeline(
+            &model.animation_frames(),
+        )),
+        Err(resp) => resp,
+    }
 }
 
 fn heatmap(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
@@ -1001,8 +1134,11 @@ fn crowd_compare(state: &AppState, request: &Request, _: &HashMap<String, String
         (Ok(a), Ok(b)) => (a, b),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    let snap = state.snapshot();
-    match crowdweb_crowd::compare_windows(snap.crowd(), a, b) {
+    let model = match crowd_view(state, request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    match crowdweb_crowd::compare_windows(&model, a, b) {
         Ok(cmp) => ok_json(&cmp),
         Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
     }
@@ -1115,13 +1251,16 @@ fn tile(state: &AppState, request: &Request, params: &HashMap<String, String>) -
         Ok(t) => t,
         Err(e) => return error_envelope(StatusCode::BadRequest, "bad-tile", &e.to_string()),
     };
-    let platform = state.snapshot();
-    let snap = match snapshot_for(&platform, request) {
+    let model = match crowd_view(state, request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let snap = match snapshot_for(&model, request) {
         Ok(s) => s,
         Err(resp) => return resp,
     };
     let tile_bounds = tile.bounds();
-    let grid = platform.grid();
+    let grid = model.grid();
     let max = snap.cells.values().max().copied().unwrap_or(0).max(1);
 
     const SIZE: f64 = 256.0;
@@ -1230,6 +1369,13 @@ mod tests {
         );
         assert!(text.contains("stage=\"mine\""));
         assert!(text.contains("crowdweb_pipeline_runs_total"));
+        // The epoch history store publishes its retention gauges (the
+        // cold build seeds epoch 0) and registers the reconstruction
+        // histogram up front.
+        assert!(text.contains("crowdweb_ingest_history_retained_epochs 1"));
+        assert!(text.contains("crowdweb_ingest_history_resident_bytes{kind=\"full\"}"));
+        assert!(text.contains("crowdweb_ingest_history_resident_bytes{kind=\"delta\"} 0"));
+        assert!(text.contains("crowdweb_ingest_history_reconstruction_seconds"));
         // Deterministic ordering: a second scrape with unchanged state
         // is byte-identical.
         let second = r.route(&s, &req);
@@ -1247,6 +1393,10 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
         assert_eq!(v["status"], "ok");
         assert_eq!(v["epoch"].as_u64(), Some(0));
+        // The history ring holds the cold build and reports its
+        // configured retention.
+        assert_eq!(v["history_depth"].as_u64(), Some(1));
+        assert!(v["history_capacity"].as_u64().unwrap() >= 1);
         assert_eq!(v["queue_depth"].as_u64(), Some(0));
         assert!(v["queue_capacity"].as_u64().unwrap() > 0);
         assert!(v["shards"].as_u64().unwrap() >= 1);
@@ -1451,6 +1601,104 @@ mod tests {
         assert!(body.contains("\"ran\":false"));
     }
 
+    /// Submits one existing check-in shifted by `step` hours and runs
+    /// an epoch, so each call perturbs the crowd model deterministically.
+    fn advance_epoch(router: &Router<AppState>, s: &AppState, step: usize) {
+        let snap = s.snapshot();
+        let c = snap.dataset().checkins()[step * 31 % snap.dataset().checkins().len()];
+        let v = snap.dataset().venue(c.venue()).unwrap();
+        let json = format!(
+            "{{\"user\":{},\"venue\":{},\"category\":\"Office\",\"lat\":{},\"lon\":{},\
+             \"tz_offset_minutes\":-240,\"time\":\"Tue Apr 03 {:02}:00:00 +0000 2012\"}}",
+            c.user().raw(),
+            serde_json::to_string(v.name()).unwrap(),
+            v.location().lat(),
+            v.location().lon(),
+            10 + step % 12,
+        );
+        drop(snap);
+        let (code, body) = post(router, s, "/api/v1/checkins", &json);
+        assert_eq!(code, 200, "{body}");
+        let (code, body) = post(router, s, "/api/v1/ingest/epoch", "");
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"ran\":true"), "{body}");
+    }
+
+    #[test]
+    fn time_travel_serves_retained_epochs_byte_identically() {
+        let s = state();
+        let r = build_router();
+        // Capture the live crowd body at each epoch as it is published.
+        let mut expected = vec![get(&r, &s, "/api/v1/crowd?hour=9").1];
+        for step in 0..3 {
+            advance_epoch(&r, &s, step);
+            expected.push(get(&r, &s, "/api/v1/crowd?hour=9").1);
+        }
+        // Every retained epoch answers exactly as it did when latest.
+        for (epoch, want) in expected.iter().enumerate() {
+            let (code, body) = get(&r, &s, &format!("/api/v1/crowd?hour=9&epoch={epoch}"));
+            assert_eq!(code, 200, "epoch {epoch}: {body}");
+            assert_eq!(&body, want, "epoch {epoch} must be byte-identical");
+        }
+        // ?epoch= applies across the temporal endpoints.
+        for path in [
+            "/api/v1/crowd/map?hour=9&epoch=1",
+            "/api/v1/crowd/geojson?hour=9&epoch=1",
+            "/api/v1/crowd/flows?from=9&to=10&epoch=1",
+            "/api/v1/crowd/flows/map?from=9&to=10&epoch=1",
+            "/api/v1/crowd/timeline?epoch=1",
+            "/api/v1/crowd/compare?a=9&b=19&epoch=1",
+            "/api/v1/tiles/11/602/770?hour=9&epoch=1",
+        ] {
+            let (code, body) = get(&r, &s, path);
+            assert_eq!(code, 200, "{path}: {body}");
+        }
+        // The listing covers epochs 0..=3, oldest first, each row
+        // carrying identity, provenance, and retention cost.
+        let (code, body) = get(&r, &s, "/api/v1/epochs");
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["latest"].as_u64(), Some(3));
+        assert!(v["capacity"].as_u64().unwrap() >= 4);
+        let rows = v["epochs"].as_array().unwrap();
+        assert_eq!(rows.len(), 4);
+        for (n, row) in rows.iter().enumerate() {
+            assert_eq!(row["epoch"].as_u64(), Some(n as u64), "{body}");
+            assert!(row["unix_ms"].as_u64().is_some());
+            assert!(row["resident_bytes"].as_u64().is_some());
+            let kind = row["kind"].as_str().unwrap();
+            assert!(kind == "full" || kind == "delta", "{kind}");
+        }
+        // Epoch 0 (the cold build) is always a full checkpoint; the
+        // following incremental epochs are deltas under the default
+        // checkpoint cadence.
+        assert_eq!(rows[0]["kind"], "full");
+        assert_eq!(rows[1]["kind"], "delta");
+        // The diff endpoint reports the exact per-user delta; a
+        // self-diff is empty.
+        let (code, body) = get(&r, &s, "/api/v1/crowd/diff?a=0&b=3");
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(0));
+        assert_eq!(v["b"].as_u64(), Some(3));
+        assert_eq!(
+            v["users_changed"].as_u64().unwrap() as usize,
+            v["changes"].as_array().unwrap().len()
+        );
+        let (code, body) = get(&r, &s, "/api/v1/crowd/diff?a=2&b=2");
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["users_changed"].as_u64(), Some(0));
+        // Health and ingest stats report the deepened history.
+        let (_, body) = get(&r, &s, "/api/v1/healthz");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["history_depth"].as_u64(), Some(4));
+        let (_, body) = get(&r, &s, "/api/v1/ingest/stats");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["history_depth"].as_u64(), Some(4));
+        assert!(v["history_capacity"].as_u64().unwrap() >= 4);
+    }
+
     #[test]
     fn checkins_endpoint_accepts_single_object_and_rejects_garbage() {
         let s = state();
@@ -1650,8 +1898,14 @@ mod tests {
             ("/api/v1/patterns/999999", 404, "unknown-user"),
             ("/api/v1/network/999999", 404, "unknown-user"),
             ("/api/v1/crowd?hour=99", 400, "bad-hour"),
+            ("/api/v1/crowd?epoch=zzz", 400, "bad-epoch"),
+            ("/api/v1/crowd?epoch=999", 404, "unknown-epoch"),
             ("/api/v1/crowd/map?hour=12&label=zzz", 400, "bad-label"),
             ("/api/v1/crowd/flows?from=77", 400, "bad-hour"),
+            ("/api/v1/crowd/flows?epoch=999", 404, "unknown-epoch"),
+            ("/api/v1/crowd/diff?a=0", 400, "bad-epoch"),
+            ("/api/v1/crowd/diff?a=zzz&b=0", 400, "bad-epoch"),
+            ("/api/v1/crowd/diff?a=0&b=999", 404, "unknown-epoch"),
             ("/api/v1/figures/fig99", 404, "unknown-figure"),
             ("/api/v1/upload/last", 404, "no-upload"),
             ("/api/v1/users?limit=0", 400, "bad-limit"),
@@ -1715,8 +1969,11 @@ mod tests {
             &patterns_path,
             &entropy_path,
             "crowd?hour=9",
+            "crowd?hour=9&epoch=0",
             "crowd/geojson?hour=9",
             "crowd/flows?from=9&to=10",
+            "crowd/diff?a=0&b=0",
+            "epochs",
             "figures/fig5",
             "uploads",
             "ingest/stats",

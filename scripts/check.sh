@@ -37,6 +37,20 @@ grep -q '/api/healthz' README.md || {
     exit 1
 }
 
+echo "== epoch history gate =="
+# Time travel must stay byte-identical to cold rebuilds, end to end.
+cargo test -q --test epoch_history
+cargo test -q --test server_e2e time_travel
+# The history metrics must stay pinned by the exposition test.
+for metric in crowdweb_ingest_history_retained_epochs \
+    crowdweb_ingest_history_resident_bytes \
+    crowdweb_ingest_history_reconstruction_seconds; do
+    grep -qF "$metric" crates/server/src/api.rs || {
+        echo "the /api/metrics exposition test must assert $metric" >&2
+        exit 1
+    }
+done
+
 echo "== API v1 doc-drift gate =="
 # Every route registered in build_router must appear verbatim in the
 # README endpoint table (parameter spellings like :user included).

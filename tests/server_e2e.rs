@@ -150,6 +150,109 @@ fn visitor_upload_end_to_end() {
     assert_eq!(code, 200);
 }
 
+/// The ISSUE acceptance criterion, end to end over real TCP: after 20
+/// ingest epochs against a 16-deep history, `GET /api/v1/crowd?epoch=N`
+/// returns bytes identical to what `GET /api/v1/crowd` returned when
+/// epoch `N` was latest, for every retained epoch — and evicted epochs
+/// are a 404 `unknown-epoch` envelope. Runs on its own server so the
+/// epoch churn never races the read-only tests above.
+#[test]
+fn time_travel_replays_the_live_crowd_byte_identically_over_tcp() {
+    const EPOCHS: usize = 20;
+    const DEPTH: usize = 16;
+    let dataset = SynthConfig::small(77).generate().unwrap();
+    let state = AppState::build(dataset, 20).unwrap();
+    assert_eq!(state.engine().history().capacity(), DEPTH);
+    // Pin venue/user rows to submit against before the server takes
+    // ownership of the state.
+    let rows: Vec<(u32, String, f64, f64)> = {
+        let snap = state.snapshot();
+        snap.dataset()
+            .checkins()
+            .iter()
+            .step_by(29)
+            .take(EPOCHS)
+            .map(|c| {
+                let v = snap.dataset().venue(c.venue()).unwrap();
+                (
+                    c.user().raw(),
+                    v.name().to_owned(),
+                    v.location().lat(),
+                    v.location().lon(),
+                )
+            })
+            .collect()
+    };
+    let (addr, _handle, _join) = Server::bind("127.0.0.1:0", state).unwrap().spawn();
+    let send = |raw: String| -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        let code = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        (code, buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned())
+    };
+    let get = |path: &str| send(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"));
+    let post = |path: &str, body: &str| {
+        send(format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ))
+    };
+
+    // Capture the live crowd body at every epoch as it is published.
+    let mut published = vec![get("/api/v1/crowd").1];
+    for (step, (user, venue, lat, lon)) in rows.iter().enumerate() {
+        let json = format!(
+            "{{\"user\":{user},\"venue\":{},\"category\":\"Office\",\"lat\":{lat},\"lon\":{lon},\
+             \"tz_offset_minutes\":-240,\"time\":\"Tue Apr 03 {:02}:00:00 +0000 2012\"}}",
+            serde_json::to_string(venue).unwrap(),
+            9 + step % 13,
+        );
+        let (code, body) = post("/api/v1/checkins", &json);
+        assert_eq!(code, 200, "submit {step}: {body}");
+        let (code, body) = post("/api/v1/ingest/epoch", "");
+        assert_eq!(code, 200, "epoch {step}: {body}");
+        assert!(body.contains("\"ran\":true"), "epoch {step}: {body}");
+        published.push(get("/api/v1/crowd").1);
+    }
+
+    // Epochs 5..=20 are retained (16-deep ring), 0..=4 were evicted.
+    for (epoch, want) in published.iter().enumerate() {
+        let (code, body) = get(&format!("/api/v1/crowd?epoch={epoch}"));
+        if epoch + DEPTH > EPOCHS {
+            assert_eq!(code, 200, "epoch {epoch}: {body}");
+            assert_eq!(&body, want, "epoch {epoch} must replay byte-identically");
+        } else {
+            assert_eq!(code, 404, "evicted epoch {epoch}: {body}");
+            let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+            assert_eq!(v["error"]["code"].as_str(), Some("unknown-epoch"));
+        }
+    }
+
+    // The listing agrees with the replayable range.
+    let (code, body) = get("/api/v1/epochs");
+    assert_eq!(code, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["latest"].as_u64(), Some(EPOCHS as u64));
+    let epochs = v["epochs"].as_array().unwrap();
+    assert_eq!(epochs.len(), DEPTH);
+    assert_eq!(
+        epochs[0]["epoch"].as_u64(),
+        Some((EPOCHS - DEPTH + 1) as u64)
+    );
+    assert_eq!(epochs[0]["kind"], "full");
+    // Health reports the deepened ring.
+    let (_, body) = get("/api/v1/healthz");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["history_depth"].as_u64(), Some(DEPTH as u64));
+    assert_eq!(v["epoch"].as_u64(), Some(EPOCHS as u64));
+}
+
 #[test]
 fn error_paths() {
     // Status codes on both the v1 and legacy spellings…
