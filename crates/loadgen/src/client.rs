@@ -1,0 +1,129 @@
+//! A minimal one-shot HTTP/1.1 client.
+//!
+//! The server speaks `Connection: close` (one request per connection),
+//! so the client does too: connect, write the request, read to EOF,
+//! parse the status line and the handful of headers the harness cares
+//! about. Deliberately dependency-free and blocking — each sender
+//! thread owns its own connections.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response, reduced to what the harness records.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Parsed `Retry-After` header (seconds), when present.
+    pub retry_after: Option<u64>,
+    /// Response body bytes, UTF-8-decoded lossily.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// `body` of `Some` makes it a POST with a JSON content type; `None`
+/// makes it a GET. Both socket read and write inherit `timeout`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed status lines as
+/// `io::Error` — the harness counts these as transport errors, distinct
+/// from HTTP-level error statuses.
+pub fn request(
+    addr: SocketAddr,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    match body {
+        Some(json) => write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{json}",
+            json.len()
+        )?,
+        None => write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"
+        )?,
+    }
+    stream.flush()?;
+
+    let mut raw = Vec::with_capacity(4096);
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let malformed =
+        |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| malformed("response head never terminated"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| malformed("non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| malformed("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| malformed("unparseable status line"))?;
+    let mut retry_after = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse::<u64>().ok();
+            }
+        }
+    }
+    Ok(HttpResponse {
+        status,
+        retry_after,
+        body: String::from_utf8_lossy(&raw[head_end + 4..]).into_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_headers_and_body() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+                    Retry-After: 2\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retry_after, Some(2));
+        assert_eq!(r.body, "{}");
+        assert!(!r.is_success());
+    }
+
+    #[test]
+    fn missing_retry_after_is_none() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.retry_after, None);
+        assert!(r.is_success());
+    }
+
+    #[test]
+    fn truncated_head_is_a_transport_error() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-").is_err());
+        assert!(parse_response(b"garbage\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! The open-loop replay engine.
+//!
+//! [`run`] synthesizes the trace for a scenario, then replays it against
+//! a live server: sender threads take interleaved slices of the event
+//! list (`i`, `i + K`, `i + 2K`, …) and fire each request at its
+//! precomputed offset from run start. Latency is measured from the
+//! *scheduled* send time, so server stalls — and generator lateness —
+//! surface as recorded latency rather than silently stretching the run
+//! (no coordinated omission).
+//!
+//! Alongside the senders:
+//!
+//! - an **epoch trigger** thread POSTs `/api/v1/ingest/epoch` on a fixed
+//!   wall-clock cadence (`epoch_every_secs`), records the
+//!   server-reported epoch wall time (epoch lag under load), and keeps
+//!   the shared latest-epoch counter fresh for `?epoch=N` reads;
+//! - a **scraper** reads `/api/v1/metrics` at each phase boundary so
+//!   server-side gauges (queue depth, open connections) line up with the
+//!   client-side CDFs in the output TSV.
+
+use crate::client::{self, HttpResponse};
+use crate::report::{EpochSample, GaugeSample, RunReport, Sample};
+use crate::scenario::Scenario;
+use crate::trace::{Trace, EPOCH_PLACEHOLDER};
+use crate::LoadgenError;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tunables for a harness run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Concurrent sender threads. Bounds in-flight requests; scheduled
+    /// sends that find every sender busy are fired late, and the
+    /// lateness is charged to the recorded latency (open-loop
+    /// accounting). Default 8.
+    pub senders: usize,
+    /// Per-request socket timeout. Default 10 s.
+    pub request_timeout: Duration,
+    /// Suppress progress output on stderr. Default false.
+    pub quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            senders: 8,
+            request_timeout: Duration::from_secs(10),
+            quiet: false,
+        }
+    }
+}
+
+/// Server-side gauges scraped at phase boundaries.
+const SCRAPED_GAUGES: [&str; 2] = [
+    "crowdweb_ingest_queue_depth",
+    "crowdweb_server_open_connections",
+];
+
+/// Replays `scenario` against the server at `addr` and aggregates the
+/// results.
+///
+/// # Errors
+///
+/// Returns [`LoadgenError::Run`] when the server fails the pre-run
+/// health probe, and [`LoadgenError::Scenario`] when the scenario fails
+/// validation.
+pub fn run(
+    scenario: &Scenario,
+    addr: SocketAddr,
+    opts: &RunOptions,
+) -> Result<RunReport, LoadgenError> {
+    let trace = Trace::synthesize(scenario)?;
+    // Fail fast on an unreachable or unhealthy server: a run that
+    // records 100% transport errors is a wasted scenario.
+    match client::request(addr, "/api/v1/healthz", None, opts.request_timeout) {
+        Ok(r) if r.is_success() => {}
+        Ok(r) => {
+            return Err(LoadgenError::Run(format!(
+                "health probe returned {} — refusing to start",
+                r.status
+            )))
+        }
+        Err(e) => {
+            return Err(LoadgenError::Run(format!(
+                "server at {addr} unreachable: {e}"
+            )))
+        }
+    }
+    if !opts.quiet {
+        eprintln!(
+            "loadgen: {} events over {:.1}s wall ({} phases, {} senders)",
+            trace.events.len(),
+            trace.total_wall_us() as f64 / 1e6,
+            trace.phase_names.len(),
+            opts.senders,
+        );
+    }
+
+    let latest_epoch = AtomicU64::new(0);
+    let timeout = opts.request_timeout;
+    let total_us = trace.total_wall_us();
+    let start = Instant::now();
+
+    let (samples, epochs, gauges) = std::thread::scope(|scope| {
+        let senders: Vec<_> = (0..opts.senders.max(1))
+            .map(|w| {
+                let trace = &trace;
+                let latest_epoch = &latest_epoch;
+                scope.spawn(move || {
+                    let mut out: Vec<Sample> = Vec::new();
+                    let mut i = w;
+                    while i < trace.events.len() {
+                        let event = &trace.events[i];
+                        sleep_until(start, event.schedule_us);
+                        let path = if event.kind == crate::trace::EndpointKind::EpochRead {
+                            event.path.replace(
+                                EPOCH_PLACEHOLDER,
+                                &latest_epoch.load(Ordering::Acquire).to_string(),
+                            )
+                        } else {
+                            event.path.clone()
+                        };
+                        let result = client::request(addr, &path, event.body.as_deref(), timeout);
+                        let done_us = start.elapsed().as_micros() as u64;
+                        out.push(Sample {
+                            phase: event.phase,
+                            kind: event.kind,
+                            latency_us: done_us.saturating_sub(event.schedule_us),
+                            status: result.map(|r| r.status).unwrap_or(0),
+                        });
+                        i += opts.senders.max(1);
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        // Epoch trigger: fixed cadence, independent of the senders.
+        let epoch_thread = scope.spawn(|| {
+            let mut out: Vec<EpochSample> = Vec::new();
+            if scenario.epoch_every_secs <= 0.0 {
+                return out;
+            }
+            let step_us = (scenario.epoch_every_secs * 1e6) as u64;
+            let mut at = step_us;
+            while at < total_us + step_us {
+                sleep_until(start, at.min(total_us));
+                let sent = at.min(total_us);
+                match client::request(addr, "/api/v1/ingest/epoch", Some(""), timeout) {
+                    Ok(resp) => out.push(parse_epoch_response(sent, &resp, &latest_epoch)),
+                    Err(_) => out.push(EpochSample {
+                        at_us: sent,
+                        epoch: latest_epoch.load(Ordering::Acquire),
+                        applied: 0,
+                        duration_micros: 0,
+                        status: 0,
+                    }),
+                }
+                if at >= total_us {
+                    break;
+                }
+                at += step_us;
+            }
+            out
+        });
+
+        // Scraper: one /api/v1/metrics read at each phase boundary.
+        let scrape_thread = scope.spawn(|| {
+            let mut out: Vec<GaugeSample> = Vec::new();
+            let mut end = 0u64;
+            for (pi, wall) in trace.phase_wall_us.iter().enumerate() {
+                end += wall;
+                sleep_until(start, end);
+                if let Ok(resp) = client::request(addr, "/api/v1/metrics", None, timeout) {
+                    if resp.is_success() {
+                        for name in SCRAPED_GAUGES {
+                            if let Some(value) = exposition_value(&resp.body, name) {
+                                out.push(GaugeSample {
+                                    phase: pi as u16,
+                                    name: name.to_owned(),
+                                    value,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        });
+
+        let mut samples = Vec::with_capacity(trace.events.len());
+        for s in senders {
+            samples.extend(s.join().expect("sender threads do not panic"));
+        }
+        (
+            samples,
+            epoch_thread.join().expect("epoch thread does not panic"),
+            scrape_thread.join().expect("scraper does not panic"),
+        )
+    });
+
+    if !opts.quiet {
+        eprintln!(
+            "loadgen: done in {:.1}s wall ({} responses, {} epochs published)",
+            start.elapsed().as_secs_f64(),
+            samples.len(),
+            epochs.len(),
+        );
+    }
+    Ok(RunReport::build(
+        &trace.phase_names,
+        &trace.phase_wall_us,
+        &samples,
+        &epochs,
+        &gauges,
+    ))
+}
+
+fn sleep_until(start: Instant, offset_us: u64) {
+    let target = start + Duration::from_micros(offset_us);
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+}
+
+fn parse_epoch_response(at_us: u64, resp: &HttpResponse, latest: &AtomicU64) -> EpochSample {
+    let mut epoch = latest.load(Ordering::Acquire);
+    let mut applied = 0;
+    let mut duration_micros = 0;
+    if resp.is_success() {
+        if let Ok(v) = serde_json::from_str::<serde_json::Value>(&resp.body) {
+            if let Some(e) = v["epoch"].as_u64() {
+                epoch = e;
+                // Only a *published* epoch number is safe to hand to
+                // `?epoch=N` readers.
+                latest.store(e, Ordering::Release);
+            }
+            duration_micros = v["duration_micros"].as_u64().unwrap_or(0);
+            applied = v["report"]["applied"].as_u64().unwrap_or(0);
+        }
+    }
+    EpochSample {
+        at_us,
+        epoch,
+        applied,
+        duration_micros,
+        status: resp.status,
+    }
+}
+
+/// Extracts an unlabeled metric's value from Prometheus text
+/// exposition.
+fn exposition_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse::<f64>().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_parsing_ignores_labels_and_prefix_collisions() {
+        let text = "# HELP x y\ncrowdweb_ingest_queue_depth 12\n\
+                    crowdweb_ingest_queue_depth_total 99\n\
+                    crowdweb_server_open_connections{shard=\"0\"} 5\n";
+        assert_eq!(
+            exposition_value(text, "crowdweb_ingest_queue_depth"),
+            Some(12.0)
+        );
+        assert_eq!(
+            exposition_value(text, "crowdweb_server_open_connections"),
+            None
+        );
+        assert_eq!(exposition_value(text, "missing_metric"), None);
+    }
+
+    #[test]
+    fn epoch_response_parsing_updates_the_shared_counter() {
+        let latest = AtomicU64::new(0);
+        let resp = HttpResponse {
+            status: 200,
+            retry_after: None,
+            body: "{\"ran\":true,\"epoch\":3,\"duration_micros\":4200,\
+                   \"report\":{\"applied\":17}}"
+                .to_owned(),
+        };
+        let s = parse_epoch_response(10, &resp, &latest);
+        assert_eq!(s.epoch, 3);
+        assert_eq!(s.applied, 17);
+        assert_eq!(s.duration_micros, 4200);
+        assert_eq!(latest.load(Ordering::Acquire), 3);
+        // A no-op epoch (`report: null`) still reports wall time.
+        let resp = HttpResponse {
+            status: 200,
+            retry_after: None,
+            body: "{\"ran\":false,\"epoch\":3,\"duration_micros\":80,\"report\":null}".to_owned(),
+        };
+        let s = parse_epoch_response(20, &resp, &latest);
+        assert_eq!(s.applied, 0);
+        assert_eq!(s.duration_micros, 80);
+    }
+}

@@ -1,0 +1,78 @@
+//! City-scale workload simulator for the CrowdWeb platform.
+//!
+//! The serving stack (sharded ingest, evented reactor, epoch history)
+//! exists to survive city traffic: millions of residents checking in
+//! while dashboards read crowd views. This crate makes that workload
+//! reproducible. A declarative *scenario* (see [`scenario::Scenario`])
+//! describes a user population and a sequence of phases — commute
+//! surges, stadium events, weekend lulls — as requests-per-second ramps
+//! over virtual city time; the generator synthesizes the entire request
+//! trace up front from `crowdweb-synth` agent behaviour, then replays it
+//! against a real server over TCP.
+//!
+//! # Open-loop scheduling
+//!
+//! The replay is *open-loop*: every request's send time is computed from
+//! the scenario's rate curve before the run starts, and senders fire at
+//! those times regardless of how the server is doing. Latency is
+//! measured from the **scheduled** send time, so a stalled server
+//! accrues queueing delay in the recorded numbers instead of silently
+//! slowing the generator down — the classic *coordinated omission* trap
+//! that closed-loop harnesses fall into.
+//!
+//! # Pieces
+//!
+//! - [`scenario`] — the declarative config and its TOML-subset parser.
+//! - [`trace`] — deterministic trace synthesis (same seed + scenario →
+//!   byte-identical request sequence and timestamps).
+//! - [`client`] — a minimal one-shot HTTP/1.1 client.
+//! - [`harness`] — the open-loop replay engine and metrics scraper.
+//! - [`report`] — per-endpoint latency CDFs, error rates, and epoch lag,
+//!   written as `out/loadgen_<scenario>.tsv`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod harness;
+pub mod report;
+pub mod scenario;
+pub mod trace;
+
+pub use harness::{run, RunOptions};
+pub use report::RunReport;
+pub use scenario::{Phase, ReadMix, Scenario};
+pub use trace::{Trace, TraceEvent};
+
+use std::fmt;
+
+/// Errors from scenario parsing, trace synthesis, or a harness run.
+#[derive(Debug)]
+pub enum LoadgenError {
+    /// The scenario file is malformed or semantically invalid.
+    Scenario(String),
+    /// An I/O failure (scenario file, output TSV, or the control
+    /// connection used for metrics scrapes).
+    Io(std::io::Error),
+    /// The run could not proceed (server unreachable, malformed
+    /// control-plane response).
+    Run(String),
+}
+
+impl fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadgenError::Scenario(msg) => write!(f, "scenario error: {msg}"),
+            LoadgenError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadgenError::Run(msg) => write!(f, "run error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadgenError {}
+
+impl From<std::io::Error> for LoadgenError {
+    fn from(e: std::io::Error) -> LoadgenError {
+        LoadgenError::Io(e)
+    }
+}

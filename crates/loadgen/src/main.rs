@@ -1,0 +1,172 @@
+//! `crowdweb-loadgen` — scenario-driven load generator CLI.
+//!
+//! ```text
+//! crowdweb-loadgen run scenarios/commute_surge.toml [--addr HOST:PORT]
+//!                      [--out DIR] [--senders N] [--quiet]
+//! crowdweb-loadgen check scenarios/commute_surge.toml
+//! ```
+//!
+//! `run` replays the scenario against a server. With `--addr` it drives
+//! an already-running instance; without it, it boots an in-process
+//! CrowdWeb server on an ephemeral port (a small seeded dataset, the
+//! same stack production runs) and drives that over real TCP. Results
+//! land in `out/loadgen_<name>.tsv`.
+//!
+//! `check` parses, validates, and synthesizes without sending a single
+//! request — a fast way to vet a new scenario file.
+
+use crowdweb_loadgen::{harness, report, scenario::Scenario, trace::Trace, RunOptions};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crowdweb-loadgen run <scenario.toml> [--addr HOST:PORT] [--out DIR] \
+         [--senders N] [--quiet]\n       crowdweb-loadgen check <scenario.toml>"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("crowdweb-loadgen: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn load_scenario(path: &str) -> Scenario {
+    match Scenario::from_file(std::path::Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => fail(format!("{path}: {e}")),
+    }
+}
+
+fn cmd_check(args: &[String]) {
+    let [path] = args else { usage() };
+    let scenario = load_scenario(path);
+    let trace = match Trace::synthesize(&scenario) {
+        Ok(t) => t,
+        Err(e) => fail(e.to_string()),
+    };
+    println!(
+        "{}: {} users, {} phases, {} events over {:.1}s wall",
+        scenario.name,
+        scenario.users,
+        scenario.phases.len(),
+        trace.events.len(),
+        trace.total_wall_us() as f64 / 1e6,
+    );
+    let mut per_phase = vec![0u64; trace.phase_names.len()];
+    for e in &trace.events {
+        per_phase[e.phase as usize] += 1;
+    }
+    for (name, (events, wall_us)) in trace
+        .phase_names
+        .iter()
+        .zip(per_phase.iter().zip(&trace.phase_wall_us))
+    {
+        println!(
+            "  {name}: {events} events / {:.1}s wall ({:.1} rps avg)",
+            *wall_us as f64 / 1e6,
+            *events as f64 / (*wall_us as f64 / 1e6).max(1e-9),
+        );
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let mut path: Option<&str> = None;
+    let mut addr: Option<SocketAddr> = None;
+    let mut out_dir = PathBuf::from("out");
+    let mut opts = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let raw = it.next().unwrap_or_else(|| usage());
+                addr = Some(
+                    raw.parse()
+                        .unwrap_or_else(|_| fail(format!("bad --addr {raw:?}"))),
+                );
+            }
+            "--out" => out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--senders" => {
+                let raw = it.next().unwrap_or_else(|| usage());
+                opts.senders = raw
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| fail(format!("bad --senders {raw:?}")));
+            }
+            "--quiet" => opts.quiet = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other => fail(format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let scenario = load_scenario(path);
+
+    // Self-host when no --addr: the same serving stack production runs,
+    // on an ephemeral port, seeded with a small synthetic dataset the
+    // run then grows via its check-in writes.
+    let hosted = match addr {
+        Some(a) => {
+            eprintln!("loadgen: driving external server at {a}");
+            None
+        }
+        None => {
+            eprintln!("loadgen: booting in-process server (seeded dataset)...");
+            let dataset = crowdweb_synth::SynthConfig::small(scenario.seed)
+                .generate()
+                .unwrap_or_else(|e| fail(format!("dataset synthesis failed: {e}")));
+            let state = crowdweb_server::AppState::build(dataset, 20)
+                .unwrap_or_else(|e| fail(format!("server state build failed: {e}")));
+            let server = crowdweb_server::Server::bind("127.0.0.1:0", state)
+                .unwrap_or_else(|e| fail(format!("bind failed: {e}")))
+                .read_timeout(Duration::from_secs(5))
+                .write_timeout(Duration::from_secs(5));
+            let (bound, shutdown, join) = server.spawn();
+            eprintln!("loadgen: server up at {bound}");
+            addr = Some(bound);
+            Some((shutdown, join))
+        }
+    };
+    let addr = addr.expect("addr resolved above");
+
+    let report = match harness::run(&scenario, addr, &opts) {
+        Ok(r) => r,
+        Err(e) => fail(e.to_string()),
+    };
+
+    if let Some((shutdown, join)) = hosted {
+        shutdown.shutdown();
+        let _ = join.join();
+    }
+
+    let tsv = report.to_tsv();
+    if let Err(e) = report::validate_tsv(&tsv) {
+        fail(format!(
+            "internal error: generated TSV does not validate: {e}"
+        ));
+    }
+    let out_path = out_dir.join(format!("loadgen_{}.tsv", scenario.name));
+    if let Err(e) = report.write_tsv(&out_path) {
+        fail(format!("writing {}: {e}", out_path.display()));
+    }
+    println!("{}", report.summary());
+    println!("wrote {}", out_path.display());
+    if report.unexpected_non2xx() > 0 {
+        eprintln!(
+            "warning: {} unexpected non-2xx responses (503 shedding excluded)",
+            report.unexpected_non2xx()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,543 @@
+//! Aggregation of run samples into latency CDFs, error rates, and epoch
+//! lag, plus the `out/loadgen_<scenario>.tsv` serialization.
+//!
+//! TSV schema (12 columns, tab-separated, one header line):
+//!
+//! ```text
+//! kind  phase  label  count  non2xx  http503  value  p50_us  p90_us  p99_us  p999_us  max_us
+//! ```
+//!
+//! - `kind = latency`: one row per (phase × endpoint); `value` is the
+//!   achieved requests/second; percentiles are request latency measured
+//!   from the *scheduled* send time (coordinated-omission-free).
+//! - `kind = epoch`: one row per phase; `count` epochs published,
+//!   `value` the mean check-ins applied per epoch, percentiles over the
+//!   server-reported epoch wall time (epoch lag under load).
+//! - `kind = gauge`: server-side gauges scraped from `/api/metrics` at
+//!   each phase boundary; `value` is the gauge reading.
+//! - `kind = total`: one whole-run summary row per endpoint plus an
+//!   `all` row.
+
+use crate::trace::EndpointKind;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// One completed request, as recorded by a sender thread.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Index into the scenario's phase list.
+    pub phase: u16,
+    /// Endpoint class.
+    pub kind: EndpointKind,
+    /// Latency from the scheduled send time to response completion.
+    pub latency_us: u64,
+    /// HTTP status, or 0 for a transport error (connect/read failure).
+    pub status: u16,
+}
+
+/// One epoch publish observed by the epoch-trigger thread.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSample {
+    /// Run-relative send time of the trigger, microseconds.
+    pub at_us: u64,
+    /// Epoch number after the trigger.
+    pub epoch: u64,
+    /// Check-ins applied by the epoch (0 for a no-op probe).
+    pub applied: u64,
+    /// Server-reported wall time of the epoch run, microseconds
+    /// (the `duration_micros` field of `POST /api/v1/ingest/epoch`).
+    pub duration_micros: u64,
+    /// HTTP status of the trigger request (0 = transport error).
+    pub status: u16,
+}
+
+/// A server-side gauge scraped from `/api/metrics` at a phase boundary.
+#[derive(Debug, Clone)]
+pub struct GaugeSample {
+    /// Index of the phase that just ended.
+    pub phase: u16,
+    /// Prometheus metric name.
+    pub name: String,
+    /// Gauge reading.
+    pub value: f64,
+}
+
+/// One aggregated output row (see the module docs for the schema).
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Row kind: `latency`, `epoch`, `gauge`, or `total`.
+    pub kind: &'static str,
+    /// Phase name, or `all` for whole-run rows.
+    pub phase: String,
+    /// Endpoint label, gauge name, or `all`.
+    pub label: String,
+    /// Requests (or epochs) in the row.
+    pub count: u64,
+    /// Responses that were neither 2xx nor 503, including transport
+    /// errors. 503s are expected load-shedding and counted separately.
+    pub non2xx: u64,
+    /// 503 responses (backpressure / worker-queue shedding).
+    pub http503: u64,
+    /// Kind-dependent value: achieved RPS (latency/total), mean applied
+    /// (epoch), or the gauge reading.
+    pub value: f64,
+    /// Latency percentiles in microseconds (0 when count is 0).
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Maximum observed.
+    pub max_us: u64,
+}
+
+/// The aggregated outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    rows: Vec<ReportRow>,
+    total_requests: u64,
+    unexpected_non2xx: u64,
+    total_503: u64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn stat_row(
+    kind: &'static str,
+    phase: String,
+    label: String,
+    latencies: &mut [u64],
+    non2xx: u64,
+    http503: u64,
+    value: f64,
+) -> ReportRow {
+    latencies.sort_unstable();
+    ReportRow {
+        kind,
+        phase,
+        label,
+        count: latencies.len() as u64,
+        non2xx,
+        http503,
+        value,
+        p50_us: percentile(latencies, 50.0),
+        p90_us: percentile(latencies, 90.0),
+        p99_us: percentile(latencies, 99.0),
+        p999_us: percentile(latencies, 99.9),
+        max_us: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+impl RunReport {
+    /// Aggregates raw samples into report rows.
+    pub fn build(
+        phase_names: &[String],
+        phase_wall_us: &[u64],
+        samples: &[Sample],
+        epochs: &[EpochSample],
+        gauges: &[GaugeSample],
+    ) -> RunReport {
+        let mut rows = Vec::new();
+
+        // (phase, endpoint) latency rows, in phase-then-label order.
+        let mut buckets: BTreeMap<(u16, &'static str), (Vec<u64>, u64, u64)> = BTreeMap::new();
+        for s in samples {
+            let entry = buckets
+                .entry((s.phase, s.kind.label()))
+                .or_insert_with(|| (Vec::new(), 0, 0));
+            entry.0.push(s.latency_us);
+            if s.status == 503 {
+                entry.2 += 1;
+            } else if !(200..300).contains(&s.status) {
+                entry.1 += 1;
+            }
+        }
+        for ((phase, label), (mut lat, non2xx, h503)) in buckets {
+            let wall_secs = (phase_wall_us.get(phase as usize).copied().unwrap_or(0) as f64) / 1e6;
+            let rps = if wall_secs > 0.0 {
+                lat.len() as f64 / wall_secs
+            } else {
+                0.0
+            };
+            rows.push(stat_row(
+                "latency",
+                phase_names
+                    .get(phase as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("phase-{phase}")),
+                label.to_owned(),
+                &mut lat,
+                non2xx,
+                h503,
+                rps,
+            ));
+        }
+
+        // Epoch rows: one per phase the triggers landed in.
+        let mut phase_ends = Vec::with_capacity(phase_wall_us.len());
+        let mut acc = 0u64;
+        for w in phase_wall_us {
+            acc += w;
+            phase_ends.push(acc);
+        }
+        let mut epoch_buckets: BTreeMap<u16, (Vec<u64>, u64, u64, u64)> = BTreeMap::new();
+        for e in epochs {
+            let phase = phase_ends
+                .iter()
+                .position(|end| e.at_us < *end)
+                .unwrap_or(phase_ends.len().saturating_sub(1)) as u16;
+            let entry = epoch_buckets
+                .entry(phase)
+                .or_insert_with(|| (Vec::new(), 0, 0, 0));
+            entry.0.push(e.duration_micros);
+            entry.3 += e.applied;
+            if e.status == 503 {
+                entry.2 += 1;
+            } else if !(200..300).contains(&e.status) {
+                entry.1 += 1;
+            }
+        }
+        for (phase, (mut durs, non2xx, h503, applied)) in epoch_buckets {
+            let mean_applied = if durs.is_empty() {
+                0.0
+            } else {
+                applied as f64 / durs.len() as f64
+            };
+            rows.push(stat_row(
+                "epoch",
+                phase_names
+                    .get(phase as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("phase-{phase}")),
+                "ingest_epoch".to_owned(),
+                &mut durs,
+                non2xx,
+                h503,
+                mean_applied,
+            ));
+        }
+
+        // Gauge rows, as scraped.
+        for g in gauges {
+            rows.push(ReportRow {
+                kind: "gauge",
+                phase: phase_names
+                    .get(g.phase as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("phase-{}", g.phase)),
+                label: g.name.clone(),
+                count: 1,
+                non2xx: 0,
+                http503: 0,
+                value: g.value,
+                p50_us: 0,
+                p90_us: 0,
+                p99_us: 0,
+                p999_us: 0,
+                max_us: 0,
+            });
+        }
+
+        // Whole-run totals per endpoint + one `all` row.
+        let total_wall_secs = (phase_wall_us.iter().sum::<u64>() as f64) / 1e6;
+        let mut totals: BTreeMap<&'static str, (Vec<u64>, u64, u64)> = BTreeMap::new();
+        let mut all: (Vec<u64>, u64, u64) = (Vec::new(), 0, 0);
+        for s in samples {
+            for entry in [
+                totals
+                    .entry(s.kind.label())
+                    .or_insert_with(|| (Vec::new(), 0, 0)),
+                &mut all,
+            ] {
+                entry.0.push(s.latency_us);
+                if s.status == 503 {
+                    entry.2 += 1;
+                } else if !(200..300).contains(&s.status) {
+                    entry.1 += 1;
+                }
+            }
+        }
+        for (label, (mut lat, non2xx, h503)) in totals {
+            let rps = if total_wall_secs > 0.0 {
+                lat.len() as f64 / total_wall_secs
+            } else {
+                0.0
+            };
+            rows.push(stat_row(
+                "total",
+                "all".to_owned(),
+                label.to_owned(),
+                &mut lat,
+                non2xx,
+                h503,
+                rps,
+            ));
+        }
+        let total_requests = all.0.len() as u64;
+        let unexpected_non2xx = all.1;
+        let total_503 = all.2;
+        let rps = if total_wall_secs > 0.0 {
+            total_requests as f64 / total_wall_secs
+        } else {
+            0.0
+        };
+        rows.push(stat_row(
+            "total",
+            "all".to_owned(),
+            "all".to_owned(),
+            &mut all.0,
+            all.1,
+            all.2,
+            rps,
+        ));
+
+        RunReport {
+            rows,
+            total_requests,
+            unexpected_non2xx,
+            total_503,
+        }
+    }
+
+    /// All aggregated rows.
+    pub fn rows(&self) -> &[ReportRow] {
+        &self.rows
+    }
+
+    /// Total requests completed (any status).
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Responses that were neither 2xx nor 503 (includes transport
+    /// errors) — the smoke gate requires this to be zero.
+    pub fn unexpected_non2xx(&self) -> u64 {
+        self.unexpected_non2xx
+    }
+
+    /// 503 load-shedding responses — allowed under overload, counted.
+    pub fn total_503(&self) -> u64 {
+        self.total_503
+    }
+
+    /// The TSV serialization (see the module docs for the schema).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 96 + 96);
+        out.push_str(
+            "kind\tphase\tlabel\tcount\tnon2xx\thttp503\tvalue\t\
+             p50_us\tp90_us\tp99_us\tp999_us\tmax_us\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{}\t{}\t{}\n",
+                r.kind,
+                r.phase,
+                r.label,
+                r.count,
+                r.non2xx,
+                r.http503,
+                r.value,
+                r.p50_us,
+                r.p90_us,
+                r.p99_us,
+                r.p999_us,
+                r.max_us
+            ));
+        }
+        out
+    }
+
+    /// Writes the TSV to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_tsv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_tsv().as_bytes())?;
+        f.flush()
+    }
+
+    /// A human-readable summary of the whole-run rows.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "endpoint", "count", "non2xx", "503", "rps", "p50_ms", "p90_ms", "p99_ms", "max_ms"
+        ));
+        for r in self.rows.iter().filter(|r| r.kind == "total") {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>7} {:>7} {:>9.1} {:>9.2} {:>9.2} {:>9.2} {:>9.2}\n",
+                r.label,
+                r.count,
+                r.non2xx,
+                r.http503,
+                r.value,
+                r.p50_us as f64 / 1e3,
+                r.p90_us as f64 / 1e3,
+                r.p99_us as f64 / 1e3,
+                r.max_us as f64 / 1e3,
+            ));
+        }
+        for r in self.rows.iter().filter(|r| r.kind == "epoch") {
+            out.push_str(&format!(
+                "epoch lag [{}]: {} epochs, mean applied {:.1}, p50 {:.2} ms, max {:.2} ms\n",
+                r.phase,
+                r.count,
+                r.value,
+                r.p50_us as f64 / 1e3,
+                r.max_us as f64 / 1e3,
+            ));
+        }
+        out
+    }
+}
+
+/// Validates that TSV text matches the report schema: the exact header
+/// and 12 columns per row with numeric statistics. Returns the data-row
+/// count.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate_tsv(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty TSV")?;
+    let expected =
+        "kind\tphase\tlabel\tcount\tnon2xx\thttp503\tvalue\tp50_us\tp90_us\tp99_us\tp999_us\tmax_us";
+    if header != expected {
+        return Err(format!("bad header: {header:?}"));
+    }
+    let mut rows = 0;
+    for (i, line) in lines.enumerate() {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 12 {
+            return Err(format!("row {}: {} columns, want 12", i + 2, cols.len()));
+        }
+        if !matches!(cols[0], "latency" | "epoch" | "gauge" | "total") {
+            return Err(format!("row {}: unknown kind {:?}", i + 2, cols[0]));
+        }
+        for (ci, col) in cols.iter().enumerate().skip(3) {
+            if ci == 6 {
+                col.parse::<f64>()
+                    .map_err(|_| format!("row {}: bad value {col:?}", i + 2))?;
+            } else {
+                col.parse::<u64>()
+                    .map_err(|_| format!("row {}: bad count {col:?}", i + 2))?;
+            }
+        }
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 99.9), 100);
+        assert_eq!(percentile(&[42], 50.0), 42);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn build_and_tsv_round_trip() {
+        let names = vec!["warm".to_owned(), "hot".to_owned()];
+        let walls = vec![1_000_000u64, 2_000_000];
+        let samples = vec![
+            Sample {
+                phase: 0,
+                kind: EndpointKind::Crowd,
+                latency_us: 500,
+                status: 200,
+            },
+            Sample {
+                phase: 0,
+                kind: EndpointKind::Checkins,
+                latency_us: 900,
+                status: 503,
+            },
+            Sample {
+                phase: 1,
+                kind: EndpointKind::Checkins,
+                latency_us: 1_500,
+                status: 200,
+            },
+            Sample {
+                phase: 1,
+                kind: EndpointKind::Tiles,
+                latency_us: 2_500,
+                status: 0,
+            },
+        ];
+        let epochs = vec![EpochSample {
+            at_us: 1_500_000,
+            epoch: 1,
+            applied: 10,
+            duration_micros: 30_000,
+            status: 200,
+        }];
+        let gauges = vec![GaugeSample {
+            phase: 0,
+            name: "crowdweb_ingest_queue_depth".to_owned(),
+            value: 7.0,
+        }];
+        let report = RunReport::build(&names, &walls, &samples, &epochs, &gauges);
+        assert_eq!(report.total_requests(), 4);
+        assert_eq!(report.total_503(), 1);
+        // The transport error is the only unexpected failure.
+        assert_eq!(report.unexpected_non2xx(), 1);
+        let epoch_row = report.rows().iter().find(|r| r.kind == "epoch").unwrap();
+        assert_eq!(epoch_row.phase, "hot");
+        assert_eq!(epoch_row.p50_us, 30_000);
+        let tsv = report.to_tsv();
+        let rows = validate_tsv(&tsv).expect("own TSV validates");
+        assert_eq!(rows, report.rows().len());
+        // The all/all summary row is present and totals everything.
+        let all = report
+            .rows()
+            .iter()
+            .find(|r| r.kind == "total" && r.label == "all")
+            .unwrap();
+        assert_eq!(all.count, 4);
+        assert_eq!(all.max_us, 2_500);
+    }
+
+    #[test]
+    fn validate_tsv_rejects_malformed_rows() {
+        assert!(validate_tsv("nonsense\n").is_err());
+        let good = "kind\tphase\tlabel\tcount\tnon2xx\thttp503\tvalue\t\
+                    p50_us\tp90_us\tp99_us\tp999_us\tmax_us\n";
+        assert_eq!(validate_tsv(good), Ok(0));
+        assert!(
+            validate_tsv(&format!("{good}latency\tp\tl\t1\t0\t0\tx\t1\t1\t1\t1\t1\n")).is_err()
+        );
+        assert!(
+            validate_tsv(&format!("{good}weird\tp\tl\t1\t0\t0\t1.0\t1\t1\t1\t1\t1\n")).is_err()
+        );
+        assert_eq!(
+            validate_tsv(&format!(
+                "{good}latency\tp\tl\t1\t0\t0\t1.0\t1\t1\t1\t1\t1\n"
+            )),
+            Ok(1)
+        );
+    }
+}

@@ -1,0 +1,774 @@
+//! Declarative load scenarios.
+//!
+//! A scenario is one TOML file under `scenarios/`: a user population, a
+//! read/write mix, and a list of phases, each with a linear
+//! requests-per-second ramp over a span of *virtual* (city) time. Wall
+//! time is virtual time divided by `time_compression`, so a full
+//! commuter day replays in a minute without changing the phase
+//! definitions.
+//!
+//! The build environment is offline and the workspace carries no TOML
+//! dependency, so this module includes a small parser for the subset the
+//! scenario format needs: top-level `key = value` pairs, one `[read_mix]`
+//! table, and repeated `[[phase]]` array-of-table entries, with string /
+//! integer / float / boolean scalars and `#` comments. Unknown keys and
+//! sections are rejected — a typoed rate field must fail loudly, not
+//! silently fall back to a default.
+
+use crate::LoadgenError;
+use serde::{Deserialize, Serialize};
+
+/// Relative weights of the read endpoints in the generated mix.
+///
+/// Weights are relative, not normalized: `{crowd: 4, tiles: 2}` sends
+/// twice as many crowd reads as tile reads. A zero weight disables the
+/// endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadMix {
+    /// `GET /api/v1/crowd?hour=H` — the hourly crowd listing.
+    pub crowd: f64,
+    /// `GET /api/v1/crowd/map?hour=H` — per-venue map placements.
+    pub map: f64,
+    /// `GET /api/v1/crowd/flows?from=H&to=H+1` — crowd flow edges.
+    pub flows: f64,
+    /// `GET /api/v1/tiles/{z}/{x}/{y}?hour=H` — map tiles at venue
+    /// locations.
+    pub tiles: f64,
+    /// `GET /api/v1/crowd?hour=H&epoch=N` — time-travel reads pinned to
+    /// the most recently published epoch.
+    pub epoch: f64,
+}
+
+impl Default for ReadMix {
+    /// Browsing-dominated defaults: crowd and tile reads lead, flow
+    /// queries and time-travel are the tail.
+    fn default() -> ReadMix {
+        ReadMix {
+            crowd: 4.0,
+            map: 2.0,
+            flows: 1.0,
+            tiles: 2.0,
+            epoch: 1.0,
+        }
+    }
+}
+
+impl ReadMix {
+    /// The weights as an array in stable endpoint order
+    /// (crowd, map, flows, tiles, epoch).
+    pub fn weights(&self) -> [f64; 5] {
+        [self.crowd, self.map, self.flows, self.tiles, self.epoch]
+    }
+}
+
+/// One phase of a scenario: a linear RPS ramp over a span of virtual
+/// time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase label, carried into the output TSV rows.
+    pub name: String,
+    /// Virtual (city-clock) seconds this phase covers. Wall duration is
+    /// `virtual_secs / time_compression`.
+    pub virtual_secs: f64,
+    /// Requests per second (wall clock) at the start of the phase.
+    pub start_rps: f64,
+    /// Requests per second (wall clock) at the end of the phase; the
+    /// rate ramps linearly between the two.
+    pub end_rps: f64,
+    /// Fraction of requests that are check-in writes (the rest follow
+    /// the read mix). Defaults to 0.3.
+    pub write_fraction: f64,
+    /// Optional surge target: a venue-category slug (`"stadium"` maps
+    /// to arts & entertainment, or any of `arts`, `college`, `eatery`,
+    /// `nightlife`, `outdoors`, `professional`, `residence`, `shops`,
+    /// `transport`). While the phase runs, `surge_weight` of the writes
+    /// converge on one venue of that kind instead of the writer's own
+    /// haunts.
+    pub surge: Option<String>,
+    /// Fraction of writes redirected at the surge venue (0 disables).
+    pub surge_weight: f64,
+}
+
+/// A complete scenario: population, mix, and phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name; also names the output file
+    /// (`out/loadgen_<name>.tsv`).
+    pub name: String,
+    /// RNG seed — the synthesized trace is byte-identical for the same
+    /// seed and scenario.
+    pub seed: u64,
+    /// Simulated user population; check-in writers are drawn uniformly
+    /// from this many distinct user ids.
+    pub users: u64,
+    /// Venues in the synthetic city the writers check into.
+    pub venues: usize,
+    /// Hotspot centres venues cluster around.
+    pub hotspots: usize,
+    /// Behavioural archetypes: full agent profiles generated up front;
+    /// each user id maps onto one, so a million-user population doesn't
+    /// need a million profiles.
+    pub archetypes: usize,
+    /// Virtual seconds that elapse per wall second.
+    pub time_compression: f64,
+    /// Wall seconds between `POST /api/v1/ingest/epoch` triggers while
+    /// the run is live (0 disables epoch publishing).
+    pub epoch_every_secs: f64,
+    /// Virtual hour of day (0–23) at which phase 1 begins.
+    pub start_hour: u8,
+    /// Days after 2012-04-03 (a Tuesday) at which the replay starts;
+    /// use 4 to start on a Saturday.
+    pub start_day_offset: u32,
+    /// Read endpoint weights.
+    pub read_mix: ReadMix,
+    /// The phases, replayed in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// Parses and validates a scenario from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadgenError::Scenario`] for syntax errors, unknown
+    /// keys/sections, missing required keys, or semantically invalid
+    /// values (see [`Scenario::validate`]).
+    pub fn from_toml_str(text: &str) -> Result<Scenario, LoadgenError> {
+        let scenario = parse(text)?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Reads and parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadgenError::Io`] when the file cannot be read and
+    /// [`LoadgenError::Scenario`] when it does not parse or validate.
+    pub fn from_file(path: &std::path::Path) -> Result<Scenario, LoadgenError> {
+        let text = std::fs::read_to_string(path)?;
+        Scenario::from_toml_str(&text)
+    }
+
+    /// Validates the scenario's semantic invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadgenError::Scenario`] naming the offending field.
+    pub fn validate(&self) -> Result<(), LoadgenError> {
+        let fail = |msg: String| Err(LoadgenError::Scenario(msg));
+        if self.name.is_empty()
+            || !self
+                .name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+        {
+            return fail(format!(
+                "name must be a non-empty [a-z0-9_-] slug, got {:?}",
+                self.name
+            ));
+        }
+        if self.users == 0 {
+            return fail("users must be at least 1".into());
+        }
+        if self.venues < 64 {
+            return fail(format!(
+                "venues must be at least 64 (so every category kind exists), got {}",
+                self.venues
+            ));
+        }
+        if self.hotspots == 0 {
+            return fail("hotspots must be at least 1".into());
+        }
+        if self.archetypes == 0 {
+            return fail("archetypes must be at least 1".into());
+        }
+        if self.archetypes > 1_000_000 {
+            return fail(format!(
+                "archetypes are full agent profiles; {} is too many (max 1000000)",
+                self.archetypes
+            ));
+        }
+        if !(self.time_compression.is_finite() && self.time_compression > 0.0) {
+            return fail(format!(
+                "time_compression must be a positive finite number, got {}",
+                self.time_compression
+            ));
+        }
+        if !(self.epoch_every_secs.is_finite() && self.epoch_every_secs >= 0.0) {
+            return fail(format!(
+                "epoch_every_secs must be >= 0, got {}",
+                self.epoch_every_secs
+            ));
+        }
+        if self.start_hour > 23 {
+            return fail(format!("start_hour must be 0-23, got {}", self.start_hour));
+        }
+        if self.start_day_offset > 300 {
+            return fail(format!(
+                "start_day_offset must be 0-300 (within the synthetic study window), got {}",
+                self.start_day_offset
+            ));
+        }
+        for (label, w) in [
+            ("crowd", self.read_mix.crowd),
+            ("map", self.read_mix.map),
+            ("flows", self.read_mix.flows),
+            ("tiles", self.read_mix.tiles),
+            ("epoch", self.read_mix.epoch),
+        ] {
+            if !(w.is_finite() && w >= 0.0) {
+                return fail(format!("read_mix.{label} must be >= 0, got {w}"));
+            }
+        }
+        let mix_total: f64 = self.read_mix.weights().iter().sum();
+        if self.phases.is_empty() {
+            return fail("a scenario needs at least one [[phase]]".into());
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            let ctx = format!("phase {} ({:?})", i + 1, p.name);
+            if p.name.is_empty() {
+                return fail(format!("{ctx}: name must not be empty"));
+            }
+            if !(p.virtual_secs.is_finite() && p.virtual_secs > 0.0) {
+                return fail(format!(
+                    "{ctx}: virtual_secs must be positive and finite, got {}",
+                    p.virtual_secs
+                ));
+            }
+            for (label, rps) in [("start_rps", p.start_rps), ("end_rps", p.end_rps)] {
+                if !(rps.is_finite() && rps >= 0.0) {
+                    return fail(format!("{ctx}: {label} must be >= 0 and finite, got {rps}"));
+                }
+            }
+            if p.start_rps + p.end_rps <= 0.0 {
+                return fail(format!(
+                    "{ctx}: start_rps and end_rps cannot both be zero — \
+                     a silent phase is a bug, not a lull"
+                ));
+            }
+            if !(0.0..=1.0).contains(&p.write_fraction) {
+                return fail(format!(
+                    "{ctx}: write_fraction must be in [0, 1], got {}",
+                    p.write_fraction
+                ));
+            }
+            if p.write_fraction < 1.0 && mix_total <= 0.0 {
+                return fail(format!(
+                    "{ctx}: phase generates reads but every read_mix weight is zero"
+                ));
+            }
+            if !(0.0..=1.0).contains(&p.surge_weight) {
+                return fail(format!(
+                    "{ctx}: surge_weight must be in [0, 1], got {}",
+                    p.surge_weight
+                ));
+            }
+            match &p.surge {
+                Some(slug) => {
+                    crate::trace::surge_kind(slug).ok_or_else(|| {
+                        LoadgenError::Scenario(format!("{ctx}: unknown surge kind {slug:?}"))
+                    })?;
+                }
+                None if p.surge_weight > 0.0 => {
+                    return fail(format!("{ctx}: surge_weight set without a surge kind"));
+                }
+                None => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Wall-clock duration of one phase in seconds.
+    pub fn wall_secs(&self, phase: &Phase) -> f64 {
+        phase.virtual_secs / self.time_compression
+    }
+
+    /// Total wall-clock duration of the scenario in seconds.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.phases.iter().map(|p| self.wall_secs(p)).sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// TOML-subset parsing
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+        }
+    }
+
+    fn as_f64(&self, key: &str) -> Result<f64, LoadgenError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(err(format!(
+                "{key} must be a number, got a {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_u64(&self, key: &str) -> Result<u64, LoadgenError> {
+        match self {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            Value::Int(i) => Err(err(format!("{key} must be non-negative, got {i}"))),
+            other => Err(err(format!(
+                "{key} must be an integer, got a {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_str(&self, key: &str) -> Result<&str, LoadgenError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(err(format!(
+                "{key} must be a string, got a {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+fn err(msg: String) -> LoadgenError {
+    LoadgenError::Scenario(msg)
+}
+
+/// Strips a `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(raw: &str, line_no: usize) -> Result<Value, LoadgenError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(err(format!("line {line_no}: missing value")));
+    }
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let Some(inner) = stripped.strip_suffix('"') else {
+            return Err(err(format!("line {line_no}: unterminated string")));
+        };
+        // The format needs no escapes beyond \" and \\; reject others.
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    other => {
+                        return Err(err(format!("line {line_no}: unsupported escape {other:?}")))
+                    }
+                }
+            } else if c == '"' {
+                return Err(err(format!("line {line_no}: stray quote inside string")));
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let cleaned: String = raw.replace('_', "");
+    if let Ok(i) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = cleaned.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Value::Float(f));
+        }
+    }
+    Err(err(format!("line {line_no}: unparseable value {raw:?}")))
+}
+
+#[derive(Debug, Default)]
+struct RawTable {
+    entries: Vec<(String, Value)>,
+}
+
+impl RawTable {
+    fn insert(&mut self, key: &str, value: Value, line_no: usize) -> Result<(), LoadgenError> {
+        if self.entries.iter().any(|(k, _)| k == key) {
+            return Err(err(format!("line {line_no}: duplicate key {key:?}")));
+        }
+        self.entries.push((key.to_owned(), value));
+        Ok(())
+    }
+
+    fn take(&mut self, key: &str) -> Option<Value> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    fn reject_leftovers(&self, section: &str) -> Result<(), LoadgenError> {
+        if let Some((key, _)) = self.entries.first() {
+            return Err(err(format!("unknown key {key:?} in {section}")));
+        }
+        Ok(())
+    }
+}
+
+fn parse(text: &str) -> Result<Scenario, LoadgenError> {
+    #[derive(PartialEq)]
+    enum Section {
+        Top,
+        ReadMix,
+        Phase,
+    }
+    let mut top = RawTable::default();
+    let mut read_mix = RawTable::default();
+    let mut phases: Vec<RawTable> = Vec::new();
+    let mut section = Section::Top;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let Some(name) = header.strip_suffix("]]") else {
+                return Err(err(format!("line {line_no}: malformed table header")));
+            };
+            match name.trim() {
+                "phase" => {
+                    phases.push(RawTable::default());
+                    section = Section::Phase;
+                }
+                other => {
+                    return Err(err(format!(
+                        "line {line_no}: unknown array table {other:?}"
+                    )))
+                }
+            }
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(err(format!("line {line_no}: malformed table header")));
+            };
+            match name.trim() {
+                "read_mix" => section = Section::ReadMix,
+                other => return Err(err(format!("line {line_no}: unknown table {other:?}"))),
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(format!("line {line_no}: expected `key = value`")));
+        };
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(err(format!("line {line_no}: empty key")));
+        }
+        let value = parse_scalar(value, line_no)?;
+        match section {
+            Section::Top => top.insert(key, value, line_no)?,
+            Section::ReadMix => read_mix.insert(key, value, line_no)?,
+            Section::Phase => phases
+                .last_mut()
+                .expect("a [[phase]] header precedes phase keys")
+                .insert(key, value, line_no)?,
+        }
+    }
+
+    let require = |table: &mut RawTable, key: &str, ctx: &str| {
+        table
+            .take(key)
+            .ok_or_else(|| err(format!("{ctx} is missing required key {key:?}")))
+    };
+
+    let name = require(&mut top, "name", "scenario")?
+        .as_str("name")?
+        .to_owned();
+    let seed = require(&mut top, "seed", "scenario")?.as_u64("seed")?;
+    let users = require(&mut top, "users", "scenario")?.as_u64("users")?;
+    let venues = top
+        .take("venues")
+        .map(|v| v.as_u64("venues"))
+        .transpose()?
+        .unwrap_or(2_000) as usize;
+    let hotspots = top
+        .take("hotspots")
+        .map(|v| v.as_u64("hotspots"))
+        .transpose()?
+        .unwrap_or(24) as usize;
+    let archetypes = top
+        .take("archetypes")
+        .map(|v| v.as_u64("archetypes"))
+        .transpose()?
+        .unwrap_or(512) as usize;
+    let time_compression = top
+        .take("time_compression")
+        .map(|v| v.as_f64("time_compression"))
+        .transpose()?
+        .unwrap_or(60.0);
+    let epoch_every_secs = top
+        .take("epoch_every_secs")
+        .map(|v| v.as_f64("epoch_every_secs"))
+        .transpose()?
+        .unwrap_or(0.0);
+    let start_hour = top
+        .take("start_hour")
+        .map(|v| v.as_u64("start_hour"))
+        .transpose()?
+        .unwrap_or(0) as u8;
+    let start_day_offset = top
+        .take("start_day_offset")
+        .map(|v| v.as_u64("start_day_offset"))
+        .transpose()?
+        .unwrap_or(0) as u32;
+    top.reject_leftovers("the scenario")?;
+
+    let defaults = ReadMix::default();
+    let mix_field = |table: &mut RawTable, key: &str, default: f64| {
+        table
+            .take(key)
+            .map(|v| v.as_f64(&format!("read_mix.{key}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let read_mix_value = ReadMix {
+        crowd: mix_field(&mut read_mix, "crowd", defaults.crowd)?,
+        map: mix_field(&mut read_mix, "map", defaults.map)?,
+        flows: mix_field(&mut read_mix, "flows", defaults.flows)?,
+        tiles: mix_field(&mut read_mix, "tiles", defaults.tiles)?,
+        epoch: mix_field(&mut read_mix, "epoch", defaults.epoch)?,
+    };
+    read_mix.reject_leftovers("[read_mix]")?;
+
+    let mut parsed_phases = Vec::with_capacity(phases.len());
+    for (i, mut table) in phases.into_iter().enumerate() {
+        let ctx = format!("[[phase]] {}", i + 1);
+        let phase = Phase {
+            name: require(&mut table, "name", &ctx)?
+                .as_str("name")?
+                .to_owned(),
+            virtual_secs: require(&mut table, "virtual_secs", &ctx)?.as_f64("virtual_secs")?,
+            start_rps: require(&mut table, "start_rps", &ctx)?.as_f64("start_rps")?,
+            end_rps: require(&mut table, "end_rps", &ctx)?.as_f64("end_rps")?,
+            write_fraction: table
+                .take("write_fraction")
+                .map(|v| v.as_f64("write_fraction"))
+                .transpose()?
+                .unwrap_or(0.3),
+            surge: table
+                .take("surge")
+                .map(|v| v.as_str("surge").map(str::to_owned))
+                .transpose()?,
+            surge_weight: table
+                .take("surge_weight")
+                .map(|v| v.as_f64("surge_weight"))
+                .transpose()?
+                .unwrap_or(0.0),
+        };
+        table.reject_leftovers(&ctx)?;
+        parsed_phases.push(phase);
+    }
+
+    Ok(Scenario {
+        name,
+        seed,
+        users,
+        venues,
+        hotspots,
+        archetypes,
+        time_compression,
+        epoch_every_secs,
+        start_hour,
+        start_day_offset,
+        read_mix: read_mix_value,
+        phases: parsed_phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+        name = "minimal"
+        seed = 7
+        users = 1000
+
+        [[phase]]
+        name = "steady"
+        virtual_secs = 600
+        start_rps = 10
+        end_rps = 10
+    "#;
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let s = Scenario::from_toml_str(MINIMAL).unwrap();
+        assert_eq!(s.name, "minimal");
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.users, 1000);
+        assert_eq!(s.archetypes, 512);
+        assert_eq!(s.read_mix, ReadMix::default());
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].write_fraction, 0.3);
+        assert_eq!(s.phases[0].surge, None);
+        assert_eq!(s.total_wall_secs(), 10.0);
+    }
+
+    #[test]
+    fn full_scenario_round_trips_through_serde() {
+        let toml = r#"
+            name = "full"
+            seed = 42
+            users = 1_200_000
+            venues = 4000
+            hotspots = 32
+            archetypes = 1024
+            time_compression = 1200.0
+            epoch_every_secs = 5
+            start_hour = 5
+            start_day_offset = 4
+
+            [read_mix]
+            crowd = 3
+            map = 1
+            flows = 0.5
+            tiles = 2
+            epoch = 0.5
+
+            [[phase]]
+            name = "lull" # night
+            virtual_secs = 7200
+            start_rps = 5
+            end_rps = 5
+            write_fraction = 0.1
+
+            [[phase]]
+            name = "surge"
+            virtual_secs = 3600
+            start_rps = 5
+            end_rps = 120
+            write_fraction = 0.7
+            surge = "stadium"
+            surge_weight = 0.8
+        "#;
+        let s = Scenario::from_toml_str(toml).unwrap();
+        assert_eq!(s.users, 1_200_000);
+        assert_eq!(s.phases[1].surge.as_deref(), Some("stadium"));
+        // serde round trip: serialize to JSON, parse back, equal.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn comments_and_strings_interact_correctly() {
+        let toml = r#"
+            name = "hash-proof"
+            seed = 1
+            users = 10
+
+            [[phase]]
+            name = "a # not a comment"
+            virtual_secs = 60
+            start_rps = 1
+            end_rps = 1
+        "#;
+        let s = Scenario::from_toml_str(toml).unwrap();
+        assert_eq!(s.phases[0].name, "a # not a comment");
+    }
+
+    fn expect_rejection(toml: &str, needle: &str) {
+        match Scenario::from_toml_str(toml) {
+            Err(LoadgenError::Scenario(msg)) => {
+                assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+            }
+            other => panic!("expected scenario rejection mentioning {needle:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_scenarios_are_rejected() {
+        // Unknown top-level key (typo protection).
+        expect_rejection(
+            &MINIMAL.replace("users = 1000", "users = 1000\nuzers = 5"),
+            "unknown key",
+        );
+        // Missing required phase key.
+        expect_rejection(&MINIMAL.replace("start_rps = 10\n", ""), "start_rps");
+        // Negative rate.
+        expect_rejection(&MINIMAL.replace("end_rps = 10", "end_rps = -3"), "end_rps");
+        // Both rates zero: a silent phase.
+        expect_rejection(
+            &MINIMAL
+                .replace("start_rps = 10", "start_rps = 0")
+                .replace("end_rps = 10", "end_rps = 0"),
+            "both be zero",
+        );
+        // Bad write fraction.
+        expect_rejection(
+            &MINIMAL.replace("end_rps = 10", "end_rps = 10\nwrite_fraction = 1.5"),
+            "write_fraction",
+        );
+        // Unknown surge kind.
+        expect_rejection(
+            &MINIMAL.replace("end_rps = 10", "end_rps = 10\nsurge = \"casino\""),
+            "unknown surge kind",
+        );
+        // Surge weight without a kind.
+        expect_rejection(
+            &MINIMAL.replace("end_rps = 10", "end_rps = 10\nsurge_weight = 0.5"),
+            "without a surge kind",
+        );
+        // Unparseable value.
+        expect_rejection(&MINIMAL.replace("seed = 7", "seed = banana"), "unparseable");
+        // Duplicate key.
+        expect_rejection(
+            &MINIMAL.replace("seed = 7", "seed = 7\nseed = 8"),
+            "duplicate",
+        );
+        // Unknown section.
+        expect_rejection(&format!("{MINIMAL}\n[write_mix]\nx = 1"), "unknown table");
+        // No phases at all.
+        expect_rejection(
+            "name = \"empty\"\nseed = 1\nusers = 10\n",
+            "at least one [[phase]]",
+        );
+        // Zero time compression.
+        expect_rejection(
+            &MINIMAL.replace("users = 1000", "users = 1000\ntime_compression = 0"),
+            "time_compression",
+        );
+        // Bad start hour.
+        expect_rejection(
+            &MINIMAL.replace("users = 1000", "users = 1000\nstart_hour = 24"),
+            "start_hour",
+        );
+    }
+}

@@ -1,0 +1,621 @@
+//! Deterministic trace synthesis.
+//!
+//! A [`Trace`] is the complete request schedule for one scenario run:
+//! every event carries a wall-clock send offset (computed from the
+//! phase rate curves, not from server behaviour — see the crate docs on
+//! open-loop scheduling), a target endpoint, and for writes a fully
+//! rendered check-in JSON body.
+//!
+//! # Determinism
+//!
+//! Synthesis is single-threaded, seeded entirely from the scenario, and
+//! never consults the clock: the same scenario produces a byte-identical
+//! trace every time ([`Trace::to_tsv`] is the canonical fingerprint the
+//! determinism tests compare). Send times come from inverting the rate
+//! integral, so timestamps are exact functions of the phase definitions.
+//!
+//! # Population model
+//!
+//! Generating a full `crowdweb-synth` agent per user would take minutes
+//! for a million-user city. Instead the scenario's `archetypes` count
+//! bounds how many full [`AgentProfile`]s are generated; each simulated
+//! user id maps onto one archetype (`user % archetypes`) and borrows its
+//! home/work/habit structure while keeping its own identity. Spatial
+//! plausibility comes from the archetype (venues near its home/work
+//! cluster); population scale comes from the id space.
+
+use crate::scenario::{Phase, Scenario};
+use crate::LoadgenError;
+use crowdweb_dataset::category::CategoryKind;
+use crowdweb_dataset::{Timestamp, UserId, VenueId};
+use crowdweb_geo::TileCoord;
+use crowdweb_synth::agent::{AgentProfile, Habit};
+use crowdweb_synth::{rngx, SynthConfig, VenueUniverse};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Placeholder in `?epoch=` read paths, substituted at send time with
+/// the most recently published epoch. Epoch numbers only exist once the
+/// server starts publishing, so the trace cannot bake them in without
+/// giving up open-loop determinism.
+pub const EPOCH_PLACEHOLDER: &str = "{EPOCH}";
+
+/// The endpoint class of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndpointKind {
+    /// `POST /api/v1/checkins` — a check-in write.
+    Checkins,
+    /// `GET /api/v1/crowd`.
+    Crowd,
+    /// `GET /api/v1/crowd/map`.
+    CrowdMap,
+    /// `GET /api/v1/crowd/flows`.
+    Flows,
+    /// `GET /api/v1/tiles/{z}/{x}/{y}`.
+    Tiles,
+    /// `GET /api/v1/crowd?epoch=N` — a time-travel read.
+    EpochRead,
+}
+
+impl EndpointKind {
+    /// Stable label used in TSV rows and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EndpointKind::Checkins => "checkins",
+            EndpointKind::Crowd => "crowd",
+            EndpointKind::CrowdMap => "crowd_map",
+            EndpointKind::Flows => "flows",
+            EndpointKind::Tiles => "tiles",
+            EndpointKind::EpochRead => "epoch_read",
+        }
+    }
+
+    /// All kinds, in stable label order.
+    pub const ALL: [EndpointKind; 6] = [
+        EndpointKind::Checkins,
+        EndpointKind::Crowd,
+        EndpointKind::CrowdMap,
+        EndpointKind::Flows,
+        EndpointKind::Tiles,
+        EndpointKind::EpochRead,
+    ];
+
+    /// Whether the event is an HTTP POST.
+    pub fn is_post(self) -> bool {
+        matches!(self, EndpointKind::Checkins)
+    }
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Microseconds after run start at which this request must be sent.
+    pub schedule_us: u64,
+    /// Index into the scenario's phase list.
+    pub phase: u16,
+    /// Endpoint class.
+    pub kind: EndpointKind,
+    /// Request path + query (may contain [`EPOCH_PLACEHOLDER`]).
+    pub path: String,
+    /// JSON body for writes, `None` for reads.
+    pub body: Option<String>,
+}
+
+/// The synthesized request schedule for one scenario.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Events in send order (monotonic `schedule_us`).
+    pub events: Vec<TraceEvent>,
+    /// Phase names, indexed by [`TraceEvent::phase`].
+    pub phase_names: Vec<String>,
+    /// Wall-clock duration of each phase in microseconds.
+    pub phase_wall_us: Vec<u64>,
+}
+
+impl Trace {
+    /// Total wall-clock duration of the trace in microseconds.
+    pub fn total_wall_us(&self) -> u64 {
+        self.phase_wall_us.iter().sum()
+    }
+
+    /// Renders the trace as TSV — the canonical determinism
+    /// fingerprint: two traces are the same iff their TSVs are
+    /// byte-identical.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 64);
+        out.push_str("schedule_us\tphase\tkind\tpath\tbody\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                e.schedule_us,
+                self.phase_names[e.phase as usize],
+                e.kind.label(),
+                e.path,
+                e.body.as_deref().unwrap_or("-"),
+            ));
+        }
+        out
+    }
+
+    /// Synthesizes the trace for a validated scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadgenError::Scenario`] if the scenario fails
+    /// validation (callers normally hold an already-validated scenario,
+    /// so this is defensive).
+    pub fn synthesize(scenario: &Scenario) -> Result<Trace, LoadgenError> {
+        scenario.validate()?;
+        let city = City::generate(scenario);
+        let mut rng = StdRng::seed_from_u64(
+            scenario
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0xC0DE),
+        );
+
+        let mut events = Vec::new();
+        let mut phase_names = Vec::with_capacity(scenario.phases.len());
+        let mut phase_wall_us = Vec::with_capacity(scenario.phases.len());
+        let mut phase_start_us: u64 = 0;
+        let mut virtual_start_secs: f64 = f64::from(scenario.start_hour) * 3600.0
+            + f64::from(scenario.start_day_offset) * 86_400.0;
+
+        for (pi, phase) in scenario.phases.iter().enumerate() {
+            let wall_secs = scenario.wall_secs(phase);
+            let wall_us = (wall_secs * 1e6).round() as u64;
+            phase_names.push(phase.name.clone());
+            phase_wall_us.push(wall_us);
+
+            // A surge phase funnels part of the write traffic at one
+            // deterministic venue of the configured kind.
+            let surge_venue = phase
+                .surge
+                .as_deref()
+                .and_then(surge_kind)
+                .and_then(|kind| {
+                    let pool = city.universe.of_kind(kind);
+                    if pool.is_empty() {
+                        None
+                    } else {
+                        Some(pool[rng.gen_range(0..pool.len())])
+                    }
+                });
+
+            let n = request_count(phase, wall_secs);
+            for k in 0..n {
+                let t = send_offset_secs(phase, wall_secs, k);
+                let schedule_us = phase_start_us + (t * 1e6).round() as u64;
+                let virtual_secs = virtual_start_secs + t * scenario.time_compression;
+                let local = city.epoch_local.plus_seconds(virtual_secs as i64);
+                let civil = local.to_civil_utc();
+                let hour = civil.hour;
+                let weekend = civil.date.weekday().is_weekend();
+
+                let event = if rng.gen_bool(phase.write_fraction) {
+                    let user = rng.gen_range(0..scenario.users);
+                    let venue = match surge_venue {
+                        Some(v) if phase.surge_weight > 0.0 && rng.gen_bool(phase.surge_weight) => {
+                            v
+                        }
+                        _ => {
+                            let profile =
+                                &city.archetypes[(user % city.archetypes.len() as u64) as usize];
+                            choose_venue(&mut rng, profile, hour, weekend)
+                        }
+                    };
+                    TraceEvent {
+                        schedule_us,
+                        phase: pi as u16,
+                        kind: EndpointKind::Checkins,
+                        path: "/api/v1/checkins".to_owned(),
+                        body: Some(city.checkin_body(user, venue, local)),
+                    }
+                } else {
+                    city.read_event(&mut rng, scenario, schedule_us, pi as u16, hour)
+                };
+                events.push(event);
+            }
+            phase_start_us += wall_us;
+            virtual_start_secs += phase.virtual_secs;
+        }
+
+        Ok(Trace {
+            events,
+            phase_names,
+            phase_wall_us,
+        })
+    }
+}
+
+/// Number of requests a phase schedules: the rate integral over its
+/// wall duration, floored, but at least one so no phase is silent.
+fn request_count(phase: &Phase, wall_secs: f64) -> u64 {
+    (((phase.start_rps + phase.end_rps) / 2.0) * wall_secs)
+        .floor()
+        .max(1.0) as u64
+}
+
+/// Send time of request `k` within a phase: the smallest `t` with
+/// `∫₀ᵗ rate = k`, for the linear ramp `rate(t) = r0 + (r1-r0)·t/D`.
+/// Inverting the integral `r0·t + (r1-r0)·t²/(2D) = k` keeps inter-send
+/// gaps tight where the rate is high and loose where it is low — a
+/// fixed-rate schedule, not response-paced.
+fn send_offset_secs(phase: &Phase, wall_secs: f64, k: u64) -> f64 {
+    let k = k as f64;
+    let r0 = phase.start_rps;
+    let a = (phase.end_rps - r0) / (2.0 * wall_secs);
+    let t = if a.abs() < 1e-12 {
+        // Constant rate (validation guarantees r0 > 0 here).
+        k / r0
+    } else {
+        let disc = (r0 * r0 + 4.0 * a * k).max(0.0);
+        (-r0 + disc.sqrt()) / (2.0 * a)
+    };
+    t.clamp(0.0, wall_secs)
+}
+
+/// Maps a scenario surge slug to a venue category kind. `None` for
+/// unknown slugs (rejected at validation time).
+pub(crate) fn surge_kind(slug: &str) -> Option<CategoryKind> {
+    Some(match slug {
+        "stadium" | "arts" => CategoryKind::ArtsEntertainment,
+        "college" => CategoryKind::CollegeUniversity,
+        "eatery" => CategoryKind::Eatery,
+        "nightlife" => CategoryKind::NightlifeSpot,
+        "outdoors" | "park" => CategoryKind::OutdoorsRecreation,
+        "professional" | "office" => CategoryKind::Professional,
+        "residence" => CategoryKind::Residence,
+        "shops" => CategoryKind::Shops,
+        "transport" | "transit" => CategoryKind::TravelTransport,
+        _ => return None,
+    })
+}
+
+/// Fixed-offset local timezone of the synthetic city (New York EDT),
+/// matching `crowdweb-synth`'s convention.
+const TZ_OFFSET_MINUTES: i32 = -240;
+
+/// The synthetic city backing a trace: the venue universe plus the
+/// archetype agent pool.
+struct City {
+    universe: VenueUniverse,
+    archetypes: Vec<AgentProfile>,
+    /// Local wall-clock instant of the replay origin (midnight on the
+    /// synthetic study's first day), stored as a UTC-interpreted
+    /// timestamp so virtual offsets are plain additions.
+    epoch_local: Timestamp,
+}
+
+impl City {
+    fn generate(scenario: &Scenario) -> City {
+        let config = SynthConfig::small(scenario.seed)
+            .venues(scenario.venues)
+            .hotspots(scenario.hotspots);
+        let universe = VenueUniverse::generate(&config);
+        let archetypes: Vec<AgentProfile> = (0..scenario.archetypes)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(
+                    scenario
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                );
+                AgentProfile::generate(&mut rng, &universe, UserId::new(i as u32))
+            })
+            .collect();
+        let start = config.start_date();
+        let epoch_local = Timestamp::from_civil(start.year(), start.month(), start.day(), 0, 0, 0)
+            .expect("synth start date is valid");
+        City {
+            universe,
+            archetypes,
+            epoch_local,
+        }
+    }
+
+    /// Renders the check-in JSON body the `/api/v1/checkins` endpoint
+    /// accepts. `local` is the city wall-clock instant; the `time`
+    /// field carries UTC per the Foursquare TSV convention.
+    fn checkin_body(&self, user: u64, venue: VenueId, local: Timestamp) -> String {
+        let v = self.universe.venue(venue);
+        let category = self
+            .universe
+            .taxonomy()
+            .name_of(v.category())
+            .unwrap_or("Unknown");
+        let utc = local.plus_seconds(-i64::from(TZ_OFFSET_MINUTES) * 60);
+        format!(
+            "{{\"user\":{},\"venue\":{},\"category\":{},\"lat\":{:.6},\"lon\":{:.6},\
+             \"tz_offset_minutes\":{},\"time\":{}}}",
+            user % u64::from(u32::MAX),
+            serde_json::to_string(v.name()).expect("venue names serialize"),
+            serde_json::to_string(category).expect("category names serialize"),
+            v.location().lat(),
+            v.location().lon(),
+            TZ_OFFSET_MINUTES,
+            serde_json::to_string(&crowdweb_dataset::tsv::format_time(utc))
+                .expect("timestamps serialize"),
+        )
+    }
+
+    /// Draws one read event from the scenario's read mix.
+    fn read_event(
+        &self,
+        rng: &mut StdRng,
+        scenario: &Scenario,
+        schedule_us: u64,
+        phase: u16,
+        hour: u8,
+    ) -> TraceEvent {
+        let weights = scenario.read_mix.weights();
+        let pick = rngx::weighted_index(rng, &weights)
+            .expect("validation guarantees a positive read-mix weight");
+        let (kind, path) = match pick {
+            0 => (EndpointKind::Crowd, format!("/api/v1/crowd?hour={hour}")),
+            1 => (
+                EndpointKind::CrowdMap,
+                format!("/api/v1/crowd/map?hour={hour}"),
+            ),
+            2 => (
+                EndpointKind::Flows,
+                format!("/api/v1/crowd/flows?from={hour}&to={}", (hour + 1) % 24),
+            ),
+            3 => {
+                // A tile over a random venue: dashboards pan where the
+                // city is, not over empty water.
+                let venues = self.universe.venues();
+                let at = venues[rng.gen_range(0..venues.len())].location();
+                let zoom = rng.gen_range(10..=12);
+                let tile = TileCoord::from_latlon(at, zoom)
+                    .expect("synthetic venues sit inside Web-Mercator bounds");
+                (
+                    EndpointKind::Tiles,
+                    format!(
+                        "/api/v1/tiles/{}/{}/{}?hour={hour}",
+                        tile.zoom(),
+                        tile.x(),
+                        tile.y()
+                    ),
+                )
+            }
+            _ => (
+                EndpointKind::EpochRead,
+                format!("/api/v1/crowd?hour={hour}&epoch={EPOCH_PLACEHOLDER}"),
+            ),
+        };
+        TraceEvent {
+            schedule_us,
+            phase,
+            kind,
+            path,
+            body: None,
+        }
+    }
+}
+
+/// Picks a venue for an archetype at a local hour: anchors (home, work,
+/// transit) by time of day plus any habits within an hour of `hour`
+/// that match the day type, uniformly over the assembled candidates.
+fn choose_venue(rng: &mut StdRng, profile: &AgentProfile, hour: u8, weekend: bool) -> VenueId {
+    enum Choice<'a> {
+        Fixed(VenueId),
+        Pool(&'a Habit),
+    }
+    let mut candidates: Vec<Choice<'_>> = Vec::with_capacity(8);
+    if hour <= 6 || hour >= 21 {
+        candidates.push(Choice::Fixed(profile.home));
+        candidates.push(Choice::Fixed(profile.home));
+    }
+    if (7..=9).contains(&hour) || (17..=19).contains(&hour) {
+        candidates.push(Choice::Fixed(profile.transit));
+    }
+    if (9..=17).contains(&hour) && !weekend {
+        candidates.push(Choice::Fixed(profile.work));
+        candidates.push(Choice::Fixed(profile.work));
+    }
+    for habit in &profile.habits {
+        let day_ok = if weekend {
+            habit.on_weekends
+        } else {
+            habit.on_weekdays
+        };
+        if day_ok && (i16::from(habit.hour) - i16::from(hour)).abs() <= 1 && !habit.pool.is_empty()
+        {
+            candidates.push(Choice::Pool(habit));
+        }
+    }
+    if candidates.is_empty() {
+        return profile.home;
+    }
+    match candidates[rng.gen_range(0..candidates.len())] {
+        Choice::Fixed(v) => v,
+        Choice::Pool(habit) => AgentProfile::choose_from_pool(rng, habit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(toml: &str) -> Scenario {
+        Scenario::from_toml_str(toml).unwrap()
+    }
+
+    const RAMP: &str = r#"
+        name = "ramp"
+        seed = 11
+        users = 50000
+        venues = 300
+        hotspots = 6
+        archetypes = 16
+        time_compression = 600
+
+        [[phase]]
+        name = "up"
+        virtual_secs = 1200
+        start_rps = 2
+        end_rps = 50
+        write_fraction = 0.5
+
+        [[phase]]
+        name = "down"
+        virtual_secs = 1200
+        start_rps = 50
+        end_rps = 2
+        write_fraction = 0.5
+    "#;
+
+    #[test]
+    fn schedule_is_monotonic_and_respects_phase_bounds() {
+        let s = scenario(RAMP);
+        let t = Trace::synthesize(&s).unwrap();
+        assert_eq!(t.phase_wall_us, vec![2_000_000, 2_000_000]);
+        let mut prev = 0;
+        for e in &t.events {
+            assert!(e.schedule_us >= prev, "schedule must be monotonic");
+            prev = e.schedule_us;
+            assert!(e.schedule_us <= t.total_wall_us());
+        }
+        // The integral says ~(2+50)/2 * 2s per phase = 52 either side.
+        assert_eq!(t.events.len() as u64, 104);
+        // Accelerating phase sends its median request late; the
+        // decelerating phase mirrors it early.
+        let mid_up = t.events[26].schedule_us as f64 / 1e6;
+        assert!(mid_up > 1.0, "ramp-up median fired at {mid_up}s");
+        let mid_down = (t.events[78].schedule_us - 2_000_000) as f64 / 1e6;
+        assert!(mid_down < 1.0, "ramp-down median fired at {mid_down}s");
+    }
+
+    #[test]
+    fn writes_carry_parseable_checkin_bodies() {
+        let s = scenario(RAMP);
+        let t = Trace::synthesize(&s).unwrap();
+        let mut writes = 0;
+        for e in &t.events {
+            match e.kind {
+                EndpointKind::Checkins => {
+                    writes += 1;
+                    let body = e.body.as_ref().expect("writes carry bodies");
+                    let v: serde_json::Value = serde_json::from_str(body).unwrap();
+                    assert!(v["user"].as_u64().unwrap() < 50_000);
+                    assert!(v["venue"].as_str().is_some());
+                    // The time field must survive the server's parser.
+                    crowdweb_dataset::tsv::parse_time(v["time"].as_str().unwrap()).unwrap();
+                }
+                _ => assert!(e.body.is_none(), "reads carry no body"),
+            }
+        }
+        assert!(writes > 20, "half the mix should be writes, got {writes}");
+    }
+
+    #[test]
+    fn surge_concentrates_writes_on_one_venue() {
+        let toml = r#"
+            name = "surge"
+            seed = 3
+            users = 1000
+            venues = 300
+            hotspots = 6
+            archetypes = 8
+            time_compression = 600
+
+            [[phase]]
+            name = "match-day"
+            virtual_secs = 1800
+            start_rps = 40
+            end_rps = 40
+            write_fraction = 1.0
+            surge = "stadium"
+            surge_weight = 0.9
+        "#;
+        let s = scenario(toml);
+        let t = Trace::synthesize(&s).unwrap();
+        let mut by_venue: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for e in &t.events {
+            let body = e.body.as_ref().unwrap();
+            let v: serde_json::Value = serde_json::from_str(body).unwrap();
+            *by_venue
+                .entry(v["venue"].as_str().unwrap().to_owned())
+                .or_default() += 1;
+        }
+        let max = by_venue.values().max().copied().unwrap();
+        assert!(
+            max as f64 > t.events.len() as f64 * 0.8,
+            "surge venue got {max} of {} writes",
+            t.events.len()
+        );
+    }
+
+    #[test]
+    fn epoch_reads_carry_the_placeholder() {
+        let toml = r#"
+            name = "epochy"
+            seed = 5
+            users = 100
+            venues = 300
+            hotspots = 6
+            archetypes = 8
+            time_compression = 60
+
+            [read_mix]
+            crowd = 0
+            map = 0
+            flows = 0
+            tiles = 0
+            epoch = 1
+
+            [[phase]]
+            name = "reads"
+            virtual_secs = 120
+            start_rps = 20
+            end_rps = 20
+            write_fraction = 0.0
+        "#;
+        let s = scenario(toml);
+        let t = Trace::synthesize(&s).unwrap();
+        assert!(!t.events.is_empty());
+        for e in &t.events {
+            assert_eq!(e.kind, EndpointKind::EpochRead);
+            assert!(e.path.contains(EPOCH_PLACEHOLDER), "{}", e.path);
+        }
+    }
+
+    #[test]
+    fn virtual_hours_steer_read_targets() {
+        // One virtual day compressed into 24 wall seconds: the hour
+        // parameter in read paths must sweep 0..24.
+        let toml = r#"
+            name = "sweep"
+            seed = 9
+            users = 100
+            venues = 300
+            hotspots = 6
+            archetypes = 8
+            time_compression = 3600
+
+            [read_mix]
+            crowd = 1
+            map = 0
+            flows = 0
+            tiles = 0
+            epoch = 0
+
+            [[phase]]
+            name = "day"
+            virtual_secs = 86400
+            start_rps = 10
+            end_rps = 10
+            write_fraction = 0.0
+        "#;
+        let s = scenario(toml);
+        let t = Trace::synthesize(&s).unwrap();
+        let hours: std::collections::HashSet<&str> = t
+            .events
+            .iter()
+            .map(|e| e.path.rsplit("hour=").next().unwrap())
+            .collect();
+        assert!(hours.len() >= 20, "saw only hours {hours:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Trace determinism: the same seed and scenario must synthesize a
+//! byte-identical trace — identical request *sequence* and identical
+//! *timestamps* — so a scenario file plus a seed fully names a
+//! workload.
+
+use crowdweb_loadgen::{Scenario, Trace};
+use std::path::PathBuf;
+
+fn scenario_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(file)
+}
+
+#[test]
+fn same_seed_and_scenario_synthesize_byte_identical_traces() {
+    let scenario = Scenario::from_file(&scenario_path("commute_surge.toml")).expect("parses");
+    let first = Trace::synthesize(&scenario).expect("synthesizes").to_tsv();
+    let second = Trace::synthesize(&scenario).expect("synthesizes").to_tsv();
+    assert_eq!(first, second, "two syntheses of the same scenario diverged");
+    // The fingerprint covers timestamps, not just the event sequence.
+    assert!(first.starts_with("schedule_us\t"), "TSV carries timestamps");
+    assert!(first.lines().count() > 1000, "commute surge is non-trivial");
+}
+
+#[test]
+fn changing_the_seed_changes_the_trace() {
+    let base = Scenario::from_file(&scenario_path("smoke.toml")).expect("parses");
+    let mut reseeded = base.clone();
+    reseeded.seed += 1;
+    let a = Trace::synthesize(&base).expect("synthesizes").to_tsv();
+    let b = Trace::synthesize(&reseeded).expect("synthesizes").to_tsv();
+    assert_ne!(a, b, "different seeds must produce different traces");
+}
+
+#[test]
+fn scenario_serde_round_trip_preserves_every_field() {
+    for file in [
+        "commute_surge.toml",
+        "stadium_event.toml",
+        "weekend_lull.toml",
+    ] {
+        let scenario = Scenario::from_file(&scenario_path(file)).expect("parses");
+        let json = serde_json::to_string(&scenario).expect("serializes");
+        let back: Scenario = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(scenario, back, "{file} round-trip");
+    }
+}

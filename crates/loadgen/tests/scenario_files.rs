@@ -1,0 +1,46 @@
+//! Every scenario file shipped under `scenarios/` must parse, validate,
+//! match its file name, and synthesize a non-empty trace.
+
+use crowdweb_loadgen::{Scenario, Trace};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn all_shipped_scenarios_parse_and_synthesize() {
+    let mut names = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let scenario =
+            Scenario::from_file(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let stem = path.file_stem().expect("file stem").to_string_lossy();
+        assert_eq!(
+            scenario.name,
+            stem,
+            "{}: scenario name must match the file name",
+            path.display()
+        );
+        let trace =
+            Trace::synthesize(&scenario).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            !trace.events.is_empty(),
+            "{}: scenario synthesizes no events",
+            path.display()
+        );
+        assert_eq!(trace.phase_names.len(), scenario.phases.len());
+        names.push(scenario.name);
+    }
+    for expected in ["commute_surge", "stadium_event", "weekend_lull", "smoke"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing shipped scenario {expected:?} (found {names:?})"
+        );
+    }
+}

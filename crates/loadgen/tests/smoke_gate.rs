@@ -1,0 +1,57 @@
+//! End-to-end smoke gate, also run by `scripts/check.sh`: boot the real
+//! server stack on an ephemeral port, replay `scenarios/smoke.toml`
+//! over TCP, and assert the run is healthy — nonzero throughput, zero
+//! unexpected non-2xx (503 shedding is allowed and counted separately),
+//! and an output TSV that validates.
+
+use crowdweb_loadgen::{harness, report, RunOptions, Scenario};
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[test]
+fn smoke_scenario_runs_clean_against_a_live_server() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/smoke.toml");
+    let scenario = Scenario::from_file(&path).expect("smoke scenario parses");
+
+    let dataset = crowdweb_synth::SynthConfig::small(scenario.seed)
+        .generate()
+        .expect("seed dataset synthesizes");
+    let state = crowdweb_server::AppState::build(dataset, 20).expect("state builds");
+    let server = crowdweb_server::Server::bind("127.0.0.1:0", state)
+        .expect("binds an ephemeral port")
+        .read_timeout(Duration::from_secs(5))
+        .write_timeout(Duration::from_secs(5));
+    let (addr, shutdown, join) = server.spawn();
+
+    let opts = RunOptions {
+        senders: 4,
+        quiet: true,
+        ..RunOptions::default()
+    };
+    let run = harness::run(&scenario, addr, &opts).expect("replay succeeds");
+    shutdown.shutdown();
+    join.join().expect("server thread exits");
+
+    assert!(
+        run.total_requests() >= 100,
+        "throughput too low: {} requests",
+        run.total_requests()
+    );
+    assert_eq!(
+        run.unexpected_non2xx(),
+        0,
+        "unexpected non-2xx responses:\n{}",
+        run.summary()
+    );
+    let tsv = run.to_tsv();
+    let rows = report::validate_tsv(&tsv).expect("output TSV validates");
+    assert!(
+        rows > scenario.phases.len(),
+        "TSV should carry at least one row per phase plus totals"
+    );
+    // The epoch trigger must have published at least one epoch.
+    assert!(
+        run.rows().iter().any(|r| r.kind == "epoch"),
+        "no epoch rows recorded:\n{tsv}"
+    );
+}

@@ -883,6 +883,7 @@ fn checkins_submit(state: &AppState, request: &Request, _: &HashMap<String, Stri
         Ok(receipt) => ok_json(&receipt),
         Err(e @ IngestError::Backpressure { .. }) => {
             error_envelope(StatusCode::ServiceUnavailable, "queue-full", &e.to_string())
+                .with_retry_after(RETRY_AFTER_SECS)
         }
         // The batch was accepted and logged but the inline epoch
         // failed: the records are durable, so the client must NOT
@@ -897,18 +898,30 @@ fn checkins_submit(state: &AppState, request: &Request, _: &HashMap<String, Stri
     }
 }
 
+/// Advertised backoff for 503 load-shedding responses. The queue drains
+/// on the next epoch run, so one second is the honest order of
+/// magnitude; load generators use it directly instead of guessing.
+pub(crate) const RETRY_AFTER_SECS: u32 = 1;
+
 #[derive(Serialize)]
 struct EpochRunDto {
     ran: bool,
     epoch: u64,
+    /// Wall time the whole request spent running the epoch (including
+    /// "nothing to do" probes when `ran` is false), so harnesses can
+    /// measure epoch lag under load from the response body alone
+    /// instead of scraping `/api/metrics` mid-run.
+    duration_micros: u64,
     report: Option<crowdweb_ingest::EpochReport>,
 }
 
 fn ingest_epoch(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    let started = std::time::Instant::now();
     match state.engine().run_epoch() {
         Ok(report) => ok_json(&EpochRunDto {
             ran: report.is_some(),
             epoch: state.engine().epoch(),
+            duration_micros: started.elapsed().as_micros() as u64,
             report,
         }),
         Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
@@ -1587,6 +1600,9 @@ mod tests {
         assert_eq!(code, 200, "{body}");
         assert!(body.contains("\"ran\":true"));
         assert!(body.contains("\"epoch\":1"));
+        // Harnesses measure epoch lag from the response body alone.
+        let run: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(run["duration_micros"].as_u64().unwrap() > 0, "{body}");
         let (code, body) = get(&r, &s, "/api/ingest/stats");
         assert_eq!(code, 200);
         assert!(body.contains("\"epochs_run\":1"));
@@ -1595,10 +1611,12 @@ mod tests {
         assert_eq!(s.snapshot().epoch(), 1);
         let (code, _) = get(&r, &s, "/api/stats");
         assert_eq!(code, 200);
-        // An epoch over an empty queue is a no-op.
+        // An epoch over an empty queue is a no-op, but still reports
+        // the wall time the probe spent.
         let (code, body) = post(&r, &s, "/api/ingest/epoch", "");
         assert_eq!(code, 200);
         assert!(body.contains("\"ran\":false"));
+        assert!(body.contains("\"duration_micros\""), "{body}");
     }
 
     /// Submits one existing check-in shifted by `step` hours and runs
@@ -1734,9 +1752,24 @@ mod tests {
                    \"time\":\"Tue Apr 03 13:00:00 +0000 2012\"}";
         let (code, _) = post(&r, &s, "/api/checkins", one);
         assert_eq!(code, 200);
-        let (code, body) = post(&r, &s, "/api/checkins", one);
-        assert_eq!(code, 503, "{body}");
-        assert!(body.contains("queue full"));
+        let raw = format!(
+            "POST /api/checkins HTTP/1.1\r\nContent-Length: {}\r\n\r\n{one}",
+            one.len()
+        );
+        let req = Request::read_from(raw.as_bytes()).unwrap();
+        let resp = r.route(&s, &req);
+        assert_eq!(resp.status.code(), 503);
+        assert!(String::from_utf8(resp.body.clone())
+            .unwrap()
+            .contains("queue full"));
+        // The shed response advertises a principled backoff, and the
+        // header survives serialization.
+        assert_eq!(resp.retry_after, Some(super::RETRY_AFTER_SECS));
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let wire = String::from_utf8(wire).unwrap();
+        let head = &wire[..wire.find("\r\n\r\n").unwrap()];
+        assert!(head.contains("Retry-After: 1"), "{head}");
     }
 
     #[test]

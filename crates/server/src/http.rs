@@ -393,6 +393,10 @@ pub struct Response {
     pub status: StatusCode,
     /// Content type header value.
     pub content_type: String,
+    /// Optional `Retry-After` header value in seconds. Set on 503
+    /// load-shedding responses (queue-full, worker_queue_full) so
+    /// clients back off a principled amount instead of guessing.
+    pub retry_after: Option<u32>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -403,6 +407,7 @@ impl Response {
         Response {
             status: StatusCode::Ok,
             content_type: "application/json; charset=utf-8".to_owned(),
+            retry_after: None,
             body: body.into_bytes(),
         }
     }
@@ -412,6 +417,7 @@ impl Response {
         Response {
             status: StatusCode::Ok,
             content_type: "text/html; charset=utf-8".to_owned(),
+            retry_after: None,
             body: body.into_bytes(),
         }
     }
@@ -422,6 +428,7 @@ impl Response {
         Response {
             status: StatusCode::Ok,
             content_type: "text/plain; version=0.0.4; charset=utf-8".to_owned(),
+            retry_after: None,
             body: body.into_bytes(),
         }
     }
@@ -431,6 +438,7 @@ impl Response {
         Response {
             status: StatusCode::Ok,
             content_type: "image/svg+xml".to_owned(),
+            retry_after: None,
             body: body.into_bytes(),
         }
     }
@@ -462,6 +470,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json; charset=utf-8".to_owned(),
+            retry_after: None,
             body: format!(
                 "{{\"error\":{{\"code\":{},\"message\":{},\"status\":{}}}}}",
                 serde_json::to_string(code).unwrap_or_else(|_| "\"error\"".into()),
@@ -470,6 +479,14 @@ impl Response {
             )
             .into_bytes(),
         }
+    }
+
+    /// Attaches a `Retry-After` header (seconds). Used by the 503
+    /// load-shedding paths so backoff is advertised, not guessed.
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// Writes the response to a stream, closing semantics
@@ -481,12 +498,16 @@ impl Response {
     pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\nAccess-Control-Allow-Origin: *\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\nAccess-Control-Allow-Origin: *\r\n",
             self.status.code(),
             self.status.reason(),
             self.content_type,
             self.body.len()
         )?;
+        if let Some(seconds) = self.retry_after {
+            write!(writer, "Retry-After: {seconds}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -768,6 +789,28 @@ mod tests {
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Length: 11"));
         assert!(s.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_when_set() {
+        let mut buf = Vec::new();
+        Response::error(StatusCode::ServiceUnavailable, "queue full")
+            .with_retry_after(2)
+            .write_to(&mut buf)
+            .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(s.contains("\r\nRetry-After: 2\r\n"));
+        // The header belongs to the head, before the blank separator.
+        let head_end = s.find("\r\n\r\n").unwrap();
+        assert!(s[..head_end].contains("Retry-After: 2"));
+    }
+
+    #[test]
+    fn retry_after_header_is_absent_by_default() {
+        let mut buf = Vec::new();
+        Response::json("{}".to_owned()).write_to(&mut buf).unwrap();
+        assert!(!String::from_utf8(buf).unwrap().contains("Retry-After"));
     }
 
     #[test]

@@ -67,4 +67,16 @@ for route in $routes; do
     }
 done
 
+echo "== loadgen gate =="
+# Trace synthesis must be deterministic, every shipped scenario must
+# parse and synthesize, and the smoke scenario must replay cleanly
+# against a freshly booted server (nonzero throughput, zero unexpected
+# non-2xx, valid TSV).
+cargo test -q -p crowdweb-loadgen
+cargo test -q -p crowdweb-loadgen --test smoke_gate
+grep -qF 'crowdweb-loadgen run' README.md || {
+    echo "README.md must document the crowdweb-loadgen run quick-start" >&2
+    exit 1
+}
+
 echo "All checks passed."
