@@ -1,12 +1,16 @@
-//! A minimal one-shot HTTP/1.1 client.
+//! A minimal HTTP/1.1 client with keep-alive connection reuse.
 //!
-//! The server speaks `Connection: close` (one request per connection),
-//! so the client does too: connect, write the request, read to EOF,
-//! parse the status line and the handful of headers the harness cares
-//! about. Deliberately dependency-free and blocking — each sender
-//! thread owns its own connections.
+//! [`Client`] holds one persistent connection and frames responses by
+//! status line + `Content-Length` — never by EOF, which silently breaks
+//! (hangs until the server's idle reap, or truncates) against a
+//! keep-alive server. When the server closes the connection (stated
+//! `Connection: close`, exhausted request budget, idle reap between
+//! requests), the client reconnects transparently: a send or first read
+//! that fails on a *reused* connection is retried once on a fresh one.
+//! Deliberately dependency-free and blocking — each sender thread owns
+//! its own `Client`.
 
-use std::io::{Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -19,6 +23,9 @@ pub struct HttpResponse {
     pub retry_after: Option<u64>,
     /// Response body bytes, UTF-8-decoded lossily.
     pub body: String,
+    /// Whether the server announced `Connection: close` — the client
+    /// drops the connection and dials fresh for the next request.
+    pub connection_close: bool,
 }
 
 impl HttpResponse {
@@ -28,102 +35,408 @@ impl HttpResponse {
     }
 }
 
-/// Sends one request and reads the full response.
+/// A persistent-connection HTTP client bound to one server address.
 ///
-/// `body` of `Some` makes it a POST with a JSON content type; `None`
-/// makes it a GET. Both socket read and write inherit `timeout`.
+/// Requests reuse a single kept-alive connection; the server closing it
+/// (budget exhaustion, idle reap, negotiated close) costs one
+/// transparent reconnect, not an error.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr`; connections are dialed lazily. Socket
+    /// connect/read/write all inherit `timeout`.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Client {
+        Client {
+            addr,
+            timeout,
+            conn: None,
+        }
+    }
+
+    /// Sends one request and reads one `Content-Length`-framed
+    /// response, reusing the held connection when there is one.
+    ///
+    /// `body` of `Some` makes it a POST with a JSON content type;
+    /// `None` makes it a GET.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write failures and malformed response
+    /// frames as `io::Error` — the harness counts these as transport
+    /// errors, distinct from HTTP-level error statuses. A failure on a
+    /// reused connection is retried once on a fresh connection first
+    /// (the server is allowed to have reaped the idle socket between
+    /// requests).
+    pub fn request(&mut self, path: &str, body: Option<&str>) -> io::Result<HttpResponse> {
+        let reused = self.conn.is_some();
+        match self.attempt(path, body) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                self.conn = None;
+                if reused {
+                    // The stale-connection race: the server may close a
+                    // kept-alive socket at any moment between requests.
+                    // One fresh dial disambiguates a reaped connection
+                    // from a down server.
+                    self.attempt(path, body).inspect_err(|_| self.conn = None)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// One send + one framed read on the current connection, dialing if
+    /// none is held. Leaves the connection in place unless the server
+    /// said close.
+    fn attempt(&mut self, path: &str, body: Option<&str>) -> io::Result<HttpResponse> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            // Nagle + delayed ACK costs ~40ms per request on a reused
+            // connection if the request goes out in more than one
+            // segment; a latency-measuring client can never afford it.
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        {
+            // One buffer, one write: a request split across small
+            // writes stalls on Nagle waiting for the previous
+            // segment's (delayed) ACK.
+            let request = match body {
+                Some(json) => format!(
+                    "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\n\r\n{json}",
+                    json.len()
+                ),
+                None => format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n"),
+            };
+            let stream = conn.get_mut();
+            stream.write_all(request.as_bytes())?;
+            stream.flush()?;
+        }
+        let response = read_framed_response(conn)?;
+        if response.connection_close {
+            self.conn = None;
+        }
+        Ok(response)
+    }
+}
+
+/// Sends one request on a throwaway `Connection: close` connection.
+///
+/// For one-shot probes (health checks) where holding a connection is
+/// not worth it; sustained traffic should use [`Client`].
 ///
 /// # Errors
 ///
-/// Propagates connect/read/write failures and malformed status lines as
-/// `io::Error` — the harness counts these as transport errors, distinct
-/// from HTTP-level error statuses.
+/// As [`Client::request`], minus the reused-connection retry.
 pub fn request(
     addr: SocketAddr,
     path: &str,
     body: Option<&str>,
     timeout: Duration,
-) -> std::io::Result<HttpResponse> {
+) -> io::Result<HttpResponse> {
     let stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let mut stream = stream;
-    match body {
-        Some(json) => write!(
-            stream,
+    let request = match body {
+        Some(json) => format!(
             "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
              Content-Length: {}\r\nConnection: close\r\n\r\n{json}",
             json.len()
-        )?,
-        None => write!(
-            stream,
-            "GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"
-        )?,
-    }
+        ),
+        None => format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"),
+    };
+    stream.write_all(request.as_bytes())?;
     stream.flush()?;
-
-    let mut raw = Vec::with_capacity(4096);
-    stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
+    read_framed_response(&mut BufReader::new(stream))
 }
 
-fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
-    let malformed =
-        |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| malformed("response head never terminated"))?;
-    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| malformed("non-utf8 head"))?;
-    let mut lines = head.split("\r\n");
-    let status_line = lines.next().ok_or_else(|| malformed("empty response"))?;
+/// Reads exactly one response — status line, headers, then exactly
+/// `Content-Length` body bytes — leaving any pipelined bytes behind it
+/// unread. EOF is never the frame boundary.
+fn read_framed_response<R: BufRead>(reader: &mut R) -> io::Result<HttpResponse> {
+    let malformed = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let status_line = read_crlf_line(reader)?;
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| malformed("unparseable status line"))?;
     let mut retry_after = None;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("retry-after") {
-                retry_after = value.trim().parse::<u64>().ok();
-            }
+    let mut content_length: Option<usize> = None;
+    let mut connection_close = false;
+    loop {
+        let line = read_crlf_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.parse::<u64>().ok();
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = Some(
+                value
+                    .parse::<usize>()
+                    .map_err(|_| malformed("unparseable content-length"))?,
+            );
+        } else if name.eq_ignore_ascii_case("connection") {
+            connection_close = value
+                .split(',')
+                .any(|token| token.trim().eq_ignore_ascii_case("close"));
         }
     }
+    let content_length =
+        content_length.ok_or_else(|| malformed("response did not declare content-length"))?;
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
     Ok(HttpResponse {
         status,
         retry_after,
-        body: String::from_utf8_lossy(&raw[head_end + 4..]).into_owned(),
+        body: String::from_utf8_lossy(&body).into_owned(),
+        connection_close,
     })
+}
+
+/// Reads one `\r\n`-terminated line, returned without the terminator.
+/// EOF before the terminator is an error — a framed response never
+/// relies on EOF.
+fn read_crlf_line<R: BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut raw = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response-head",
+            ));
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                raw.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = available.len();
+                raw.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 response head"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn framed(body: &str, close: bool) -> String {
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+            body.len(),
+            if close { "close" } else { "keep-alive" }
+        )
+    }
+
+    /// A scripted server: accepts connections, answers `per_conn`
+    /// requests on each with framed keep-alive responses, then closes.
+    /// Counts accepts so tests can assert connection reuse.
+    fn scripted_server(per_conn: usize, total: usize) -> (SocketAddr, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            let mut answered = 0;
+            while answered < total {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut reader = BufReader::new(stream);
+                for i in 0..per_conn {
+                    // Swallow one request head (loadgen requests are
+                    // bodyless GETs in these tests).
+                    loop {
+                        let mut line = String::new();
+                        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                            return;
+                        }
+                        if line == "\r\n" {
+                            break;
+                        }
+                    }
+                    let body = format!("resp-{answered}");
+                    let reply = framed(&body, i + 1 == per_conn);
+                    if reader.get_mut().write_all(reply.as_bytes()).is_err() {
+                        break;
+                    }
+                    answered += 1;
+                    if answered == total {
+                        break;
+                    }
+                }
+                // Connection dropped here: per_conn budget exhausted.
+            }
+        });
+        (addr, accepts)
+    }
+
+    #[test]
+    fn frames_by_content_length_on_a_connection_that_stays_open() {
+        // Regression: the old client read to EOF, which against a
+        // keep-alive server hangs until the idle reap. A framed reader
+        // must return as soon as Content-Length bytes arrive, while the
+        // connection stays open.
+        let (addr, _accepts) = scripted_server(2, 2);
+        let mut client = Client::new(addr, Duration::from_secs(5));
+        let r = client.request("/one", None).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "resp-0");
+        assert!(!r.connection_close);
+        assert!(client.conn.is_some(), "keep-alive connection is retained");
+    }
+
+    #[test]
+    fn sequential_requests_reuse_one_connection() {
+        let (addr, accepts) = scripted_server(3, 3);
+        let mut client = Client::new(addr, Duration::from_secs(5));
+        for i in 0..3 {
+            let r = client.request("/seq", None).unwrap();
+            assert_eq!(r.body, format!("resp-{i}"));
+        }
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            1,
+            "three requests must share one connection"
+        );
+    }
+
+    #[test]
+    fn connection_close_response_causes_a_fresh_dial_next_time() {
+        let (addr, accepts) = scripted_server(1, 2);
+        let mut client = Client::new(addr, Duration::from_secs(5));
+        let r = client.request("/a", None).unwrap();
+        assert!(r.connection_close);
+        let r = client.request("/b", None).unwrap();
+        assert_eq!(r.body, "resp-1");
+        assert_eq!(accepts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn reaped_idle_connection_retries_once_on_a_fresh_one() {
+        // The server closes the socket after one response *without*
+        // announcing it (an idle reap): the client's next send/read
+        // fails, and must transparently redial instead of erroring.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            // First connection: one keep-alive response, then a silent
+            // close.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap() > 0 && line != "\r\n" {
+                line.clear();
+            }
+            reader
+                .get_mut()
+                .write_all(framed("first", false).as_bytes())
+                .unwrap();
+            drop(reader); // silent reap
+                          // Second connection: serve the retried request.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap() > 0 && line != "\r\n" {
+                line.clear();
+            }
+            reader
+                .get_mut()
+                .write_all(framed("second", false).as_bytes())
+                .unwrap();
+            // Hold the socket so the client's framed read completes.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let mut client = Client::new(addr, Duration::from_secs(5));
+        assert_eq!(client.request("/a", None).unwrap().body, "first");
+        // Give the close time to land so the failure is on the send or
+        // first read, exercising the retry path deterministically.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            client.request("/b", None).unwrap().body,
+            "second",
+            "a silently reaped connection must cost a redial, not an error"
+        );
+    }
 
     #[test]
     fn parses_status_headers_and_body() {
         let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
-                    Retry-After: 2\r\nContent-Length: 2\r\n\r\n{}";
-        let r = parse_response(raw).unwrap();
+                    Retry-After: 2\r\nConnection: close\r\nContent-Length: 2\r\n\r\n{}";
+        let r = read_framed_response(&mut BufReader::new(&raw[..])).unwrap();
         assert_eq!(r.status, 503);
         assert_eq!(r.retry_after, Some(2));
         assert_eq!(r.body, "{}");
+        assert!(r.connection_close);
         assert!(!r.is_success());
     }
 
     #[test]
     fn missing_retry_after_is_none() {
-        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
-        let r = parse_response(raw).unwrap();
+        let raw = b"HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 4\r\n\r\nbody";
+        let r = read_framed_response(&mut BufReader::new(&raw[..])).unwrap();
         assert_eq!(r.status, 200);
         assert_eq!(r.retry_after, None);
+        assert!(!r.connection_close);
         assert!(r.is_success());
     }
 
     #[test]
-    fn truncated_head_is_a_transport_error() {
-        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-").is_err());
-        assert!(parse_response(b"garbage\r\n\r\n").is_err());
+    fn truncated_responses_are_transport_errors() {
+        // Head cut mid-line.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-";
+        assert!(read_framed_response(&mut BufReader::new(&raw[..])).is_err());
+        // No content-length at all: the frame boundary is unknowable.
+        let raw = b"HTTP/1.1 200 OK\r\n\r\nbody";
+        assert!(read_framed_response(&mut BufReader::new(&raw[..])).is_err());
+        // Body shorter than declared.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_framed_response(&mut BufReader::new(&raw[..])).is_err());
+        // Garbage status line.
+        let raw = b"garbage\r\n\r\n";
+        assert!(read_framed_response(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn pipelined_second_response_is_left_unread() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\noneHTTP/1.1 404 NF\r\nContent-Length: 3\r\n\r\ntwo";
+        let mut reader = BufReader::new(&raw[..]);
+        let r = read_framed_response(&mut reader).unwrap();
+        assert_eq!(r.body, "one");
+        let r = read_framed_response(&mut reader).unwrap();
+        assert_eq!(r.status, 404);
+        assert_eq!(r.body, "two");
     }
 }

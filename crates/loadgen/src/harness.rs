@@ -108,6 +108,10 @@ pub fn run(
                 let trace = &trace;
                 let latest_epoch = &latest_epoch;
                 scope.spawn(move || {
+                    // One kept-alive connection per sender thread: the
+                    // server's reuse/budget/reap behaviour is part of
+                    // what the harness measures.
+                    let mut http = client::Client::new(addr, timeout);
                     let mut out: Vec<Sample> = Vec::new();
                     let mut i = w;
                     while i < trace.events.len() {
@@ -121,7 +125,7 @@ pub fn run(
                         } else {
                             event.path.clone()
                         };
-                        let result = client::request(addr, &path, event.body.as_deref(), timeout);
+                        let result = http.request(&path, event.body.as_deref());
                         let done_us = start.elapsed().as_micros() as u64;
                         out.push(Sample {
                             phase: event.phase,
@@ -142,12 +146,13 @@ pub fn run(
             if scenario.epoch_every_secs <= 0.0 {
                 return out;
             }
+            let mut http = client::Client::new(addr, timeout);
             let step_us = (scenario.epoch_every_secs * 1e6) as u64;
             let mut at = step_us;
             while at < total_us + step_us {
                 sleep_until(start, at.min(total_us));
                 let sent = at.min(total_us);
-                match client::request(addr, "/api/v1/ingest/epoch", Some(""), timeout) {
+                match http.request("/api/v1/ingest/epoch", Some("")) {
                     Ok(resp) => out.push(parse_epoch_response(sent, &resp, &latest_epoch)),
                     Err(_) => out.push(EpochSample {
                         at_us: sent,
@@ -167,12 +172,13 @@ pub fn run(
 
         // Scraper: one /api/v1/metrics read at each phase boundary.
         let scrape_thread = scope.spawn(|| {
+            let mut http = client::Client::new(addr, timeout);
             let mut out: Vec<GaugeSample> = Vec::new();
             let mut end = 0u64;
             for (pi, wall) in trace.phase_wall_us.iter().enumerate() {
                 end += wall;
                 sleep_until(start, end);
-                if let Ok(resp) = client::request(addr, "/api/v1/metrics", None, timeout) {
+                if let Ok(resp) = http.request("/api/v1/metrics", None) {
                     if resp.is_success() {
                         for name in SCRAPED_GAUGES {
                             if let Some(value) = exposition_value(&resp.body, name) {
@@ -289,6 +295,7 @@ mod tests {
             body: "{\"ran\":true,\"epoch\":3,\"duration_micros\":4200,\
                    \"report\":{\"applied\":17}}"
                 .to_owned(),
+            connection_close: false,
         };
         let s = parse_epoch_response(10, &resp, &latest);
         assert_eq!(s.epoch, 3);
@@ -300,6 +307,7 @@ mod tests {
             status: 200,
             retry_after: None,
             body: "{\"ran\":false,\"epoch\":3,\"duration_micros\":80,\"report\":null}".to_owned(),
+            connection_close: false,
         };
         let s = parse_epoch_response(20, &resp, &latest);
         assert_eq!(s.applied, 0);

@@ -1,8 +1,11 @@
 //! Minimal HTTP/1.1 parsing and serialization.
 //!
 //! Supports what the CrowdWeb API needs: GET/POST, path + query string,
-//! headers, and `Content-Length`-framed bodies. Everything else (chunked
-//! encoding, pipelining, upgrades) is deliberately out of scope.
+//! headers, `Content-Length`-framed bodies, and HTTP/1.1 persistent
+//! connections (`Connection` negotiation lives here; the lifecycle —
+//! budgets, idle reaping, pipelined replies — is the reactor's).
+//! Everything else (chunked encoding, upgrades) is deliberately out of
+//! scope.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -124,12 +127,35 @@ pub struct Request {
     pub headers: HashMap<String, String>,
     /// Request body (empty for GET).
     pub body: Vec<u8>,
+    /// Whether the request line said `HTTP/1.0` — flips the default
+    /// connection disposition from keep-alive to close.
+    pub http10: bool,
 }
 
 impl Request {
     /// A query parameter by name.
     pub fn query_param(&self, name: &str) -> Option<&str> {
         self.query.get(name).map(String::as_str)
+    }
+
+    /// The connection disposition this request negotiates (RFC 9112
+    /// §9.3): `Connection: close` always closes, `Connection:
+    /// keep-alive` opts a 1.0 client in, and the bare default is
+    /// keep-alive for 1.1, close for 1.0. Later tokens win when a
+    /// confused client sends both.
+    pub fn wants_keep_alive(&self) -> bool {
+        let mut keep = !self.http10;
+        if let Some(value) = self.headers.get("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+        }
+        keep
     }
 
     /// Reads and parses one request from a stream.
@@ -156,6 +182,7 @@ impl Request {
         if !version.starts_with("HTTP/1.") {
             return Err(bad("unsupported http version"));
         }
+        let http10 = version == "HTTP/1.0";
 
         // Headers.
         let mut headers = HashMap::new();
@@ -208,6 +235,7 @@ impl Request {
             query,
             headers,
             body,
+            http10,
         })
     }
 }
@@ -298,6 +326,44 @@ pub fn scan_head(head: &[u8]) -> HeadScan {
         content_length = Some(n);
     }
     HeadScan::BodyBytes(content_length.unwrap_or(0))
+}
+
+/// Scans a complete head for the connection disposition the client
+/// asked for, mirroring [`Request::wants_keep_alive`]. Used by the
+/// reactor when it answers *without* running the full parser (the
+/// worker-queue-full 503 shed path), so a shed response under
+/// keep-alive does not kill a healthy client's pipeline. Agreement
+/// with the parser is unit-tested.
+pub fn scan_wants_keep_alive(head: &[u8]) -> bool {
+    let mut keep = true;
+    for (i, raw_line) in head.split(|&b| b == b'\n').enumerate() {
+        let Ok(line) = std::str::from_utf8(raw_line) else {
+            continue;
+        };
+        let trimmed = line.trim_end();
+        if i == 0 {
+            keep = !trimmed.ends_with("HTTP/1.0");
+            continue;
+        }
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            continue;
+        };
+        if !name.trim().eq_ignore_ascii_case("connection") {
+            continue;
+        }
+        for token in value.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("close") {
+                keep = false;
+            } else if token.eq_ignore_ascii_case("keep-alive") {
+                keep = true;
+            }
+        }
+    }
+    keep
 }
 
 /// Reads one `\n`-terminated line of at most `limit` bytes. Returns an
@@ -489,20 +555,35 @@ impl Response {
         self
     }
 
-    /// Writes the response to a stream, closing semantics
-    /// (`Connection: close`).
+    /// Writes the response with closing semantics (`Connection:
+    /// close`) — the one-shot shape every pre-keep-alive caller
+    /// expects. The reactor threads the negotiated disposition through
+    /// [`Response::write_to_with`] instead.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures from the underlying stream.
-    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+    pub fn write_to<W: Write>(&self, writer: W) -> io::Result<()> {
+        self.write_to_with(writer, false)
+    }
+
+    /// Writes the response, announcing the negotiated connection
+    /// disposition: `Connection: keep-alive` when the connection
+    /// persists for another request, `Connection: close` on the final
+    /// response before the server hangs up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying stream.
+    pub fn write_to_with<W: Write>(&self, mut writer: W, keep_alive: bool) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\nAccess-Control-Allow-Origin: *\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\nAccess-Control-Allow-Origin: *\r\n",
             self.status.code(),
             self.status.reason(),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         )?;
         if let Some(seconds) = self.retry_after {
             write!(writer, "Retry-After: {seconds}\r\n")?;
@@ -769,6 +850,65 @@ mod tests {
         assert_eq!(head_end + n, raw.len());
         let req = Request::read_from(&raw[..head_end + n]).unwrap();
         assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_header() {
+        // HTTP/1.1 defaults to keep-alive; 1.0 defaults to close.
+        assert!(parse("GET /x HTTP/1.1\r\n\r\n").unwrap().wants_keep_alive());
+        assert!(!parse("GET /x HTTP/1.0\r\n\r\n").unwrap().wants_keep_alive());
+        // Explicit headers override either default.
+        assert!(!parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
+        assert!(parse("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
+        // Case-insensitive, token-list tolerant.
+        assert!(
+            !parse("GET /x HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n")
+                .unwrap()
+                .wants_keep_alive()
+        );
+    }
+
+    #[test]
+    fn head_scan_agrees_with_the_parser_on_disposition() {
+        for raw in [
+            "GET /x HTTP/1.1\r\nHost: a\r\n\r\n",
+            "GET /x HTTP/1.0\r\nHost: a\r\n\r\n",
+            "GET /x HTTP/1.1\r\nConnection: close\r\n\r\n",
+            "GET /x HTTP/1.0\r\nconnection: keep-alive\r\n\r\n",
+            "POST /x HTTP/1.1\r\nConnection: Keep-Alive, Close\r\nContent-Length: 0\r\n\r\n",
+        ] {
+            let parsed = parse(raw).unwrap().wants_keep_alive();
+            let scanned = scan_wants_keep_alive(raw.as_bytes());
+            assert_eq!(parsed, scanned, "parser/scanner disagree on {raw:?}");
+        }
+    }
+
+    #[test]
+    fn response_announces_the_negotiated_disposition() {
+        let mut keep = Vec::new();
+        Response::json("{}".to_owned())
+            .write_to_with(&mut keep, true)
+            .unwrap();
+        let keep = String::from_utf8(keep).unwrap();
+        assert!(keep.contains("\r\nConnection: keep-alive\r\n"), "{keep}");
+        let mut close = Vec::new();
+        Response::json("{}".to_owned())
+            .write_to_with(&mut close, false)
+            .unwrap();
+        let close = String::from_utf8(close).unwrap();
+        assert!(close.contains("\r\nConnection: close\r\n"), "{close}");
+        // The legacy entry point stays one-shot.
+        let mut legacy = Vec::new();
+        Response::json("{}".to_owned())
+            .write_to(&mut legacy)
+            .unwrap();
+        assert!(String::from_utf8(legacy)
+            .unwrap()
+            .contains("\r\nConnection: close\r\n"));
     }
 
     #[test]

@@ -1,18 +1,26 @@
 //! The evented connection loop.
 //!
 //! One event thread owns a nonblocking listener and every open
-//! connection. Each tick it accepts pending sockets, pumps bytes
-//! through per-connection state machines, hands complete requests to a
-//! bounded [`WorkerPool`] (where [`Router::dispatch`] and response
-//! serialization run), queues finished responses for nonblocking
-//! writes, and enforces read/write deadlines — so a thousand idle or
-//! slow-drip (slowloris) connections cost a read syscall per tick each,
-//! never a blocked thread.
+//! connection, and spends its idle time blocked in `poll(2)` (via the
+//! [`crate::sys`] shim) instead of spinning a tick: the kernel wakes it
+//! when a socket turns readable or writable, a self-pipe wakes it when
+//! a worker finishes a dispatched response, and the poll timeout is
+//! computed from the nearest per-connection deadline — so an idle
+//! server costs ~zero CPU and a ready event is serviced in
+//! syscall-latency, not tick-granularity, time.
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive): after a response
+//! drains, the connection returns to `Reading` and any bytes the
+//! client pipelined behind the previous request are served next, in
+//! arrival order. Each connection carries a request budget and an
+//! idle deadline; the final response before budget exhaustion (or any
+//! negotiated close) says `Connection: close`, idle connections are
+//! reaped quietly, and half-sent requests are reaped as misbehaviour.
 //!
 //! The per-connection state machine:
 //!
 //! ```text
-//!            accept (cap-checked, else immediate 503)
+//!            accept (cap-checked, else immediate 503 + close)
 //!              │
 //!              ▼
 //!   ┌──────── Reading ────────┐   bytes accumulate; head end and
@@ -22,23 +30,29 @@
 //!              ▼
 //!          Dispatched ────────── job on the worker pool: parse with
 //!              │                 `Request::read_from`, route, record
-//!              │ response bytes  metrics, serialize — or `None` to
-//!              ▼                 drop (panic / unparseable stream)
-//!           Writing ──────────── nonblocking writes until drained,
-//!              │                 then close (`Connection: close`)
-//!              ▼
-//!            closed
+//!              │ response bytes  metrics, serialize with the
+//!              ▼                 negotiated disposition
+//!           Writing ──────────── nonblocking writes until drained
+//!              │          │
+//!              │ close    │ keep-alive: budget left & client agreed
+//!              ▼          ▼
+//!            closed     Reading (pipelined bytes served immediately)
 //! ```
 //!
-//! Deadlines are checked once per tick from the loop, not with
-//! per-socket timeouts: `Reading` has a read deadline (a stalled or
-//! dripping client is reaped and counted, never answered), `Writing` a
-//! write deadline, and `Dispatched` none (handlers may legitimately run
-//! long). Saturation is explicit at both edges: over the connection cap
-//! a fresh socket gets an immediate 503, and a full worker queue bounces
-//! the job back so the event thread answers 503 itself.
+//! Deadlines are enforced from the loop, never with per-socket
+//! timeouts: `Reading` a fresh request has a read deadline, an idle
+//! keep-alive connection an idle deadline, `Writing` a write deadline,
+//! and `Dispatched` none (handlers may legitimately run long).
+//! Saturation is explicit at both edges: over the connection cap a
+//! fresh socket gets an immediate 503-and-close, and a full worker
+//! queue bounces the job back so the event thread answers 503 itself —
+//! honouring the connection's negotiated keep-alive, so shedding one
+//! request does not kill a healthy client's pipeline.
 
-use crate::http::{find_head_end, scan_head, HeadScan, MAX_HEAD_BYTES, MAX_LINE_BYTES};
+use crate::http::{
+    find_head_end, scan_head, scan_wants_keep_alive, HeadScan, MAX_HEAD_BYTES, MAX_LINE_BYTES,
+};
+use crate::sys::{self, Interest, PollSet, Readiness, Waker};
 use crate::{AppState, Request, Response, Router, StatusCode};
 use crowdweb_exec::{PoolSaturated, WorkerPool};
 use crowdweb_obs::{Counter, Gauge, Histogram, MetricsRegistry, HTTP_LATENCY_BUCKETS};
@@ -68,9 +82,13 @@ pub struct ReactorConfig {
     /// Bound on jobs queued for the workers; a full queue answers
     /// `503` instead of growing latency without limit (default 128).
     pub job_queue_capacity: usize,
-    /// How long the loop parks when a tick moved nothing (default
-    /// 500 µs) — the effective deadline-check granularity.
-    pub idle_wait: Duration,
+    /// Requests served per connection before the server closes it
+    /// (keep-alive budget, default 100; minimum 1). The last response
+    /// says `Connection: close`.
+    pub keep_alive_requests: u32,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before being reaped (default 5 s).
+    pub keep_alive_idle: Duration,
 }
 
 impl Default for ReactorConfig {
@@ -81,14 +99,25 @@ impl Default for ReactorConfig {
             max_connections: 1024,
             workers: 8,
             job_queue_capacity: 128,
-            idle_wait: Duration::from_micros(500),
+            keep_alive_requests: 100,
+            keep_alive_idle: Duration::from_secs(5),
         }
     }
 }
 
 /// Token-addressed completion from a worker: the serialized response
-/// bytes, or `None` when the connection should just be dropped.
-type Completion = (u64, Option<Vec<u8>>);
+/// bytes plus the negotiated keep-alive disposition, or `None` when
+/// the connection should just be dropped.
+type Completion = (u64, Option<(Vec<u8>, bool)>);
+
+/// What happens once a `Writing` buffer drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteThen {
+    /// `Connection: close` semantics: flush, drain, hang up.
+    Close,
+    /// Keep-alive: return to `Reading` and serve any pipelined bytes.
+    Continue,
+}
 
 enum ConnState {
     /// Accumulating request bytes until the head terminator and the
@@ -102,15 +131,29 @@ enum ConnState {
     /// A worker owns the request; the loop only waits.
     Dispatched,
     /// Serialized response bytes draining through nonblocking writes.
-    Writing { buf: Vec<u8>, written: usize },
+    Writing {
+        buf: Vec<u8>,
+        written: usize,
+        then: WriteThen,
+    },
 }
 
 struct Conn {
     stream: TcpStream,
     state: ConnState,
-    accepted_at: Instant,
-    /// Tick-enforced deadline; `None` while a handler runs.
+    /// When the current request started arriving — the latency clock
+    /// for access metrics (reset per keep-alive request).
+    started: Instant,
+    /// Loop-enforced deadline; `None` while a handler runs.
     deadline: Option<Instant>,
+    /// Requests fully served on this connection so far.
+    served: u32,
+    /// Pipelined bytes received beyond the request currently being
+    /// handled; become the next `Reading` buffer.
+    pending: Vec<u8>,
+    /// Set once the client half-closed: no further requests can
+    /// arrive, so every response is final.
+    saw_eof: bool,
 }
 
 impl Conn {
@@ -123,9 +166,40 @@ impl Conn {
                 head_end: None,
                 want: None,
             },
-            accepted_at,
+            started: accepted_at,
             deadline: Some(accepted_at + read_timeout),
+            served: 0,
+            pending: Vec::new(),
+            saw_eof: false,
         }
+    }
+
+    /// The poll interest for the current state.
+    fn interest(&self) -> Interest {
+        match self.state {
+            ConnState::Reading { .. } => Interest {
+                read: true,
+                write: false,
+            },
+            // No interest while a worker runs — the self-pipe delivers
+            // the completion; the kernel still reports errors/hangups.
+            ConnState::Dispatched => Interest {
+                read: false,
+                write: false,
+            },
+            ConnState::Writing { .. } => Interest {
+                read: false,
+                write: true,
+            },
+        }
+    }
+
+    /// Whether this connection is parked between keep-alive requests
+    /// with nothing buffered — the reap of such a connection is
+    /// housekeeping, not client misbehaviour.
+    fn idle_between_requests(&self) -> bool {
+        matches!(&self.state, ConnState::Reading { buf, .. }
+            if self.served > 0 && buf.is_empty())
     }
 }
 
@@ -140,6 +214,8 @@ struct ReactorMetrics {
     write_timeouts: Counter,
     rejected_cap: Counter,
     rejected_busy: Counter,
+    keepalive_reuses: Counter,
+    keepalive_reaped: Counter,
 }
 
 impl ReactorMetrics {
@@ -157,7 +233,7 @@ impl ReactorMetrics {
             ),
             tick_seconds: registry.histogram(
                 "crowdweb_server_reactor_tick_seconds",
-                "Wall-clock seconds per reactor tick that moved bytes or events.",
+                "Wall-clock seconds per reactor wakeup that moved bytes or events.",
                 &[],
                 &HTTP_LATENCY_BUCKETS,
             ),
@@ -181,17 +257,28 @@ impl ReactorMetrics {
                 "Connections refused with 503, by reason.",
                 &[("reason", "worker_queue_full")],
             ),
+            keepalive_reuses: registry.counter(
+                "crowdweb_server_keepalive_reuses_total",
+                "Requests served on an already-used (kept-alive) connection.",
+                &[],
+            ),
+            keepalive_reaped: registry.counter(
+                "crowdweb_server_keepalive_reaped_total",
+                "Idle keep-alive connections reaped at the idle deadline.",
+                &[],
+            ),
             registry,
         }
     }
 }
 
-/// Shared per-tick context threaded through the state machine.
+/// Shared per-wakeup context threaded through the state machine.
 struct Ctx<'a> {
     state: &'a Arc<AppState>,
     router: &'a Arc<Router<AppState>>,
     pool: &'a WorkerPool,
     done_tx: &'a mpsc::Sender<Completion>,
+    waker: &'a Waker,
     metrics: &'a ReactorMetrics,
     config: &'a ReactorConfig,
 }
@@ -217,66 +304,118 @@ pub(crate) fn run(
     listener
         .set_nonblocking(true)
         .expect("listener supports nonblocking mode");
+    // A 10k-connection storm overflows the default accept backlog (128)
+    // long before the event loop falls behind.
+    sys::boost_listen_backlog(&listener, 1024);
     let metrics = ReactorMetrics::new(state.metrics().clone());
     let pool = WorkerPool::new(config.workers, config.job_queue_capacity);
     let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let (waker, wake_rx) = sys::wake_pair().expect("self-pipe pair");
+    let mut pollset = PollSet::new();
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_token: u64 = 0;
 
     while !shutdown.load(Ordering::SeqCst) {
-        let tick_started = Instant::now();
+        // 1. Block until the kernel has something for us: a pending
+        // accept, a readable/writable connection, a worker completion
+        // (self-pipe), or the nearest deadline. This wait is the whole
+        // point — an idle server sits here at zero CPU.
+        pollset.clear();
+        pollset.register_listener(&listener);
+        pollset.register_waker(&wake_rx);
+        for (&token, conn) in conns.iter() {
+            pollset.register(&conn.stream, token, conn.interest());
+        }
+        let now = Instant::now();
+        let timeout = conns
+            .values()
+            .filter_map(|c| c.deadline)
+            .min()
+            .map(|deadline| deadline.saturating_duration_since(now));
+        if pollset.wait(timeout).is_err() {
+            // A failed poll is unrecoverable loop state; degrade to a
+            // short park rather than spinning on the error.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        wake_rx.drain();
+
+        let woke = Instant::now();
         let mut progressed = false;
         let ctx = Ctx {
             state: &state,
             router: &router,
             pool: &pool,
             done_tx: &done_tx,
+            waker: &waker,
             metrics: &metrics,
             config: &config,
         };
 
-        // 1. Accept every pending socket (cap-aware).
-        loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    progressed = true;
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
+        // 2. Accept every pending socket (cap-aware).
+        if pollset.listener_ready() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progressed = true;
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        // Nagle delays the second and later responses
+                        // on a pipelined/kept-alive connection by up to
+                        // a delayed-ACK interval (~40ms); responses are
+                        // written whole, so there is nothing for Nagle
+                        // to usefully coalesce.
+                        let _ = stream.set_nodelay(true);
+                        let mut conn = Conn::new(stream, config.read_timeout);
+                        if conns.len() >= config.max_connections {
+                            // Over the cap: answer 503 through the
+                            // normal write path (the connection
+                            // occupies a map slot only until the
+                            // refusal drains). The request was never
+                            // read, so the refusal always closes.
+                            metrics.rejected_cap.inc();
+                            queue_response(
+                                &mut conn,
+                                Response::error(
+                                    StatusCode::ServiceUnavailable,
+                                    "connection limit reached",
+                                ),
+                                false,
+                                config.write_timeout,
+                            );
+                        }
+                        conns.insert(next_token, conn);
+                        next_token += 1;
                     }
-                    let mut conn = Conn::new(stream, config.read_timeout);
-                    if conns.len() >= config.max_connections {
-                        // Over the cap: answer 503 through the normal
-                        // write path (the connection occupies a map
-                        // slot only until the refusal drains).
-                        metrics.rejected_cap.inc();
-                        queue_response(
-                            &mut conn,
-                            Response::error(
-                                StatusCode::ServiceUnavailable,
-                                "connection limit reached",
-                            ),
-                            config.write_timeout,
-                        );
-                    }
-                    conns.insert(next_token, conn);
-                    next_token += 1;
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(_) => break,
             }
         }
 
-        // 2. Move finished worker responses into write queues.
+        // 3. Move finished worker responses into write queues, then
+        // immediately attempt the write — the socket is almost always
+        // writable, so most responses go out without another poll.
+        let mut closed: Vec<u64> = Vec::new();
         while let Ok((token, payload)) = done_rx.try_recv() {
             progressed = true;
             match payload {
-                Some(bytes) => {
+                Some((bytes, keep_alive)) => {
                     if let Some(conn) = conns.get_mut(&token) {
+                        let keep = keep_alive && !conn.saw_eof;
                         conn.state = ConnState::Writing {
                             buf: bytes,
                             written: 0,
+                            then: if keep {
+                                WriteThen::Continue
+                            } else {
+                                WriteThen::Close
+                            },
                         };
                         conn.deadline = Some(Instant::now() + config.write_timeout);
+                        if matches!(drive(token, conn, &ctx), Drive::Close) {
+                            closed.push(token);
+                        }
                     }
                 }
                 None => {
@@ -284,39 +423,57 @@ pub(crate) fn run(
                 }
             }
         }
+        for token in closed.drain(..) {
+            conns.remove(&token);
+        }
 
-        // 3. Pump every connection's state machine.
-        let mut closed: Vec<u64> = Vec::new();
-        for (&token, conn) in conns.iter_mut() {
+        // 4. Pump every connection the kernel flagged.
+        let ready: Vec<(u64, Readiness)> = pollset.ready().collect();
+        for (token, readiness) in ready {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            // A dispatched connection has no read/write interest, so
+            // any readiness here is the kernel reporting the client
+            // gone (POLLHUP/POLLERR) — the response has nowhere to go.
+            if matches!(conn.state, ConnState::Dispatched) {
+                if readiness.dead {
+                    progressed = true;
+                    conns.remove(&token);
+                }
+                continue;
+            }
             match drive(token, conn, &ctx) {
                 Drive::Progress => progressed = true,
                 Drive::Idle => {}
                 Drive::Close => {
                     progressed = true;
-                    closed.push(token);
+                    conns.remove(&token);
                 }
             }
         }
-        for token in &closed {
-            conns.remove(token);
-        }
 
-        // 4. Deadlines, enforced by the tick instead of per-socket
-        // timeouts. A reading connection past its deadline is client
-        // misbehaviour: count it, never answer it.
+        // 5. Deadlines, enforced by the loop instead of per-socket
+        // timeouts. A reading connection past its deadline mid-request
+        // is client misbehaviour: count it, never answer it. An idle
+        // keep-alive connection is just housekeeping.
         let now = Instant::now();
         conns.retain(|_, conn| match conn.deadline {
             Some(deadline) if now >= deadline => {
-                match conn.state {
-                    ConnState::Reading { .. } => metrics.read_timeouts.inc(),
-                    _ => metrics.write_timeouts.inc(),
+                if conn.idle_between_requests() {
+                    metrics.keepalive_reaped.inc();
+                } else {
+                    match conn.state {
+                        ConnState::Reading { .. } => metrics.read_timeouts.inc(),
+                        _ => metrics.write_timeouts.inc(),
+                    }
                 }
                 false
             }
             _ => true,
         });
 
-        // 5. Loop-health signals, then park if the tick was empty.
+        // 6. Loop-health signals.
         metrics.open_connections.set(conns.len() as i64);
         let deferred = conns
             .values()
@@ -324,11 +481,7 @@ pub(crate) fn run(
             .count();
         metrics.deferred_writes.set(deferred as i64);
         if progressed {
-            metrics
-                .tick_seconds
-                .observe(tick_started.elapsed().as_secs_f64());
-        } else {
-            std::thread::sleep(config.idle_wait);
+            metrics.tick_seconds.observe(woke.elapsed().as_secs_f64());
         }
     }
 
@@ -339,39 +492,90 @@ pub(crate) fn run(
 }
 
 /// Serializes a loop-generated response (over-cap or pool-saturated
-/// 503) and moves the connection straight to `Writing`.
-fn queue_response(conn: &mut Conn, response: Response, write_timeout: Duration) {
+/// 503) and moves the connection straight to `Writing`, honouring the
+/// connection's negotiated disposition.
+fn queue_response(conn: &mut Conn, response: Response, keep_alive: bool, write_timeout: Duration) {
     let mut out = Vec::new();
-    let _ = response.write_to(&mut out);
+    let _ = response.write_to_with(&mut out, keep_alive);
     conn.state = ConnState::Writing {
         buf: out,
         written: 0,
+        then: if keep_alive {
+            WriteThen::Continue
+        } else {
+            WriteThen::Close
+        },
     };
     conn.deadline = Some(Instant::now() + write_timeout);
 }
 
+/// Advances one connection's state machine as far as it can go without
+/// another poll event: a drained keep-alive response rolls straight
+/// into reading (and possibly dispatching) the next pipelined request.
 fn drive(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
-    match conn.state {
-        ConnState::Reading { .. } => drive_read(token, conn, ctx),
-        ConnState::Dispatched => Drive::Idle,
-        ConnState::Writing { .. } => drive_write(conn),
+    let mut progressed = false;
+    loop {
+        let step = match conn.state {
+            ConnState::Reading { .. } => drive_read(token, conn, ctx),
+            ConnState::Dispatched => Drive::Idle,
+            ConnState::Writing { .. } => drive_write(token, conn, ctx),
+        };
+        match step {
+            Drive::Progress => {
+                progressed = true;
+                // A state transition may leave more work doable right
+                // now (pipelined request buffered, response writable):
+                // keep going until the machine genuinely blocks.
+                if matches!(conn.state, ConnState::Dispatched) {
+                    return Drive::Progress;
+                }
+            }
+            Drive::Idle => {
+                return if progressed {
+                    Drive::Progress
+                } else {
+                    Drive::Idle
+                };
+            }
+            Drive::Close => return Drive::Close,
+        }
     }
 }
 
 fn drive_read(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
+    // A pipelined request may already be complete in the buffer from
+    // the previous drain — serve it before touching the socket.
+    if reading_complete(conn) {
+        dispatch(token, conn, ctx);
+        return Drive::Progress;
+    }
     let mut progressed = false;
     loop {
         let mut chunk = [0u8; 8192];
         match conn.stream.read(&mut chunk) {
             // EOF: the client finished (or gave up) — finalize with
             // whatever arrived. The parser decides between a request,
-            // a 400, or nothing to say.
+            // a 400, or nothing to say; a clean between-requests close
+            // deserves silence, not an error.
             Ok(0) => {
+                conn.saw_eof = true;
+                let empty = matches!(&conn.state, ConnState::Reading { buf, .. } if buf.is_empty());
+                if empty {
+                    return Drive::Close;
+                }
                 dispatch(token, conn, ctx);
                 return Drive::Progress;
             }
             Ok(n) => {
                 progressed = true;
+                // First bytes of a fresh keep-alive request: the idle
+                // deadline becomes a read deadline — the client now
+                // owes us a complete request.
+                let was_idle = conn.idle_between_requests();
+                if was_idle {
+                    conn.started = Instant::now();
+                    conn.deadline = Some(Instant::now() + ctx.config.read_timeout);
+                }
                 if accumulate(conn, &chunk[..n]) {
                     dispatch(token, conn, ctx);
                     return Drive::Progress;
@@ -387,6 +591,11 @@ fn drive_read(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
     } else {
         Drive::Idle
     }
+}
+
+/// Whether the `Reading` buffer already holds a complete request.
+fn reading_complete(conn: &mut Conn) -> bool {
+    matches!(conn.state, ConnState::Reading { .. }) && accumulate(conn, &[])
 }
 
 /// Extends the read buffer and re-evaluates completeness. Returns true
@@ -425,53 +634,81 @@ fn accumulate(conn: &mut Conn, bytes: &[u8]) -> bool {
 }
 
 /// Moves a connection to `Dispatched` and hands its buffered request to
-/// the worker pool. On a saturated pool the event thread sheds load
-/// itself with a 503.
+/// the worker pool; bytes pipelined beyond the request stay behind for
+/// the next round. On a saturated pool the event thread sheds load
+/// itself with a 503 that honours the connection's keep-alive.
 fn dispatch(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) {
-    let ConnState::Reading { buf, want, .. } =
-        std::mem::replace(&mut conn.state, ConnState::Dispatched)
+    let ConnState::Reading {
+        mut buf,
+        head_end,
+        want,
+    } = std::mem::replace(&mut conn.state, ConnState::Dispatched)
     else {
         return;
     };
     conn.deadline = None;
+    if conn.served > 0 {
+        ctx.metrics.keepalive_reuses.inc();
+    }
     let take = want.unwrap_or(buf.len()).min(buf.len());
-    let accepted_at = conn.accepted_at;
+    conn.pending = buf.split_off(take);
+    // The keep-alive offer this request is allowed: budget not yet
+    // exhausted by this request, and the client still able to send
+    // more (no half-close seen).
+    let allow_keep_alive = conn.served + 1 < ctx.config.keep_alive_requests.max(1) && !conn.saw_eof;
+    // The shed path answers without parsing, so its disposition comes
+    // from a head scan — computed now, before `buf` moves into the job.
+    let shed_keep_alive = allow_keep_alive
+        && head_end.is_some_and(|end| scan_wants_keep_alive(&buf[..end.min(buf.len())]));
+    let started = conn.started;
     let state = Arc::clone(ctx.state);
     let router = Arc::clone(ctx.router);
     let registry = ctx.metrics.registry.clone();
     let done = ctx.done_tx.clone();
+    let waker = ctx.waker.clone();
     let job = move || {
-        let payload = execute(&buf[..take], &state, &router, &registry, accepted_at).map(|r| {
-            let mut out = Vec::with_capacity(r.body.len() + 128);
-            let _ = r.write_to(&mut out);
-            out
-        });
+        let payload = execute(&buf, allow_keep_alive, &state, &router, &registry, started).map(
+            |(r, keep)| {
+                let mut out = Vec::with_capacity(r.body.len() + 128);
+                let _ = r.write_to_with(&mut out, keep);
+                (out, keep)
+            },
+        );
         let _ = done.send((token, payload));
+        // Poke the event loop out of `poll` — without this the
+        // response would wait for the next unrelated event or timeout.
+        waker.wake();
     };
     if let Err(PoolSaturated(job)) = ctx.pool.try_execute(job) {
         drop(job);
         ctx.metrics.rejected_busy.inc();
+        // The request was read and well-formed — shedding it must not
+        // cost the client its connection if keep-alive was negotiated.
         queue_response(
             conn,
             Response::error(StatusCode::ServiceUnavailable, "worker queue full")
                 .with_retry_after(crate::api::RETRY_AFTER_SECS),
+            shed_keep_alive,
             ctx.config.write_timeout,
         );
     }
 }
 
 /// Parses and routes one buffered request on a worker thread. Returns
-/// the response to write, or `None` when the connection deserves
-/// nothing (unreadable stream, panicking handler).
+/// the response to write plus the negotiated keep-alive disposition,
+/// or `None` when the connection deserves nothing (unreadable stream,
+/// panicking handler).
 fn execute(
     bytes: &[u8],
+    allow_keep_alive: bool,
     state: &AppState,
     router: &Router<AppState>,
     registry: &MetricsRegistry,
-    accepted_at: Instant,
-) -> Option<Response> {
+    started: Instant,
+) -> Option<(Response, bool)> {
     match Request::read_from(bytes) {
         Ok(request) => {
+            let keep = allow_keep_alive && request.wants_keep_alive();
             // A panicking handler must not take the worker down or leak
             // the connection: catch, drop the connection, keep serving.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -485,9 +722,9 @@ fn execute(
                         route.unwrap_or("unmatched"),
                         &response,
                         request.body.len(),
-                        accepted_at,
+                        started,
                     );
-                    Some(response)
+                    Some((response, keep))
                 }
                 Err(_) => {
                     eprintln!("crowdweb: connection handler panicked; worker recovered");
@@ -497,7 +734,9 @@ fn execute(
         }
         // Malformed head (InvalidData) or a body shorter than its
         // Content-Length (read_exact → UnexpectedEof): the client sent
-        // a broken request and deserves a 400, not a silent drop.
+        // a broken request and deserves a 400, not a silent drop. A
+        // broken request also forfeits its framing, so the connection
+        // always closes after the 400.
         Err(e)
             if matches!(
                 e.kind(),
@@ -510,21 +749,26 @@ fn execute(
                 e.to_string()
             };
             let response = Response::error(StatusCode::BadRequest, &message);
-            record_access(registry, "invalid", "unparsed", &response, 0, accepted_at);
-            Some(response)
+            record_access(registry, "invalid", "unparsed", &response, 0, started);
+            Some((response, false))
         }
         Err(_) => None,
     }
 }
 
-fn drive_write(conn: &mut Conn) -> Drive {
-    // Discard request bytes still arriving (a refused connection never
-    // had its request read): unread data at close would turn the FIN
-    // into a RST and destroy the response before the client reads it.
-    drain_input(&mut conn.stream);
-    let ConnState::Writing { buf, written } = &mut conn.state else {
+fn drive_write(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
+    let ConnState::Writing { buf, written, then } = &mut conn.state else {
         return Drive::Idle;
     };
+    let then = *then;
+    // A closing response never had (or no longer wants) its request
+    // stream read: discard arriving bytes so the close is a FIN, not a
+    // RST that would destroy the response before the client reads it.
+    // A keep-alive connection must NOT drain — those bytes are the
+    // client's next pipelined request.
+    if then == WriteThen::Close {
+        drain_input(&mut conn.stream);
+    }
     let mut progressed = false;
     while *written < buf.len() {
         match conn.stream.write(&buf[*written..]) {
@@ -544,14 +788,43 @@ fn drive_write(conn: &mut Conn) -> Drive {
             Err(_) => return Drive::Close,
         }
     }
-    // Response fully drained: `Connection: close` semantics.
     let _ = conn.stream.flush();
-    drain_input(&mut conn.stream);
-    Drive::Close
+    match then {
+        WriteThen::Close => {
+            drain_input(&mut conn.stream);
+            Drive::Close
+        }
+        WriteThen::Continue => {
+            // Response fully drained under keep-alive: back to Reading
+            // with whatever the client pipelined behind the request.
+            // The caller's drive loop immediately re-evaluates, so a
+            // buffered complete request dispatches without waiting for
+            // a poll event. `token` keeps the access path uniform.
+            let _ = token;
+            conn.served += 1;
+            conn.started = Instant::now();
+            let buffered = std::mem::take(&mut conn.pending);
+            let idle = buffered.is_empty();
+            conn.state = ConnState::Reading {
+                buf: buffered,
+                head_end: None,
+                want: None,
+            };
+            conn.deadline = Some(
+                Instant::now()
+                    + if idle {
+                        ctx.config.keep_alive_idle
+                    } else {
+                        ctx.config.read_timeout
+                    },
+            );
+            Drive::Progress
+        }
+    }
 }
 
 /// Reads and discards whatever is waiting on the socket (bounded per
-/// tick so an aggressive sender cannot pin the loop).
+/// call so an aggressive sender cannot pin the loop).
 fn drain_input(stream: &mut TcpStream) {
     let mut scratch = [0u8; 4096];
     for _ in 0..8 {
@@ -621,8 +894,9 @@ mod tests {
     #[test]
     fn execute_routes_complete_requests_and_records() {
         let (state, router, registry) = app();
-        let response = execute(
+        let (response, keep) = execute(
             b"GET /api/stats HTTP/1.1\r\nHost: t\r\n\r\n",
+            true,
             &state,
             &router,
             &registry,
@@ -630,6 +904,7 @@ mod tests {
         )
         .expect("well-formed request gets a response");
         assert_eq!(response.status.code(), 200);
+        assert!(keep, "an HTTP/1.1 request with budget left keeps alive");
         // The legacy spelling folds into the canonical v1 route label.
         assert_eq!(
             registry.counter_value(
@@ -645,10 +920,38 @@ mod tests {
     }
 
     #[test]
+    fn execute_negotiates_connection_disposition() {
+        let (state, router, registry) = app();
+        // Client asks to close: honoured even with budget left.
+        let (_, keep) = execute(
+            b"GET /api/stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+            true,
+            &state,
+            &router,
+            &registry,
+            Instant::now(),
+        )
+        .unwrap();
+        assert!(!keep);
+        // Budget exhausted: closed even though the client would stay.
+        let (_, keep) = execute(
+            b"GET /api/stats HTTP/1.1\r\n\r\n",
+            false,
+            &state,
+            &router,
+            &registry,
+            Instant::now(),
+        )
+        .unwrap();
+        assert!(!keep);
+    }
+
+    #[test]
     fn execute_maps_parser_errors_to_400() {
         let (state, router, registry) = app();
-        let response = execute(
+        let (response, keep) = execute(
             b"BREW /coffee HTCPCP/1.0\r\n\r\n",
+            true,
             &state,
             &router,
             &registry,
@@ -656,9 +959,11 @@ mod tests {
         )
         .expect("malformed request gets a 400");
         assert_eq!(response.status.code(), 400);
+        assert!(!keep, "a broken request forfeits its framing — close");
         // Truncated body keeps the dedicated message.
-        let response = execute(
+        let (response, _) = execute(
             b"POST /api/upload HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+            true,
             &state,
             &router,
             &registry,
@@ -682,8 +987,7 @@ mod tests {
         );
     }
 
-    #[test]
-    fn accumulate_tracks_head_and_body_completion() {
+    fn idle_conn() -> Conn {
         let stream = TcpStream::connect(
             std::net::TcpListener::bind("127.0.0.1:0")
                 .unwrap()
@@ -691,7 +995,12 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        let mut conn = Conn::new(stream, Duration::from_secs(1));
+        Conn::new(stream, Duration::from_secs(1))
+    }
+
+    #[test]
+    fn accumulate_tracks_head_and_body_completion() {
+        let mut conn = idle_conn();
         assert!(!accumulate(&mut conn, b"POST /x HTTP/1.1\r\nContent-"));
         assert!(!accumulate(&mut conn, b"Length: 5\r\n\r\n"));
         assert!(!accumulate(&mut conn, b"he"));
@@ -703,10 +1012,37 @@ mod tests {
     }
 
     #[test]
-    fn saturated_pool_503_advertises_retry_after() {
+    fn pipelined_bytes_stay_pending_after_dispatch() {
         let (state, router, registry) = app();
-        // One worker, one queue slot: park the worker on a channel and
-        // fill the slot, so the next dispatch must shed load.
+        let pool = WorkerPool::new(1, 8);
+        let (done_tx, _done_rx) = mpsc::channel::<Completion>();
+        let (waker, _wake_rx) = sys::wake_pair().unwrap();
+        let metrics = ReactorMetrics::new(registry);
+        let config = ReactorConfig::default();
+        let ctx = Ctx {
+            state: &state,
+            router: &router,
+            pool: &pool,
+            done_tx: &done_tx,
+            waker: &waker,
+            metrics: &metrics,
+            config: &config,
+        };
+        let mut conn = idle_conn();
+        // Two complete requests in one segment: only the first goes to
+        // the worker; the second waits in `pending`.
+        assert!(accumulate(
+            &mut conn,
+            b"GET /api/v1/stats HTTP/1.1\r\n\r\nGET /api/v1/healthz HTTP/1.1\r\n\r\n"
+        ));
+        dispatch(0, &mut conn, &ctx);
+        assert!(matches!(conn.state, ConnState::Dispatched));
+        assert_eq!(conn.pending, b"GET /api/v1/healthz HTTP/1.1\r\n\r\n");
+    }
+
+    /// Builds a deterministically saturated pool: one parked worker,
+    /// one filled queue slot. Returns the park release handle.
+    fn saturated_pool() -> (WorkerPool, mpsc::Sender<()>) {
         let pool = WorkerPool::new(1, 1);
         let (park_tx, park_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();
@@ -715,14 +1051,19 @@ mod tests {
             let _ = park_rx.recv();
         })
         .unwrap();
-        // Wait until the lone worker holds the parked job (queue now
-        // empty), then fill the single queue slot: saturation is
-        // deterministic from here.
         started_rx
             .recv_timeout(Duration::from_secs(5))
             .expect("worker picks up the parked job");
         pool.try_execute(|| {}).expect("queue slot is free");
+        (pool, park_tx)
+    }
+
+    #[test]
+    fn saturated_pool_503_advertises_retry_after_and_keeps_alive() {
+        let (state, router, registry) = app();
+        let (pool, park_tx) = saturated_pool();
         let (done_tx, _done_rx) = mpsc::channel::<Completion>();
+        let (waker, _wake_rx) = sys::wake_pair().unwrap();
         let metrics = ReactorMetrics::new(registry);
         let config = ReactorConfig::default();
         let ctx = Ctx {
@@ -730,15 +1071,14 @@ mod tests {
             router: &router,
             pool: &pool,
             done_tx: &done_tx,
+            waker: &waker,
             metrics: &metrics,
             config: &config,
         };
-        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
-        let mut conn = Conn::new(stream, Duration::from_secs(1));
+        let mut conn = idle_conn();
         assert!(accumulate(&mut conn, b"GET /api/v1/stats HTTP/1.1\r\n\r\n"));
         dispatch(0, &mut conn, &ctx);
-        let ConnState::Writing { buf, .. } = &conn.state else {
+        let ConnState::Writing { buf, then, .. } = &conn.state else {
             panic!("shed connection should be writing its 503");
         };
         let wire = String::from_utf8_lossy(buf);
@@ -746,14 +1086,66 @@ mod tests {
         assert!(wire.contains("worker queue full"), "{wire}");
         let head = &wire[..wire.find("\r\n\r\n").unwrap()];
         assert!(head.contains("Retry-After: 1"), "{head}");
+        // The shed request negotiated keep-alive (HTTP/1.1, budget
+        // left), so the 503 must not kill the client's pipeline.
+        assert_eq!(*then, WriteThen::Continue);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
         let _ = park_tx.send(());
     }
 
     #[test]
+    fn saturated_pool_503_honours_a_close_request() {
+        let (state, router, registry) = app();
+        let (pool, park_tx) = saturated_pool();
+        let (done_tx, _done_rx) = mpsc::channel::<Completion>();
+        let (waker, _wake_rx) = sys::wake_pair().unwrap();
+        let metrics = ReactorMetrics::new(registry);
+        let config = ReactorConfig::default();
+        let ctx = Ctx {
+            state: &state,
+            router: &router,
+            pool: &pool,
+            done_tx: &done_tx,
+            waker: &waker,
+            metrics: &metrics,
+            config: &config,
+        };
+        let mut conn = idle_conn();
+        assert!(accumulate(
+            &mut conn,
+            b"GET /api/v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n"
+        ));
+        dispatch(0, &mut conn, &ctx);
+        let ConnState::Writing { buf, then, .. } = &conn.state else {
+            panic!("shed connection should be writing its 503");
+        };
+        assert_eq!(*then, WriteThen::Close);
+        assert!(
+            String::from_utf8_lossy(buf).contains("Connection: close"),
+            "client asked to close; the shed 503 must agree"
+        );
+        let _ = park_tx.send(());
+    }
+
+    #[test]
+    fn over_cap_refusal_always_closes() {
+        let mut conn = idle_conn();
+        queue_response(
+            &mut conn,
+            Response::error(StatusCode::ServiceUnavailable, "connection limit reached"),
+            false,
+            Duration::from_secs(1),
+        );
+        let ConnState::Writing { buf, then, .. } = &conn.state else {
+            panic!("refusal should be queued");
+        };
+        assert_eq!(*then, WriteThen::Close);
+        assert!(String::from_utf8_lossy(buf).contains("Connection: close"));
+    }
+
+    #[test]
     fn accumulate_finalizes_untrustworthy_heads_without_waiting() {
-        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
-        let mut conn = Conn::new(stream, Duration::from_secs(1));
+        let mut conn = idle_conn();
         // Conflicting Content-Length: complete immediately (no body
         // wait), so the parser can answer 400 now.
         assert!(accumulate(

@@ -84,6 +84,21 @@ impl Server {
         self
     }
 
+    /// Sets the keep-alive request budget (default 100, minimum 1):
+    /// how many requests one connection may carry before the server
+    /// closes it. The final response says `Connection: close`.
+    pub fn keep_alive_requests(mut self, budget: u32) -> Server {
+        self.config.keep_alive_requests = budget.max(1);
+        self
+    }
+
+    /// Sets the keep-alive idle deadline (default 5 s): how long a
+    /// connection may sit quiet between requests before being reaped.
+    pub fn keep_alive_idle(mut self, idle: Duration) -> Server {
+        self.config.keep_alive_idle = idle;
+        self
+    }
+
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.listener
@@ -153,7 +168,12 @@ mod tests {
 
     fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        // This helper frames by EOF, so it must opt out of keep-alive.
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
         let code: u16 = buf

@@ -1,0 +1,316 @@
+//! Keep-alive semantics over real TCP: pipelining, budgets, idle
+//! reaping, and deferred writes — the behaviours ISSUE 8 promises.
+
+use crowdweb_server::{AppState, Server};
+use crowdweb_synth::SynthConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn spawn(configure: impl FnOnce(Server) -> Server) -> (SocketAddr, crowdweb_obs::MetricsRegistry) {
+    let dataset = SynthConfig::small(81).users(10).generate().unwrap();
+    let state = AppState::build(dataset, 10).unwrap();
+    let metrics = state.metrics().clone();
+    let server = configure(Server::bind("127.0.0.1:0", state).unwrap());
+    let (addr, _handle, _join) = server.spawn();
+    (addr, metrics)
+}
+
+/// Reads exactly one HTTP/1.1 response (status line + headers +
+/// `Content-Length` body) off a stream that stays open. Returns
+/// (status, headers, body).
+fn read_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("response head readable");
+        assert!(n > 0, "connection closed mid-head: {head:?}");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).unwrap();
+    let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().unwrap())
+        })
+        .expect("every response declares Content-Length");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("body readable");
+    (status, head, body)
+}
+
+fn connection_header(head: &str) -> String {
+    head.lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("connection")
+                .then(|| value.trim().to_ascii_lowercase())
+        })
+        .expect("every response states its connection disposition")
+}
+
+#[test]
+fn two_pipelined_requests_in_one_segment_answered_in_order() {
+    let (addr, metrics) = spawn(|s| s);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Both requests in a single write — the second must wait buffered
+    // while the first is in flight, then be answered on the same
+    // connection, in order.
+    stream
+        .write_all(
+            b"GET /api/v1/stats HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /api/v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n",
+        )
+        .unwrap();
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(connection_header(&head), "keep-alive");
+    assert!(
+        String::from_utf8_lossy(&body).contains("total_checkins"),
+        "first response must answer the first (stats) request"
+    );
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(connection_header(&head), "keep-alive");
+    assert!(
+        String::from_utf8_lossy(&body).contains("\"ok\""),
+        "second response must answer the second (healthz) request: {}",
+        String::from_utf8_lossy(&body)
+    );
+    assert_eq!(
+        metrics.counter_value("crowdweb_server_keepalive_reuses_total", &[]),
+        Some(1),
+        "the second pipelined request is one connection reuse"
+    );
+}
+
+#[test]
+fn sequential_requests_reuse_one_connection() {
+    let (addr, metrics) = spawn(|s| s);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for i in 0..5 {
+        stream
+            .write_all(b"GET /api/v1/stats HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, head, _) = read_response(&mut stream);
+        assert_eq!(status, 200, "request {i}");
+        assert_eq!(connection_header(&head), "keep-alive", "request {i}");
+    }
+    assert_eq!(
+        metrics.counter_value("crowdweb_server_keepalive_reuses_total", &[]),
+        Some(4),
+        "five requests on one connection = four reuses"
+    );
+}
+
+#[test]
+fn budget_exhaustion_closes_with_connection_close_on_last_response() {
+    let (addr, _metrics) = spawn(|s| s.keep_alive_requests(3));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for i in 0..3 {
+        stream
+            .write_all(b"GET /api/v1/stats HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, head, _) = read_response(&mut stream);
+        assert_eq!(status, 200, "request {i}");
+        let expect = if i < 2 { "keep-alive" } else { "close" };
+        assert_eq!(
+            connection_header(&head),
+            expect,
+            "request {i} of a 3-request budget"
+        );
+    }
+    // And the server actually hangs up: the next read is EOF.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "no bytes may follow the budget-final response"
+    );
+}
+
+#[test]
+fn idle_keep_alive_connection_is_reaped_and_counted() {
+    let (addr, metrics) = spawn(|s| s.keep_alive_idle(Duration::from_millis(200)));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /api/v1/stats HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(connection_header(&head), "keep-alive");
+    // Sit quiet past the idle deadline: the server closes (EOF, not a
+    // response) and counts the reap as housekeeping, not misbehaviour.
+    let started = Instant::now();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "an idle reap sends nothing: {rest:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "reap took {:?}, idle deadline was 200ms",
+        started.elapsed()
+    );
+    assert_eq!(
+        metrics.counter_value("crowdweb_server_keepalive_reaped_total", &[]),
+        Some(1)
+    );
+    assert_eq!(
+        metrics.counter_value("crowdweb_http_timeouts_total", &[]),
+        Some(0),
+        "an idle reap is not a read timeout"
+    );
+}
+
+#[test]
+fn half_sent_request_on_a_reused_connection_is_reaped_as_misbehaviour() {
+    let (addr, metrics) = spawn(|s| {
+        s.read_timeout(Duration::from_millis(300))
+            .keep_alive_idle(Duration::from_secs(30))
+    });
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /api/v1/stats HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    // Start a second request and stall halfway through the head. The
+    // long idle deadline no longer applies — first bytes arm the read
+    // deadline, and the stall is counted as a timeout, answered with
+    // nothing.
+    stream
+        .write_all(b"GET /api/v1/stats HTTP/1.1\r\nX-Stall:")
+        .unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "a timed-out request gets no bytes");
+    assert_eq!(
+        metrics.counter_value("crowdweb_http_timeouts_total", &[]),
+        Some(1),
+        "a half-sent request is client misbehaviour, not housekeeping"
+    );
+    assert_eq!(
+        metrics.counter_value("crowdweb_server_keepalive_reaped_total", &[]),
+        Some(0)
+    );
+}
+
+#[test]
+fn http_1_0_and_connection_close_requests_still_close() {
+    let (addr, _metrics) = spawn(|s| s);
+    // HTTP/1.0 without a Connection header: close by default.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /api/stats HTTP/1.0\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+    assert!(buf.contains("Connection: close"), "{buf}");
+    // HTTP/1.1 asking to close: honoured.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /api/stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+    assert!(buf.contains("Connection: close"), "{buf}");
+}
+
+#[test]
+fn deferred_write_completes_without_waiting_out_an_idle_interval() {
+    // Regression for the idle-tick floor: more response bytes than the
+    // stalled client's receive window plus the server's send buffer
+    // force the server into deferred (would-block) writes; with poll
+    // the continuation rides POLLOUT, so total time is bounded by
+    // bandwidth, not tick count. The old reactor paid a 500µs park per
+    // deferred chunk.
+    const BURST: usize = 1024;
+    let (addr, metrics) = spawn(|s| s.keep_alive_requests(BURST as u32 + 1));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // ~6.5KB of frontend page per request, pipelined and unread: more
+    // response bytes than the kernel will buffer for a stalled reader
+    // (tcp_wmem caps the send side at 4MB on this box), so the server
+    // must hit WouldBlock and park the connection on POLLOUT.
+    let burst = "GET / HTTP/1.1\r\nHost: t\r\n\r\n".repeat(BURST);
+    stream.write_all(burst.as_bytes()).unwrap();
+    // While the client refuses to read, the server must be parked on
+    // POLLOUT with exactly one deferred write — not spinning, not
+    // dropping the connection.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        metrics.gauge_value("crowdweb_server_deferred_writes", &[]),
+        Some(1),
+        "an unread pipelined burst must leave one connection deferred"
+    );
+    // Once the client drains, the whole burst completes at loopback
+    // bandwidth; a generous bound still catches any per-chunk park.
+    let started = Instant::now();
+    for i in 0..BURST {
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "response {i}");
+        assert_eq!(connection_header(&head), "keep-alive", "response {i}");
+        assert!(body.len() > 4 * 1024, "response {i} truncated");
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "draining {BURST} deferred responses took {elapsed:?} — write \
+         continuation is waiting on something other than POLLOUT"
+    );
+    assert_eq!(
+        metrics.gauge_value("crowdweb_server_deferred_writes", &[]),
+        Some(0),
+        "nothing left deferred after the drain"
+    );
+}
+
+#[test]
+fn pipelined_burst_is_answered_completely_and_in_order() {
+    // A heavier pipelining check: N requests with distinguishable
+    // responses, written in one burst, must come back as N in-order
+    // responses on one connection.
+    let (addr, _metrics) = spawn(|s| s.keep_alive_requests(64));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let paths = ["/api/v1/stats", "/api/v1/healthz", "/api/v1/users?limit=1"];
+    let mut burst = String::new();
+    for round in 0..4 {
+        let path = paths[round % paths.len()];
+        burst.push_str(&format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"));
+    }
+    stream.write_all(burst.as_bytes()).unwrap();
+    let markers = ["total_checkins", "\"ok\"", "\"items\"", "total_checkins"];
+    for (i, marker) in markers.iter().enumerate() {
+        let (status, _, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "response {i}");
+        assert!(
+            String::from_utf8_lossy(&body).contains(marker),
+            "response {i} out of order: expected {marker}, got {}",
+            String::from_utf8_lossy(&body)
+        );
+    }
+}

@@ -32,10 +32,37 @@ cargo test -q -p crowdweb-server
 # The evented-loop guarantee must hold explicitly: slow-drip clients
 # cannot block a fast one.
 cargo test -q -p crowdweb-server slow_drip
+# Keep-alive semantics, pipelining included, end to end over TCP.
+cargo test -q -p crowdweb-server --test keep_alive
+cargo test -q -p crowdweb-server --test keep_alive two_pipelined
 grep -q '/api/healthz' README.md || {
     echo "README.md must document the /api/healthz endpoint" >&2
     exit 1
 }
+for tunable in keep_alive_requests keep_alive_idle; do
+    grep -qF "$tunable" README.md || {
+        echo "README.md must document the $tunable tunable" >&2
+        exit 1
+    }
+done
+
+echo "== connection scaling spot check (10k keep-alive sockets) =="
+# The bench splits client and server across two processes, so ~10k fds
+# per process suffice for the 10k-connection gate. Skip gracefully
+# where the fd limit cannot reach that.
+if ulimit -n 16384 2>/dev/null || [ "$(ulimit -n)" -ge 16384 ]; then
+    CROWDWEB_SCALE_ONLY=1 cargo bench -q -p crowdweb-bench --bench connection_scaling
+    awk -F'\t' '
+        /^10000\t/ {
+            found = 1
+            if ($3 >= 1000) { print "10k-conn p50 dispatch " $3 "us >= 1ms" > "/dev/stderr"; exit 1 }
+            if ($7 < 10000) { print "server held only " $7 " connections" > "/dev/stderr"; exit 1 }
+        }
+        END { if (!found) { print "no 10000-connection row in connection_scaling.tsv" > "/dev/stderr"; exit 1 } }
+    ' crates/bench/out/connection_scaling.tsv
+else
+    echo "skipped: cannot raise ulimit -n to 16384 (current: $(ulimit -n))"
+fi
 
 echo "== epoch history gate =="
 # Time travel must stay byte-identical to cold rebuilds, end to end.

@@ -35,7 +35,11 @@ fn request(raw: String) -> (u16, String) {
 }
 
 fn get(path: &str) -> (u16, String) {
-    request(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    // One connection per request, framed by EOF — so opt out of the
+    // server's default keep-alive.
+    request(format!(
+        "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    ))
 }
 
 #[test]
@@ -128,7 +132,7 @@ fn visitor_upload_end_to_end() {
         ));
     }
     let (code, body) = request(format!(
-        "POST /api/upload HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{tsv}",
+        "POST /api/upload HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{tsv}",
         tsv.len()
     ));
     assert_eq!(code, 200);
@@ -196,10 +200,14 @@ fn time_travel_replays_the_live_crowd_byte_identically_over_tcp() {
             .unwrap_or(0);
         (code, buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned())
     };
-    let get = |path: &str| send(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"));
+    let get = |path: &str| {
+        send(format!(
+            "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        ))
+    };
     let post = |path: &str, body: &str| {
         send(format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ))
     };
