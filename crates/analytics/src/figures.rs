@@ -153,7 +153,7 @@ pub struct CrowdRow {
     /// Window label, e.g. `"9-10 am"`.
     pub window: String,
     /// Cell id.
-    pub cell: u32,
+    pub cell: u64,
     /// Users in the cell.
     pub users: usize,
 }

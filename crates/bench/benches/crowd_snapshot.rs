@@ -18,12 +18,12 @@ fn bench(c: &mut Criterion) {
     for r in &rows {
         println!("{:>10}  {:>8}  {:>6}", r.window, r.cell, r.users);
     }
-    let morning: Vec<u32> = rows
+    let morning: Vec<u64> = rows
         .iter()
         .filter(|r| r.window == "9-10 am")
         .map(|r| r.cell)
         .collect();
-    let evening: Vec<u32> = rows
+    let evening: Vec<u64> = rows
         .iter()
         .filter(|r| r.window == "7-8 pm")
         .map(|r| r.cell)

@@ -147,7 +147,7 @@ mod tests {
     use crowdweb_prep::PlaceLabel;
     use std::collections::BTreeMap;
 
-    fn snapshot(hour: u8, cells: &[(u32, usize)]) -> CrowdSnapshot {
+    fn snapshot(hour: u8, cells: &[(u64, usize)]) -> CrowdSnapshot {
         CrowdSnapshot {
             window: TimeWindow::new(hour, hour + 1).unwrap(),
             cells: cells.iter().map(|&(c, n)| (CellId(c), n)).collect(),

@@ -160,7 +160,7 @@ mod tests {
     use crowdweb_geo::{BoundingBox, MicrocellGrid};
     use crowdweb_prep::PlaceLabel;
 
-    fn placement(user: u32, window: usize, cell: u32) -> Placement {
+    fn placement(user: u32, window: usize, cell: u64) -> Placement {
         Placement {
             user: UserId::new(user),
             window,
@@ -179,13 +179,13 @@ mod tests {
             placements.push(placement(u, 9, 5));
         }
         for u in 6..10 {
-            placements.push(placement(u, 9, u - 5));
+            placements.push(placement(u, 9, u64::from(u - 5)));
         }
         for u in 0..5 {
             placements.push(placement(u, 10, 5));
         }
         for u in 6..9 {
-            placements.push(placement(u, 10, u - 5));
+            placements.push(placement(u, 10, u64::from(u - 5)));
         }
         CrowdModel::new(
             MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap(),
@@ -223,7 +223,7 @@ mod tests {
     fn uniform_crowd_has_no_hotspots() {
         // Every occupied cell holds exactly one user: std = 0, no cell
         // exceeds the mean.
-        let placements: Vec<Placement> = (0..5).map(|u| placement(u, 9, u)).collect();
+        let placements: Vec<Placement> = (0..5).map(|u| placement(u, 9, u64::from(u))).collect();
         let m = CrowdModel::new(
             MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap(),
             TimeWindows::hourly(),

@@ -2,7 +2,7 @@
 
 use crate::{CrowdError, Placement, TimeWindow, TimeWindows};
 use crowdweb_dataset::UserId;
-use crowdweb_geo::{CellId, MicrocellGrid};
+use crowdweb_geo::{CellId, CellStore, MicrocellGrid};
 use crowdweb_prep::PlaceLabel;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -137,15 +137,19 @@ impl CrowdModel {
             .windows
             .get(index)
             .ok_or(CrowdError::WindowOutOfRange(index))?;
-        let mut cells: BTreeMap<CellId, usize> = BTreeMap::new();
+        // Aggregate through a CellStore: dense for display-sized grids,
+        // sparse (priced by occupancy) for sub-meter/huge extents. Both
+        // yield the same ascending-CellId order, so the snapshot is
+        // byte-identical regardless of the backing.
+        let mut cells = CellStore::for_grid(&self.grid);
         let mut labels: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
         for p in self.placements.iter().filter(|p| p.window == index) {
-            *cells.entry(p.cell).or_insert(0) += 1;
+            cells.add(p.cell, 1);
             *labels.entry(p.label).or_insert(0) += 1;
         }
         Ok(CrowdSnapshot {
             window,
-            cells,
+            cells: cells.into_sorted().into_iter().collect(),
             labels,
         })
     }
@@ -173,19 +177,19 @@ impl CrowdModel {
             .windows
             .get(index)
             .ok_or(CrowdError::WindowOutOfRange(index))?;
-        let mut cells: BTreeMap<CellId, usize> = BTreeMap::new();
+        let mut cells = CellStore::for_grid(&self.grid);
         let mut labels: BTreeMap<PlaceLabel, usize> = BTreeMap::new();
         for p in self
             .placements
             .iter()
             .filter(|p| p.window == index && p.label == label)
         {
-            *cells.entry(p.cell).or_insert(0) += 1;
+            cells.add(p.cell, 1);
             *labels.entry(p.label).or_insert(0) += 1;
         }
         Ok(CrowdSnapshot {
             window,
-            cells,
+            cells: cells.into_sorted().into_iter().collect(),
             labels,
         })
     }
@@ -250,7 +254,7 @@ mod tests {
         MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap()
     }
 
-    fn placement(user: u32, window: usize, cell: u32) -> Placement {
+    fn placement(user: u32, window: usize, cell: u64) -> Placement {
         Placement {
             user: UserId::new(user),
             window,
@@ -368,6 +372,46 @@ mod tests {
         assert_eq!(frames.len(), 24);
         let total: usize = frames.iter().map(CrowdSnapshot::total_users).sum();
         assert_eq!(total, m.total_appearances());
+    }
+
+    #[test]
+    fn snapshot_works_on_formerly_too_large_grids() {
+        // 2^16 x 2^16 = 2^32 cells used to be GridTooLarge; the sparse
+        // store aggregates it with memory proportional to occupancy.
+        let g = MicrocellGrid::new(BoundingBox::NYC, 1 << 16, 1 << 16).unwrap();
+        let far = g.len() - 2;
+        let m = CrowdModel::new(
+            g,
+            TimeWindows::hourly(),
+            vec![placement(1, 9, 5), placement(2, 9, far), placement(3, 9, 5)],
+        );
+        let s = m.snapshot(9).unwrap();
+        assert_eq!(s.cells[&CellId(5)], 2);
+        assert_eq!(s.cells[&CellId(far)], 1);
+        assert_eq!(s.occupied_cell_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_identical_under_dense_and_sparse_backings() {
+        // The same placements aggregated on a dense-backed grid and on
+        // a sparse-backed grid (same extent, huge dims scaled) must
+        // produce identical cell maps when the ids coincide.
+        let dense_grid = MicrocellGrid::new(BoundingBox::NYC, 16, 16).unwrap();
+        let placements = vec![
+            placement(1, 9, 5),
+            placement(2, 9, 5),
+            placement(3, 9, 200),
+            placement(4, 9, 255),
+        ];
+        let dense_model = CrowdModel::new(dense_grid, TimeWindows::hourly(), placements.clone());
+        // Force the sparse path by making the grid exceed DENSE_LIMIT
+        // while keeping all placement ids valid.
+        let sparse_grid = MicrocellGrid::new(BoundingBox::NYC, 1 << 13, 1 << 13).unwrap();
+        let sparse_model = CrowdModel::new(sparse_grid, TimeWindows::hourly(), placements);
+        let d = dense_model.snapshot(9).unwrap();
+        let s = sparse_model.snapshot(9).unwrap();
+        assert_eq!(d.cells, s.cells);
+        assert_eq!(d.labels, s.labels);
     }
 
     #[test]

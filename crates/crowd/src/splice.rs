@@ -195,7 +195,7 @@ mod tests {
         MicrocellGrid::new(BoundingBox::NYC, 4, 4).unwrap()
     }
 
-    fn placement(user: u32, window: usize, cell: u32) -> Placement {
+    fn placement(user: u32, window: usize, cell: u64) -> Placement {
         Placement {
             user: UserId::new(user),
             window,

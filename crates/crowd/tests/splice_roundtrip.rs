@@ -26,7 +26,7 @@ fn model_from(raw: &[(u32, usize, u32)]) -> CrowdModel {
             label: PlaceLabel(seed % 5),
             support: 1 + seed as usize % 7,
             venue: VenueId::new(seed),
-            cell: CellId(seed % 16),
+            cell: CellId(u64::from(seed % 16)),
         })
         .collect();
     CrowdModel::new(

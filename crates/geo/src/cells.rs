@@ -1,0 +1,322 @@
+//! Per-cell count storage with dense and sparse backings.
+//!
+//! A [`crate::MicrocellGrid`] is pure coordinate math — it can address
+//! `u32::MAX × u32::MAX` cells without allocating. Anything that keeps a
+//! *count per cell* needs real storage, and allocating one slot per cell
+//! stops working the moment grids outgrow the old 2²⁴ dense cap (a
+//! 10 cm grid over NYC has ~2.4 × 10¹¹ cells, almost all of them empty
+//! ocean and rooftop). [`CellStore`] abstracts over the two layouts:
+//!
+//! - **Dense** — a `Vec<usize>` indexed by the row-major [`CellId`].
+//!   Fastest for small display grids where most cells are occupied.
+//! - **Sparse** — a `HashMap<u64, usize>` keyed by the row-major index,
+//!   sized by *occupancy* instead of extent. Sub-meter resolutions and
+//!   continent-scale extents cost only as much as the cells actually
+//!   touched.
+//!
+//! The key is the row-major `CellId` index rather than a quadkey
+//! ([`crate::TileCoord`] has the quadkey math): both identify a cell
+//! uniquely, but row-major keys are already what the rest of the
+//! pipeline speaks, sort in the same order the dense layout iterates,
+//! and need no zoom parameter. Hierarchical aggregation can still derive
+//! quadkeys from `(row, col)` on demand.
+//!
+//! # Determinism
+//!
+//! Iteration order is pinned: [`CellStore::into_sorted`] yields occupied
+//! cells in ascending [`CellId`] order and omits zero counts, so a
+//! snapshot built over a sparse store is byte-identical to one built
+//! over a dense store, cell for cell.
+//!
+//! ```
+//! use crowdweb_geo::{cells::CellStore, BoundingBox, CellId, MicrocellGrid};
+//!
+//! # fn main() -> Result<(), crowdweb_geo::GeoError> {
+//! // A grid far beyond the old dense cap: 2^32 cells.
+//! let grid = MicrocellGrid::new(BoundingBox::NYC, 1 << 16, 1 << 16)?;
+//! let mut store = CellStore::for_grid(&grid); // picks sparse
+//! store.add(CellId(7), 2);
+//! store.add(CellId(4_000_000_000), 1);
+//! store.add(CellId(7), 1);
+//! assert_eq!(
+//!     store.into_sorted(),
+//!     vec![(CellId(7), 3), (CellId(4_000_000_000), 1)]
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{CellId, GeoError, MicrocellGrid};
+use std::collections::HashMap;
+
+/// Per-cell counts over a grid, backed densely or sparsely.
+///
+/// Build with [`CellStore::for_grid`] (auto-picks the backing by grid
+/// size), or force a layout with [`CellStore::dense`] /
+/// [`CellStore::sparse`]. Both backings expose identical semantics and
+/// the same pinned [`CellStore::into_sorted`] order.
+#[derive(Debug, Clone)]
+pub struct CellStore {
+    /// Total addressable cells (`grid.len()` at construction).
+    cells: u64,
+    backing: Backing,
+}
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Dense(Vec<usize>),
+    Sparse(HashMap<u64, usize>),
+}
+
+impl CellStore {
+    /// Largest grid a dense store will allocate for (2²⁴ cells — one
+    /// `usize` slot each, 128 MiB on 64-bit). This is the old
+    /// `MicrocellGrid::MAX_CELLS` cap, demoted from a grid-construction
+    /// error to a storage-layout choice.
+    pub const DENSE_LIMIT: u64 = 1 << 24;
+
+    /// A store for `grid`, dense when the grid has at most
+    /// [`Self::DENSE_LIMIT`] cells and sparse beyond that.
+    pub fn for_grid(grid: &MicrocellGrid) -> Self {
+        if grid.len() <= Self::DENSE_LIMIT {
+            Self::dense(grid).expect("len <= DENSE_LIMIT admits a dense store")
+        } else {
+            Self::sparse(grid)
+        }
+    }
+
+    /// A dense store (one slot per cell) for `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::GridTooLarge`] if the grid has more than
+    /// [`Self::DENSE_LIMIT`] cells — use [`Self::sparse`] or
+    /// [`Self::for_grid`] there.
+    pub fn dense(grid: &MicrocellGrid) -> Result<Self, GeoError> {
+        let cells = grid.len();
+        if cells > Self::DENSE_LIMIT {
+            return Err(GeoError::GridTooLarge {
+                rows: grid.rows(),
+                cols: grid.cols(),
+            });
+        }
+        Ok(CellStore {
+            cells,
+            backing: Backing::Dense(vec![0; cells as usize]),
+        })
+    }
+
+    /// A sparse store (hash-indexed by row-major id) for `grid`. Costs
+    /// memory proportional to *occupied* cells, not grid extent.
+    pub fn sparse(grid: &MicrocellGrid) -> Self {
+        CellStore {
+            cells: grid.len(),
+            backing: Backing::Sparse(HashMap::new()),
+        }
+    }
+
+    /// Whether this store uses the dense backing.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.backing, Backing::Dense(_))
+    }
+
+    /// Adds `n` to the count of `cell` (saturating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range for the grid the store was built
+    /// for — out-of-range ids are a logic error, and both backings must
+    /// reject them identically to keep dense/sparse interchangeable.
+    pub fn add(&mut self, cell: CellId, n: usize) {
+        assert!(
+            cell.0 < self.cells,
+            "{cell} is out of range for a store of {} cells",
+            self.cells
+        );
+        if n == 0 {
+            return;
+        }
+        match &mut self.backing {
+            Backing::Dense(counts) => {
+                let slot = &mut counts[cell.0 as usize];
+                *slot = slot.saturating_add(n);
+            }
+            Backing::Sparse(counts) => {
+                let slot = counts.entry(cell.0).or_insert(0);
+                *slot = slot.saturating_add(n);
+            }
+        }
+    }
+
+    /// The count stored for `cell` (zero when never added, or out of
+    /// range).
+    pub fn get(&self, cell: CellId) -> usize {
+        if cell.0 >= self.cells {
+            return 0;
+        }
+        match &self.backing {
+            Backing::Dense(counts) => counts[cell.0 as usize],
+            Backing::Sparse(counts) => counts.get(&cell.0).copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of cells with a nonzero count.
+    pub fn occupied(&self) -> usize {
+        match &self.backing {
+            Backing::Dense(counts) => counts.iter().filter(|&&c| c > 0).count(),
+            Backing::Sparse(counts) => counts.values().filter(|&&c| c > 0).count(),
+        }
+    }
+
+    /// Whether no cell has a nonzero count.
+    pub fn is_empty(&self) -> bool {
+        self.occupied() == 0
+    }
+
+    /// Consumes the store, yielding `(cell, count)` for every occupied
+    /// cell in **ascending [`CellId`] order**, zero counts omitted.
+    ///
+    /// This order is the determinism contract: dense and sparse stores
+    /// with the same contents produce the same vector, byte for byte,
+    /// so everything downstream (snapshots, deltas, serialized maps) is
+    /// independent of the storage layout.
+    pub fn into_sorted(self) -> Vec<(CellId, usize)> {
+        match self.backing {
+            Backing::Dense(counts) => counts
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .map(|(i, c)| (CellId(i as u64), c))
+                .collect(),
+            Backing::Sparse(counts) => {
+                let mut out: Vec<(CellId, usize)> = counts
+                    .into_iter()
+                    .filter(|&(_, c)| c > 0)
+                    .map(|(i, c)| (CellId(i), c))
+                    .collect();
+                out.sort_unstable_by_key(|&(cell, _)| cell);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoundingBox;
+    use proptest::prelude::*;
+
+    fn small_grid() -> MicrocellGrid {
+        MicrocellGrid::new(BoundingBox::NYC, 8, 12).unwrap()
+    }
+
+    fn huge_grid() -> MicrocellGrid {
+        MicrocellGrid::new(BoundingBox::NYC, 1 << 16, 1 << 16).unwrap()
+    }
+
+    #[test]
+    fn for_grid_picks_dense_for_small_and_sparse_for_huge() {
+        assert!(CellStore::for_grid(&small_grid()).is_dense());
+        assert!(!CellStore::for_grid(&huge_grid()).is_dense());
+    }
+
+    #[test]
+    fn dense_refuses_grids_beyond_the_limit() {
+        let err = CellStore::dense(&huge_grid()).unwrap_err();
+        assert!(matches!(err, GeoError::GridTooLarge { .. }));
+    }
+
+    #[test]
+    fn sparse_handles_former_overflow_extents() {
+        // 2^32 cells: the old dense-only design returned GridTooLarge
+        // at grid construction. Sparse storage costs only occupancy.
+        let g = huge_grid();
+        let mut store = CellStore::sparse(&g);
+        let far = CellId(g.len() - 1);
+        store.add(far, 3);
+        store.add(CellId(0), 1);
+        assert_eq!(store.get(far), 3);
+        assert_eq!(store.occupied(), 2);
+        assert_eq!(store.into_sorted(), vec![(CellId(0), 1), (far, 3)]);
+    }
+
+    #[test]
+    fn add_accumulates_and_zero_is_a_noop() {
+        let mut store = CellStore::for_grid(&small_grid());
+        store.add(CellId(5), 2);
+        store.add(CellId(5), 0);
+        store.add(CellId(5), 3);
+        assert_eq!(store.get(CellId(5)), 5);
+        assert_eq!(store.occupied(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dense_rejects_out_of_range_ids() {
+        let mut store = CellStore::dense(&small_grid()).unwrap();
+        store.add(CellId(10_000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sparse_rejects_out_of_range_ids() {
+        let mut store = CellStore::sparse(&small_grid());
+        store.add(CellId(10_000), 1);
+    }
+
+    #[test]
+    fn out_of_range_get_is_zero() {
+        let store = CellStore::for_grid(&small_grid());
+        assert_eq!(store.get(CellId(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn empty_store_reports_empty() {
+        let store = CellStore::for_grid(&small_grid());
+        assert!(store.is_empty());
+        assert!(store.into_sorted().is_empty());
+    }
+
+    proptest! {
+        /// The equivalence contract: for random grid shapes and random
+        /// placements, a dense and a sparse store fed the same adds
+        /// produce identical sorted contents.
+        #[test]
+        fn prop_dense_and_sparse_agree(
+            rows in 1u32..64,
+            cols in 1u32..64,
+            adds in proptest::collection::vec((0u64..4096, 1usize..5), 0..64),
+        ) {
+            let g = MicrocellGrid::new(BoundingBox::NYC, rows, cols).unwrap();
+            let mut dense = CellStore::dense(&g).unwrap();
+            let mut sparse = CellStore::sparse(&g);
+            for &(raw, n) in &adds {
+                let cell = CellId(raw % g.len());
+                dense.add(cell, n);
+                sparse.add(cell, n);
+            }
+            prop_assert_eq!(dense.occupied(), sparse.occupied());
+            prop_assert_eq!(dense.into_sorted(), sparse.into_sorted());
+        }
+
+        /// Placements derived from random points and cell sizes agree
+        /// between backings too (exercises the grid math path, not just
+        /// raw ids).
+        #[test]
+        fn prop_point_placements_agree(
+            cell_size in 50.0f64..5_000.0,
+            points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..48),
+        ) {
+            let g = MicrocellGrid::with_cell_size(BoundingBox::NYC, cell_size).unwrap();
+            let mut dense = CellStore::dense(&g).unwrap();
+            let mut sparse = CellStore::sparse(&g);
+            for &(fx, fy) in &points {
+                let cell = g.cell_of(g.bounds().lerp(fx, fy)).unwrap();
+                dense.add(cell, 1);
+                sparse.add(cell, 1);
+            }
+            prop_assert_eq!(dense.into_sorted(), sparse.into_sorted());
+        }
+    }
+}

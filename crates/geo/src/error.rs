@@ -27,8 +27,10 @@ pub enum GeoError {
     },
     /// Grid construction with zero rows or columns.
     EmptyGrid,
-    /// Grid construction whose total cell count exceeds
-    /// [`crate::MicrocellGrid::MAX_CELLS`] (or overflows `u32`).
+    /// Grid or cell-store construction beyond a supported limit: more
+    /// than [`crate::MicrocellGrid::MAX_SIDE`] rows or columns on a
+    /// side, or a dense [`crate::cells::CellStore`] over more cells
+    /// than it will allocate.
     GridTooLarge {
         /// Rows requested (or derived from a cell size).
         rows: u32,

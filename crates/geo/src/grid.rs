@@ -4,6 +4,12 @@
 //! of a uniform grid laid over the city's bounding box. A user whose
 //! pattern says "shops at 8 am" is placed in the microcell of the shop,
 //! and the crowd view counts users per microcell per time window.
+//!
+//! Cell ids are 64-bit row-major indexes, so a grid may address up to
+//! `u32::MAX × u32::MAX` cells — sub-meter resolutions over a whole city
+//! fit without overflow. Grids are pure coordinate math and never
+//! allocate per cell; per-cell *storage* lives in [`crate::cells`] and
+//! chooses dense or sparse backing by occupancy.
 
 use crate::{BoundingBox, GeoError, LatLon};
 use serde::{Deserialize, Serialize};
@@ -13,10 +19,12 @@ use std::fmt;
 ///
 /// Cells are numbered row-major from the south-west corner: cell 0 is the
 /// south-west cell, cell `cols - 1` the south-east, and so on northward.
+/// The index is 64-bit: `row * cols + col` never overflows even for grids
+/// with `u32::MAX` rows and columns.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
-pub struct CellId(pub u32);
+pub struct CellId(pub u64);
 
 impl fmt::Display for CellId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -48,26 +56,22 @@ pub struct MicrocellGrid {
 }
 
 impl MicrocellGrid {
-    /// Maximum total cell count a grid may hold (2²⁴ ≈ 16.7 M cells —
-    /// far beyond any display grid, far below `u32` overflow in the
-    /// row-major `CellId` math).
-    pub const MAX_CELLS: u32 = 1 << 24;
+    /// Maximum rows or columns on a single side (`u32::MAX`). Grids are
+    /// coordinate math only, so the total cell count `rows * cols` may
+    /// reach `2^64 - 2^33 + 1` without allocating anything; dense
+    /// *storage* limits live in [`crate::cells::CellStore`].
+    pub const MAX_SIDE: u32 = u32::MAX;
 
     /// Creates a grid of `rows` × `cols` cells over `bounds`.
     ///
     /// # Errors
     ///
-    /// Returns [`GeoError::EmptyGrid`] if `rows` or `cols` is zero, and
-    /// [`GeoError::GridTooLarge`] if `rows * cols` exceeds
-    /// [`Self::MAX_CELLS`].
+    /// Returns [`GeoError::EmptyGrid`] if `rows` or `cols` is zero.
     pub fn new(bounds: BoundingBox, rows: u32, cols: u32) -> Result<Self, GeoError> {
         if rows == 0 || cols == 0 {
             return Err(GeoError::EmptyGrid);
         }
-        match rows.checked_mul(cols) {
-            Some(cells) if cells <= Self::MAX_CELLS => Ok(MicrocellGrid { bounds, rows, cols }),
-            _ => Err(GeoError::GridTooLarge { rows, cols }),
-        }
+        Ok(MicrocellGrid { bounds, rows, cols })
     }
 
     /// Creates a grid over `bounds` whose cells are approximately
@@ -77,7 +81,7 @@ impl MicrocellGrid {
     ///
     /// Returns [`GeoError::InvalidClusterParam`] if `cell_size_m` is not
     /// strictly positive and finite, and [`GeoError::GridTooLarge`] if
-    /// the size implies more than [`Self::MAX_CELLS`] cells.
+    /// the size implies more than [`Self::MAX_SIDE`] rows or columns.
     pub fn with_cell_size(bounds: BoundingBox, cell_size_m: f64) -> Result<Self, GeoError> {
         if !(cell_size_m.is_finite() && cell_size_m > 0.0) {
             return Err(GeoError::InvalidClusterParam(
@@ -86,10 +90,9 @@ impl MicrocellGrid {
         }
         let rows_f = (bounds.height_m() / cell_size_m).ceil().max(1.0);
         let cols_f = (bounds.width_m() / cell_size_m).ceil().max(1.0);
-        // Check in f64 first: a tiny cell size can yield counts that
-        // saturate the `as u32` cast (u32::MAX each), whose product
-        // would wrap long before `new` could see sane inputs.
-        if rows_f * cols_f > f64::from(Self::MAX_CELLS) {
+        // Check in f64 first: a microscopic cell size can yield per-side
+        // counts beyond u32, which the `as u32` cast would saturate.
+        if rows_f > f64::from(Self::MAX_SIDE) || cols_f > f64::from(Self::MAX_SIDE) {
             return Err(GeoError::GridTooLarge {
                 rows: rows_f.min(f64::from(u32::MAX)) as u32,
                 cols: cols_f.min(f64::from(u32::MAX)) as u32,
@@ -113,11 +116,10 @@ impl MicrocellGrid {
         self.cols
     }
 
-    /// Total number of cells (`rows * cols`).
-    pub fn len(&self) -> u32 {
-        self.rows
-            .checked_mul(self.cols)
-            .expect("grid constructors cap rows * cols at MAX_CELLS")
+    /// Total number of cells (`rows * cols`). Cannot overflow: both
+    /// factors are `u32`, so the product always fits in `u64`.
+    pub fn len(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
     }
 
     /// Whether the grid has zero cells. Always `false` for a constructed
@@ -137,15 +139,22 @@ impl MicrocellGrid {
         let fx = (point.lon() - self.bounds.west()) / self.bounds.lon_span();
         let row = ((fy * f64::from(self.rows)) as u32).min(self.rows - 1);
         let col = ((fx * f64::from(self.cols)) as u32).min(self.cols - 1);
-        Some(CellId(row * self.cols + col))
+        Some(CellId(
+            u64::from(row) * u64::from(self.cols) + u64::from(col),
+        ))
     }
 
     /// `(row, col)` of a cell, or `None` if the id is out of range.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn position(&self, cell: CellId) -> Option<(u32, u32)> {
         if cell.0 >= self.len() {
             return None;
         }
-        Some((cell.0 / self.cols, cell.0 % self.cols))
+        // Both quotient and remainder fit u32: cell.0 < rows * cols.
+        Some((
+            (cell.0 / u64::from(self.cols)) as u32,
+            (cell.0 % u64::from(self.cols)) as u32,
+        ))
     }
 
     /// The id for a `(row, col)` position, or `None` if out of range.
@@ -153,7 +162,9 @@ impl MicrocellGrid {
         if row >= self.rows || col >= self.cols {
             return None;
         }
-        Some(CellId(row * self.cols + col))
+        Some(CellId(
+            u64::from(row) * u64::from(self.cols) + u64::from(col),
+        ))
     }
 
     /// Bounding box of a cell, or `None` if the id is out of range.
@@ -172,6 +183,10 @@ impl MicrocellGrid {
     }
 
     /// Iterator over every cell id, row-major from the south-west corner.
+    ///
+    /// Beware: this enumerates `rows * cols` ids, which can be
+    /// astronomically many for fine grids. Prefer iterating *occupied*
+    /// cells via [`crate::cells::CellStore`] wherever counts exist.
     pub fn iter(&self) -> impl Iterator<Item = CellId> + '_ {
         (0..self.len()).map(CellId)
     }
@@ -190,7 +205,7 @@ impl MicrocellGrid {
                 }
                 let (nr, nc) = (i64::from(row) + dr, i64::from(col) + dc);
                 if nr >= 0 && nc >= 0 && (nr as u32) < self.rows && (nc as u32) < self.cols {
-                    out.push(CellId(nr as u32 * self.cols + nc as u32));
+                    out.push(CellId(nr as u64 * u64::from(self.cols) + nc as u64));
                 }
             }
         }
@@ -228,31 +243,40 @@ mod tests {
     }
 
     #[test]
-    fn new_rejects_cell_count_overflow() {
-        // 2^16 x 2^16 = 2^32 overflows the u32 row-major CellId math:
-        // pre-fix this panicked in debug and wrapped to 0 in release.
-        assert!(matches!(
-            MicrocellGrid::new(BoundingBox::NYC, 1 << 16, 1 << 16),
-            Err(GeoError::GridTooLarge { .. })
-        ));
-        // 2^13 x 2^13 = 2^26 fits u32 but exceeds the sanity cap.
-        assert!(matches!(
-            MicrocellGrid::new(BoundingBox::NYC, 1 << 13, 1 << 13),
-            Err(GeoError::GridTooLarge { .. })
-        ));
-        // Exactly at the cap is fine: 2^12 * 2^12 = 2^24 = MAX_CELLS.
-        let g = MicrocellGrid::new(BoundingBox::NYC, 1 << 12, 1 << 12).unwrap();
-        assert_eq!(g.len(), MicrocellGrid::MAX_CELLS);
+    fn former_overflow_extents_now_construct() {
+        // 2^16 x 2^16 = 2^32 cells overflowed the old u32 row-major
+        // CellId math and returned GridTooLarge; with 64-bit ids it is
+        // plain coordinate math.
+        let g = MicrocellGrid::new(BoundingBox::NYC, 1 << 16, 1 << 16).unwrap();
+        assert_eq!(g.len(), 1u64 << 32);
+        // 2^13 x 2^13 = 2^26 exceeded the old 2^24 dense cap.
+        let g = MicrocellGrid::new(BoundingBox::NYC, 1 << 13, 1 << 13).unwrap();
+        assert_eq!(g.len(), 1u64 << 26);
+        // The extreme corner: u32::MAX per side still round-trips ids.
+        let g = MicrocellGrid::new(BoundingBox::NYC, u32::MAX, u32::MAX).unwrap();
+        let last = g.cell_at(u32::MAX - 1, u32::MAX - 1).unwrap();
+        assert_eq!(last.0, g.len() - 1);
+        assert_eq!(g.position(last), Some((u32::MAX - 1, u32::MAX - 1)));
     }
 
     #[test]
     fn with_cell_size_rejects_microscopic_cells() {
-        // A 1 µm cell over NYC implies ~5e10 cells per side; pre-fix
-        // the saturating f64→u32 casts produced u32::MAX × u32::MAX and
-        // the multiplication wrapped.
+        // A 1 µm cell over NYC implies ~5e10 cells per side, which
+        // exceeds the u32 per-side limit even with 64-bit cell ids.
         let err = MicrocellGrid::with_cell_size(BoundingBox::NYC, 1e-6).unwrap_err();
         assert!(matches!(err, GeoError::GridTooLarge { .. }));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn with_cell_size_accepts_sub_meter_cells() {
+        // 10 cm cells over NYC: ~half a million per side, ~2.4e11 cells.
+        // The old 2^24 total-cell cap rejected this; it now constructs.
+        let g = MicrocellGrid::with_cell_size(BoundingBox::NYC, 0.1).unwrap();
+        assert!(g.len() > 1u64 << 32, "len {}", g.len());
+        let p = LatLon::new(40.7580, -73.9855).unwrap();
+        let cell = g.cell_of(p).unwrap();
+        assert!(g.cell_bounds(cell).unwrap().contains(p));
     }
 
     #[test]
@@ -354,6 +378,15 @@ mod tests {
             let cell = g.cell_at(row, col).unwrap();
             let center = g.cell_center(cell).unwrap();
             prop_assert_eq!(g.cell_of(center), Some(cell));
+        }
+
+        #[test]
+        fn prop_round_trip_on_huge_grids(row in 0u32..u32::MAX, col in 0u32..u32::MAX) {
+            // Former overflow territory: every (row, col) on a
+            // u32::MAX-per-side grid round-trips through its 64-bit id.
+            let g = MicrocellGrid::new(BoundingBox::NYC, u32::MAX, u32::MAX).unwrap();
+            let cell = g.cell_at(row, col).unwrap();
+            prop_assert_eq!(g.position(cell), Some((row, col)));
         }
     }
 }

@@ -9,6 +9,9 @@
 //!   York City extent used by the paper's Foursquare dataset ([`bbox`]).
 //! - [`MicrocellGrid`] — the uniform *microcell* decomposition of a city
 //!   that CrowdWeb aggregates crowds into ([`grid`]).
+//! - [`CellStore`] — per-cell count storage, dense for small display
+//!   grids and sparse (occupancy-priced) for sub-meter resolutions and
+//!   huge extents ([`cells`]).
 //! - [`TileCoord`] — slippy-map tile coordinates and quadkeys for serving
 //!   map data to the web front-end ([`tile`]).
 //! - Clustering — grid-density and k-means clustering of check-in points
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod bbox;
+pub mod cells;
 pub mod cluster;
 pub mod error;
 pub mod geojson;
@@ -45,6 +49,7 @@ pub mod tile;
 pub mod trajectory;
 
 pub use bbox::BoundingBox;
+pub use cells::CellStore;
 pub use cluster::{grid_density_clusters, kmeans, Cluster, KMeansConfig};
 pub use error::GeoError;
 pub use grid::{CellId, MicrocellGrid};

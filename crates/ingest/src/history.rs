@@ -317,7 +317,7 @@ mod tests {
     use crowdweb_geo::{BoundingBox, CellId, MicrocellGrid};
     use crowdweb_prep::PlaceLabel;
 
-    fn placement(user: u32, window: usize, cell: u32) -> Placement {
+    fn placement(user: u32, window: usize, cell: u64) -> Placement {
         Placement {
             user: UserId::new(user),
             window,
@@ -338,7 +338,7 @@ mod tests {
 
     /// A toy epoch sequence: user 1 wanders one cell per epoch.
     fn epoch_model(n: u64) -> Arc<CrowdModel> {
-        model(vec![placement(1, 9, n as u32 % 16), placement(2, 9, 3)])
+        model(vec![placement(1, 9, n % 16), placement(2, 9, 3)])
     }
 
     fn run_history(depth: usize, checkpoint_every: u64, epochs: u64) -> CrowdHistory {

@@ -100,6 +100,9 @@ pub fn run(
     let latest_epoch = AtomicU64::new(0);
     let timeout = opts.request_timeout;
     let total_us = trace.total_wall_us();
+    // Epoch publishes target the scenario's city, like the writes they
+    // drain.
+    let epoch_path = format!("{}/ingest/epoch", scenario.api_base());
     let start = Instant::now();
 
     let (samples, epochs, gauges) = std::thread::scope(|scope| {
@@ -141,7 +144,9 @@ pub fn run(
             .collect();
 
         // Epoch trigger: fixed cadence, independent of the senders.
-        let epoch_thread = scope.spawn(|| {
+        let epoch_path = &epoch_path;
+        let latest_epoch = &latest_epoch;
+        let epoch_thread = scope.spawn(move || {
             let mut out: Vec<EpochSample> = Vec::new();
             if scenario.epoch_every_secs <= 0.0 {
                 return out;
@@ -152,8 +157,8 @@ pub fn run(
             while at < total_us + step_us {
                 sleep_until(start, at.min(total_us));
                 let sent = at.min(total_us);
-                match http.request("/api/v1/ingest/epoch", Some("")) {
-                    Ok(resp) => out.push(parse_epoch_response(sent, &resp, &latest_epoch)),
+                match http.request(epoch_path, Some("")) {
+                    Ok(resp) => out.push(parse_epoch_response(sent, &resp, latest_epoch)),
                     Err(_) => out.push(EpochSample {
                         at_us: sent,
                         epoch: latest_epoch.load(Ordering::Acquire),

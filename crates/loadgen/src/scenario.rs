@@ -119,6 +119,11 @@ pub struct Scenario {
     /// Days after 2012-04-03 (a Tuesday) at which the replay starts;
     /// use 4 to start on a Saturday.
     pub start_day_offset: u32,
+    /// Target city id. When set, every data request is issued against
+    /// `/api/v1/cities/<city>/...`; when absent, the default-city
+    /// `/api/v1/...` spelling is used. Health polls and metrics scrapes
+    /// stay platform-global either way.
+    pub city: Option<String>,
     /// Read endpoint weights.
     pub read_mix: ReadMix,
     /// The phases, replayed in order.
@@ -210,6 +215,18 @@ impl Scenario {
                 self.start_day_offset
             ));
         }
+        if let Some(city) = &self.city {
+            if city.is_empty()
+                || city.len() > 64
+                || !city
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+            {
+                return fail(format!(
+                    "city must be a 1-64 char [a-z0-9_-] slug, got {city:?}"
+                ));
+            }
+        }
         for (label, w) in [
             ("crowd", self.read_mix.crowd),
             ("map", self.read_mix.map),
@@ -277,6 +294,16 @@ impl Scenario {
             }
         }
         Ok(())
+    }
+
+    /// The base path every data request is issued under:
+    /// `/api/v1/cities/<city>` when a city is set, plain `/api/v1`
+    /// otherwise.
+    pub fn api_base(&self) -> String {
+        match &self.city {
+            Some(city) => format!("/api/v1/cities/{city}"),
+            None => "/api/v1".to_owned(),
+        }
     }
 
     /// Wall-clock duration of one phase in seconds.
@@ -547,6 +574,10 @@ fn parse(text: &str) -> Result<Scenario, LoadgenError> {
         .map(|v| v.as_u64("start_day_offset"))
         .transpose()?
         .unwrap_or(0) as u32;
+    let city = top
+        .take("city")
+        .map(|v| v.as_str("city").map(str::to_owned))
+        .transpose()?;
     top.reject_leftovers("the scenario")?;
 
     let defaults = ReadMix::default();
@@ -606,6 +637,7 @@ fn parse(text: &str) -> Result<Scenario, LoadgenError> {
         epoch_every_secs,
         start_hour,
         start_day_offset,
+        city,
         read_mix: read_mix_value,
         phases: parsed_phases,
     })
@@ -639,6 +671,24 @@ mod tests {
         assert_eq!(s.phases[0].write_fraction, 0.3);
         assert_eq!(s.phases[0].surge, None);
         assert_eq!(s.total_wall_secs(), 10.0);
+        // No city: requests go to the default-city spelling.
+        assert_eq!(s.city, None);
+        assert_eq!(s.api_base(), "/api/v1");
+    }
+
+    #[test]
+    fn city_key_scopes_the_api_base() {
+        let toml = MINIMAL.replace("seed = 7", "seed = 7\n        city = \"tokyo\"");
+        let s = Scenario::from_toml_str(&toml).unwrap();
+        assert_eq!(s.city.as_deref(), Some("tokyo"));
+        assert_eq!(s.api_base(), "/api/v1/cities/tokyo");
+        // Non-slug ids are rejected at validation time, before any
+        // request is built from them.
+        for bad in ["", "Tokyo", "a b", "x/../y"] {
+            let toml = MINIMAL.replace("seed = 7", &format!("seed = 7\n        city = \"{bad}\""));
+            let e = Scenario::from_toml_str(&toml).unwrap_err();
+            assert!(e.to_string().contains("city"), "{bad}: {e}");
+        }
     }
 
     #[test]

@@ -208,7 +208,7 @@ impl Trace {
                         schedule_us,
                         phase: pi as u16,
                         kind: EndpointKind::Checkins,
-                        path: "/api/v1/checkins".to_owned(),
+                        path: format!("{}/checkins", scenario.api_base()),
                         body: Some(city.checkin_body(user, venue, local)),
                     }
                 } else {
@@ -351,15 +351,16 @@ impl City {
         let weights = scenario.read_mix.weights();
         let pick = rngx::weighted_index(rng, &weights)
             .expect("validation guarantees a positive read-mix weight");
+        let base = scenario.api_base();
         let (kind, path) = match pick {
-            0 => (EndpointKind::Crowd, format!("/api/v1/crowd?hour={hour}")),
+            0 => (EndpointKind::Crowd, format!("{base}/crowd?hour={hour}")),
             1 => (
                 EndpointKind::CrowdMap,
-                format!("/api/v1/crowd/map?hour={hour}"),
+                format!("{base}/crowd/map?hour={hour}"),
             ),
             2 => (
                 EndpointKind::Flows,
-                format!("/api/v1/crowd/flows?from={hour}&to={}", (hour + 1) % 24),
+                format!("{base}/crowd/flows?from={hour}&to={}", (hour + 1) % 24),
             ),
             3 => {
                 // A tile over a random venue: dashboards pan where the
@@ -372,7 +373,7 @@ impl City {
                 (
                     EndpointKind::Tiles,
                     format!(
-                        "/api/v1/tiles/{}/{}/{}?hour={hour}",
+                        "{base}/tiles/{}/{}/{}?hour={hour}",
                         tile.zoom(),
                         tile.x(),
                         tile.y()
@@ -381,7 +382,7 @@ impl City {
             }
             _ => (
                 EndpointKind::EpochRead,
-                format!("/api/v1/crowd?hour={hour}&epoch={EPOCH_PLACEHOLDER}"),
+                format!("{base}/crowd?hour={hour}&epoch={EPOCH_PLACEHOLDER}"),
             ),
         };
         TraceEvent {

@@ -15,6 +15,12 @@ fn all_shipped_scenarios_parse_and_synthesize() {
         .expect("scenarios/ exists")
         .map(|e| e.expect("readable dir entry").path())
         .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        // `<scenario>.thresholds.toml` files are bench-gate bounds
+        // (scripts/bench_gate.sh), not scenarios.
+        .filter(|p| {
+            !p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with(".thresholds.toml"))
+        })
         .collect();
     entries.sort();
     for path in entries {

@@ -13,6 +13,26 @@
 //! breaking revision would mount `/api/v2` alongside `/api/v1` and
 //! leave both the v1 routes and the legacy aliases untouched.
 //!
+//! # Multi-city tenancy
+//!
+//! The server hosts any number of cities, each an isolated platform
+//! (dataset, ingest engine, WAL root, epoch history, upload ring). A
+//! data endpoint therefore has *three* spellings, all registered by
+//! [`city_get`]/[`city_post`] against one handler fn:
+//!
+//! - `/api/v1/cities/{city}/...` — the explicit tenant route;
+//! - `/api/v1/...` — the same endpoint on the **default city**;
+//! - `/api/...` — the legacy alias of the default-city route.
+//!
+//! Unregistered city ids answer `404 {"error":{"code":"unknown-city"}}`.
+//! Served city requests increment
+//! `crowdweb_http_requests_by_city_total{city=...}`; only registered
+//! ids become labels, so the cardinality is bounded by the registry,
+//! and the route label is the matched `{city}` *pattern*, never the
+//! path value. Metrics (`/api/v1/metrics`) and the front-end (`/`) are
+//! platform-global and have no per-city spelling. `GET /api/v1/cities`
+//! lists the registry.
+//!
 //! # Error envelope
 //!
 //! Every error response — handler errors, router 404/405, reactor
@@ -34,6 +54,7 @@
 //! | Route | Returns |
 //! |---|---|
 //! | `GET /` | embedded front-end |
+//! | `GET /api/v1/cities` | registered cities and their vitals (JSON) |
 //! | `GET /api/v1/stats` | dataset statistics (Sec. I.1 numbers) |
 //! | `GET /api/v1/users?limit=N&offset=M` | qualifying users, paginated (`{"total", "items"}`) |
 //! | `GET /api/v1/patterns/:user` | a user's mined patterns (JSON) |
@@ -66,7 +87,9 @@
 //! | `GET /api/v1/tiles/:z/:x/:y?hour=H` | slippy-map crowd tile (SVG) |
 //!
 //! Each route above (minus `GET /`) also answers at `/api/...` without
-//! the version segment.
+//! the version segment, and each data route (minus `GET /`,
+//! `/api/v1/cities`, and `/api/v1/metrics`) additionally answers at
+//! `GET /api/v1/cities/{city}/...` for any registered city.
 //!
 //! # Time travel
 //!
@@ -81,7 +104,7 @@
 //! not-yet-published) epoch is a 404 `"unknown-epoch"` envelope, and a
 //! non-integer epoch is a 400 `"bad-epoch"` envelope.
 
-use crate::{AppState, Request, Response, Router, StatusCode};
+use crate::{AppState, CityState, Request, Response, Router, StatusCode};
 use crowdweb_crowd::{CrowdModel, CrowdSplice};
 use crowdweb_dataset::{MergeRecord, UserId};
 use crowdweb_ingest::{IngestError, PlatformSnapshot};
@@ -91,61 +114,362 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// A city-scoped handler: the platform state, the resolved city, and
+/// the request. Every data endpoint has this shape; the same fn serves
+/// the `/api/v1/cities/{city}/...` route, the default-city `/api/v1/...`
+/// route, and the legacy `/api/...` alias.
+type CityHandler = fn(&AppState, &CityState, &Request, &HashMap<String, String>) -> Response;
+
+/// Resolves the `{city}` path capture against the registry, counting
+/// the request on success. Unknown ids are a 404 `"unknown-city"`
+/// envelope — they never become metric labels, so the per-city label
+/// stays bounded by the registry.
+fn resolve_city<'a>(
+    app: &'a AppState,
+    params: &HashMap<String, String>,
+) -> Result<&'a CityState, Response> {
+    let id = params.get("city").map(String::as_str).unwrap_or_default();
+    match app.city(id) {
+        Some(city) => {
+            app.note_city_request(id);
+            Ok(city)
+        }
+        None => Err(error_envelope(
+            StatusCode::NotFound,
+            "unknown-city",
+            &format!("unknown city {id:?}"),
+        )),
+    }
+}
+
+/// Asserts the three spellings of one endpoint stay in lockstep: the
+/// city route is the v1 route with `/cities/{city}` spliced in, and the
+/// legacy alias is the v1 route minus its version segment.
+fn assert_route_triple(city: &str, v1: &str, legacy: &str) {
+    debug_assert_eq!(
+        city,
+        format!("/api/v1/cities/{{city}}{}", &v1["/api/v1".len()..]),
+        "city pattern must be the v1 pattern under /cities/{{city}}"
+    );
+    debug_assert_eq!(
+        legacy,
+        format!("/api{}", &v1["/api/v1".len()..]),
+        "legacy alias must be the v1 pattern minus the version segment"
+    );
+}
+
+/// Registers one GET endpoint at all three spellings:
+/// `/api/v1/cities/{city}/...` (explicit city), `/api/v1/...` (default
+/// city), and `/api/...` (legacy alias of the default-city route). One
+/// handler serves all three; the default-city pair reports the
+/// canonical `/api/v1/...` metrics label, the city route reports its
+/// own `{city}` *pattern* (bounded cardinality — see
+/// [`Router::dispatch`]).
+fn city_get(
+    router: &mut Router<AppState>,
+    city_pattern: &'static str,
+    v1_pattern: &'static str,
+    legacy_alias: &'static str,
+    handler: CityHandler,
+) {
+    assert_route_triple(city_pattern, v1_pattern, legacy_alias);
+    router.get(
+        city_pattern,
+        move |app: &AppState, req, params| match resolve_city(app, params) {
+            Ok(city) => handler(app, city, req, params),
+            Err(resp) => resp,
+        },
+    );
+    router.get_aliased(
+        v1_pattern,
+        legacy_alias,
+        move |app: &AppState, req, params| {
+            let city = app.default_city();
+            app.note_city_request(city.id());
+            handler(app, city, req, params)
+        },
+    );
+}
+
+/// [`city_get`] for POST endpoints.
+fn city_post(
+    router: &mut Router<AppState>,
+    city_pattern: &'static str,
+    v1_pattern: &'static str,
+    legacy_alias: &'static str,
+    handler: CityHandler,
+) {
+    assert_route_triple(city_pattern, v1_pattern, legacy_alias);
+    router.post(
+        city_pattern,
+        move |app: &AppState, req, params| match resolve_city(app, params) {
+            Ok(city) => handler(app, city, req, params),
+            Err(resp) => resp,
+        },
+    );
+    router.post_aliased(
+        v1_pattern,
+        legacy_alias,
+        move |app: &AppState, req, params| {
+            let city = app.default_city();
+            app.note_city_request(city.id());
+            handler(app, city, req, params)
+        },
+    );
+}
+
 /// Builds the full CrowdWeb route table: every endpoint at its
-/// canonical `/api/v1/...` pattern plus its legacy `/api/...` alias
-/// (one handler, one metrics label — see the module docs).
+/// canonical `/api/v1/...` pattern (default city), its
+/// `/api/v1/cities/{city}/...` tenant spelling, and its legacy
+/// `/api/...` alias (one handler, shared per endpoint — see the module
+/// docs).
 pub fn build_router() -> Router<AppState> {
     let mut router = Router::new();
     router.get("/", |_, _, _| {
         Response::html(crate::frontend::INDEX_HTML.to_owned())
     });
-    router.get_aliased("/api/v1/stats", "/api/stats", stats);
-    router.get_aliased("/api/v1/users", "/api/users", users);
-    router.get_aliased("/api/v1/patterns/:user", "/api/patterns/:user", patterns);
-    router.get_aliased("/api/v1/network/:user", "/api/network/:user", network);
-    router.get_aliased("/api/v1/crowd", "/api/crowd", crowd);
-    router.get_aliased("/api/v1/crowd/map", "/api/crowd/map", crowd_map);
-    router.get_aliased("/api/v1/crowd/geojson", "/api/crowd/geojson", crowd_geojson);
-    router.get_aliased("/api/v1/crowd/flows", "/api/crowd/flows", crowd_flows);
-    router.get_aliased("/api/v1/crowd/diff", "/api/crowd/diff", crowd_diff);
-    router.get_aliased("/api/v1/epochs", "/api/epochs", epochs_list);
-    router.get_aliased("/api/v1/figures/:id", "/api/figures/:id", figure_data);
-    router.get_aliased(
+    router.get_aliased("/api/v1/cities", "/api/cities", cities_list);
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/stats",
+        "/api/v1/stats",
+        "/api/stats",
+        stats,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/users",
+        "/api/v1/users",
+        "/api/users",
+        users,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/patterns/:user",
+        "/api/v1/patterns/:user",
+        "/api/patterns/:user",
+        patterns,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/network/:user",
+        "/api/v1/network/:user",
+        "/api/network/:user",
+        network,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/crowd",
+        "/api/v1/crowd",
+        "/api/crowd",
+        crowd,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/crowd/map",
+        "/api/v1/crowd/map",
+        "/api/crowd/map",
+        crowd_map,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/crowd/geojson",
+        "/api/v1/crowd/geojson",
+        "/api/crowd/geojson",
+        crowd_geojson,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/crowd/flows",
+        "/api/v1/crowd/flows",
+        "/api/crowd/flows",
+        crowd_flows,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/crowd/diff",
+        "/api/v1/crowd/diff",
+        "/api/crowd/diff",
+        crowd_diff,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/epochs",
+        "/api/v1/epochs",
+        "/api/epochs",
+        epochs_list,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/figures/:id",
+        "/api/v1/figures/:id",
+        "/api/figures/:id",
+        figure_data,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/figures/:id/svg",
         "/api/v1/figures/:id/svg",
         "/api/figures/:id/svg",
         figure_svg,
     );
-    router.post_aliased("/api/v1/upload", "/api/upload", upload);
-    router.get_aliased("/api/v1/upload/last", "/api/upload/last", upload_last);
-    router.get_aliased("/api/v1/uploads", "/api/uploads", uploads_list);
-    router.post_aliased("/api/v1/checkins", "/api/checkins", checkins_submit);
-    router.post_aliased("/api/v1/ingest/epoch", "/api/ingest/epoch", ingest_epoch);
-    router.get_aliased("/api/v1/ingest/stats", "/api/ingest/stats", ingest_stats);
+    city_post(
+        &mut router,
+        "/api/v1/cities/{city}/upload",
+        "/api/v1/upload",
+        "/api/upload",
+        upload,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/upload/last",
+        "/api/v1/upload/last",
+        "/api/upload/last",
+        upload_last,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/uploads",
+        "/api/v1/uploads",
+        "/api/uploads",
+        uploads_list,
+    );
+    city_post(
+        &mut router,
+        "/api/v1/cities/{city}/checkins",
+        "/api/v1/checkins",
+        "/api/checkins",
+        checkins_submit,
+    );
+    city_post(
+        &mut router,
+        "/api/v1/cities/{city}/ingest/epoch",
+        "/api/v1/ingest/epoch",
+        "/api/ingest/epoch",
+        ingest_epoch,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/ingest/stats",
+        "/api/v1/ingest/stats",
+        "/api/ingest/stats",
+        ingest_stats,
+    );
+    // Metrics are platform-global (one registry serves every city), so
+    // there is no per-city spelling.
     router.get_aliased("/api/v1/metrics", "/api/metrics", metrics_text);
-    router.get_aliased("/api/v1/healthz", "/api/healthz", healthz);
-    router.get_aliased("/api/v1/hotspots", "/api/hotspots", hotspots);
-    router.get_aliased(
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/healthz",
+        "/api/v1/healthz",
+        "/api/healthz",
+        healthz,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/hotspots",
+        "/api/v1/hotspots",
+        "/api/hotspots",
+        hotspots,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/crowd/flows/map",
         "/api/v1/crowd/flows/map",
         "/api/crowd/flows/map",
         crowd_flows_map,
     );
-    router.get_aliased(
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/crowd/timeline",
         "/api/v1/crowd/timeline",
         "/api/crowd/timeline",
         crowd_timeline,
     );
-    router.get_aliased("/api/v1/heatmap", "/api/heatmap", heatmap);
-    router.get_aliased("/api/v1/heatmap/:user", "/api/heatmap/:user", heatmap_user);
-    router.get_aliased("/api/v1/entropy/:user", "/api/entropy/:user", entropy);
-    router.get_aliased("/api/v1/groups", "/api/groups", groups);
-    router.get_aliased("/api/v1/crowd/compare", "/api/crowd/compare", crowd_compare);
-    router.get_aliased(
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/heatmap",
+        "/api/v1/heatmap",
+        "/api/heatmap",
+        heatmap,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/heatmap/:user",
+        "/api/v1/heatmap/:user",
+        "/api/heatmap/:user",
+        heatmap_user,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/entropy/:user",
+        "/api/v1/entropy/:user",
+        "/api/entropy/:user",
+        entropy,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/groups",
+        "/api/v1/groups",
+        "/api/groups",
+        groups,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/crowd/compare",
+        "/api/v1/crowd/compare",
+        "/api/crowd/compare",
+        crowd_compare,
+    );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/trajectory/:user",
         "/api/v1/trajectory/:user",
         "/api/trajectory/:user",
         trajectory,
     );
-    router.get_aliased("/api/v1/tiles/:z/:x/:y", "/api/tiles/:z/:x/:y", tile);
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/tiles/:z/:x/:y",
+        "/api/v1/tiles/:z/:x/:y",
+        "/api/tiles/:z/:x/:y",
+        tile,
+    );
     router
+}
+
+/// One row of `GET /api/v1/cities`: a registered city and its vitals.
+#[derive(Serialize)]
+struct CityDto {
+    id: String,
+    default: bool,
+    epoch: u64,
+    users: usize,
+    checkins: usize,
+}
+
+/// `GET /api/v1/cities`: every registered city, ascending by id, with
+/// the default city flagged.
+fn cities_list(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+    let items: Vec<CityDto> = state
+        .city_ids()
+        .into_iter()
+        .map(|id| {
+            let city = state.city(id).expect("listed ids are registered");
+            let snap = city.snapshot();
+            CityDto {
+                id: id.to_owned(),
+                default: id == state.default_city_id(),
+                epoch: snap.epoch(),
+                users: snap.prepared().user_count(),
+                checkins: snap.dataset().len(),
+            }
+        })
+        .collect();
+    ok_json(&PageDto {
+        total: items.len(),
+        items,
+    })
 }
 
 fn ok_json<T: Serialize>(value: &T) -> Response {
@@ -251,7 +575,7 @@ struct StatsDto {
     min_support: f64,
 }
 
-fn stats(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn stats(_app: &AppState, state: &CityState, _: &Request, _: &HashMap<String, String>) -> Response {
     let snap = state.snapshot();
     let s = crowdweb_dataset::DatasetStats::compute(snap.dataset());
     ok_json(&StatsDto {
@@ -273,7 +597,12 @@ struct UserDto {
     patterns: usize,
 }
 
-fn users(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn users(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let page = match parse_page(request) {
         Ok(p) => p,
         Err(resp) => return resp,
@@ -332,7 +661,12 @@ fn patterns_dto(snap: &PlatformSnapshot, up: &UserPatterns) -> UserPatternsDto {
     }
 }
 
-fn patterns(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+fn patterns(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    params: &HashMap<String, String>,
+) -> Response {
     let user = match parse_user(params) {
         Ok(u) => u,
         Err(resp) => return resp,
@@ -348,7 +682,12 @@ fn patterns(state: &AppState, _: &Request, params: &HashMap<String, String>) -> 
     }
 }
 
-fn network(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+fn network(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    params: &HashMap<String, String>,
+) -> Response {
     let user = match parse_user(params) {
         Ok(u) => u,
         Err(resp) => return resp,
@@ -371,7 +710,7 @@ fn network(state: &AppState, _: &Request, params: &HashMap<String, String>) -> R
 
 #[derive(Serialize)]
 struct CrowdCellDto {
-    cell: u32,
+    cell: u64,
     users: usize,
 }
 
@@ -389,7 +728,7 @@ struct CrowdDto {
 /// non-integer epoch is a 400 `"bad-epoch"` envelope; an epoch outside
 /// the retained ring is a 404 `"unknown-epoch"` envelope naming the
 /// scrubbable range.
-fn crowd_view(state: &AppState, request: &Request) -> Result<Arc<CrowdModel>, Response> {
+fn crowd_view(state: &CityState, request: &Request) -> Result<Arc<CrowdModel>, Response> {
     let Some(raw) = request.query_param("epoch") else {
         return Ok(state.snapshot().crowd_arc());
     };
@@ -424,7 +763,12 @@ fn snapshot_for(
     })
 }
 
-fn crowd(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn crowd(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let model = match crowd_view(state, request) {
         Ok(m) => m,
         Err(resp) => return resp,
@@ -446,7 +790,12 @@ fn crowd(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Re
     }
 }
 
-fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn crowd_map(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     // Optional ?label=N restricts the view to one place label ("only
     // the shoppers").
     let model = match crowd_view(state, request) {
@@ -486,7 +835,12 @@ fn crowd_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -
     Response::svg(CityMap::new(model.grid()).render(&snap))
 }
 
-fn crowd_geojson(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn crowd_geojson(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let model = match crowd_view(state, request) {
         Ok(m) => m,
         Err(resp) => return resp,
@@ -499,12 +853,17 @@ fn crowd_geojson(state: &AppState, request: &Request, _: &HashMap<String, String
 
 #[derive(Serialize)]
 struct FlowDto {
-    from: u32,
-    to: u32,
+    from: u64,
+    to: u64,
     count: usize,
 }
 
-fn crowd_flows(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn crowd_flows(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let parse = |name: &str, default: u8| -> Result<u8, Response> {
         match request.query_param(name) {
             None => Ok(default),
@@ -553,7 +912,12 @@ struct EpochListDto {
     epochs: Vec<crowdweb_ingest::EpochInfo>,
 }
 
-fn epochs_list(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn epochs_list(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     ok_json(&EpochListDto {
         latest: state.engine().epoch(),
         capacity: state.engine().history().capacity(),
@@ -571,7 +935,12 @@ struct CrowdDiffDto {
     changes: Vec<crowdweb_crowd::UserSplice>,
 }
 
-fn crowd_diff(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn crowd_diff(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let parse = |name: &str| -> Result<u64, Response> {
         request
             .query_param(name)
@@ -700,7 +1069,12 @@ fn figure_series(snap: &PlatformSnapshot, id: &str) -> Option<SeriesDto> {
     }
 }
 
-fn figure_data(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+fn figure_data(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    params: &HashMap<String, String>,
+) -> Response {
     let snap = state.snapshot();
     match figure_series(&snap, params.get("id").map(String::as_str).unwrap_or("")) {
         Some(series) => ok_json(&series),
@@ -712,7 +1086,12 @@ fn figure_data(state: &AppState, _: &Request, params: &HashMap<String, String>) 
     }
 }
 
-fn figure_svg(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+fn figure_svg(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    params: &HashMap<String, String>,
+) -> Response {
     let id = params.get("id").map(String::as_str).unwrap_or("");
     let snap = state.snapshot();
     let Some(series) = figure_series(&snap, id) else {
@@ -784,7 +1163,12 @@ fn upload_dto(snap: &PlatformSnapshot, result: &crate::state::UploadResult) -> U
     }
 }
 
-fn upload(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn upload(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return error_envelope(StatusCode::BadRequest, "bad-body", "body must be utf-8 tsv");
     };
@@ -794,14 +1178,24 @@ fn upload(state: &AppState, request: &Request, _: &HashMap<String, String>) -> R
     }
 }
 
-fn upload_last(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn upload_last(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     match state.last_upload() {
         Some(result) => ok_json(&upload_dto(&state.snapshot(), &result)),
         None => error_envelope(StatusCode::NotFound, "no-upload", "no upload yet"),
     }
 }
 
-fn uploads_list(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn uploads_list(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let page = match parse_page(request) {
         Ok(p) => p,
         Err(resp) => return resp,
@@ -844,7 +1238,12 @@ fn checkin_to_record(dto: &CheckinDto) -> Result<MergeRecord, String> {
     })
 }
 
-fn checkins_submit(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn checkins_submit(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return error_envelope(
             StatusCode::BadRequest,
@@ -915,7 +1314,12 @@ struct EpochRunDto {
     report: Option<crowdweb_ingest::EpochReport>,
 }
 
-fn ingest_epoch(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn ingest_epoch(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let started = std::time::Instant::now();
     match state.engine().run_epoch() {
         Ok(report) => ok_json(&EpochRunDto {
@@ -928,7 +1332,12 @@ fn ingest_epoch(state: &AppState, _: &Request, _: &HashMap<String, String>) -> R
     }
 }
 
-fn ingest_stats(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn ingest_stats(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     ok_json(&state.engine().stats())
 }
 
@@ -949,7 +1358,12 @@ struct HealthDto {
     open_connections: i64,
 }
 
-fn healthz(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn healthz(
+    app: &AppState,
+    state: &CityState,
+    _: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let stats = state.engine().stats();
     ok_json(&HealthDto {
         status: "ok",
@@ -962,7 +1376,7 @@ fn healthz(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Respon
         durable: stats.durable,
         // Published by the reactor loop; 0 when the router is driven
         // without a running server (tests, embedding).
-        open_connections: state
+        open_connections: app
             .metrics()
             .gauge_value("crowdweb_server_open_connections", &[])
             .unwrap_or(0),
@@ -972,13 +1386,18 @@ fn healthz(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Respon
 #[derive(Serialize)]
 struct HotspotDto {
     window: String,
-    cell: u32,
+    cell: u64,
     users: usize,
     z_score: f64,
     phase: String,
 }
 
-fn hotspots(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn hotspots(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let snap = state.snapshot();
     match crowdweb_crowd::detect_hotspots(snap.crowd(), &crowdweb_crowd::HotspotConfig::default()) {
         Ok(found) => {
@@ -999,7 +1418,12 @@ fn hotspots(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Respo
     }
 }
 
-fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn crowd_flows_map(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let parse = |name: &str, default: u8| -> Result<u8, Response> {
         match request.query_param(name) {
             None => Ok(default),
@@ -1034,7 +1458,12 @@ fn crowd_flows_map(state: &AppState, request: &Request, _: &HashMap<String, Stri
     }
 }
 
-fn crowd_timeline(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn crowd_timeline(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     match crowd_view(state, request) {
         Ok(model) => Response::svg(crowdweb_viz::render_crowd_timeline(
             &model.animation_frames(),
@@ -1043,7 +1472,12 @@ fn crowd_timeline(state: &AppState, request: &Request, _: &HashMap<String, Strin
     }
 }
 
-fn heatmap(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Response {
+fn heatmap(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let snap = state.snapshot();
     let profile = crowdweb_dataset::ActivityProfile::of_dataset(snap.dataset());
     Response::svg(crowdweb_viz::render_activity_heatmap(
@@ -1052,7 +1486,12 @@ fn heatmap(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Respon
     ))
 }
 
-fn heatmap_user(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+fn heatmap_user(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    params: &HashMap<String, String>,
+) -> Response {
     let user = match parse_user(params) {
         Ok(u) => u,
         Err(resp) => return resp,
@@ -1079,7 +1518,12 @@ struct EntropyDto {
     max_predictability: f64,
 }
 
-fn entropy(state: &AppState, _: &Request, params: &HashMap<String, String>) -> Response {
+fn entropy(
+    _app: &AppState,
+    state: &CityState,
+    _: &Request,
+    params: &HashMap<String, String>,
+) -> Response {
     let user = match parse_user(params) {
         Ok(u) => u,
         Err(resp) => return resp,
@@ -1109,7 +1553,12 @@ struct GroupDto {
     members: Vec<u32>,
 }
 
-fn groups(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn groups(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let threshold: f64 = match request.query_param("threshold") {
         None => 0.6,
         Some(raw) => match raw.parse::<f64>() {
@@ -1134,7 +1583,12 @@ fn groups(state: &AppState, request: &Request, _: &HashMap<String, String>) -> R
     ok_json(&rows)
 }
 
-fn crowd_compare(state: &AppState, request: &Request, _: &HashMap<String, String>) -> Response {
+fn crowd_compare(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
     let parse = |name: &str, default: u8| -> Result<u8, Response> {
         match request.query_param(name) {
             None => Ok(default),
@@ -1168,7 +1622,12 @@ struct TrajectoryDto {
     geojson: crowdweb_geo::geojson::Feature,
 }
 
-fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, String>) -> Response {
+fn trajectory(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    params: &HashMap<String, String>,
+) -> Response {
     use crowdweb_geo::trajectory::{path_length_m, radius_of_gyration_m};
     let user = match parse_user(params) {
         Ok(u) => u,
@@ -1247,7 +1706,12 @@ fn trajectory(state: &AppState, request: &Request, params: &HashMap<String, Stri
 /// the microcell grid intersecting Web-Mercator tile `z/x/y`, shaded by
 /// the crowd of `?hour=H` (default 9). Standard `z/x/y` addressing means
 /// any web map library can use the platform as a tile source.
-fn tile(state: &AppState, request: &Request, params: &HashMap<String, String>) -> Response {
+fn tile(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    params: &HashMap<String, String>,
+) -> Response {
     use crowdweb_viz::sequential_color;
     let parse = |name: &str| -> Option<u32> { params.get(name).and_then(|s| s.parse().ok()) };
     let (Some(z), Some(x), Some(y)) = (parse("z"), parse("x"), parse("y")) else {
@@ -2033,5 +2497,113 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("<!DOCTYPE html>"));
         assert!(body.contains("CrowdWeb"));
+    }
+
+    /// The explicit default-city spelling answers byte-identically to
+    /// the bare `/api/v1/...` route — one handler serves both.
+    #[test]
+    fn default_city_routes_match_the_bare_v1_routes() {
+        let s = state();
+        let r = build_router();
+        let city = s.default_city_id().to_owned();
+        for suffix in [
+            "stats",
+            "users?limit=3&offset=1",
+            "crowd?hour=9",
+            "crowd/geojson?hour=9",
+            "epochs",
+            "healthz",
+            "hotspots",
+            "ingest/stats",
+            // Error paths alias identically as well.
+            "patterns/999999",
+            "crowd?hour=99",
+        ] {
+            let (v1_code, v1_body) = get(&r, &s, &format!("/api/v1/{suffix}"));
+            let (city_code, city_body) = get(&r, &s, &format!("/api/v1/cities/{city}/{suffix}"));
+            assert_eq!(v1_code, city_code, "{suffix}");
+            assert_eq!(v1_body, city_body, "{suffix}");
+        }
+    }
+
+    /// Tenant routes are isolated: each city answers from its own
+    /// platform, and unregistered ids get a stable 404 envelope.
+    #[test]
+    fn tenant_routes_serve_isolated_cities() {
+        let mut s = state();
+        s.add_city(
+            "tokyo",
+            SynthConfig::small(99).generate().unwrap(),
+            crowdweb_ingest::IngestConfig::default(),
+        )
+        .unwrap();
+        let r = build_router();
+        let (code, nyc) = get(
+            &r,
+            &s,
+            &format!("/api/v1/cities/{}/stats", s.default_city_id()),
+        );
+        assert_eq!(code, 200);
+        let (code, tokyo) = get(&r, &s, "/api/v1/cities/tokyo/stats");
+        assert_eq!(code, 200);
+        assert_ne!(nyc, tokyo, "cities must not share state");
+        let (code, body) = get(&r, &s, "/api/v1/cities/atlantis/stats");
+        assert_eq!(code, 404);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["code"], "unknown-city");
+    }
+
+    /// `GET /api/v1/cities` lists the registry in ascending id order,
+    /// flags the default city, and aliases at `/api/cities`.
+    #[test]
+    fn cities_listing_reports_the_registry() {
+        let mut s = state();
+        s.add_city(
+            "tokyo",
+            SynthConfig::small(99).generate().unwrap(),
+            crowdweb_ingest::IngestConfig::default(),
+        )
+        .unwrap();
+        let r = build_router();
+        let (code, body) = get(&r, &s, "/api/v1/cities");
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["total"], 2);
+        let items = v["items"].as_array().unwrap();
+        assert_eq!(items[0]["id"], "nyc");
+        assert_eq!(items[0]["default"].as_bool(), Some(true));
+        assert_eq!(items[1]["id"], "tokyo");
+        assert_eq!(items[1]["default"].as_bool(), Some(false));
+        assert!(items[1]["users"].as_u64().unwrap() > 0);
+        assert!(items[1]["checkins"].as_u64().unwrap() > 0);
+        let (_, alias) = get(&r, &s, "/api/cities");
+        assert_eq!(body, alias, "legacy alias must answer identically");
+    }
+
+    /// Served city requests increment the per-city counter; unknown
+    /// ids never become labels, so cardinality is bounded by the
+    /// registry.
+    #[test]
+    fn city_requests_increment_the_bounded_per_city_counter() {
+        let s = state();
+        let r = build_router();
+        let city = s.default_city_id().to_owned();
+        get(&r, &s, &format!("/api/v1/cities/{city}/stats"));
+        // The bare spelling counts against the default city too.
+        get(&r, &s, "/api/v1/stats");
+        // A 404 must not mint a label.
+        get(&r, &s, "/api/v1/cities/atlantis/stats");
+        assert_eq!(
+            s.metrics()
+                .counter_value("crowdweb_http_requests_by_city_total", &[("city", &city)]),
+            Some(2)
+        );
+        assert_eq!(
+            s.metrics().counter_value(
+                "crowdweb_http_requests_by_city_total",
+                &[("city", "atlantis")]
+            ),
+            None
+        );
     }
 }

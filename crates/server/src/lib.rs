@@ -56,4 +56,4 @@ pub mod sys;
 pub use http::{Method, Request, Response, StatusCode};
 pub use router::Router;
 pub use server::Server;
-pub use state::AppState;
+pub use state::{AppState, CityState};

@@ -1,4 +1,4 @@
-//! Path routing with `:param` captures.
+//! Path routing with `:param` / `{param}` captures.
 
 use crate::{Method, Request, Response, StatusCode};
 use std::collections::HashMap;
@@ -11,8 +11,11 @@ pub type Handler<S> = Arc<dyn Fn(&S, &Request, &HashMap<String, String>) -> Resp
 
 /// A method+pattern routing table over shared state `S`.
 ///
-/// Patterns are `/`-separated; a segment starting with `:` captures the
-/// corresponding request segment under that name.
+/// Patterns are `/`-separated; a segment spelled `:name` or `{name}`
+/// captures the corresponding request segment under that name. The two
+/// spellings are equivalent — `{name}` reads better in multi-parameter
+/// REST paths like `/api/v1/cities/{id}/crowd`, `:name` stays for the
+/// established tile routes.
 ///
 /// # Examples
 ///
@@ -113,6 +116,12 @@ impl<S> Router<S> {
             .filter(|s| !s.is_empty())
             .map(|s| {
                 if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_owned())
+                } else if let Some(name) = s
+                    .strip_prefix('{')
+                    .and_then(|rest| rest.strip_suffix('}'))
+                    .filter(|name| !name.is_empty())
+                {
                     Segment::Param(name.to_owned())
                 } else {
                     Segment::Literal(s.to_owned())
@@ -289,6 +298,51 @@ mod tests {
         assert_eq!(legacy_label, Some("/api/v1/patterns/:user"));
         let (_, label) = r.dispatch(&0, &req("POST", "/api/upload"));
         assert_eq!(label, Some("/api/v1/upload"));
+    }
+
+    #[test]
+    fn brace_params_match_and_capture() {
+        let mut r: Router<i32> = Router::new();
+        r.get("/api/v1/cities/{city}/crowd", |_, _, p| {
+            Response::json(p["city"].clone())
+        });
+        r.get("/api/v1/cities/{city}/tiles/{z}", |_, _, p| {
+            Response::json(format!("{}@{}", p["city"], p["z"]))
+        });
+        let resp = r.route(&0, &req("GET", "/api/v1/cities/nyc/crowd"));
+        assert_eq!(String::from_utf8(resp.body).unwrap(), "nyc");
+        let resp = r.route(&0, &req("GET", "/api/v1/cities/tokyo/tiles/12"));
+        assert_eq!(String::from_utf8(resp.body).unwrap(), "tokyo@12");
+        // `{}` and `{city` are not captures; they stay literal segments.
+        let mut r: Router<i32> = Router::new();
+        r.get("/odd/{}", |_, _, p| Response::json(format!("{}", p.len())));
+        assert_eq!(
+            r.route(&0, &req("GET", "/odd/x")).status,
+            StatusCode::NotFound
+        );
+        assert_eq!(r.route(&0, &req("GET", "/odd/{}")).status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn param_routes_report_bounded_cardinality_labels() {
+        // The metrics route label must be the registered *pattern*, not
+        // the request path: a thousand distinct city ids must fold into
+        // one label, or the per-route metric family explodes.
+        let mut r: Router<i32> = Router::new();
+        r.get("/api/v1/cities/{city}/crowd", |_, _, _| {
+            Response::json("{}".into())
+        });
+        let mut labels = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let (resp, label) = r.dispatch(&0, &req("GET", &format!("/api/v1/cities/c{i}/crowd")));
+            assert_eq!(resp.status, StatusCode::Ok);
+            labels.insert(label.expect("matched route has a label").to_owned());
+        }
+        assert_eq!(
+            labels.into_iter().collect::<Vec<_>>(),
+            vec!["/api/v1/cities/{city}/crowd".to_owned()],
+            "1000 distinct city values must produce exactly one route label"
+        );
     }
 
     #[test]

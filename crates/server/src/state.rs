@@ -1,10 +1,21 @@
-//! Application state: the live ingest engine plus the visitor-upload
-//! ring.
+//! Application state: a registry of per-city platforms, each a live
+//! ingest engine plus a visitor-upload ring.
 //!
-//! Handlers do not borrow pipeline data from `AppState` directly.
-//! Instead they call [`AppState::snapshot`] once per request and serve
+//! Handlers do not borrow pipeline data from the state directly.
+//! Instead they call [`CityState::snapshot`] once per request and serve
 //! the whole request from that immutable [`PlatformSnapshot`] — a new
 //! epoch published mid-request never tears a response.
+//!
+//! # Tenancy
+//!
+//! [`AppState`] holds one [`CityState`] per registered city id. The
+//! platform boots with a single **default city** (id
+//! [`DEFAULT_CITY`]) serving the established `/api/v1/...` paths;
+//! further cities register with [`AppState::add_city`] and are served
+//! under `/api/v1/cities/{id}/...`. Each city owns its dataset, sharded
+//! ingest engine, epoch history, WAL root (`<wal>/<city>/shard-<k>/`),
+//! and upload ring — nothing is shared between cities except the
+//! process-wide metrics registry.
 //!
 //! Handlers execute on the reactor's bounded worker pool (see
 //! [`crate::reactor`]), so the state is shared behind an `Arc` and
@@ -17,7 +28,7 @@ use crowdweb_mobility::{PatternMiner, UserPatterns};
 use crowdweb_obs::MetricsRegistry;
 use crowdweb_prep::{LabelScheme, Preprocessor, WindowChoice};
 use parking_lot::RwLock;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::sync::Arc;
 
@@ -34,30 +45,9 @@ pub struct UploadResult {
     pub checkin_count: usize,
 }
 
-/// The platform state: a live [`ShardedIngestEngine`] publishing
-/// epoch snapshots, plus a capped ring of recent visitor uploads.
-///
-/// The ingest queue and WAL are partitioned across user-id-range
-/// shards (`IngestConfig::shards`; 0 = one per available core), so
-/// epoch re-mining fans out per shard while snapshots stay
-/// byte-identical to an unsharded engine.
-pub struct AppState {
-    engine: ShardedIngestEngine,
-    uploads: RwLock<VecDeque<UploadResult>>,
-    metrics: MetricsRegistry,
-}
-
-impl std::fmt::Debug for AppState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let snap = self.snapshot();
-        f.debug_struct("AppState")
-            .field("epoch", &snap.epoch())
-            .field("users", &snap.prepared().user_count())
-            .field("checkins", &snap.dataset().len())
-            .field("min_support", &snap.min_support())
-            .finish()
-    }
-}
+/// Id of the city the platform boots with, served by the un-prefixed
+/// `/api/v1/...` paths (and their `/api/...` legacy aliases).
+pub const DEFAULT_CITY: &str = "nyc";
 
 /// Default relative support for the platform's pattern view. Voluntary
 /// check-ins are sparse, so routine items recur on a minority of active
@@ -68,13 +58,133 @@ pub const DEFAULT_MIN_SUPPORT: f64 = 0.15;
 /// Default microcell grid resolution (cells per side over NYC).
 pub const DEFAULT_GRID_SIDE: u32 = 20;
 
-/// How many visitor uploads the platform remembers (newest evicts
-/// oldest).
+/// How many visitor uploads each city remembers (newest evicts oldest).
 pub const DEFAULT_UPLOAD_HISTORY: usize = 16;
+
+/// One city's platform: a live [`ShardedIngestEngine`] publishing
+/// epoch snapshots, plus a capped ring of recent visitor uploads.
+///
+/// The ingest queue and WAL are partitioned across user-id-range
+/// shards (`IngestConfig::shards`; 0 = one per available core), so
+/// epoch re-mining fans out per shard while snapshots stay
+/// byte-identical to an unsharded engine.
+pub struct CityState {
+    id: String,
+    engine: ShardedIngestEngine,
+    uploads: RwLock<VecDeque<UploadResult>>,
+}
+
+impl std::fmt::Debug for CityState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("CityState")
+            .field("id", &self.id)
+            .field("epoch", &snap.epoch())
+            .field("users", &snap.prepared().user_count())
+            .field("checkins", &snap.dataset().len())
+            .field("min_support", &snap.min_support())
+            .finish()
+    }
+}
+
+impl CityState {
+    fn open(id: &str, dataset: Dataset, config: IngestConfig) -> Result<CityState, Box<dyn Error>> {
+        let engine = ShardedIngestEngine::open(dataset, config)?;
+        Ok(CityState {
+            id: id.to_owned(),
+            engine,
+            uploads: RwLock::new(VecDeque::new()),
+        })
+    }
+
+    /// The city's registered id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The city's current immutable pipeline snapshot. Handlers take
+    /// one per request and serve everything from it.
+    pub fn snapshot(&self) -> Arc<PlatformSnapshot> {
+        self.engine.snapshot()
+    }
+
+    /// The city's live sharded ingest engine (submit, epochs, stats).
+    pub fn engine(&self) -> &ShardedIngestEngine {
+        &self.engine
+    }
+
+    /// The city's mining support threshold.
+    pub fn min_support(&self) -> f64 {
+        self.engine.config().min_support
+    }
+
+    /// Parses an uploaded TSV check-in history, mines its users'
+    /// patterns over its full span (visitor histories are short, so no
+    /// window/filter), stores it in the city's upload ring, and returns
+    /// the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors for malformed TSV and mining errors
+    /// otherwise.
+    pub fn ingest_upload(&self, tsv: &str) -> Result<UploadResult, Box<dyn Error>> {
+        let uploaded = crowdweb_dataset::tsv::from_str(tsv)?;
+        let prepared = Preprocessor::new()
+            .window(WindowChoice::Full)
+            .min_active_days(0)
+            .label_scheme(LabelScheme::Kind)
+            .prepare(&uploaded)?;
+        let patterns = PatternMiner::new(self.min_support())?.detect_all(&prepared)?;
+        let result = UploadResult {
+            users: prepared.users().to_vec(),
+            checkin_count: uploaded.len(),
+            patterns,
+        };
+        let mut ring = self.uploads.write();
+        if ring.len() == DEFAULT_UPLOAD_HISTORY {
+            ring.pop_front();
+        }
+        ring.push_back(result.clone());
+        Ok(result)
+    }
+
+    /// The city's most recent visitor upload, if any.
+    pub fn last_upload(&self) -> Option<UploadResult> {
+        self.uploads.read().back().cloned()
+    }
+
+    /// All the city's remembered visitor uploads, newest first.
+    pub fn uploads(&self) -> Vec<UploadResult> {
+        self.uploads.read().iter().rev().cloned().collect()
+    }
+}
+
+/// The platform state: a registry of [`CityState`]s keyed by city id,
+/// plus the process-wide metrics registry.
+///
+/// The platform always has a default city; [`AppState`]'s accessor
+/// methods ([`AppState::snapshot`], [`AppState::engine`], …) delegate
+/// to it so single-city callers never need to name a city.
+pub struct AppState {
+    cities: BTreeMap<String, Arc<CityState>>,
+    default_city: String,
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for AppState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppState")
+            .field("cities", &self.cities.keys().collect::<Vec<_>>())
+            .field("default_city", &self.default_city)
+            .field("default", self.default_city())
+            .finish()
+    }
+}
 
 impl AppState {
     /// Builds the platform state with defaults: richest-3-months window,
     /// the given activity filter, kind labels, 0.15 support, 20×20 grid.
+    /// The dataset becomes the default city ([`DEFAULT_CITY`]).
     ///
     /// # Errors
     ///
@@ -110,7 +220,11 @@ impl AppState {
     }
 
     /// Builds the platform state around a fully explicit ingest
-    /// configuration (WAL directory, queue bounds, epoch batching).
+    /// configuration (WAL directory, queue bounds, epoch batching) for
+    /// the default city. The default city's WAL root is used as given —
+    /// un-scoped, exactly as pre-tenancy deployments laid it out; only
+    /// cities registered via [`AppState::add_city`] get `<wal>/<city>/`
+    /// roots.
     ///
     /// # Errors
     ///
@@ -129,76 +243,142 @@ impl AppState {
                 metrics
             }
         };
-        let engine = ShardedIngestEngine::open(dataset, config)?;
+        let default = CityState::open(DEFAULT_CITY, dataset, config)?;
+        let mut cities = BTreeMap::new();
+        cities.insert(DEFAULT_CITY.to_owned(), Arc::new(default));
         Ok(AppState {
-            engine,
-            uploads: RwLock::new(VecDeque::new()),
+            cities,
+            default_city: DEFAULT_CITY.to_owned(),
             metrics,
         })
     }
 
-    /// The current immutable pipeline snapshot. Handlers take one per
-    /// request and serve everything from it.
-    pub fn snapshot(&self) -> Arc<PlatformSnapshot> {
-        self.engine.snapshot()
+    /// Registers a further city under `id`, served at
+    /// `/api/v1/cities/{id}/...`. The city gets its own dataset and
+    /// ingest engine; its WAL root (when `config.wal` is set) is scoped
+    /// to `<wal dir>/<id>/`, so shards land in `<wal>/<id>/shard-<k>/`
+    /// and per-city recovery replays independently. The city records
+    /// into the platform metrics registry unless `config.metrics` is
+    /// already set.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ids that are not lowercase slugs (`[a-z0-9_-]`, 1–64
+    /// chars), duplicate registrations, and propagates WAL recovery and
+    /// pipeline failures.
+    pub fn add_city(
+        &mut self,
+        id: &str,
+        dataset: Dataset,
+        mut config: IngestConfig,
+    ) -> Result<(), Box<dyn Error>> {
+        validate_city_id(id)?;
+        if self.cities.contains_key(id) {
+            return Err(format!("city {id:?} is already registered").into());
+        }
+        if let Some(wal) = &mut config.wal {
+            wal.dir = wal.dir.join(id);
+        }
+        if config.metrics.is_none() {
+            config.metrics = Some(self.metrics.clone());
+        }
+        let city = CityState::open(id, dataset, config)?;
+        self.cities.insert(id.to_owned(), Arc::new(city));
+        Ok(())
     }
 
-    /// The live sharded ingest engine (submit, epochs, stats).
+    /// The city registered under `id`, if any.
+    pub fn city(&self, id: &str) -> Option<&CityState> {
+        self.cities.get(id).map(Arc::as_ref)
+    }
+
+    /// The default city's state (always present).
+    pub fn default_city(&self) -> &CityState {
+        self.cities
+            .get(&self.default_city)
+            .expect("the default city is registered at construction")
+    }
+
+    /// The default city's id.
+    pub fn default_city_id(&self) -> &str {
+        &self.default_city
+    }
+
+    /// All registered city ids, in ascending order.
+    pub fn city_ids(&self) -> Vec<&str> {
+        self.cities.keys().map(String::as_str).collect()
+    }
+
+    /// Counts a request against a city's per-city request counter.
+    /// Only registered ids reach this (the handler 404s unknown cities
+    /// first), so the `city` label's cardinality is bounded by the
+    /// registry size, never by what clients send.
+    pub fn note_city_request(&self, id: &str) {
+        debug_assert!(self.cities.contains_key(id), "label must be registered");
+        self.metrics
+            .counter(
+                "crowdweb_http_requests_by_city_total",
+                "Requests served, by registered city.",
+                &[("city", id)],
+            )
+            .inc();
+    }
+
+    /// The current immutable pipeline snapshot of the **default city**.
+    pub fn snapshot(&self) -> Arc<PlatformSnapshot> {
+        self.default_city().snapshot()
+    }
+
+    /// The **default city's** live sharded ingest engine.
     pub fn engine(&self) -> &ShardedIngestEngine {
-        &self.engine
+        self.default_city().engine()
     }
 
     /// The platform's metrics registry. Ingest and pipeline stages
     /// record into it; the server threads it through request handling
-    /// and exposes it at `GET /api/metrics`.
+    /// and exposes it at `GET /api/metrics`. One registry serves every
+    /// city.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
 
-    /// The platform's mining support threshold.
+    /// The **default city's** mining support threshold.
     pub fn min_support(&self) -> f64 {
-        self.engine.config().min_support
+        self.default_city().min_support()
     }
 
-    /// Parses an uploaded TSV check-in history, mines its users'
-    /// patterns over its full span (visitor histories are short, so no
-    /// window/filter), stores it in the upload ring, and returns the
-    /// result.
+    /// [`CityState::ingest_upload`] on the default city.
     ///
     /// # Errors
     ///
     /// Returns parse errors for malformed TSV and mining errors
     /// otherwise.
     pub fn ingest_upload(&self, tsv: &str) -> Result<UploadResult, Box<dyn Error>> {
-        let uploaded = crowdweb_dataset::tsv::from_str(tsv)?;
-        let prepared = Preprocessor::new()
-            .window(WindowChoice::Full)
-            .min_active_days(0)
-            .label_scheme(LabelScheme::Kind)
-            .prepare(&uploaded)?;
-        let patterns = PatternMiner::new(self.min_support())?.detect_all(&prepared)?;
-        let result = UploadResult {
-            users: prepared.users().to_vec(),
-            checkin_count: uploaded.len(),
-            patterns,
-        };
-        let mut ring = self.uploads.write();
-        if ring.len() == DEFAULT_UPLOAD_HISTORY {
-            ring.pop_front();
-        }
-        ring.push_back(result.clone());
-        Ok(result)
+        self.default_city().ingest_upload(tsv)
     }
 
-    /// The most recent visitor upload, if any.
+    /// The default city's most recent visitor upload, if any.
     pub fn last_upload(&self) -> Option<UploadResult> {
-        self.uploads.read().back().cloned()
+        self.default_city().last_upload()
     }
 
-    /// All remembered visitor uploads, newest first.
+    /// The default city's remembered visitor uploads, newest first.
     pub fn uploads(&self) -> Vec<UploadResult> {
-        self.uploads.read().iter().rev().cloned().collect()
+        self.default_city().uploads()
     }
+}
+
+fn validate_city_id(id: &str) -> Result<(), Box<dyn Error>> {
+    if id.is_empty() || id.len() > 64 {
+        return Err(format!("city id {id:?} must be 1-64 characters").into());
+    }
+    if !id
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+    {
+        return Err(format!("city id {id:?} must match [a-z0-9_-]").into());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -221,6 +401,8 @@ mod tests {
         assert!(snap.crowd().placement_count() > 0);
         assert_eq!(s.min_support(), DEFAULT_MIN_SUPPORT);
         assert!(!format!("{s:?}").is_empty());
+        assert_eq!(s.city_ids(), vec![DEFAULT_CITY]);
+        assert_eq!(s.default_city_id(), DEFAULT_CITY);
     }
 
     #[test]
@@ -286,5 +468,89 @@ mod tests {
         // The oldest three were evicted.
         let oldest_kept = ring.last().unwrap().users[0];
         assert_eq!(oldest_kept, UserId::new(103));
+    }
+
+    #[test]
+    fn add_city_registers_an_isolated_platform() {
+        let mut s = state();
+        let dataset = SynthConfig::small(77).generate().unwrap();
+        s.add_city("tokyo", dataset, IngestConfig::default())
+            .unwrap();
+        assert_eq!(s.city_ids(), vec![DEFAULT_CITY, "tokyo"]);
+        let tokyo = s.city("tokyo").unwrap();
+        assert_eq!(tokyo.id(), "tokyo");
+        // Different dataset, different snapshot; upload rings isolated.
+        assert_ne!(
+            tokyo.snapshot().dataset().len(),
+            s.snapshot().dataset().len()
+        );
+        tokyo
+            .ingest_upload(
+                "42\tv\tx\tCoffee Shop\t40.75\t-73.99\t-240\tTue Apr 03 13:00:00 +0000 2012\n",
+            )
+            .unwrap();
+        assert!(tokyo.last_upload().is_some());
+        assert!(s.last_upload().is_none(), "default city ring untouched");
+        assert!(s.city("osaka").is_none());
+    }
+
+    #[test]
+    fn add_city_rejects_bad_and_duplicate_ids() {
+        let mut s = state();
+        for bad in ["", "Tokyo", "a b", "漢字", &"x".repeat(65)] {
+            let dataset = SynthConfig::small(5).generate().unwrap();
+            assert!(
+                s.add_city(bad, dataset, IngestConfig::default()).is_err(),
+                "id {bad:?} must be rejected"
+            );
+        }
+        let dataset = SynthConfig::small(5).generate().unwrap();
+        assert!(s
+            .add_city(DEFAULT_CITY, dataset, IngestConfig::default())
+            .is_err());
+        let dataset = SynthConfig::small(5).generate().unwrap();
+        s.add_city("paris", dataset, IngestConfig::default())
+            .unwrap();
+        let dataset = SynthConfig::small(5).generate().unwrap();
+        assert!(s
+            .add_city("paris", dataset, IngestConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn add_city_scopes_the_wal_root() {
+        use crowdweb_ingest::WalConfig;
+        let dir = std::env::temp_dir().join(format!(
+            "crowdweb-city-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = state();
+        let dataset = SynthConfig::small(9).generate().unwrap();
+        let config = IngestConfig {
+            wal: Some(WalConfig::new(&dir)),
+            shards: 2,
+            ..IngestConfig::default()
+        };
+        s.add_city("berlin", dataset, config).unwrap();
+        // Scoped root: <wal>/berlin/shard-<k>/ exists per shard.
+        assert!(dir.join("berlin").join("shard-0").is_dir());
+        assert!(dir.join("berlin").join("shard-1").is_dir());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn city_request_counter_labels_by_registered_id() {
+        let s = state();
+        s.note_city_request(DEFAULT_CITY);
+        s.note_city_request(DEFAULT_CITY);
+        assert_eq!(
+            s.metrics().counter_value(
+                "crowdweb_http_requests_by_city_total",
+                &[("city", DEFAULT_CITY)]
+            ),
+            Some(2)
+        );
     }
 }

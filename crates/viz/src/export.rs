@@ -37,7 +37,9 @@ pub fn snapshot_to_geojson(snapshot: &CrowdSnapshot, grid: &MicrocellGrid) -> Fe
             let bounds = grid.cell_bounds(cell)?;
             Some(
                 Feature::new(Geometry::rect(bounds))
-                    .with_property("cell", i64::from(cell.0))
+                    // Cell ids can exceed i64 on u32::MAX-per-side
+                    // grids; saturate rather than wrap for GeoJSON.
+                    .with_property("cell", i64::try_from(cell.0).unwrap_or(i64::MAX))
                     .with_property("count", count as i64)
                     .with_property("window", snapshot.window.label()),
             )

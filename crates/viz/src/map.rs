@@ -204,7 +204,7 @@ mod tests {
         MicrocellGrid::new(BoundingBox::NYC, 8, 8).unwrap()
     }
 
-    fn snapshot(counts: &[(u32, usize)]) -> CrowdSnapshot {
+    fn snapshot(counts: &[(u64, usize)]) -> CrowdSnapshot {
         CrowdSnapshot {
             window: TimeWindow::new(9, 10).unwrap(),
             cells: counts.iter().map(|&(c, n)| (CellId(c), n)).collect(),

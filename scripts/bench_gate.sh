@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Perf tripwire: replay a loadgen scenario against a freshly booted
+# in-process server, then gate on the whole-run totals row of the
+# output TSV (p99 latency, unexpected non-2xx count, 503 shed count,
+# minimum throughput).
+#
+#   scripts/bench_gate.sh [scenario.toml]
+#
+# Defaults to scenarios/smoke.toml. Thresholds are read from the
+# adjacent <scenario>.thresholds.toml; see scenarios/smoke.thresholds.toml
+# for the format and the philosophy (generous bounds, tripwire not
+# benchmark). The TSV is left in out/ for CI to upload as an artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCENARIO=${1:-scenarios/smoke.toml}
+THRESHOLDS="${SCENARIO%.toml}.thresholds.toml"
+[ -f "$SCENARIO" ] || { echo "no such scenario: $SCENARIO" >&2; exit 1; }
+[ -f "$THRESHOLDS" ] || { echo "no thresholds file: $THRESHOLDS" >&2; exit 1; }
+
+# One integer value from the thresholds file: strip comments, spaces,
+# and digit-group underscores.
+threshold() {
+    awk -F'=' -v key="$1" '
+        { sub(/#.*/, "") }
+        $1 ~ "^[ \t]*" key "[ \t]*$" { gsub(/[ \t_]/, "", $2); print $2; exit }
+    ' "$THRESHOLDS"
+}
+for key in p99_us_max non2xx_max http503_max min_requests; do
+    val=$(threshold "$key")
+    [ -n "$val" ] || { echo "$THRESHOLDS is missing $key" >&2; exit 1; }
+    eval "$key=$val"
+done
+
+name=$(awk -F'"' '/^[ \t]*name[ \t]*=/ { print $2; exit }' "$SCENARIO")
+out="out/loadgen_${name}.tsv"
+
+echo "== bench gate: $SCENARIO =="
+cargo run -q --release -p crowdweb-loadgen -- run "$SCENARIO" --out out --quiet
+
+[ -f "$out" ] || { echo "loadgen produced no $out" >&2; exit 1; }
+
+awk -F'\t' \
+    -v p99="$p99_us_max" -v non2xx="$non2xx_max" \
+    -v h503="$http503_max" -v minreq="$min_requests" '
+    $1 == "total" && $2 == "all" && $3 == "all" {
+        found = 1
+        printf "requests=%d non2xx=%d http503=%d p99_us=%d\n", $4, $5, $6, $10
+        if ($4 < minreq)  { printf "FAIL: %d requests < min_requests %d\n", $4, minreq > "/dev/stderr"; bad = 1 }
+        if ($5 > non2xx)  { printf "FAIL: %d unexpected non-2xx > %d\n", $5, non2xx > "/dev/stderr"; bad = 1 }
+        if ($6 > h503)    { printf "FAIL: %d shed (503) > %d\n", $6, h503 > "/dev/stderr"; bad = 1 }
+        if ($10 > p99)    { printf "FAIL: p99 %dus > %dus\n", $10, p99 > "/dev/stderr"; bad = 1 }
+    }
+    END {
+        if (!found) { print "no total/all/all summary row in TSV" > "/dev/stderr"; exit 1 }
+        exit bad
+    }
+' "$out"
+
+echo "bench gate passed ($out)"

@@ -64,6 +64,24 @@ else
     echo "skipped: cannot raise ulimit -n to 16384 (current: $(ulimit -n))"
 fi
 
+echo "== tenancy gate =="
+# Two cities must ingest concurrently without cross-contaminating each
+# other's snapshots, per-city WAL roots must recover independently, and
+# a formerly-GridTooLarge resolution must serve
+# /api/v1/cities/{id}/crowd/map end to end over TCP with retained
+# epochs byte-identical across parallelism and shard policies.
+cargo test -q --test tenancy
+# The sparse cell store must stay provably equivalent to the dense one.
+cargo test -q -p crowdweb-geo cells
+grep -qF '/api/v1/cities/{city}' README.md || {
+    echo "README.md must document the /api/v1/cities/{city}/... tenant routes" >&2
+    exit 1
+}
+grep -qF 'default city' README.md || {
+    echo "README.md must document the default-city alias policy" >&2
+    exit 1
+}
+
 echo "== epoch history gate =="
 # Time travel must stay byte-identical to cold rebuilds, end to end.
 cargo test -q --test epoch_history

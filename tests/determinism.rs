@@ -4,7 +4,7 @@
 
 use crowdweb::prelude::*;
 
-fn full_run(seed: u64) -> (usize, Vec<usize>, Vec<(u32, usize)>) {
+fn full_run(seed: u64) -> (usize, Vec<usize>, Vec<(u64, usize)>) {
     let dataset = SynthConfig::small(seed).generate().unwrap();
     let prepared = Preprocessor::new()
         .min_active_days(20)

@@ -97,8 +97,8 @@ fn figs3_4_crowd_relocates_between_windows() {
     let evening: Vec<_> = rows.iter().filter(|r| r.window == "7-8 pm").collect();
     assert!(!morning.is_empty(), "9-10 am crowd is empty");
     assert!(!evening.is_empty(), "7-8 pm crowd is empty");
-    let m_cells: Vec<u32> = morning.iter().map(|r| r.cell).collect();
-    let e_cells: Vec<u32> = evening.iter().map(|r| r.cell).collect();
+    let m_cells: Vec<u64> = morning.iter().map(|r| r.cell).collect();
+    let e_cells: Vec<u64> = evening.iter().map(|r| r.cell).collect();
     assert_ne!(m_cells, e_cells, "crowd did not move between windows");
 }
 
