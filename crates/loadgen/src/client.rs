@@ -161,9 +161,13 @@ pub fn request(
     read_framed_response(&mut BufReader::new(stream))
 }
 
-/// Reads exactly one response — status line, headers, then exactly
-/// `Content-Length` body bytes — leaving any pipelined bytes behind it
-/// unread. EOF is never the frame boundary.
+/// Reads exactly one response — status line, headers, then the body as
+/// framed by the head: exactly `Content-Length` bytes, or a
+/// `Transfer-Encoding: chunked` sequence through its terminal
+/// zero-size chunk — leaving any pipelined bytes behind it unread. EOF
+/// is never the frame boundary; a chunked stream that ends without the
+/// terminal chunk is a transport error (that is how the server
+/// signals a mid-stream producer failure).
 fn read_framed_response<R: BufRead>(reader: &mut R) -> io::Result<HttpResponse> {
     let malformed = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
     let status_line = read_crlf_line(reader)?;
@@ -174,6 +178,7 @@ fn read_framed_response<R: BufRead>(reader: &mut R) -> io::Result<HttpResponse> 
         .ok_or_else(|| malformed("unparseable status line"))?;
     let mut retry_after = None;
     let mut content_length: Option<usize> = None;
+    let mut chunked = false;
     let mut connection_close = false;
     loop {
         let line = read_crlf_line(reader)?;
@@ -193,22 +198,66 @@ fn read_framed_response<R: BufRead>(reader: &mut R) -> io::Result<HttpResponse> 
                     .parse::<usize>()
                     .map_err(|_| malformed("unparseable content-length"))?,
             );
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            chunked = value
+                .split(',')
+                .any(|token| token.trim().eq_ignore_ascii_case("chunked"));
         } else if name.eq_ignore_ascii_case("connection") {
             connection_close = value
                 .split(',')
                 .any(|token| token.trim().eq_ignore_ascii_case("close"));
         }
     }
-    let content_length =
-        content_length.ok_or_else(|| malformed("response did not declare content-length"))?;
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let body = if chunked {
+        read_chunked_body(reader)?
+    } else {
+        let content_length = content_length
+            .ok_or_else(|| malformed("response declared neither content-length nor chunked"))?;
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        body
+    };
     Ok(HttpResponse {
         status,
         retry_after,
         body: String::from_utf8_lossy(&body).into_owned(),
         connection_close,
     })
+}
+
+/// Decodes one chunked body: hex-size line, that many data bytes, a
+/// CRLF, repeated through the terminal `0\r\n\r\n`. EOF anywhere before
+/// the terminal chunk is an `UnexpectedEof` transport error — a
+/// truncated stream must never pass for a complete body.
+fn read_chunked_body<R: BufRead>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let malformed = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_crlf_line(reader)?;
+        // Ignore any chunk extension (";" onward) per RFC 9112 §7.1.1.
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size =
+            usize::from_str_radix(size_hex, 16).map_err(|_| malformed("unparseable chunk size"))?;
+        if size == 0 {
+            break;
+        }
+        let at = body.len();
+        body.resize(at + size, 0);
+        reader.read_exact(&mut body[at..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(malformed("chunk data not CRLF-terminated"));
+        }
+    }
+    // Trailer section: consume through the blank line ending the frame
+    // (the server sends none, so this is normally one empty read).
+    loop {
+        if read_crlf_line(reader)?.is_empty() {
+            break;
+        }
+    }
+    Ok(body)
 }
 
 /// Reads one `\r\n`-terminated line, returned without the terminator.
@@ -418,7 +467,8 @@ mod tests {
         // Head cut mid-line.
         let raw = b"HTTP/1.1 200 OK\r\nContent-";
         assert!(read_framed_response(&mut BufReader::new(&raw[..])).is_err());
-        // No content-length at all: the frame boundary is unknowable.
+        // Neither content-length nor chunked: the frame boundary is
+        // unknowable.
         let raw = b"HTTP/1.1 200 OK\r\n\r\nbody";
         assert!(read_framed_response(&mut BufReader::new(&raw[..])).is_err());
         // Body shorter than declared.
@@ -427,6 +477,47 @@ mod tests {
         // Garbage status line.
         let raw = b"garbage\r\n\r\n";
         assert!(read_framed_response(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn decodes_a_chunked_body_through_the_terminal_chunk() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\
+                    Connection: keep-alive\r\n\r\n\
+                    5\r\nhello\r\n7\r\n, world\r\n0\r\n\r\nHTTP/1.1 404 NF\r\nContent-Length: 0\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let r = read_framed_response(&mut reader).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "hello, world");
+        assert!(!r.connection_close);
+        // The frame ended exactly at the terminal chunk: a pipelined
+        // follow-up response is left unread and parses next.
+        let r = read_framed_response(&mut reader).unwrap();
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn chunked_body_without_terminal_chunk_is_a_transport_error() {
+        // The server aborts a failed stream by closing without the
+        // terminal chunk; the client must surface that as an error,
+        // never as a short-but-successful body.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n";
+        let err = read_framed_response(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Data cut mid-chunk is equally fatal.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nshort";
+        assert!(read_framed_response(&mut BufReader::new(&raw[..])).is_err());
+        // A garbage size line is malformed, not EOF.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+        let err = read_framed_response(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn chunk_extensions_are_ignored() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4;ext=1\r\ndata\r\n0\r\n\r\n";
+        let r = read_framed_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(r.body, "data");
     }
 
     #[test]

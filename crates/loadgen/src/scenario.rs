@@ -34,6 +34,10 @@ pub struct ReadMix {
     /// `GET /api/v1/tiles/{z}/{x}/{y}?hour=H` — map tiles at venue
     /// locations.
     pub tiles: f64,
+    /// `GET /api/v1/export/checkins` — the chunked NDJSON bulk export
+    /// (the heaviest read; defaults to 0 so only scenarios that opt in
+    /// pay for it).
+    pub export: f64,
     /// `GET /api/v1/crowd?hour=H&epoch=N` — time-travel reads pinned to
     /// the most recently published epoch.
     pub epoch: f64,
@@ -48,6 +52,7 @@ impl Default for ReadMix {
             map: 2.0,
             flows: 1.0,
             tiles: 2.0,
+            export: 0.0,
             epoch: 1.0,
         }
     }
@@ -55,9 +60,16 @@ impl Default for ReadMix {
 
 impl ReadMix {
     /// The weights as an array in stable endpoint order
-    /// (crowd, map, flows, tiles, epoch).
-    pub fn weights(&self) -> [f64; 5] {
-        [self.crowd, self.map, self.flows, self.tiles, self.epoch]
+    /// (crowd, map, flows, tiles, export, epoch).
+    pub fn weights(&self) -> [f64; 6] {
+        [
+            self.crowd,
+            self.map,
+            self.flows,
+            self.tiles,
+            self.export,
+            self.epoch,
+        ]
     }
 }
 
@@ -232,6 +244,7 @@ impl Scenario {
             ("map", self.read_mix.map),
             ("flows", self.read_mix.flows),
             ("tiles", self.read_mix.tiles),
+            ("export", self.read_mix.export),
             ("epoch", self.read_mix.epoch),
         ] {
             if !(w.is_finite() && w >= 0.0) {
@@ -593,6 +606,7 @@ fn parse(text: &str) -> Result<Scenario, LoadgenError> {
         map: mix_field(&mut read_mix, "map", defaults.map)?,
         flows: mix_field(&mut read_mix, "flows", defaults.flows)?,
         tiles: mix_field(&mut read_mix, "tiles", defaults.tiles)?,
+        export: mix_field(&mut read_mix, "export", defaults.export)?,
         epoch: mix_field(&mut read_mix, "epoch", defaults.epoch)?,
     };
     read_mix.reject_leftovers("[read_mix]")?;
@@ -710,6 +724,7 @@ mod tests {
             map = 1
             flows = 0.5
             tiles = 2
+            export = 0.25
             epoch = 0.5
 
             [[phase]]
@@ -730,6 +745,7 @@ mod tests {
         "#;
         let s = Scenario::from_toml_str(toml).unwrap();
         assert_eq!(s.users, 1_200_000);
+        assert_eq!(s.read_mix.export, 0.25);
         assert_eq!(s.phases[1].surge.as_deref(), Some("stadium"));
         // serde round trip: serialize to JSON, parse back, equal.
         let json = serde_json::to_string(&s).unwrap();

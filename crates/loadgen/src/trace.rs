@@ -53,6 +53,8 @@ pub enum EndpointKind {
     Flows,
     /// `GET /api/v1/tiles/{z}/{x}/{y}`.
     Tiles,
+    /// `GET /api/v1/export/checkins` — the chunked NDJSON bulk export.
+    Export,
     /// `GET /api/v1/crowd?epoch=N` — a time-travel read.
     EpochRead,
 }
@@ -66,17 +68,19 @@ impl EndpointKind {
             EndpointKind::CrowdMap => "crowd_map",
             EndpointKind::Flows => "flows",
             EndpointKind::Tiles => "tiles",
+            EndpointKind::Export => "export",
             EndpointKind::EpochRead => "epoch_read",
         }
     }
 
     /// All kinds, in stable label order.
-    pub const ALL: [EndpointKind; 6] = [
+    pub const ALL: [EndpointKind; 7] = [
         EndpointKind::Checkins,
         EndpointKind::Crowd,
         EndpointKind::CrowdMap,
         EndpointKind::Flows,
         EndpointKind::Tiles,
+        EndpointKind::Export,
         EndpointKind::EpochRead,
     ];
 
@@ -380,6 +384,7 @@ impl City {
                     ),
                 )
             }
+            4 => (EndpointKind::Export, format!("{base}/export/checkins")),
             _ => (
                 EndpointKind::EpochRead,
                 format!("{base}/crowd?hour={hour}&epoch={EPOCH_PLACEHOLDER}"),

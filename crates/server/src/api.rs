@@ -56,7 +56,7 @@
 //! | `GET /` | embedded front-end |
 //! | `GET /api/v1/cities` | registered cities and their vitals (JSON) |
 //! | `GET /api/v1/stats` | dataset statistics (Sec. I.1 numbers) |
-//! | `GET /api/v1/users?limit=N&offset=M` | qualifying users, paginated (`{"total", "items"}`) |
+//! | `GET /api/v1/users?limit=N&offset=M` \| `?after=<user>` | qualifying users, paginated (`{"total", "items", "next_after"}`) |
 //! | `GET /api/v1/patterns/:user` | a user's mined patterns (JSON) |
 //! | `GET /api/v1/network/:user` | a user's place graph (SVG) |
 //! | `GET /api/v1/crowd?hour=H` | crowd snapshot (JSON) |
@@ -72,7 +72,7 @@
 //! | `GET /api/v1/figures/:id/svg` | figure chart (SVG) |
 //! | `POST /api/v1/upload` | mine an uploaded TSV check-in history |
 //! | `GET /api/v1/upload/last` | the most recent upload's patterns |
-//! | `GET /api/v1/uploads?limit=N&offset=M` | recent uploads, newest first, paginated |
+//! | `GET /api/v1/uploads?limit=N&offset=M` \| `?after=<id>` | recent uploads, newest first, paginated |
 //! | `POST /api/v1/checkins` | enqueue live check-ins (single or batch JSON) |
 //! | `POST /api/v1/ingest/epoch` | drain the queue into a new epoch snapshot |
 //! | `GET /api/v1/ingest/stats` | ingest queue/WAL/epoch/shard statistics |
@@ -85,11 +85,46 @@
 //! | `GET /api/v1/groups?threshold=T` | users grouped by pattern similarity (JSON) |
 //! | `GET /api/v1/trajectory/:user?date=D` | one day's trajectory (JSON + GeoJSON) |
 //! | `GET /api/v1/tiles/:z/:x/:y?hour=H` | slippy-map crowd tile (SVG) |
+//! | `GET /api/v1/export/checkins` | bulk check-in export (NDJSON, streamed chunked) |
 //!
 //! Each route above (minus `GET /`) also answers at `/api/...` without
 //! the version segment, and each data route (minus `GET /`,
 //! `/api/v1/cities`, and `/api/v1/metrics`) additionally answers at
 //! `GET /api/v1/cities/{city}/...` for any registered city.
+//!
+//! # Streaming bodies
+//!
+//! Handlers return [`Response`] whose body is either
+//! [`ResponseBody::Full`](crate::http::ResponseBody::Full) (written
+//! with `Content-Length`) or
+//! [`ResponseBody::Stream`](crate::http::ResponseBody::Stream) (a
+//! pull-based [`BodyStream`] the reactor drains with `Transfer-
+//! Encoding: chunked`, polling the producer only while the socket can
+//! take more — see `DESIGN.md` §13). The heavyweight renders
+//! (`crowd/map`, `crowd/geojson`, `tiles`) stream their materialized
+//! buffers via [`ChunkedBytes`]; `export/checkins` is incrementally
+//! produced by [`CheckinExportStream`] and never materializes.
+//!
+//! # Conditional requests
+//!
+//! The tagged temporal endpoints (`crowd`, `crowd/map`,
+//! `crowd/geojson`, `crowd/flows`, `tiles`, `export/checkins`) set a
+//! strong `ETag` of the serving identity — `"{city}-e{epoch}"` — and
+//! answer `304 Not Modified` to a revalidating `If-None-Match` (weak
+//! comparison per RFC 9110 §13.1.2). A crowd view is immutable once
+//! its epoch is published, so pollers pay a round-trip, not a body,
+//! while the epoch stands still.
+//!
+//! # Cursor pagination
+//!
+//! `/users` and `/uploads` accept `?after=<id>` as an alternative to
+//! `offset`: the page resumes strictly past the id (ascending user ids
+//! on `/users`, descending upload sequence ids on `/uploads`), and the
+//! response's `next_after` carries the cursor for the following page
+//! (`null` on the final page and in offset mode). Cursors stay stable
+//! while rows are inserted or evicted underneath; mixing `after` with
+//! `offset`, or a non-integer cursor, is a 400 `"bad-cursor"`
+//! envelope.
 //!
 //! # Time travel
 //!
@@ -103,7 +138,11 @@
 //! lists which epochs are scrubbable; asking for an evicted (or
 //! not-yet-published) epoch is a 404 `"unknown-epoch"` envelope, and a
 //! non-integer epoch is a 400 `"bad-epoch"` envelope.
+//! `export/checkins` also accepts `?epoch=N` but honors only the live
+//! epoch — the history ring retains crowd models, not datasets, so
+//! historical record exports are gone once the epoch advances.
 
+use crate::http::{BodyStream, ChunkedBytes, STREAM_CHUNK_BYTES};
 use crate::{AppState, CityState, Request, Response, Router, StatusCode};
 use crowdweb_crowd::{CrowdModel, CrowdSplice};
 use crowdweb_dataset::{MergeRecord, UserId};
@@ -435,6 +474,13 @@ pub fn build_router() -> Router<AppState> {
         "/api/tiles/:z/:x/:y",
         tile,
     );
+    city_get(
+        &mut router,
+        "/api/v1/cities/{city}/export/checkins",
+        "/api/v1/export/checkins",
+        "/api/export/checkins",
+        export_checkins,
+    );
     router
 }
 
@@ -469,6 +515,7 @@ fn cities_list(state: &AppState, _: &Request, _: &HashMap<String, String>) -> Re
     ok_json(&PageDto {
         total: items.len(),
         items,
+        next_after: None,
     })
 }
 
@@ -477,6 +524,15 @@ fn ok_json<T: Serialize>(value: &T) -> Response {
         Ok(body) => Response::json(body),
         Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
     }
+}
+
+/// Serves an already-materialized buffer under chunked framing: the
+/// handler still renders in one shot, but the reactor drains the bytes
+/// [`STREAM_CHUNK_BYTES`] at a time under the per-connection stream
+/// budget instead of holding one `Content-Length` buffer per in-flight
+/// response.
+fn stream_bytes(content_type: &str, bytes: Vec<u8>) -> Response {
+    Response::stream(content_type, Box::new(ChunkedBytes::new(bytes)))
 }
 
 /// Builds an error envelope with a handler-specific machine-readable
@@ -545,11 +601,42 @@ fn parse_page(request: &Request) -> Result<Page, Response> {
     Ok(Page { limit, offset })
 }
 
+/// Parses the cursor-pagination `?after=<id>` parameter. `after` names
+/// the id of the last item the client already has (a user id on
+/// `/users`, an upload sequence id on `/uploads`); the page resumes
+/// strictly past it, so a cursor walk stays stable while the
+/// collection shifts underneath (unlike `offset`, which re-counts from
+/// the front every page). A non-integer cursor, or mixing `after` with
+/// `offset`, is a 400 `"bad-cursor"` envelope.
+fn parse_after(request: &Request) -> Result<Option<u64>, Response> {
+    let Some(raw) = request.query_param("after") else {
+        return Ok(None);
+    };
+    if request.query_param("offset").is_some() {
+        return Err(error_envelope(
+            StatusCode::BadRequest,
+            "bad-cursor",
+            "after and offset are mutually exclusive",
+        ));
+    }
+    match raw.parse::<u64>() {
+        Ok(after) => Ok(Some(after)),
+        Err(_) => Err(error_envelope(
+            StatusCode::BadRequest,
+            "bad-cursor",
+            "after must be a non-negative integer id",
+        )),
+    }
+}
+
 /// A paginated listing: the unfiltered total plus one page of items.
+/// Cursor-mode pages additionally carry `next_after` — the cursor for
+/// the following page — `null` on the final page and in offset mode.
 #[derive(Serialize)]
 struct PageDto<T> {
     total: usize,
     items: Vec<T>,
+    next_after: Option<u64>,
 }
 
 fn paginate<T>(items: impl IntoIterator<Item = T>, total: usize, page: &Page) -> PageDto<T> {
@@ -560,6 +647,27 @@ fn paginate<T>(items: impl IntoIterator<Item = T>, total: usize, page: &Page) ->
             .skip(page.offset)
             .take(page.limit)
             .collect(),
+        next_after: None,
+    }
+}
+
+/// Cursor-mode pagination: takes the already-`after`-filtered row
+/// iterator, pulls one page plus a lookahead row, and derives
+/// `next_after` from the page's last id when more rows remain.
+fn paginate_after<T>(
+    rows: impl IntoIterator<Item = T>,
+    total: usize,
+    limit: usize,
+    id_of: impl Fn(&T) -> u64,
+) -> PageDto<T> {
+    let mut items: Vec<T> = rows.into_iter().take(limit + 1).collect();
+    let more = items.len() > limit;
+    items.truncate(limit);
+    let next_after = if more { items.last().map(&id_of) } else { None };
+    PageDto {
+        total,
+        items,
+        next_after,
     }
 }
 
@@ -607,6 +715,10 @@ fn users(
         Ok(p) => p,
         Err(resp) => return resp,
     };
+    let after = match parse_after(request) {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
     let snap = state.snapshot();
     let all = snap.patterns();
     let rows = all.iter().map(|p| UserDto {
@@ -614,7 +726,18 @@ fn users(
         active_days: p.active_days,
         patterns: p.pattern_count(),
     });
-    ok_json(&paginate(rows, all.len(), &page))
+    // Patterns are mined in ascending user order, so the user id is a
+    // sorted cursor: `after=<user>` resumes strictly past that id.
+    let dto = match after {
+        None => paginate(rows, all.len(), &page),
+        Some(after) => paginate_after(
+            rows.filter(|r| u64::from(r.user) > after),
+            all.len(),
+            page.limit,
+            |r| u64::from(r.user),
+        ),
+    };
+    ok_json(&dto)
 }
 
 #[derive(Serialize)]
@@ -729,8 +852,20 @@ struct CrowdDto {
 /// the retained ring is a 404 `"unknown-epoch"` envelope naming the
 /// scrubbable range.
 fn crowd_view(state: &CityState, request: &Request) -> Result<Arc<CrowdModel>, Response> {
+    crowd_view_epoch(state, request).map(|(model, _)| model)
+}
+
+/// [`crowd_view`] plus the epoch the resolved model was published at —
+/// the cache-validation identity of the view.
+fn crowd_view_epoch(
+    state: &CityState,
+    request: &Request,
+) -> Result<(Arc<CrowdModel>, u64), Response> {
     let Some(raw) = request.query_param("epoch") else {
-        return Ok(state.snapshot().crowd_arc());
+        // One snapshot() call so the model and the epoch can't straddle
+        // a concurrent publish.
+        let snap = state.snapshot();
+        return Ok((snap.crowd_arc(), snap.epoch()));
     };
     let Ok(epoch) = raw.parse::<u64>() else {
         return Err(error_envelope(
@@ -739,14 +874,47 @@ fn crowd_view(state: &CityState, request: &Request) -> Result<Arc<CrowdModel>, R
             "epoch must be a non-negative integer",
         ));
     };
-    state.engine().crowd_at(epoch).ok_or_else(|| {
+    let model = state.engine().crowd_at(epoch).ok_or_else(|| {
         let (oldest, newest) = state.engine().history().retained();
         error_envelope(
             StatusCode::NotFound,
             "unknown-epoch",
             &format!("epoch {epoch} is not retained (history holds {oldest}..={newest})"),
         )
+    })?;
+    Ok((model, epoch))
+}
+
+/// True when the request's `If-None-Match` header revalidates `etag`:
+/// the wildcard `*`, or any member of the comma-separated candidate
+/// list, compared ignoring a `W/` weakness prefix on the candidate
+/// (our tags are strong, and weak comparison is the correct semantics
+/// for `If-None-Match` per RFC 9110 §13.1.2).
+fn if_none_match(request: &Request, etag: &str) -> bool {
+    let Some(raw) = request.headers.get("if-none-match") else {
+        return false;
+    };
+    raw.split(',').map(str::trim).any(|candidate| {
+        candidate == "*" || candidate.strip_prefix("W/").unwrap_or(candidate) == etag
     })
+}
+
+/// [`crowd_view_epoch`] with conditional-request handling: resolves the
+/// model, derives the strong `ETag` (`"{city}-e{epoch}"` — a crowd view
+/// is immutable once its epoch is published), and short-circuits to
+/// `304 Not Modified` when the request's `If-None-Match` revalidates
+/// it. On `Ok` the handler attaches the returned tag via
+/// [`Response::with_etag`].
+fn crowd_view_tagged(
+    state: &CityState,
+    request: &Request,
+) -> Result<(Arc<CrowdModel>, String), Response> {
+    let (model, epoch) = crowd_view_epoch(state, request)?;
+    let etag = format!("\"{}-e{}\"", state.id(), epoch);
+    if if_none_match(request, &etag) {
+        return Err(Response::not_modified(&etag));
+    }
+    Ok((model, etag))
 }
 
 fn snapshot_for(
@@ -769,8 +937,8 @@ fn crowd(
     request: &Request,
     _: &HashMap<String, String>,
 ) -> Response {
-    let model = match crowd_view(state, request) {
-        Ok(m) => m,
+    let (model, etag) = match crowd_view_tagged(state, request) {
+        Ok(pair) => pair,
         Err(resp) => return resp,
     };
     match snapshot_for(&model, request) {
@@ -785,7 +953,8 @@ fn crowd(
                     users,
                 })
                 .collect(),
-        }),
+        })
+        .with_etag(&etag),
         Err(resp) => resp,
     }
 }
@@ -798,8 +967,8 @@ fn crowd_map(
 ) -> Response {
     // Optional ?label=N restricts the view to one place label ("only
     // the shoppers").
-    let model = match crowd_view(state, request) {
-        Ok(m) => m,
+    let (model, etag) = match crowd_view_tagged(state, request) {
+        Ok(pair) => pair,
         Err(resp) => return resp,
     };
     let snap = match request.query_param("label") {
@@ -832,7 +1001,14 @@ fn crowd_map(
             }
         }
     };
-    Response::svg(CityMap::new(model.grid()).render(&snap))
+    // A rendered city map can be megabytes of SVG on a dense grid —
+    // serve it chunked so the reactor never re-buffers the whole body
+    // past the stream budget.
+    stream_bytes(
+        "image/svg+xml",
+        CityMap::new(model.grid()).render(&snap).into_bytes(),
+    )
+    .with_etag(&etag)
 }
 
 fn crowd_geojson(
@@ -841,12 +1017,17 @@ fn crowd_geojson(
     request: &Request,
     _: &HashMap<String, String>,
 ) -> Response {
-    let model = match crowd_view(state, request) {
-        Ok(m) => m,
+    let (model, etag) = match crowd_view_tagged(state, request) {
+        Ok(pair) => pair,
         Err(resp) => return resp,
     };
     match snapshot_for(&model, request) {
-        Ok(snap) => ok_json(&snapshot_to_geojson(&snap, model.grid())),
+        Ok(snap) => match serde_json::to_string(&snapshot_to_geojson(&snap, model.grid())) {
+            // The largest JSON body we serve: one feature per occupied
+            // cell. Stream it instead of Content-Length framing.
+            Ok(body) => stream_bytes("application/json", body.into_bytes()).with_etag(&etag),
+            Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
+        },
         Err(resp) => resp,
     }
 }
@@ -876,8 +1057,8 @@ fn crowd_flows(
         (Ok(f), Ok(t)) => (f, t),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    let model = match crowd_view(state, request) {
-        Ok(m) => m,
+    let (model, etag) = match crowd_view_tagged(state, request) {
+        Ok(pair) => pair,
         Err(resp) => return resp,
     };
     let windows = model.windows();
@@ -898,7 +1079,8 @@ fn crowd_flows(
                     count: f.count,
                 })
                 .collect::<Vec<_>>(),
-        ),
+        )
+        .with_etag(&etag),
         Err(e) => Response::error(StatusCode::InternalServerError, &e.to_string()),
     }
 }
@@ -1151,6 +1333,34 @@ struct UploadDto {
     patterns: Vec<UserPatternsDto>,
 }
 
+/// One `GET /api/v1/uploads` row: the upload plus its stable ring
+/// sequence id — the cursor value for `?after=<id>`.
+#[derive(Serialize)]
+struct UploadRowDto {
+    id: u64,
+    users: Vec<u32>,
+    checkins: usize,
+    patterns: Vec<UserPatternsDto>,
+}
+
+fn upload_row_dto(
+    snap: &PlatformSnapshot,
+    seq: u64,
+    result: &crate::state::UploadResult,
+) -> UploadRowDto {
+    let UploadDto {
+        users,
+        checkins,
+        patterns,
+    } = upload_dto(snap, result);
+    UploadRowDto {
+        id: seq,
+        users,
+        checkins,
+        patterns,
+    }
+}
+
 fn upload_dto(snap: &PlatformSnapshot, result: &crate::state::UploadResult) -> UploadDto {
     UploadDto {
         users: result.users.iter().map(|u| u.raw()).collect(),
@@ -1200,10 +1410,28 @@ fn uploads_list(
         Ok(p) => p,
         Err(resp) => return resp,
     };
+    let after = match parse_after(request) {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
     let snap = state.snapshot();
     let uploads = state.uploads();
-    let rows = uploads.iter().map(|r| upload_dto(&snap, r));
-    ok_json(&paginate(rows, uploads.len(), &page))
+    let rows = uploads
+        .iter()
+        .map(|(seq, r)| upload_row_dto(&snap, *seq, r));
+    // The listing is newest first with sequence ids descending, so the
+    // cursor walks *down*: `after=<id>` resumes at the next-older
+    // upload, stable even as new uploads evict ring entries.
+    let dto = match after {
+        None => paginate(rows, uploads.len(), &page),
+        Some(after) => paginate_after(
+            rows.filter(|r| r.id < after),
+            uploads.len(),
+            page.limit,
+            |r| r.id,
+        ),
+    };
+    ok_json(&dto)
 }
 
 /// One live check-in as submitted to `POST /api/checkins`. `category`
@@ -1728,8 +1956,8 @@ fn tile(
         Ok(t) => t,
         Err(e) => return error_envelope(StatusCode::BadRequest, "bad-tile", &e.to_string()),
     };
-    let model = match crowd_view(state, request) {
-        Ok(m) => m,
+    let (model, etag) = match crowd_view_tagged(state, request) {
+        Ok(pair) => pair,
         Err(resp) => return resp,
     };
     let snap = match snapshot_for(&model, request) {
@@ -1760,7 +1988,111 @@ fn tile(
         let color = sequential_color(count as f64 / max as f64).to_hex();
         doc.rect(x0, y0, (x1 - x0).abs(), (y1 - y0).abs(), &color, None);
     }
-    Response::svg(doc.finish())
+    stream_bytes("image/svg+xml", doc.finish().into_bytes()).with_etag(&etag)
+}
+
+/// One `export/checkins` NDJSON line: a check-in joined with its
+/// venue. Field names follow the `POST /api/v1/checkins` submission
+/// shape where they overlap; `time_unix` is the UTC Unix timestamp.
+#[derive(Serialize)]
+struct ExportRowDto {
+    user: u32,
+    venue: String,
+    category: Option<String>,
+    lat: f64,
+    lon: f64,
+    tz_offset_minutes: i32,
+    time_unix: i64,
+}
+
+/// The `export/checkins` producer: serializes the snapshot's check-in
+/// records one JSON object per line, one ~[`STREAM_CHUNK_BYTES`] batch
+/// per pull. It holds only the `Arc`'d snapshot and a row index, so
+/// the full export is never materialized — not in the handler and not
+/// in the reactor, whose buffering stays bounded by the stream budget.
+struct CheckinExportStream {
+    snap: Arc<PlatformSnapshot>,
+    next: usize,
+}
+
+impl BodyStream for CheckinExportStream {
+    fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        let dataset = self.snap.dataset();
+        let checkins = dataset.checkins();
+        if self.next >= checkins.len() {
+            return Ok(None);
+        }
+        let mut out = Vec::new();
+        while self.next < checkins.len() && out.len() < STREAM_CHUNK_BYTES {
+            let c = &checkins[self.next];
+            self.next += 1;
+            let Some(venue) = dataset.venue(c.venue()) else {
+                // Unreachable on a well-formed dataset (check-ins only
+                // enter against registered venues); skip defensively
+                // rather than abort a multi-megabyte export.
+                continue;
+            };
+            let row = ExportRowDto {
+                user: c.user().raw(),
+                venue: venue.name().to_owned(),
+                category: dataset
+                    .taxonomy()
+                    .name_of(venue.category())
+                    .map(str::to_owned),
+                lat: venue.location().lat(),
+                lon: venue.location().lon(),
+                tz_offset_minutes: c.tz_offset_minutes(),
+                time_unix: c.time().unix_seconds(),
+            };
+            let line = serde_json::to_string(&row).map_err(std::io::Error::other)?;
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+        }
+        Ok(Some(out))
+    }
+}
+
+/// `GET /api/v1/cities/{city}/export/checkins`: bulk NDJSON export of
+/// the city's current check-in records, streamed chunked. Epoch
+/// history retains only crowd models (not datasets), so `?epoch=N` is
+/// honored exactly when `N` is the snapshot's own epoch — anything
+/// else is the usual 400/404 envelope. Carries the same
+/// `ETag`/`If-None-Match` revalidation as the crowd endpoints.
+fn export_checkins(
+    _app: &AppState,
+    state: &CityState,
+    request: &Request,
+    _: &HashMap<String, String>,
+) -> Response {
+    let snap = state.snapshot();
+    if let Some(raw) = request.query_param("epoch") {
+        let Ok(epoch) = raw.parse::<u64>() else {
+            return error_envelope(
+                StatusCode::BadRequest,
+                "bad-epoch",
+                "epoch must be a non-negative integer",
+            );
+        };
+        if epoch != snap.epoch() {
+            return error_envelope(
+                StatusCode::NotFound,
+                "unknown-epoch",
+                &format!(
+                    "check-in records are only retained for the live epoch {}",
+                    snap.epoch()
+                ),
+            );
+        }
+    }
+    let etag = format!("\"{}-e{}\"", state.id(), snap.epoch());
+    if if_none_match(request, &etag) {
+        return Response::not_modified(&etag);
+    }
+    Response::stream(
+        "application/x-ndjson",
+        Box::new(CheckinExportStream { snap, next: 0 }),
+    )
+    .with_etag(&etag)
 }
 
 #[cfg(test)]
@@ -1775,7 +2107,10 @@ mod tests {
     fn get(router: &Router<AppState>, state: &AppState, path: &str) -> (u16, String) {
         let req = Request::read_from(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes()).unwrap();
         let resp = router.route(state, &req);
-        (resp.status.code(), String::from_utf8(resp.body).unwrap())
+        (
+            resp.status.code(),
+            String::from_utf8(resp.into_body_bytes()).unwrap(),
+        )
     }
 
     #[test]
@@ -1833,7 +2168,7 @@ mod tests {
         let first = r.route(&s, &req);
         assert_eq!(first.status.code(), 200);
         assert!(first.content_type.starts_with("text/plain"));
-        let text = String::from_utf8(first.body.clone()).unwrap();
+        let text = String::from_utf8(first.body_bytes().to_vec()).unwrap();
         assert!(!text.is_empty(), "cold build must have recorded metrics");
         for line in text.lines().filter(|l| !l.is_empty()) {
             assert_prometheus_line(line);
@@ -1857,7 +2192,8 @@ mod tests {
         // is byte-identical.
         let second = r.route(&s, &req);
         assert_eq!(
-            first.body, second.body,
+            first.body_bytes(),
+            second.body_bytes(),
             "scrapes must order deterministically"
         );
     }
@@ -2022,7 +2358,7 @@ mod tests {
         let req = Request::read_from(raw.as_bytes()).unwrap();
         let resp = r.route(&s, &req);
         assert_eq!(resp.status.code(), 200);
-        let body = String::from_utf8(resp.body).unwrap();
+        let body = String::from_utf8(resp.into_body_bytes()).unwrap();
         assert!(body.contains("\"checkins\":2"));
         let (code, _) = get(&r, &s, "/api/upload/last");
         assert_eq!(code, 200);
@@ -2035,7 +2371,10 @@ mod tests {
         );
         let req = Request::read_from(raw.as_bytes()).unwrap();
         let resp = router.route(state, &req);
-        (resp.status.code(), String::from_utf8(resp.body).unwrap())
+        (
+            resp.status.code(),
+            String::from_utf8(resp.into_body_bytes()).unwrap(),
+        )
     }
 
     #[test]
@@ -2223,7 +2562,7 @@ mod tests {
         let req = Request::read_from(raw.as_bytes()).unwrap();
         let resp = r.route(&s, &req);
         assert_eq!(resp.status.code(), 503);
-        assert!(String::from_utf8(resp.body.clone())
+        assert!(String::from_utf8(resp.body_bytes().to_vec())
             .unwrap()
             .contains("queue full"));
         // The shed response advertises a principled backoff, and the
@@ -2242,7 +2581,7 @@ mod tests {
         let r = build_router();
         let (code, body) = get(&r, &s, "/api/v1/uploads");
         assert_eq!(code, 200);
-        assert_eq!(body, "{\"total\":0,\"items\":[]}");
+        assert_eq!(body, "{\"total\":0,\"items\":[],\"next_after\":null}");
         for user in [501, 502] {
             let tsv = format!(
                 "{user}\tv1\tx\tCoffee Shop\t40.75\t-73.99\t-240\tTue Apr 03 13:00:00 +0000 2012\n"
@@ -2605,5 +2944,253 @@ mod tests {
             ),
             None
         );
+    }
+
+    /// Routes a GET carrying extra raw header lines (each
+    /// `Name: value\r\n`-terminated) — the conditional-request helper.
+    fn get_with(
+        router: &Router<AppState>,
+        state: &AppState,
+        path: &str,
+        headers: &str,
+    ) -> Response {
+        let req =
+            Request::read_from(format!("GET {path} HTTP/1.1\r\n{headers}\r\n").as_bytes()).unwrap();
+        router.route(state, &req)
+    }
+
+    /// The bulk export must emit exactly one NDJSON line per dataset
+    /// check-in, in record order, as a streamed body.
+    #[test]
+    fn export_checkins_streams_one_ndjson_line_per_record() {
+        let s = state();
+        let r = build_router();
+        let snap = s.snapshot();
+        let total = snap.dataset().checkins().len();
+        let req =
+            Request::read_from("GET /api/v1/export/checkins HTTP/1.1\r\n\r\n".as_bytes()).unwrap();
+        let resp = r.route(&s, &req);
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(resp.content_type, "application/x-ndjson");
+        assert!(
+            matches!(resp.body, crate::http::ResponseBody::Stream(_)),
+            "the export must stream, not materialize"
+        );
+        let body = String::from_utf8(resp.into_body_bytes()).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), total, "one line per check-in");
+        // Rows are the snapshot's records joined with their venues, in
+        // dataset order.
+        for (i, probe) in [0, total / 2, total - 1].into_iter().enumerate() {
+            let row: serde_json::Value = serde_json::from_str(lines[probe]).unwrap();
+            let c = snap.dataset().checkins()[probe];
+            let v = snap.dataset().venue(c.venue()).unwrap();
+            assert_eq!(row["user"].as_u64(), Some(u64::from(c.user().raw())), "{i}");
+            assert_eq!(row["venue"].as_str(), Some(v.name()), "{i}");
+            assert_eq!(row["time_unix"].as_i64(), Some(c.time().unix_seconds()));
+        }
+    }
+
+    /// Export conditional requests and epoch pinning: matching
+    /// `If-None-Match` short-circuits to an empty 304; `?epoch` only
+    /// accepts the live epoch (records are not retained historically).
+    #[test]
+    fn export_checkins_revalidates_and_pins_the_live_epoch() {
+        let s = state();
+        let r = build_router();
+        let req =
+            Request::read_from("GET /api/v1/export/checkins HTTP/1.1\r\n\r\n".as_bytes()).unwrap();
+        let resp = r.route(&s, &req);
+        let etag = resp.etag.clone().expect("export carries an ETag");
+        assert_eq!(etag, format!("\"{}-e0\"", s.default_city_id()));
+        // Strong, weak-prefixed, list-member, and wildcard candidates
+        // all revalidate (weak comparison per RFC 9110 §13.1.2).
+        for candidate in [
+            etag.clone(),
+            format!("W/{etag}"),
+            format!("\"stale\", {etag}"),
+            "*".to_owned(),
+        ] {
+            let resp = get_with(
+                &r,
+                &s,
+                "/api/v1/export/checkins",
+                &format!("If-None-Match: {candidate}\r\n"),
+            );
+            assert_eq!(resp.status.code(), 304, "candidate {candidate}");
+            assert_eq!(resp.etag.as_deref(), Some(etag.as_str()));
+            assert!(resp.into_body_bytes().is_empty(), "a 304 has no body");
+        }
+        // A non-matching candidate serves the stream again.
+        let resp = get_with(
+            &r,
+            &s,
+            "/api/v1/export/checkins",
+            "If-None-Match: \"other-e9\"\r\n",
+        );
+        assert_eq!(resp.status.code(), 200);
+        // The live epoch is the only exportable one.
+        let (code, _) = get(&r, &s, "/api/v1/export/checkins?epoch=0");
+        assert_eq!(code, 200);
+        let (code, body) = get(&r, &s, "/api/v1/export/checkins?epoch=7");
+        assert_eq!(code, 404, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["code"], "unknown-epoch");
+        let (code, body) = get(&r, &s, "/api/v1/export/checkins?epoch=x");
+        assert_eq!(code, 400, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["code"], "bad-epoch");
+    }
+
+    /// The temporal crowd endpoints all tag with the serving epoch and
+    /// answer 304 to a matching `If-None-Match`; publishing a new epoch
+    /// rotates the tag so stale validators miss.
+    #[test]
+    fn crowd_endpoints_revalidate_until_the_epoch_advances() {
+        let s = state();
+        let r = build_router();
+        let tagged = [
+            "/api/v1/crowd?hour=9",
+            "/api/v1/crowd/map?hour=9",
+            "/api/v1/crowd/geojson?hour=9",
+            "/api/v1/crowd/flows?from=9&to=10",
+            "/api/v1/tiles/11/602/770?hour=9",
+        ];
+        let expect = format!("\"{}-e0\"", s.default_city_id());
+        for path in tagged {
+            let req =
+                Request::read_from(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes()).unwrap();
+            let resp = r.route(&s, &req);
+            assert_eq!(resp.status.code(), 200, "{path}");
+            assert_eq!(resp.etag.as_deref(), Some(expect.as_str()), "{path}");
+            let resp = get_with(&r, &s, path, &format!("If-None-Match: {expect}\r\n"));
+            assert_eq!(resp.status.code(), 304, "{path}");
+        }
+        // A new epoch invalidates epoch-0 validators...
+        advance_epoch(&r, &s, 0);
+        let resp = get_with(
+            &r,
+            &s,
+            "/api/v1/crowd?hour=9",
+            &format!("If-None-Match: {expect}\r\n"),
+        );
+        assert_eq!(resp.status.code(), 200, "a stale validator must miss");
+        assert_eq!(
+            resp.etag.as_deref(),
+            Some(format!("\"{}-e1\"", s.default_city_id()).as_str())
+        );
+        // ...but a pinned time-travel read still revalidates against
+        // the old epoch's tag: the view is immutable once published.
+        let resp = get_with(
+            &r,
+            &s,
+            "/api/v1/crowd?hour=9&epoch=0",
+            &format!("If-None-Match: {expect}\r\n"),
+        );
+        assert_eq!(resp.status.code(), 304);
+    }
+
+    /// A cursor walk over `/users` visits exactly the full listing:
+    /// pages resume strictly past `after`, each non-final page names
+    /// the next cursor, and the final page's cursor is null.
+    #[test]
+    fn users_cursor_walk_covers_the_listing_exactly() {
+        let s = state();
+        let r = build_router();
+        let (_, body) = get(&r, &s, "/api/v1/users");
+        let full: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let all = full["items"].as_array().unwrap().clone();
+        assert!(all.len() >= 3, "need a few users to walk over");
+        assert!(
+            full["next_after"].is_null(),
+            "offset mode never emits a cursor: {body}"
+        );
+        // First page plain, then follow next_after to the end.
+        let (_, body) = get(&r, &s, "/api/v1/users?limit=2");
+        let first: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let mut walked = first["items"].as_array().unwrap().clone();
+        let mut cursor = walked.last().unwrap()["user"].as_u64().unwrap();
+        loop {
+            let (code, body) = get(&r, &s, &format!("/api/v1/users?limit=2&after={cursor}"));
+            assert_eq!(code, 200, "{body}");
+            let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+            assert_eq!(page["total"], full["total"]);
+            let items = page["items"].as_array().unwrap();
+            for item in items {
+                assert!(
+                    item["user"].as_u64().unwrap() > cursor,
+                    "pages resume strictly past the cursor"
+                );
+            }
+            walked.extend(items.iter().cloned());
+            match page["next_after"].as_u64() {
+                Some(next) => {
+                    assert_eq!(
+                        next,
+                        items.last().unwrap()["user"].as_u64().unwrap(),
+                        "the cursor is the page's last id"
+                    );
+                    cursor = next;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(walked, all, "the walk must visit the listing exactly");
+    }
+
+    /// Upload cursors walk the ring newest-to-oldest by sequence id,
+    /// and malformed cursors get the `bad-cursor` envelope everywhere.
+    #[test]
+    fn uploads_cursor_pages_and_bad_cursors_are_rejected() {
+        let s = state();
+        let r = build_router();
+        for user in 70..74 {
+            let tsv = format!(
+                "{user}\tv1\tx\tCoffee Shop\t40.75\t-73.99\t-240\tTue Apr 03 13:00:00 +0000 2012\n"
+            );
+            let raw = format!(
+                "POST /api/upload HTTP/1.1\r\nContent-Length: {}\r\n\r\n{tsv}",
+                tsv.len()
+            );
+            let req = Request::read_from(raw.as_bytes()).unwrap();
+            assert_eq!(r.route(&s, &req).status.code(), 200);
+        }
+        let (_, body) = get(&r, &s, "/api/v1/uploads?limit=2");
+        let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(page["total"].as_u64(), Some(4));
+        let ids: Vec<u64> = page["items"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|i| i["id"].as_u64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![3, 2], "newest first, by ingest sequence");
+        let (code, body) = get(&r, &s, "/api/v1/uploads?limit=2&after=2");
+        assert_eq!(code, 200);
+        let page: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let ids: Vec<u64> = page["items"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|i| i["id"].as_u64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![1, 0], "the cursor resumes at the next-older row");
+        assert!(page["next_after"].is_null(), "{body}");
+        assert!(
+            page["items"][0]["users"].as_array().is_some(),
+            "upload rows keep their result shape: {body}"
+        );
+        for bad in [
+            "/api/v1/uploads?after=abc",
+            "/api/v1/uploads?after=-1",
+            "/api/v1/uploads?after=1&offset=1",
+            "/api/v1/users?after=abc",
+            "/api/v1/users?after=1&offset=1",
+        ] {
+            let (code, body) = get(&r, &s, bad);
+            assert_eq!(code, 400, "{bad}: {body}");
+            let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+            assert_eq!(v["error"]["code"], "bad-cursor", "{bad}: {body}");
+        }
     }
 }

@@ -4,8 +4,12 @@
 //! headers, `Content-Length`-framed bodies, and HTTP/1.1 persistent
 //! connections (`Connection` negotiation lives here; the lifecycle —
 //! budgets, idle reaping, pipelined replies — is the reactor's).
-//! Everything else (chunked encoding, upgrades) is deliberately out of
-//! scope.
+//!
+//! Responses carry a [`ResponseBody`]: either a fully materialized
+//! buffer served with `Content-Length` framing, or a pull-based
+//! [`BodyStream`] served with `Transfer-Encoding: chunked` framing so
+//! large exports never buffer whole in the reactor. Request bodies stay
+//! `Content-Length`-only; upgrades are out of scope.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -57,6 +61,8 @@ impl fmt::Display for Method {
 pub enum StatusCode {
     /// 200.
     Ok,
+    /// 304.
+    NotModified,
     /// 400.
     BadRequest,
     /// 404.
@@ -76,6 +82,7 @@ impl StatusCode {
     pub fn code(self) -> u16 {
         match self {
             StatusCode::Ok => 200,
+            StatusCode::NotModified => 304,
             StatusCode::BadRequest => 400,
             StatusCode::NotFound => 404,
             StatusCode::MethodNotAllowed => 405,
@@ -89,6 +96,7 @@ impl StatusCode {
     pub fn reason(self) -> &'static str {
         match self {
             StatusCode::Ok => "OK",
+            StatusCode::NotModified => "Not Modified",
             StatusCode::BadRequest => "Bad Request",
             StatusCode::NotFound => "Not Found",
             StatusCode::MethodNotAllowed => "Method Not Allowed",
@@ -104,6 +112,7 @@ impl StatusCode {
     pub fn slug(self) -> &'static str {
         match self {
             StatusCode::Ok => "ok",
+            StatusCode::NotModified => "not-modified",
             StatusCode::BadRequest => "bad-request",
             StatusCode::NotFound => "not-found",
             StatusCode::MethodNotAllowed => "method-not-allowed",
@@ -452,8 +461,118 @@ pub fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// A pull-based producer of response body chunks, served with
+/// `Transfer-Encoding: chunked` framing.
+///
+/// The reactor polls `next_chunk` only when the socket is writable and
+/// the previously encoded bytes have drained, so a stalled consumer
+/// parks the producer instead of forcing the server to buffer: peak
+/// per-connection buffering is bounded by the reactor's chunk budget
+/// plus one chunk.
+pub trait BodyStream: Send {
+    /// The next chunk of body bytes, `None` when the body is complete.
+    ///
+    /// # Errors
+    ///
+    /// A mid-stream error aborts the response: the connection is torn
+    /// down *without* the terminal `0\r\n\r\n` chunk, so the client's
+    /// chunked decoder observes the truncation instead of silently
+    /// accepting a short body.
+    fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// A response body: fully materialized (`Content-Length` framing,
+/// today's path) or streamed chunk by chunk (`Transfer-Encoding:
+/// chunked`).
+pub enum ResponseBody {
+    /// The whole body, length known up front.
+    Full(Vec<u8>),
+    /// A pull-based chunk producer; total length unknown.
+    Stream(Box<dyn BodyStream>),
+}
+
+impl ResponseBody {
+    /// Whether this body is streamed (chunked framing on the wire).
+    pub fn is_stream(&self) -> bool {
+        matches!(self, ResponseBody::Stream(_))
+    }
+
+    /// The body length known at serialization time: the buffer length
+    /// for [`ResponseBody::Full`], `0` for streams (streamed bytes are
+    /// accounted separately as chunks flush).
+    pub fn len_hint(&self) -> usize {
+        match self {
+            ResponseBody::Full(bytes) => bytes.len(),
+            ResponseBody::Stream(_) => 0,
+        }
+    }
+}
+
+impl fmt::Debug for ResponseBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResponseBody::Full(bytes) => write!(f, "Full({} bytes)", bytes.len()),
+            ResponseBody::Stream(_) => f.write_str("Stream(..)"),
+        }
+    }
+}
+
+impl From<Vec<u8>> for ResponseBody {
+    fn from(bytes: Vec<u8>) -> ResponseBody {
+        ResponseBody::Full(bytes)
+    }
+}
+
+/// The terminal chunk closing a chunked body: a zero-length chunk plus
+/// the empty trailer section. Its absence at connection close is how a
+/// client detects a truncated stream.
+pub const LAST_CHUNK: &[u8] = b"0\r\n\r\n";
+
+/// Appends one chunk of `data` to `out` in HTTP/1.1 chunked framing:
+/// hex size line, data, CRLF. Callers must not pass empty data — a
+/// zero-size chunk is the body terminator ([`LAST_CHUNK`]).
+pub fn encode_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    debug_assert!(!data.is_empty(), "empty chunk would terminate the body");
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Target encoded size of one streamed chunk. Large enough to amortize
+/// framing and syscalls, small enough that per-connection buffering
+/// stays modest.
+pub const STREAM_CHUNK_BYTES: usize = 64 * 1024;
+
+/// A [`BodyStream`] over an already materialized buffer, yielding
+/// [`STREAM_CHUNK_BYTES`]-sized windows. This ports buffer-producing
+/// handlers (SVG maps, GeoJSON) onto chunked framing without rewriting
+/// their renderers as incremental producers.
+pub struct ChunkedBytes {
+    bytes: Vec<u8>,
+    at: usize,
+}
+
+impl ChunkedBytes {
+    /// Wraps `bytes` for chunk-by-chunk serving.
+    pub fn new(bytes: Vec<u8>) -> ChunkedBytes {
+        ChunkedBytes { bytes, at: 0 }
+    }
+}
+
+impl BodyStream for ChunkedBytes {
+    fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.at >= self.bytes.len() {
+            return Ok(None);
+        }
+        let end = (self.at + STREAM_CHUNK_BYTES).min(self.bytes.len());
+        let chunk = self.bytes[self.at..end].to_vec();
+        self.at = end;
+        Ok(Some(chunk))
+    }
+}
+
 /// An HTTP response under construction.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Response {
     /// Status code.
     pub status: StatusCode,
@@ -463,8 +582,13 @@ pub struct Response {
     /// load-shedding responses (queue-full, worker_queue_full) so
     /// clients back off a principled amount instead of guessing.
     pub retry_after: Option<u32>,
-    /// Response body.
-    pub body: Vec<u8>,
+    /// Optional `ETag` header value (already quoted). Temporal crowd
+    /// endpoints set it from the serving snapshot's city + epoch so
+    /// pollers can revalidate with `If-None-Match` instead of
+    /// re-downloading identical epochs.
+    pub etag: Option<String>,
+    /// Response body: materialized or streamed.
+    pub body: ResponseBody,
 }
 
 impl Response {
@@ -474,7 +598,8 @@ impl Response {
             status: StatusCode::Ok,
             content_type: "application/json; charset=utf-8".to_owned(),
             retry_after: None,
-            body: body.into_bytes(),
+            etag: None,
+            body: ResponseBody::Full(body.into_bytes()),
         }
     }
 
@@ -484,7 +609,8 @@ impl Response {
             status: StatusCode::Ok,
             content_type: "text/html; charset=utf-8".to_owned(),
             retry_after: None,
-            body: body.into_bytes(),
+            etag: None,
+            body: ResponseBody::Full(body.into_bytes()),
         }
     }
 
@@ -495,7 +621,8 @@ impl Response {
             status: StatusCode::Ok,
             content_type: "text/plain; version=0.0.4; charset=utf-8".to_owned(),
             retry_after: None,
-            body: body.into_bytes(),
+            etag: None,
+            body: ResponseBody::Full(body.into_bytes()),
         }
     }
 
@@ -505,7 +632,30 @@ impl Response {
             status: StatusCode::Ok,
             content_type: "image/svg+xml".to_owned(),
             retry_after: None,
-            body: body.into_bytes(),
+            etag: None,
+            body: ResponseBody::Full(body.into_bytes()),
+        }
+    }
+
+    /// A 200 response streaming `body` with chunked framing.
+    pub fn stream(content_type: &str, body: Box<dyn BodyStream>) -> Response {
+        Response {
+            status: StatusCode::Ok,
+            content_type: content_type.to_owned(),
+            retry_after: None,
+            etag: None,
+            body: ResponseBody::Stream(body),
+        }
+    }
+
+    /// An empty 304 revalidation response carrying the matching `ETag`.
+    pub fn not_modified(etag: &str) -> Response {
+        Response {
+            status: StatusCode::NotModified,
+            content_type: "application/json; charset=utf-8".to_owned(),
+            retry_after: None,
+            etag: Some(etag.to_owned()),
+            body: ResponseBody::Full(Vec::new()),
         }
     }
 
@@ -537,13 +687,16 @@ impl Response {
             status,
             content_type: "application/json; charset=utf-8".to_owned(),
             retry_after: None,
-            body: format!(
-                "{{\"error\":{{\"code\":{},\"message\":{},\"status\":{}}}}}",
-                serde_json::to_string(code).unwrap_or_else(|_| "\"error\"".into()),
-                serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into()),
-                status.code()
-            )
-            .into_bytes(),
+            etag: None,
+            body: ResponseBody::Full(
+                format!(
+                    "{{\"error\":{{\"code\":{},\"message\":{},\"status\":{}}}}}",
+                    serde_json::to_string(code).unwrap_or_else(|_| "\"error\"".into()),
+                    serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into()),
+                    status.code()
+                )
+                .into_bytes(),
+            ),
         }
     }
 
@@ -555,41 +708,122 @@ impl Response {
         self
     }
 
+    /// Attaches an `ETag` header value (caller supplies the quotes).
+    #[must_use]
+    pub fn with_etag(mut self, etag: &str) -> Response {
+        self.etag = Some(etag.to_owned());
+        self
+    }
+
+    /// The materialized body bytes: the buffer for
+    /// [`ResponseBody::Full`], empty for streams (which have not
+    /// produced anything yet).
+    pub fn body_bytes(&self) -> &[u8] {
+        match &self.body {
+            ResponseBody::Full(bytes) => bytes,
+            ResponseBody::Stream(_) => &[],
+        }
+    }
+
+    /// Consumes the response and materializes its body: the buffer for
+    /// [`ResponseBody::Full`], or the concatenation of every chunk for
+    /// streams. Test and diagnostic convenience — the serving path
+    /// never collects a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a streamed producer errors mid-body.
+    pub fn into_body_bytes(self) -> Vec<u8> {
+        match self.body {
+            ResponseBody::Full(bytes) => bytes,
+            ResponseBody::Stream(mut stream) => {
+                let mut out = Vec::new();
+                while let Some(chunk) = stream.next_chunk().expect("body stream failed") {
+                    out.extend_from_slice(&chunk);
+                }
+                out
+            }
+        }
+    }
+
+    /// Serializes the response head: status line, `Content-Type`, the
+    /// body framing header (`Content-Length` for [`ResponseBody::Full`],
+    /// `Transfer-Encoding: chunked` for streams), `Connection`,
+    /// `Access-Control-Allow-Origin`, then the optional `Retry-After` /
+    /// `ETag` headers and the blank separator line.
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let framing = match &self.body {
+            ResponseBody::Full(bytes) => format!("Content-Length: {}", bytes.len()),
+            ResponseBody::Stream(_) => "Transfer-Encoding: chunked".to_owned(),
+        };
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{}\r\nConnection: {}\r\nAccess-Control-Allow-Origin: *\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.content_type,
+            framing,
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        if let Some(seconds) = self.retry_after {
+            head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        }
+        if let Some(etag) = &self.etag {
+            head.push_str(&format!("ETag: {etag}\r\n"));
+        }
+        head.push_str("\r\n");
+        head.into_bytes()
+    }
+
+    /// Splits the response into its serialized head and its body for
+    /// the reactor's write state machine: a `Full` body is appended to
+    /// the head buffer verbatim, a `Stream` body is pulled and
+    /// chunk-encoded as the socket drains.
+    pub fn into_head_and_body(self, keep_alive: bool) -> (Vec<u8>, ResponseBody) {
+        (self.head_bytes(keep_alive), self.body)
+    }
+
     /// Writes the response with closing semantics (`Connection:
     /// close`) — the one-shot shape every pre-keep-alive caller
     /// expects. The reactor threads the negotiated disposition through
-    /// [`Response::write_to_with`] instead.
+    /// [`Response::into_head_and_body`] instead.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures from the underlying stream.
-    pub fn write_to<W: Write>(&self, writer: W) -> io::Result<()> {
+    pub fn write_to<W: Write>(self, writer: W) -> io::Result<()> {
         self.write_to_with(writer, false)
     }
 
     /// Writes the response, announcing the negotiated connection
     /// disposition: `Connection: keep-alive` when the connection
     /// persists for another request, `Connection: close` on the final
-    /// response before the server hangs up.
+    /// response before the server hangs up. Streamed bodies are drained
+    /// synchronously in chunked framing; a producer error propagates
+    /// *without* the terminal chunk, mirroring the reactor's
+    /// abort-on-error contract.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures from the underlying stream.
-    pub fn write_to_with<W: Write>(&self, mut writer: W, keep_alive: bool) -> io::Result<()> {
-        write!(
-            writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\nAccess-Control-Allow-Origin: *\r\n",
-            self.status.code(),
-            self.status.reason(),
-            self.content_type,
-            self.body.len(),
-            if keep_alive { "keep-alive" } else { "close" }
-        )?;
-        if let Some(seconds) = self.retry_after {
-            write!(writer, "Retry-After: {seconds}\r\n")?;
+    /// Propagates I/O failures from the underlying stream and from a
+    /// streamed body's producer.
+    pub fn write_to_with<W: Write>(self, mut writer: W, keep_alive: bool) -> io::Result<()> {
+        let (head, body) = self.into_head_and_body(keep_alive);
+        writer.write_all(&head)?;
+        match body {
+            ResponseBody::Full(bytes) => writer.write_all(&bytes)?,
+            ResponseBody::Stream(mut stream) => {
+                let mut frame = Vec::new();
+                while let Some(chunk) = stream.next_chunk()? {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    frame.clear();
+                    encode_chunk(&mut frame, &chunk);
+                    writer.write_all(&frame)?;
+                }
+                writer.write_all(LAST_CHUNK)?;
+            }
         }
-        writer.write_all(b"\r\n")?;
-        writer.write_all(&self.body)?;
         writer.flush()
     }
 }
@@ -957,7 +1191,7 @@ mod tests {
     fn error_response_is_enveloped_with_status_slug() {
         let r = Response::error(StatusCode::NotFound, "no such user");
         assert_eq!(r.status.code(), 404);
-        let body = String::from_utf8(r.body).unwrap();
+        let body = String::from_utf8(r.into_body_bytes()).unwrap();
         let v: serde_json::Value = serde_json::from_str(&body).expect("error body is valid JSON");
         assert_eq!(v["error"]["code"], "not-found");
         assert_eq!(v["error"]["message"], "no such user");
@@ -968,7 +1202,7 @@ mod tests {
     fn error_with_code_overrides_the_slug() {
         let r = Response::error_with_code(StatusCode::BadRequest, "bad-hour", "hour must be 0-23");
         let v: serde_json::Value =
-            serde_json::from_str(&String::from_utf8(r.body).unwrap()).unwrap();
+            serde_json::from_str(&String::from_utf8(r.into_body_bytes()).unwrap()).unwrap();
         assert_eq!(v["error"]["code"], "bad-hour");
         assert_eq!(v["error"]["message"], "hour must be 0-23");
         assert_eq!(v["error"]["status"], 400);
@@ -978,13 +1212,16 @@ mod tests {
     fn error_envelope_escapes_hostile_messages() {
         let r = Response::error(StatusCode::BadRequest, "a \"quoted\" message\nwith newline");
         let v: serde_json::Value =
-            serde_json::from_str(&String::from_utf8(r.body).unwrap()).unwrap();
+            serde_json::from_str(&String::from_utf8(r.into_body_bytes()).unwrap()).unwrap();
         assert_eq!(v["error"]["message"], "a \"quoted\" message\nwith newline");
     }
 
     #[test]
     fn status_codes_and_reasons() {
         assert_eq!(StatusCode::Ok.code(), 200);
+        assert_eq!(StatusCode::NotModified.code(), 304);
+        assert_eq!(StatusCode::NotModified.reason(), "Not Modified");
+        assert_eq!(StatusCode::NotModified.slug(), "not-modified");
         assert_eq!(StatusCode::BadRequest.reason(), "Bad Request");
         assert_eq!(StatusCode::PayloadTooLarge.code(), 413);
         assert_eq!(StatusCode::ServiceUnavailable.code(), 503);
@@ -994,5 +1231,109 @@ mod tests {
         );
         assert_eq!(StatusCode::ServiceUnavailable.slug(), "service-unavailable");
         assert_eq!(StatusCode::MethodNotAllowed.slug(), "method-not-allowed");
+    }
+
+    #[test]
+    fn chunk_encoding_uses_hex_sizes_and_crlf_framing() {
+        let mut out = Vec::new();
+        encode_chunk(&mut out, b"hello");
+        encode_chunk(&mut out, &vec![b'x'; 255]);
+        assert!(out.starts_with(b"5\r\nhello\r\nff\r\n"), "{out:?}");
+        assert!(out.ends_with(b"\r\n"));
+        assert_eq!(LAST_CHUNK, b"0\r\n\r\n");
+    }
+
+    #[test]
+    fn chunked_bytes_yields_bounded_windows_then_none() {
+        let mut s = ChunkedBytes::new(vec![7u8; STREAM_CHUNK_BYTES + 10]);
+        assert_eq!(s.next_chunk().unwrap().unwrap().len(), STREAM_CHUNK_BYTES);
+        assert_eq!(s.next_chunk().unwrap().unwrap().len(), 10);
+        assert!(s.next_chunk().unwrap().is_none());
+        // An empty buffer streams as an immediately complete body.
+        assert!(ChunkedBytes::new(Vec::new())
+            .next_chunk()
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn streamed_response_head_declares_chunked_framing() {
+        let r = Response::stream(
+            "application/x-ndjson",
+            Box::new(ChunkedBytes::new(b"{}\n".to_vec())),
+        );
+        let head = String::from_utf8(r.head_bytes(true)).unwrap();
+        assert!(
+            head.contains("\r\nTransfer-Encoding: chunked\r\n"),
+            "{head}"
+        );
+        assert!(!head.contains("Content-Length"), "{head}");
+        assert!(head.contains("\r\nConnection: keep-alive\r\n"), "{head}");
+    }
+
+    #[test]
+    fn streamed_response_serializes_with_terminal_chunk() {
+        let body: Vec<u8> = b"abcdef".to_vec();
+        let mut buf = Vec::new();
+        Response::stream("text/plain", Box::new(ChunkedBytes::new(body)))
+            .write_to_with(&mut buf, false)
+            .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\r\n\r\n6\r\nabcdef\r\n0\r\n\r\n"), "{s}");
+    }
+
+    #[test]
+    fn collected_stream_body_matches_the_source_bytes() {
+        let body = vec![42u8; 3 * STREAM_CHUNK_BYTES + 17];
+        let r = Response::stream("text/plain", Box::new(ChunkedBytes::new(body.clone())));
+        assert_eq!(r.into_body_bytes(), body);
+    }
+
+    #[test]
+    fn etag_header_is_emitted_when_set_and_absent_otherwise() {
+        let tagged = Response::json("{}".to_owned()).with_etag("\"nyc-e7\"");
+        let head = String::from_utf8(tagged.head_bytes(true)).unwrap();
+        assert!(head.contains("\r\nETag: \"nyc-e7\"\r\n"), "{head}");
+        let plain = String::from_utf8(Response::json("{}".to_owned()).head_bytes(true)).unwrap();
+        assert!(!plain.contains("ETag"), "{plain}");
+    }
+
+    #[test]
+    fn not_modified_response_is_empty_with_etag() {
+        let mut buf = Vec::new();
+        Response::not_modified("\"nyc-e7\"")
+            .write_to_with(&mut buf, true)
+            .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 304 Not Modified\r\n"), "{s}");
+        assert!(s.contains("\r\nContent-Length: 0\r\n"), "{s}");
+        assert!(s.contains("\r\nETag: \"nyc-e7\"\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\n"), "{s}");
+    }
+
+    #[test]
+    fn mid_stream_error_propagates_without_terminal_chunk() {
+        struct Failing(u32);
+        impl BodyStream for Failing {
+            fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+                self.0 += 1;
+                if self.0 == 1 {
+                    Ok(Some(b"partial".to_vec()))
+                } else {
+                    Err(io::Error::other("producer died"))
+                }
+            }
+        }
+        let mut buf = Vec::new();
+        let err = Response::stream("text/plain", Box::new(Failing(0)))
+            .write_to_with(&mut buf, false)
+            .unwrap_err();
+        assert_eq!(err.to_string(), "producer died");
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("7\r\npartial\r\n"), "{s}");
+        assert!(
+            !s.contains("0\r\n\r\n"),
+            "terminal chunk must be absent: {s}"
+        );
     }
 }

@@ -53,7 +53,7 @@ pub mod server;
 pub mod state;
 pub mod sys;
 
-pub use http::{Method, Request, Response, StatusCode};
+pub use http::{BodyStream, Method, Request, Response, ResponseBody, StatusCode};
 pub use router::Router;
 pub use server::Server;
 pub use state::{AppState, CityState};

@@ -50,7 +50,8 @@
 //! request does not kill a healthy client's pipeline.
 
 use crate::http::{
-    find_head_end, scan_head, scan_wants_keep_alive, HeadScan, MAX_HEAD_BYTES, MAX_LINE_BYTES,
+    encode_chunk, find_head_end, scan_head, scan_wants_keep_alive, BodyStream, HeadScan,
+    ResponseBody, LAST_CHUNK, MAX_HEAD_BYTES, MAX_LINE_BYTES,
 };
 use crate::sys::{self, Interest, PollSet, Readiness, Waker};
 use crate::{AppState, Request, Response, Router, StatusCode};
@@ -89,6 +90,13 @@ pub struct ReactorConfig {
     /// How long a keep-alive connection may sit idle between requests
     /// before being reaped (default 5 s).
     pub keep_alive_idle: Duration,
+    /// Per-connection in-flight budget for streamed (chunked) response
+    /// bodies, in encoded bytes (default 64 KiB). A stream's producer
+    /// is polled only while fewer than this many encoded-but-unwritten
+    /// bytes are buffered, so a stalled consumer parks the producer
+    /// instead of growing server memory: peak buffering is bounded by
+    /// the budget plus one chunk.
+    pub stream_budget: usize,
 }
 
 impl Default for ReactorConfig {
@@ -101,14 +109,31 @@ impl Default for ReactorConfig {
             job_queue_capacity: 128,
             keep_alive_requests: 100,
             keep_alive_idle: Duration::from_secs(5),
+            stream_budget: 64 * 1024,
         }
     }
 }
 
-/// Token-addressed completion from a worker: the serialized response
-/// bytes plus the negotiated keep-alive disposition, or `None` when
-/// the connection should just be dropped.
-type Completion = (u64, Option<(Vec<u8>, bool)>);
+/// A worker's serialized response: either every byte up front
+/// (`Content-Length` framing) or the head plus a live chunk producer
+/// the write path pulls as the socket drains.
+enum Payload {
+    /// Head + body serialized into one buffer.
+    Full(Vec<u8>),
+    /// Serialized head (declaring `Transfer-Encoding: chunked`) and
+    /// the producer of the body chunks, with the canonical route label
+    /// for the streamed-bytes metrics.
+    Stream {
+        head: Vec<u8>,
+        body: Box<dyn BodyStream>,
+        route: String,
+    },
+}
+
+/// Token-addressed completion from a worker: the response payload plus
+/// the negotiated keep-alive disposition, or `None` when the
+/// connection should just be dropped.
+type Completion = (u64, Option<(Payload, bool)>);
 
 /// What happens once a `Writing` buffer drains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,11 +156,52 @@ enum ConnState {
     /// A worker owns the request; the loop only waits.
     Dispatched,
     /// Serialized response bytes draining through nonblocking writes.
+    /// With an active `stream`, `buf` holds the encoded-but-unwritten
+    /// window of a chunked body and is refilled from the producer each
+    /// time it drains — never holding more than the stream budget plus
+    /// one chunk.
     Writing {
         buf: Vec<u8>,
         written: usize,
         then: WriteThen,
+        stream: Option<LiveStream>,
     },
+}
+
+/// A streamed body being pulled through a connection, with its
+/// per-route metric handles resolved once at response start.
+struct LiveStream {
+    body: Box<dyn BodyStream>,
+    /// Set once the producer returned `None` and the terminal chunk
+    /// was appended to the write buffer.
+    done: bool,
+    /// A producer failure held back until the chunks encoded before it
+    /// have drained: everything the producer yielded still reaches the
+    /// client, *then* the connection tears down without the terminal
+    /// chunk.
+    failed: Option<io::Error>,
+    streamed_bytes: Counter,
+    streamed_chunks: Counter,
+}
+
+impl LiveStream {
+    fn new(body: Box<dyn BodyStream>, route: &str, metrics: &ReactorMetrics) -> LiveStream {
+        LiveStream {
+            body,
+            done: false,
+            failed: None,
+            streamed_bytes: metrics.registry.counter(
+                "crowdweb_http_streamed_body_bytes_total",
+                "Streamed (chunked) response body bytes produced, by route pattern.",
+                &[("route", route)],
+            ),
+            streamed_chunks: metrics.registry.counter(
+                "crowdweb_http_streamed_chunks_total",
+                "Chunks produced by streamed response bodies, by route pattern.",
+                &[("route", route)],
+            ),
+        }
+    }
 }
 
 struct Conn {
@@ -216,6 +282,8 @@ struct ReactorMetrics {
     rejected_busy: Counter,
     keepalive_reuses: Counter,
     keepalive_reaped: Counter,
+    stream_buffered: Gauge,
+    stream_aborts: Counter,
 }
 
 impl ReactorMetrics {
@@ -265,6 +333,16 @@ impl ReactorMetrics {
             keepalive_reaped: registry.counter(
                 "crowdweb_server_keepalive_reaped_total",
                 "Idle keep-alive connections reaped at the idle deadline.",
+                &[],
+            ),
+            stream_buffered: registry.gauge(
+                "crowdweb_server_stream_buffered_bytes",
+                "Encoded-but-unwritten streamed body bytes across all connections.",
+                &[],
+            ),
+            stream_aborts: registry.counter(
+                "crowdweb_server_stream_aborts_total",
+                "Streamed responses aborted by a mid-body producer error (connection closed without the terminal chunk).",
                 &[],
             ),
             registry,
@@ -400,17 +478,24 @@ pub(crate) fn run(
         while let Ok((token, payload)) = done_rx.try_recv() {
             progressed = true;
             match payload {
-                Some((bytes, keep_alive)) => {
+                Some((payload, keep_alive)) => {
                     if let Some(conn) = conns.get_mut(&token) {
                         let keep = keep_alive && !conn.saw_eof;
+                        let (buf, stream) = match payload {
+                            Payload::Full(bytes) => (bytes, None),
+                            Payload::Stream { head, body, route } => {
+                                (head, Some(LiveStream::new(body, &route, &metrics)))
+                            }
+                        };
                         conn.state = ConnState::Writing {
-                            buf: bytes,
+                            buf,
                             written: 0,
                             then: if keep {
                                 WriteThen::Continue
                             } else {
                                 WriteThen::Close
                             },
+                            stream,
                         };
                         conn.deadline = Some(Instant::now() + config.write_timeout);
                         if matches!(drive(token, conn, &ctx), Drive::Close) {
@@ -480,6 +565,19 @@ pub(crate) fn run(
             .filter(|c| matches!(c.state, ConnState::Writing { .. }))
             .count();
         metrics.deferred_writes.set(deferred as i64);
+        let stream_buffered: usize = conns
+            .values()
+            .map(|c| match &c.state {
+                ConnState::Writing {
+                    buf,
+                    written,
+                    stream: Some(_),
+                    ..
+                } => buf.len().saturating_sub(*written),
+                _ => 0,
+            })
+            .sum();
+        metrics.stream_buffered.set(stream_buffered as i64);
         if progressed {
             metrics.tick_seconds.observe(woke.elapsed().as_secs_f64());
         }
@@ -487,6 +585,7 @@ pub(crate) fn run(
 
     metrics.open_connections.set(0);
     metrics.deferred_writes.set(0);
+    metrics.stream_buffered.set(0);
     drop(conns);
     drop(pool); // drains queued jobs and joins every worker
 }
@@ -505,6 +604,7 @@ fn queue_response(conn: &mut Conn, response: Response, keep_alive: bool, write_t
         } else {
             WriteThen::Close
         },
+        stream: None,
     };
     conn.deadline = Some(Instant::now() + write_timeout);
 }
@@ -668,10 +768,17 @@ fn dispatch(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) {
     let waker = ctx.waker.clone();
     let job = move || {
         let payload = execute(&buf, allow_keep_alive, &state, &router, &registry, started).map(
-            |(r, keep)| {
-                let mut out = Vec::with_capacity(r.body.len() + 128);
-                let _ = r.write_to_with(&mut out, keep);
-                (out, keep)
+            |(r, keep, route)| {
+                let (mut head, body) = r.into_head_and_body(keep);
+                let payload = match body {
+                    ResponseBody::Full(bytes) => {
+                        head.reserve(bytes.len());
+                        head.extend_from_slice(&bytes);
+                        Payload::Full(head)
+                    }
+                    ResponseBody::Stream(body) => Payload::Stream { head, body, route },
+                };
+                (payload, keep)
             },
         );
         let _ = done.send((token, payload));
@@ -695,9 +802,10 @@ fn dispatch(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) {
 }
 
 /// Parses and routes one buffered request on a worker thread. Returns
-/// the response to write plus the negotiated keep-alive disposition,
-/// or `None` when the connection deserves nothing (unreadable stream,
-/// panicking handler).
+/// the response to write, the negotiated keep-alive disposition, and
+/// the canonical route label (for streamed-body metrics), or `None`
+/// when the connection deserves nothing (unreadable stream, panicking
+/// handler).
 fn execute(
     bytes: &[u8],
     allow_keep_alive: bool,
@@ -705,7 +813,7 @@ fn execute(
     router: &Router<AppState>,
     registry: &MetricsRegistry,
     started: Instant,
-) -> Option<(Response, bool)> {
+) -> Option<(Response, bool, String)> {
     match Request::read_from(bytes) {
         Ok(request) => {
             let keep = allow_keep_alive && request.wants_keep_alive();
@@ -716,15 +824,16 @@ fn execute(
             }));
             match result {
                 Ok((response, route)) => {
+                    let route = route.unwrap_or("unmatched").to_owned();
                     record_access(
                         registry,
                         &request.method.to_string(),
-                        route.unwrap_or("unmatched"),
+                        &route,
                         &response,
                         request.body.len(),
                         started,
                     );
-                    Some((response, keep))
+                    Some((response, keep, route))
                 }
                 Err(_) => {
                     eprintln!("crowdweb: connection handler panicked; worker recovered");
@@ -750,14 +859,20 @@ fn execute(
             };
             let response = Response::error(StatusCode::BadRequest, &message);
             record_access(registry, "invalid", "unparsed", &response, 0, started);
-            Some((response, false))
+            Some((response, false, "unparsed".to_owned()))
         }
         Err(_) => None,
     }
 }
 
 fn drive_write(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
-    let ConnState::Writing { buf, written, then } = &mut conn.state else {
+    let ConnState::Writing {
+        buf,
+        written,
+        then,
+        stream,
+    } = &mut conn.state
+    else {
         return Drive::Idle;
     };
     let then = *then;
@@ -770,22 +885,50 @@ fn drive_write(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
         drain_input(&mut conn.stream);
     }
     let mut progressed = false;
-    while *written < buf.len() {
-        match conn.stream.write(&buf[*written..]) {
-            Ok(0) => return Drive::Close,
-            Ok(n) => {
-                *written += n;
+    loop {
+        while *written < buf.len() {
+            match conn.stream.write(&buf[*written..]) {
+                Ok(0) => return Drive::Close,
+                Ok(n) => {
+                    *written += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // The socket stalled with encoded bytes still
+                    // queued: the producer stays parked until this
+                    // window drains — backpressure, not buffering.
+                    return if progressed {
+                        Drive::Progress
+                    } else {
+                        Drive::Idle
+                    };
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Drive::Close,
+            }
+        }
+        // Window drained. Pull the next window from an active stream;
+        // a finished (or absent) stream means the response is complete.
+        let Some(live) = stream.as_mut() else { break };
+        if live.done {
+            *stream = None;
+            break;
+        }
+        match refill_stream(buf, written, live, ctx.config.stream_budget) {
+            Ok(()) => {
                 progressed = true;
+                // The producer made progress, so the write deadline
+                // clocks the new window — a long stream is not
+                // penalized for its total size, only for stalling.
+                conn.deadline = Some(Instant::now() + ctx.config.write_timeout);
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                return if progressed {
-                    Drive::Progress
-                } else {
-                    Drive::Idle
-                };
+            Err(_) => {
+                // Producer died mid-body: tear the connection down
+                // WITHOUT the terminal chunk, so the client's decoder
+                // sees truncation instead of a short-but-valid body.
+                ctx.metrics.stream_aborts.inc();
+                return Drive::Close;
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return Drive::Close,
         }
     }
     let _ = conn.stream.flush();
@@ -821,6 +964,53 @@ fn drive_write(token: u64, conn: &mut Conn, ctx: &Ctx<'_>) -> Drive {
             Drive::Progress
         }
     }
+}
+
+/// Refills a drained write window from a streamed body: pulls and
+/// chunk-encodes producer output until at least `budget` encoded bytes
+/// are queued or the body completes (appending the terminal chunk
+/// exactly once). The window therefore never exceeds the budget plus
+/// one encoded chunk — the reactor's bounded-memory guarantee for
+/// streams.
+///
+/// # Errors
+///
+/// Propagates a producer failure; the caller must close the connection
+/// without the terminal chunk. A failure that strikes after this
+/// refill already encoded chunks is held on the stream and returned by
+/// the *next* refill instead, so everything the producer yielded
+/// before dying still reaches the client ahead of the teardown.
+fn refill_stream(
+    buf: &mut Vec<u8>,
+    written: &mut usize,
+    live: &mut LiveStream,
+    budget: usize,
+) -> io::Result<()> {
+    if let Some(err) = live.failed.take() {
+        return Err(err);
+    }
+    buf.clear();
+    *written = 0;
+    while !live.done && buf.len() < budget.max(1) {
+        match live.body.next_chunk() {
+            Ok(Some(data)) if data.is_empty() => continue,
+            Ok(Some(data)) => {
+                live.streamed_chunks.inc();
+                live.streamed_bytes.add(data.len() as u64);
+                encode_chunk(buf, &data);
+            }
+            Ok(None) => {
+                buf.extend_from_slice(LAST_CHUNK);
+                live.done = true;
+            }
+            Err(err) if buf.is_empty() => return Err(err),
+            Err(err) => {
+                live.failed = Some(err);
+                break;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Reads and discards whatever is waiting on the socket (bounded per
@@ -875,7 +1065,7 @@ pub(crate) fn record_access(
             "Response body bytes produced, by route pattern.",
             &[("route", route)],
         )
-        .add(response.body.len() as u64);
+        .add(response.body.len_hint() as u64);
 }
 
 #[cfg(test)]
@@ -894,7 +1084,7 @@ mod tests {
     #[test]
     fn execute_routes_complete_requests_and_records() {
         let (state, router, registry) = app();
-        let (response, keep) = execute(
+        let (response, keep, route) = execute(
             b"GET /api/stats HTTP/1.1\r\nHost: t\r\n\r\n",
             true,
             &state,
@@ -905,6 +1095,7 @@ mod tests {
         .expect("well-formed request gets a response");
         assert_eq!(response.status.code(), 200);
         assert!(keep, "an HTTP/1.1 request with budget left keeps alive");
+        assert_eq!(route, "/api/v1/stats");
         // The legacy spelling folds into the canonical v1 route label.
         assert_eq!(
             registry.counter_value(
@@ -923,7 +1114,7 @@ mod tests {
     fn execute_negotiates_connection_disposition() {
         let (state, router, registry) = app();
         // Client asks to close: honoured even with budget left.
-        let (_, keep) = execute(
+        let (_, keep, _) = execute(
             b"GET /api/stats HTTP/1.1\r\nConnection: close\r\n\r\n",
             true,
             &state,
@@ -934,7 +1125,7 @@ mod tests {
         .unwrap();
         assert!(!keep);
         // Budget exhausted: closed even though the client would stay.
-        let (_, keep) = execute(
+        let (_, keep, _) = execute(
             b"GET /api/stats HTTP/1.1\r\n\r\n",
             false,
             &state,
@@ -949,7 +1140,7 @@ mod tests {
     #[test]
     fn execute_maps_parser_errors_to_400() {
         let (state, router, registry) = app();
-        let (response, keep) = execute(
+        let (response, keep, _) = execute(
             b"BREW /coffee HTCPCP/1.0\r\n\r\n",
             true,
             &state,
@@ -961,7 +1152,7 @@ mod tests {
         assert_eq!(response.status.code(), 400);
         assert!(!keep, "a broken request forfeits its framing — close");
         // Truncated body keeps the dedicated message.
-        let (response, _) = execute(
+        let (response, _, _) = execute(
             b"POST /api/upload HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
             true,
             &state,
@@ -971,7 +1162,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(response.status.code(), 400);
-        assert!(String::from_utf8(response.body)
+        assert!(String::from_utf8(response.into_body_bytes())
             .unwrap()
             .contains("content-length"));
         assert_eq!(
@@ -1152,5 +1343,212 @@ mod tests {
             &mut conn,
             b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\n"
         ));
+    }
+
+    /// A scripted producer: yields `chunks` in order, then the given
+    /// terminal outcome. Counts how many times it was polled.
+    struct Scripted {
+        chunks: Vec<Vec<u8>>,
+        polls: usize,
+        fail_at_end: bool,
+    }
+
+    impl BodyStream for Scripted {
+        fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+            self.polls += 1;
+            if self.chunks.is_empty() {
+                if self.fail_at_end {
+                    return Err(io::Error::other("producer died"));
+                }
+                return Ok(None);
+            }
+            Ok(Some(self.chunks.remove(0)))
+        }
+    }
+
+    fn live(body: Box<dyn BodyStream>) -> LiveStream {
+        let metrics = ReactorMetrics::new(MetricsRegistry::new());
+        LiveStream::new(body, "/api/v1/export/checkins", &metrics)
+    }
+
+    #[test]
+    fn refill_stops_at_the_budget_and_parks_the_producer() {
+        // 10 chunks of 1 KiB against a 2 KiB budget: one refill must
+        // pull only enough chunks to cross the budget, leaving the
+        // rest unpolled (bounded memory under a stalled consumer).
+        let mut stream = live(Box::new(Scripted {
+            chunks: (0..10).map(|_| vec![b'x'; 1024]).collect(),
+            polls: 0,
+            fail_at_end: false,
+        }));
+        let (mut buf, mut written) = (Vec::new(), 0usize);
+        refill_stream(&mut buf, &mut written, &mut stream, 2048).unwrap();
+        assert!(buf.len() >= 2048, "window reaches the budget");
+        assert!(
+            buf.len() < 2048 + 1024 + 16,
+            "window bounded by budget + one encoded chunk, got {}",
+            buf.len()
+        );
+        assert!(!stream.done, "producer parked, not drained");
+        assert_eq!(stream.streamed_chunks.get(), 2);
+        assert_eq!(stream.streamed_bytes.get(), 2048);
+    }
+
+    #[test]
+    fn refill_appends_the_terminal_chunk_exactly_once() {
+        let mut stream = live(Box::new(Scripted {
+            chunks: vec![b"ab".to_vec()],
+            polls: 0,
+            fail_at_end: false,
+        }));
+        let (mut buf, mut written) = (Vec::new(), 0usize);
+        refill_stream(&mut buf, &mut written, &mut stream, 1 << 20).unwrap();
+        assert!(stream.done);
+        assert_eq!(buf, b"2\r\nab\r\n0\r\n\r\n");
+        // A done stream refilled again would yield an empty window —
+        // drive_write drops the stream before that can happen.
+    }
+
+    #[test]
+    fn refill_propagates_producer_errors() {
+        // An immediate failure (no chunks yielded) surfaces on the
+        // first refill.
+        let mut stream = live(Box::new(Scripted {
+            chunks: vec![],
+            polls: 0,
+            fail_at_end: true,
+        }));
+        let (mut buf, mut written) = (Vec::new(), 0usize);
+        let err = refill_stream(&mut buf, &mut written, &mut stream, 1 << 20).unwrap_err();
+        assert_eq!(err.to_string(), "producer died");
+        assert!(!stream.done, "an errored stream is never 'done'");
+    }
+
+    #[test]
+    fn refill_holds_a_late_error_until_the_yielded_chunks_drain() {
+        // A failure after a yielded chunk must not discard that chunk:
+        // the first refill hands it over cleanly, the second surfaces
+        // the held error (and the terminal chunk never appears).
+        let mut stream = live(Box::new(Scripted {
+            chunks: vec![b"ok".to_vec()],
+            polls: 0,
+            fail_at_end: true,
+        }));
+        let (mut buf, mut written) = (Vec::new(), 0usize);
+        refill_stream(&mut buf, &mut written, &mut stream, 1 << 20).unwrap();
+        assert_eq!(buf, b"2\r\nok\r\n", "the pre-failure chunk survives");
+        assert!(!stream.done);
+        let err = refill_stream(&mut buf, &mut written, &mut stream, 1 << 20).unwrap_err();
+        assert_eq!(err.to_string(), "producer died");
+        assert!(!stream.done, "an errored stream is never 'done'");
+    }
+
+    /// A connected TCP pair: (reactor side, client side).
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn mid_stream_error_closes_without_terminal_chunk() {
+        let (state, router, registry) = app();
+        let pool = WorkerPool::new(1, 8);
+        let (done_tx, _done_rx) = mpsc::channel::<Completion>();
+        let (waker, _wake_rx) = sys::wake_pair().unwrap();
+        let metrics = ReactorMetrics::new(registry);
+        let config = ReactorConfig::default();
+        let ctx = Ctx {
+            state: &state,
+            router: &router,
+            pool: &pool,
+            done_tx: &done_tx,
+            waker: &waker,
+            metrics: &metrics,
+            config: &config,
+        };
+        let (server, mut client) = socket_pair();
+        let mut conn = Conn::new(server, Duration::from_secs(5));
+        let body: Box<dyn BodyStream> = Box::new(Scripted {
+            chunks: vec![b"first chunk".to_vec()],
+            polls: 0,
+            fail_at_end: true,
+        });
+        conn.state = ConnState::Writing {
+            buf: b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            written: 0,
+            then: WriteThen::Close,
+            stream: Some(LiveStream::new(body, "/x", &metrics)),
+        };
+        assert!(matches!(drive(0, &mut conn, &ctx), Drive::Close));
+        assert_eq!(metrics.stream_aborts.get(), 1);
+        drop(conn); // the reactor would remove the conn: FIN reaches the client
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        let wire = String::from_utf8_lossy(&got);
+        assert!(wire.contains("b\r\nfirst chunk\r\n"), "{wire}");
+        assert!(
+            !wire.ends_with("0\r\n\r\n"),
+            "terminal chunk must be absent so the client sees truncation: {wire}"
+        );
+    }
+
+    #[test]
+    fn streamed_keep_alive_response_returns_to_reading() {
+        let (state, router, registry) = app();
+        let pool = WorkerPool::new(1, 8);
+        let (done_tx, _done_rx) = mpsc::channel::<Completion>();
+        let (waker, _wake_rx) = sys::wake_pair().unwrap();
+        let metrics = ReactorMetrics::new(registry);
+        let config = ReactorConfig::default();
+        let ctx = Ctx {
+            state: &state,
+            router: &router,
+            pool: &pool,
+            done_tx: &done_tx,
+            waker: &waker,
+            metrics: &metrics,
+            config: &config,
+        };
+        let (server, mut client) = socket_pair();
+        let mut conn = Conn::new(server, Duration::from_secs(5));
+        let body: Box<dyn BodyStream> = Box::new(Scripted {
+            chunks: vec![b"hello".to_vec(), b"world".to_vec()],
+            polls: 0,
+            fail_at_end: false,
+        });
+        conn.pending = b"GET /api/v1/healthz HTTP/1.1\r\n\r\n".to_vec();
+        conn.state = ConnState::Writing {
+            buf: b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            written: 0,
+            then: WriteThen::Continue,
+            stream: Some(LiveStream::new(body, "/x", &metrics)),
+        };
+        // The drive loop drains the stream, then rolls into Reading and
+        // dispatches the pipelined request (state becomes Dispatched).
+        assert!(matches!(drive(0, &mut conn, &ctx), Drive::Progress));
+        assert!(
+            matches!(conn.state, ConnState::Dispatched),
+            "pipelined follow-up dispatched after the stream drained"
+        );
+        assert_eq!(conn.served, 1);
+        // The full chunked body, terminal chunk included, hit the wire.
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut got = vec![0u8; 1024];
+        let mut len = 0;
+        while !String::from_utf8_lossy(&got[..len]).contains("0\r\n\r\n") {
+            let n = client.read(&mut got[len..]).unwrap();
+            assert!(n > 0, "socket closed before the terminal chunk");
+            len += n;
+        }
+        let wire = String::from_utf8_lossy(&got[..len]);
+        assert!(
+            wire.contains("5\r\nhello\r\n5\r\nworld\r\n0\r\n\r\n"),
+            "{wire}"
+        );
     }
 }

@@ -225,9 +225,9 @@ mod tests {
         let r = router();
         assert_eq!(r.len(), 4);
         let resp = r.route(&7, &req("GET", "/api/users"));
-        assert_eq!(String::from_utf8(resp.body).unwrap(), "7");
+        assert_eq!(String::from_utf8(resp.into_body_bytes()).unwrap(), "7");
         let resp = r.route(&7, &req("GET", "/api/patterns/42"));
-        assert_eq!(String::from_utf8(resp.body).unwrap(), "42");
+        assert_eq!(String::from_utf8(resp.into_body_bytes()).unwrap(), "42");
     }
 
     #[test]
@@ -291,7 +291,7 @@ mod tests {
         // Both spellings dispatch the same handler...
         let (v1, v1_label) = r.dispatch(&7, &req("GET", "/api/v1/patterns/42"));
         let (legacy, legacy_label) = r.dispatch(&7, &req("GET", "/api/patterns/42"));
-        assert_eq!(v1.body, legacy.body);
+        assert_eq!(v1.into_body_bytes(), legacy.into_body_bytes());
         // ...and both report the canonical pattern as the metrics
         // label, so the alias adds zero label cardinality.
         assert_eq!(v1_label, Some("/api/v1/patterns/:user"));
@@ -310,9 +310,12 @@ mod tests {
             Response::json(format!("{}@{}", p["city"], p["z"]))
         });
         let resp = r.route(&0, &req("GET", "/api/v1/cities/nyc/crowd"));
-        assert_eq!(String::from_utf8(resp.body).unwrap(), "nyc");
+        assert_eq!(String::from_utf8(resp.into_body_bytes()).unwrap(), "nyc");
         let resp = r.route(&0, &req("GET", "/api/v1/cities/tokyo/tiles/12"));
-        assert_eq!(String::from_utf8(resp.body).unwrap(), "tokyo@12");
+        assert_eq!(
+            String::from_utf8(resp.into_body_bytes()).unwrap(),
+            "tokyo@12"
+        );
         // `{}` and `{city` are not captures; they stay literal segments.
         let mut r: Router<i32> = Router::new();
         r.get("/odd/{}", |_, _, p| Response::json(format!("{}", p.len())));

@@ -99,6 +99,16 @@ impl Server {
         self
     }
 
+    /// Sets the per-connection in-flight budget for streamed (chunked)
+    /// response bodies, in encoded bytes (default 64 KiB, minimum 1).
+    /// A stream's producer is polled only while the connection holds
+    /// fewer buffered bytes than this, bounding reactor memory under
+    /// slow readers.
+    pub fn stream_budget(mut self, bytes: usize) -> Server {
+        self.config.stream_budget = bytes.max(1);
+        self
+    }
+
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.listener

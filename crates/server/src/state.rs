@@ -61,6 +61,17 @@ pub const DEFAULT_GRID_SIDE: u32 = 20;
 /// How many visitor uploads each city remembers (newest evicts oldest).
 pub const DEFAULT_UPLOAD_HISTORY: usize = 16;
 
+/// The capped upload ring plus the monotonic per-city sequence that
+/// names its entries. An upload's sequence number is assigned at
+/// ingest, never reused, and survives eviction of older entries — it
+/// is the stable cursor the `/api/v1/uploads?after=<id>` pagination
+/// keys on.
+#[derive(Default)]
+struct UploadRing {
+    next_seq: u64,
+    entries: VecDeque<(u64, UploadResult)>,
+}
+
 /// One city's platform: a live [`ShardedIngestEngine`] publishing
 /// epoch snapshots, plus a capped ring of recent visitor uploads.
 ///
@@ -71,7 +82,7 @@ pub const DEFAULT_UPLOAD_HISTORY: usize = 16;
 pub struct CityState {
     id: String,
     engine: ShardedIngestEngine,
-    uploads: RwLock<VecDeque<UploadResult>>,
+    uploads: RwLock<UploadRing>,
 }
 
 impl std::fmt::Debug for CityState {
@@ -93,7 +104,7 @@ impl CityState {
         Ok(CityState {
             id: id.to_owned(),
             engine,
-            uploads: RwLock::new(VecDeque::new()),
+            uploads: RwLock::new(UploadRing::default()),
         })
     }
 
@@ -141,21 +152,25 @@ impl CityState {
             patterns,
         };
         let mut ring = self.uploads.write();
-        if ring.len() == DEFAULT_UPLOAD_HISTORY {
-            ring.pop_front();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.entries.len() == DEFAULT_UPLOAD_HISTORY {
+            ring.entries.pop_front();
         }
-        ring.push_back(result.clone());
+        ring.entries.push_back((seq, result.clone()));
         Ok(result)
     }
 
     /// The city's most recent visitor upload, if any.
     pub fn last_upload(&self) -> Option<UploadResult> {
-        self.uploads.read().back().cloned()
+        self.uploads.read().entries.back().map(|(_, r)| r.clone())
     }
 
-    /// All the city's remembered visitor uploads, newest first.
-    pub fn uploads(&self) -> Vec<UploadResult> {
-        self.uploads.read().iter().rev().cloned().collect()
+    /// All the city's remembered visitor uploads, newest first, each
+    /// with its stable sequence id (see [`UploadRing`]): ids descend
+    /// with the listing order and pagination cursors key on them.
+    pub fn uploads(&self) -> Vec<(u64, UploadResult)> {
+        self.uploads.read().entries.iter().rev().cloned().collect()
     }
 }
 
@@ -362,8 +377,9 @@ impl AppState {
         self.default_city().last_upload()
     }
 
-    /// The default city's remembered visitor uploads, newest first.
-    pub fn uploads(&self) -> Vec<UploadResult> {
+    /// The default city's remembered visitor uploads, newest first,
+    /// with their stable sequence ids.
+    pub fn uploads(&self) -> Vec<(u64, UploadResult)> {
         self.default_city().uploads()
     }
 }
@@ -463,11 +479,17 @@ mod tests {
         assert_eq!(ring.len(), DEFAULT_UPLOAD_HISTORY);
         // Newest first: the last submitted user leads.
         let newest = 100 + (DEFAULT_UPLOAD_HISTORY + 2) as u32;
-        assert_eq!(ring[0].users, vec![UserId::new(newest)]);
+        assert_eq!(ring[0].1.users, vec![UserId::new(newest)]);
         assert_eq!(s.last_upload().unwrap().users, vec![UserId::new(newest)]);
         // The oldest three were evicted.
-        let oldest_kept = ring.last().unwrap().users[0];
+        let oldest_kept = ring.last().unwrap().1.users[0];
         assert_eq!(oldest_kept, UserId::new(103));
+        // Sequence ids are stable across eviction: the newest entry is
+        // the (DEFAULT_UPLOAD_HISTORY + 3)rd upload ever (0-based seq),
+        // the oldest kept is seq 3, and ids descend with the listing.
+        assert_eq!(ring[0].0, (DEFAULT_UPLOAD_HISTORY + 2) as u64);
+        assert_eq!(ring.last().unwrap().0, 3);
+        assert!(ring.windows(2).all(|w| w[0].0 > w[1].0));
     }
 
     #[test]

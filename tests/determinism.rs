@@ -102,7 +102,7 @@ fn json_api_is_reproducible() {
         let req =
             crowdweb::server::Request::read_from("GET /api/users HTTP/1.1\r\n\r\n".as_bytes())
                 .unwrap();
-        String::from_utf8(router.route(&state, &req).body).unwrap()
+        String::from_utf8(router.route(&state, &req).into_body_bytes()).unwrap()
     };
     assert_eq!(body(5), body(5));
 }

@@ -67,8 +67,31 @@ fn request(addr: SocketAddr, raw: String) -> (u16, String) {
         .nth(1)
         .and_then(|c| c.parse().ok())
         .unwrap_or(0);
-    let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+    let (head, body) = buf.split_once("\r\n\r\n").unwrap_or((buf.as_str(), ""));
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        decode_chunked(body)
+    } else {
+        body.to_owned()
+    };
     (code, body)
+}
+
+/// Decodes an HTTP/1.1 chunked body (streamed endpoints frame with
+/// `Transfer-Encoding: chunked` instead of `Content-Length`).
+fn decode_chunked(mut rest: &str) -> String {
+    let mut out = String::new();
+    while let Some((size_line, tail)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = &tail[size + 2..]; // past the chunk data and its CRLF
+    }
+    out
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
